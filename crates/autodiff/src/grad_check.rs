@@ -1,0 +1,112 @@
+//! Numerical gradient checking.
+//!
+//! Every differentiable op in this crate is validated against central
+//! finite differences. The checker rebuilds the computation from scratch
+//! for every probe, so it works with fused ops that capture forward-pass
+//! state (batch norm, softmax, hinges).
+
+use crate::{Tape, Var};
+use colper_tensor::Matrix;
+
+/// The outcome of a [`check_gradient`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f32,
+    /// Largest relative difference (`|a - n| / max(1, |a|, |n|)`).
+    pub max_rel_err: f32,
+    /// The analytic gradient.
+    pub analytic: Matrix,
+    /// The numeric (central finite difference) gradient.
+    pub numeric: Matrix,
+}
+
+/// Compares the tape's analytic gradient with central finite differences.
+///
+/// `build` receives a fresh [`Tape`] and a leaf holding the current probe
+/// value of `x0`, and must return a scalar output. The probe step is
+/// `5e-3`, chosen for `f32` precision; tolerances in callers should be
+/// around `1e-2`.
+///
+/// # Panics
+///
+/// Panics when `build` returns a non-scalar.
+pub fn check_gradient(
+    x0: &Matrix,
+    mut build: impl FnMut(&mut Tape, Var) -> Var,
+) -> GradCheckReport {
+    // Analytic pass.
+    let mut tape = Tape::new();
+    let x = tape.leaf(x0.clone());
+    let out = build(&mut tape, x);
+    tape.backward(out);
+    let analytic = tape
+        .grad(x)
+        .cloned()
+        .unwrap_or_else(|| Matrix::zeros(x0.rows(), x0.cols()));
+
+    // Numeric pass.
+    const H: f32 = 5e-3;
+    let mut numeric = Matrix::zeros(x0.rows(), x0.cols());
+    for r in 0..x0.rows() {
+        for c in 0..x0.cols() {
+            let mut plus = x0.clone();
+            plus[(r, c)] += H;
+            let mut minus = x0.clone();
+            minus[(r, c)] -= H;
+            let fp = eval_scalar(&plus, &mut build);
+            let fm = eval_scalar(&minus, &mut build);
+            numeric[(r, c)] = (fp - fm) / (2.0 * H);
+        }
+    }
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for r in 0..x0.rows() {
+        for c in 0..x0.cols() {
+            let a = analytic[(r, c)];
+            let n = numeric[(r, c)];
+            let abs = (a - n).abs();
+            let rel = abs / 1.0f32.max(a.abs()).max(n.abs());
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+    }
+
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, analytic, numeric }
+}
+
+fn eval_scalar(x0: &Matrix, build: &mut impl FnMut(&mut Tape, Var) -> Var) -> f32 {
+    let mut tape = Tape::new();
+    let x = tape.leaf(x0.clone());
+    let out = build(&mut tape, x);
+    let v = tape.value(out);
+    assert_eq!(v.shape(), (1, 1), "check_gradient: build must return a scalar");
+    v[(0, 0)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_gradient_catches_correct_gradient() {
+        let x0 = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let report = check_gradient(&x0, |t, x| {
+            let y = t.square(x);
+            t.sum(y)
+        });
+        assert!(report.max_abs_err < 1e-2, "{report:?}");
+        // d/dx sum(x^2) = 2x
+        assert!((report.analytic[(0, 1)] - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn report_carries_both_gradients() {
+        let x0 = Matrix::ones(1, 2);
+        let report = check_gradient(&x0, |t, x| t.sum(x));
+        assert_eq!(report.analytic.shape(), (1, 2));
+        assert_eq!(report.numeric.shape(), (1, 2));
+        assert!(report.max_rel_err < 1e-2);
+    }
+}

@@ -1,0 +1,359 @@
+//! Fused neural-network operations: batch normalization, training loss,
+//! and the paper's attack objectives (Eq. 6, 7, 8).
+
+use crate::tape::{Op, Tape, Var};
+use colper_tensor::Matrix;
+
+impl Tape {
+    /// Batch normalization in training mode over the row (batch) axis.
+    ///
+    /// `x` is `[N,C]`, `gamma` and `beta` are `[1,C]`. Returns the
+    /// normalized, scaled and shifted activations along with the batch mean
+    /// and variance (so the caller can update running statistics).
+    ///
+    /// Gradients flow to `x`, `gamma` and `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes are inconsistent or `x` has no rows.
+    pub fn batch_norm_train(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    ) -> (Var, Matrix, Matrix) {
+        let xv = self.value(x).clone();
+        let (n, c) = xv.shape();
+        assert!(n > 0, "batch_norm_train: empty batch");
+        assert_eq!(self.value(gamma).shape(), (1, c), "batch_norm_train: gamma shape");
+        assert_eq!(self.value(beta).shape(), (1, c), "batch_norm_train: beta shape");
+
+        let mean = xv.mean_rows();
+        let mut var = Matrix::zeros(1, c);
+        for r in 0..n {
+            for cc in 0..c {
+                let d = xv[(r, cc)] - mean[(0, cc)];
+                var[(0, cc)] += d * d;
+            }
+        }
+        var.map_inplace(|v| v / n as f32);
+        let inv_std = var.map(|v| 1.0 / (v + eps).sqrt());
+
+        let mut xhat = Matrix::zeros(n, c);
+        for r in 0..n {
+            for cc in 0..c {
+                xhat[(r, cc)] = (xv[(r, cc)] - mean[(0, cc)]) * inv_std[(0, cc)];
+            }
+        }
+        let gammav = self.value(gamma).clone();
+        let betav = self.value(beta).clone();
+        let mut out = Matrix::zeros(n, c);
+        for r in 0..n {
+            for cc in 0..c {
+                out[(r, cc)] = xhat[(r, cc)] * gammav[(0, cc)] + betav[(0, cc)];
+            }
+        }
+        let rg = self.any_requires_grad(&[x, gamma, beta]);
+        let v = self.push(
+            out,
+            Op::BatchNorm { x, gamma, beta, xhat, inv_std },
+            rg,
+        );
+        (v, mean, var)
+    }
+
+    /// Mean softmax cross-entropy over rows: `logits` is `[N,C]`, `labels`
+    /// holds one class index per row. Returns a `1x1` scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `labels.len() != N` or a label is out of range.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let z = self.value(logits);
+        let (n, c) = z.shape();
+        assert_eq!(labels.len(), n, "softmax_cross_entropy: {n} rows vs {} labels", labels.len());
+        assert!(labels.iter().all(|&y| y < c), "softmax_cross_entropy: label out of range");
+
+        let mut softmax = Matrix::zeros(n, c);
+        let mut loss = 0.0f32;
+        for r in 0..n {
+            let row = z.row(r);
+            let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (cc, &v) in row.iter().enumerate() {
+                let e = (v - maxv).exp();
+                softmax[(r, cc)] = e;
+                denom += e;
+            }
+            for cc in 0..c {
+                softmax[(r, cc)] /= denom;
+            }
+            loss -= softmax[(r, labels[r])].max(1e-12).ln();
+        }
+        loss /= n.max(1) as f32;
+        let rg = self.node(logits).requires_grad;
+        self.push(
+            Matrix::filled(1, 1, loss),
+            Op::SoftmaxCrossEntropy { logits, labels: labels.to_vec(), softmax },
+            rg,
+        )
+    }
+
+    /// The paper's targeted adversarial loss (Eq. 7):
+    /// `sum_i max(max_{j != y_i} Z_j - Z_{y_i}, 0)` over the rows where
+    /// `mask` is true. Minimizing drives each masked point's prediction
+    /// *toward* its target label `labels[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or out-of-range labels.
+    pub fn cw_targeted(&mut self, logits: Var, labels: &[usize], mask: &[bool]) -> Var {
+        self.cw_hinge(logits, labels, mask, true)
+    }
+
+    /// The paper's non-targeted adversarial loss (Eq. 8):
+    /// `sum_i max(Z_{y_i} - max_{j != y_i} Z_j, 0)` over the rows where
+    /// `mask` is true. Minimizing drives each masked point's prediction
+    /// *away from* its ground-truth label `labels[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or out-of-range labels.
+    pub fn cw_nontargeted(&mut self, logits: Var, labels: &[usize], mask: &[bool]) -> Var {
+        self.cw_hinge(logits, labels, mask, false)
+    }
+
+    fn cw_hinge(&mut self, logits: Var, labels: &[usize], mask: &[bool], targeted: bool) -> Var {
+        let z = self.value(logits);
+        let (n, c) = z.shape();
+        assert_eq!(labels.len(), n, "cw_hinge: {n} rows vs {} labels", labels.len());
+        assert_eq!(mask.len(), n, "cw_hinge: {n} rows vs {} mask entries", mask.len());
+        assert!(labels.iter().all(|&y| y < c), "cw_hinge: label out of range");
+        assert!(c >= 2, "cw_hinge: needs at least two classes");
+
+        let mut loss = 0.0f32;
+        let mut active = Vec::new();
+        for r in 0..n {
+            if !mask[r] {
+                continue;
+            }
+            let y = labels[r];
+            let row = z.row(r);
+            let (jmax, zmax) = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != y)
+                .fold((usize::MAX, f32::NEG_INFINITY), |(bj, bv), (j, &v)| {
+                    if v > bv {
+                        (j, v)
+                    } else {
+                        (bj, bv)
+                    }
+                });
+            let zy = row[y];
+            // targeted: want z_y to win -> penalize (zmax - zy)_+, grads +jmax, -y
+            // non-targeted: want z_y to lose -> penalize (zy - zmax)_+, grads +y, -jmax
+            let (v, plus, minus) = if targeted {
+                (zmax - zy, jmax, y)
+            } else {
+                (zy - zmax, y, jmax)
+            };
+            if v > 0.0 {
+                loss += v;
+                active.push((r, plus, minus));
+            }
+        }
+        let rg = self.node(logits).requires_grad;
+        self.push(Matrix::filled(1, 1, loss), Op::CwHinge { logits, active }, rg)
+    }
+
+    /// The paper's smoothness penalty (Eq. 6):
+    /// `S(X') = sum_i sum_{j in NB(i, alpha)} ||x'_i - x'_j||_2`
+    /// where each `x'` is the concatenation of its (fixed) coordinates and
+    /// its (perturbed) colors. `neighbors` is a flattened `[N*k]` index
+    /// list from a fixed k-NN graph over the coordinates; gradients flow to
+    /// `colors` only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coords.rows() != colors.rows()` or `neighbors.len() !=
+    /// N*k`.
+    pub fn smoothness(&mut self, colors: Var, coords: &Matrix, neighbors: &[usize], k: usize) -> Var {
+        assert!(k > 0, "smoothness: k must be positive");
+        let cv = self.value(colors);
+        let n = cv.rows();
+        assert_eq!(coords.rows(), n, "smoothness: coords/colors row mismatch");
+        assert_eq!(neighbors.len(), n * k, "smoothness: neighbor list must be N*k");
+        assert!(neighbors.iter().all(|&i| i < n), "smoothness: neighbor index out of bounds");
+
+        let mut total = 0.0f32;
+        for i in 0..n {
+            for j in 0..k {
+                let nb = neighbors[i * k + j];
+                let mut d2 = 0.0f32;
+                for d in 0..coords.cols() {
+                    let dd = coords[(i, d)] - coords[(nb, d)];
+                    d2 += dd * dd;
+                }
+                for d in 0..cv.cols() {
+                    let dd = cv[(i, d)] - cv[(nb, d)];
+                    d2 += dd * dd;
+                }
+                total += d2.sqrt();
+            }
+        }
+        let rg = self.node(colors).requires_grad;
+        self.push(
+            Matrix::filled(1, 1, total),
+            Op::Smoothness {
+                colors,
+                coords: coords.clone(),
+                neighbors: neighbors.to_vec(),
+                k,
+            },
+            rg,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_gradient;
+
+    fn mat(rows: &[&[f32]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn batch_norm_normalizes() {
+        let mut t = Tape::new();
+        let x = t.leaf(mat(&[&[1.0, 10.0], &[3.0, 20.0], &[5.0, 30.0]]));
+        let g = t.leaf(Matrix::ones(1, 2));
+        let b = t.leaf(Matrix::zeros(1, 2));
+        let (y, mean, var) = t.batch_norm_train(x, g, b, 1e-5);
+        assert!((mean[(0, 0)] - 3.0).abs() < 1e-5);
+        assert!((var[(0, 1)] - 200.0 / 3.0).abs() < 1e-3);
+        let out = t.value(y);
+        // Output is zero-mean, unit-variance per column.
+        let m0 = (out[(0, 0)] + out[(1, 0)] + out[(2, 0)]) / 3.0;
+        assert!(m0.abs() < 1e-5);
+    }
+
+    #[test]
+    fn batch_norm_input_gradient_matches_numeric() {
+        let x0 = mat(&[&[1.0, -2.0], &[0.5, 3.0], &[-1.5, 0.0], &[2.0, 1.0]]);
+        let report = check_gradient(&x0, |t, x| {
+            let g = t.constant(mat(&[&[1.5, 0.5]]));
+            let b = t.constant(mat(&[&[0.1, -0.2]]));
+            let (y, _, _) = t.batch_norm_train(x, g, b, 1e-5);
+            let z = t.square(y);
+            t.sum(z)
+        });
+        assert!(report.max_abs_err < 5e-2, "{report:?}");
+    }
+
+    #[test]
+    fn batch_norm_gamma_beta_gradients_match_numeric() {
+        let g0 = mat(&[&[1.5, 0.5]]);
+        let report = check_gradient(&g0, |t, g| {
+            let x = t.constant(mat(&[&[1.0, -2.0], &[0.5, 3.0], &[-1.5, 0.0]]));
+            let b = t.constant(mat(&[&[0.1, -0.2]]));
+            let (y, _, _) = t.batch_norm_train(x, g, b, 1e-5);
+            let z = t.square(y);
+            t.sum(z)
+        });
+        assert!(report.max_abs_err < 5e-2, "gamma: {report:?}");
+    }
+
+    #[test]
+    fn cross_entropy_decreases_with_correct_logits() {
+        let mut t = Tape::new();
+        let good = t.leaf(mat(&[&[5.0, 0.0], &[0.0, 5.0]]));
+        let l_good = t.softmax_cross_entropy(good, &[0, 1]);
+        let bad = t.leaf(mat(&[&[0.0, 5.0], &[5.0, 0.0]]));
+        let l_bad = t.softmax_cross_entropy(bad, &[0, 1]);
+        assert!(t.value(l_good)[(0, 0)] < t.value(l_bad)[(0, 0)]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numeric() {
+        let x0 = mat(&[&[0.5, -1.0, 0.2], &[2.0, 0.0, -0.5]]);
+        let report = check_gradient(&x0, |t, x| t.softmax_cross_entropy(x, &[2, 0]));
+        assert!(report.max_abs_err < 2e-2, "{report:?}");
+    }
+
+    #[test]
+    fn cw_targeted_zero_when_target_wins() {
+        let mut t = Tape::new();
+        let z = t.leaf(mat(&[&[5.0, 0.0, 0.0]]));
+        let loss = t.cw_targeted(z, &[0], &[true]);
+        assert_eq!(t.value(loss)[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn cw_targeted_positive_and_decreasing_toward_target() {
+        let mut t = Tape::new();
+        let z = t.leaf(mat(&[&[0.0, 3.0, 1.0]]));
+        let loss = t.cw_targeted(z, &[0], &[true]);
+        assert_eq!(t.value(loss)[(0, 0)], 3.0);
+        t.backward(loss);
+        let g = t.grad(z).unwrap();
+        // Gradient descent lowers the runner-up (col 1) and raises target (col 0).
+        assert_eq!(g[(0, 1)], 1.0);
+        assert_eq!(g[(0, 0)], -1.0);
+        assert_eq!(g[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn cw_nontargeted_pushes_away_from_truth() {
+        let mut t = Tape::new();
+        let z = t.leaf(mat(&[&[4.0, 1.0, 0.0]]));
+        let loss = t.cw_nontargeted(z, &[0], &[true]);
+        assert_eq!(t.value(loss)[(0, 0)], 3.0);
+        t.backward(loss);
+        let g = t.grad(z).unwrap();
+        assert_eq!(g[(0, 0)], 1.0); // lower the true class
+        assert_eq!(g[(0, 1)], -1.0); // raise the runner-up
+    }
+
+    #[test]
+    fn cw_mask_excludes_rows() {
+        let mut t = Tape::new();
+        let z = t.leaf(mat(&[&[4.0, 0.0], &[4.0, 0.0]]));
+        let loss = t.cw_nontargeted(z, &[0, 0], &[true, false]);
+        assert_eq!(t.value(loss)[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn smoothness_zero_for_identical_points_colors() {
+        let mut t = Tape::new();
+        let colors = t.leaf(mat(&[&[0.5, 0.5, 0.5], &[0.5, 0.5, 0.5]]));
+        let coords = mat(&[&[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0]]);
+        let s = t.smoothness(colors, &coords, &[1, 0], 1);
+        assert_eq!(t.value(s)[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn smoothness_gradient_matches_numeric() {
+        let c0 = mat(&[&[0.2, 0.4, 0.9], &[0.8, 0.1, 0.3], &[0.5, 0.5, 0.5]]);
+        let coords = mat(&[&[0.0, 0.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let neighbors = vec![1, 2, 0, 2, 0, 1]; // k = 2
+        let report = check_gradient(&c0, |t, c| t.smoothness(c, &coords, &neighbors, 2));
+        assert!(report.max_abs_err < 2e-2, "{report:?}");
+    }
+
+    #[test]
+    fn smoothness_grows_with_color_contrast() {
+        let coords = mat(&[&[0.0, 0.0, 0.0], &[0.1, 0.0, 0.0]]);
+        let nb = vec![1, 0];
+        let mut t1 = Tape::new();
+        let c_same = t1.leaf(mat(&[&[0.5, 0.5, 0.5], &[0.5, 0.5, 0.5]]));
+        let s_same = t1.smoothness(c_same, &coords, &nb, 1);
+        let mut t2 = Tape::new();
+        let c_diff = t2.leaf(mat(&[&[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]]));
+        let s_diff = t2.smoothness(c_diff, &coords, &nb, 1);
+        assert!(t2.value(s_diff)[(0, 0)] > t1.value(s_same)[(0, 0)]);
+    }
+}

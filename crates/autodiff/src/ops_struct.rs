@@ -1,0 +1,336 @@
+//! Structural operations: gathers, grouped pooling, interpolation and
+//! concatenation.
+//!
+//! These ops carry the neighborhood structure of point-cloud networks:
+//! `gather_rows` pulls each point's neighbors into consecutive rows,
+//! `group_max` / `group_mean` / `group_softmax` pool over each group of `k`
+//! consecutive rows, and `weighted_gather` performs the inverse-distance
+//! interpolation of PointNet++ feature propagation.
+
+use crate::tape::{Op, Tape, Var};
+use colper_tensor::Matrix;
+
+impl Tape {
+    /// Gathers rows: `out[i] = x[idx[i]]`. Indices may repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of bounds.
+    pub fn gather_rows(&mut self, x: Var, idx: &[usize]) -> Var {
+        let xv = self.value(x);
+        let bound = xv.rows();
+        assert!(idx.iter().all(|&i| i < bound), "gather_rows: index out of bounds (rows={bound})");
+        let v = xv.select_rows(idx);
+        let rg = self.node(x).requires_grad;
+        self.push(v, Op::GatherRows(x, idx.to_vec()), rg)
+    }
+
+    /// Max-pool over consecutive groups of `k` rows: `[G*k, C] -> [G, C]`.
+    ///
+    /// This is the symmetric aggregation of PointNet++ set abstraction and
+    /// DeepGCN edge convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row count is not a multiple of `k` or `k == 0`.
+    pub fn group_max(&mut self, x: Var, k: usize) -> Var {
+        assert!(k > 0, "group_max: k must be positive");
+        let xv = self.value(x);
+        let (rows, cols) = xv.shape();
+        assert_eq!(rows % k, 0, "group_max: {rows} rows not divisible by k={k}");
+        let groups = rows / k;
+        let mut out = Matrix::zeros(groups, cols);
+        let mut argmax = vec![0usize; groups * cols];
+        for g in 0..groups {
+            for c in 0..cols {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_row = g * k;
+                for j in 0..k {
+                    let r = g * k + j;
+                    let v = xv[(r, c)];
+                    if v > best {
+                        best = v;
+                        best_row = r;
+                    }
+                }
+                out[(g, c)] = best;
+                argmax[g * cols + c] = best_row;
+            }
+        }
+        let rg = self.node(x).requires_grad;
+        self.push(out, Op::GroupMax { x, argmax }, rg)
+    }
+
+    /// Mean-pool over consecutive groups of `k` rows: `[G*k, C] -> [G, C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row count is not a multiple of `k` or `k == 0`.
+    pub fn group_mean(&mut self, x: Var, k: usize) -> Var {
+        assert!(k > 0, "group_mean: k must be positive");
+        let xv = self.value(x);
+        let (rows, cols) = xv.shape();
+        assert_eq!(rows % k, 0, "group_mean: {rows} rows not divisible by k={k}");
+        let groups = rows / k;
+        let mut out = Matrix::zeros(groups, cols);
+        for g in 0..groups {
+            for j in 0..k {
+                let row = xv.row(g * k + j);
+                for (acc, &v) in out.row_mut(g).iter_mut().zip(row) {
+                    *acc += v;
+                }
+            }
+        }
+        out.map_inplace(|v| v / k as f32);
+        let rg = self.node(x).requires_grad;
+        self.push(out, Op::GroupMean(x, k), rg)
+    }
+
+    /// Softmax over each consecutive group of `k` rows, computed per
+    /// column: `[G*k, C] -> [G*k, C]`.
+    ///
+    /// This is RandLA-Net's attentive-pooling score normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row count is not a multiple of `k` or `k == 0`.
+    pub fn group_softmax(&mut self, x: Var, k: usize) -> Var {
+        assert!(k > 0, "group_softmax: k must be positive");
+        let xv = self.value(x);
+        let (rows, cols) = xv.shape();
+        assert_eq!(rows % k, 0, "group_softmax: {rows} rows not divisible by k={k}");
+        let groups = rows / k;
+        let mut out = Matrix::zeros(rows, cols);
+        for g in 0..groups {
+            for c in 0..cols {
+                let mut maxv = f32::NEG_INFINITY;
+                for j in 0..k {
+                    maxv = maxv.max(xv[(g * k + j, c)]);
+                }
+                let mut denom = 0.0f32;
+                for j in 0..k {
+                    let e = (xv[(g * k + j, c)] - maxv).exp();
+                    out[(g * k + j, c)] = e;
+                    denom += e;
+                }
+                for j in 0..k {
+                    out[(g * k + j, c)] /= denom;
+                }
+            }
+        }
+        let rg = self.node(x).requires_grad;
+        let softmax = out.clone();
+        self.push(out, Op::GroupSoftmax { x, k, softmax }, rg)
+    }
+
+    /// Weighted interpolation: `out[i] = sum_{j<k} w[i*k+j] * x[idx[i*k+j]]`.
+    ///
+    /// Used for PointNet++ feature propagation (3-NN inverse-distance
+    /// interpolation) and RandLA-Net nearest-neighbor upsampling (`k == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx.len() != w.len()`, the length is not a multiple of
+    /// `k`, or any index is out of bounds.
+    pub fn weighted_gather(&mut self, x: Var, idx: &[usize], w: &[f32], k: usize) -> Var {
+        assert!(k > 0, "weighted_gather: k must be positive");
+        assert_eq!(idx.len(), w.len(), "weighted_gather: idx and w must have equal length");
+        assert_eq!(idx.len() % k, 0, "weighted_gather: length not divisible by k");
+        let xv = self.value(x);
+        let bound = xv.rows();
+        assert!(idx.iter().all(|&i| i < bound), "weighted_gather: index out of bounds");
+        let out_rows = idx.len() / k;
+        let cols = xv.cols();
+        let mut out = Matrix::zeros(out_rows, cols);
+        for i in 0..out_rows {
+            for j in 0..k {
+                let flat = i * k + j;
+                let src = xv.row(idx[flat]);
+                let weight = w[flat];
+                for (acc, &v) in out.row_mut(i).iter_mut().zip(src) {
+                    *acc += weight * v;
+                }
+            }
+        }
+        let rg = self.node(x).requires_grad;
+        self.push(
+            out,
+            Op::WeightedGather { x, idx: idx.to_vec(), w: w.to_vec(), k },
+            rg,
+        )
+    }
+
+    /// Concatenates columns: `[N,C1] ++ [N,C2] -> [N,C1+C2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row counts differ.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hstack(self.value(b)).expect("concat_cols: row count mismatch");
+        let rg = self.any_requires_grad(&[a, b]);
+        self.push(v, Op::ConcatCols(a, b), rg)
+    }
+
+    /// Concatenates several column blocks left to right.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or row counts differ.
+    pub fn concat_cols_all(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols_all: needs at least one part");
+        let mut acc = parts[0];
+        for &p in &parts[1..] {
+            acc = self.concat_cols(acc, p);
+        }
+        acc
+    }
+
+    /// Extracts columns `[c0, c1)`: `[N,C] -> [N, c1-c0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bounds are invalid.
+    pub fn slice_cols(&mut self, x: Var, c0: usize, c1: usize) -> Var {
+        let xv = self.value(x);
+        assert!(c0 <= c1 && c1 <= xv.cols(), "slice_cols: range {c0}..{c1} invalid for {} cols", xv.cols());
+        let v = xv.block(0, xv.rows(), c0, c1);
+        let rg = self.node(x).requires_grad;
+        self.push(v, Op::SliceCols(x, c0, c1), rg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_gradient;
+
+    fn mat(rows: &[&[f32]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn gather_rows_forward() {
+        let mut t = Tape::new();
+        let x = t.leaf(mat(&[&[1.0], &[2.0], &[3.0]]));
+        let y = t.gather_rows(x, &[2, 2, 0]);
+        assert_eq!(t.value(y).as_slice(), &[3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_rows_backward_scatter_adds() {
+        let mut t = Tape::new();
+        let x = t.leaf(mat(&[&[1.0], &[2.0], &[3.0]]));
+        let y = t.gather_rows(x, &[2, 2, 0]);
+        let loss = t.sum(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn group_max_forward_and_backward() {
+        let mut t = Tape::new();
+        let x = t.leaf(mat(&[&[1.0, 5.0], &[3.0, 2.0], &[0.0, 0.0], &[4.0, 1.0]]));
+        let y = t.group_max(x, 2);
+        assert_eq!(t.value(y).as_slice(), &[3.0, 5.0, 4.0, 1.0]);
+        let loss = t.sum(y);
+        t.backward(loss);
+        // Gradients flow only to the max entries.
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn group_mean_matches_numeric() {
+        let x0 = mat(&[&[1.0, 5.0], &[3.0, 2.0], &[0.5, -1.0], &[4.0, 1.0]]);
+        let report = check_gradient(&x0, |t, x| {
+            let y = t.group_mean(x, 2);
+            let z = t.square(y);
+            t.sum(z)
+        });
+        assert!(report.max_abs_err < 2e-2, "{report:?}");
+    }
+
+    #[test]
+    fn group_softmax_rows_sum_to_one() {
+        let mut t = Tape::new();
+        let x = t.leaf(mat(&[&[1.0], &[2.0], &[3.0], &[-1.0]]));
+        let y = t.group_softmax(x, 2);
+        let v = t.value(y);
+        assert!((v[(0, 0)] + v[(1, 0)] - 1.0).abs() < 1e-6);
+        assert!((v[(2, 0)] + v[(3, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_softmax_matches_numeric() {
+        let x0 = mat(&[&[1.0, 0.5], &[2.0, -0.5], &[0.2, 0.1], &[-1.0, 1.5]]);
+        let report = check_gradient(&x0, |t, x| {
+            let s = t.group_softmax(x, 2);
+            let c = t.constant(mat(&[&[1.0, -1.0], &[0.5, 2.0], &[2.0, 0.0], &[0.0, 1.0]]));
+            let y = t.mul(s, c);
+            t.sum(y)
+        });
+        assert!(report.max_abs_err < 2e-2, "{report:?}");
+    }
+
+    #[test]
+    fn weighted_gather_forward_and_backward() {
+        let mut t = Tape::new();
+        let x = t.leaf(mat(&[&[1.0], &[10.0], &[100.0]]));
+        // out[0] = 0.5*x0 + 0.5*x1; out[1] = 1.0*x2 + 0.0*x0
+        let y = t.weighted_gather(x, &[0, 1, 2, 0], &[0.5, 0.5, 1.0, 0.0], 2);
+        assert_eq!(t.value(y).as_slice(), &[5.5, 100.0]);
+        let loss = t.sum(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn weighted_gather_matches_numeric() {
+        let x0 = mat(&[&[1.0, 2.0], &[3.0, -1.0], &[0.5, 0.5]]);
+        let report = check_gradient(&x0, |t, x| {
+            let y = t.weighted_gather(x, &[0, 2, 1, 1], &[0.3, 0.7, 0.9, 0.1], 2);
+            let z = t.square(y);
+            t.sum(z)
+        });
+        assert!(report.max_abs_err < 2e-2, "{report:?}");
+    }
+
+    #[test]
+    fn concat_and_slice_round_trip_gradients() {
+        let mut t = Tape::new();
+        let a = t.leaf(mat(&[&[1.0, 2.0]]));
+        let b = t.leaf(mat(&[&[3.0]]));
+        let y = t.concat_cols(a, b);
+        assert_eq!(t.value(y).as_slice(), &[1.0, 2.0, 3.0]);
+        let s = t.slice_cols(y, 1, 3);
+        let loss = t.sum(s);
+        t.backward(loss);
+        assert_eq!(t.grad(a).unwrap().as_slice(), &[0.0, 1.0]);
+        assert_eq!(t.grad(b).unwrap().as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn concat_cols_all_chains() {
+        let mut t = Tape::new();
+        let a = t.leaf(mat(&[&[1.0]]));
+        let b = t.leaf(mat(&[&[2.0]]));
+        let c = t.leaf(mat(&[&[3.0]]));
+        let y = t.concat_cols_all(&[a, b, c]);
+        assert_eq!(t.value(y).as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_rows_rejects_bad_index() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(2, 1));
+        let _ = t.gather_rows(x, &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn group_max_rejects_ragged_groups() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(3, 1));
+        let _ = t.group_max(x, 2);
+    }
+}

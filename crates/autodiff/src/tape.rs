@@ -1,0 +1,603 @@
+//! The [`Tape`]: a linear record of primitive operations and its reverse
+//! (backward) pass.
+
+use colper_tensor::Matrix;
+
+/// A handle to a value recorded on a [`Tape`].
+///
+/// `Var` is a cheap copyable index; all state lives on the tape. A `Var`
+/// must only be used with the tape that created it — using it with another
+/// tape is a logic error that the tape detects by bounds checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// The primitive operations the tape can record.
+///
+/// Each variant stores the operand handles plus whatever forward-pass
+/// context the backward pass needs (e.g. argmax indices for grouped max
+/// pooling, the saved softmax for cross-entropy).
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// A differentiable input (weights, adversarial variables).
+    Leaf,
+    /// A non-differentiable input (coordinates, masks, labels as floats).
+    Constant,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `[N,C] + [1,C]` row broadcast (bias add).
+    AddRow(Var, Var),
+    /// `[N,C] - [1,C]` row broadcast.
+    SubRow(Var, Var),
+    /// `[N,C] * [1,C]` row broadcast.
+    MulRow(Var, Var),
+    /// `[N,C] / [1,C]` row broadcast.
+    DivRow(Var, Var),
+    Scale(Var, f32),
+    // The scalar is only needed in the forward pass, but is kept for
+    // debug output.
+    AddScalar(Var, #[allow(dead_code)] f32),
+    Matmul(Var, Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Tanh(Var),
+    Sigmoid(Var),
+    Exp(Var),
+    Ln(Var),
+    Sqrt(Var),
+    Square(Var),
+    /// Elementwise product with a constant matrix (dropout masks etc.).
+    MulConst(Var, Matrix),
+    Sum(Var),
+    Mean(Var),
+    SumRows(Var),
+    MeanRows(Var),
+    SumCols(Var),
+    /// Row gather: `out[i] = x[idx[i]]`.
+    GatherRows(Var, Vec<usize>),
+    /// Max over consecutive groups of `k` rows; saves per-output-element
+    /// source rows for the backward scatter.
+    GroupMax {
+        x: Var,
+        argmax: Vec<usize>,
+    },
+    /// Mean over consecutive groups of `k` rows.
+    GroupMean(Var, usize),
+    /// Softmax over each consecutive group of `k` rows, per column; saves
+    /// the softmax output.
+    GroupSoftmax {
+        x: Var,
+        k: usize,
+        softmax: Matrix,
+    },
+    /// Inverse-distance-weighted interpolation:
+    /// `out[i] = sum_j w[i*k+j] * x[idx[i*k+j]]`.
+    WeightedGather {
+        x: Var,
+        idx: Vec<usize>,
+        w: Vec<f32>,
+        k: usize,
+    },
+    ConcatCols(Var, Var),
+    SliceCols(Var, usize, usize),
+    /// Fused batch normalization (training mode): saves normalized
+    /// activations and the inverse standard deviation.
+    BatchNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        xhat: Matrix,
+        inv_std: Matrix,
+    },
+    /// Fused softmax + mean cross-entropy; saves the softmax.
+    SoftmaxCrossEntropy {
+        logits: Var,
+        labels: Vec<usize>,
+        softmax: Matrix,
+    },
+    /// The paper's CW-style hinge (Eq. 7 targeted / Eq. 8 non-targeted).
+    /// Saves, for every active (hinge > 0) row, the logit index that
+    /// receives +1 and the one that receives -1.
+    CwHinge {
+        logits: Var,
+        active: Vec<(usize, usize, usize)>, // (row, plus_col, minus_col)
+    },
+    /// The paper's smoothness penalty (Eq. 6) over a fixed neighbor graph,
+    /// differentiable in the color block only.
+    Smoothness {
+        colors: Var,
+        coords: Matrix,
+        neighbors: Vec<usize>,
+        k: usize,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub value: Matrix,
+    pub op: Op,
+    pub requires_grad: bool,
+}
+
+/// A tape recording a computation graph over [`Matrix`] values.
+///
+/// Build values with [`Tape::leaf`] / [`Tape::constant`], combine them with
+/// the op methods (see the `ops_*` modules), call [`Tape::backward`] on a
+/// scalar output, then read gradients with [`Tape::grad`].
+///
+/// Tapes are single-use per forward/backward cycle: re-running a model
+/// means building a fresh tape, which keeps lifetimes trivial and matches
+/// how the attack loop re-evaluates the network every iteration.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty tape with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { nodes: Vec::with_capacity(capacity), grads: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a differentiable leaf (a gradient will be available after
+    /// [`Tape::backward`]).
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Records a constant (no gradient is tracked through it).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Constant, false)
+    }
+
+    /// Records a scalar constant as a `1x1` matrix.
+    pub fn scalar(&mut self, value: f32) -> Var {
+        self.constant(Matrix::filled(1, 1, value))
+    }
+
+    /// The forward value of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` does not belong to this tape.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.node(v).value
+    }
+
+    /// The gradient of the last [`Tape::backward`] output with respect to
+    /// `v`, or `None` when `v` is a constant / received no gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` does not belong to this tape.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        assert!(v.0 < self.nodes.len(), "Var {} does not belong to this tape", v.0);
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    pub(crate) fn node(&self, v: Var) -> &Node {
+        assert!(v.0 < self.nodes.len(), "Var {} does not belong to this tape", v.0);
+        &self.nodes[v.0]
+    }
+
+    pub(crate) fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
+        debug_assert!(value.all_finite() || matches!(op, Op::Leaf | Op::Constant),
+            "non-finite value produced by {op:?}");
+        self.nodes.push(Node { value, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Convenience: whether any of `vars` requires a gradient.
+    pub(crate) fn any_requires_grad(&self, vars: &[Var]) -> bool {
+        vars.iter().any(|&v| self.node(v).requires_grad)
+    }
+
+    /// Runs the reverse pass from the scalar output `out`, accumulating
+    /// gradients for every node that `out` (transitively) depends on.
+    ///
+    /// Calling `backward` again replaces the previous gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not a `1x1` scalar or does not require grad.
+    pub fn backward(&mut self, out: Var) {
+        let n = self.nodes.len();
+        assert_eq!(self.node(out).value.shape(), (1, 1), "backward requires a scalar output");
+        assert!(self.node(out).requires_grad, "backward output does not depend on any leaf");
+        self.grads = vec![None; n];
+        self.grads[out.0] = Some(Matrix::ones(1, 1));
+
+        for i in (0..n).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let Some(gy) = self.grads[i].take() else { continue };
+            self.step_backward(i, &gy);
+            self.grads[i] = Some(gy);
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, g: Matrix) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.grads[v.0] {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step_backward(&mut self, i: usize, gy: &Matrix) {
+        // Clone the op descriptor (cheap except for saved matrices, which
+        // are only cloned when the op actually fires in the backward pass).
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Leaf | Op::Constant => {}
+            Op::Add(a, b) => {
+                self.accumulate(a, gy.clone());
+                self.accumulate(b, gy.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(a, gy.clone());
+                self.accumulate(b, gy.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let ga = gy.mul(&self.nodes[b.0].value).expect("shape");
+                let gb = gy.mul(&self.nodes[a.0].value).expect("shape");
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::AddRow(x, r) => {
+                self.accumulate(x, gy.clone());
+                self.accumulate(r, gy.sum_rows());
+            }
+            Op::SubRow(x, r) => {
+                self.accumulate(x, gy.clone());
+                self.accumulate(r, gy.sum_rows().scale(-1.0));
+            }
+            Op::MulRow(x, r) => {
+                let rv = self.nodes[r.0].value.clone();
+                let xv = self.nodes[x.0].value.clone();
+                let gx = broadcast_mul(gy, &rv);
+                let gr = gy.mul(&xv).expect("shape").sum_rows();
+                self.accumulate(x, gx);
+                self.accumulate(r, gr);
+            }
+            Op::DivRow(x, r) => {
+                let rv = self.nodes[r.0].value.clone();
+                let xv = self.nodes[x.0].value.clone();
+                let inv = rv.map(|v| 1.0 / v);
+                let gx = broadcast_mul(gy, &inv);
+                // d/dr (x/r) = -x / r^2
+                let inv2 = rv.map(|v| -1.0 / (v * v));
+                let gr = broadcast_mul(&gy.mul(&xv).expect("shape"), &inv2).sum_rows();
+                self.accumulate(x, gx);
+                self.accumulate(r, gr);
+            }
+            Op::Scale(x, s) => self.accumulate(x, gy.scale(s)),
+            Op::AddScalar(x, _) => self.accumulate(x, gy.clone()),
+            Op::Matmul(a, b) => {
+                let bv = &self.nodes[b.0].value;
+                let av = &self.nodes[a.0].value;
+                let ga = gy.matmul_nt(bv).expect("shape");
+                let gb = av.matmul_tn(gy).expect("shape");
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Relu(x) => {
+                let g = gy
+                    .mul(&self.nodes[x.0].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 }))
+                    .expect("shape");
+                self.accumulate(x, g);
+            }
+            Op::LeakyRelu(x, alpha) => {
+                let g = gy
+                    .mul(&self.nodes[x.0].value.map(|v| if v > 0.0 { 1.0 } else { alpha }))
+                    .expect("shape");
+                self.accumulate(x, g);
+            }
+            Op::Tanh(x) => {
+                // y = tanh(x); dy/dx = 1 - y^2 (read from the output node).
+                let y = &self.nodes[i].value;
+                let g = gy.mul(&y.map(|t| 1.0 - t * t)).expect("shape");
+                self.accumulate(x, g);
+            }
+            Op::Sigmoid(x) => {
+                let y = &self.nodes[i].value;
+                let g = gy.mul(&y.map(|s| s * (1.0 - s))).expect("shape");
+                self.accumulate(x, g);
+            }
+            Op::Exp(x) => {
+                let y = self.nodes[i].value.clone();
+                self.accumulate(x, gy.mul(&y).expect("shape"));
+            }
+            Op::Ln(x) => {
+                let g = gy.mul(&self.nodes[x.0].value.map(|v| 1.0 / v)).expect("shape");
+                self.accumulate(x, g);
+            }
+            Op::Sqrt(x) => {
+                let y = &self.nodes[i].value;
+                let g = gy.mul(&y.map(|s| 0.5 / s.max(1e-12))).expect("shape");
+                self.accumulate(x, g);
+            }
+            Op::Square(x) => {
+                let g = gy.mul(&self.nodes[x.0].value.scale(2.0)).expect("shape");
+                self.accumulate(x, g);
+            }
+            Op::MulConst(x, m) => {
+                self.accumulate(x, gy.mul(&m).expect("shape"));
+            }
+            Op::Sum(x) => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                self.accumulate(x, Matrix::filled(r, c, gy[(0, 0)]));
+            }
+            Op::Mean(x) => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                let denom = (r * c).max(1) as f32;
+                self.accumulate(x, Matrix::filled(r, c, gy[(0, 0)] / denom));
+            }
+            Op::SumRows(x) => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                let g = Matrix::from_fn(r, c, |_, cc| gy[(0, cc)]);
+                self.accumulate(x, g);
+            }
+            Op::MeanRows(x) => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                let inv = 1.0 / r.max(1) as f32;
+                let g = Matrix::from_fn(r, c, |_, cc| gy[(0, cc)] * inv);
+                self.accumulate(x, g);
+            }
+            Op::SumCols(x) => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                let g = Matrix::from_fn(r, c, |rr, _| gy[(rr, 0)]);
+                self.accumulate(x, g);
+            }
+            Op::GatherRows(x, idx) => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                let mut g = Matrix::zeros(r, c);
+                for (dst, &src) in idx.iter().enumerate() {
+                    let row = gy.row(dst);
+                    for (acc, &v) in g.row_mut(src).iter_mut().zip(row) {
+                        *acc += v;
+                    }
+                }
+                self.accumulate(x, g);
+            }
+            Op::GroupMax { x, argmax } => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                let mut g = Matrix::zeros(r, c);
+                for out_row in 0..gy.rows() {
+                    for col in 0..c {
+                        let src = argmax[out_row * c + col];
+                        g[(src, col)] += gy[(out_row, col)];
+                    }
+                }
+                self.accumulate(x, g);
+            }
+            Op::GroupMean(x, k) => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                let inv = 1.0 / k as f32;
+                let g = Matrix::from_fn(r, c, |rr, cc| gy[(rr / k, cc)] * inv);
+                self.accumulate(x, g);
+            }
+            Op::GroupSoftmax { x, k, softmax } => {
+                // For each group g and column c:
+                // dx = s * (dy - sum_group(dy * s)).
+                let (r, c) = softmax.shape();
+                let groups = r / k;
+                let mut g = Matrix::zeros(r, c);
+                for gi in 0..groups {
+                    for cc in 0..c {
+                        let mut dot = 0.0f32;
+                        for j in 0..k {
+                            let rr = gi * k + j;
+                            dot += gy[(rr, cc)] * softmax[(rr, cc)];
+                        }
+                        for j in 0..k {
+                            let rr = gi * k + j;
+                            g[(rr, cc)] = softmax[(rr, cc)] * (gy[(rr, cc)] - dot);
+                        }
+                    }
+                }
+                self.accumulate(x, g);
+            }
+            Op::WeightedGather { x, idx, w, k } => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                let mut g = Matrix::zeros(r, c);
+                for out_row in 0..gy.rows() {
+                    for j in 0..k {
+                        let flat = out_row * k + j;
+                        let src = idx[flat];
+                        let weight = w[flat];
+                        let row = gy.row(out_row);
+                        for (acc, &v) in g.row_mut(src).iter_mut().zip(row) {
+                            *acc += weight * v;
+                        }
+                    }
+                }
+                self.accumulate(x, g);
+            }
+            Op::ConcatCols(a, b) => {
+                let ca = self.nodes[a.0].value.cols();
+                let cb = self.nodes[b.0].value.cols();
+                let ga = gy.block(0, gy.rows(), 0, ca);
+                let gb = gy.block(0, gy.rows(), ca, ca + cb);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::SliceCols(x, c0, _c1) => {
+                let (r, c) = self.nodes[x.0].value.shape();
+                let mut g = Matrix::zeros(r, c);
+                for rr in 0..gy.rows() {
+                    for cc in 0..gy.cols() {
+                        g[(rr, c0 + cc)] = gy[(rr, cc)];
+                    }
+                }
+                self.accumulate(x, g);
+            }
+            Op::BatchNorm { x, gamma, beta, xhat, inv_std } => {
+                let n = xhat.rows() as f32;
+                let gammav = self.nodes[gamma.0].value.clone();
+                // gbeta = sum_rows(gy); ggamma = sum_rows(gy * xhat)
+                let gbeta = gy.sum_rows();
+                let ggamma = gy.mul(&xhat).expect("shape").sum_rows();
+                // gxhat = gy * gamma (row broadcast)
+                let gxhat = broadcast_mul(gy, &gammav);
+                // gx = inv_std/N * (N*gxhat - sum_rows(gxhat) - xhat * sum_rows(gxhat*xhat))
+                let s1 = gxhat.sum_rows();
+                let s2 = gxhat.mul(&xhat).expect("shape").sum_rows();
+                let mut gx = Matrix::zeros(xhat.rows(), xhat.cols());
+                for rr in 0..xhat.rows() {
+                    for cc in 0..xhat.cols() {
+                        let v = inv_std[(0, cc)] / n
+                            * (n * gxhat[(rr, cc)] - s1[(0, cc)] - xhat[(rr, cc)] * s2[(0, cc)]);
+                        gx[(rr, cc)] = v;
+                    }
+                }
+                self.accumulate(x, gx);
+                self.accumulate(gamma, ggamma);
+                self.accumulate(beta, gbeta);
+            }
+            Op::SoftmaxCrossEntropy { logits, labels, softmax } => {
+                let n = labels.len().max(1) as f32;
+                let scale = gy[(0, 0)] / n;
+                let mut g = softmax.clone();
+                for (r, &y) in labels.iter().enumerate() {
+                    g[(r, y)] -= 1.0;
+                }
+                self.accumulate(logits, g.scale(scale));
+            }
+            Op::CwHinge { logits, active } => {
+                let (r, c) = self.nodes[logits.0].value.shape();
+                let s = gy[(0, 0)];
+                let mut g = Matrix::zeros(r, c);
+                for &(row, plus, minus) in &active {
+                    g[(row, plus)] += s;
+                    g[(row, minus)] -= s;
+                }
+                self.accumulate(logits, g);
+            }
+            Op::Smoothness { colors, coords, neighbors, k } => {
+                let cv = self.nodes[colors.0].value.clone();
+                let n = cv.rows();
+                let cdim = cv.cols();
+                let s = gy[(0, 0)];
+                let mut g = Matrix::zeros(n, cdim);
+                for i_pt in 0..n {
+                    for j in 0..k {
+                        let nb = neighbors[i_pt * k + j];
+                        let mut d2 = 0.0f32;
+                        for d in 0..coords.cols() {
+                            let dd = coords[(i_pt, d)] - coords[(nb, d)];
+                            d2 += dd * dd;
+                        }
+                        for d in 0..cdim {
+                            let dd = cv[(i_pt, d)] - cv[(nb, d)];
+                            d2 += dd * dd;
+                        }
+                        let dist = d2.sqrt().max(1e-8);
+                        for d in 0..cdim {
+                            let dd = (cv[(i_pt, d)] - cv[(nb, d)]) / dist;
+                            g[(i_pt, d)] += s * dd;
+                            g[(nb, d)] -= s * dd;
+                        }
+                    }
+                }
+                self.accumulate(colors, g);
+            }
+        }
+    }
+}
+
+/// Multiplies `[N,C]` by a `[1,C]` row, broadcasting over rows.
+pub(crate) fn broadcast_mul(x: &Matrix, row: &Matrix) -> Matrix {
+    debug_assert_eq!(row.rows(), 1);
+    debug_assert_eq!(x.cols(), row.cols());
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| x[(r, c)] * row[(0, c)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_constant_flags() {
+        let mut t = Tape::new();
+        let l = t.leaf(Matrix::ones(1, 1));
+        let c = t.constant(Matrix::ones(1, 1));
+        assert!(t.node(l).requires_grad);
+        assert!(!t.node(c).requires_grad);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn backward_on_simple_chain() {
+        // loss = sum(3 * x) -> dloss/dx = 3
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[1.0, 2.0]]).unwrap());
+        let y = t.scale(x, 3.0);
+        let loss = t.sum(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn constants_receive_no_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::ones(1, 2));
+        let c = t.constant(Matrix::ones(1, 2));
+        let y = t.add(x, c);
+        let loss = t.sum(y);
+        t.backward(loss);
+        assert!(t.grad(c).is_none());
+        assert!(t.grad(x).is_some());
+    }
+
+    #[test]
+    fn gradient_accumulates_on_reuse() {
+        // loss = sum(x + x) -> dloss/dx = 2
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::ones(1, 2));
+        let y = t.add(x, x);
+        let loss = t.sum(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::ones(2, 2));
+        let y = t.scale(x, 1.0);
+        t.backward(y);
+    }
+
+    #[test]
+    fn second_backward_replaces_gradients() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::ones(1, 1));
+        let y = t.scale(x, 2.0);
+        let loss = t.sum(y);
+        t.backward(loss);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap()[(0, 0)], 2.0);
+    }
+}

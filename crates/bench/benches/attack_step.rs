@@ -1,0 +1,74 @@
+//! Criterion benches for the attack's building blocks: the tanh
+//! reparameterization, the smoothness penalty, the CW hinges, and one
+//! full COLPER iteration.
+
+use colper_attack::{AttackConfig, Colper, TanhReparam};
+use colper_autodiff::Tape;
+use colper_geom::knn_graph;
+use colper_models::{CloudTensors, PointNet2, PointNet2Config};
+use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
+use colper_tensor::Matrix;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const POINTS: usize = 512;
+
+fn tensors() -> CloudTensors {
+    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(POINTS)).generate(2);
+    CloudTensors::from_cloud(&normalize::pointnet_view(&cloud))
+}
+
+fn bench_components(c: &mut Criterion) {
+    let t = tensors();
+    let mut group = c.benchmark_group("attack_components");
+
+    let reparam = TanhReparam::color();
+    group.bench_function("tanh_to_w_512", |b| {
+        b.iter(|| reparam.to_w(black_box(&t.colors)));
+    });
+
+    let nbrs = knn_graph(&t.coords, 10);
+    group.bench_function("smoothness_alpha10_512", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let colors = tape.leaf(t.colors.clone());
+            let s = tape.smoothness(colors, &t.xyz, &nbrs, 10);
+            tape.backward(s);
+            tape.grad(colors).unwrap().sum()
+        });
+    });
+
+    let labels = t.labels.clone();
+    let mask = vec![true; POINTS];
+    group.bench_function("cw_hinge_512x13", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let logits = tape.leaf(Matrix::from_fn(POINTS, 13, |r, c| ((r * 13 + c) % 7) as f32));
+            let l = tape.cw_nontargeted(logits, &labels, &mask);
+            tape.backward(l);
+            tape.grad(logits).unwrap().sum()
+        });
+    });
+    group.finish();
+}
+
+fn bench_full_iteration(c: &mut Criterion) {
+    let t = tensors();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = PointNet2::new(PointNet2Config::small(13), &mut rng);
+    let mut group = c.benchmark_group("attack_iteration");
+    group.sample_size(10);
+    group.bench_function("colper_one_step_pointnet_512", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let attack = Colper::new(AttackConfig::non_targeted(1));
+            let mask = vec![true; t.len()];
+            attack.run(&model, &t, &mask, &mut rng).l2_sq
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components, bench_full_iteration);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for model forward passes and the attack-relevant
+//! backward pass (gradient with respect to the input colors).
+
+use colper_models::{
+    bind_input, CloudTensors, ColorBinding, PointNet2, PointNet2Config, RandLaNet,
+    RandLaNetConfig, ResGcn, ResGcnConfig, SegmentationModel,
+};
+use colper_nn::Forward;
+use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const POINTS: usize = 512;
+
+fn tensors(view: fn(&colper_scene::PointCloud) -> colper_scene::PointCloud) -> CloudTensors {
+    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(POINTS)).generate(1);
+    CloudTensors::from_cloud(&view(&cloud))
+}
+
+fn bench_model<M: SegmentationModel>(c: &mut Criterion, name: &str, model: &M, t: &CloudTensors) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(20);
+    group.bench_function("forward_eval", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut session = Forward::new(model.params(), false);
+            let input = bind_input(&mut session.tape, t, ColorBinding::Constant);
+            let logits = model.forward(&mut session, &input, &mut rng);
+            session.tape.value(logits).sum()
+        });
+    });
+    group.bench_function("forward_backward_color_grad", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut session = Forward::new(model.params(), false);
+            let input = bind_input(&mut session.tape, t, ColorBinding::Leaf);
+            let logits = model.forward(&mut session, &input, &mut rng);
+            let loss = session.tape.softmax_cross_entropy(logits, &t.labels);
+            session.tape.backward(loss);
+            session.tape.grad(input.color).unwrap().sum()
+        });
+    });
+    group.finish();
+}
+
+fn bench_all(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let pn = PointNet2::new(PointNet2Config::small(13), &mut rng);
+    bench_model(c, "pointnet2_512", &pn, &tensors(normalize::pointnet_view));
+    let rg = ResGcn::new(ResGcnConfig::small(13), &mut rng);
+    bench_model(c, "resgcn_512", &rg, &tensors(normalize::resgcn_view));
+    let rl = RandLaNet::new(RandLaNetConfig::small(13), &mut rng);
+    bench_model(c, "randla_512", &rl, &tensors(|cl| {
+        let mut rng = StdRng::seed_from_u64(9);
+        normalize::randla_view(cl, cl.len(), &mut rng)
+    }));
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the geometry substrate hot paths: kd-tree
+//! construction, k-NN queries, graph building, farthest point sampling
+//! and ball queries.
+
+use colper_geom::{ball_query, dilated_knn, farthest_point_sampling, knn_graph, KdTree, Point3};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree");
+    for n in [512usize, 2048] {
+        let pts = random_points(n, 1);
+        group.bench_with_input(BenchmarkId::new("build", n), &pts, |b, pts| {
+            b.iter(|| KdTree::build(black_box(pts)));
+        });
+        let tree = KdTree::build(&pts);
+        group.bench_with_input(BenchmarkId::new("knn16", n), &tree, |b, tree| {
+            b.iter(|| tree.knn(black_box(Point3::new(0.1, 0.2, 0.3)), 16));
+        });
+    }
+    group.finish();
+}
+
+fn bench_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs");
+    for n in [512usize, 2048] {
+        let pts = random_points(n, 2);
+        group.bench_with_input(BenchmarkId::new("knn_graph_k16", n), &pts, |b, pts| {
+            b.iter(|| knn_graph(black_box(pts), 16));
+        });
+        group.bench_with_input(BenchmarkId::new("dilated_knn_k16_d4", n), &pts, |b, pts| {
+            b.iter(|| dilated_knn(black_box(pts), 16, 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    for n in [512usize, 2048] {
+        let pts = random_points(n, 3);
+        group.bench_with_input(BenchmarkId::new("fps_quarter", n), &pts, |b, pts| {
+            b.iter(|| farthest_point_sampling(black_box(pts), pts.len() / 4, 0));
+        });
+        let centroids: Vec<Point3> = pts.iter().step_by(4).copied().collect();
+        group.bench_with_input(BenchmarkId::new("ball_query_r0.5_k16", n), &pts, |b, pts| {
+            b.iter(|| ball_query(black_box(pts), &centroids, 0.5, 16));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kdtree, bench_graphs, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Ablations over the attack's design choices (DESIGN.md calls these
+//! out): the smoothness penalty weight λ2, the plateau-noise restarts,
+//! the smoothness neighborhood size α, and the tanh reparameterization
+//! (vs. a plain projected/clamped gradient descent).
+
+use crate::{acc_miou, parallel_map, ModelZoo};
+use colper_attack::{AttackConfig, Colper};
+use colper_models::{CloudTensors, ModelInput, SegmentationModel};
+use colper_nn::{AdamState, Forward};
+use colper_scene::normalize;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One ablation variant's mean results.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant description.
+    pub variant: String,
+    /// Mean post-attack accuracy (lower = stronger attack).
+    pub adv_acc: f32,
+    /// Mean post-attack aIoU.
+    pub adv_miou: f32,
+    /// Mean perturbation L2.
+    pub l2: f32,
+    /// Mean smoothness penalty value of the final sample.
+    pub steps: f32,
+}
+
+/// The ablation study results.
+#[derive(Debug, Clone)]
+pub struct AblationsReport {
+    /// Mean clean accuracy of the evaluation samples.
+    pub clean_acc: f32,
+    /// One row per variant.
+    pub rows: Vec<AblationRow>,
+}
+
+fn run_variant(
+    zoo: &ModelZoo,
+    samples: &[CloudTensors],
+    label: &str,
+    config: AttackConfig,
+) -> AblationRow {
+    let classes = zoo.pointnet.num_classes();
+    let outcomes = parallel_map(samples, |i, t| {
+        let mut rng = StdRng::seed_from_u64(71_000 + i as u64);
+        let attack = Colper::new(config.clone());
+        let mask = vec![true; t.len()];
+        let result = attack.run(&zoo.pointnet, t, &mask, &mut rng);
+        let (acc, miou) = acc_miou(&result.predictions, &t.labels, classes);
+        (acc, miou, result.l2(), result.steps_run as f32)
+    });
+    let n = outcomes.len().max(1) as f32;
+    AblationRow {
+        variant: label.to_string(),
+        adv_acc: outcomes.iter().map(|o| o.0).sum::<f32>() / n,
+        adv_miou: outcomes.iter().map(|o| o.1).sum::<f32>() / n,
+        l2: outcomes.iter().map(|o| o.2).sum::<f32>() / n,
+        steps: outcomes.iter().map(|o| o.3).sum::<f32>() / n,
+    }
+}
+
+/// A projected-gradient variant without the tanh change of variables:
+/// optimizes colors directly with Adam and clamps to `[0, 1]` after
+/// every step. Used to quantify what Eq. 5 buys.
+fn clamped_gradient_attack(
+    zoo: &ModelZoo,
+    samples: &[CloudTensors],
+    steps: usize,
+) -> AblationRow {
+    let model = &zoo.pointnet;
+    let classes = model.num_classes();
+    let outcomes = parallel_map(samples, |i, t| {
+        let mut rng = StdRng::seed_from_u64(72_000 + i as u64);
+        let n = t.len();
+        let orig = t.colors.clone();
+        let mut colors = orig.clone();
+        let mut adam = AdamState::new(n, 3);
+        let mask = vec![true; n];
+        let mut best_acc = f32::INFINITY;
+        let mut best_preds = Vec::new();
+        let mut best_colors = orig.clone();
+        for _ in 0..steps {
+            let mut session = Forward::new(model.params(), false);
+            let color_var = session.tape.leaf(colors.clone());
+            let xyz = session.tape.constant(t.xyz.clone());
+            let loc = session.tape.constant(t.loc01.clone());
+            let input = ModelInput { coords: &t.coords, xyz, color: color_var, loc };
+            let logits = model.forward(&mut session, &input, &mut rng);
+            let orig_var = session.tape.constant(orig.clone());
+            let diff = session.tape.sub(color_var, orig_var);
+            let sq = session.tape.square(diff);
+            let dist = session.tape.sum(sq);
+            let adv = session.tape.cw_nontargeted(logits, &t.labels, &mask);
+            let gain = session.tape.add(dist, adv);
+            session.tape.backward(gain);
+            let preds = session.tape.value(logits).argmax_rows();
+            let (acc, _) = acc_miou(&preds, &t.labels, classes);
+            if acc < best_acc {
+                best_acc = acc;
+                best_preds = preds;
+                best_colors = colors.clone();
+            }
+            let grad = session.tape.grad(color_var).expect("color grad").clone();
+            drop(session);
+            adam.update(&mut colors, &grad, 0.01);
+            colors = colors.clamp(0.0, 1.0);
+        }
+        let (acc, miou) = acc_miou(&best_preds, &t.labels, classes);
+        let l2 = best_colors.sub(&orig).expect("shape").frobenius_sq().sqrt();
+        (acc, miou, l2, steps as f32)
+    });
+    let n = outcomes.len().max(1) as f32;
+    AblationRow {
+        variant: "clamped gradient (no tanh reparam)".into(),
+        adv_acc: outcomes.iter().map(|o| o.0).sum::<f32>() / n,
+        adv_miou: outcomes.iter().map(|o| o.1).sum::<f32>() / n,
+        l2: outcomes.iter().map(|o| o.2).sum::<f32>() / n,
+        steps: outcomes.iter().map(|o| o.3).sum::<f32>() / n,
+    }
+}
+
+/// Runs the ablation study on PointNet++.
+pub fn run(zoo: &ModelZoo) -> AblationsReport {
+    let steps = zoo.config.attack_steps;
+    let n = zoo.config.eval_samples.min(4).max(2);
+    let pn = zoo.prepared_indoor(normalize::pointnet_view);
+    let samples = &pn.eval[..n.min(pn.eval.len())];
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let clean_acc = samples
+        .iter()
+        .map(|t| {
+            let preds = colper_models::predict(&zoo.pointnet, t, &mut rng);
+            acc_miou(&preds, &t.labels, 13).0
+        })
+        .sum::<f32>()
+        / samples.len() as f32;
+
+    let base = AttackConfig::non_targeted(steps);
+    let mut rows = Vec::new();
+    rows.push(run_variant(zoo, samples, "full COLPER (λ2=1, α=10, restarts)", base.clone()));
+    rows.push(run_variant(zoo, samples, "no smoothness (λ2=0)", AttackConfig { lambda2: 0.0, ..base.clone() }));
+    rows.push(run_variant(zoo, samples, "no plateau restarts (noise=0)", AttackConfig { noise_scale: 0.0, ..base.clone() }));
+    rows.push(run_variant(zoo, samples, "small neighborhood (α=5)", AttackConfig { alpha: 5, ..base.clone() }));
+    rows.push(run_variant(zoo, samples, "large neighborhood (α=20)", AttackConfig { alpha: 20, ..base.clone() }));
+    rows.push(run_variant(zoo, samples, "stronger distance weight (λ1=0.5)", AttackConfig { lambda1: 0.5, ..base }));
+    rows.push(clamped_gradient_attack(zoo, samples, steps));
+
+    AblationsReport { clean_acc, rows }
+}
+
+impl fmt::Display for AblationsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Ablations (PointNet++, clean acc {:.2}%) ==", self.clean_acc * 100.0)?;
+        writeln!(
+            f,
+            "{:<40} {:>9} {:>9} {:>8} {:>7}",
+            "variant", "adv acc", "adv aIoU", "L2", "steps"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<40} {:>8.2}% {:>8.2}% {:>8.2} {:>7.0}",
+                r.variant,
+                r.adv_acc * 100.0,
+                r.adv_miou * 100.0,
+                r.l2,
+                r.steps
+            )?;
+        }
+        Ok(())
+    }
+}

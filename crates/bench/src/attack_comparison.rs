@@ -1,0 +1,141 @@
+//! COLPER vs. the classic gradient attacks it generalizes (FGSM, iFGSM,
+//! PGD, the methods the paper's related-work section cites) — all
+//! restricted to the color channels, on the same victims and samples.
+
+use crate::{acc_miou, parallel_map, ModelZoo};
+use colper_attack::{AttackConfig, ClassicAttack, ClassicKind, Colper};
+use colper_models::CloudTensors;
+use colper_scene::normalize;
+use colper_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One attack's aggregate row.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Attack label.
+    pub attack: String,
+    /// Mean post-attack accuracy.
+    pub accuracy: f32,
+    /// Mean post-attack aIoU.
+    pub miou: f32,
+    /// Mean perturbation L2.
+    pub l2: f32,
+    /// Mean perturbation L∞.
+    pub linf: f32,
+    /// Forward/backward passes per sample.
+    pub passes: usize,
+}
+
+/// The attack-comparison results.
+#[derive(Debug, Clone)]
+pub struct ComparisonReport {
+    /// Mean clean accuracy of the samples.
+    pub clean_acc: f32,
+    /// One row per attack.
+    pub rows: Vec<ComparisonRow>,
+    /// Samples per row.
+    pub samples: usize,
+}
+
+fn linf(a: &Matrix, b: &Matrix) -> f32 {
+    a.max_abs_diff(b)
+}
+
+/// Runs the comparison on PointNet++.
+pub fn run(zoo: &ModelZoo) -> ComparisonReport {
+    let model = &zoo.pointnet;
+    let steps = zoo.config.attack_steps;
+    let n = zoo.config.eval_samples.min(5).max(3);
+    let pn = zoo.prepared_indoor(normalize::pointnet_view);
+    let samples: Vec<CloudTensors> = pn.eval[..n.min(pn.eval.len())].to_vec();
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let clean_acc = samples
+        .iter()
+        .map(|t| {
+            let preds = colper_models::predict(model, t, &mut rng);
+            acc_miou(&preds, &t.labels, 13).0
+        })
+        .sum::<f32>()
+        / samples.len() as f32;
+
+    let classic: Vec<(ClassicKind, f32, usize)> = vec![
+        (ClassicKind::Fgsm, 0.10, 2),
+        (ClassicKind::Ifgsm { steps: steps / 4 }, 0.10, steps / 4 + 1),
+        (ClassicKind::Pgd { steps: steps / 2, alpha: 0.02 }, 0.10, steps / 2 + 1),
+        (ClassicKind::Pgd { steps: steps / 2, alpha: 0.03 }, 0.15, steps / 2 + 1),
+    ];
+
+    let mut rows = Vec::new();
+    // COLPER reference row.
+    let colper_outcomes = parallel_map(&samples, |i, t| {
+        let mut rng = StdRng::seed_from_u64(97_000 + i as u64);
+        let attack = Colper::new(AttackConfig::non_targeted(steps));
+        let mask = vec![true; t.len()];
+        let result = attack.run(model, t, &mask, &mut rng);
+        let (acc, miou) = acc_miou(&result.predictions, &t.labels, 13);
+        (acc, miou, result.l2(), linf(&result.adversarial_colors, &t.colors), result.steps_run)
+    });
+    let len = colper_outcomes.len() as f32;
+    rows.push(ComparisonRow {
+        attack: format!("COLPER({steps})"),
+        accuracy: colper_outcomes.iter().map(|o| o.0).sum::<f32>() / len,
+        miou: colper_outcomes.iter().map(|o| o.1).sum::<f32>() / len,
+        l2: colper_outcomes.iter().map(|o| o.2).sum::<f32>() / len,
+        linf: colper_outcomes.iter().map(|o| o.3).sum::<f32>() / len,
+        passes: (colper_outcomes.iter().map(|o| o.4).sum::<usize>() as f32 / len) as usize,
+    });
+
+    for (kind, eps, passes) in classic {
+        let outcomes = parallel_map(&samples, |i, t| {
+            let mut rng = StdRng::seed_from_u64(98_000 + i as u64);
+            let attack = ClassicAttack::new(kind, eps);
+            let mask = vec![true; t.len()];
+            let result = attack.run(model, t, &mask, &mut rng);
+            let (acc, miou) = acc_miou(&result.predictions, &t.labels, 13);
+            (acc, miou, result.l2(), linf(&result.adversarial_colors, &t.colors))
+        });
+        let len = outcomes.len() as f32;
+        rows.push(ComparisonRow {
+            attack: format!("{} ε={eps}", kind.label()),
+            accuracy: outcomes.iter().map(|o| o.0).sum::<f32>() / len,
+            miou: outcomes.iter().map(|o| o.1).sum::<f32>() / len,
+            l2: outcomes.iter().map(|o| o.2).sum::<f32>() / len,
+            linf: outcomes.iter().map(|o| o.3).sum::<f32>() / len,
+            passes,
+        });
+    }
+
+    ComparisonReport { clean_acc, rows, samples: samples.len() }
+}
+
+impl fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Attack comparison on PointNet++ ({} samples, clean acc {:.2}%) ==",
+            self.samples,
+            self.clean_acc * 100.0
+        )?;
+        writeln!(
+            f,
+            "{:<22} {:>9} {:>9} {:>7} {:>7} {:>7}",
+            "attack", "acc", "aIoU", "L2", "L-inf", "passes"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<22} {:>8.2}% {:>8.2}% {:>7.2} {:>7.3} {:>7}",
+                r.attack,
+                r.accuracy * 100.0,
+                r.miou * 100.0,
+                r.l2,
+                r.linf,
+                r.passes
+            )?;
+        }
+        Ok(())
+    }
+}

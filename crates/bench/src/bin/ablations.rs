@@ -1,0 +1,9 @@
+//! Regenerates the paper's ablations artefact. See `colper_bench::ablations`.
+
+fn main() {
+    let config = colper_bench::BenchConfig::from_env();
+    eprintln!("building model zoo ({:?} scale)...", config.points);
+    let zoo = colper_bench::ModelZoo::load_or_train(&config);
+    let report = colper_bench::ablations::run(&zoo);
+    colper_bench::write_report("ablations", &report.to_string());
+}

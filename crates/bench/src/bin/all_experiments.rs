@@ -1,0 +1,19 @@
+//! Runs every table and figure experiment in sequence.
+
+fn main() {
+    let config = colper_bench::BenchConfig::from_env();
+    eprintln!("building model zoo...");
+    let zoo = colper_bench::ModelZoo::load_or_train(&config);
+    colper_bench::write_report("table1", &colper_bench::table1::run(&zoo).to_string());
+    colper_bench::write_report("table2_6", &colper_bench::table2_6::run(&zoo).to_string());
+    colper_bench::write_report("table3", &colper_bench::table3::run(&zoo).to_string());
+    colper_bench::write_report("table4", &colper_bench::table4::run(&zoo).to_string());
+    colper_bench::write_report("table7", &colper_bench::table7::run(&zoo).to_string());
+    colper_bench::write_report("table8", &colper_bench::table8::run(&zoo).to_string());
+    colper_bench::write_report("figures", &colper_bench::figures::run(&zoo).to_string());
+    colper_bench::write_report("ablations", &colper_bench::ablations::run(&zoo).to_string());
+    colper_bench::write_report("multiclass", &colper_bench::multiclass::run(&zoo).to_string());
+    colper_bench::write_report("defenses", &colper_bench::defenses::run(&zoo).to_string());
+    colper_bench::write_report("physical", &colper_bench::physical::run(&zoo).to_string());
+    colper_bench::write_report("attack_comparison", &colper_bench::attack_comparison::run(&zoo).to_string());
+}

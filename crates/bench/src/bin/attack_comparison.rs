@@ -1,0 +1,10 @@
+//! Regenerates the COLPER-vs-classic-attacks comparison. See
+//! `colper_bench::attack_comparison`.
+
+fn main() {
+    let config = colper_bench::BenchConfig::from_env();
+    eprintln!("building model zoo...");
+    let zoo = colper_bench::ModelZoo::load_or_train(&config);
+    let report = colper_bench::attack_comparison::run(&zoo);
+    colper_bench::write_report("attack_comparison", &report.to_string());
+}

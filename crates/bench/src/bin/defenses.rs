@@ -1,0 +1,9 @@
+//! Regenerates the defenses experiment. See `colper_bench::defenses`.
+
+fn main() {
+    let config = colper_bench::BenchConfig::from_env();
+    eprintln!("building model zoo...");
+    let zoo = colper_bench::ModelZoo::load_or_train(&config);
+    let report = colper_bench::defenses::run(&zoo);
+    colper_bench::write_report("defenses", &report.to_string());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the multiclass experiment. See `colper_bench::multiclass`.
+
+fn main() {
+    let config = colper_bench::BenchConfig::from_env();
+    eprintln!("building model zoo...");
+    let zoo = colper_bench::ModelZoo::load_or_train(&config);
+    let report = colper_bench::multiclass::run(&zoo);
+    colper_bench::write_report("multiclass", &report.to_string());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the physical-realizability experiment. See
+//! `colper_bench::physical`.
+
+fn main() {
+    let config = colper_bench::BenchConfig::from_env();
+    eprintln!("building model zoo...");
+    let zoo = colper_bench::ModelZoo::load_or_train(&config);
+    let report = colper_bench::physical::run(&zoo);
+    colper_bench::write_report("physical", &report.to_string());
+}

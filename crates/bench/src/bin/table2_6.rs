@@ -1,0 +1,9 @@
+//! Regenerates the paper's Tables 2 and 6. See `colper_bench::table2_6`.
+
+fn main() {
+    let config = colper_bench::BenchConfig::from_env();
+    eprintln!("building model zoo ({:?} scale)...", config.points);
+    let zoo = colper_bench::ModelZoo::load_or_train(&config);
+    let report = colper_bench::table2_6::run(&zoo);
+    colper_bench::write_report("table2_6", &report.to_string());
+}

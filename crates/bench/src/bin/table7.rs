@@ -1,0 +1,9 @@
+//! Regenerates the paper's table7 artefact. See `colper_bench::table7`.
+
+fn main() {
+    let config = colper_bench::BenchConfig::from_env();
+    eprintln!("building model zoo ({:?} scale)...", config.points);
+    let zoo = colper_bench::ModelZoo::load_or_train(&config);
+    let report = colper_bench::table7::run(&zoo);
+    colper_bench::write_report("table7", &report.to_string());
+}

@@ -1,0 +1,10 @@
+//! Prints the clean evaluation of every victim model (the paper's
+//! "Target Models" numbers). See `colper_bench::zoo_report`.
+
+fn main() {
+    let config = colper_bench::BenchConfig::from_env();
+    eprintln!("building model zoo...");
+    let zoo = colper_bench::ModelZoo::load_or_train(&config);
+    let report = colper_bench::zoo_report::run(&zoo);
+    colper_bench::write_report("zoo_report", &report.to_string());
+}

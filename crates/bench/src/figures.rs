@@ -1,0 +1,146 @@
+//! **Figures 3–5**: per-sample distributions of the perturbation L2 and
+//! of accuracy/aIoU before and after the attack, for PointNet++ and
+//! ResGCN; plus the textual stand-in for the visual examples (Figures
+//! 1/2/9: per-class prediction counts before and after attacking the
+//! Office 33 fixture).
+
+use crate::table1::{attack_samples, SampleOutcome};
+use crate::ModelZoo;
+use colper_attack::{AttackConfig, Colper};
+use colper_metrics::{ClassReport, ConfusionMatrix, Histogram};
+use colper_scene::{normalize, IndoorClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Distribution data for one model.
+#[derive(Debug, Clone)]
+pub struct ModelDistributions {
+    /// Victim name.
+    pub model: String,
+    /// Per-sample outcomes the distributions are built from.
+    pub samples: Vec<SampleOutcome>,
+}
+
+/// All figure artefacts.
+#[derive(Debug, Clone)]
+pub struct FiguresReport {
+    /// Figure 3/4 subject (PointNet++).
+    pub pointnet: ModelDistributions,
+    /// Figure 5 subject (ResGCN).
+    pub resgcn: ModelDistributions,
+    /// Per-class clean/adversarial prediction counts on the Office 33
+    /// fixture (textual Figure 1/2/9).
+    pub office33_class_counts: Vec<(IndoorClass, usize, usize, usize)>,
+    /// Attacked-point accuracy per iteration on the Office 33 fixture
+    /// (the attack's convergence curve).
+    pub convergence: Vec<f32>,
+    /// Per-class report before the attack.
+    pub clean_report: ClassReport,
+    /// Per-class report after the attack.
+    pub adv_report: ClassReport,
+}
+
+/// Runs the figure experiments.
+pub fn run(zoo: &ModelZoo) -> FiguresReport {
+    let steps = zoo.config.attack_steps;
+    let n = zoo.config.eval_samples;
+
+    let pn = zoo.prepared_indoor(normalize::pointnet_view);
+    let pn_samples = attack_samples(&zoo.pointnet, &pn.eval[..n.min(pn.eval.len())], steps);
+    let rg = zoo.prepared_indoor(normalize::resgcn_view);
+    let rg_samples = attack_samples(&zoo.resgcn, &rg.eval[..n.min(rg.eval.len())], steps);
+
+    // Office 33 scene dump.
+    let office = colper_models::CloudTensors::from_cloud(&normalize::pointnet_view(
+        &zoo.indoor.office33(),
+    ));
+    let mut rng = StdRng::seed_from_u64(777);
+    let clean_preds = colper_models::predict(&zoo.pointnet, &office, &mut rng);
+    let mut attack_cfg = AttackConfig::non_targeted(steps);
+    attack_cfg.record_trajectory = true;
+    attack_cfg.convergence_threshold = Some(0.0); // full trajectory
+    let attack = Colper::new(attack_cfg);
+    let mask = vec![true; office.len()];
+    let result = attack.run(&zoo.pointnet, &office, &mask, &mut rng);
+    let office33_class_counts = IndoorClass::ALL
+        .iter()
+        .map(|&class| {
+            let truth = office.labels.iter().filter(|&&l| l == class.label()).count();
+            let clean = clean_preds.iter().filter(|&&p| p == class.label()).count();
+            let adv = result.predictions.iter().filter(|&&p| p == class.label()).count();
+            (class, truth, clean, adv)
+        })
+        .collect();
+
+    let class_names: Vec<&str> = IndoorClass::ALL.iter().map(|c| c.name()).collect();
+    let mut clean_cm = ConfusionMatrix::new(13);
+    clean_cm.update(&clean_preds, &office.labels);
+    let mut adv_cm = ConfusionMatrix::new(13);
+    adv_cm.update(&result.predictions, &office.labels);
+
+    FiguresReport {
+        pointnet: ModelDistributions { model: "pointnet++".into(), samples: pn_samples },
+        resgcn: ModelDistributions { model: "resgcn".into(), samples: rg_samples },
+        office33_class_counts,
+        convergence: result.metric_history,
+        clean_report: ClassReport::from_confusion(&clean_cm, Some(&class_names)),
+        adv_report: ClassReport::from_confusion(&adv_cm, Some(&class_names)),
+    }
+}
+
+fn render_distributions(out: &mut String, d: &ModelDistributions) {
+    let l2s: Vec<f32> = d.samples.iter().map(|s| s.l2).collect();
+    let max_l2 = l2s.iter().copied().fold(1.0f32, f32::max);
+    let mut l2_hist = Histogram::new(0.0, max_l2 * 1.05, 8);
+    l2_hist.add_all(&l2s);
+
+    let mut acc_clean = Histogram::new(0.0, 1.0, 10);
+    acc_clean.add_all(&d.samples.iter().map(|s| s.clean_acc).collect::<Vec<_>>());
+    let mut acc_adv = Histogram::new(0.0, 1.0, 10);
+    acc_adv.add_all(&d.samples.iter().map(|s| s.adv_acc).collect::<Vec<_>>());
+    let mut iou_clean = Histogram::new(0.0, 1.0, 10);
+    iou_clean.add_all(&d.samples.iter().map(|s| s.clean_miou).collect::<Vec<_>>());
+    let mut iou_adv = Histogram::new(0.0, 1.0, 10);
+    iou_adv.add_all(&d.samples.iter().map(|s| s.adv_miou).collect::<Vec<_>>());
+
+    let _ = writeln!(out, "--- {}: L2 distance distribution (Figure 3) ---", d.model);
+    let _ = writeln!(out, "{l2_hist}");
+    let _ = writeln!(out, "--- {}: accuracy distribution, clean (Figures 4/5) ---", d.model);
+    let _ = writeln!(out, "{acc_clean}");
+    let _ = writeln!(out, "--- {}: accuracy distribution, adversarial ---", d.model);
+    let _ = writeln!(out, "{acc_adv}");
+    let _ = writeln!(out, "--- {}: aIoU distribution, clean ---", d.model);
+    let _ = writeln!(out, "{iou_clean}");
+    let _ = writeln!(out, "--- {}: aIoU distribution, adversarial ---", d.model);
+    let _ = writeln!(out, "{iou_adv}");
+}
+
+impl fmt::Display for FiguresReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Figures 3-5: per-sample distributions ==\n");
+        render_distributions(&mut out, &self.pointnet);
+        render_distributions(&mut out, &self.resgcn);
+        let _ = writeln!(
+            out,
+            "== Figures 1/2/9 (textual): Office 33 per-class prediction counts =="
+        );
+        let _ = writeln!(out, "{:<12} {:>8} {:>12} {:>12}", "class", "truth", "clean pred", "adv pred");
+        for (class, truth, clean, adv) in &self.office33_class_counts {
+            let _ = writeln!(out, "{:<12} {:>8} {:>12} {:>12}", class.name(), truth, clean, adv);
+        }
+        let _ = writeln!(out, "\n== Convergence: attacked-point accuracy per iteration (Office 33) ==");
+        let stride = (self.convergence.len() / 20).max(1);
+        for (i, acc) in self.convergence.iter().enumerate().step_by(stride) {
+            let bar: String = std::iter::repeat('#').take((acc * 50.0) as usize).collect();
+            let _ = writeln!(out, "iter {i:>4} | {bar:<50} | {:.1}%", acc * 100.0);
+        }
+        let _ = writeln!(out, "\n== Per-class report, clean (Office 33) ==");
+        let _ = writeln!(out, "{}", self.clean_report);
+        let _ = writeln!(out, "== Per-class report, adversarial (Office 33) ==");
+        let _ = writeln!(out, "{}", self.adv_report);
+        f.write_str(&out)
+    }
+}

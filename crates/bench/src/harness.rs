@@ -1,0 +1,408 @@
+//! Shared harness: scaling knobs, the trained-model zoo with on-disk
+//! caching, prepared dataset views, and a small parallel map.
+
+use colper_models::{
+    train_model, CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn,
+    SegmentationModel, TrainConfig,
+};
+use colper_models::ResGcnConfig;
+use colper_nn::{load_params, save_params};
+use colper_scene::{
+    normalize, IndoorSceneConfig, OutdoorSceneConfig, S3disLikeDataset, Semantic3dLikeDataset,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Scaling knobs for every experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    /// Points per cloud.
+    pub points: usize,
+    /// Training rooms per indoor area.
+    pub train_rooms_per_area: usize,
+    /// Training epoch cap.
+    pub train_epochs: usize,
+    /// COLPER iteration budget (the paper runs 1000).
+    pub attack_steps: usize,
+    /// Samples per model for the non-targeted tables.
+    pub eval_samples: usize,
+    /// Samples per (model, class) cell for the targeted tables.
+    pub targeted_samples: usize,
+    /// Whether weight caching in `artifacts/` is enabled.
+    pub cache: bool,
+}
+
+impl BenchConfig {
+    /// The default (CPU-minutes) scale.
+    pub fn standard() -> Self {
+        Self {
+            points: 512,
+            train_rooms_per_area: 6,
+            train_epochs: 14,
+            attack_steps: 120,
+            eval_samples: 8,
+            targeted_samples: 4,
+            cache: true,
+        }
+    }
+
+    /// A smoke-test scale (seconds).
+    pub fn quick() -> Self {
+        Self {
+            points: 256,
+            train_rooms_per_area: 3,
+            train_epochs: 8,
+            attack_steps: 40,
+            eval_samples: 3,
+            targeted_samples: 2,
+            cache: true,
+        }
+    }
+
+    /// A closer-to-paper scale (CPU-hours).
+    pub fn full() -> Self {
+        Self {
+            points: 1024,
+            train_rooms_per_area: 10,
+            train_epochs: 20,
+            attack_steps: 400,
+            eval_samples: 20,
+            targeted_samples: 10,
+            cache: true,
+        }
+    }
+
+    /// Reads the scale from `COLPER_FULL` / `COLPER_QUICK`.
+    pub fn from_env() -> Self {
+        if std::env::var_os("COLPER_FULL").is_some() {
+            Self::full()
+        } else if std::env::var_os("COLPER_QUICK").is_some() {
+            Self::quick()
+        } else {
+            Self::standard()
+        }
+    }
+
+    fn cache_tag(&self) -> String {
+        format!("p{}r{}e{}", self.points, self.train_rooms_per_area, self.train_epochs)
+    }
+}
+
+/// An indoor dataset prepared in one model's normalized view.
+#[derive(Debug)]
+pub struct PreparedIndoor {
+    /// The underlying dataset.
+    pub dataset: S3disLikeDataset,
+    /// Evaluation (Area 5) clouds in the model view.
+    pub eval: Vec<CloudTensors>,
+    /// "Office 33" fixture blocks in the model view.
+    pub office33: Vec<CloudTensors>,
+}
+
+/// An outdoor dataset prepared in RandLA-Net's view.
+#[derive(Debug)]
+pub struct PreparedOutdoor {
+    /// The underlying dataset.
+    pub dataset: Semantic3dLikeDataset,
+    /// Evaluation clouds in the model view.
+    pub eval: Vec<CloudTensors>,
+}
+
+/// The trained victim models, with on-disk weight caching under
+/// `artifacts/`.
+pub struct ModelZoo {
+    /// Harness configuration used to build the zoo.
+    pub config: BenchConfig,
+    /// PointNet++ trained on the indoor data (PointNet++ view).
+    pub pointnet: PointNet2,
+    /// A second PointNet++ trained with different initialization — the
+    /// "self-trained" transfer victim of Table 8.
+    pub pointnet_alt: PointNet2,
+    /// ResGCN trained on the indoor data (ResGCN view).
+    pub resgcn: ResGcn,
+    /// RandLA-Net trained on the indoor data (RandLA view).
+    pub randla_indoor: RandLaNet,
+    /// RandLA-Net trained on the outdoor data.
+    pub randla_outdoor: RandLaNet,
+    /// Indoor dataset.
+    pub indoor: S3disLikeDataset,
+    /// Outdoor dataset.
+    pub outdoor: Semantic3dLikeDataset,
+}
+
+impl ModelZoo {
+    /// Builds (or loads from cache) the whole zoo. Prints progress to
+    /// stderr because training can take minutes on first run.
+    pub fn load_or_train(config: &BenchConfig) -> Self {
+        let indoor = S3disLikeDataset::new(
+            IndoorSceneConfig::with_points(config.points),
+            config.train_rooms_per_area,
+        );
+        let outdoor = Semantic3dLikeDataset::new(
+            OutdoorSceneConfig::with_points(config.points),
+            18,
+        );
+
+        let train_cfg = TrainConfig {
+            epochs: config.train_epochs,
+            lr: 0.01,
+            target_accuracy: 0.95,
+        };
+
+        let indoor_train = |view: fn(&colper_scene::PointCloud) -> colper_scene::PointCloud| {
+            indoor
+                .train_rooms()
+                .iter()
+                .map(|c| CloudTensors::from_cloud(&view(c)))
+                .collect::<Vec<_>>()
+        };
+
+        let pointnet = train_cached(
+            config,
+            "pointnet",
+            || PointNet2::new(PointNet2Config::small(13), &mut StdRng::seed_from_u64(11)),
+            |mut m| {
+                let mut rng = StdRng::seed_from_u64(11);
+                let clouds = indoor_train(normalize::pointnet_view);
+                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                eprintln!("  pointnet: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                m
+            },
+        );
+        let pointnet_alt = train_cached(
+            config,
+            "pointnet_alt",
+            || PointNet2::new(PointNet2Config::small(13), &mut StdRng::seed_from_u64(77)),
+            |mut m| {
+                let mut rng = StdRng::seed_from_u64(77);
+                let clouds = indoor_train(normalize::pointnet_view);
+                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                eprintln!("  pointnet_alt: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                m
+            },
+        );
+        let resgcn = train_cached(
+            config,
+            "resgcn",
+            || ResGcn::new(ResGcnConfig::small(13), &mut StdRng::seed_from_u64(22)),
+            |mut m| {
+                let mut rng = StdRng::seed_from_u64(22);
+                let clouds = indoor_train(normalize::resgcn_view);
+                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                eprintln!("  resgcn: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                m
+            },
+        );
+        let randla_indoor = train_cached(
+            config,
+            "randla_indoor",
+            || RandLaNet::new(RandLaNetConfig::small(13), &mut StdRng::seed_from_u64(33)),
+            |mut m| {
+                let mut rng = StdRng::seed_from_u64(33);
+                let clouds: Vec<CloudTensors> = indoor
+                    .train_rooms()
+                    .iter()
+                    .map(|c| CloudTensors::from_cloud(&normalize::randla_view(c, c.len(), &mut rng)))
+                    .collect();
+                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                eprintln!("  randla_indoor: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                m
+            },
+        );
+        let randla_outdoor = train_cached(
+            config,
+            "randla_outdoor",
+            || RandLaNet::new(RandLaNetConfig::small(8), &mut StdRng::seed_from_u64(44)),
+            |mut m| {
+                let mut rng = StdRng::seed_from_u64(44);
+                let clouds: Vec<CloudTensors> = outdoor
+                    .train_scenes()
+                    .iter()
+                    .map(|c| CloudTensors::from_cloud(&normalize::randla_view(c, c.len(), &mut rng)))
+                    .collect();
+                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                eprintln!("  randla_outdoor: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                m
+            },
+        );
+
+        Self {
+            config: config.clone(),
+            pointnet,
+            pointnet_alt,
+            resgcn,
+            randla_indoor,
+            randla_outdoor,
+            indoor,
+            outdoor,
+        }
+    }
+
+    /// Area-5 evaluation clouds plus office blocks in one model view.
+    pub fn prepared_indoor(
+        &self,
+        view: fn(&colper_scene::PointCloud) -> colper_scene::PointCloud,
+    ) -> PreparedIndoor {
+        let eval = self
+            .indoor
+            .eval_rooms()
+            .iter()
+            .map(|c| CloudTensors::from_cloud(&view(c)))
+            .collect();
+        let office33 = self
+            .indoor
+            .office33_blocks(self.config.targeted_samples.max(2))
+            .iter()
+            .map(|c| CloudTensors::from_cloud(&view(c)))
+            .collect();
+        PreparedIndoor { dataset: self.indoor.clone(), eval, office33 }
+    }
+
+    /// Outdoor evaluation clouds in RandLA-Net's view.
+    pub fn prepared_outdoor(&self) -> PreparedOutdoor {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let eval = self
+            .outdoor
+            .eval_scenes()
+            .iter()
+            .map(|c| CloudTensors::from_cloud(&normalize::randla_view(c, c.len(), &mut rng)))
+            .collect();
+        PreparedOutdoor { dataset: self.outdoor.clone(), eval }
+    }
+}
+
+fn artifacts_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../artifacts")
+}
+
+/// Loads cached weights into a freshly built architecture, or trains and
+/// caches. `build` must construct the same architecture the cache was
+/// written for; a layout mismatch falls back to training.
+fn train_cached<M: SegmentationModel>(
+    config: &BenchConfig,
+    name: &str,
+    build: impl FnOnce() -> M,
+    train: impl FnOnce(M) -> M,
+) -> M {
+    let path = artifacts_dir().join(format!("{name}-{}.clpr", config.cache_tag()));
+    let mut model = build();
+    if config.cache {
+        if let Ok(file) = File::open(&path) {
+            if let Ok(params) = load_params(BufReader::new(file)) {
+                if params.param_count() == model.params().param_count()
+                    && params.buffer_count() == model.params().buffer_count()
+                {
+                    *model.params_mut() = params;
+                    eprintln!("  {name}: loaded cached weights from {}", path.display());
+                    return model;
+                }
+                eprintln!("  {name}: cache layout mismatch, retraining");
+            }
+        }
+    }
+    let started = Instant::now();
+    eprintln!("  {name}: training (no cache hit)...");
+    let model = train(model);
+    eprintln!("  {name}: trained in {:.1}s", started.elapsed().as_secs_f32());
+    if config.cache {
+        let _ = std::fs::create_dir_all(artifacts_dir());
+        if let Ok(file) = File::create(&path) {
+            let _ = save_params(model.params(), BufWriter::new(file));
+        }
+    }
+    model
+}
+
+/// Maps `f` over `items` with one thread per chunk (crossbeam scoped
+/// threads), preserving order.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    crossbeam::thread::scope(|s| {
+        for (ci, (items_chunk, results_chunk)) in items
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            let f = &f;
+            s.spawn(move |_| {
+                for (j, (item, slot)) in items_chunk.iter().zip(results_chunk).enumerate() {
+                    *slot = Some(f(ci * chunk + j, item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Overall accuracy and aIoU of predictions against labels.
+pub fn acc_miou(predictions: &[usize], labels: &[usize], classes: usize) -> (f32, f32) {
+    let mut cm = colper_metrics::ConfusionMatrix::new(classes);
+    cm.update(predictions, labels);
+    (cm.accuracy(), cm.mean_iou())
+}
+
+/// Prints a report and writes it to `results/<name>.txt`.
+pub fn write_report(name: &str, content: &str) {
+    println!("{content}");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.txt"));
+    match File::create(&path) {
+        Ok(mut file) => {
+            let _ = file.write_all(content.as_bytes());
+            eprintln!("(report written to {})", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_scales_are_ordered() {
+        let q = BenchConfig::quick();
+        let s = BenchConfig::standard();
+        let f = BenchConfig::full();
+        assert!(q.attack_steps < s.attack_steps && s.attack_steps < f.attack_steps);
+        assert!(q.points <= s.points && s.points <= f.points);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let out = parallel_map(&items, |i, &x| i * 1000 + x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 1000 + i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_single_item() {
+        let out = parallel_map(&[5usize], |_, &x| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn cache_tag_depends_on_scale() {
+        assert_ne!(BenchConfig::quick().cache_tag(), BenchConfig::full().cache_tag());
+    }
+}

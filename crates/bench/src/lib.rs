@@ -1,0 +1,45 @@
+//! The experiment harness: regenerates every table and figure of the
+//! COLPER paper against the synthetic datasets and in-process-trained
+//! models.
+//!
+//! Each `tableN` module reproduces the corresponding paper artefact and
+//! returns a displayable report; the `bin/` targets are thin wrappers
+//! that run one experiment each and write `results/<name>.txt`:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — non-targeted attack on S3DIS-like data, 3 models, vs matched-L2 noise baseline |
+//! | `table2_6` | Tables 2 and 6 — targeted attack (6 source classes → wall) |
+//! | `table3` | Table 3 — non-targeted attack on Semantic3D-like data |
+//! | `table4` | Table 4 — targeted attack car → terrain/vegetation |
+//! | `table7` | Table 7 — L0 color vs coordinate perturbation |
+//! | `table8` | Table 8 — attack transferability |
+//! | `figures` | Figures 3–5 — per-sample distributions (plus textual scene dumps for Figures 1/2/9/10) |
+//! | `ablations` | Design-choice ablations (λ2, restarts, α, reparameterization) |
+//! | `all_experiments` | Everything above in sequence |
+//!
+//! Experiments scale with [`BenchConfig::from_env`]: set `COLPER_FULL=1`
+//! for larger sample counts and step budgets, `COLPER_QUICK=1` for a
+//! smoke-test pass.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod attack_comparison;
+pub mod defenses;
+pub mod figures;
+mod harness;
+pub mod physical;
+pub mod multiclass;
+pub mod table1;
+pub mod zoo_report;
+pub mod table2_6;
+pub mod table3;
+pub mod table4;
+pub mod table7;
+pub mod table8;
+
+pub use harness::{
+    acc_miou, parallel_map, write_report, BenchConfig, ModelZoo, PreparedIndoor, PreparedOutdoor,
+};

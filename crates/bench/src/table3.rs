@@ -1,0 +1,76 @@
+//! **Table 3**: non-targeted COLPER on Semantic3D-like outdoor scenes
+//! against RandLA-Net, compared to the matched-L2 noise baseline.
+
+use crate::table1::{attack_samples, SampleOutcome};
+use crate::ModelZoo;
+use std::fmt;
+
+/// The outdoor non-targeted results.
+#[derive(Debug, Clone)]
+pub struct Table3Report {
+    /// Mean clean accuracy.
+    pub clean_acc: f32,
+    /// Mean clean aIoU.
+    pub clean_miou: f32,
+    /// Per-scene outcomes.
+    pub samples: Vec<SampleOutcome>,
+}
+
+/// Runs the Table 3 experiment.
+pub fn run(zoo: &ModelZoo) -> Table3Report {
+    let prepared = zoo.prepared_outdoor();
+    let n = zoo.config.eval_samples.min(prepared.eval.len());
+    let samples = attack_samples(&zoo.randla_outdoor, &prepared.eval[..n], zoo.config.attack_steps);
+    let clean_acc = samples.iter().map(|s| s.clean_acc).sum::<f32>() / samples.len() as f32;
+    let clean_miou = samples.iter().map(|s| s.clean_miou).sum::<f32>() / samples.len() as f32;
+    Table3Report { clean_acc, clean_miou, samples }
+}
+
+impl fmt::Display for Table3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Table 3: non-targeted attack on Semantic3D-like data (RandLA-Net) ==")?;
+        writeln!(
+            f,
+            "{:<8} | {:>7} {:>8} {:>8} | {:>8} {:>8}",
+            "case", "L2", "acc", "aIoU", "base acc", "base IoU"
+        )?;
+        writeln!(
+            f,
+            "{:<8} | {:>7} {:>7.2}% {:>7.2}% | {:>8} {:>8}",
+            "clean", "-", self.clean_acc * 100.0, self.clean_miou * 100.0, "-", "-"
+        )?;
+        let mut by_acc = self.samples.clone();
+        by_acc.sort_by(|a, b| a.adv_acc.partial_cmp(&b.adv_acc).unwrap());
+        let rows: [(&str, Option<&SampleOutcome>); 2] =
+            [("best", by_acc.first()), ("worst", by_acc.last())];
+        let n = self.samples.len().max(1) as f32;
+        let avg = |get: fn(&SampleOutcome) -> f32| self.samples.iter().map(get).sum::<f32>() / n;
+        if let ("best", Some(b)) = rows[0] {
+            writeln!(
+                f,
+                "{:<8} | {:>7.2} {:>7.2}% {:>7.2}% | {:>7.2}% {:>7.2}%",
+                "best", b.l2, b.adv_acc * 100.0, b.adv_miou * 100.0,
+                b.base_acc * 100.0, b.base_miou * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<8} | {:>7.2} {:>7.2}% {:>7.2}% | {:>7.2}% {:>7.2}%",
+            "average",
+            avg(|s| s.l2),
+            avg(|s| s.adv_acc) * 100.0,
+            avg(|s| s.adv_miou) * 100.0,
+            avg(|s| s.base_acc) * 100.0,
+            avg(|s| s.base_miou) * 100.0
+        )?;
+        if let ("worst", Some(w)) = rows[1] {
+            writeln!(
+                f,
+                "{:<8} | {:>7.2} {:>7.2}% {:>7.2}% | {:>7.2}% {:>7.2}%",
+                "worst", w.l2, w.adv_acc * 100.0, w.adv_miou * 100.0,
+                w.base_acc * 100.0, w.base_miou * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,135 @@
+//! **Table 7**: L0-constrained color vs coordinate perturbation
+//! (Algorithm 2), on ResGCN and PointNet++ — the experiment showing
+//! color features are more vulnerable than coordinates.
+
+use crate::{parallel_map, ModelZoo};
+use colper_attack::{L0Attack, L0AttackConfig, PerturbTarget};
+use colper_models::{CloudTensors, SegmentationModel};
+use colper_scene::normalize;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One `(model, perturbation target)` row.
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Victim model name.
+    pub model: String,
+    /// Color or coordinate.
+    pub target: PerturbTarget,
+    /// Mean accuracy over *successful* samples (as in the paper).
+    pub accuracy: f32,
+    /// Mean aIoU over successful samples.
+    pub miou: f32,
+    /// Sample success rate: fraction of samples fooled within the L0
+    /// budget.
+    pub ssr: f32,
+    /// Samples evaluated (clean accuracy above 50%, per the paper).
+    pub samples: usize,
+}
+
+/// The comparison results.
+#[derive(Debug, Clone)]
+pub struct Table7Report {
+    /// One row per (model, target).
+    pub rows: Vec<Table7Row>,
+}
+
+fn run_rows<M: SegmentationModel + Sync>(
+    model: &M,
+    samples: &[CloudTensors],
+    target: PerturbTarget,
+    steps: usize,
+) -> Table7Row {
+    let outcomes = parallel_map(samples, |i, t| {
+        let mut rng = StdRng::seed_from_u64(53_000 + i as u64);
+        let mut cfg = L0AttackConfig::new(target);
+        cfg.steps_per_round = (steps / 4).max(5);
+        cfg.restore_per_round = (t.len() / 8).max(10);
+        L0Attack::new(cfg).run(model, t, &mut rng)
+    });
+    let successes: Vec<_> = outcomes.iter().filter(|o| o.success).collect();
+    let ssr = successes.len() as f32 / outcomes.len().max(1) as f32;
+    let (accuracy, miou) = if successes.is_empty() {
+        (f32::NAN, f32::NAN)
+    } else {
+        (
+            successes.iter().map(|o| o.accuracy).sum::<f32>() / successes.len() as f32,
+            successes.iter().map(|o| o.miou).sum::<f32>() / successes.len() as f32,
+        )
+    };
+    Table7Row {
+        model: model.name().to_string(),
+        target,
+        accuracy,
+        miou,
+        ssr,
+        samples: outcomes.len(),
+    }
+}
+
+/// Runs the Table 7 experiment.
+pub fn run(zoo: &ModelZoo) -> Table7Report {
+    let steps = zoo.config.attack_steps;
+    let n = zoo.config.eval_samples;
+
+    // The paper selects samples whose clean segmentation accuracy is
+    // above 50%.
+    let select = |model: &(dyn SegmentationModel + Sync),
+                  clouds: Vec<CloudTensors>|
+     -> Vec<CloudTensors> {
+        let mut rng = StdRng::seed_from_u64(0);
+        clouds
+            .into_iter()
+            .filter(|t| {
+                let preds = colper_models::predict(model, t, &mut rng);
+                let correct = preds.iter().zip(&t.labels).filter(|(p, l)| p == l).count();
+                correct as f32 / t.len() as f32 > 0.5
+            })
+            .take(n)
+            .collect()
+    };
+
+    let rg = zoo.prepared_indoor(normalize::resgcn_view);
+    let rg_samples = select(&zoo.resgcn, rg.eval);
+    let pn = zoo.prepared_indoor(normalize::pointnet_view);
+    let pn_samples = select(&zoo.pointnet, pn.eval);
+
+    let rows = vec![
+        run_rows(&zoo.resgcn, &rg_samples, PerturbTarget::Color, steps),
+        run_rows(&zoo.resgcn, &rg_samples, PerturbTarget::Coordinate, steps),
+        run_rows(&zoo.pointnet, &pn_samples, PerturbTarget::Color, steps),
+        run_rows(&zoo.pointnet, &pn_samples, PerturbTarget::Coordinate, steps),
+    ];
+    Table7Report { rows }
+}
+
+impl fmt::Display for Table7Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Table 7: L0-constrained color vs coordinate perturbation ==")?;
+        writeln!(f, "{:<28} {:>9} {:>9} {:>8} {:>8}", "setting", "acc", "aIoU", "SSR", "samples")?;
+        for r in &self.rows {
+            let tgt = match r.target {
+                PerturbTarget::Color => "color",
+                PerturbTarget::Coordinate => "coordinate",
+            };
+            let fmt_pct = |v: f32| {
+                if v.is_nan() {
+                    "N/A".to_string()
+                } else {
+                    format!("{:.2}%", v * 100.0)
+                }
+            };
+            writeln!(
+                f,
+                "{:<28} {:>9} {:>9} {:>7.2}% {:>8}",
+                format!("{} ({tgt})", r.model),
+                fmt_pct(r.accuracy),
+                fmt_pct(r.miou),
+                r.ssr * 100.0,
+                r.samples
+            )?;
+        }
+        Ok(())
+    }
+}

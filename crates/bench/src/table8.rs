@@ -1,0 +1,130 @@
+//! **Table 8**: attack transferability — non-targeted adversarial
+//! samples generated against one model, replayed against (a) the same
+//! architecture trained with different parameters and (b) a different
+//! model family, using the paper's Eq. 10 coordinate transform (plus the
+//! range-exact variant).
+
+use crate::{parallel_map, ModelZoo};
+use colper_attack::{apply_adversarial_colors, evaluate_cloud, AttackConfig, Colper};
+use colper_scene::{normalize, PointCloud};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One transfer setting's mean accuracy/aIoU.
+#[derive(Debug, Clone)]
+pub struct TransferRow {
+    /// Human-readable setting description.
+    pub setting: String,
+    /// Mean accuracy of the receiving model on the adversarial samples.
+    pub accuracy: f32,
+    /// Mean aIoU.
+    pub miou: f32,
+}
+
+/// The transferability results.
+#[derive(Debug, Clone)]
+pub struct Table8Report {
+    /// One row per transfer setting.
+    pub rows: Vec<TransferRow>,
+    /// Samples per setting.
+    pub samples: usize,
+}
+
+/// Runs the Table 8 experiment.
+pub fn run(zoo: &ModelZoo) -> Table8Report {
+    let n = zoo.config.eval_samples.min(zoo.indoor.rooms_per_area());
+    let rooms: Vec<PointCloud> = zoo.indoor.eval_rooms().into_iter().take(n).collect();
+    let steps = zoo.config.attack_steps;
+
+    // Part 1: PointNet++ -> PointNet++ with different parameters.
+    let pn_part = parallel_map(&rooms, |i, room| {
+        let mut rng = StdRng::seed_from_u64(61_000 + i as u64);
+        let view = normalize::pointnet_view(room);
+        let tensors = colper_models::CloudTensors::from_cloud(&view);
+        let attack = Colper::new(AttackConfig::non_targeted(steps));
+        let mask = vec![true; tensors.len()];
+        let result = attack.run(&zoo.pointnet, &tensors, &mask, &mut rng);
+        let adv_cloud = apply_adversarial_colors(&view, &result.adversarial_colors);
+        let on_source = evaluate_cloud(&zoo.pointnet, &adv_cloud, &mut rng);
+        let on_alt = evaluate_cloud(&zoo.pointnet_alt, &adv_cloud, &mut rng);
+        (on_source, on_alt)
+    });
+
+    // Part 2: ResGCN -> PointNet++ across model families.
+    let rg_part = parallel_map(&rooms, |i, room| {
+        let mut rng = StdRng::seed_from_u64(62_000 + i as u64);
+        let view = normalize::resgcn_view(room);
+        let tensors = colper_models::CloudTensors::from_cloud(&view);
+        let attack = Colper::new(AttackConfig::non_targeted(steps));
+        let mask = vec![true; tensors.len()];
+        let result = attack.run(&zoo.resgcn, &tensors, &mask, &mut rng);
+        let adv_cloud = apply_adversarial_colors(&view, &result.adversarial_colors);
+        let on_source = evaluate_cloud(&zoo.resgcn, &adv_cloud, &mut rng);
+        // Eq. 10 verbatim, and the range-exact variant.
+        let eq10 = normalize::eq10_transform(&adv_cloud);
+        let on_pn_eq10 = evaluate_cloud(&zoo.pointnet, &eq10, &mut rng);
+        let exact = normalize::resgcn_to_pointnet(&adv_cloud);
+        let on_pn_exact = evaluate_cloud(&zoo.pointnet, &exact, &mut rng);
+        (on_source, on_pn_eq10, on_pn_exact)
+    });
+
+    let mean =
+        |vals: Vec<(f32, f32)>| -> (f32, f32) {
+            let n = vals.len().max(1) as f32;
+            (
+                vals.iter().map(|v| v.0).sum::<f32>() / n,
+                vals.iter().map(|v| v.1).sum::<f32>() / n,
+            )
+        };
+
+    let (src_acc, src_miou) = mean(pn_part.iter().map(|(s, _)| (s.accuracy, s.miou)).collect());
+    let (alt_acc, alt_miou) = mean(pn_part.iter().map(|(_, a)| (a.accuracy, a.miou)).collect());
+    let (rg_acc, rg_miou) = mean(rg_part.iter().map(|(s, _, _)| (s.accuracy, s.miou)).collect());
+    let (e10_acc, e10_miou) = mean(rg_part.iter().map(|(_, e, _)| (e.accuracy, e.miou)).collect());
+    let (ex_acc, ex_miou) = mean(rg_part.iter().map(|(_, _, x)| (x.accuracy, x.miou)).collect());
+
+    Table8Report {
+        rows: vec![
+            TransferRow {
+                setting: "pointnet++ (pre-trained, source)".into(),
+                accuracy: src_acc,
+                miou: src_miou,
+            },
+            TransferRow {
+                setting: "pointnet++ (self-trained)".into(),
+                accuracy: alt_acc,
+                miou: alt_miou,
+            },
+            TransferRow { setting: "resgcn (source)".into(), accuracy: rg_acc, miou: rg_miou },
+            TransferRow {
+                setting: "resgcn -> pointnet++ (eq. 10)".into(),
+                accuracy: e10_acc,
+                miou: e10_miou,
+            },
+            TransferRow {
+                setting: "resgcn -> pointnet++ (range-exact)".into(),
+                accuracy: ex_acc,
+                miou: ex_miou,
+            },
+        ],
+        samples: rooms.len(),
+    }
+}
+
+impl fmt::Display for Table8Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Table 8: attack transferability ({} samples per setting) ==", self.samples)?;
+        writeln!(f, "{:<38} {:>9} {:>9}", "setting", "acc", "aIoU")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<38} {:>8.2}% {:>8.2}%",
+                r.setting,
+                r.accuracy * 100.0,
+                r.miou * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,141 @@
+//! The "Target Models" section of the paper, regenerated: clean
+//! accuracy and aIoU of every victim on its evaluation split, with
+//! per-class breakdowns (the paper quotes the pre-trained checkpoints'
+//! GitHub-reported numbers; ours come from the in-process training).
+
+use crate::{ModelZoo, PreparedIndoor};
+use colper_metrics::{ClassReport, ConfusionMatrix};
+use colper_models::{CloudTensors, SegmentationModel};
+use colper_scene::{normalize, IndoorClass, OutdoorClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One victim's clean evaluation.
+#[derive(Debug, Clone)]
+pub struct ZooEntry {
+    /// Model name.
+    pub model: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Point accuracy over the evaluation split.
+    pub accuracy: f32,
+    /// aIoU over the evaluation split.
+    pub miou: f32,
+    /// Trainable scalar count.
+    pub parameters: usize,
+    /// Per-class breakdown.
+    pub report: ClassReport,
+}
+
+/// The zoo's clean-performance report.
+#[derive(Debug, Clone)]
+pub struct ZooReport {
+    /// One entry per victim.
+    pub entries: Vec<ZooEntry>,
+}
+
+fn evaluate_indoor<M: SegmentationModel>(model: &M, prepared: &PreparedIndoor) -> (f32, f32, ClassReport) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut cm = ConfusionMatrix::new(13);
+    for t in &prepared.eval {
+        let preds = colper_models::predict(model, t, &mut rng);
+        cm.update(&preds, &t.labels);
+    }
+    let names: Vec<&str> = IndoorClass::ALL.iter().map(|c| c.name()).collect();
+    (cm.accuracy(), cm.mean_iou(), ClassReport::from_confusion(&cm, Some(&names)))
+}
+
+/// Evaluates every zoo model on its evaluation split.
+pub fn run(zoo: &ModelZoo) -> ZooReport {
+    let mut entries = Vec::new();
+
+    let pn = zoo.prepared_indoor(normalize::pointnet_view);
+    let (acc, miou, report) = evaluate_indoor(&zoo.pointnet, &pn);
+    entries.push(ZooEntry {
+        model: zoo.pointnet.name().to_string(),
+        dataset: "S3DIS-like (Area 5)".into(),
+        accuracy: acc,
+        miou,
+        parameters: zoo.pointnet.params().num_scalars(),
+        report,
+    });
+
+    let rg = zoo.prepared_indoor(normalize::resgcn_view);
+    let (acc, miou, report) = evaluate_indoor(&zoo.resgcn, &rg);
+    entries.push(ZooEntry {
+        model: zoo.resgcn.name().to_string(),
+        dataset: "S3DIS-like (Area 5)".into(),
+        accuracy: acc,
+        miou,
+        parameters: zoo.resgcn.params().num_scalars(),
+        report,
+    });
+
+    let rl = zoo.prepared_indoor(|c| {
+        let mut rng = StdRng::seed_from_u64(c.len() as u64 ^ 0x0AD1A);
+        normalize::randla_view(c, c.len(), &mut rng)
+    });
+    let (acc, miou, report) = evaluate_indoor(&zoo.randla_indoor, &rl);
+    entries.push(ZooEntry {
+        model: format!("{} (indoor)", zoo.randla_indoor.name()),
+        dataset: "S3DIS-like (Area 5)".into(),
+        accuracy: acc,
+        miou,
+        parameters: zoo.randla_indoor.params().num_scalars(),
+        report,
+    });
+
+    // Outdoor RandLA-Net.
+    let prepared = zoo.prepared_outdoor();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut cm = ConfusionMatrix::new(8);
+    for t in &prepared.eval {
+        let preds: Vec<usize> = colper_models::predict(&zoo.randla_outdoor, t, &mut rng);
+        cm.update(&preds, &t.labels);
+    }
+    let names: Vec<&str> = OutdoorClass::ALL.iter().map(|c| c.name()).collect();
+    entries.push(ZooEntry {
+        model: format!("{} (outdoor)", zoo.randla_outdoor.name()),
+        dataset: "Semantic3D-like".into(),
+        accuracy: cm.accuracy(),
+        miou: cm.mean_iou(),
+        parameters: zoo.randla_outdoor.params().num_scalars(),
+        report: ClassReport::from_confusion(&cm, Some(&names)),
+    });
+
+    ZooReport { entries }
+}
+
+/// Per-model evaluation convenience used by tests.
+pub fn clean_accuracy<M: SegmentationModel>(model: &M, clouds: &[CloudTensors]) -> f32 {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut cm = ConfusionMatrix::new(model.num_classes());
+    for t in clouds {
+        let preds = colper_models::predict(model, t, &mut rng);
+        cm.update(&preds, &t.labels);
+    }
+    cm.accuracy()
+}
+
+impl fmt::Display for ZooReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Target models: clean evaluation (paper's Experiment Settings) ==")?;
+        writeln!(f, "{:<24} {:<22} {:>9} {:>9} {:>10}", "model", "dataset", "acc", "aIoU", "params")?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<24} {:<22} {:>8.2}% {:>8.2}% {:>10}",
+                e.model,
+                e.dataset,
+                e.accuracy * 100.0,
+                e.miou * 100.0,
+                e.parameters
+            )?;
+        }
+        for e in &self.entries {
+            writeln!(f, "\n-- {} per-class --\n{}", e.model, e.report)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,135 @@
+//! Formatting tests for the experiment reports: the Display
+//! implementations are what end up in `results/*.txt` and EXPERIMENTS.md,
+//! so their layout is part of the deliverable.
+
+use colper_bench::table1::{ModelRows, SampleOutcome, Table1Report};
+use colper_bench::table2_6::{Table6Report, TargetedCell};
+use colper_bench::table7::{Table7Report, Table7Row};
+use colper_bench::table8::{Table8Report, TransferRow};
+use colper_scene::IndoorClass;
+
+fn outcome(l2: f32, adv_acc: f32) -> SampleOutcome {
+    SampleOutcome {
+        l2,
+        clean_acc: 0.9,
+        clean_miou: 0.7,
+        adv_acc,
+        adv_miou: adv_acc * 0.6,
+        base_acc: 0.8,
+        base_miou: 0.5,
+    }
+}
+
+#[test]
+fn table1_renders_best_average_worst_rows() {
+    let report = Table1Report {
+        rows: vec![ModelRows {
+            model: "pointnet++".into(),
+            clean_acc: 0.9,
+            clean_miou: 0.7,
+            samples: vec![outcome(3.0, 0.05), outcome(4.0, 0.25), outcome(5.0, 0.45)],
+        }],
+    };
+    let text = report.to_string();
+    assert!(text.contains("Table 1"));
+    assert!(text.contains("pointnet++"));
+    for case in ["clean", "best", "average", "worst"] {
+        assert!(text.contains(case), "missing row {case}");
+    }
+    // Best row shows the lowest adversarial accuracy.
+    assert!(text.contains("5.00%"), "{text}");
+    // Average = 25%.
+    assert!(text.contains("25.00%"), "{text}");
+}
+
+#[test]
+fn table1_summaries_match_samples() {
+    let rows = ModelRows {
+        model: "m".into(),
+        clean_acc: 0.9,
+        clean_miou: 0.7,
+        samples: vec![outcome(2.0, 0.1), outcome(6.0, 0.3)],
+    };
+    let l2 = rows.l2();
+    assert_eq!(l2.min, 2.0);
+    assert_eq!(l2.max, 6.0);
+    assert!((l2.mean - 4.0).abs() < 1e-6);
+    let acc = rows.adv_acc();
+    assert!((acc.mean - 0.2).abs() < 1e-6);
+}
+
+#[test]
+fn table6_renders_cells_with_sr_and_oob() {
+    let report = Table6Report {
+        cells: vec![TargetedCell {
+            model: "resgcn-5".into(),
+            source: IndoorClass::Board,
+            l2: 1.25,
+            points: 321,
+            sr: 0.9608,
+            oob_acc: 0.7837,
+            acc: 0.8885,
+            oob_miou: 0.5658,
+            miou: 0.6643,
+            samples_used: 4,
+        }],
+    };
+    let text = report.to_string();
+    assert!(text.contains("resgcn-5(board)"));
+    assert!(text.contains("96.08%"));
+    assert!(text.contains("78.37%"));
+    assert!(text.contains("321"));
+}
+
+#[test]
+fn table7_renders_na_for_failed_settings() {
+    let report = Table7Report {
+        rows: vec![
+            Table7Row {
+                model: "resgcn-5".into(),
+                target: colper_attack::PerturbTarget::Color,
+                accuracy: 0.0684,
+                miou: 0.0355,
+                ssr: 0.8117,
+                samples: 6,
+            },
+            Table7Row {
+                model: "resgcn-5".into(),
+                target: colper_attack::PerturbTarget::Coordinate,
+                accuracy: f32::NAN,
+                miou: f32::NAN,
+                ssr: 0.0,
+                samples: 6,
+            },
+        ],
+    };
+    let text = report.to_string();
+    assert!(text.contains("81.17%"));
+    assert!(text.contains("N/A"), "failed settings must render N/A: {text}");
+    assert!(text.contains("(color)"));
+    assert!(text.contains("(coordinate)"));
+}
+
+#[test]
+fn table8_renders_all_settings() {
+    let report = Table8Report {
+        rows: vec![
+            TransferRow { setting: "pointnet++ (self-trained)".into(), accuracy: 0.3435, miou: 0.3139 },
+            TransferRow { setting: "resgcn -> pointnet++ (eq. 10)".into(), accuracy: 0.3901, miou: 0.2530 },
+        ],
+        samples: 6,
+    };
+    let text = report.to_string();
+    assert!(text.contains("6 samples"));
+    assert!(text.contains("34.35%"));
+    assert!(text.contains("eq. 10"));
+}
+
+#[test]
+fn bench_config_scales_from_env_contract() {
+    // from_env without variables returns the standard scale.
+    std::env::remove_var("COLPER_FULL");
+    std::env::remove_var("COLPER_QUICK");
+    let cfg = colper_bench::BenchConfig::from_env();
+    assert_eq!(cfg.points, colper_bench::BenchConfig::standard().points);
+}

@@ -1,0 +1,210 @@
+//! Batch orchestration: run the attack over many clouds in parallel and
+//! aggregate the paper's summary statistics.
+//!
+//! The paper attacks hundreds of Area-5 point clouds per table; this
+//! module is the library-level equivalent of that loop (the experiment
+//! harness builds its tables on top of the same primitives).
+
+use crate::{AttackConfig, AttackGoal, AttackResult, Colper};
+use colper_metrics::{ConfusionMatrix, Summary};
+use colper_models::{CloudTensors, SegmentationModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One cloud's attack outcome with segmentation quality attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// The raw attack result.
+    pub result: AttackResult,
+    /// Clean accuracy on this cloud.
+    pub clean_accuracy: f32,
+    /// Post-attack accuracy over all points.
+    pub adversarial_accuracy: f32,
+    /// Post-attack aIoU over all points.
+    pub adversarial_miou: f32,
+}
+
+/// Aggregates over a [`run_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Per-cloud outcomes, in input order.
+    pub items: Vec<BatchItem>,
+    /// Summary of post-attack accuracy.
+    pub adversarial_accuracy: Summary,
+    /// Summary of post-attack aIoU.
+    pub adversarial_miou: Summary,
+    /// Summary of perturbation L2.
+    pub l2: Summary,
+    /// Fraction of clouds whose attack converged.
+    pub convergence_rate: f32,
+}
+
+/// Attacks every cloud (each with an all-points mask for non-targeted
+/// goals, or a per-cloud source-class mask supplied by `mask_of`),
+/// spreading clouds over `workers` OS threads.
+///
+/// Seeds derive from `base_seed + index`, so outcomes are reproducible
+/// and independent of the thread schedule.
+///
+/// # Panics
+///
+/// Panics when `clouds` is empty or a mask selects no points.
+pub fn run_batch<M: SegmentationModel + Sync>(
+    model: &M,
+    clouds: &[CloudTensors],
+    config: &AttackConfig,
+    mask_of: impl Fn(&CloudTensors) -> Vec<bool> + Sync,
+    base_seed: u64,
+    workers: usize,
+) -> BatchOutcome {
+    assert!(!clouds.is_empty(), "run_batch: no clouds");
+    let workers = workers.max(1).min(clouds.len());
+    let classes = model.num_classes();
+
+    let chunk = clouds.len().div_ceil(workers);
+    let mut items: Vec<Option<BatchItem>> = Vec::with_capacity(clouds.len());
+    items.resize_with(clouds.len(), || None);
+
+    std::thread::scope(|scope| {
+        for (ci, (cloud_chunk, item_chunk)) in
+            clouds.chunks(chunk).zip(items.chunks_mut(chunk)).enumerate()
+        {
+            let mask_of = &mask_of;
+            let config = config.clone();
+            scope.spawn(move || {
+                for (j, (t, slot)) in cloud_chunk.iter().zip(item_chunk).enumerate() {
+                    let index = ci * chunk + j;
+                    let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(index as u64));
+                    let clean_preds = colper_models::predict(model, t, &mut rng);
+                    let mut cm = ConfusionMatrix::new(classes);
+                    cm.update(&clean_preds, &t.labels);
+                    let clean_accuracy = cm.accuracy();
+
+                    let mask = mask_of(t);
+                    let result = Colper::new(config.clone()).run(model, t, &mask, &mut rng);
+                    let mut cm = ConfusionMatrix::new(classes);
+                    cm.update(&result.predictions, &t.labels);
+                    *slot = Some(BatchItem {
+                        clean_accuracy,
+                        adversarial_accuracy: cm.accuracy(),
+                        adversarial_miou: cm.mean_iou(),
+                        result,
+                    });
+                }
+            });
+        }
+    });
+
+    let items: Vec<BatchItem> = items.into_iter().map(|i| i.expect("slot filled")).collect();
+    let accs: Vec<f32> = items.iter().map(|i| i.adversarial_accuracy).collect();
+    let mious: Vec<f32> = items.iter().map(|i| i.adversarial_miou).collect();
+    let l2s: Vec<f32> = items.iter().map(|i| i.result.l2()).collect();
+    let converged = items.iter().filter(|i| i.result.converged).count();
+    BatchOutcome {
+        adversarial_accuracy: Summary::of(&accs),
+        adversarial_miou: Summary::of(&mious),
+        l2: Summary::of(&l2s),
+        convergence_rate: converged as f32 / items.len() as f32,
+        items,
+    }
+}
+
+/// Convenience: non-targeted batch over all points of every cloud.
+pub fn run_batch_non_targeted<M: SegmentationModel + Sync>(
+    model: &M,
+    clouds: &[CloudTensors],
+    steps: usize,
+    base_seed: u64,
+) -> BatchOutcome {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    run_batch(
+        model,
+        clouds,
+        &AttackConfig::non_targeted(steps),
+        |t| vec![true; t.len()],
+        base_seed,
+        workers,
+    )
+}
+
+/// Convenience: targeted batch attacking one source class toward a
+/// target in every cloud (clouds without the source class are skipped by
+/// the caller; a cloud with zero source points panics as in
+/// [`Colper::run`]).
+pub fn run_batch_targeted<M: SegmentationModel + Sync>(
+    model: &M,
+    clouds: &[CloudTensors],
+    source: usize,
+    target: usize,
+    steps: usize,
+    base_seed: u64,
+) -> BatchOutcome {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let mut config = AttackConfig::targeted(steps, target);
+    config.goal = AttackGoal::Targeted { target };
+    run_batch(
+        model,
+        clouds,
+        &config,
+        |t| t.labels.iter().map(|&l| l == source).collect(),
+        base_seed,
+        workers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colper_models::{PointNet2, PointNet2Config};
+    use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
+
+    fn clouds(n: u64) -> Vec<CloudTensors> {
+        (0..n)
+            .map(|i| {
+                let c = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(i);
+                CloudTensors::from_cloud(&normalize::pointnet_view(&c))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_covers_every_cloud_in_order() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(5);
+        let outcome = run_batch_non_targeted(&model, &data, 3, 7);
+        assert_eq!(outcome.items.len(), 5);
+        assert_eq!(outcome.adversarial_accuracy.count, 5);
+        assert!((0.0..=1.0).contains(&outcome.convergence_rate));
+        for item in &outcome.items {
+            assert!((0.0..=1.0).contains(&item.adversarial_accuracy));
+            assert_eq!(item.result.adversarial_colors.rows(), 96);
+        }
+    }
+
+    #[test]
+    fn batch_is_deterministic_regardless_of_workers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(4);
+        let cfg = AttackConfig::non_targeted(3);
+        let serial = run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 9, 1);
+        let parallel = run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 9, 4);
+        for (a, b) in serial.items.iter().zip(&parallel.items) {
+            assert_eq!(a.result.adversarial_colors, b.result.adversarial_colors);
+            assert_eq!(a.adversarial_accuracy, b.adversarial_accuracy);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no clouds")]
+    fn empty_batch_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let _ = run_batch_non_targeted(&model, &[], 3, 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! The classic 2D-image gradient attacks the paper's related-work
+//! section builds on — FGSM, iFGSM and PGD — adapted to the color-only
+//! threat model, as comparison points for COLPER.
+//!
+//! All three operate under an L∞ budget `epsilon` on the color channels
+//! (the standard formulation), maximize the softmax cross-entropy of the
+//! ground-truth labels (non-targeted), and clamp iterates into the valid
+//! color box. COLPER differs by optimizing a margin loss with an L2
+//! *penalty* rather than projecting onto a fixed ball, plus its
+//! smoothness term and restarts.
+
+use crate::AttackResult;
+use colper_models::{CloudTensors, ModelInput, SegmentationModel};
+use colper_nn::Forward;
+use colper_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which classic attack to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClassicKind {
+    /// Single-step fast gradient sign method (Goodfellow et al.).
+    Fgsm,
+    /// Iterative FGSM (Kurakin et al.): `steps` sign steps of size
+    /// `epsilon / steps`, clipped to the ball.
+    Ifgsm {
+        /// Number of iterations.
+        steps: usize,
+    },
+    /// Projected gradient descent (Madry et al.): random start in the
+    /// ball, `steps` sign steps of size `alpha`, projected back.
+    Pgd {
+        /// Number of iterations.
+        steps: usize,
+        /// Step size per iteration.
+        alpha: f32,
+    },
+}
+
+impl ClassicKind {
+    /// A short label for report rows.
+    pub fn label(&self) -> String {
+        match self {
+            ClassicKind::Fgsm => "FGSM".to_string(),
+            ClassicKind::Ifgsm { steps } => format!("iFGSM({steps})"),
+            ClassicKind::Pgd { steps, alpha } => format!("PGD({steps}, α={alpha})"),
+        }
+    }
+}
+
+/// A classic L∞-bounded color attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassicAttack {
+    /// The method.
+    pub kind: ClassicKind,
+    /// L∞ budget on each color channel.
+    pub epsilon: f32,
+}
+
+impl ClassicAttack {
+    /// Creates the attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is not positive.
+    pub fn new(kind: ClassicKind, epsilon: f32) -> Self {
+        assert!(epsilon > 0.0, "ClassicAttack: epsilon must be positive");
+        Self { kind, epsilon }
+    }
+
+    /// Runs the (non-targeted) attack over the masked points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask.len() != tensors.len()` or no point is masked.
+    pub fn run<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        tensors: &CloudTensors,
+        mask: &[bool],
+        rng: &mut StdRng,
+    ) -> AttackResult {
+        let n = tensors.len();
+        assert_eq!(mask.len(), n, "mask length must equal point count");
+        let attacked_points = mask.iter().filter(|&&m| m).count();
+        assert!(attacked_points > 0, "attack mask selects no points");
+        let orig = tensors.colors.clone();
+        let eps = self.epsilon;
+
+        let (steps, step_size, random_start) = match self.kind {
+            ClassicKind::Fgsm => (1usize, eps, false),
+            ClassicKind::Ifgsm { steps } => (steps.max(1), eps / steps.max(1) as f32, false),
+            ClassicKind::Pgd { steps, alpha } => (steps.max(1), alpha, true),
+        };
+
+        let mut colors = if random_start {
+            Matrix::from_fn(n, 3, |r, c| {
+                if mask[r] {
+                    (orig[(r, c)] + rng.gen_range(-eps..=eps)).clamp(0.0, 1.0)
+                } else {
+                    orig[(r, c)]
+                }
+            })
+        } else {
+            orig.clone()
+        };
+
+        let mut history = Vec::with_capacity(steps);
+        let mut best_preds = Vec::new();
+        let mut best_colors = colors.clone();
+        let mut best_acc = f32::INFINITY;
+        for _ in 0..steps {
+            let (grad, loss, preds) = self.gradient(model, tensors, &colors, rng);
+            history.push(loss);
+            let acc = masked_accuracy(&preds, &tensors.labels, mask);
+            if best_preds.is_empty() || acc < best_acc {
+                best_acc = acc;
+                best_preds = preds;
+                best_colors = colors.clone();
+            }
+            // Ascend the loss by the gradient sign, project to the
+            // epsilon ball and the color box; untouched points frozen.
+            for r in 0..n {
+                if !mask[r] {
+                    continue;
+                }
+                for c in 0..3 {
+                    let stepped = colors[(r, c)] + step_size * grad[(r, c)].signum();
+                    let ball = stepped.clamp(orig[(r, c)] - eps, orig[(r, c)] + eps);
+                    colors[(r, c)] = ball.clamp(0.0, 1.0);
+                }
+            }
+        }
+        // Score the final iterate too.
+        let (_, _, preds) = self.gradient(model, tensors, &colors, rng);
+        let acc = masked_accuracy(&preds, &tensors.labels, mask);
+        if acc < best_acc {
+            best_acc = acc;
+            best_preds = preds;
+            best_colors = colors;
+        }
+
+        let l2_sq = best_colors.sub(&orig).expect("shape").frobenius_sq();
+        AttackResult {
+            adversarial_colors: best_colors,
+            l2_sq,
+            steps_run: steps,
+            converged: false,
+            gain_history: history,
+            metric_history: Vec::new(),
+            predictions: best_preds,
+            success_metric: best_acc,
+            attacked_points,
+        }
+    }
+
+    /// One forward/backward pass: gradient of the cross-entropy with
+    /// respect to the colors, plus loss value and predictions.
+    fn gradient<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        tensors: &CloudTensors,
+        colors: &Matrix,
+        rng: &mut StdRng,
+    ) -> (Matrix, f32, Vec<usize>) {
+        let mut session = Forward::new(model.params(), false);
+        let color = session.tape.leaf(colors.clone());
+        let xyz = session.tape.constant(tensors.xyz.clone());
+        let loc = session.tape.constant(tensors.loc01.clone());
+        let input = ModelInput { coords: &tensors.coords, xyz, color, loc };
+        let logits = model.forward(&mut session, &input, rng);
+        let loss = session.tape.softmax_cross_entropy(logits, &tensors.labels);
+        session.tape.backward(loss);
+        let grad = session
+            .tape
+            .grad(color)
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(colors.rows(), 3));
+        let loss_v = session.tape.value(loss)[(0, 0)];
+        let preds = session.tape.value(logits).argmax_rows();
+        (grad, loss_v, preds)
+    }
+}
+
+fn masked_accuracy(preds: &[usize], labels: &[usize], mask: &[bool]) -> f32 {
+    let mut total = 0u64;
+    let mut correct = 0u64;
+    for i in 0..preds.len() {
+        if mask[i] {
+            total += 1;
+            if preds[i] == labels[i] {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colper_models::{evaluate_on, train_model, PointNet2, PointNet2Config, TrainConfig};
+    use colper_scene::{normalize, IndoorSceneConfig, RoomKind, SceneGenerator};
+    use rand::SeedableRng;
+
+    fn victim(rng: &mut StdRng) -> (PointNet2, CloudTensors) {
+        let clouds: Vec<CloudTensors> = (0..4)
+            .map(|i| {
+                let cfg = IndoorSceneConfig {
+                    room_kind: Some(RoomKind::Office),
+                    ..IndoorSceneConfig::with_points(160)
+                };
+                CloudTensors::from_cloud(&normalize::pointnet_view(
+                    &SceneGenerator::indoor(cfg).generate(5000 + i),
+                ))
+            })
+            .collect();
+        let mut model = PointNet2::new(PointNet2Config::tiny(13), rng);
+        train_model(
+            &mut model,
+            &clouds,
+            &TrainConfig { epochs: 10, lr: 0.01, target_accuracy: 0.92 },
+            rng,
+        );
+        let t = clouds[0].clone();
+        (model, t)
+    }
+
+    #[test]
+    fn all_kinds_respect_epsilon_ball_and_mask() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (model, t) = victim(&mut rng);
+        let mut mask = vec![true; t.len()];
+        mask[0] = false;
+        let eps = 0.1;
+        for kind in [
+            ClassicKind::Fgsm,
+            ClassicKind::Ifgsm { steps: 4 },
+            ClassicKind::Pgd { steps: 4, alpha: 0.04 },
+        ] {
+            let result = ClassicAttack::new(kind, eps).run(&model, &t, &mask, &mut rng);
+            let adv = &result.adversarial_colors;
+            for r in 0..t.len() {
+                for c in 0..3 {
+                    let delta = (adv[(r, c)] - t.colors[(r, c)]).abs();
+                    if mask[r] {
+                        assert!(delta <= eps + 1e-5, "{}: |delta| {delta}", kind.label());
+                    } else {
+                        assert_eq!(delta, 0.0, "{}: frozen point moved", kind.label());
+                    }
+                }
+            }
+            assert!(adv.min().unwrap() >= 0.0 && adv.max().unwrap() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn iterative_attacks_hurt_more_than_single_step() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (model, t) = victim(&mut rng);
+        let mask = vec![true; t.len()];
+        let eps = 0.15;
+        let fgsm = ClassicAttack::new(ClassicKind::Fgsm, eps).run(&model, &t, &mask, &mut rng);
+        let pgd = ClassicAttack::new(ClassicKind::Pgd { steps: 15, alpha: 0.03 }, eps)
+            .run(&model, &t, &mask, &mut rng);
+        let clean = evaluate_on(&model, &t, &mut rng);
+        assert!(fgsm.success_metric <= clean + 1e-5);
+        assert!(
+            pgd.success_metric <= fgsm.success_metric + 0.05,
+            "PGD ({}) should be at least as strong as FGSM ({})",
+            pgd.success_metric,
+            fgsm.success_metric
+        );
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(ClassicKind::Fgsm.label(), "FGSM");
+        assert!(ClassicKind::Ifgsm { steps: 7 }.label().contains('7'));
+        assert!(ClassicKind::Pgd { steps: 3, alpha: 0.01 }.label().contains("PGD"));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn epsilon_validated() {
+        let _ = ClassicAttack::new(ClassicKind::Fgsm, 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The tanh change of variables (Eq. 5 of the paper).
+//!
+//! Optimizing colors directly would need a projection onto `[0, 1]^3`
+//! every step; instead the paper optimizes an unconstrained `w` with
+//! `c = a + (b-a)/2 · (tanh(w) + 1)`, which keeps every iterate feasible
+//! and smooths the gradient near the box boundary.
+
+use colper_autodiff::{Tape, Var};
+use colper_tensor::Matrix;
+
+/// The tanh reparameterization between a feature box `[a, b]` and the
+/// unconstrained optimization variable `w`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TanhReparam {
+    a: f32,
+    b: f32,
+}
+
+impl TanhReparam {
+    /// For color channels: `[0, 1]`.
+    pub fn color() -> Self {
+        Self { a: 0.0, b: 1.0 }
+    }
+
+    /// For ResGCN-normalized coordinates: `[-1, 1]` (the range the
+    /// paper's coordinate-attack comparison uses).
+    pub fn coordinate() -> Self {
+        Self { a: -1.0, b: 1.0 }
+    }
+
+    /// A custom feature box.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a >= b`.
+    pub fn new(a: f32, b: f32) -> Self {
+        assert!(a < b, "TanhReparam: a must be below b");
+        Self { a, b }
+    }
+
+    /// Lower bound of the box.
+    pub fn lo(&self) -> f32 {
+        self.a
+    }
+
+    /// Upper bound of the box.
+    pub fn hi(&self) -> f32 {
+        self.b
+    }
+
+    /// Maps feature values to `w` space: `w = atanh(2 (c-a)/(b-a) - 1)`,
+    /// clamping features slightly inside the box so `atanh` stays
+    /// finite.
+    pub fn to_w(&self, features: &Matrix) -> Matrix {
+        const MARGIN: f32 = 1e-4;
+        features.map(|c| {
+            let unit = ((c - self.a) / (self.b - self.a)).clamp(MARGIN, 1.0 - MARGIN);
+            let x = 2.0 * unit - 1.0;
+            // atanh(x) = 0.5 ln((1+x)/(1-x))
+            0.5 * ((1.0 + x) / (1.0 - x)).ln()
+        })
+    }
+
+    /// Maps `w` values back to features off-tape.
+    pub fn to_features(&self, w: &Matrix) -> Matrix {
+        w.map(|t| self.a + (self.b - self.a) / 2.0 * (t.tanh() + 1.0))
+    }
+
+    /// Records the on-tape mapping `c = a + (b-a)/2 (tanh(w) + 1)` so
+    /// gradients flow from the objective back to `w`.
+    pub fn features_on_tape(&self, tape: &mut Tape, w: Var) -> Var {
+        let t = tape.tanh(w);
+        let shifted = tape.add_scalar(t, 1.0);
+        let scaled = tape.scale(shifted, (self.b - self.a) / 2.0);
+        tape.add_scalar(scaled, self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_identity_inside_box() {
+        let rp = TanhReparam::color();
+        let c = Matrix::from_rows(&[&[0.1, 0.5, 0.9]]).unwrap();
+        let w = rp.to_w(&c);
+        let back = rp.to_features(&w);
+        assert!(c.max_abs_diff(&back) < 1e-3, "{back:?}");
+    }
+
+    #[test]
+    fn boundary_values_stay_finite() {
+        let rp = TanhReparam::color();
+        let c = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let w = rp.to_w(&c);
+        assert!(w.all_finite());
+        let back = rp.to_features(&w);
+        assert!(back.min().unwrap() >= 0.0 && back.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn on_tape_matches_off_tape() {
+        let rp = TanhReparam::new(-1.0, 1.0);
+        let w = Matrix::from_rows(&[&[-2.0, 0.0, 3.0]]).unwrap();
+        let mut tape = Tape::new();
+        let wv = tape.leaf(w.clone());
+        let cv = rp.features_on_tape(&mut tape, wv);
+        let off = rp.to_features(&w);
+        assert!(tape.value(cv).max_abs_diff(&off) < 1e-6);
+    }
+
+    #[test]
+    fn any_w_yields_feasible_features() {
+        let rp = TanhReparam::color();
+        let w = Matrix::from_rows(&[&[-100.0, -1.0, 0.0, 1.0, 100.0]]).unwrap();
+        let c = rp.to_features(&w);
+        assert!(c.min().unwrap() >= 0.0);
+        assert!(c.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn gradient_flows_through_reparam() {
+        let rp = TanhReparam::color();
+        let mut tape = Tape::new();
+        let w = tape.leaf(Matrix::zeros(1, 3));
+        let c = rp.features_on_tape(&mut tape, w);
+        let s = tape.sum(c);
+        tape.backward(s);
+        let g = tape.grad(w).unwrap();
+        // d/dw [0.5 (tanh w + 1)] at w=0 is 0.5.
+        assert!((g[(0, 0)] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be below b")]
+    fn validates_box() {
+        let _ = TanhReparam::new(1.0, 1.0);
+    }
+}

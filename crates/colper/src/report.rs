@@ -1,0 +1,59 @@
+//! The [`AttackResult`] returned by attack runs.
+
+use colper_tensor::Matrix;
+
+/// Everything an attack run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackResult {
+    /// The adversarial color block `[N, 3]` (unattacked points keep
+    /// their original colors exactly).
+    pub adversarial_colors: Matrix,
+    /// The squared-L2 perturbation magnitude `D(r_color)` (Eq. 4).
+    pub l2_sq: f32,
+    /// Iterations actually run (early stop on convergence).
+    pub steps_run: usize,
+    /// Whether the attacker's criterion was met before the step budget.
+    pub converged: bool,
+    /// The composite objective (`gain`) per iteration.
+    pub gain_history: Vec<f32>,
+    /// The attacker's metric per iteration (empty unless
+    /// [`crate::AttackConfig::record_trajectory`] is set).
+    pub metric_history: Vec<f32>,
+    /// Predictions of the victim on the best adversarial sample.
+    pub predictions: Vec<usize>,
+    /// The attacker's metric on the best sample: accuracy over attacked
+    /// points (non-targeted, lower is better) or SR (targeted, higher is
+    /// better).
+    pub success_metric: f32,
+    /// Number of attacked points (`|X_t|`).
+    pub attacked_points: usize,
+}
+
+impl AttackResult {
+    /// The L2 (not squared) perturbation norm, as reported in the
+    /// paper's tables.
+    pub fn l2(&self) -> f32 {
+        self.l2_sq.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_is_sqrt_of_l2_sq() {
+        let r = AttackResult {
+            adversarial_colors: Matrix::zeros(1, 3),
+            l2_sq: 9.0,
+            steps_run: 1,
+            converged: false,
+            gain_history: vec![1.0],
+            metric_history: Vec::new(),
+            predictions: vec![0],
+            success_metric: 0.0,
+            attacked_points: 1,
+        };
+        assert_eq!(r.l2(), 3.0);
+    }
+}

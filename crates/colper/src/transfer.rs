@@ -1,0 +1,97 @@
+//! Transferability helpers (the paper's Table 8 protocol): adversarial
+//! samples generated against one model are replayed against another,
+//! renormalizing coordinates between model conventions (Eq. 10).
+
+use colper_metrics::ConfusionMatrix;
+use colper_models::{CloudTensors, SegmentationModel};
+use colper_scene::PointCloud;
+use colper_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// Segmentation quality of a replayed adversarial sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferOutcome {
+    /// Point accuracy of the receiving model.
+    pub accuracy: f32,
+    /// aIoU of the receiving model.
+    pub miou: f32,
+    /// The receiving model's predictions.
+    pub predictions: Vec<usize>,
+}
+
+/// Writes an adversarial color block back into a cloud (clamped to
+/// `[0, 1]`), leaving coordinates and labels untouched.
+///
+/// # Panics
+///
+/// Panics when the matrix shape is not `[cloud.len(), 3]`.
+pub fn apply_adversarial_colors(cloud: &PointCloud, colors: &Matrix) -> PointCloud {
+    let mut out = cloud.clone();
+    out.set_colors_from_matrix(colors);
+    out
+}
+
+/// Evaluates `model` on a cloud that must already be in the model's
+/// normalized view; this is the replay step of the transfer protocol.
+pub fn evaluate_cloud<M: SegmentationModel + ?Sized>(
+    model: &M,
+    cloud: &PointCloud,
+    rng: &mut StdRng,
+) -> TransferOutcome {
+    let tensors = CloudTensors::from_cloud(cloud);
+    let predictions = colper_models::predict(model, &tensors, rng);
+    let mut cm = ConfusionMatrix::new(model.num_classes());
+    cm.update(&predictions, &cloud.labels);
+    TransferOutcome { accuracy: cm.accuracy(), miou: cm.mean_iou(), predictions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colper_models::{PointNet2, PointNet2Config};
+    use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
+    use rand::SeedableRng;
+
+    #[test]
+    fn apply_colors_round_trip() {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(64)).generate(0);
+        let colors = Matrix::filled(64, 3, 0.25);
+        let out = apply_adversarial_colors(&cloud, &colors);
+        assert!(out.colors.iter().all(|c| c.iter().all(|&v| v == 0.25)));
+        assert_eq!(out.coords, cloud.coords);
+        assert_eq!(out.labels, cloud.labels);
+    }
+
+    #[test]
+    fn apply_colors_clamps() {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(8)).generate(0);
+        let colors = Matrix::filled(8, 3, 7.0);
+        let out = apply_adversarial_colors(&cloud, &colors);
+        assert!(out.colors.iter().all(|c| c.iter().all(|&v| v == 1.0)));
+    }
+
+    #[test]
+    fn evaluate_cloud_reports_bounded_metrics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cloud = normalize::pointnet_view(
+            &SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(1),
+        );
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let outcome = evaluate_cloud(&model, &cloud, &mut rng);
+        assert!((0.0..=1.0).contains(&outcome.accuracy));
+        assert!((0.0..=1.0).contains(&outcome.miou));
+        assert_eq!(outcome.predictions.len(), 96);
+    }
+
+    #[test]
+    fn eq10_pipeline_composes() {
+        // ResGCN view -> Eq. 10 -> feed to a PointNet++-convention model.
+        let mut rng = StdRng::seed_from_u64(1);
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(2);
+        let resgcn_cloud = normalize::resgcn_view(&cloud);
+        let transferred = normalize::eq10_transform(&resgcn_cloud);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let outcome = evaluate_cloud(&model, &transferred, &mut rng);
+        assert_eq!(outcome.predictions.len(), 96);
+    }
+}

@@ -1,0 +1,187 @@
+//! Statistical anomaly detection of adversarial color perturbations.
+//!
+//! The detector exploits the attack's own tension: to move logits, the
+//! perturbation must create color patterns unlike natural surfaces, and
+//! the smoothness penalty (Eq. 6) can only partially hide them. We
+//! measure per-cloud *local color roughness* — the mean color distance
+//! between each point and its k nearest spatial neighbors — calibrate a
+//! threshold on clean clouds (mean + `z` standard deviations), and flag
+//! clouds above it.
+
+use colper_geom::knn_graph;
+use colper_scene::PointCloud;
+
+/// A calibrated roughness detector.
+///
+/// # Example
+///
+/// ```
+/// use colper_defense::SmoothnessDetector;
+/// use colper_scene::{IndoorSceneConfig, SceneGenerator};
+///
+/// let gen = SceneGenerator::indoor(IndoorSceneConfig::with_points(128));
+/// let clean: Vec<_> = (0..4).map(|i| gen.generate(i)).collect();
+/// let detector = SmoothnessDetector::calibrate(&clean, 6, 3.0);
+/// assert!(!detector.is_adversarial(&clean[0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoothnessDetector {
+    k: usize,
+    threshold: f32,
+    clean_mean: f32,
+    clean_std: f32,
+}
+
+/// Per-batch detection statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorReport {
+    /// Fraction of adversarial clouds flagged (true positive rate).
+    pub detection_rate: f32,
+    /// Fraction of clean clouds flagged (false positive rate).
+    pub false_positive_rate: f32,
+    /// The calibrated roughness threshold.
+    pub threshold: f32,
+}
+
+impl SmoothnessDetector {
+    /// Calibrates on clean clouds: the flag threshold is
+    /// `mean + z * std` of their roughness scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clean` is empty or `k == 0`.
+    pub fn calibrate(clean: &[PointCloud], k: usize, z: f32) -> Self {
+        assert!(!clean.is_empty(), "SmoothnessDetector: no calibration clouds");
+        assert!(k > 0, "SmoothnessDetector: k must be positive");
+        let scores: Vec<f32> = clean.iter().map(|c| color_roughness(c, k)).collect();
+        let mean = scores.iter().sum::<f32>() / scores.len() as f32;
+        let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f32>()
+            / scores.len() as f32;
+        let std = var.sqrt();
+        Self { k, threshold: mean + z * std.max(1e-6), clean_mean: mean, clean_std: std }
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Mean roughness of the calibration clouds.
+    pub fn clean_mean(&self) -> f32 {
+        self.clean_mean
+    }
+
+    /// The roughness score of one cloud.
+    pub fn score(&self, cloud: &PointCloud) -> f32 {
+        color_roughness(cloud, self.k)
+    }
+
+    /// Whether a cloud's roughness exceeds the calibrated threshold.
+    pub fn is_adversarial(&self, cloud: &PointCloud) -> bool {
+        self.score(cloud) > self.threshold
+    }
+
+    /// Evaluates the detector on labeled batches.
+    pub fn evaluate(&self, clean: &[PointCloud], adversarial: &[PointCloud]) -> DetectorReport {
+        let fp = clean.iter().filter(|c| self.is_adversarial(c)).count();
+        let tp = adversarial.iter().filter(|c| self.is_adversarial(c)).count();
+        DetectorReport {
+            detection_rate: tp as f32 / adversarial.len().max(1) as f32,
+            false_positive_rate: fp as f32 / clean.len().max(1) as f32,
+            threshold: self.threshold,
+        }
+    }
+}
+
+/// Mean color distance from each point to its `k` nearest spatial
+/// neighbors.
+fn color_roughness(cloud: &PointCloud, k: usize) -> f32 {
+    if cloud.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(cloud.len());
+    let graph = knn_graph(&cloud.coords, k);
+    let mut total = 0.0f32;
+    for i in 0..cloud.len() {
+        for j in 0..k {
+            let nb = graph[i * k + j];
+            let mut d2 = 0.0f32;
+            for c in 0..3 {
+                let d = cloud.colors[i][c] - cloud.colors[nb][c];
+                d2 += d * d;
+            }
+            total += d2.sqrt();
+        }
+    }
+    total / (cloud.len() * k) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colper_scene::{IndoorSceneConfig, SceneGenerator};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clean_clouds(n: u64) -> Vec<PointCloud> {
+        let gen = SceneGenerator::indoor(IndoorSceneConfig::with_points(160));
+        (0..n).map(|i| gen.generate(i)).collect()
+    }
+
+    /// A crude adversarial stand-in: strong independent per-point noise,
+    /// the roughness signature an unconstrained color attack leaves.
+    fn noisy(cloud: &PointCloud, sigma: f32, seed: u64) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = cloud.clone();
+        for c in &mut out.colors {
+            for v in c {
+                *v = (*v + rng.gen_range(-sigma..=sigma)).clamp(0.0, 1.0);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clean_clouds_pass() {
+        let clouds = clean_clouds(6);
+        let detector = SmoothnessDetector::calibrate(&clouds[..4], 6, 3.0);
+        // Held-out clean clouds also pass.
+        assert!(!detector.is_adversarial(&clouds[4]));
+        assert!(!detector.is_adversarial(&clouds[5]));
+    }
+
+    #[test]
+    fn heavy_noise_is_flagged() {
+        let clouds = clean_clouds(5);
+        let detector = SmoothnessDetector::calibrate(&clouds[..4], 6, 3.0);
+        let adv = noisy(&clouds[4], 0.4, 1);
+        assert!(detector.score(&adv) > detector.clean_mean());
+        assert!(detector.is_adversarial(&adv));
+    }
+
+    #[test]
+    fn evaluate_reports_rates() {
+        let clouds = clean_clouds(6);
+        let detector = SmoothnessDetector::calibrate(&clouds[..3], 6, 3.0);
+        let adv: Vec<PointCloud> =
+            clouds[3..].iter().enumerate().map(|(i, c)| noisy(c, 0.4, i as u64)).collect();
+        let report = detector.evaluate(&clouds[3..], &adv);
+        assert!(report.detection_rate >= report.false_positive_rate);
+        assert!(report.detection_rate > 0.5, "{report:?}");
+    }
+
+    #[test]
+    fn roughness_zero_for_uniform_colors() {
+        let mut cloud = clean_clouds(1).remove(0);
+        for c in &mut cloud.colors {
+            *c = [0.5, 0.5, 0.5];
+        }
+        assert_eq!(color_roughness(&cloud, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no calibration clouds")]
+    fn calibration_needs_data() {
+        let _ = SmoothnessDetector::calibrate(&[], 4, 3.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Input-transformation defenses: rewrite the color block before the
+//! model sees it.
+//!
+//! These are the cheapest defenses — no retraining — and the classic
+//! representatives of *gradient obfuscation*: a white-box attacker who is
+//! unaware of the transform optimizes against the wrong input; an
+//! adaptive attacker can fold a differentiable approximation back into
+//! the loop (which is why the paper, citing Sun et al., is skeptical of
+//! this family).
+
+use colper_geom::knn_graph;
+use colper_scene::PointCloud;
+use rand::Rng;
+
+/// The input transformations available to the evaluation harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColorTransform {
+    /// Reduce each channel to `bits` of depth.
+    Quantize {
+        /// Bits per channel (1–8).
+        bits: u32,
+    },
+    /// Replace each point's color by the mean over its `k` nearest
+    /// neighbors (color denoising).
+    Smooth {
+        /// Neighborhood size.
+        k: usize,
+    },
+    /// Add uniform noise of half-width `sigma` (randomized defense).
+    Jitter {
+        /// Noise half-width.
+        sigma: f32,
+    },
+    /// Project to grayscale (discard chroma entirely).
+    Grayscale,
+}
+
+impl ColorTransform {
+    /// Applies the transform to a cloud.
+    pub fn apply<R: Rng + ?Sized>(&self, cloud: &PointCloud, rng: &mut R) -> PointCloud {
+        match *self {
+            ColorTransform::Quantize { bits } => quantize_colors(cloud, bits),
+            ColorTransform::Smooth { k } => smooth_colors(cloud, k),
+            ColorTransform::Jitter { sigma } => jitter_colors(cloud, sigma, rng),
+            ColorTransform::Grayscale => grayscale_colors(cloud),
+        }
+    }
+
+    /// A short label for report rows.
+    pub fn label(&self) -> String {
+        match *self {
+            ColorTransform::Quantize { bits } => format!("quantize({bits} bit)"),
+            ColorTransform::Smooth { k } => format!("smooth(k={k})"),
+            ColorTransform::Jitter { sigma } => format!("jitter(±{sigma})"),
+            ColorTransform::Grayscale => "grayscale".to_string(),
+        }
+    }
+}
+
+/// Quantizes every color channel to `bits` of depth (1–8).
+///
+/// # Panics
+///
+/// Panics when `bits` is 0 or above 8.
+pub fn quantize_colors(cloud: &PointCloud, bits: u32) -> PointCloud {
+    assert!((1..=8).contains(&bits), "quantize_colors: bits must be 1-8");
+    let levels = (1u32 << bits) as f32 - 1.0;
+    let mut out = cloud.clone();
+    for c in &mut out.colors {
+        for v in c {
+            *v = (*v * levels).round() / levels;
+        }
+    }
+    out
+}
+
+/// Replaces each color by the mean over the point's `k` nearest
+/// neighbors (self included), a color-channel denoiser.
+///
+/// # Panics
+///
+/// Panics when the cloud is empty or `k == 0`.
+pub fn smooth_colors(cloud: &PointCloud, k: usize) -> PointCloud {
+    assert!(!cloud.is_empty(), "smooth_colors: empty cloud");
+    assert!(k > 0, "smooth_colors: k must be positive");
+    let k = k.min(cloud.len());
+    let graph = knn_graph(&cloud.coords, k);
+    let mut out = cloud.clone();
+    for i in 0..cloud.len() {
+        let mut acc = [0.0f32; 3];
+        for j in 0..k {
+            let nb = graph[i * k + j];
+            for (a, v) in acc.iter_mut().zip(&cloud.colors[nb]) {
+                *a += v;
+            }
+        }
+        for (o, a) in out.colors[i].iter_mut().zip(acc) {
+            *o = a / k as f32;
+        }
+    }
+    out
+}
+
+/// Adds uniform noise of half-width `sigma` to every channel, clamped to
+/// `[0, 1]` (a randomized-smoothing style defense).
+pub fn jitter_colors<R: Rng + ?Sized>(cloud: &PointCloud, sigma: f32, rng: &mut R) -> PointCloud {
+    let mut out = cloud.clone();
+    for c in &mut out.colors {
+        for v in c {
+            *v = (*v + rng.gen_range(-sigma..=sigma)).clamp(0.0, 1.0);
+        }
+    }
+    out
+}
+
+/// Projects every color onto its luma (Rec. 601 weights), removing the
+/// chroma channels an attacker manipulates most freely.
+pub fn grayscale_colors(cloud: &PointCloud) -> PointCloud {
+    let mut out = cloud.clone();
+    for c in &mut out.colors {
+        let y = 0.299 * c[0] + 0.587 * c[1] + 0.114 * c[2];
+        *c = [y, y, y];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colper_scene::{IndoorSceneConfig, SceneGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> PointCloud {
+        SceneGenerator::indoor(IndoorSceneConfig::with_points(128)).generate(1)
+    }
+
+    #[test]
+    fn quantize_reduces_distinct_values() {
+        let cloud = sample();
+        let q = quantize_colors(&cloud, 2);
+        let mut distinct: Vec<u32> = q
+            .colors
+            .iter()
+            .flatten()
+            .map(|v| (v * 1000.0).round() as u32)
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 4, "2 bits -> at most 4 levels, got {}", distinct.len());
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let cloud = sample();
+        let once = quantize_colors(&cloud, 3);
+        let twice = quantize_colors(&once, 3);
+        assert_eq!(once.colors, twice.colors);
+    }
+
+    #[test]
+    fn smooth_reduces_neighborhood_contrast() {
+        let cloud = sample();
+        let smoothed = smooth_colors(&cloud, 8);
+        let contrast = |c: &PointCloud| -> f32 {
+            let g = knn_graph(&c.coords, 4);
+            let mut total = 0.0;
+            for i in 0..c.len() {
+                for j in 0..4 {
+                    let nb = g[i * 4 + j];
+                    for ch in 0..3 {
+                        total += (c.colors[i][ch] - c.colors[nb][ch]).abs();
+                    }
+                }
+            }
+            total
+        };
+        assert!(contrast(&smoothed) < contrast(&cloud));
+    }
+
+    #[test]
+    fn jitter_stays_in_unit_box() {
+        let cloud = sample();
+        let mut rng = StdRng::seed_from_u64(0);
+        let j = jitter_colors(&cloud, 0.3, &mut rng);
+        assert!(j.colors.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_ne!(j.colors, cloud.colors);
+    }
+
+    #[test]
+    fn grayscale_equalizes_channels() {
+        let cloud = sample();
+        let g = grayscale_colors(&cloud);
+        for c in &g.colors {
+            assert_eq!(c[0], c[1]);
+            assert_eq!(c[1], c[2]);
+        }
+    }
+
+    #[test]
+    fn transforms_preserve_geometry_and_labels() {
+        let cloud = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in [
+            ColorTransform::Quantize { bits: 4 },
+            ColorTransform::Smooth { k: 5 },
+            ColorTransform::Jitter { sigma: 0.1 },
+            ColorTransform::Grayscale,
+        ] {
+            let d = t.apply(&cloud, &mut rng);
+            assert_eq!(d.coords, cloud.coords, "{}", t.label());
+            assert_eq!(d.labels, cloud.labels, "{}", t.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(ColorTransform::Quantize { bits: 3 }.label().contains('3'));
+        assert!(ColorTransform::Smooth { k: 7 }.label().contains('7'));
+    }
+}

@@ -1,0 +1,140 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point3;
+
+/// An axis-aligned bounding box, used by the kd-tree for pruning and by
+/// the scene generators for room/object extents.
+///
+/// # Example
+///
+/// ```
+/// use colper_geom::{Aabb, Point3};
+///
+/// let b = Aabb::from_points(&[Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 1.0, 3.0)]).unwrap();
+/// assert!(b.contains(Point3::new(1.0, 0.5, 1.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Point3,
+    /// Maximum corner.
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// Creates a box from its two corners, normalizing the ordering.
+    pub fn new(a: Point3, b: Point3) -> Self {
+        Self { min: a.min(b), max: a.max(b) }
+    }
+
+    /// The tight bounding box of a point set, or `None` when empty.
+    pub fn from_points(points: &[Point3]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut min = first;
+        let mut max = first;
+        for &p in &points[1..] {
+            min = min.min(p);
+            max = max.max(p);
+        }
+        Some(Self { min, max })
+    }
+
+    /// Whether `p` lies inside (inclusive of boundaries).
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// The center of the box.
+    pub fn center(&self) -> Point3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Extent along each axis.
+    pub fn size(&self) -> Point3 {
+        self.max - self.min
+    }
+
+    /// Squared distance from `p` to the nearest point of the box
+    /// (zero when inside). Used for kd-tree pruning.
+    pub fn sq_dist_to_point(&self, p: Point3) -> f32 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        let dz = (self.min.z - p.z).max(0.0).max(p.z - self.max.z);
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// The smallest box containing both `self` and `other`.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// The axis with the largest extent (`0`, `1`, or `2`).
+    pub fn longest_axis(&self) -> usize {
+        let s = self.size();
+        if s.x >= s.y && s.x >= s.z {
+            0
+        } else if s.y >= s.z {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let b = Aabb::new(Point3::new(2.0, 0.0, 5.0), Point3::new(0.0, 1.0, 3.0));
+        assert_eq!(b.min, Point3::new(0.0, 0.0, 3.0));
+        assert_eq!(b.max, Point3::new(2.0, 1.0, 5.0));
+    }
+
+    #[test]
+    fn from_points_tight() {
+        let pts = [Point3::new(1.0, 2.0, 3.0), Point3::new(-1.0, 5.0, 0.0)];
+        let b = Aabb::from_points(&pts).unwrap();
+        assert_eq!(b.min, Point3::new(-1.0, 2.0, 0.0));
+        assert_eq!(b.max, Point3::new(1.0, 5.0, 3.0));
+        assert!(Aabb::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0));
+        assert!(b.contains(Point3::new(1.0, 1.0, 1.0)));
+        assert!(b.contains(Point3::ORIGIN));
+        assert!(!b.contains(Point3::new(1.01, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn sq_dist_zero_inside() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 2.0, 2.0));
+        assert_eq!(b.sq_dist_to_point(Point3::new(1.0, 1.0, 1.0)), 0.0);
+        assert_eq!(b.sq_dist_to_point(Point3::new(3.0, 1.0, 1.0)), 1.0);
+        assert_eq!(b.sq_dist_to_point(Point3::new(-1.0, -1.0, 1.0)), 2.0);
+    }
+
+    #[test]
+    fn center_size_union() {
+        let a = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 2.0, 2.0));
+        assert_eq!(a.center(), Point3::new(1.0, 1.0, 1.0));
+        assert_eq!(a.size(), Point3::new(2.0, 2.0, 2.0));
+        let b = Aabb::new(Point3::new(3.0, 0.0, 0.0), Point3::new(4.0, 1.0, 1.0));
+        let u = a.union(&b);
+        assert_eq!(u.max, Point3::new(4.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn longest_axis_picks_widest() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::new(1.0, 5.0, 2.0));
+        assert_eq!(b.longest_axis(), 1);
+    }
+}

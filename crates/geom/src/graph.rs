@@ -1,0 +1,110 @@
+//! A flattened fixed-degree neighbor graph.
+
+use crate::{knn_graph, Point3};
+
+/// A fixed-degree neighbor graph: every node has exactly `k` neighbor
+/// slots stored contiguously, which is the layout the autodiff gather and
+/// grouped pooling ops consume directly.
+///
+/// # Example
+///
+/// ```
+/// use colper_geom::{NeighborGraph, Point3};
+///
+/// let pts = vec![
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(1.0, 0.0, 0.0),
+///     Point3::new(5.0, 0.0, 0.0),
+/// ];
+/// let g = NeighborGraph::knn(&pts, 2);
+/// assert_eq!(g.neighbors(0), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborGraph {
+    k: usize,
+    flat: Vec<usize>,
+}
+
+impl NeighborGraph {
+    /// Builds a k-NN graph over `points` (self included as first
+    /// neighbor).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` is empty or `k == 0`.
+    pub fn knn(points: &[Point3], k: usize) -> Self {
+        Self { k, flat: knn_graph(points, k) }
+    }
+
+    /// Wraps a pre-computed flattened index list.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flat.len()` is not a multiple of `k`, `k == 0`, or an
+    /// index is `>= flat.len() / k`.
+    pub fn from_flat(k: usize, flat: Vec<usize>) -> Self {
+        assert!(k > 0, "NeighborGraph: k must be positive");
+        assert_eq!(flat.len() % k, 0, "NeighborGraph: flat length must be a multiple of k");
+        let n = flat.len() / k;
+        assert!(flat.iter().all(|&i| i < n), "NeighborGraph: index out of bounds");
+        Self { k, flat }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.flat.len() / self.k
+    }
+
+    /// Neighbor-list degree `k`.
+    pub fn degree(&self) -> usize {
+        self.k
+    }
+
+    /// The neighbor slots of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        assert!(i < self.node_count(), "node {i} out of bounds");
+        &self.flat[i * self.k..(i + 1) * self.k]
+    }
+
+    /// The flattened `[N*k]` index list.
+    pub fn as_flat(&self) -> &[usize] {
+        &self.flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knn_graph_shape() {
+        let pts: Vec<Point3> = (0..8).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let g = NeighborGraph::knn(&pts, 3);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.degree(), 3);
+        assert_eq!(g.as_flat().len(), 24);
+    }
+
+    #[test]
+    fn from_flat_validates() {
+        let g = NeighborGraph::from_flat(2, vec![0, 1, 1, 0]);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.neighbors(1), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of k")]
+    fn from_flat_rejects_ragged() {
+        let _ = NeighborGraph::from_flat(2, vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_flat_rejects_bad_index() {
+        let _ = NeighborGraph::from_flat(2, vec![0, 5, 1, 0]);
+    }
+}

@@ -1,0 +1,328 @@
+//! A kd-tree over 3-D points with k-NN and radius queries.
+
+use crate::{Aabb, Point3};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A neighbor returned by a spatial query: the index of the point in the
+/// original slice and its squared distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index into the point slice the tree was built from.
+    pub index: usize,
+    /// Squared Euclidean distance to the query point.
+    pub sq_dist: f32,
+}
+
+// Max-heap ordering on squared distance so the worst current neighbor is
+// at the top and can be evicted in O(log k).
+#[derive(Debug, PartialEq)]
+struct HeapEntry(Neighbor);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .sq_dist
+            .partial_cmp(&other.0.sq_dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.index.cmp(&other.0.index))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        // Indices into the points array.
+        items: Vec<usize>,
+    },
+    Split {
+        axis: usize,
+        value: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+        bounds_left: Aabb,
+        bounds_right: Aabb,
+    },
+}
+
+/// A static kd-tree over a slice of points.
+///
+/// The tree stores its own copy of the points; query results index into
+/// the slice passed to [`KdTree::build`].
+///
+/// # Example
+///
+/// ```
+/// use colper_geom::{KdTree, Point3};
+///
+/// let pts: Vec<Point3> = (0..100)
+///     .map(|i| Point3::new(i as f32, 0.0, 0.0))
+///     .collect();
+/// let tree = KdTree::build(&pts);
+/// let nn = tree.knn(Point3::new(42.4, 0.0, 0.0), 2);
+/// assert_eq!(nn[0].index, 42);
+/// assert_eq!(nn[1].index, 43);
+/// ```
+#[derive(Debug)]
+pub struct KdTree {
+    points: Vec<Point3>,
+    root: Option<Node>,
+}
+
+const LEAF_SIZE: usize = 16;
+
+impl KdTree {
+    /// Builds a tree from a point slice. An empty slice yields an empty
+    /// tree whose queries return no neighbors.
+    pub fn build(points: &[Point3]) -> Self {
+        let points = points.to_vec();
+        if points.is_empty() {
+            return Self { points, root: None };
+        }
+        let mut indices: Vec<usize> = (0..points.len()).collect();
+        let bounds = Aabb::from_points(&points).expect("non-empty");
+        let root = Self::build_node(&points, &mut indices, bounds);
+        Self { points, root: Some(root) }
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points the tree was built from.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    fn build_node(points: &[Point3], indices: &mut [usize], bounds: Aabb) -> Node {
+        if indices.len() <= LEAF_SIZE {
+            return Node::Leaf { items: indices.to_vec() };
+        }
+        let axis = bounds.longest_axis();
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            points[a]
+                .axis(axis)
+                .partial_cmp(&points[b].axis(axis))
+                .unwrap_or(Ordering::Equal)
+        });
+        let value = points[indices[mid]].axis(axis);
+        let (left_idx, right_idx) = indices.split_at_mut(mid);
+        // Degenerate split (all coordinates equal along this axis): fall
+        // back to a leaf to guarantee termination.
+        if left_idx.is_empty() || right_idx.is_empty() {
+            let mut items = left_idx.to_vec();
+            items.extend_from_slice(right_idx);
+            return Node::Leaf { items };
+        }
+        let bl = Aabb::from_points(&left_idx.iter().map(|&i| points[i]).collect::<Vec<_>>())
+            .expect("non-empty");
+        let br = Aabb::from_points(&right_idx.iter().map(|&i| points[i]).collect::<Vec<_>>())
+            .expect("non-empty");
+        Node::Split {
+            axis,
+            value,
+            left: Box::new(Self::build_node(points, left_idx, bl)),
+            right: Box::new(Self::build_node(points, right_idx, br)),
+            bounds_left: bl,
+            bounds_right: br,
+        }
+    }
+
+    /// The `k` nearest neighbors of `query`, sorted by ascending distance.
+    ///
+    /// Returns fewer than `k` neighbors when the tree holds fewer points.
+    pub fn knn(&self, query: Point3, k: usize) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        if let Some(root) = &self.root {
+            self.knn_visit(root, query, k, &mut heap);
+        }
+        let mut out: Vec<Neighbor> = heap.into_iter().map(|e| e.0).collect();
+        out.sort_by(|a, b| {
+            a.sq_dist
+                .partial_cmp(&b.sq_dist)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        out
+    }
+
+    fn knn_visit(&self, node: &Node, query: Point3, k: usize, heap: &mut BinaryHeap<HeapEntry>) {
+        match node {
+            Node::Leaf { items } => {
+                for &i in items {
+                    let d = self.points[i].sq_dist(query);
+                    if heap.len() < k {
+                        heap.push(HeapEntry(Neighbor { index: i, sq_dist: d }));
+                    } else if d < heap.peek().expect("non-empty").0.sq_dist {
+                        heap.pop();
+                        heap.push(HeapEntry(Neighbor { index: i, sq_dist: d }));
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right, bounds_left, bounds_right } => {
+                let (first, second, b_second) = if query.axis(*axis) < *value {
+                    (left, right, bounds_right)
+                } else {
+                    (right, left, bounds_left)
+                };
+                self.knn_visit(first, query, k, heap);
+                let worst = heap.peek().map_or(f32::INFINITY, |e| e.0.sq_dist);
+                if heap.len() < k || b_second.sq_dist_to_point(query) < worst {
+                    self.knn_visit(second, query, k, heap);
+                }
+            }
+        }
+    }
+
+    /// All points within `radius` of `query`, sorted by ascending
+    /// distance.
+    pub fn within_radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        if let Some(root) = &self.root {
+            self.radius_visit(root, query, r2, &mut out);
+        }
+        out.sort_by(|a, b| a.sq_dist.partial_cmp(&b.sq_dist).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    fn radius_visit(&self, node: &Node, query: Point3, r2: f32, out: &mut Vec<Neighbor>) {
+        match node {
+            Node::Leaf { items } => {
+                for &i in items {
+                    let d = self.points[i].sq_dist(query);
+                    if d <= r2 {
+                        out.push(Neighbor { index: i, sq_dist: d });
+                    }
+                }
+            }
+            Node::Split { left, right, bounds_left, bounds_right, .. } => {
+                if bounds_left.sq_dist_to_point(query) <= r2 {
+                    self.radius_visit(left, query, r2, out);
+                }
+                if bounds_right.sq_dist_to_point(query) <= r2 {
+                    self.radius_visit(right, query, r2, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = KdTree::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.knn(Point3::ORIGIN, 3).is_empty());
+        assert!(tree.within_radius(Point3::ORIGIN, 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let tree = KdTree::build(&[Point3::new(1.0, 2.0, 3.0)]);
+        let nn = tree.knn(Point3::ORIGIN, 5);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].index, 0);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = random_points(500, 42);
+        let tree = KdTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let q = Point3::new(rng.gen_range(-1.2..1.2), rng.gen_range(-1.2..1.2), rng.gen_range(-1.2..1.2));
+            let k = rng.gen_range(1..20);
+            let got = tree.knn(q, k);
+            let mut brute: Vec<Neighbor> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Neighbor { index: i, sq_dist: p.sq_dist(q) })
+                .collect();
+            brute.sort_by(|a, b| a.sq_dist.partial_cmp(&b.sq_dist).unwrap());
+            brute.truncate(k);
+            assert_eq!(got.len(), k);
+            for (g, b) in got.iter().zip(&brute) {
+                assert!((g.sq_dist - b.sq_dist).abs() < 1e-6, "kd {g:?} vs brute {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_matches_brute_force() {
+        let pts = random_points(300, 5);
+        let tree = KdTree::build(&pts);
+        let q = Point3::new(0.1, -0.2, 0.3);
+        let r = 0.5;
+        let got = tree.within_radius(q, r);
+        let expected: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.sq_dist(q) <= r * r)
+            .map(|(i, _)| i)
+            .collect();
+        let got_idx: std::collections::HashSet<usize> = got.iter().map(|n| n.index).collect();
+        assert_eq!(got_idx.len(), expected.len());
+        for i in expected {
+            assert!(got_idx.contains(&i));
+        }
+        // Sorted by ascending distance.
+        for w in got.windows(2) {
+            assert!(w[0].sq_dist <= w[1].sq_dist);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![Point3::ORIGIN; 100];
+        let tree = KdTree::build(&pts);
+        let nn = tree.knn(Point3::ORIGIN, 10);
+        assert_eq!(nn.len(), 10);
+        assert!(nn.iter().all(|n| n.sq_dist == 0.0));
+    }
+
+    #[test]
+    fn knn_k_zero() {
+        let tree = KdTree::build(&random_points(10, 1));
+        assert!(tree.knn(Point3::ORIGIN, 0).is_empty());
+    }
+
+    #[test]
+    fn knn_includes_query_point_itself_when_in_set() {
+        let pts = random_points(50, 9);
+        let tree = KdTree::build(&pts);
+        let nn = tree.knn(pts[17], 1);
+        assert_eq!(nn[0].index, 17);
+        assert_eq!(nn[0].sq_dist, 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! k-nearest-neighbor graph construction, including the dilated variant
+//! used by DeepGCN.
+
+use crate::{KdTree, Neighbor, Point3};
+use std::cmp::Ordering;
+
+/// Brute-force k-NN of `query` within `points`, sorted ascending by
+/// distance. Reference implementation used to differential-test the
+/// kd-tree; also the fastest option for very small point sets.
+pub fn brute_force_knn(points: &[Point3], query: Point3, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| Neighbor { index: i, sq_dist: p.sq_dist(query) })
+        .collect();
+    all.sort_by(|a, b| {
+        a.sq_dist
+            .partial_cmp(&b.sq_dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    all.truncate(k);
+    all
+}
+
+/// Builds the full k-NN graph of a point set: a flattened `[N*k]` index
+/// list where entry `i*k + j` is the j-th nearest neighbor of point `i`
+/// (the point itself included, as in PointNet++ grouping and Eq. 6 of the
+/// paper when `alpha` neighborhoods are formed).
+///
+/// When the set holds fewer than `k` points, neighbor lists are padded by
+/// repeating the nearest available neighbor so every row has exactly `k`
+/// entries.
+///
+/// # Panics
+///
+/// Panics when `points` is empty or `k == 0`.
+pub fn knn_graph(points: &[Point3], k: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "knn_graph: empty point set");
+    assert!(k > 0, "knn_graph: k must be positive");
+    let tree = KdTree::build(points);
+    let mut out = Vec::with_capacity(points.len() * k);
+    for &p in points {
+        let nn = tree.knn(p, k.min(points.len()));
+        let last = nn.last().expect("at least one neighbor").index;
+        for j in 0..k {
+            out.push(nn.get(j).map_or(last, |n| n.index));
+        }
+    }
+    out
+}
+
+/// Builds a *dilated* k-NN graph as in DeepGCN: for each point the
+/// `k * dilation` nearest neighbors are found and every `dilation`-th one
+/// is kept, widening the receptive field without extra edges.
+///
+/// `dilation == 1` reduces to [`knn_graph`].
+///
+/// # Panics
+///
+/// Panics when `points` is empty, `k == 0`, or `dilation == 0`.
+pub fn dilated_knn(points: &[Point3], k: usize, dilation: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "dilated_knn: empty point set");
+    assert!(k > 0, "dilated_knn: k must be positive");
+    assert!(dilation > 0, "dilated_knn: dilation must be positive");
+    if dilation == 1 {
+        return knn_graph(points, k);
+    }
+    let tree = KdTree::build(points);
+    let wide = (k * dilation).min(points.len());
+    let mut out = Vec::with_capacity(points.len() * k);
+    for &p in points {
+        let nn = tree.knn(p, wide);
+        let last = nn.last().expect("at least one neighbor").index;
+        for j in 0..k {
+            let idx = j * dilation;
+            out.push(nn.get(idx).map_or(last, |n| n.index));
+        }
+    }
+    out
+}
+
+/// Dense pairwise squared distances between two point sets,
+/// `out[i * b.len() + j] = ||a[i] - b[j]||^2`.
+pub fn pairwise_sq_dist(a: &[Point3], b: &[Point3]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for &pa in a {
+        for &pb in b {
+            out.push(pa.sq_dist(pb));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn knn_graph_self_is_first_neighbor() {
+        let pts = random_points(64, 11);
+        let g = knn_graph(&pts, 4);
+        assert_eq!(g.len(), 64 * 4);
+        for i in 0..64 {
+            assert_eq!(g[i * 4], i, "point {i} should be its own nearest neighbor");
+        }
+    }
+
+    #[test]
+    fn knn_graph_matches_brute_force() {
+        let pts = random_points(100, 3);
+        let k = 5;
+        let g = knn_graph(&pts, k);
+        for (i, &p) in pts.iter().enumerate() {
+            let brute = brute_force_knn(&pts, p, k);
+            for j in 0..k {
+                let d_tree = pts[g[i * k + j]].sq_dist(p);
+                let d_brute = brute[j].sq_dist;
+                assert!((d_tree - d_brute).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_graph_pads_small_sets() {
+        let pts = random_points(3, 4);
+        let g = knn_graph(&pts, 8);
+        assert_eq!(g.len(), 3 * 8);
+        // All indices valid.
+        assert!(g.iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn dilated_knn_skips_neighbors() {
+        // Points on a line: neighbors of point 0 in order are 0,1,2,3,...
+        let pts: Vec<Point3> = (0..20).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let g = dilated_knn(&pts, 3, 2);
+        // For point 0: wide list is [0,1,2,3,4,5]; keep every 2nd -> [0,2,4].
+        assert_eq!(&g[0..3], &[0, 2, 4]);
+    }
+
+    #[test]
+    fn dilation_one_equals_plain_graph() {
+        let pts = random_points(50, 8);
+        assert_eq!(dilated_knn(&pts, 4, 1), knn_graph(&pts, 4));
+    }
+
+    #[test]
+    fn pairwise_distances() {
+        let a = vec![Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0)];
+        let b = vec![Point3::new(0.0, 2.0, 0.0)];
+        let d = pairwise_sq_dist(&a, &b);
+        assert_eq!(d, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn knn_graph_rejects_empty() {
+        let _ = knn_graph(&[], 3);
+    }
+}

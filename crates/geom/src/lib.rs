@@ -1,0 +1,44 @@
+//! Point-cloud geometry substrate for the COLPER reproduction.
+//!
+//! Segmentation networks and the attack both consume *neighborhood
+//! structure* computed from point coordinates: PointNet++ needs farthest
+//! point sampling and ball queries, DeepGCN needs (dilated) k-nearest
+//! neighbors, RandLA-Net needs random subsampling plus k-NN, and the
+//! paper's smoothness penalty (Eq. 6) needs the `alpha` nearest neighbors
+//! of every point. This crate provides those primitives over plain
+//! `[f32; 3]` points, with a [`KdTree`] for `O(log n)` queries and brute
+//! force fallbacks used for differential testing.
+//!
+//! # Example
+//!
+//! ```
+//! use colper_geom::{KdTree, Point3};
+//!
+//! let pts = vec![
+//!     Point3::new(0.0, 0.0, 0.0),
+//!     Point3::new(1.0, 0.0, 0.0),
+//!     Point3::new(0.0, 2.0, 0.0),
+//! ];
+//! let tree = KdTree::build(&pts);
+//! let nearest = tree.knn(Point3::new(0.9, 0.1, 0.0), 1);
+//! assert_eq!(nearest[0].index, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aabb;
+mod graph;
+mod kdtree;
+mod knn;
+mod point;
+mod sampling;
+mod voxel;
+
+pub use aabb::Aabb;
+pub use graph::NeighborGraph;
+pub use kdtree::{KdTree, Neighbor};
+pub use knn::{brute_force_knn, dilated_knn, knn_graph, pairwise_sq_dist};
+pub use point::Point3;
+pub use sampling::{ball_query, farthest_point_sampling, random_sample, three_nn_weights};
+pub use voxel::{occupied_voxels, voxel_downsample};

@@ -1,0 +1,212 @@
+//! The [`Point3`] type: a 3-D coordinate.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A point (or vector) in 3-D space.
+///
+/// # Example
+///
+/// ```
+/// use colper_geom::Point3;
+///
+/// let a = Point3::new(1.0, 2.0, 3.0);
+/// let b = Point3::new(1.0, 0.0, 3.0);
+/// assert_eq!(a.sq_dist(b), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+    /// Z coordinate.
+    pub z: f32,
+}
+
+impl Point3 {
+    /// The origin.
+    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from its three coordinates.
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Creates a point from a `[x, y, z]` array.
+    pub const fn from_array(a: [f32; 3]) -> Self {
+        Self { x: a[0], y: a[1], z: a[2] }
+    }
+
+    /// The coordinates as a `[x, y, z]` array.
+    pub const fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Coordinate by axis index (`0 -> x`, `1 -> y`, `2 -> z`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis > 2`.
+    pub fn axis(self, axis: usize) -> f32 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis {axis} out of range for Point3"),
+        }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn sq_dist(self, other: Point3) -> f32 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y + d.z * d.z
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(self, other: Point3) -> f32 {
+        self.sq_dist(other).sqrt()
+    }
+
+    /// Euclidean norm of the point viewed as a vector.
+    pub fn norm(self) -> f32 {
+        self.sq_dist(Point3::ORIGIN).sqrt()
+    }
+
+    /// Dot product with `other`.
+    pub fn dot(self, other: Point3) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Componentwise minimum.
+    pub fn min(self, other: Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Componentwise maximum.
+    pub fn max(self, other: Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Whether all three coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    fn add(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    fn sub(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f32> for Point3 {
+    type Output = Point3;
+    fn mul(self, s: f32) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f32> for Point3 {
+    type Output = Point3;
+    fn div(self, s: f32) -> Point3 {
+        Point3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl From<[f32; 3]> for Point3 {
+    fn from(a: [f32; 3]) -> Self {
+        Point3::from_array(a)
+    }
+}
+
+impl From<Point3> for [f32; 3] {
+    fn from(p: Point3) -> Self {
+        p.to_array()
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(0.5, 0.5, 0.5);
+        assert_eq!(a + b, Point3::new(1.5, 2.5, 3.5));
+        assert_eq!(a - b, Point3::new(0.5, 1.5, 2.5));
+        assert_eq!(a * 2.0, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Point3::new(0.5, 1.0, 1.5));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point3::new(0.0, 3.0, 0.0);
+        let b = Point3::new(4.0, 0.0, 0.0);
+        assert_eq!(a.sq_dist(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.norm(), 3.0);
+    }
+
+    #[test]
+    fn axis_access() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(a.axis(0), 1.0);
+        assert_eq!(a.axis(1), 2.0);
+        assert_eq!(a.axis(2), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis")]
+    fn axis_out_of_range() {
+        let _ = Point3::ORIGIN.axis(3);
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Point3::new(1.0, 5.0, 2.0);
+        let b = Point3::new(3.0, 1.0, 2.0);
+        assert_eq!(a.min(b), Point3::new(1.0, 1.0, 2.0));
+        assert_eq!(a.max(b), Point3::new(3.0, 5.0, 2.0));
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let arr: [f32; 3] = a.into();
+        assert_eq!(Point3::from(arr), a);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, -5.0, 6.0);
+        assert_eq!(a.dot(b), 12.0);
+    }
+
+    #[test]
+    fn display_formats_coordinates() {
+        assert_eq!(Point3::new(1.0, 2.0, 3.0).to_string(), "(1, 2, 3)");
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Point3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Point3::new(f32::NAN, 0.0, 0.0).is_finite());
+    }
+}

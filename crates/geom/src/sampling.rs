@@ -1,0 +1,229 @@
+//! Point sampling primitives: farthest point sampling (PointNet++), random
+//! sampling (RandLA-Net), ball queries and interpolation weights.
+
+use crate::{KdTree, Point3};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Farthest point sampling: selects `m` indices that greedily maximize the
+/// minimum pairwise distance, starting from `start`.
+///
+/// This is the centroid-selection step of PointNet++ set abstraction.
+/// When `m >= points.len()` all indices are returned (in selection order).
+///
+/// # Panics
+///
+/// Panics when `points` is empty or `start` is out of bounds.
+pub fn farthest_point_sampling(points: &[Point3], m: usize, start: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "farthest_point_sampling: empty point set");
+    assert!(start < points.len(), "farthest_point_sampling: start out of bounds");
+    let m = m.min(points.len());
+    let mut selected = Vec::with_capacity(m);
+    let mut min_dist = vec![f32::INFINITY; points.len()];
+    let mut current = start;
+    for _ in 0..m {
+        selected.push(current);
+        let p = points[current];
+        let mut next = current;
+        let mut best = f32::NEG_INFINITY;
+        for (i, &q) in points.iter().enumerate() {
+            let d = p.sq_dist(q);
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+            if min_dist[i] > best {
+                best = min_dist[i];
+                next = i;
+            }
+        }
+        current = next;
+    }
+    selected
+}
+
+/// Uniform random sample of `m` distinct indices (RandLA-Net's
+/// downsampling). When `m >= points.len()`, a permutation of all indices
+/// is returned.
+pub fn random_sample<R: Rng + ?Sized>(len: usize, m: usize, rng: &mut R) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..len).collect();
+    idx.shuffle(rng);
+    idx.truncate(m.min(len));
+    idx
+}
+
+/// Ball query: for each centroid, up to `k` point indices within `radius`,
+/// padded by repeating the first found neighbor (PointNet++ grouping
+/// semantics). When a centroid has no neighbor in range, its nearest
+/// neighbor is used for all `k` slots.
+///
+/// Returns a flattened `[centroids.len() * k]` index list into `points`.
+///
+/// # Panics
+///
+/// Panics when `points` is empty or `k == 0`.
+pub fn ball_query(points: &[Point3], centroids: &[Point3], radius: f32, k: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "ball_query: empty point set");
+    assert!(k > 0, "ball_query: k must be positive");
+    let tree = KdTree::build(points);
+    let mut out = Vec::with_capacity(centroids.len() * k);
+    for &c in centroids {
+        let in_range = tree.within_radius(c, radius);
+        if in_range.is_empty() {
+            let nn = tree.knn(c, 1)[0].index;
+            out.extend(std::iter::repeat(nn).take(k));
+        } else {
+            let first = in_range[0].index;
+            for j in 0..k {
+                out.push(in_range.get(j).map_or(first, |n| n.index));
+            }
+        }
+    }
+    out
+}
+
+/// Inverse-distance interpolation weights from each query point to its 3
+/// nearest support points (PointNet++ feature propagation).
+///
+/// Returns `(indices, weights)`, both flattened `[queries.len() * 3]`,
+/// with each weight triple normalized to sum to 1.
+///
+/// # Panics
+///
+/// Panics when `support` is empty.
+pub fn three_nn_weights(support: &[Point3], queries: &[Point3]) -> (Vec<usize>, Vec<f32>) {
+    assert!(!support.is_empty(), "three_nn_weights: empty support set");
+    let tree = KdTree::build(support);
+    let k = 3.min(support.len());
+    let mut idx = Vec::with_capacity(queries.len() * 3);
+    let mut w = Vec::with_capacity(queries.len() * 3);
+    for &q in queries {
+        let nn = tree.knn(q, k);
+        let mut weights = [0.0f32; 3];
+        let mut indices = [0usize; 3];
+        let mut total = 0.0f32;
+        for j in 0..3 {
+            let n = nn.get(j).copied().unwrap_or(nn[0]);
+            indices[j] = n.index;
+            let wi = 1.0 / (n.sq_dist + 1e-8);
+            weights[j] = wi;
+            total += wi;
+        }
+        for j in 0..3 {
+            idx.push(indices[j]);
+            w.push(weights[j] / total);
+        }
+    }
+    (idx, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_points(n: usize) -> Vec<Point3> {
+        (0..n).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn fps_spreads_points() {
+        let pts = grid_points(10);
+        let sel = farthest_point_sampling(&pts, 2, 0);
+        // From point 0 the farthest is point 9.
+        assert_eq!(sel, vec![0, 9]);
+    }
+
+    #[test]
+    fn fps_selects_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Point3> = (0..100)
+            .map(|_| {
+                Point3::new(
+                    rand::Rng::gen_range(&mut rng, -1.0..1.0),
+                    rand::Rng::gen_range(&mut rng, -1.0..1.0),
+                    rand::Rng::gen_range(&mut rng, -1.0..1.0),
+                )
+            })
+            .collect();
+        let sel = farthest_point_sampling(&pts, 30, 0);
+        let set: std::collections::HashSet<_> = sel.iter().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn fps_caps_at_point_count() {
+        let pts = grid_points(5);
+        let sel = farthest_point_sampling(&pts, 99, 0);
+        assert_eq!(sel.len(), 5);
+    }
+
+    #[test]
+    fn random_sample_distinct() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = random_sample(100, 40, &mut rng);
+        assert_eq!(s.len(), 40);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 40);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn random_sample_caps_at_len() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(random_sample(5, 10, &mut rng).len(), 5);
+    }
+
+    #[test]
+    fn ball_query_respects_radius_and_pads() {
+        let pts = grid_points(10);
+        let centroids = vec![Point3::new(0.0, 0.0, 0.0)];
+        let idx = ball_query(&pts, &centroids, 1.5, 4);
+        assert_eq!(idx.len(), 4);
+        // Only points 0 and 1 are within radius 1.5; list is padded with
+        // the first in-range point.
+        assert_eq!(idx[0], 0);
+        assert_eq!(idx[1], 1);
+        assert_eq!(idx[2], 0);
+        assert_eq!(idx[3], 0);
+    }
+
+    #[test]
+    fn ball_query_empty_ball_falls_back_to_nearest() {
+        let pts = grid_points(10);
+        let centroids = vec![Point3::new(100.0, 0.0, 0.0)];
+        let idx = ball_query(&pts, &centroids, 0.5, 3);
+        assert_eq!(idx, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn three_nn_weights_sum_to_one_and_favor_closest() {
+        let support = grid_points(5);
+        let queries = vec![Point3::new(1.2, 0.0, 0.0)];
+        let (idx, w) = three_nn_weights(&support, &queries);
+        assert_eq!(idx.len(), 3);
+        let total: f32 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        // Nearest support of x=1.2 is index 1.
+        assert_eq!(idx[0], 1);
+        assert!(w[0] > w[1] && w[1] >= w[2]);
+    }
+
+    #[test]
+    fn three_nn_weights_exact_hit_dominates() {
+        let support = grid_points(5);
+        let queries = vec![support[2]];
+        let (idx, w) = three_nn_weights(&support, &queries);
+        assert_eq!(idx[0], 2);
+        assert!(w[0] > 0.999);
+    }
+
+    #[test]
+    fn three_nn_with_tiny_support() {
+        let support = vec![Point3::ORIGIN];
+        let queries = vec![Point3::new(1.0, 1.0, 1.0)];
+        let (idx, w) = three_nn_weights(&support, &queries);
+        assert_eq!(idx, vec![0, 0, 0]);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+}

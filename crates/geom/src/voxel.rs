@@ -1,0 +1,139 @@
+//! Voxel-grid downsampling — the deterministic subsampling large-scale
+//! pipelines (including RandLA-Net's preprocessing) apply before any
+//! learning: one representative point per occupied grid cell.
+
+use crate::Point3;
+use std::collections::HashMap;
+
+/// Selects one representative index per occupied voxel of size `cell`:
+/// the point closest to its cell's centroid. Output indices are sorted
+/// ascending, so the selection is deterministic and order-independent.
+///
+/// # Panics
+///
+/// Panics when `cell` is not a positive finite number.
+pub fn voxel_downsample(points: &[Point3], cell: f32) -> Vec<usize> {
+    assert!(cell > 0.0 && cell.is_finite(), "voxel_downsample: cell must be positive");
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let key = |p: Point3| -> (i64, i64, i64) {
+        (
+            (p.x / cell).floor() as i64,
+            (p.y / cell).floor() as i64,
+            (p.z / cell).floor() as i64,
+        )
+    };
+    // First pass: per-cell centroid.
+    let mut cells: HashMap<(i64, i64, i64), (Point3, usize)> = HashMap::new();
+    for &p in points {
+        let entry = cells.entry(key(p)).or_insert((Point3::ORIGIN, 0));
+        entry.0 = entry.0 + p;
+        entry.1 += 1;
+    }
+    for entry in cells.values_mut() {
+        entry.0 = entry.0 / entry.1 as f32;
+    }
+    // Second pass: the point nearest its cell centroid wins.
+    let mut best: HashMap<(i64, i64, i64), (usize, f32)> = HashMap::with_capacity(cells.len());
+    for (i, &p) in points.iter().enumerate() {
+        let k = key(p);
+        let centroid = cells[&k].0;
+        let d = p.sq_dist(centroid);
+        match best.get_mut(&k) {
+            Some(slot) if d >= slot.1 => {}
+            Some(slot) => *slot = (i, d),
+            None => {
+                best.insert(k, (i, d));
+            }
+        }
+    }
+    let mut out: Vec<usize> = best.values().map(|&(i, _)| i).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Number of voxels of size `cell` a point set occupies.
+pub fn occupied_voxels(points: &[Point3], cell: f32) -> usize {
+    assert!(cell > 0.0 && cell.is_finite(), "occupied_voxels: cell must be positive");
+    let mut set = std::collections::HashSet::new();
+    for &p in points {
+        set.insert((
+            (p.x / cell).floor() as i64,
+            (p.y / cell).floor() as i64,
+            (p.z / cell).floor() as i64,
+        ));
+    }
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_point_per_occupied_cell() {
+        // Two tight clusters far apart -> exactly two representatives.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point3::new(0.01 * i as f32, 0.0, 0.0));
+            pts.push(Point3::new(10.0 + 0.01 * i as f32, 0.0, 0.0));
+        }
+        let sel = voxel_downsample(&pts, 1.0);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(occupied_voxels(&pts, 1.0), 2);
+    }
+
+    #[test]
+    fn representative_is_near_cell_centroid() {
+        let pts = vec![
+            Point3::new(0.1, 0.1, 0.1),
+            Point3::new(0.5, 0.5, 0.5), // closest to the centroid (0.37,..)
+            Point3::new(0.9, 0.2, 0.1),
+        ];
+        let sel = voxel_downsample(&pts, 1.0);
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    fn fine_grid_keeps_everything() {
+        let pts: Vec<Point3> = (0..50).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let sel = voxel_downsample(&pts, 0.5);
+        assert_eq!(sel.len(), 50);
+        assert_eq!(sel, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn negative_coordinates_handled() {
+        let pts = vec![Point3::new(-0.5, -0.5, -0.5), Point3::new(0.5, 0.5, 0.5)];
+        let sel = voxel_downsample(&pts, 1.0);
+        assert_eq!(sel.len(), 2, "points straddling the origin are in different cells");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(voxel_downsample(&[], 1.0).is_empty());
+        assert_eq!(occupied_voxels(&[], 1.0), 0);
+    }
+
+    #[test]
+    fn deterministic_for_same_input() {
+        // (Full order-independence is not guaranteed: the centroid
+        // accumulates in f32, so summation order can shift exact ties.)
+        let pts: Vec<Point3> = (0..40)
+            .map(|i| Point3::new((i as f32 * 0.37).fract() * 3.0, (i as f32 * 0.73).fract() * 3.0, 0.0))
+            .collect();
+        assert_eq!(voxel_downsample(&pts, 1.0), voxel_downsample(&pts, 1.0));
+        // Selected indices are valid and unique.
+        let sel = voxel_downsample(&pts, 1.0);
+        let set: std::collections::HashSet<_> = sel.iter().collect();
+        assert_eq!(set.len(), sel.len());
+        assert!(sel.iter().all(|&i| i < pts.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell must be positive")]
+    fn cell_validated() {
+        let _ = voxel_downsample(&[Point3::ORIGIN], 0.0);
+    }
+}

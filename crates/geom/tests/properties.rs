@@ -1,0 +1,99 @@
+//! Property-based tests for the geometry substrate.
+
+use colper_geom::{
+    ball_query, brute_force_knn, dilated_knn, farthest_point_sampling, knn_graph, KdTree, Point3,
+};
+use proptest::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point3>> {
+    proptest::collection::vec(
+        (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0).prop_map(|(x, y, z)| Point3::new(x, y, z)),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kdtree_knn_agrees_with_brute_force(pts in arb_points(200), k in 1usize..12) {
+        let tree = KdTree::build(&pts);
+        let q = Point3::new(0.5, -0.5, 0.25);
+        let tree_nn = tree.knn(q, k);
+        let brute_nn = brute_force_knn(&pts, q, k);
+        prop_assert_eq!(tree_nn.len(), brute_nn.len());
+        for (a, b) in tree_nn.iter().zip(&brute_nn) {
+            prop_assert!((a.sq_dist - b.sq_dist).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn kdtree_knn_distances_sorted(pts in arb_points(200)) {
+        let tree = KdTree::build(&pts);
+        let nn = tree.knn(Point3::ORIGIN, 8);
+        for w in nn.windows(2) {
+            prop_assert!(w[0].sq_dist <= w[1].sq_dist);
+        }
+    }
+
+    #[test]
+    fn radius_query_within_radius(pts in arb_points(150), r in 0.1f32..5.0) {
+        let tree = KdTree::build(&pts);
+        let q = Point3::new(1.0, 1.0, 1.0);
+        for n in tree.within_radius(q, r) {
+            prop_assert!(n.sq_dist <= r * r + 1e-5);
+        }
+    }
+
+    #[test]
+    fn fps_indices_valid_and_distinct(pts in arb_points(100), m in 1usize..50) {
+        let sel = farthest_point_sampling(&pts, m, 0);
+        prop_assert_eq!(sel.len(), m.min(pts.len()));
+        let set: std::collections::HashSet<_> = sel.iter().collect();
+        prop_assert_eq!(set.len(), sel.len());
+        prop_assert!(sel.iter().all(|&i| i < pts.len()));
+    }
+
+    #[test]
+    fn fps_first_two_are_farthest_pair_from_start(pts in arb_points(50)) {
+        if pts.len() >= 2 {
+            let sel = farthest_point_sampling(&pts, 2, 0);
+            let d_selected = pts[sel[0]].sq_dist(pts[sel[1]]);
+            for (i, p) in pts.iter().enumerate() {
+                prop_assert!(pts[0].sq_dist(*p) <= d_selected + 1e-4, "point {i} farther than selected");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_graph_indices_valid(pts in arb_points(100), k in 1usize..8) {
+        let g = knn_graph(&pts, k);
+        prop_assert_eq!(g.len(), pts.len() * k);
+        prop_assert!(g.iter().all(|&i| i < pts.len()));
+    }
+
+    #[test]
+    fn dilated_knn_indices_valid(pts in arb_points(100), k in 1usize..6, d in 1usize..4) {
+        let g = dilated_knn(&pts, k, d);
+        prop_assert_eq!(g.len(), pts.len() * k);
+        prop_assert!(g.iter().all(|&i| i < pts.len()));
+    }
+
+    #[test]
+    fn ball_query_indices_in_range_or_nearest(pts in arb_points(100), r in 0.5f32..3.0) {
+        let centroids: Vec<Point3> = pts.iter().step_by(4).copied().collect();
+        if centroids.is_empty() { return Ok(()); }
+        let k = 4;
+        let idx = ball_query(&pts, &centroids, r, k);
+        prop_assert_eq!(idx.len(), centroids.len() * k);
+        prop_assert!(idx.iter().all(|&i| i < pts.len()));
+        // The first neighbor of each centroid is within radius OR is the
+        // global nearest fallback.
+        for (ci, &c) in centroids.iter().enumerate() {
+            let first = idx[ci * k];
+            let within = pts[first].sq_dist(c) <= r * r + 1e-5;
+            let nearest = brute_force_knn(&pts, c, 1)[0].index;
+            prop_assert!(within || first == nearest);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Attack-specific metrics: success rate (SR) and out-of-band (OOB)
+//! segmentation quality.
+
+use crate::ConfusionMatrix;
+
+/// Success rate of a targeted attack: the fraction of attacked points
+/// (where `mask` is true) whose prediction equals the per-point target
+/// label.
+///
+/// Returns `0.0` when no point is attacked.
+///
+/// # Panics
+///
+/// Panics when slice lengths differ.
+pub fn success_rate(predictions: &[usize], targets: &[usize], mask: &[bool]) -> f32 {
+    assert_eq!(predictions.len(), targets.len(), "predictions/targets length mismatch");
+    assert_eq!(predictions.len(), mask.len(), "predictions/mask length mismatch");
+    let mut attacked = 0u64;
+    let mut fooled = 0u64;
+    for i in 0..predictions.len() {
+        if mask[i] {
+            attacked += 1;
+            if predictions[i] == targets[i] {
+                fooled += 1;
+            }
+        }
+    }
+    if attacked == 0 {
+        0.0
+    } else {
+        fooled as f32 / attacked as f32
+    }
+}
+
+/// Accuracy and aIoU of the points outside / inside an attack mask.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPointStats {
+    /// Accuracy over points *outside* the attacked set (the paper's OOB
+    /// accuracy).
+    pub oob_accuracy: f32,
+    /// aIoU over points outside the attacked set.
+    pub oob_miou: f32,
+    /// Accuracy over all points.
+    pub accuracy: f32,
+    /// aIoU over all points.
+    pub miou: f32,
+    /// Number of attacked points.
+    pub attacked_points: usize,
+}
+
+/// Computes overall and out-of-band segmentation quality after an
+/// attack. `mask` marks the attacked points `X_t`.
+///
+/// # Panics
+///
+/// Panics when slice lengths differ or a class index is out of range.
+pub fn oob_metrics(
+    predictions: &[usize],
+    labels: &[usize],
+    mask: &[bool],
+    classes: usize,
+) -> AttackPointStats {
+    assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
+    assert_eq!(predictions.len(), mask.len(), "predictions/mask length mismatch");
+    let mut all = ConfusionMatrix::new(classes);
+    all.update(predictions, labels);
+    let mut oob = ConfusionMatrix::new(classes);
+    for i in 0..predictions.len() {
+        if !mask[i] {
+            oob.update(&[predictions[i]], &[labels[i]]);
+        }
+    }
+    AttackPointStats {
+        oob_accuracy: oob.accuracy(),
+        oob_miou: oob.mean_iou(),
+        accuracy: all.accuracy(),
+        miou: all.mean_iou(),
+        attacked_points: mask.iter().filter(|&&m| m).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_counts_only_masked() {
+        let preds = [2, 2, 0, 2];
+        let targets = [2, 2, 2, 2];
+        let mask = [true, true, true, false];
+        // Of the 3 attacked points, 2 hit the target.
+        assert!((success_rate(&preds, &targets, &mask) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn success_rate_empty_mask_is_zero() {
+        assert_eq!(success_rate(&[0, 1], &[1, 0], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn oob_metrics_split() {
+        // 4 points; points 0,1 attacked (and misclassified), 2,3 clean.
+        let preds = [1, 1, 0, 1];
+        let labels = [0, 0, 0, 1];
+        let mask = [true, true, false, false];
+        let stats = oob_metrics(&preds, &labels, &mask, 2);
+        assert_eq!(stats.attacked_points, 2);
+        assert_eq!(stats.oob_accuracy, 1.0);
+        assert_eq!(stats.accuracy, 0.5);
+        assert!(stats.oob_miou > stats.miou);
+    }
+
+    #[test]
+    fn oob_all_attacked_leaves_empty_oob() {
+        let stats = oob_metrics(&[0, 1], &[0, 1], &[true, true], 2);
+        assert_eq!(stats.oob_accuracy, 0.0); // empty confusion matrix
+        assert_eq!(stats.accuracy, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_validation() {
+        let _ = success_rate(&[0], &[0, 1], &[true]);
+    }
+}

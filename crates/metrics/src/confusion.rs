@@ -1,0 +1,190 @@
+//! The [`ConfusionMatrix`] and the metrics derived from it.
+
+/// A `classes x classes` confusion matrix; rows are ground truth, columns
+/// are predictions.
+///
+/// # Example
+///
+/// ```
+/// use colper_metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.update(&[0, 0, 1, 1], &[0, 1, 1, 1]);
+/// assert_eq!(cm.total(), 4);
+/// assert!((cm.accuracy() - 0.75).abs() < 1e-6);
+/// // Class 0: TP 1, FN 1, FP 0 -> IoU 0.5. Class 1: TP 2, FN 0, FP 1 -> 2/3.
+/// assert!((cm.iou(0).unwrap() - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "ConfusionMatrix: needs at least one class");
+        Self { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Accumulates `(prediction, label)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slices have different lengths or contain out-of-range
+    /// classes.
+    pub fn update(&mut self, predictions: &[usize], labels: &[usize]) {
+        assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!(p < self.classes && l < self.classes, "class out of range");
+            self.counts[l * self.classes + p] += 1;
+        }
+    }
+
+    /// Merges another matrix of the same class count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.classes, other.classes, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The count of points with label `l` predicted as `p`.
+    pub fn count(&self, l: usize, p: usize) -> u64 {
+        self.counts[l * self.classes + p]
+    }
+
+    /// Total number of accumulated points.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall point accuracy; `0.0` when empty.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Intersection-over-union of class `c`
+    /// (`TP / (TP + FP + FN)`), or `None` when the class never appears in
+    /// either labels or predictions.
+    pub fn iou(&self, c: usize) -> Option<f32> {
+        let tp = self.count(c, c);
+        let fp: u64 = (0..self.classes).filter(|&l| l != c).map(|l| self.count(l, c)).sum();
+        let fn_: u64 = (0..self.classes).filter(|&p| p != c).map(|p| self.count(c, p)).sum();
+        let union = tp + fp + fn_;
+        if union == 0 {
+            None
+        } else {
+            Some(tp as f32 / union as f32)
+        }
+    }
+
+    /// Average IoU over the classes that appear (the paper's aIoU).
+    pub fn mean_iou(&self) -> f32 {
+        let ious: Vec<f32> = (0..self.classes).filter_map(|c| self.iou(c)).collect();
+        if ious.is_empty() {
+            0.0
+        } else {
+            ious.iter().sum::<f32>() / ious.len() as f32
+        }
+    }
+
+    /// Per-class IoU vector (`None` entries for absent classes).
+    pub fn per_class_iou(&self) -> Vec<Option<f32>> {
+        (0..self.classes).map(|c| self.iou(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.update(&[0, 1, 2], &[0, 1, 2]);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.mean_iou(), 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.update(&[1, 0], &[0, 1]);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.mean_iou(), 0.0);
+    }
+
+    #[test]
+    fn iou_known_values() {
+        let mut cm = ConfusionMatrix::new(2);
+        // label 0 predicted 0 twice; label 0 predicted 1 once; label 1 predicted 1 once.
+        cm.update(&[0, 0, 1, 1], &[0, 0, 0, 1]);
+        // class 0: TP 2, FN 1, FP 0 -> 2/3
+        assert!((cm.iou(0).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        // class 1: TP 1, FN 0, FP 1 -> 1/2
+        assert!((cm.iou(1).unwrap() - 0.5).abs() < 1e-6);
+        assert!((cm.mean_iou() - (2.0 / 3.0 + 0.5) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn absent_class_excluded_from_mean() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.update(&[0, 0], &[0, 0]);
+        assert_eq!(cm.iou(2), None);
+        assert_eq!(cm.mean_iou(), 1.0);
+        assert_eq!(cm.per_class_iou(), vec![Some(1.0), None, None]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.mean_iou(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::new(2);
+        a.update(&[0], &[0]);
+        let mut b = ConfusionMatrix::new(2);
+        b.update(&[1], &[0]);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.count(0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn update_length_checked() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.update(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_range_checked() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.update(&[2], &[0]);
+    }
+}

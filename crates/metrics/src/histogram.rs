@@ -1,0 +1,150 @@
+//! Fixed-bin histograms, used to regenerate the paper's distribution
+//! figures (L2 distance, accuracy and aIoU across samples).
+
+use std::fmt;
+
+/// A histogram with equal-width bins over `[lo, hi]`; samples outside
+/// the range are clamped into the first/last bin.
+///
+/// # Example
+///
+/// ```
+/// use colper_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 4);
+/// h.add_all(&[0.1, 0.9, 0.95, 0.4]);
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bin_counts()[3], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    bins: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: needs at least one bin");
+        assert!(lo < hi, "Histogram: lo must be below hi");
+        Self { lo, hi, bins: vec![0; bins], count: 0, sum: 0.0 }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f32) {
+        let width = (self.hi - self.lo) / self.bins.len() as f32;
+        let idx = (((v - self.lo) / width) as isize).clamp(0, self.bins.len() as isize - 1);
+        self.bins[idx as usize] += 1;
+        self.count += 1;
+        self.sum += f64::from(v);
+    }
+
+    /// Adds many samples.
+    pub fn add_all(&mut self, values: &[f32]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the added samples (`0.0` when empty).
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum / self.count as f64) as f32
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `[start, end)` range of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f32, f32) {
+        assert!(i < self.bins.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f32;
+        (self.lo + i as f32 * width, self.lo + (i + 1) as f32 * width)
+    }
+
+    /// Renders an ASCII bar chart (one line per bin), the textual
+    /// stand-in for the paper's figures.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (a, b) = self.bin_range(i);
+            let bar_len = (c as usize * width) / max as usize;
+            let bar: String = std::iter::repeat('#').take(bar_len).collect();
+            out.push_str(&format!("[{a:>8.3}, {b:>8.3}) |{bar:<width$}| {c}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add_all(&[0.5, 2.5, 4.5, 6.5, 8.5]);
+        assert_eq!(h.bin_counts(), &[1, 1, 1, 1, 1]);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.bin_counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn mean_tracks_samples() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.add_all(&[2.0, 4.0]);
+        assert!((h.mean() - 3.0).abs() < 1e-6);
+        assert_eq!(Histogram::new(0.0, 1.0, 1).mean(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_all_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.add_all(&[0.1, 0.5, 0.9, 0.9]);
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be below hi")]
+    fn range_validated() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

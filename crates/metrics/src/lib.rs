@@ -1,0 +1,42 @@
+//! Segmentation and attack-evaluation metrics for the COLPER
+//! reproduction.
+//!
+//! The paper reports four families of numbers, all implemented here:
+//!
+//! * **accuracy** and **aIoU** (average intersection-over-union across
+//!   classes) — segmentation quality, via [`ConfusionMatrix`];
+//! * **SR** (success rate) — targeted-attack effectiveness: the fraction
+//!   of attacked points that flipped to the target class;
+//! * **OOB** (out-of-band) accuracy/aIoU — collateral damage on the
+//!   points outside the attacked set;
+//! * **SSR** (sample success rate) — the fraction of samples whose
+//!   attack met the L0 budget, used in the coordinate-vs-color
+//!   comparison.
+//!
+//! [`Histogram`] supports regenerating the distribution figures
+//! (Figures 3–5).
+//!
+//! # Example
+//!
+//! ```
+//! use colper_metrics::ConfusionMatrix;
+//!
+//! let mut cm = ConfusionMatrix::new(3);
+//! cm.update(&[0, 1, 2, 2], &[0, 1, 2, 1]);
+//! assert!((cm.accuracy() - 0.75).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod confusion;
+mod histogram;
+mod report;
+mod stats;
+
+pub use attack::{oob_metrics, success_rate, AttackPointStats};
+pub use confusion::ConfusionMatrix;
+pub use histogram::Histogram;
+pub use report::{ClassReport, ClassRow};
+pub use stats::Summary;

@@ -1,0 +1,183 @@
+//! Per-class segmentation reports — the presentation layer for the
+//! paper's per-class analysis ("some classes are easier to manipulate").
+
+use crate::ConfusionMatrix;
+use std::fmt;
+
+/// One class's row in a [`ClassReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRow {
+    /// Class index.
+    pub class: usize,
+    /// Class name (index rendered as text when unnamed).
+    pub name: String,
+    /// Ground-truth point count.
+    pub support: u64,
+    /// `TP / (TP + FP)`; `None` when the class was never predicted.
+    pub precision: Option<f32>,
+    /// `TP / (TP + FN)`; `None` when the class never occurs.
+    pub recall: Option<f32>,
+    /// Intersection-over-union; `None` when the class is absent on both
+    /// sides.
+    pub iou: Option<f32>,
+}
+
+/// A per-class precision / recall / IoU table derived from a
+/// [`ConfusionMatrix`].
+///
+/// # Example
+///
+/// ```
+/// use colper_metrics::{ClassReport, ConfusionMatrix};
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.update(&[0, 1, 1], &[0, 0, 1]);
+/// let report = ClassReport::from_confusion(&cm, None);
+/// assert_eq!(report.rows().len(), 2);
+/// assert_eq!(report.rows()[0].support, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    rows: Vec<ClassRow>,
+    accuracy: f32,
+    mean_iou: f32,
+}
+
+impl ClassReport {
+    /// Builds the report; `names` (when given) must have one entry per
+    /// class.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `names` is provided with the wrong length.
+    pub fn from_confusion(cm: &ConfusionMatrix, names: Option<&[&str]>) -> Self {
+        if let Some(names) = names {
+            assert_eq!(names.len(), cm.classes(), "names length must equal class count");
+        }
+        let rows = (0..cm.classes())
+            .map(|c| {
+                let tp = cm.count(c, c);
+                let fp: u64 = (0..cm.classes()).filter(|&l| l != c).map(|l| cm.count(l, c)).sum();
+                let fn_: u64 = (0..cm.classes()).filter(|&p| p != c).map(|p| cm.count(c, p)).sum();
+                let support = tp + fn_;
+                ClassRow {
+                    class: c,
+                    name: names.map_or_else(|| format!("class {c}"), |n| n[c].to_string()),
+                    support,
+                    precision: (tp + fp > 0).then(|| tp as f32 / (tp + fp) as f32),
+                    recall: (support > 0).then(|| tp as f32 / support as f32),
+                    iou: cm.iou(c),
+                }
+            })
+            .collect();
+        Self { rows, accuracy: cm.accuracy(), mean_iou: cm.mean_iou() }
+    }
+
+    /// The per-class rows in label order.
+    pub fn rows(&self) -> &[ClassRow] {
+        &self.rows
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        self.accuracy
+    }
+
+    /// aIoU over present classes.
+    pub fn mean_iou(&self) -> f32 {
+        self.mean_iou
+    }
+
+    /// Rows sorted by ascending IoU (most-damaged classes first) —
+    /// useful for post-attack reports. Absent classes sort last.
+    pub fn by_vulnerability(&self) -> Vec<&ClassRow> {
+        let mut rows: Vec<&ClassRow> = self.rows.iter().collect();
+        rows.sort_by(|a, b| {
+            let ka = a.iou.unwrap_or(f32::INFINITY);
+            let kb = b.iou.unwrap_or(f32::INFINITY);
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows
+    }
+}
+
+impl fmt::Display for ClassReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<18} {:>8} {:>10} {:>8} {:>8}",
+            "class", "support", "precision", "recall", "IoU"
+        )?;
+        let pct = |v: Option<f32>| match v {
+            Some(v) => format!("{:.1}%", v * 100.0),
+            None => "-".to_string(),
+        };
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<18} {:>8} {:>10} {:>8} {:>8}",
+                row.name,
+                row.support,
+                pct(row.precision),
+                pct(row.recall),
+                pct(row.iou)
+            )?;
+        }
+        writeln!(
+            f,
+            "overall: accuracy {:.1}%, aIoU {:.1}%",
+            self.accuracy * 100.0,
+            self.mean_iou * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cm() -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(3);
+        // class 0: 3 right, 1 predicted as 1; class 1: 2 right; class 2 absent.
+        cm.update(&[0, 0, 0, 1, 1, 1], &[0, 0, 0, 0, 1, 1]);
+        cm
+    }
+
+    #[test]
+    fn rows_carry_correct_counts() {
+        let report = ClassReport::from_confusion(&sample_cm(), None);
+        let r0 = &report.rows()[0];
+        assert_eq!(r0.support, 4);
+        assert!((r0.recall.unwrap() - 0.75).abs() < 1e-6);
+        assert!((r0.precision.unwrap() - 1.0).abs() < 1e-6);
+        let r2 = &report.rows()[2];
+        assert_eq!(r2.support, 0);
+        assert_eq!(r2.iou, None);
+        assert_eq!(r2.recall, None);
+    }
+
+    #[test]
+    fn names_replace_indices() {
+        let report = ClassReport::from_confusion(&sample_cm(), Some(&["wall", "board", "chair"]));
+        assert_eq!(report.rows()[1].name, "board");
+        let text = report.to_string();
+        assert!(text.contains("wall"));
+        assert!(text.contains("overall"));
+    }
+
+    #[test]
+    fn vulnerability_sorts_lowest_iou_first() {
+        let report = ClassReport::from_confusion(&sample_cm(), None);
+        let sorted = report.by_vulnerability();
+        // class 1 has FP -> lower IoU than class 0's.
+        assert_eq!(sorted[0].class, 1);
+        // Absent class 2 sorts last.
+        assert_eq!(sorted[2].class, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "names length")]
+    fn names_length_checked() {
+        let _ = ClassReport::from_confusion(&sample_cm(), Some(&["a"]));
+    }
+}

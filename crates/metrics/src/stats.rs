@@ -1,0 +1,65 @@
+//! The best / average / worst summaries used in the paper's Tables 1
+//! and 3.
+
+/// Best, average and worst of a series — "best" meaning the value most
+/// favorable to the attacker (lowest post-attack accuracy), so summaries
+/// are taken with an explicit orientation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// The minimum observed value.
+    pub min: f32,
+    /// The arithmetic mean.
+    pub mean: f32,
+    /// The maximum observed value.
+    pub max: f32,
+    /// Number of samples summarized.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes a value series. Returns an all-zero summary for an
+    /// empty slice.
+    pub fn of(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return Self { min: 0.0, mean: 0.0, max: 0.0, count: 0 };
+        }
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += f64::from(v);
+        }
+        Self { min, mean: (sum / values.len() as f64) as f32, max, count: values.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_series() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-6);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_of_single() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 5.0);
+    }
+}

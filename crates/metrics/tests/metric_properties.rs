@@ -1,0 +1,130 @@
+//! Property-based tests for the metric definitions.
+
+use colper_metrics::{oob_metrics, success_rate, ConfusionMatrix, Histogram, Summary};
+use proptest::prelude::*;
+
+fn arb_labels(n: usize, classes: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..classes, n)
+}
+
+proptest! {
+    #[test]
+    fn accuracy_and_iou_are_bounded(
+        preds in arb_labels(64, 5),
+        labels in arb_labels(64, 5),
+    ) {
+        let mut cm = ConfusionMatrix::new(5);
+        cm.update(&preds, &labels);
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.mean_iou()));
+        for c in 0..5 {
+            if let Some(iou) = cm.iou(c) {
+                prop_assert!((0.0..=1.0).contains(&iou));
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_score_one(labels in arb_labels(32, 4)) {
+        let mut cm = ConfusionMatrix::new(4);
+        cm.update(&labels, &labels);
+        prop_assert_eq!(cm.accuracy(), 1.0);
+        prop_assert_eq!(cm.mean_iou(), 1.0);
+    }
+
+    #[test]
+    fn iou_never_exceeds_accuracy_of_class(
+        preds in arb_labels(50, 3),
+        labels in arb_labels(50, 3),
+    ) {
+        // IoU(c) <= recall(c) because the union includes all FN.
+        let mut cm = ConfusionMatrix::new(3);
+        cm.update(&preds, &labels);
+        for c in 0..3 {
+            let tp = cm.count(c, c) as f32;
+            let label_total: u64 = (0..3).map(|p| cm.count(c, p)).sum();
+            if label_total > 0 {
+                let recall = tp / label_total as f32;
+                if let Some(iou) = cm.iou(c) {
+                    prop_assert!(iou <= recall + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_bulk_update(
+        a_preds in arb_labels(20, 3),
+        a_labels in arb_labels(20, 3),
+        b_preds in arb_labels(20, 3),
+        b_labels in arb_labels(20, 3),
+    ) {
+        let mut merged = ConfusionMatrix::new(3);
+        merged.update(&a_preds, &a_labels);
+        let mut other = ConfusionMatrix::new(3);
+        other.update(&b_preds, &b_labels);
+        merged.merge(&other);
+
+        let mut bulk = ConfusionMatrix::new(3);
+        bulk.update(&a_preds, &a_labels);
+        bulk.update(&b_preds, &b_labels);
+        prop_assert_eq!(merged, bulk);
+    }
+
+    #[test]
+    fn success_rate_bounds_and_monotonicity(
+        preds in arb_labels(40, 4),
+        mask in proptest::collection::vec(proptest::bool::ANY, 40),
+    ) {
+        let targets = vec![2usize; 40];
+        let sr = success_rate(&preds, &targets, &mask);
+        prop_assert!((0.0..=1.0).contains(&sr));
+        // Forcing every masked prediction to the target makes SR 1 (when
+        // any point is masked).
+        let forced: Vec<usize> = preds
+            .iter()
+            .zip(&mask)
+            .map(|(&p, &m)| if m { 2 } else { p })
+            .collect();
+        let sr_forced = success_rate(&forced, &targets, &mask);
+        if mask.iter().any(|&m| m) {
+            prop_assert_eq!(sr_forced, 1.0);
+        }
+        prop_assert!(sr_forced >= sr);
+    }
+
+    #[test]
+    fn oob_metrics_partition(
+        preds in arb_labels(30, 3),
+        labels in arb_labels(30, 3),
+        mask in proptest::collection::vec(proptest::bool::ANY, 30),
+    ) {
+        let stats = oob_metrics(&preds, &labels, &mask, 3);
+        prop_assert!((0.0..=1.0).contains(&stats.oob_accuracy));
+        prop_assert!((0.0..=1.0).contains(&stats.accuracy));
+        prop_assert_eq!(stats.attacked_points, mask.iter().filter(|&&m| m).count());
+        // Overall accuracy is a convex combination of in-band and
+        // out-of-band accuracies; with an empty OOB set it equals in-band.
+        if mask.iter().all(|&m| !m) {
+            prop_assert!((stats.accuracy - stats.oob_accuracy).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_mass(values in proptest::collection::vec(-10.0f32..10.0, 1..200)) {
+        let mut h = Histogram::new(-10.0, 10.0, 7);
+        h.add_all(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.bin_counts().iter().sum::<u64>(), values.len() as u64);
+        let manual_mean = values.iter().sum::<f32>() / values.len() as f32;
+        prop_assert!((h.mean() - manual_mean).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summary_orders_min_mean_max(values in proptest::collection::vec(-100.0f32..100.0, 1..100)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.mean + 1e-4);
+        prop_assert!(s.mean <= s.max + 1e-4);
+        prop_assert_eq!(s.count, values.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Converting a [`PointCloud`] into the tensors a model consumes, and
+//! binding them onto a tape.
+
+use colper_autodiff::{Tape, Var};
+use colper_geom::Point3;
+use colper_scene::{normalize, PointCloud};
+use colper_tensor::Matrix;
+
+/// The pre-computed tensors of one (already model-normalized) point
+/// cloud: everything a forward pass needs, off-tape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudTensors {
+    /// Point positions (used for graph building and as xyz features).
+    pub coords: Vec<Point3>,
+    /// `[N, 3]` xyz features (same numbers as `coords`).
+    pub xyz: Matrix,
+    /// `[N, 3]` RGB features in `[0, 1]`.
+    pub colors: Matrix,
+    /// `[N, 3]` normalized location in the cloud's bounding box — the
+    /// last three of S3DIS's nine per-point features.
+    pub loc01: Matrix,
+    /// Ground-truth labels.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl CloudTensors {
+    /// Builds the tensor view of a cloud.
+    pub fn from_cloud(cloud: &PointCloud) -> Self {
+        Self {
+            coords: cloud.coords.clone(),
+            xyz: cloud.coords_matrix(),
+            colors: cloud.colors_matrix(),
+            loc01: normalize::location01(cloud),
+            labels: cloud.labels.clone(),
+            num_classes: cloud.num_classes,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the cloud is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+/// How the color block binds onto the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorBinding {
+    /// Differentiable leaf — the attack reads `tape.grad(input.color)`.
+    Leaf,
+    /// Constant — training and plain inference.
+    Constant,
+}
+
+/// The on-tape view of one cloud, as passed to
+/// [`crate::SegmentationModel::forward`].
+///
+/// `color` may be *any* tape variable of shape `[N, 3]` — in particular
+/// the attack's tanh-reparameterized perturbed colors — while `coords`
+/// stays off-tape for graph construction.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelInput<'a> {
+    /// Positions for k-NN / sampling (never differentiated).
+    pub coords: &'a [Point3],
+    /// `[N, 3]` xyz feature variable.
+    pub xyz: Var,
+    /// `[N, 3]` color feature variable.
+    pub color: Var,
+    /// `[N, 3]` normalized-location feature variable.
+    pub loc: Var,
+}
+
+/// Binds a [`CloudTensors`] onto `tape`, choosing how the color block is
+/// tracked. Returns the input plus the color [`Var`] (identical to
+/// `input.color`, returned for symmetry with custom bindings).
+pub fn bind_input<'a>(
+    tape: &mut Tape,
+    tensors: &'a CloudTensors,
+    color: ColorBinding,
+) -> ModelInput<'a> {
+    let xyz = tape.constant(tensors.xyz.clone());
+    let color = match color {
+        ColorBinding::Leaf => tape.leaf(tensors.colors.clone()),
+        ColorBinding::Constant => tape.constant(tensors.colors.clone()),
+    };
+    let loc = tape.constant(tensors.loc01.clone());
+    ModelInput { coords: &tensors.coords, xyz, color, loc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colper_scene::{IndoorSceneConfig, SceneGenerator};
+
+    fn sample() -> CloudTensors {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(128)).generate(0);
+        CloudTensors::from_cloud(&cloud)
+    }
+
+    #[test]
+    fn tensors_have_consistent_shapes() {
+        let t = sample();
+        assert_eq!(t.len(), 128);
+        assert_eq!(t.xyz.shape(), (128, 3));
+        assert_eq!(t.colors.shape(), (128, 3));
+        assert_eq!(t.loc01.shape(), (128, 3));
+        assert_eq!(t.labels.len(), 128);
+    }
+
+    #[test]
+    fn xyz_matches_coords() {
+        let t = sample();
+        for (i, p) in t.coords.iter().enumerate() {
+            assert_eq!(t.xyz[(i, 0)], p.x);
+            assert_eq!(t.xyz[(i, 2)], p.z);
+        }
+    }
+
+    #[test]
+    fn leaf_binding_is_differentiable() {
+        let t = sample();
+        let mut tape = Tape::new();
+        let input = bind_input(&mut tape, &t, ColorBinding::Leaf);
+        let s = tape.sum(input.color);
+        tape.backward(s);
+        assert!(tape.grad(input.color).is_some());
+    }
+
+    #[test]
+    fn constant_binding_is_not_differentiable() {
+        let t = sample();
+        let mut tape = Tape::new();
+        let input = bind_input(&mut tape, &t, ColorBinding::Constant);
+        // xyz and loc are always constants too.
+        let mixed = tape.leaf(Matrix::ones(t.len(), 3));
+        let y = tape.mul(input.color, mixed);
+        let s = tape.sum(y);
+        tape.backward(s);
+        assert!(tape.grad(input.color).is_none());
+    }
+}

@@ -1,0 +1,363 @@
+//! Self-describing model checkpoints: architecture configuration and
+//! weights in one stream, so a saved model can be reloaded without the
+//! loading code knowing which architecture (or which widths) produced
+//! it.
+//!
+//! Layout: magic `CLPM`, format version, a kind byte, the kind-specific
+//! configuration (little-endian integers/floats, `u32`-prefixed lists),
+//! then the [`colper_nn`] parameter checkpoint.
+//!
+//! # Example
+//!
+//! ```
+//! use colper_models::{load_model, save_pointnet2, LoadedModel, PointNet2, PointNet2Config};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), colper_nn::SerializeError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+//! let mut buf = Vec::new();
+//! save_pointnet2(&model, &mut buf)?;
+//! let loaded = load_model(buf.as_slice())?;
+//! assert!(matches!(loaded, LoadedModel::PointNet2(_)));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{
+    PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn, ResGcnConfig,
+    SegmentationModel,
+};
+use colper_nn::{load_params, save_params, SerializeError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"CLPM";
+const VERSION: u32 = 1;
+
+const KIND_POINTNET2: u8 = 1;
+const KIND_RESGCN: u8 = 2;
+const KIND_RANDLANET: u8 = 3;
+
+/// A model restored by [`load_model`].
+#[derive(Debug)]
+pub enum LoadedModel {
+    /// A PointNet++ checkpoint.
+    PointNet2(PointNet2),
+    /// A ResGCN checkpoint.
+    ResGcn(ResGcn),
+    /// A RandLA-Net checkpoint.
+    RandLaNet(RandLaNet),
+}
+
+impl LoadedModel {
+    /// Borrows the model through the trait.
+    pub fn as_dyn(&self) -> &dyn SegmentationModel {
+        match self {
+            LoadedModel::PointNet2(m) => m,
+            LoadedModel::ResGcn(m) => m,
+            LoadedModel::RandLaNet(m) => m,
+        }
+    }
+
+    /// Mutably borrows the model through the trait.
+    pub fn as_dyn_mut(&mut self) -> &mut dyn SegmentationModel {
+        match self {
+            LoadedModel::PointNet2(m) => m,
+            LoadedModel::ResGcn(m) => m,
+            LoadedModel::RandLaNet(m) => m,
+        }
+    }
+}
+
+/// Saves a PointNet++ checkpoint.
+///
+/// # Errors
+///
+/// Returns [`SerializeError::Io`] on write failure.
+pub fn save_pointnet2<W: Write>(model: &PointNet2, mut w: W) -> Result<(), SerializeError> {
+    write_header(&mut w, KIND_POINTNET2)?;
+    let c = model.config();
+    write_usize(&mut w, c.num_classes)?;
+    write_usize_list(&mut w, &c.sa_npoints)?;
+    write_f32_list(&mut w, &c.sa_radii)?;
+    write_usize_list(&mut w, &c.sa_k)?;
+    write_nested_list(&mut w, &c.sa_widths)?;
+    write_nested_list(&mut w, &c.fp_widths)?;
+    write_usize(&mut w, c.head_width)?;
+    w.write_all(&c.dropout.to_le_bytes())?;
+    save_params(model.params(), w)
+}
+
+/// Saves a ResGCN checkpoint.
+///
+/// # Errors
+///
+/// Returns [`SerializeError::Io`] on write failure.
+pub fn save_resgcn<W: Write>(model: &ResGcn, mut w: W) -> Result<(), SerializeError> {
+    write_header(&mut w, KIND_RESGCN)?;
+    let c = model.config();
+    write_usize(&mut w, c.num_classes)?;
+    write_usize(&mut w, c.blocks)?;
+    write_usize(&mut w, c.channels)?;
+    write_usize(&mut w, c.k)?;
+    write_usize(&mut w, c.max_dilation)?;
+    w.write_all(&c.dropout.to_le_bytes())?;
+    save_params(model.params(), w)
+}
+
+/// Saves a RandLA-Net checkpoint.
+///
+/// # Errors
+///
+/// Returns [`SerializeError::Io`] on write failure.
+pub fn save_randlanet<W: Write>(model: &RandLaNet, mut w: W) -> Result<(), SerializeError> {
+    write_header(&mut w, KIND_RANDLANET)?;
+    let c = model.config();
+    write_usize(&mut w, c.num_classes)?;
+    write_usize(&mut w, c.stages.len())?;
+    for &(npoints, channels) in &c.stages {
+        write_usize(&mut w, npoints)?;
+        write_usize(&mut w, channels)?;
+    }
+    write_usize(&mut w, c.k)?;
+    write_usize(&mut w, c.stem)?;
+    w.write_all(&c.dropout.to_le_bytes())?;
+    save_params(model.params(), w)
+}
+
+/// Loads any checkpoint written by the `save_*` functions above.
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on I/O failure, bad magic/version, an
+/// unknown kind byte, or a checkpoint whose weight layout disagrees with
+/// its own configuration.
+pub fn load_model<R: Read>(mut r: R) -> Result<LoadedModel, SerializeError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SerializeError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(SerializeError::BadVersion(version));
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    // The initialization RNG is irrelevant: weights are replaced below.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut loaded = match kind[0] {
+        KIND_POINTNET2 => {
+            let config = PointNet2Config {
+                num_classes: read_usize(&mut r)?,
+                sa_npoints: read_usize_list(&mut r)?,
+                sa_radii: read_f32_list(&mut r)?,
+                sa_k: read_usize_list(&mut r)?,
+                sa_widths: read_nested_list(&mut r)?,
+                fp_widths: read_nested_list(&mut r)?,
+                head_width: read_usize(&mut r)?,
+                dropout: read_f32(&mut r)?,
+            };
+            LoadedModel::PointNet2(PointNet2::new(config, &mut rng))
+        }
+        KIND_RESGCN => {
+            let config = ResGcnConfig {
+                num_classes: read_usize(&mut r)?,
+                blocks: read_usize(&mut r)?,
+                channels: read_usize(&mut r)?,
+                k: read_usize(&mut r)?,
+                max_dilation: read_usize(&mut r)?,
+                dropout: read_f32(&mut r)?,
+            };
+            LoadedModel::ResGcn(ResGcn::new(config, &mut rng))
+        }
+        KIND_RANDLANET => {
+            let num_classes = read_usize(&mut r)?;
+            let n_stages = read_usize(&mut r)?;
+            if n_stages > 64 {
+                return Err(SerializeError::Corrupt("implausible stage count"));
+            }
+            let mut stages = Vec::with_capacity(n_stages);
+            for _ in 0..n_stages {
+                stages.push((read_usize(&mut r)?, read_usize(&mut r)?));
+            }
+            let config = RandLaNetConfig {
+                num_classes,
+                stages,
+                k: read_usize(&mut r)?,
+                stem: read_usize(&mut r)?,
+                dropout: read_f32(&mut r)?,
+            };
+            LoadedModel::RandLaNet(RandLaNet::new(config, &mut rng))
+        }
+        _ => return Err(SerializeError::Corrupt("unknown model kind byte")),
+    };
+    let params = load_params(r)?;
+    let model = loaded.as_dyn_mut();
+    if params.param_count() != model.params().param_count()
+        || params.buffer_count() != model.params().buffer_count()
+    {
+        return Err(SerializeError::Corrupt("weight layout disagrees with configuration"));
+    }
+    *model.params_mut() = params;
+    Ok(loaded)
+}
+
+fn write_header<W: Write>(w: &mut W, kind: u8) -> Result<(), SerializeError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[kind])?;
+    Ok(())
+}
+
+fn write_usize<W: Write>(w: &mut W, v: usize) -> Result<(), SerializeError> {
+    w.write_all(&(v as u32).to_le_bytes())?;
+    Ok(())
+}
+
+fn write_usize_list<W: Write>(w: &mut W, list: &[usize]) -> Result<(), SerializeError> {
+    write_usize(w, list.len())?;
+    for &v in list {
+        write_usize(w, v)?;
+    }
+    Ok(())
+}
+
+fn write_f32_list<W: Write>(w: &mut W, list: &[f32]) -> Result<(), SerializeError> {
+    write_usize(w, list.len())?;
+    for &v in list {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_nested_list<W: Write>(w: &mut W, list: &[Vec<usize>]) -> Result<(), SerializeError> {
+    write_usize(w, list.len())?;
+    for inner in list {
+        write_usize_list(w, inner)?;
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, SerializeError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_usize<R: Read>(r: &mut R) -> Result<usize, SerializeError> {
+    Ok(read_u32(r)? as usize)
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, SerializeError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+fn read_usize_list<R: Read>(r: &mut R) -> Result<Vec<usize>, SerializeError> {
+    let len = read_usize(r)?;
+    if len > 4096 {
+        return Err(SerializeError::Corrupt("implausible list length"));
+    }
+    (0..len).map(|_| read_usize(r)).collect()
+}
+
+fn read_f32_list<R: Read>(r: &mut R) -> Result<Vec<f32>, SerializeError> {
+    let len = read_usize(r)?;
+    if len > 4096 {
+        return Err(SerializeError::Corrupt("implausible list length"));
+    }
+    (0..len).map(|_| read_f32(r)).collect()
+}
+
+fn read_nested_list<R: Read>(r: &mut R) -> Result<Vec<Vec<usize>>, SerializeError> {
+    let len = read_usize(r)?;
+    if len > 4096 {
+        return Err(SerializeError::Corrupt("implausible list length"));
+    }
+    (0..len).map(|_| read_usize_list(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{predict, CloudTensors};
+    use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
+
+    fn sample_tensors() -> CloudTensors {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(3);
+        CloudTensors::from_cloud(&normalize::pointnet_view(&cloud))
+    }
+
+    #[test]
+    fn pointnet_round_trip_preserves_predictions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let t = sample_tensors();
+        let before = predict(&model, &t, &mut StdRng::seed_from_u64(9));
+
+        let mut buf = Vec::new();
+        save_pointnet2(&model, &mut buf).unwrap();
+        let loaded = load_model(buf.as_slice()).unwrap();
+        let LoadedModel::PointNet2(restored) = loaded else {
+            panic!("wrong kind");
+        };
+        assert_eq!(restored.config(), model.config());
+        let after = predict(&restored, &t, &mut StdRng::seed_from_u64(9));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn resgcn_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = ResGcn::new(ResGcnConfig::tiny(13), &mut rng);
+        let mut buf = Vec::new();
+        save_resgcn(&model, &mut buf).unwrap();
+        let loaded = load_model(buf.as_slice()).unwrap();
+        let LoadedModel::ResGcn(restored) = loaded else { panic!("wrong kind") };
+        assert_eq!(restored.config(), model.config());
+        assert_eq!(restored.params().num_scalars(), model.params().num_scalars());
+    }
+
+    #[test]
+    fn randlanet_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = RandLaNet::new(RandLaNetConfig::tiny(8), &mut rng);
+        let mut buf = Vec::new();
+        save_randlanet(&model, &mut buf).unwrap();
+        let loaded = load_model(buf.as_slice()).unwrap();
+        let LoadedModel::RandLaNet(restored) = loaded else { panic!("wrong kind") };
+        assert_eq!(restored.config(), model.config());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load_model(&b"XXXX\x01\x00\x00\x00\x01"[..]).unwrap_err();
+        assert!(matches!(err, SerializeError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CLPM");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(99);
+        let err = load_model(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SerializeError::Corrupt(_)));
+    }
+
+    #[test]
+    fn truncated_config_is_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CLPM");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(KIND_RESGCN);
+        buf.extend_from_slice(&13u32.to_le_bytes()); // then nothing
+        let err = load_model(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SerializeError::Io(_)));
+    }
+}

@@ -1,0 +1,337 @@
+//! PointNet++ (Qi et al., 2017): hierarchical set abstraction and feature
+//! propagation.
+
+use crate::{ModelInput, SegmentationModel};
+use colper_autodiff::Var;
+use colper_geom::{ball_query, farthest_point_sampling, three_nn_weights, Point3};
+use colper_nn::{Activation, Dropout, Forward, Linear, ParamSet, SharedMlp};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Architecture hyper-parameters for [`PointNet2`].
+///
+/// Input features are the nine S3DIS features (xyz, RGB, normalized
+/// location); each set-abstraction (SA) level selects `sa_npoints[i]`
+/// centroids by farthest point sampling, groups `sa_k[i]` neighbors
+/// within `sa_radii[i]`, and runs a shared MLP with widths
+/// `sa_widths[i]` followed by max pooling. Feature propagation (FP)
+/// levels mirror the SA levels with 3-NN inverse-distance interpolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointNet2Config {
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Centroid counts per SA level (decreasing).
+    pub sa_npoints: Vec<usize>,
+    /// Ball-query radii per SA level (in normalized `[0,3]` coordinates).
+    pub sa_radii: Vec<f32>,
+    /// Neighbors per ball per SA level.
+    pub sa_k: Vec<usize>,
+    /// Shared-MLP hidden widths per SA level.
+    pub sa_widths: Vec<Vec<usize>>,
+    /// Shared-MLP hidden widths per FP level, in application order
+    /// (coarsest first).
+    pub fp_widths: Vec<Vec<usize>>,
+    /// Width of the segmentation head's hidden layer.
+    pub head_width: usize,
+    /// Dropout probability in the head.
+    pub dropout: f32,
+}
+
+impl PointNet2Config {
+    /// The paper-faithful configuration: four SA and four FP levels, as
+    /// the pre-trained model the paper attacks ("4 abstraction layers and
+    /// 4 feature propagation layers").
+    pub fn paper(num_classes: usize) -> Self {
+        Self {
+            num_classes,
+            sa_npoints: vec![1024, 256, 64, 16],
+            sa_radii: vec![0.3, 0.6, 1.2, 2.4],
+            sa_k: vec![32, 32, 32, 32],
+            sa_widths: vec![vec![32, 32, 64], vec![64, 64, 128], vec![128, 128, 256], vec![256, 256, 512]],
+            fp_widths: vec![vec![256, 256], vec![256, 256], vec![256, 128], vec![128, 128, 128]],
+            head_width: 128,
+            dropout: 0.5,
+        }
+    }
+
+    /// A CPU-friendly two-level configuration used by the experiment
+    /// harness (512-point clouds).
+    pub fn small(num_classes: usize) -> Self {
+        Self {
+            num_classes,
+            sa_npoints: vec![128, 32],
+            sa_radii: vec![0.45, 1.0],
+            sa_k: vec![16, 16],
+            sa_widths: vec![vec![32, 32], vec![64, 64]],
+            fp_widths: vec![vec![64, 48], vec![48, 48]],
+            head_width: 48,
+            dropout: 0.3,
+        }
+    }
+
+    /// A minimal configuration for unit tests (256-point clouds).
+    pub fn tiny(num_classes: usize) -> Self {
+        Self {
+            num_classes,
+            sa_npoints: vec![32],
+            sa_radii: vec![0.8],
+            sa_k: vec![8],
+            sa_widths: vec![vec![16, 16]],
+            fp_widths: vec![vec![16, 16]],
+            head_width: 16,
+            dropout: 0.2,
+        }
+    }
+
+    fn validate(&self) {
+        let l = self.sa_npoints.len();
+        assert!(l >= 1, "PointNet2Config: needs at least one SA level");
+        assert_eq!(self.sa_radii.len(), l, "PointNet2Config: sa_radii length");
+        assert_eq!(self.sa_k.len(), l, "PointNet2Config: sa_k length");
+        assert_eq!(self.sa_widths.len(), l, "PointNet2Config: sa_widths length");
+        assert_eq!(self.fp_widths.len(), l, "PointNet2Config: fp_widths length");
+        assert!(self.num_classes >= 2, "PointNet2Config: needs >= 2 classes");
+    }
+}
+
+/// The PointNet++ segmentation network.
+#[derive(Debug)]
+pub struct PointNet2 {
+    config: PointNet2Config,
+    params: ParamSet,
+    sa_mlps: Vec<SharedMlp>,
+    fp_mlps: Vec<SharedMlp>,
+    head: SharedMlp,
+    head_out: Linear,
+    dropout: Dropout,
+}
+
+/// Width of the input feature block (xyz + RGB + normalized location).
+const INPUT_FEATURES: usize = 9;
+
+impl PointNet2 {
+    /// Builds the network, registering all parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is inconsistent.
+    pub fn new<R: Rng + ?Sized>(config: PointNet2Config, rng: &mut R) -> Self {
+        config.validate();
+        let mut params = ParamSet::new();
+        let levels = config.sa_npoints.len();
+
+        // Per-level channel widths: lvl_c[0] is the raw input width.
+        let mut lvl_c = vec![INPUT_FEATURES];
+        let mut sa_mlps = Vec::with_capacity(levels);
+        for (i, widths) in config.sa_widths.iter().enumerate() {
+            let in_dim = 3 + lvl_c[i]; // relative xyz + grouped features
+            let mut dims = vec![in_dim];
+            dims.extend_from_slice(widths);
+            sa_mlps.push(SharedMlp::new(
+                &mut params,
+                &format!("sa{i}"),
+                &dims,
+                Activation::Relu,
+                true,
+                rng,
+            ));
+            lvl_c.push(*widths.last().expect("non-empty widths"));
+        }
+
+        // FP levels, coarsest-first.
+        let mut fp_mlps = Vec::with_capacity(levels);
+        let mut cur_c = lvl_c[levels];
+        for (j, widths) in config.fp_widths.iter().enumerate() {
+            let skip_level = levels - 1 - j;
+            let in_dim = cur_c + lvl_c[skip_level];
+            let mut dims = vec![in_dim];
+            dims.extend_from_slice(widths);
+            fp_mlps.push(SharedMlp::new(
+                &mut params,
+                &format!("fp{j}"),
+                &dims,
+                Activation::Relu,
+                true,
+                rng,
+            ));
+            cur_c = *widths.last().expect("non-empty widths");
+        }
+
+        let head = SharedMlp::new(
+            &mut params,
+            "head",
+            &[cur_c, config.head_width],
+            Activation::Relu,
+            true,
+            rng,
+        );
+        let head_out = Linear::new(
+            &mut params,
+            "head.out",
+            config.head_width,
+            config.num_classes,
+            true,
+            rng,
+        );
+        let dropout = Dropout::new(config.dropout);
+        Self { config, params, sa_mlps, fp_mlps, head, head_out, dropout }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &PointNet2Config {
+        &self.config
+    }
+}
+
+impl SegmentationModel for PointNet2 {
+    fn name(&self) -> &str {
+        "pointnet++"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    fn forward(&self, session: &mut Forward<'_>, input: &ModelInput<'_>, rng: &mut StdRng) -> Var {
+        let levels = self.config.sa_npoints.len();
+        let n = input.coords.len();
+        assert!(n > 0, "PointNet2: empty input");
+
+        let feats0 = session.tape.concat_cols_all(&[input.xyz, input.color, input.loc]);
+        let mut coords_lv: Vec<Vec<Point3>> = vec![input.coords.to_vec()];
+        let mut xyz_lv: Vec<Var> = vec![input.xyz];
+        let mut feats_lv: Vec<Var> = vec![feats0];
+
+        // Set abstraction: downsample and aggregate.
+        for i in 0..levels {
+            let cur_coords = &coords_lv[i];
+            let m = self.config.sa_npoints[i].min(cur_coords.len());
+            let centroid_idx = farthest_point_sampling(cur_coords, m, 0);
+            let centroids: Vec<Point3> = centroid_idx.iter().map(|&j| cur_coords[j]).collect();
+            let k = self.config.sa_k[i];
+            let nb = ball_query(cur_coords, &centroids, self.config.sa_radii[i], k);
+            let center_flat: Vec<usize> =
+                centroid_idx.iter().flat_map(|&c| std::iter::repeat(c).take(k)).collect();
+
+            let nb_xyz = session.tape.gather_rows(xyz_lv[i], &nb);
+            let ctr_xyz = session.tape.gather_rows(xyz_lv[i], &center_flat);
+            let rel = session.tape.sub(nb_xyz, ctr_xyz);
+            let nb_feats = session.tape.gather_rows(feats_lv[i], &nb);
+            let grouped = session.tape.concat_cols(rel, nb_feats);
+            let h = self.sa_mlps[i].forward(session, grouped);
+            let pooled = session.tape.group_max(h, k);
+
+            let next_xyz = session.tape.gather_rows(xyz_lv[i], &centroid_idx);
+            coords_lv.push(centroids);
+            xyz_lv.push(next_xyz);
+            feats_lv.push(pooled);
+        }
+
+        // Feature propagation: interpolate back up with skip connections.
+        let mut cur = feats_lv[levels];
+        for (j, fp) in self.fp_mlps.iter().enumerate() {
+            let fine = levels - 1 - j;
+            let (idx, w) = three_nn_weights(&coords_lv[fine + 1], &coords_lv[fine]);
+            let interp = session.tape.weighted_gather(cur, &idx, &w, 3);
+            let h = session.tape.concat_cols(interp, feats_lv[fine]);
+            cur = fp.forward(session, h);
+        }
+
+        let h = self.head.forward(session, cur);
+        let h = self.dropout.forward(session, h, rng);
+        self.head_out.forward(session, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bind_input, CloudTensors, ColorBinding};
+    use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
+    use rand::SeedableRng;
+
+    fn sample_tensors(n: usize) -> CloudTensors {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(n)).generate(5);
+        CloudTensors::from_cloud(&normalize::pointnet_view(&cloud))
+    }
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = sample_tensors(256);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let mut session = Forward::new(model.params(), false);
+        let input = bind_input(&mut session.tape, &t, ColorBinding::Constant);
+        let logits = model.forward(&mut session, &input, &mut rng);
+        let v = session.tape.value(logits);
+        assert_eq!(v.shape(), (256, 13));
+        assert!(v.all_finite());
+    }
+
+    #[test]
+    fn color_gradient_flows_to_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = sample_tensors(128);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let mut session = Forward::new(model.params(), false);
+        let input = bind_input(&mut session.tape, &t, ColorBinding::Leaf);
+        let logits = model.forward(&mut session, &input, &mut rng);
+        let loss = session.tape.softmax_cross_entropy(logits, &t.labels);
+        session.tape.backward(loss);
+        let g = session.tape.grad(input.color).expect("color gradient");
+        assert_eq!(g.shape(), (128, 3));
+        assert!(g.frobenius() > 0.0, "color gradient should be non-zero");
+    }
+
+    #[test]
+    fn training_mode_produces_param_grads() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = sample_tensors(128);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let mut session = Forward::new(model.params(), true);
+        let input = bind_input(&mut session.tape, &t, ColorBinding::Constant);
+        let logits = model.forward(&mut session, &input, &mut rng);
+        let loss = session.tape.softmax_cross_entropy(logits, &t.labels);
+        session.tape.backward(loss);
+        let grads = session.collect_grads();
+        assert!(grads.len() > 5, "expected grads for most params, got {}", grads.len());
+    }
+
+    #[test]
+    fn two_level_config_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = sample_tensors(256);
+        let model = PointNet2::new(PointNet2Config::small(13), &mut rng);
+        let mut session = Forward::new(model.params(), false);
+        let input = bind_input(&mut session.tape, &t, ColorBinding::Constant);
+        let logits = model.forward(&mut session, &input, &mut rng);
+        assert_eq!(session.tape.value(logits).shape(), (256, 13));
+    }
+
+    #[test]
+    fn handles_fewer_points_than_centroids() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = sample_tensors(16); // fewer than the 32 centroids of tiny()
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let mut session = Forward::new(model.params(), false);
+        let input = bind_input(&mut session.tape, &t, ColorBinding::Constant);
+        let logits = model.forward(&mut session, &input, &mut rng);
+        assert_eq!(session.tape.value(logits).rows(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "sa_radii length")]
+    fn config_validation() {
+        let mut bad = PointNet2Config::tiny(13);
+        bad.sa_radii.clear();
+        let _ = PointNet2::new(bad, &mut StdRng::seed_from_u64(0));
+    }
+}

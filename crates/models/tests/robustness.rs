@@ -1,0 +1,114 @@
+//! Robustness of the three architectures on degenerate inputs: tiny
+//! clouds, duplicate points, saturated colors — the edge cases real
+//! preprocessing pipelines produce (the paper mentions "random
+//! filtering, nodes copying, and point clouds separation").
+
+use colper_geom::Point3;
+use colper_models::{
+    logits_of, CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn,
+    ResGcnConfig, SegmentationModel,
+};
+use colper_scene::{normalize, IndoorSceneConfig, PointCloud, SceneGenerator};
+use colper_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn models(classes: usize) -> Vec<Box<dyn SegmentationModel>> {
+    let mut rng = StdRng::seed_from_u64(0);
+    vec![
+        Box::new(PointNet2::new(PointNet2Config::tiny(classes), &mut rng)),
+        Box::new(ResGcn::new(ResGcnConfig::tiny(classes), &mut rng)),
+        Box::new(RandLaNet::new(RandLaNetConfig::tiny(classes), &mut rng)),
+    ]
+}
+
+fn assert_clean_logits(t: &CloudTensors, context: &str) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for model in models(t.num_classes) {
+        let logits = logits_of(model.as_ref(), t, &mut rng);
+        assert_eq!(logits.shape(), (t.len(), t.num_classes), "{}: {context}", model.name());
+        assert!(logits.all_finite(), "{}: non-finite logits on {context}", model.name());
+    }
+}
+
+#[test]
+fn single_point_cloud() {
+    let cloud = PointCloud::new(
+        vec![Point3::new(0.5, 0.5, 0.5)],
+        vec![[0.3, 0.6, 0.9]],
+        vec![2],
+        13,
+    );
+    assert_clean_logits(&CloudTensors::from_cloud(&cloud), "single point");
+}
+
+#[test]
+fn all_points_identical() {
+    // Nodes-copying preprocessing can duplicate one point many times;
+    // kd-trees, FPS and normalization must all survive zero extent.
+    let n = 64;
+    let cloud = PointCloud::new(
+        vec![Point3::new(1.0, 2.0, 3.0); n],
+        vec![[0.5, 0.5, 0.5]; n],
+        vec![0; n],
+        13,
+    );
+    let view = normalize::pointnet_view(&cloud);
+    assert_clean_logits(&CloudTensors::from_cloud(&view), "identical points");
+}
+
+#[test]
+fn collinear_points() {
+    let n = 48;
+    let cloud = PointCloud::new(
+        (0..n).map(|i| Point3::new(i as f32 * 0.1, 0.0, 0.0)).collect(),
+        vec![[0.2, 0.4, 0.6]; n],
+        (0..n).map(|i| i % 13).collect(),
+        13,
+    );
+    let view = normalize::resgcn_view(&cloud);
+    assert_clean_logits(&CloudTensors::from_cloud(&view), "collinear points");
+}
+
+#[test]
+fn saturated_colors() {
+    let base = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(4);
+    let mut cloud = normalize::pointnet_view(&base);
+    for (i, c) in cloud.colors.iter_mut().enumerate() {
+        *c = if i % 2 == 0 { [0.0; 3] } else { [1.0; 3] };
+    }
+    assert_clean_logits(&CloudTensors::from_cloud(&cloud), "saturated colors");
+}
+
+#[test]
+fn two_point_cloud_each_model() {
+    let cloud = PointCloud::new(
+        vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)],
+        vec![[0.1, 0.2, 0.3], [0.9, 0.8, 0.7]],
+        vec![0, 1],
+        13,
+    );
+    assert_clean_logits(&CloudTensors::from_cloud(&cloud), "two points");
+}
+
+#[test]
+fn logits_respond_to_color_changes() {
+    // Sanity for the whole premise: color must actually influence every
+    // model's output.
+    let base = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(6);
+    let view = normalize::pointnet_view(&base);
+    let t1 = CloudTensors::from_cloud(&view);
+    let mut t2 = t1.clone();
+    t2.colors = Matrix::filled(96, 3, 0.5);
+    for model in models(13) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let l1 = logits_of(model.as_ref(), &t1, &mut rng);
+        let mut rng = StdRng::seed_from_u64(7);
+        let l2 = logits_of(model.as_ref(), &t2, &mut rng);
+        assert!(
+            l1.max_abs_diff(&l2) > 1e-4,
+            "{}: logits ignore color entirely",
+            model.name()
+        );
+    }
+}

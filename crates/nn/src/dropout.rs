@@ -1,0 +1,97 @@
+//! Inverted dropout.
+
+use crate::Forward;
+use colper_autodiff::Var;
+use colper_tensor::Matrix;
+use rand::Rng;
+
+/// Inverted dropout: in training mode each activation is zeroed with
+/// probability `p` and survivors are scaled by `1 / (1 - p)`; in
+/// evaluation mode the layer is the identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self { p }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Applies dropout to `x`.
+    pub fn forward<R: Rng + ?Sized>(&self, f: &mut Forward<'_>, x: Var, rng: &mut R) -> Var {
+        if !f.training() || self.p == 0.0 {
+            return x;
+        }
+        let (rows, cols) = f.tape.value(x).shape();
+        let keep = 1.0 - self.p;
+        let mask = Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        f.tape.mul_const(x, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_in_eval_mode() {
+        let ps = ParamSet::new();
+        let mut f = Forward::new(&ps, false);
+        let x = f.tape.constant(Matrix::ones(4, 4));
+        let d = Dropout::new(0.5);
+        let y = d.forward(&mut f, x, &mut StdRng::seed_from_u64(0));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn zeroes_roughly_p_fraction_in_training() {
+        let ps = ParamSet::new();
+        let mut f = Forward::new(&ps, true);
+        let x = f.tape.constant(Matrix::ones(100, 100));
+        let d = Dropout::new(0.3);
+        let y = d.forward(&mut f, x, &mut StdRng::seed_from_u64(1));
+        let v = f.tape.value(y);
+        let zeros = v.as_slice().iter().filter(|&&t| t == 0.0).count();
+        let frac = zeros as f32 / v.len() as f32;
+        assert!((frac - 0.3).abs() < 0.03, "zero fraction {frac}");
+        // Survivors are scaled to preserve expectation.
+        let mean = v.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn p_zero_is_identity_even_in_training() {
+        let ps = ParamSet::new();
+        let mut f = Forward::new(&ps, true);
+        let x = f.tape.constant(Matrix::ones(2, 2));
+        let y = Dropout::new(0.0).forward(&mut f, x, &mut StdRng::seed_from_u64(0));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

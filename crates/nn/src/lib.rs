@@ -1,0 +1,64 @@
+//! Neural-network layers, optimizers and training utilities over the
+//! COLPER autodiff tape.
+//!
+//! The crate is organized around two types:
+//!
+//! * [`ParamSet`] — owns every trainable matrix (weights, batch-norm
+//!   scales) and non-trainable buffer (running statistics) of a model;
+//! * [`Forward`] — a single forward/backward session that binds
+//!   parameters onto a fresh [`colper_autodiff::Tape`]. In training mode
+//!   parameters become differentiable leaves and batch-norm uses batch
+//!   statistics; in evaluation mode parameters are constants (so the only
+//!   gradients computed are the attack's input gradients) and batch-norm
+//!   uses its running statistics.
+//!
+//! Layers ([`Linear`], [`BatchNorm`], [`SharedMlp`], [`Dropout`]) store
+//! only `ParamId` handles, so they are `Copy`-cheap and borrow-free; the
+//! actual numbers live in the `ParamSet`.
+//!
+//! # Example: fit a tiny MLP
+//!
+//! ```
+//! use colper_nn::{Activation, Adam, Forward, ParamSet, SharedMlp, train_step};
+//! use colper_tensor::Matrix;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut params = ParamSet::new();
+//! let mlp = SharedMlp::new(&mut params, "mlp", &[2, 16, 2], Activation::Relu, true, &mut rng);
+//! let mut adam = Adam::with_lr(0.01);
+//! // XOR-ish toy data.
+//! let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+//! let labels = [0usize, 0, 1, 1];
+//! let mut last = f32::INFINITY;
+//! for _ in 0..300 {
+//!     let step = train_step(&mut params, &mut adam, &labels, |f| {
+//!         let xv = f.tape.constant(x.clone());
+//!         mlp.forward(f, xv)
+//!     });
+//!     last = step.loss;
+//! }
+//! assert!(last < 0.5, "loss {last}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batchnorm;
+mod dropout;
+mod linear;
+mod mlp;
+mod optim;
+mod param;
+mod serialize;
+mod trainer;
+
+pub use batchnorm::BatchNorm;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use mlp::{Activation, SharedMlp};
+pub use optim::{Adam, AdamState, Sgd};
+pub use param::{BnUpdate, BufferId, Forward, ParamId, ParamSet};
+pub use serialize::{load_params, save_params, SerializeError};
+pub use trainer::{evaluate_accuracy, train_step, TrainStep};

@@ -1,0 +1,142 @@
+//! The [`SharedMlp`]: a stack of `Linear -> BatchNorm -> activation`
+//! blocks applied point-wise — the workhorse of all three segmentation
+//! networks.
+
+use crate::{BatchNorm, Forward, Linear, ParamSet};
+use colper_autodiff::Var;
+use rand::Rng;
+
+/// Point-wise nonlinearities available to [`SharedMlp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// `max(x, 0)`.
+    Relu,
+    /// Leaky ReLU with slope 0.2 (DeepGCN's default).
+    LeakyRelu,
+    /// No nonlinearity (used for final logit layers).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, f: &mut Forward<'_>, x: Var) -> Var {
+        match self {
+            Activation::Relu => f.tape.relu(x),
+            Activation::LeakyRelu => f.tape.leaky_relu(x, 0.2),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// A shared (per-point) MLP: `dims = [in, h1, ..., out]` produces
+/// `dims.len() - 1` blocks of `Linear -> [BatchNorm] -> activation`.
+/// The final block uses the same activation as the rest; build a second
+/// one-layer MLP with [`Activation::Identity`] for logit heads.
+#[derive(Debug, Clone)]
+pub struct SharedMlp {
+    blocks: Vec<(Linear, Option<BatchNorm>, Activation)>,
+}
+
+impl SharedMlp {
+    /// Registers the MLP's parameters in `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dims` has fewer than two entries.
+    pub fn new<R: Rng + ?Sized>(
+        params: &mut ParamSet,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        batch_norm: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "SharedMlp needs at least [in, out] dims");
+        let mut blocks = Vec::with_capacity(dims.len() - 1);
+        for (i, pair) in dims.windows(2).enumerate() {
+            let lin = Linear::new(params, &format!("{name}.{i}"), pair[0], pair[1], !batch_norm, rng);
+            let bn = batch_norm.then(|| BatchNorm::new(params, &format!("{name}.{i}.bn"), pair[1]));
+            blocks.push((lin, bn, activation));
+        }
+        Self { blocks }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.blocks[0].0.in_dim()
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.blocks.last().expect("non-empty").0.out_dim()
+    }
+
+    /// Number of blocks.
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Applies the MLP to `[N, in_dim]` activations.
+    pub fn forward(&self, f: &mut Forward<'_>, x: Var) -> Var {
+        let mut h = x;
+        for (lin, bn, act) in &self.blocks {
+            h = lin.forward(f, h);
+            if let Some(bn) = bn {
+                h = bn.forward(f, h);
+            }
+            h = act.apply(f, h);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colper_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_through_stack() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new();
+        let mlp = SharedMlp::new(&mut ps, "m", &[3, 8, 16, 4], Activation::Relu, true, &mut rng);
+        assert_eq!(mlp.in_dim(), 3);
+        assert_eq!(mlp.out_dim(), 4);
+        assert_eq!(mlp.depth(), 3);
+        let mut f = Forward::new(&ps, false);
+        let x = f.tape.constant(Matrix::ones(10, 3));
+        let y = mlp.forward(&mut f, x);
+        assert_eq!(f.tape.value(y).shape(), (10, 4));
+    }
+
+    #[test]
+    fn relu_output_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        let mlp = SharedMlp::new(&mut ps, "m", &[2, 4], Activation::Relu, false, &mut rng);
+        let mut f = Forward::new(&ps, false);
+        let x = f.tape.constant(Matrix::from_fn(6, 2, |r, c| (r + c) as f32 - 3.0));
+        let y = mlp.forward(&mut f, x);
+        assert!(f.tape.value(y).min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn identity_activation_can_go_negative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new();
+        let mlp = SharedMlp::new(&mut ps, "m", &[2, 4], Activation::Identity, false, &mut rng);
+        let mut f = Forward::new(&ps, false);
+        let x = f.tape.constant(Matrix::from_fn(6, 2, |r, c| (r * c) as f32 - 3.0));
+        let y = mlp.forward(&mut f, x);
+        assert!(f.tape.value(y).min().unwrap() < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn rejects_single_dim() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new();
+        let _ = SharedMlp::new(&mut ps, "m", &[3], Activation::Relu, false, &mut rng);
+    }
+}

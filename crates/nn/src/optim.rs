@@ -1,0 +1,191 @@
+//! Optimizers: [`Sgd`], [`Adam`] over a [`ParamSet`], and the standalone
+//! [`AdamState`] the attack uses on its perturbation variable.
+
+use crate::{ParamId, ParamSet};
+use colper_tensor::Matrix;
+
+/// Adam moment state for a single matrix-shaped variable.
+///
+/// The COLPER attack optimizes one variable (`w`, the tanh-space color
+/// perturbation) with Adam; this struct is that optimizer, and [`Adam`]
+/// reuses it per parameter.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Matrix,
+    v: Matrix,
+    t: u64,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+}
+
+impl AdamState {
+    /// Creates zeroed moment buffers for a `rows x cols` variable with
+    /// the standard Adam hyper-parameters (β₁ 0.9, β₂ 0.999, ε 1e-8).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Applies one Adam update to `value` in place, using `grad` and the
+    /// learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes of `value`, `grad` and the state disagree.
+    pub fn update(&mut self, value: &mut Matrix, grad: &Matrix, lr: f32) {
+        assert_eq!(value.shape(), grad.shape(), "AdamState: value/grad shape mismatch");
+        assert_eq!(value.shape(), self.m.shape(), "AdamState: state shape mismatch");
+        self.t += 1;
+        let b1 = self.beta1;
+        let b2 = self.beta2;
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let eps = self.eps;
+        let m = self.m.as_mut_slice();
+        let v = self.v.as_mut_slice();
+        let val = value.as_mut_slice();
+        for i in 0..val.len() {
+            let g = grad.as_slice()[i];
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            val[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+}
+
+/// Adam over a whole [`ParamSet`].
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    states: Vec<Option<AdamState>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with learning rate `lr`.
+    pub fn with_lr(lr: f32) -> Self {
+        Self { lr, states: Vec::new() }
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one step over the `(id, gradient)` pairs collected from a
+    /// training pass.
+    pub fn step(&mut self, params: &mut ParamSet, grads: &[(ParamId, Matrix)]) {
+        for (id, grad) in grads {
+            if self.states.len() <= id.0 {
+                self.states.resize(id.0 + 1, None);
+            }
+            let value = params.param_mut(*id);
+            let state = self.states[id.0]
+                .get_or_insert_with(|| AdamState::new(value.rows(), value.cols()));
+            state.update(value, grad, self.lr);
+        }
+    }
+}
+
+/// Plain stochastic gradient descent (baseline / ablation optimizer).
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr`.
+    pub fn with_lr(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one descent step.
+    pub fn step(&self, params: &mut ParamSet, grads: &[(ParamId, Matrix)]) {
+        for (id, grad) in grads {
+            let value = params.param_mut(*id);
+            let update = grad.scale(self.lr);
+            *value = value.sub(&update).expect("shape");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(x: &Matrix) -> Matrix {
+        // f(x) = ||x - 3||^2 -> grad = 2(x - 3)
+        x.map(|v| 2.0 * (v - 3.0))
+    }
+
+    #[test]
+    fn adam_state_minimizes_quadratic() {
+        let mut x = Matrix::zeros(2, 2);
+        let mut adam = AdamState::new(2, 2);
+        for _ in 0..500 {
+            let g = quadratic_grad(&x);
+            adam.update(&mut x, &g, 0.05);
+        }
+        assert!(x.as_slice().iter().all(|&v| (v - 3.0).abs() < 0.05), "{x:?}");
+    }
+
+    #[test]
+    fn adam_over_paramset_minimizes() {
+        let mut ps = ParamSet::new();
+        let id = ps.add_param("x", Matrix::zeros(1, 3));
+        let mut adam = Adam::with_lr(0.05);
+        for _ in 0..500 {
+            let g = quadratic_grad(ps.param(id));
+            adam.step(&mut ps, &[(id, g)]);
+        }
+        assert!(ps.param(id).as_slice().iter().all(|&v| (v - 3.0).abs() < 0.05));
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut ps = ParamSet::new();
+        let id = ps.add_param("x", Matrix::filled(1, 1, 10.0));
+        let sgd = Sgd::with_lr(0.1);
+        let before = ps.param(id)[(0, 0)];
+        let g = quadratic_grad(ps.param(id));
+        sgd.step(&mut ps, &[(id, g)]);
+        let after = ps.param(id)[(0, 0)];
+        assert!(after < before);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_close_to_lr() {
+        // Adam's bias correction makes the first step ~lr regardless of
+        // gradient scale.
+        let mut x = Matrix::zeros(1, 1);
+        let mut adam = AdamState::new(1, 1);
+        adam.update(&mut x, &Matrix::filled(1, 1, 1000.0), 0.01);
+        assert!((x[(0, 0)].abs() - 0.01).abs() < 1e-3, "{x:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn adam_state_shape_checked() {
+        let mut x = Matrix::zeros(1, 2);
+        let mut adam = AdamState::new(1, 2);
+        adam.update(&mut x, &Matrix::zeros(2, 1), 0.1);
+    }
+}

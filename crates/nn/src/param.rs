@@ -1,0 +1,267 @@
+//! Parameter storage ([`ParamSet`]) and the per-pass binding session
+//! ([`Forward`]).
+
+use colper_autodiff::{Tape, Var};
+use colper_tensor::Matrix;
+
+/// Handle to a trainable parameter inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Handle to a non-trainable buffer (e.g. batch-norm running statistics)
+/// inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Named {
+    pub name: String,
+    pub value: Matrix,
+}
+
+/// Owns all trainable parameters and buffers of a model.
+///
+/// Layers store [`ParamId`]/[`BufferId`] handles; the numbers live here so
+/// that optimizers, serialization and weight transfer all operate on one
+/// flat store.
+#[derive(Debug, Clone, Default)]
+pub struct ParamSet {
+    pub(crate) params: Vec<Named>,
+    pub(crate) buffers: Vec<Named>,
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a trainable parameter; names should be unique and
+    /// path-like (`"sa0.mlp1.weight"`).
+    pub fn add_param(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.params.push(Named { name: name.into(), value });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Registers a non-trainable buffer.
+    pub fn add_buffer(&mut self, name: impl Into<String>, value: Matrix) -> BufferId {
+        self.buffers.push(Named { name: name.into(), value });
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// The current value of a parameter.
+    pub fn param(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter (used by optimizers).
+    pub fn param_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// The name of a parameter.
+    pub fn param_name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// The current value of a buffer.
+    pub fn buffer(&self, id: BufferId) -> &Matrix {
+        &self.buffers[id.0].value
+    }
+
+    /// Mutable access to a buffer.
+    pub fn buffer_mut(&mut self, id: BufferId) -> &mut Matrix {
+        &mut self.buffers[id.0].value
+    }
+
+    /// Number of registered parameters (matrices, not scalars).
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Number of registered buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// All parameter ids in registration order.
+    pub fn param_ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Applies the batch-norm running-statistic updates recorded by a
+    /// training [`Forward`] pass.
+    pub fn apply_bn_updates(&mut self, updates: &[BnUpdate]) {
+        for u in updates {
+            let mean = self.buffer_mut(u.mean_buf);
+            *mean = mean.scale(1.0 - u.momentum).add(&u.mean.scale(u.momentum)).expect("shape");
+            let var = self.buffer_mut(u.var_buf);
+            *var = var.scale(1.0 - u.momentum).add(&u.var.scale(u.momentum)).expect("shape");
+        }
+    }
+}
+
+/// A recorded batch-norm statistics update, applied after the backward
+/// pass via [`ParamSet::apply_bn_updates`].
+#[derive(Debug, Clone)]
+pub struct BnUpdate {
+    /// Running-mean buffer to update.
+    pub mean_buf: BufferId,
+    /// Running-variance buffer to update.
+    pub var_buf: BufferId,
+    /// Batch mean observed in this pass.
+    pub mean: Matrix,
+    /// Batch variance observed in this pass.
+    pub var: Matrix,
+    /// Exponential-moving-average momentum.
+    pub momentum: f32,
+}
+
+/// A single forward/backward session: owns the [`Tape`] and binds
+/// parameters onto it on demand.
+///
+/// * `training == true`: parameters bind as differentiable leaves,
+///   batch-norm layers use batch statistics and record running-stat
+///   updates, dropout is active.
+/// * `training == false`: parameters bind as constants — gradients only
+///   flow to explicit input leaves, which is exactly what the attack
+///   needs.
+#[derive(Debug)]
+pub struct Forward<'p> {
+    /// The tape the session records onto.
+    pub tape: Tape,
+    params: &'p ParamSet,
+    bound: Vec<Option<Var>>,
+    training: bool,
+    bn_updates: Vec<BnUpdate>,
+}
+
+impl<'p> Forward<'p> {
+    /// Starts a session over `params`.
+    pub fn new(params: &'p ParamSet, training: bool) -> Self {
+        Self {
+            tape: Tape::new(),
+            params,
+            bound: vec![None; params.param_count()],
+            training,
+            bn_updates: Vec::new(),
+        }
+    }
+
+    /// Whether the session is in training mode.
+    pub fn training(&self) -> bool {
+        self.training
+    }
+
+    /// Binds parameter `id` onto the tape (cached: repeated calls return
+    /// the same [`Var`]).
+    pub fn param(&mut self, id: ParamId) -> Var {
+        if let Some(v) = self.bound[id.0] {
+            return v;
+        }
+        let value = self.params.param(id).clone();
+        let v = if self.training { self.tape.leaf(value) } else { self.tape.constant(value) };
+        self.bound[id.0] = Some(v);
+        v
+    }
+
+    /// Reads a buffer's current value.
+    pub fn buffer(&self, id: BufferId) -> &Matrix {
+        self.params.buffer(id)
+    }
+
+    /// Records a batch-norm running-statistics update for later commit.
+    pub fn record_bn_update(&mut self, update: BnUpdate) {
+        self.bn_updates.push(update);
+    }
+
+    /// After `tape.backward`, collects the gradient of every bound
+    /// parameter (pairs of id and gradient). Parameters that received no
+    /// gradient are skipped.
+    pub fn collect_grads(&self) -> Vec<(ParamId, Matrix)> {
+        let mut out = Vec::new();
+        for (i, bound) in self.bound.iter().enumerate() {
+            if let Some(var) = bound {
+                if let Some(g) = self.tape.grad(*var) {
+                    out.push((ParamId(i), g.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Consumes the session and returns the recorded batch-norm updates.
+    pub fn into_bn_updates(self) -> Vec<BnUpdate> {
+        self.bn_updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_registration_and_access() {
+        let mut ps = ParamSet::new();
+        let w = ps.add_param("w", Matrix::ones(2, 3));
+        let b = ps.add_buffer("running_mean", Matrix::zeros(1, 3));
+        assert_eq!(ps.param(w).shape(), (2, 3));
+        assert_eq!(ps.buffer(b).shape(), (1, 3));
+        assert_eq!(ps.param_name(w), "w");
+        assert_eq!(ps.param_count(), 1);
+        assert_eq!(ps.buffer_count(), 1);
+        assert_eq!(ps.num_scalars(), 6);
+    }
+
+    #[test]
+    fn forward_binds_leaves_in_training() {
+        let mut ps = ParamSet::new();
+        let w = ps.add_param("w", Matrix::ones(1, 2));
+        let mut f = Forward::new(&ps, true);
+        let v = f.param(w);
+        let v2 = f.param(w);
+        assert_eq!(v, v2, "binding should be cached");
+        let s = f.tape.sum(v);
+        f.tape.backward(s);
+        assert!(f.tape.grad(v).is_some());
+        let grads = f.collect_grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, w);
+    }
+
+    #[test]
+    fn forward_binds_constants_in_eval() {
+        let mut ps = ParamSet::new();
+        let w = ps.add_param("w", Matrix::ones(1, 2));
+        let mut f = Forward::new(&ps, false);
+        let v = f.param(w);
+        // Mix with a leaf so backward has something to differentiate.
+        let x = f.tape.leaf(Matrix::ones(1, 2));
+        let y = f.tape.mul(x, v);
+        let s = f.tape.sum(y);
+        f.tape.backward(s);
+        assert!(f.tape.grad(v).is_none(), "eval params must not get grads");
+        assert!(f.collect_grads().is_empty());
+    }
+
+    #[test]
+    fn bn_updates_move_running_stats() {
+        let mut ps = ParamSet::new();
+        let mean_buf = ps.add_buffer("rm", Matrix::zeros(1, 2));
+        let var_buf = ps.add_buffer("rv", Matrix::ones(1, 2));
+        ps.apply_bn_updates(&[BnUpdate {
+            mean_buf,
+            var_buf,
+            mean: Matrix::filled(1, 2, 10.0),
+            var: Matrix::filled(1, 2, 4.0),
+            momentum: 0.1,
+        }]);
+        assert!((ps.buffer(mean_buf)[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((ps.buffer(var_buf)[(0, 0)] - (0.9 + 0.4)).abs() < 1e-6);
+    }
+}

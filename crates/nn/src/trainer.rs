@@ -1,0 +1,131 @@
+//! Minimal training loop helpers.
+
+use crate::{Adam, Forward, ParamSet};
+use colper_autodiff::Var;
+use colper_tensor::Matrix;
+
+/// The outcome of one [`train_step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStep {
+    /// Mean cross-entropy of the step.
+    pub loss: f32,
+    /// Fraction of rows whose argmax matched the label.
+    pub accuracy: f32,
+}
+
+/// Runs one supervised step: forward (training mode), softmax
+/// cross-entropy against `labels`, backward, Adam update, batch-norm
+/// running-stat commit.
+///
+/// `build` receives the training [`Forward`] session and must return the
+/// `[N, classes]` logits.
+///
+/// # Panics
+///
+/// Panics when the logit row count differs from `labels.len()`.
+pub fn train_step(
+    params: &mut ParamSet,
+    adam: &mut Adam,
+    labels: &[usize],
+    build: impl FnOnce(&mut Forward<'_>) -> Var,
+) -> TrainStep {
+    let (grads, bn_updates, loss, accuracy) = {
+        let mut f = Forward::new(params, true);
+        let logits = build(&mut f);
+        let loss_var = f.tape.softmax_cross_entropy(logits, labels);
+        f.tape.backward(loss_var);
+        let loss = f.tape.value(loss_var)[(0, 0)];
+        let accuracy = accuracy_of(f.tape.value(logits), labels);
+        let grads = f.collect_grads();
+        (grads, f.into_bn_updates(), loss, accuracy)
+    };
+    params.apply_bn_updates(&bn_updates);
+    adam.step(params, &grads);
+    TrainStep { loss, accuracy }
+}
+
+/// Evaluates accuracy of logits produced by `build` in evaluation mode.
+///
+/// # Panics
+///
+/// Panics when the logit row count differs from `labels.len()`.
+pub fn evaluate_accuracy(
+    params: &ParamSet,
+    labels: &[usize],
+    build: impl FnOnce(&mut Forward<'_>) -> Var,
+) -> f32 {
+    let mut f = Forward::new(params, false);
+    let logits = build(&mut f);
+    accuracy_of(f.tape.value(logits), labels)
+}
+
+fn accuracy_of(logits: &Matrix, labels: &[usize]) -> f32 {
+    assert_eq!(logits.rows(), labels.len(), "logits/labels length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, SharedMlp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two linearly separable blobs.
+    fn toy_data() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let t = i as f32 * 0.05;
+            rows.push(vec![t, 1.0 - t]);
+            labels.push(0);
+            rows.push(vec![-t - 0.5, t - 1.0]);
+            labels.push(1);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        (Matrix::from_rows(&refs).unwrap(), labels)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_high_accuracy() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamSet::new();
+        let mlp = SharedMlp::new(&mut ps, "m", &[2, 16, 2], Activation::Relu, true, &mut rng);
+        let mut adam = Adam::with_lr(0.02);
+        let (x, labels) = toy_data();
+        let first = train_step(&mut ps, &mut adam, &labels, |f| {
+            let xv = f.tape.constant(x.clone());
+            mlp.forward(f, xv)
+        });
+        let mut last = first;
+        for _ in 0..150 {
+            last = train_step(&mut ps, &mut adam, &labels, |f| {
+                let xv = f.tape.constant(x.clone());
+                mlp.forward(f, xv)
+            });
+        }
+        assert!(last.loss < first.loss, "loss should fall: {first:?} -> {last:?}");
+        let acc = evaluate_accuracy(&ps, &labels, |f| {
+            let xv = f.tape.constant(x.clone());
+            mlp.forward(f, xv)
+        });
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_of_counts_matches() {
+        let logits = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0], &[5.0, 0.0]]).unwrap();
+        assert!((accuracy_of(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_labels_give_zero_accuracy() {
+        let logits = Matrix::zeros(0, 2);
+        assert_eq!(accuracy_of(&logits, &[]), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for layers and optimizers.
+
+use colper_nn::{
+    Activation, Adam, AdamState, BatchNorm, Dropout, Forward, Linear, ParamSet, SharedMlp,
+};
+use colper_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linear layers are affine: f(ax + by) = a f(x) + b f(y) for
+    /// bias-free layers.
+    #[test]
+    fn linear_without_bias_is_linear(
+        x in arb_matrix(4, 3),
+        y in arb_matrix(4, 3),
+        a in -2.0f32..2.0,
+        b in -2.0f32..2.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new();
+        let lin = Linear::new(&mut ps, "l", 3, 5, false, &mut rng);
+        let eval = |input: &Matrix| -> Matrix {
+            let mut f = Forward::new(&ps, false);
+            let v = f.tape.constant(input.clone());
+            let out = lin.forward(&mut f, v);
+            f.tape.value(out).clone()
+        };
+        let lhs = eval(&x.scale(a).add(&y.scale(b)).unwrap());
+        let rhs = eval(&x).scale(a).add(&eval(&y).scale(b)).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    /// Batch norm in training mode: output columns have ~zero mean and
+    /// ~unit variance when gamma = 1, beta = 0.
+    #[test]
+    fn batchnorm_normalizes_any_batch(x in arb_matrix(16, 3)) {
+        let mut ps = ParamSet::new();
+        let bn = BatchNorm::new(&mut ps, "bn", 3);
+        let mut f = Forward::new(&ps, true);
+        let v = f.tape.constant(x);
+        let out = bn.forward(&mut f, v);
+        let y = f.tape.value(out);
+        let means = y.mean_rows();
+        for c in 0..3 {
+            prop_assert!(means[(0, c)].abs() < 1e-3, "col {c} mean {}", means[(0, c)]);
+        }
+    }
+
+    /// Dropout preserves expectation: the mean activation stays close to
+    /// the input mean.
+    #[test]
+    fn dropout_preserves_expectation(p in 0.0f32..0.8, seed in 0u64..100) {
+        let ps = ParamSet::new();
+        let mut f = Forward::new(&ps, true);
+        let x = f.tape.constant(Matrix::ones(64, 64));
+        let d = Dropout::new(p);
+        let y = d.forward(&mut f, x, &mut StdRng::seed_from_u64(seed));
+        let mean = f.tape.value(y).mean();
+        prop_assert!((mean - 1.0).abs() < 0.12, "p={p}, mean={mean}");
+    }
+
+    /// Adam converges on any smooth strongly-convex quadratic.
+    #[test]
+    fn adam_converges_on_quadratic(target in -5.0f32..5.0) {
+        let mut x = Matrix::zeros(1, 4);
+        let mut adam = AdamState::new(1, 4);
+        for _ in 0..800 {
+            let g = x.map(|v| 2.0 * (v - target));
+            adam.update(&mut x, &g, 0.05);
+        }
+        prop_assert!(x.as_slice().iter().all(|&v| (v - target).abs() < 0.1), "{x:?}");
+    }
+
+    /// Training an MLP never produces NaN weights on bounded data.
+    #[test]
+    fn training_stays_finite(seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamSet::new();
+        let mlp = SharedMlp::new(&mut ps, "m", &[4, 8, 3], Activation::Relu, true, &mut rng);
+        let mut adam = Adam::with_lr(0.05);
+        let x = Matrix::from_fn(12, 4, |r, c| ((r * 3 + c) as f32 * 0.7).sin());
+        let labels: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        for _ in 0..30 {
+            let step = colper_nn::train_step(&mut ps, &mut adam, &labels, |f| {
+                let xv = f.tape.constant(x.clone());
+                mlp.forward(f, xv)
+            });
+            prop_assert!(step.loss.is_finite());
+        }
+        for id in ps.param_ids() {
+            prop_assert!(ps.param(id).all_finite());
+        }
+    }
+
+    /// Checkpoint round trip is exact for arbitrary parameter contents.
+    #[test]
+    fn serialization_round_trip(w in arb_matrix(5, 7), b in arb_matrix(1, 7)) {
+        let mut ps = ParamSet::new();
+        let wid = ps.add_param("w", w);
+        let bid = ps.add_param("b", b);
+        ps.add_buffer("rm", Matrix::filled(1, 7, 0.25));
+        let mut buf = Vec::new();
+        colper_nn::save_params(&ps, &mut buf).unwrap();
+        let loaded = colper_nn::load_params(buf.as_slice()).unwrap();
+        prop_assert_eq!(loaded.param(wid), ps.param(wid));
+        prop_assert_eq!(loaded.param(bid), ps.param(bid));
+    }
+}

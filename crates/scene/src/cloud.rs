@@ -1,0 +1,299 @@
+//! The [`PointCloud`] container: coordinates, RGB colors and per-point
+//! labels.
+
+use colper_geom::{Aabb, Point3};
+use colper_tensor::Matrix;
+use rand::Rng;
+
+/// A labeled, colored point cloud.
+///
+/// This is the unit the whole pipeline operates on: scene generators
+/// produce it, normalization pipelines rewrite it, models consume its
+/// coordinate/color matrices, and the attack perturbs its color block.
+///
+/// Invariant: `coords`, `colors` and `labels` always have equal length,
+/// every color channel lies in `[0, 1]`, and every label is
+/// `< num_classes`. Constructors validate this.
+///
+/// # Example
+///
+/// ```
+/// use colper_geom::Point3;
+/// use colper_scene::PointCloud;
+///
+/// let cloud = PointCloud::new(
+///     vec![Point3::new(0.0, 0.0, 0.0)],
+///     vec![[0.5, 0.5, 0.5]],
+///     vec![0],
+///     13,
+/// );
+/// assert_eq!(cloud.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointCloud {
+    /// Point positions.
+    pub coords: Vec<Point3>,
+    /// RGB colors, each channel normalized to `[0, 1]`.
+    pub colors: Vec<[f32; 3]>,
+    /// Ground-truth class label per point.
+    pub labels: Vec<usize>,
+    /// Number of classes in the label space.
+    pub num_classes: usize,
+}
+
+impl PointCloud {
+    /// Creates a cloud, validating the container invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree, a label is out of range, or a color
+    /// channel leaves `[0, 1]`.
+    pub fn new(
+        coords: Vec<Point3>,
+        colors: Vec<[f32; 3]>,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
+        assert_eq!(coords.len(), colors.len(), "coords/colors length mismatch");
+        assert_eq!(coords.len(), labels.len(), "coords/labels length mismatch");
+        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+        assert!(
+            colors.iter().all(|c| c.iter().all(|&v| (0.0..=1.0).contains(&v))),
+            "color channel outside [0, 1]"
+        );
+        Self { coords, colors, labels, num_classes }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the cloud has no points.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// The coordinates as an `[N, 3]` matrix.
+    pub fn coords_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.len(), 3, |r, c| self.coords[r].axis(c))
+    }
+
+    /// The colors as an `[N, 3]` matrix.
+    pub fn colors_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.len(), 3, |r, c| self.colors[r][c])
+    }
+
+    /// Replaces the colors from an `[N, 3]` matrix, clamping to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix shape is not `[len, 3]`.
+    pub fn set_colors_from_matrix(&mut self, m: &Matrix) {
+        assert_eq!(m.shape(), (self.len(), 3), "color matrix shape mismatch");
+        for (i, color) in self.colors.iter_mut().enumerate() {
+            for c in 0..3 {
+                color[c] = m[(i, c)].clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// The bounding box of the coordinates, or `None` when empty.
+    pub fn bounds(&self) -> Option<Aabb> {
+        Aabb::from_points(&self.coords)
+    }
+
+    /// Per-class point counts (`len == num_classes`).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+
+    /// Indices of the points whose label is `class`.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A boolean mask selecting points of `class`.
+    pub fn mask_of_class(&self, class: usize) -> Vec<bool> {
+        self.labels.iter().map(|&l| l == class).collect()
+    }
+
+    /// A sub-cloud holding the selected point indices (order preserved,
+    /// repetition allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> PointCloud {
+        PointCloud::new(
+            indices.iter().map(|&i| self.coords[i]).collect(),
+            indices.iter().map(|&i| self.colors[i]).collect(),
+            indices.iter().map(|&i| self.labels[i]).collect(),
+            self.num_classes,
+        )
+    }
+
+    /// Resamples the cloud to exactly `n` points: a random subset when the
+    /// cloud is larger, random duplication when smaller (the "nodes
+    /// copying" preprocessing the paper mentions for RandLA-Net).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cloud is empty or `n == 0`.
+    pub fn resample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> PointCloud {
+        assert!(!self.is_empty(), "resample: empty cloud");
+        assert!(n > 0, "resample: n must be positive");
+        let indices: Vec<usize> = if n <= self.len() {
+            colper_geom::random_sample(self.len(), n, rng)
+        } else {
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            while idx.len() < n {
+                idx.push(rng.gen_range(0..self.len()));
+            }
+            idx
+        };
+        self.select(&indices)
+    }
+
+    /// Squared L2 distance between this cloud's colors and another's
+    /// (the paper's perturbation magnitude, Eq. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the clouds have different sizes.
+    pub fn color_l2_sq(&self, other: &PointCloud) -> f32 {
+        assert_eq!(self.len(), other.len(), "color_l2_sq: size mismatch");
+        self.colors
+            .iter()
+            .zip(&other.colors)
+            .map(|(a, b)| {
+                (0..3).map(|c| (a[c] - b[c]) * (a[c] - b[c])).sum::<f32>()
+            })
+            .sum()
+    }
+
+    /// Number of points whose color differs from `other` by more than
+    /// `tol` in any channel (the L0 distance of the paper's
+    /// coordinate-comparison experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the clouds have different sizes.
+    pub fn color_l0(&self, other: &PointCloud, tol: f32) -> usize {
+        assert_eq!(self.len(), other.len(), "color_l0: size mismatch");
+        self.colors
+            .iter()
+            .zip(&other.colors)
+            .filter(|(a, b)| (0..3).any(|c| (a[c] - b[c]).abs() > tol))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_cloud() -> PointCloud {
+        PointCloud::new(
+            vec![
+                Point3::new(0.0, 0.0, 0.0),
+                Point3::new(1.0, 0.0, 0.0),
+                Point3::new(0.0, 1.0, 0.0),
+                Point3::new(1.0, 1.0, 1.0),
+            ],
+            vec![[0.1, 0.2, 0.3], [0.4, 0.5, 0.6], [0.7, 0.8, 0.9], [1.0, 0.0, 0.5]],
+            vec![0, 1, 1, 2],
+            3,
+        )
+    }
+
+    #[test]
+    fn matrices_round_trip() {
+        let cloud = sample_cloud();
+        let cm = cloud.coords_matrix();
+        assert_eq!(cm.shape(), (4, 3));
+        assert_eq!(cm[(3, 2)], 1.0);
+        let col = cloud.colors_matrix();
+        assert_eq!(col[(1, 1)], 0.5);
+    }
+
+    #[test]
+    fn set_colors_clamps() {
+        let mut cloud = sample_cloud();
+        let m = Matrix::filled(4, 3, 2.0);
+        cloud.set_colors_from_matrix(&m);
+        assert!(cloud.colors.iter().all(|c| c.iter().all(|&v| v == 1.0)));
+    }
+
+    #[test]
+    fn histogram_and_class_queries() {
+        let cloud = sample_cloud();
+        assert_eq!(cloud.class_histogram(), vec![1, 2, 1]);
+        assert_eq!(cloud.indices_of_class(1), vec![1, 2]);
+        assert_eq!(cloud.mask_of_class(2), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn select_preserves_order_and_allows_repeats() {
+        let cloud = sample_cloud();
+        let s = cloud.select(&[3, 0, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels, vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn resample_down_and_up() {
+        let cloud = sample_cloud();
+        let mut rng = StdRng::seed_from_u64(0);
+        let small = cloud.resample(2, &mut rng);
+        assert_eq!(small.len(), 2);
+        let big = cloud.resample(10, &mut rng);
+        assert_eq!(big.len(), 10);
+        // Upsampling keeps every original point at least once.
+        for p in &cloud.coords {
+            assert!(big.coords.contains(p));
+        }
+    }
+
+    #[test]
+    fn color_distances() {
+        let a = sample_cloud();
+        let mut b = a.clone();
+        b.colors[0] = [0.2, 0.2, 0.3]; // delta (0.1, 0, 0)
+        assert!((a.color_l2_sq(&b) - 0.01).abs() < 1e-6);
+        assert_eq!(a.color_l0(&b, 1e-6), 1);
+        assert_eq!(a.color_l0(&b, 0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn new_rejects_bad_label() {
+        let _ = PointCloud::new(vec![Point3::ORIGIN], vec![[0.0; 3]], vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "color channel")]
+    fn new_rejects_bad_color() {
+        let _ = PointCloud::new(vec![Point3::ORIGIN], vec![[1.5, 0.0, 0.0]], vec![0], 3);
+    }
+
+    #[test]
+    fn bounds_cover_all_points() {
+        let cloud = sample_cloud();
+        let b = cloud.bounds().unwrap();
+        for &p in &cloud.coords {
+            assert!(b.contains(p));
+        }
+    }
+}

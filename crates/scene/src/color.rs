@@ -1,0 +1,194 @@
+//! Class-conditional color models.
+//!
+//! Color must be *informative but not trivially separable*: if every class
+//! had a unique flat color, a segmentation model would be a lookup table
+//! and the attack result would be meaningless; if color carried no signal,
+//! a color-only attack could not work at all. The models below give each
+//! class a base palette with per-point jitter and a per-scene lighting
+//! multiplier, and deliberately overlap some pairs (wall/ceiling,
+//! door/table, terrain classes) so geometry still matters.
+
+use crate::{IndoorClass, OutdoorClass};
+use rand::Rng;
+
+/// A class-conditional color sampler.
+///
+/// # Example
+///
+/// ```
+/// use colper_scene::{ColorModel, IndoorClass};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let model = ColorModel::indoor_default();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let rgb = model.sample(IndoorClass::Wall.label(), 1.0, &mut rng);
+/// assert!(rgb.iter().all(|&v| (0.0..=1.0).contains(&v)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorModel {
+    /// Base RGB per class.
+    base: Vec<[f32; 3]>,
+    /// Per-point jitter half-width per class.
+    jitter: Vec<f32>,
+}
+
+impl ColorModel {
+    /// Builds a model from per-class base colors and jitter widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two slices have different lengths or are empty.
+    pub fn new(base: Vec<[f32; 3]>, jitter: Vec<f32>) -> Self {
+        assert_eq!(base.len(), jitter.len(), "base/jitter length mismatch");
+        assert!(!base.is_empty(), "color model needs at least one class");
+        Self { base, jitter }
+    }
+
+    /// The default indoor (S3DIS-like) palette.
+    pub fn indoor_default() -> Self {
+        let mut base = vec![[0.5, 0.5, 0.5]; 13];
+        let mut jitter = vec![0.06f32; 13];
+        base[IndoorClass::Ceiling.label()] = [0.92, 0.92, 0.90];
+        base[IndoorClass::Floor.label()] = [0.55, 0.48, 0.40];
+        base[IndoorClass::Wall.label()] = [0.85, 0.84, 0.80]; // close to ceiling
+        base[IndoorClass::Beam.label()] = [0.70, 0.70, 0.72];
+        base[IndoorClass::Column.label()] = [0.78, 0.78, 0.76];
+        base[IndoorClass::Window.label()] = [0.55, 0.70, 0.85];
+        base[IndoorClass::Door.label()] = [0.50, 0.32, 0.18];
+        base[IndoorClass::Table.label()] = [0.60, 0.42, 0.25]; // close to door
+        base[IndoorClass::Chair.label()] = [0.25, 0.25, 0.35];
+        base[IndoorClass::Sofa.label()] = [0.45, 0.15, 0.15];
+        base[IndoorClass::Bookcase.label()] = [0.42, 0.28, 0.18];
+        base[IndoorClass::Board.label()] = [0.88, 0.88, 0.86]; // close to wall
+        base[IndoorClass::Clutter.label()] = [0.50, 0.50, 0.50];
+        jitter[IndoorClass::Clutter.label()] = 0.25; // clutter is colorful
+        jitter[IndoorClass::Window.label()] = 0.10; // glass reflections
+        Self::new(base, jitter)
+    }
+
+    /// The default outdoor (Semantic3D-like) palette.
+    pub fn outdoor_default() -> Self {
+        let mut base = vec![[0.5, 0.5, 0.5]; 8];
+        let mut jitter = vec![0.07f32; 8];
+        base[OutdoorClass::ManMadeTerrain.label()] = [0.52, 0.52, 0.52]; // asphalt
+        base[OutdoorClass::NaturalTerrain.label()] = [0.45, 0.52, 0.30]; // grass/dirt
+        base[OutdoorClass::HighVegetation.label()] = [0.20, 0.42, 0.18];
+        base[OutdoorClass::LowVegetation.label()] = [0.32, 0.52, 0.24]; // close to natural terrain
+        base[OutdoorClass::Building.label()] = [0.72, 0.65, 0.58];
+        base[OutdoorClass::HardScape.label()] = [0.60, 0.58, 0.55]; // close to man-made terrain
+        base[OutdoorClass::ScanningArtefact.label()] = [0.50, 0.50, 0.50];
+        base[OutdoorClass::Car.label()] = [0.62, 0.10, 0.12]; // distinctly painted
+        jitter[OutdoorClass::ScanningArtefact.label()] = 0.30;
+        jitter[OutdoorClass::Car.label()] = 0.12;
+        Self::new(base, jitter)
+    }
+
+    /// Number of classes in the palette.
+    pub fn num_classes(&self) -> usize {
+        self.base.len()
+    }
+
+    /// The base color of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range.
+    pub fn base(&self, class: usize) -> [f32; 3] {
+        self.base[class]
+    }
+
+    /// Samples a color for `class` under a scene-wide `lighting`
+    /// multiplier (1.0 = neutral), clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range.
+    pub fn sample<R: Rng + ?Sized>(&self, class: usize, lighting: f32, rng: &mut R) -> [f32; 3] {
+        let base = self.base[class];
+        let j = self.jitter[class];
+        // A shared luminance jitter keeps channels correlated (real
+        // surfaces get lighter/darker together) plus small per-channel
+        // noise.
+        let lum = rng.gen_range(-j..=j);
+        let mut out = [0.0f32; 3];
+        for (c, o) in out.iter_mut().enumerate() {
+            let chan = rng.gen_range(-j * 0.5..=j * 0.5);
+            *o = ((base[c] + lum + chan) * lighting).clamp(0.0, 1.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn palettes_cover_all_classes() {
+        assert_eq!(ColorModel::indoor_default().num_classes(), 13);
+        assert_eq!(ColorModel::outdoor_default().num_classes(), 8);
+    }
+
+    #[test]
+    fn samples_stay_in_unit_range() {
+        let m = ColorModel::indoor_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in 0..13 {
+            for lighting in [0.5f32, 1.0, 1.5] {
+                let c = m.sample(class, lighting, &mut rng);
+                assert!(c.iter().all(|&v| (0.0..=1.0).contains(&v)), "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn samples_cluster_around_base() {
+        let m = ColorModel::indoor_default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let class = IndoorClass::Door.label();
+        let base = m.base(class);
+        let mut mean = [0.0f32; 3];
+        const N: usize = 2000;
+        for _ in 0..N {
+            let c = m.sample(class, 1.0, &mut rng);
+            for i in 0..3 {
+                mean[i] += c[i] / N as f32;
+            }
+        }
+        for i in 0..3 {
+            assert!((mean[i] - base[i]).abs() < 0.02, "channel {i}: {} vs {}", mean[i], base[i]);
+        }
+    }
+
+    #[test]
+    fn classes_are_statistically_distinguishable() {
+        // The vegetation green and the car red must not overlap.
+        let m = ColorModel::outdoor_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let veg = m.sample(OutdoorClass::HighVegetation.label(), 1.0, &mut rng);
+            let car = m.sample(OutdoorClass::Car.label(), 1.0, &mut rng);
+            assert!(veg[1] > veg[0], "vegetation should be green-dominant: {veg:?}");
+            assert!(car[0] > car[1], "car should be red-dominant: {car:?}");
+        }
+    }
+
+    #[test]
+    fn lighting_scales_brightness() {
+        let m = ColorModel::indoor_default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let dark = m.sample(IndoorClass::Wall.label(), 0.5, &mut rng);
+        let bright = m.sample(IndoorClass::Wall.label(), 1.2, &mut rng);
+        let lum = |c: [f32; 3]| c.iter().sum::<f32>();
+        assert!(lum(bright) > lum(dark));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn new_validates_lengths() {
+        let _ = ColorModel::new(vec![[0.0; 3]; 2], vec![0.1]);
+    }
+}

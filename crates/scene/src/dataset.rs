@@ -1,0 +1,269 @@
+//! Dataset facades mirroring the paper's experimental protocol: six
+//! indoor "areas" with Area 5 held out, an "Office 33" fixture, and a set
+//! of outdoor scenes.
+
+use crate::{IndoorSceneConfig, OutdoorSceneConfig, PointCloud, RoomKind, SceneGenerator};
+
+/// One of the six S3DIS building areas (1-based, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Area(pub usize);
+
+impl Area {
+    /// All six areas.
+    pub const ALL: [Area; 6] = [Area(1), Area(2), Area(3), Area(4), Area(5), Area(6)];
+
+    /// The held-out evaluation area used throughout the paper.
+    pub const EVAL: Area = Area(5);
+}
+
+/// Deterministic seed mixing for `(area, room)` pairs.
+fn mix_seed(base: u64, a: u64, b: u64) -> u64 {
+    let mut x = base
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// An S3DIS-like dataset: six areas of seeded rooms with the paper's
+/// train/test protocol (train on areas 1–4 and 6, evaluate on Area 5).
+///
+/// # Example
+///
+/// ```
+/// use colper_scene::{Area, S3disLikeDataset};
+///
+/// let ds = S3disLikeDataset::small();
+/// let room = ds.room(Area(5), 0);
+/// assert_eq!(room.num_classes, 13);
+/// let fixture = ds.office33();
+/// assert!(fixture.class_histogram()[7] > 0); // tables present
+/// ```
+#[derive(Debug, Clone)]
+pub struct S3disLikeDataset {
+    config: IndoorSceneConfig,
+    rooms_per_area: usize,
+    base_seed: u64,
+}
+
+impl S3disLikeDataset {
+    /// Creates a dataset with `rooms_per_area` rooms in each of the six
+    /// areas.
+    pub fn new(config: IndoorSceneConfig, rooms_per_area: usize) -> Self {
+        Self { config, rooms_per_area, base_seed: 0x5353_4449_5321 }
+    }
+
+    /// A small CPU-friendly instance (1024-point rooms, 12 rooms/area).
+    pub fn small() -> Self {
+        Self::new(IndoorSceneConfig::with_points(1024), 12)
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &IndoorSceneConfig {
+        &self.config
+    }
+
+    /// Rooms per area.
+    pub fn rooms_per_area(&self) -> usize {
+        self.rooms_per_area
+    }
+
+    /// Generates room `index` of `area` (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `area` is not 1–6 or `index >= rooms_per_area`.
+    pub fn room(&self, area: Area, index: usize) -> PointCloud {
+        assert!((1..=6).contains(&area.0), "area must be 1-6");
+        assert!(index < self.rooms_per_area, "room index out of range");
+        let seed = mix_seed(self.base_seed, area.0 as u64, index as u64);
+        // Cycle the room kinds so every area has a mix, with offices
+        // over-represented as in the real dataset.
+        let kind = match index % 6 {
+            0 | 1 | 2 => RoomKind::Office,
+            3 => RoomKind::ConferenceRoom,
+            4 => RoomKind::Hallway,
+            _ => RoomKind::Lobby,
+        };
+        let cfg = IndoorSceneConfig { room_kind: Some(kind), ..self.config.clone() };
+        SceneGenerator::indoor(cfg).generate(seed)
+    }
+
+    /// All rooms of one area.
+    pub fn area_rooms(&self, area: Area) -> Vec<PointCloud> {
+        (0..self.rooms_per_area).map(|i| self.room(area, i)).collect()
+    }
+
+    /// Training rooms: areas 1–4 and 6 (Area 5 held out, as in the
+    /// paper).
+    pub fn train_rooms(&self) -> Vec<PointCloud> {
+        Area::ALL
+            .iter()
+            .filter(|a| **a != Area::EVAL)
+            .flat_map(|&a| self.area_rooms(a))
+            .collect()
+    }
+
+    /// Evaluation rooms: Area 5.
+    pub fn eval_rooms(&self) -> Vec<PointCloud> {
+        self.area_rooms(Area::EVAL)
+    }
+
+    /// The "Office 33 of Area 5" fixture: a fixed-seed office room used
+    /// by the paper's targeted experiments and visualizations.
+    pub fn office33(&self) -> PointCloud {
+        let seed = mix_seed(self.base_seed, 5, 33);
+        let cfg = IndoorSceneConfig { room_kind: Some(RoomKind::Office), ..self.config.clone() };
+        SceneGenerator::indoor(cfg).generate(seed)
+    }
+
+    /// `n` office-room point clouds from Area 5, standing in for "the 100
+    /// point clouds in Office 33" (per-block sampling of one big room in
+    /// the original dataset).
+    pub fn office33_blocks(&self, n: usize) -> Vec<PointCloud> {
+        (0..n)
+            .map(|i| {
+                let seed = mix_seed(self.base_seed, 5_000 + 33, i as u64);
+                let cfg =
+                    IndoorSceneConfig { room_kind: Some(RoomKind::Office), ..self.config.clone() };
+                SceneGenerator::indoor(cfg).generate(seed)
+            })
+            .collect()
+    }
+}
+
+/// A Semantic3D-like dataset of seeded outdoor scenes.
+///
+/// # Example
+///
+/// ```
+/// use colper_scene::Semantic3dLikeDataset;
+///
+/// let ds = Semantic3dLikeDataset::small();
+/// assert_eq!(ds.scene(0).num_classes, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Semantic3dLikeDataset {
+    config: OutdoorSceneConfig,
+    scene_count: usize,
+    base_seed: u64,
+}
+
+impl Semantic3dLikeDataset {
+    /// Creates a dataset with `scene_count` scenes.
+    pub fn new(config: OutdoorSceneConfig, scene_count: usize) -> Self {
+        Self { config, scene_count, base_seed: 0x5345_4D33_4421 }
+    }
+
+    /// A small CPU-friendly instance (1024-point scenes, 30 scenes —
+    /// Semantic3D also ships 30 point clouds).
+    pub fn small() -> Self {
+        Self::new(OutdoorSceneConfig::with_points(1024), 30)
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &OutdoorSceneConfig {
+        &self.config
+    }
+
+    /// Number of scenes.
+    pub fn len(&self) -> usize {
+        self.scene_count
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scene_count == 0
+    }
+
+    /// Generates scene `index` (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len()`.
+    pub fn scene(&self, index: usize) -> PointCloud {
+        assert!(index < self.scene_count, "scene index out of range");
+        let seed = mix_seed(self.base_seed, 0, index as u64);
+        SceneGenerator::outdoor(self.config.clone()).generate(seed)
+    }
+
+    /// The first 60% of scenes (training split).
+    pub fn train_scenes(&self) -> Vec<PointCloud> {
+        (0..self.scene_count * 6 / 10).map(|i| self.scene(i)).collect()
+    }
+
+    /// The last 40% of scenes (evaluation split).
+    pub fn eval_scenes(&self) -> Vec<PointCloud> {
+        (self.scene_count * 6 / 10..self.scene_count).map(|i| self.scene(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndoorClass;
+
+    #[test]
+    fn rooms_are_deterministic_and_distinct() {
+        let ds = S3disLikeDataset::small();
+        assert_eq!(ds.room(Area(1), 0), ds.room(Area(1), 0));
+        assert_ne!(ds.room(Area(1), 0).coords, ds.room(Area(1), 1).coords);
+        assert_ne!(ds.room(Area(1), 0).coords, ds.room(Area(2), 0).coords);
+    }
+
+    #[test]
+    fn train_eval_split_sizes() {
+        let ds = S3disLikeDataset::new(IndoorSceneConfig::with_points(256), 4);
+        assert_eq!(ds.train_rooms().len(), 20); // 5 areas x 4 rooms
+        assert_eq!(ds.eval_rooms().len(), 4);
+    }
+
+    #[test]
+    fn office33_has_all_targeted_sources() {
+        let ds = S3disLikeDataset::small();
+        let fixture = ds.office33();
+        let hist = fixture.class_histogram();
+        for class in IndoorClass::targeted_attack_sources() {
+            assert!(hist[class.label()] > 0, "missing {class}: {hist:?}");
+        }
+    }
+
+    #[test]
+    fn office33_blocks_are_offices() {
+        let ds = S3disLikeDataset::small();
+        let blocks = ds.office33_blocks(3);
+        assert_eq!(blocks.len(), 3);
+        for b in &blocks {
+            assert!(b.class_histogram()[IndoorClass::Table.label()] > 0);
+        }
+    }
+
+    #[test]
+    fn outdoor_dataset_splits() {
+        let ds = Semantic3dLikeDataset::new(OutdoorSceneConfig::with_points(256), 10);
+        assert_eq!(ds.train_scenes().len(), 6);
+        assert_eq!(ds.eval_scenes().len(), 4);
+        assert_eq!(ds.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be 1-6")]
+    fn area_bounds_checked() {
+        let ds = S3disLikeDataset::small();
+        let _ = ds.room(Area(0), 0);
+    }
+
+    #[test]
+    fn seed_mixing_spreads() {
+        // Nearby (area, room) pairs should produce unrelated seeds.
+        let a = mix_seed(1, 1, 1);
+        let b = mix_seed(1, 1, 2);
+        let c = mix_seed(1, 2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

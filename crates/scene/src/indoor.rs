@@ -1,0 +1,703 @@
+//! Procedural S3DIS-like indoor rooms.
+//!
+//! A room is an axis-aligned box (z up): floor at `z = 0`, ceiling at
+//! `z = height`, four walls. Windows, doors and boards are flush
+//! rectangular regions *relabeled* out of the walls (as in real scans,
+//! where they are coplanar with the wall). Furniture (tables, chairs,
+//! sofas, bookcases), structural elements (beams, columns) and clutter
+//! blobs are sampled as boxes. Surfaces are sampled with uniform areal
+//! density and the result is resampled to exactly `n_points`, mirroring
+//! S3DIS's fixed-size blocks.
+
+use crate::{ColorModel, IndoorClass, PointCloud, INDOOR_CLASS_COUNT};
+use colper_geom::Point3;
+use rand::Rng;
+
+/// Which kind of room to generate; affects dimensions and furniture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoomKind {
+    /// Small room: desk(s), chairs, bookcase, board — the fixture kind of
+    /// the paper's targeted experiments ("Office 33").
+    Office,
+    /// Larger room with a big table, many chairs and boards.
+    ConferenceRoom,
+    /// Long narrow space with doors and little furniture.
+    Hallway,
+    /// Wide open space with sofas and columns.
+    Lobby,
+}
+
+impl RoomKind {
+    /// All room kinds.
+    pub const ALL: [RoomKind; 4] =
+        [RoomKind::Office, RoomKind::ConferenceRoom, RoomKind::Hallway, RoomKind::Lobby];
+}
+
+/// Configuration for the indoor generator.
+#[derive(Debug, Clone)]
+pub struct IndoorSceneConfig {
+    /// Exact number of points in the generated cloud (S3DIS uses 4096).
+    pub n_points: usize,
+    /// Fix the room kind, or `None` to pick one at random per scene.
+    pub room_kind: Option<RoomKind>,
+    /// Class-conditional color sampler.
+    pub color_model: ColorModel,
+    /// Half-width of the per-scene lighting multiplier around 1.0.
+    pub lighting_jitter: f32,
+    /// Surface sampling density in points per square meter (before the
+    /// final resample to `n_points`).
+    pub density: f32,
+}
+
+impl Default for IndoorSceneConfig {
+    fn default() -> Self {
+        Self {
+            n_points: 4096,
+            room_kind: None,
+            color_model: ColorModel::indoor_default(),
+            lighting_jitter: 0.12,
+            density: 90.0,
+        }
+    }
+}
+
+impl IndoorSceneConfig {
+    /// A config fixed to one room kind.
+    pub fn with_kind(kind: RoomKind) -> Self {
+        Self { room_kind: Some(kind), ..Self::default() }
+    }
+
+    /// A config with a custom point budget.
+    pub fn with_points(n_points: usize) -> Self {
+        Self { n_points, ..Self::default() }
+    }
+}
+
+/// A labeled surfel before coloring.
+struct Surfel {
+    pos: Point3,
+    class: IndoorClass,
+}
+
+/// A wall-flush rectangle that relabels the wall points inside it
+/// (windows, doors, boards).
+struct WallPatch {
+    /// 0/1: wall along x at y = 0 / y = depth; 2/3: wall along y at x = 0 / x = width.
+    wall: usize,
+    /// Start along the wall's horizontal run.
+    u0: f32,
+    /// End along the wall's horizontal run.
+    u1: f32,
+    /// Bottom height.
+    z0: f32,
+    /// Top height.
+    z1: f32,
+    class: IndoorClass,
+}
+
+impl WallPatch {
+    fn contains(&self, wall: usize, u: f32, z: f32) -> bool {
+        self.wall == wall && u >= self.u0 && u <= self.u1 && z >= self.z0 && z <= self.z1
+    }
+}
+
+pub(crate) fn generate_room<R: Rng + ?Sized>(cfg: &IndoorSceneConfig, rng: &mut R) -> PointCloud {
+    let kind = cfg.room_kind.unwrap_or_else(|| {
+        RoomKind::ALL[rng.gen_range(0..RoomKind::ALL.len())]
+    });
+    let (w, d, h) = room_dims(kind, rng);
+    let mut surfels: Vec<Surfel> = Vec::new();
+
+    // Floor and ceiling.
+    sample_horizontal_rect(&mut surfels, 0.0, w, 0.0, d, 0.0, IndoorClass::Floor, cfg.density, rng);
+    sample_horizontal_rect(&mut surfels, 0.0, w, 0.0, d, h, IndoorClass::Ceiling, cfg.density, rng);
+
+    // Wall patches: doors, windows, boards.
+    let patches = plan_wall_patches(kind, w, d, h, rng);
+
+    // Walls (with patch relabeling).
+    sample_walls(&mut surfels, w, d, h, &patches, cfg.density, rng);
+
+    // Structural: beams and columns.
+    if matches!(kind, RoomKind::Lobby | RoomKind::Hallway) || rng.gen_bool(0.35) {
+        let n_beams = rng.gen_range(1..=2);
+        for _ in 0..n_beams {
+            let y = rng.gen_range(0.2 * d..0.8 * d);
+            sample_box(
+                &mut surfels,
+                Point3::new(0.0, y - 0.15, h - 0.3),
+                Point3::new(w, y + 0.15, h),
+                IndoorClass::Beam,
+                cfg.density,
+                rng,
+            );
+        }
+    }
+    if matches!(kind, RoomKind::Lobby) || rng.gen_bool(0.3) {
+        let n_cols = rng.gen_range(1..=3);
+        for _ in 0..n_cols {
+            let x = rng.gen_range(0.15 * w..0.85 * w);
+            let y = rng.gen_range(0.15 * d..0.85 * d);
+            sample_box(
+                &mut surfels,
+                Point3::new(x - 0.15, y - 0.15, 0.0),
+                Point3::new(x + 0.15, y + 0.15, h),
+                IndoorClass::Column,
+                cfg.density,
+                rng,
+            );
+        }
+    }
+
+    // Furniture.
+    place_furniture(&mut surfels, kind, w, d, cfg.density, rng);
+
+    // Clutter blobs on the floor and in the air near surfaces.
+    let n_clutter = rng.gen_range(3..=8);
+    for _ in 0..n_clutter {
+        let cx = rng.gen_range(0.1 * w..0.9 * w);
+        let cy = rng.gen_range(0.1 * d..0.9 * d);
+        let cz = rng.gen_range(0.0..1.2);
+        let s = rng.gen_range(0.08..0.35);
+        sample_box(
+            &mut surfels,
+            Point3::new(cx - s, cy - s, cz),
+            Point3::new(cx + s, cy + s, cz + s * rng.gen_range(0.5..2.0)),
+            IndoorClass::Clutter,
+            cfg.density,
+            rng,
+        );
+    }
+
+    finalize(surfels, cfg, rng)
+}
+
+fn room_dims<R: Rng + ?Sized>(kind: RoomKind, rng: &mut R) -> (f32, f32, f32) {
+    match kind {
+        RoomKind::Office => (
+            rng.gen_range(3.0..5.0),
+            rng.gen_range(3.0..5.0),
+            rng.gen_range(2.6..3.2),
+        ),
+        RoomKind::ConferenceRoom => (
+            rng.gen_range(5.0..8.0),
+            rng.gen_range(4.0..6.0),
+            rng.gen_range(2.8..3.4),
+        ),
+        RoomKind::Hallway => (
+            rng.gen_range(8.0..14.0),
+            rng.gen_range(1.8..2.6),
+            rng.gen_range(2.6..3.0),
+        ),
+        RoomKind::Lobby => (
+            rng.gen_range(7.0..11.0),
+            rng.gen_range(6.0..9.0),
+            rng.gen_range(3.0..4.2),
+        ),
+    }
+}
+
+fn plan_wall_patches<R: Rng + ?Sized>(
+    kind: RoomKind,
+    w: f32,
+    d: f32,
+    h: f32,
+    rng: &mut R,
+) -> Vec<WallPatch> {
+    let mut patches = Vec::new();
+    let wall_run = |wall: usize| if wall < 2 { w } else { d };
+    let mut add = |rng: &mut R, class: IndoorClass, width: f32, z0: f32, z1: f32| {
+        // Retry across walls: a narrow wall may not fit the patch, and the
+        // office fixtures must reliably contain every targeted source
+        // class.
+        for attempt in 0..12 {
+            let wall = rng.gen_range(0..4);
+            let run = wall_run(wall);
+            let width = if attempt < 6 { width } else { width * 0.6 };
+            if run <= width + 0.4 {
+                continue;
+            }
+            let u0 = rng.gen_range(0.2..run - width - 0.2);
+            let candidate = WallPatch { wall, u0, u1: u0 + width, z0, z1, class };
+            // Reject overlaps: patches occlude each other (first match
+            // wins when relabeling), which could erase a class entirely.
+            let overlaps = patches.iter().any(|p: &WallPatch| {
+                p.wall == wall && p.u0 < candidate.u1 && candidate.u0 < p.u1
+                    && p.z0 < candidate.z1 && candidate.z0 < p.z1
+            });
+            if overlaps {
+                if attempt < 11 {
+                    continue;
+                }
+                // Last resort: give the new patch relabeling priority so
+                // its class still appears.
+                patches.insert(0, candidate);
+            } else {
+                patches.push(candidate);
+            }
+            return;
+        }
+    };
+    // Every room has at least one door.
+    let n_doors = match kind {
+        RoomKind::Hallway => rng.gen_range(2..=4),
+        _ => rng.gen_range(1..=2),
+    };
+    for _ in 0..n_doors {
+        let width = rng.gen_range(0.8..1.1);
+        let top = rng.gen_range(1.9f32..2.1).min(h - 0.3);
+        add(rng, IndoorClass::Door, width, 0.0, top);
+    }
+    // Windows: offices and conference rooms get at least one.
+    let n_windows = match kind {
+        RoomKind::Office | RoomKind::ConferenceRoom => rng.gen_range(1..=3),
+        _ => rng.gen_range(0..=2),
+    };
+    for _ in 0..n_windows {
+        let width = rng.gen_range(1.0..1.8);
+        let sill = rng.gen_range(0.8..1.1);
+        add(rng, IndoorClass::Window, width, sill, (h - 0.4).max(1.6));
+    }
+    // Boards: offices and conference rooms.
+    let n_boards = match kind {
+        RoomKind::Office => rng.gen_range(1..=2),
+        RoomKind::ConferenceRoom => rng.gen_range(1..=2),
+        _ => 0,
+    };
+    for _ in 0..n_boards {
+        let width = rng.gen_range(1.2..2.2);
+        let bottom = rng.gen_range(0.9..1.2);
+        let top = rng.gen_range(1.8f32..2.1).min(h - 0.2);
+        add(rng, IndoorClass::Board, width, bottom, top);
+    }
+    patches
+}
+
+fn place_furniture<R: Rng + ?Sized>(
+    out: &mut Vec<Surfel>,
+    kind: RoomKind,
+    w: f32,
+    d: f32,
+    density: f32,
+    rng: &mut R,
+) {
+    match kind {
+        RoomKind::Office => {
+            let n_tables = rng.gen_range(1..=2);
+            for _ in 0..n_tables {
+                place_table(out, w, d, density, rng);
+            }
+            let n_chairs = rng.gen_range(2..=5);
+            for _ in 0..n_chairs {
+                place_chair(out, w, d, density, rng);
+            }
+            let n_book = rng.gen_range(1..=2);
+            for _ in 0..n_book {
+                place_bookcase(out, w, d, density, rng);
+            }
+            if rng.gen_bool(0.2) {
+                place_sofa(out, w, d, density, rng);
+            }
+        }
+        RoomKind::ConferenceRoom => {
+            place_big_table(out, w, d, density, rng);
+            let n_chairs = rng.gen_range(6..=10);
+            for _ in 0..n_chairs {
+                place_chair(out, w, d, density, rng);
+            }
+            if rng.gen_bool(0.5) {
+                place_bookcase(out, w, d, density, rng);
+            }
+        }
+        RoomKind::Hallway => {
+            if rng.gen_bool(0.3) {
+                place_bookcase(out, w, d, density, rng);
+            }
+        }
+        RoomKind::Lobby => {
+            let n_sofas = rng.gen_range(2..=4);
+            for _ in 0..n_sofas {
+                place_sofa(out, w, d, density, rng);
+            }
+            if rng.gen_bool(0.6) {
+                place_table(out, w, d, density, rng);
+            }
+            let n_chairs = rng.gen_range(0..=4);
+            for _ in 0..n_chairs {
+                place_chair(out, w, d, density, rng);
+            }
+        }
+    }
+}
+
+fn place_table<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: f32, rng: &mut R) {
+    let tw = rng.gen_range(1.0..1.8);
+    let td = rng.gen_range(0.6..0.9);
+    let th = rng.gen_range(0.70..0.78);
+    let (x, y) = free_spot(w, d, tw, td, rng);
+    // Top slab.
+    sample_box(
+        out,
+        Point3::new(x, y, th - 0.04),
+        Point3::new(x + tw, y + td, th),
+        IndoorClass::Table,
+        density * 1.5,
+        rng,
+    );
+    // Four legs.
+    for (lx, ly) in [(x, y), (x + tw - 0.05, y), (x, y + td - 0.05), (x + tw - 0.05, y + td - 0.05)] {
+        sample_box(
+            out,
+            Point3::new(lx, ly, 0.0),
+            Point3::new(lx + 0.05, ly + 0.05, th - 0.04),
+            IndoorClass::Table,
+            density,
+            rng,
+        );
+    }
+}
+
+fn place_big_table<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: f32, rng: &mut R) {
+    let tw = (w * 0.5).clamp(1.5, 4.0);
+    let td = (d * 0.35).clamp(1.0, 2.0);
+    let th = 0.75;
+    let x = (w - tw) / 2.0;
+    let y = (d - td) / 2.0;
+    sample_box(
+        out,
+        Point3::new(x, y, th - 0.05),
+        Point3::new(x + tw, y + td, th),
+        IndoorClass::Table,
+        density * 1.5,
+        rng,
+    );
+    sample_box(
+        out,
+        Point3::new(x + tw * 0.45, y + td * 0.45, 0.0),
+        Point3::new(x + tw * 0.55, y + td * 0.55, th - 0.05),
+        IndoorClass::Table,
+        density,
+        rng,
+    );
+}
+
+fn place_chair<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: f32, rng: &mut R) {
+    let s = rng.gen_range(0.40..0.52);
+    let seat_h = rng.gen_range(0.42..0.48);
+    let back_h = seat_h + rng.gen_range(0.35..0.50);
+    let (x, y) = free_spot(w, d, s, s, rng);
+    // Seat.
+    sample_box(
+        out,
+        Point3::new(x, y, seat_h - 0.05),
+        Point3::new(x + s, y + s, seat_h),
+        IndoorClass::Chair,
+        density * 1.5,
+        rng,
+    );
+    // Back (one side).
+    sample_box(
+        out,
+        Point3::new(x, y, seat_h),
+        Point3::new(x + s, y + 0.06, back_h),
+        IndoorClass::Chair,
+        density * 1.5,
+        rng,
+    );
+    // Legs.
+    sample_box(
+        out,
+        Point3::new(x + s * 0.4, y + s * 0.4, 0.0),
+        Point3::new(x + s * 0.6, y + s * 0.6, seat_h - 0.05),
+        IndoorClass::Chair,
+        density,
+        rng,
+    );
+}
+
+fn place_sofa<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: f32, rng: &mut R) {
+    let sw = rng.gen_range(1.6..2.4);
+    let sd = rng.gen_range(0.8..1.0);
+    let (x, y) = free_spot(w, d, sw, sd, rng);
+    // Base.
+    sample_box(
+        out,
+        Point3::new(x, y, 0.0),
+        Point3::new(x + sw, y + sd, 0.45),
+        IndoorClass::Sofa,
+        density,
+        rng,
+    );
+    // Back.
+    sample_box(
+        out,
+        Point3::new(x, y, 0.45),
+        Point3::new(x + sw, y + 0.2, 0.95),
+        IndoorClass::Sofa,
+        density,
+        rng,
+    );
+    // Armrests.
+    for ax in [x, x + sw - 0.2] {
+        sample_box(
+            out,
+            Point3::new(ax, y, 0.45),
+            Point3::new(ax + 0.2, y + sd, 0.65),
+            IndoorClass::Sofa,
+            density,
+            rng,
+        );
+    }
+}
+
+fn place_bookcase<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: f32, rng: &mut R) {
+    let bw = rng.gen_range(0.8..1.8);
+    let bd = 0.35;
+    let bh = rng.gen_range(1.6..2.2);
+    // Against a random wall.
+    let against_x = rng.gen_bool(0.5);
+    let (x, y) = if against_x {
+        (rng.gen_range(0.2..(w - bw - 0.2).max(0.25)), if rng.gen_bool(0.5) { 0.05 } else { d - bd - 0.05 })
+    } else {
+        (if rng.gen_bool(0.5) { 0.05 } else { w - bd - 0.05 }, rng.gen_range(0.2..(d - bw - 0.2).max(0.25)))
+    };
+    let (bx, by) = if against_x { (bw, bd) } else { (bd, bw) };
+    // Carcass.
+    sample_box(
+        out,
+        Point3::new(x, y, 0.0),
+        Point3::new(x + bx, y + by, bh),
+        IndoorClass::Bookcase,
+        density,
+        rng,
+    );
+    // Shelves: horizontal slabs inside give the front a layered look.
+    let n_shelves = (bh / 0.4) as usize;
+    for s in 1..n_shelves {
+        let z = s as f32 * 0.4;
+        sample_horizontal_rect(out, x, x + bx, y, y + by, z, IndoorClass::Bookcase, density * 1.2, rng);
+    }
+}
+
+/// Picks a random placement for a `fw x fd` footprint inside the room,
+/// keeping a margin from the walls.
+fn free_spot<R: Rng + ?Sized>(w: f32, d: f32, fw: f32, fd: f32, rng: &mut R) -> (f32, f32) {
+    let x_max = (w - fw - 0.3).max(0.31);
+    let y_max = (d - fd - 0.3).max(0.31);
+    (rng.gen_range(0.3..x_max), rng.gen_range(0.3..y_max))
+}
+
+/// Samples a horizontal rectangle at height `z`.
+fn sample_horizontal_rect<R: Rng + ?Sized>(
+    out: &mut Vec<Surfel>,
+    x0: f32,
+    x1: f32,
+    y0: f32,
+    y1: f32,
+    z: f32,
+    class: IndoorClass,
+    density: f32,
+    rng: &mut R,
+) {
+    let area = (x1 - x0).max(0.0) * (y1 - y0).max(0.0);
+    let n = ((area * density) as usize).max(1);
+    for _ in 0..n {
+        out.push(Surfel {
+            pos: Point3::new(rng.gen_range(x0..=x1), rng.gen_range(y0..=y1), z),
+            class,
+        });
+    }
+}
+
+/// Samples the four walls of the room, relabeling points inside patches.
+fn sample_walls<R: Rng + ?Sized>(
+    out: &mut Vec<Surfel>,
+    w: f32,
+    d: f32,
+    h: f32,
+    patches: &[WallPatch],
+    density: f32,
+    rng: &mut R,
+) {
+    for wall in 0..4 {
+        let run = if wall < 2 { w } else { d };
+        let n = ((run * h * density) as usize).max(1);
+        for _ in 0..n {
+            let u = rng.gen_range(0.0..=run);
+            let z = rng.gen_range(0.0..=h);
+            let class = patches
+                .iter()
+                .find(|p| p.contains(wall, u, z))
+                .map_or(IndoorClass::Wall, |p| p.class);
+            let pos = match wall {
+                0 => Point3::new(u, 0.0, z),
+                1 => Point3::new(u, d, z),
+                2 => Point3::new(0.0, u, z),
+                _ => Point3::new(w, u, z),
+            };
+            out.push(Surfel { pos, class });
+        }
+    }
+}
+
+/// Samples the six faces of an axis-aligned box.
+fn sample_box<R: Rng + ?Sized>(
+    out: &mut Vec<Surfel>,
+    min: Point3,
+    max: Point3,
+    class: IndoorClass,
+    density: f32,
+    rng: &mut R,
+) {
+    let size = max - min;
+    let faces: [(f32, usize); 3] = [
+        (size.y * size.z, 0), // +-x faces
+        (size.x * size.z, 1), // +-y faces
+        (size.x * size.y, 2), // +-z faces
+    ];
+    for (area, axis) in faces {
+        let n = ((area * density) as usize).max(1);
+        for _ in 0..n {
+            for &at_max in &[false, true] {
+                let mut p = Point3::new(
+                    rng.gen_range(min.x..=max.x.max(min.x + 1e-4)),
+                    rng.gen_range(min.y..=max.y.max(min.y + 1e-4)),
+                    rng.gen_range(min.z..=max.z.max(min.z + 1e-4)),
+                );
+                match axis {
+                    0 => p.x = if at_max { max.x } else { min.x },
+                    1 => p.y = if at_max { max.y } else { min.y },
+                    _ => p.z = if at_max { max.z } else { min.z },
+                }
+                out.push(Surfel { pos: p, class });
+            }
+        }
+    }
+}
+
+/// Colors the surfels and resamples to the configured point budget.
+fn finalize<R: Rng + ?Sized>(
+    surfels: Vec<Surfel>,
+    cfg: &IndoorSceneConfig,
+    rng: &mut R,
+) -> PointCloud {
+    let lighting = 1.0 + rng.gen_range(-cfg.lighting_jitter..=cfg.lighting_jitter);
+    let coords: Vec<Point3> = surfels.iter().map(|s| s.pos).collect();
+    let labels: Vec<usize> = surfels.iter().map(|s| s.class.label()).collect();
+    let colors: Vec<[f32; 3]> = labels
+        .iter()
+        .map(|&l| cfg.color_model.sample(l, lighting, rng))
+        .collect();
+    let cloud = PointCloud::new(coords, colors, labels, INDOOR_CLASS_COUNT);
+    cloud.resample(cfg.n_points, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(kind: RoomKind, seed: u64) -> PointCloud {
+        let cfg = IndoorSceneConfig::with_kind(kind);
+        generate_room(&cfg, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn office_contains_all_targeted_source_classes() {
+        // The targeted-attack experiment needs window, door, table, chair,
+        // bookcase and board points; offices must reliably provide them.
+        for seed in 0..5 {
+            let cloud = gen(RoomKind::Office, seed);
+            let hist = cloud.class_histogram();
+            for class in IndoorClass::targeted_attack_sources() {
+                assert!(
+                    hist[class.label()] > 0,
+                    "office seed {seed} missing {class}: {hist:?}"
+                );
+            }
+            assert!(hist[IndoorClass::Wall.label()] > 0);
+        }
+    }
+
+    #[test]
+    fn exact_point_budget() {
+        for kind in RoomKind::ALL {
+            let cloud = gen(kind, 1);
+            assert_eq!(cloud.len(), 4096, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn structural_classes_dominate() {
+        // Ceiling + floor + wall should be the biggest mass, as in S3DIS.
+        let cloud = gen(RoomKind::Office, 2);
+        let hist = cloud.class_histogram();
+        let structural: usize = [IndoorClass::Ceiling, IndoorClass::Floor, IndoorClass::Wall]
+            .iter()
+            .map(|c| hist[c.label()])
+            .sum();
+        assert!(structural > cloud.len() / 3, "structural mass too small: {hist:?}");
+    }
+
+    #[test]
+    fn coordinates_inside_room_bounds() {
+        let cloud = gen(RoomKind::ConferenceRoom, 3);
+        let b = cloud.bounds().unwrap();
+        assert!(b.min.z >= -1e-4);
+        assert!(b.size().x > 2.0 && b.size().y > 2.0 && b.size().z > 2.0);
+    }
+
+    #[test]
+    fn hallway_is_elongated() {
+        let cloud = gen(RoomKind::Hallway, 4);
+        let s = cloud.bounds().unwrap().size();
+        assert!(s.x / s.y > 2.5, "hallway aspect {s:?}");
+    }
+
+    #[test]
+    fn lobby_has_sofas_office_usually_not() {
+        let lobby = gen(RoomKind::Lobby, 5);
+        assert!(lobby.class_histogram()[IndoorClass::Sofa.label()] > 0);
+    }
+
+    #[test]
+    fn colors_match_palette_statistics() {
+        let cloud = gen(RoomKind::Office, 6);
+        // Average ceiling color should be bright.
+        let idx = cloud.indices_of_class(IndoorClass::Ceiling.label());
+        assert!(!idx.is_empty());
+        let mean_lum: f32 = idx
+            .iter()
+            .map(|&i| cloud.colors[i].iter().sum::<f32>() / 3.0)
+            .sum::<f32>()
+            / idx.len() as f32;
+        assert!(mean_lum > 0.6, "ceiling luminance {mean_lum}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen(RoomKind::Office, 9);
+        let b = gen(RoomKind::Office, 9);
+        assert_eq!(a, b);
+        let c = gen(RoomKind::Office, 10);
+        assert_ne!(a.coords, c.coords);
+    }
+
+    #[test]
+    fn boards_sit_on_walls() {
+        // Board points must be coplanar with one of the four wall planes.
+        for seed in 0..4 {
+            let cloud = gen(RoomKind::Office, seed);
+            let b = cloud.bounds().unwrap();
+            for &i in &cloud.indices_of_class(IndoorClass::Board.label()) {
+                let p = cloud.coords[i];
+                let on_wall = (p.y - 0.0).abs() < 1e-3
+                    || (p.y - b.max.y).abs() < 1e-3
+                    || (p.x - 0.0).abs() < 1e-3
+                    || (p.x - b.max.x).abs() < 1e-3;
+                assert!(on_wall, "board point {p} not on a wall");
+            }
+        }
+    }
+}

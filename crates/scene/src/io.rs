@@ -1,0 +1,178 @@
+//! Point-cloud export: ASCII PLY, viewable in MeshLab / CloudCompare.
+//!
+//! Two flavors: [`write_ply`] exports the cloud's RGB colors (what a
+//! scanner would see — useful for before/after attack comparisons), and
+//! [`write_label_ply`] colors each point by its class label (the
+//! "segmentation result" views of the paper's figures).
+
+use crate::PointCloud;
+use std::io::{self, Write};
+
+/// Writes the cloud with its RGB colors as ASCII PLY.
+///
+/// A `&mut` reference can be passed for any writer.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_ply<W: Write>(cloud: &PointCloud, mut w: W) -> io::Result<()> {
+    write_header(&mut w, cloud.len())?;
+    for (p, c) in cloud.coords.iter().zip(&cloud.colors) {
+        writeln!(
+            w,
+            "{} {} {} {} {} {}",
+            p.x,
+            p.y,
+            p.z,
+            (c[0] * 255.0).round() as u8,
+            (c[1] * 255.0).round() as u8,
+            (c[2] * 255.0).round() as u8
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the cloud colored by *label* (or by a prediction vector when
+/// `labels` is provided), using a fixed qualitative palette.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics when `labels` is `Some` and its length differs from the cloud.
+pub fn write_label_ply<W: Write>(
+    cloud: &PointCloud,
+    labels: Option<&[usize]>,
+    mut w: W,
+) -> io::Result<()> {
+    let labels = match labels {
+        Some(l) => {
+            assert_eq!(l.len(), cloud.len(), "label override length mismatch");
+            l
+        }
+        None => &cloud.labels,
+    };
+    write_header(&mut w, cloud.len())?;
+    for (p, &l) in cloud.coords.iter().zip(labels) {
+        let [r, g, b] = palette(l);
+        writeln!(w, "{} {} {} {r} {g} {b}", p.x, p.y, p.z)?;
+    }
+    Ok(())
+}
+
+fn write_header<W: Write>(w: &mut W, n: usize) -> io::Result<()> {
+    writeln!(w, "ply")?;
+    writeln!(w, "format ascii 1.0")?;
+    writeln!(w, "comment COLPER reproduction export")?;
+    writeln!(w, "element vertex {n}")?;
+    for prop in ["x", "y", "z"] {
+        writeln!(w, "property float {prop}")?;
+    }
+    for prop in ["red", "green", "blue"] {
+        writeln!(w, "property uchar {prop}")?;
+    }
+    writeln!(w, "end_header")
+}
+
+/// A 16-entry qualitative palette (wraps for larger label spaces).
+fn palette(label: usize) -> [u8; 3] {
+    const COLORS: [[u8; 3]; 16] = [
+        [230, 25, 75],
+        [60, 180, 75],
+        [255, 225, 25],
+        [0, 130, 200],
+        [245, 130, 48],
+        [145, 30, 180],
+        [70, 240, 240],
+        [240, 50, 230],
+        [210, 245, 60],
+        [250, 190, 212],
+        [0, 128, 128],
+        [220, 190, 255],
+        [170, 110, 40],
+        [128, 0, 0],
+        [128, 128, 0],
+        [0, 0, 128],
+    ];
+    COLORS[label % COLORS.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndoorSceneConfig, SceneGenerator};
+
+    fn sample() -> PointCloud {
+        SceneGenerator::indoor(IndoorSceneConfig::with_points(32)).generate(0)
+    }
+
+    #[test]
+    fn ply_header_and_row_count() {
+        let cloud = sample();
+        let mut buf = Vec::new();
+        write_ply(&cloud, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("ply\nformat ascii 1.0\n"));
+        assert!(text.contains("element vertex 32"));
+        let data_lines = text.lines().skip_while(|l| *l != "end_header").skip(1).count();
+        assert_eq!(data_lines, 32);
+    }
+
+    #[test]
+    fn ply_colors_are_bytes() {
+        let cloud = sample();
+        let mut buf = Vec::new();
+        write_ply(&cloud, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let first = text.lines().skip_while(|l| *l != "end_header").nth(1).unwrap();
+        let fields: Vec<&str> = first.split_whitespace().collect();
+        assert_eq!(fields.len(), 6);
+        for f in &fields[3..] {
+            let v: u32 = f.parse().unwrap();
+            assert!(v <= 255);
+        }
+    }
+
+    #[test]
+    fn label_ply_uses_palette() {
+        let cloud = sample();
+        let mut buf = Vec::new();
+        write_label_ply(&cloud, None, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Every wall point (label 2) has the same palette color.
+        let wall_color = "255 225 25";
+        let wall_lines: Vec<&str> = text
+            .lines()
+            .skip_while(|l| *l != "end_header")
+            .skip(1)
+            .zip(&cloud.labels)
+            .filter(|(_, &l)| l == 2)
+            .map(|(line, _)| line)
+            .collect();
+        for line in wall_lines {
+            assert!(line.ends_with(wall_color), "{line}");
+        }
+    }
+
+    #[test]
+    fn label_override_replaces_ground_truth() {
+        let cloud = sample();
+        let preds = vec![0usize; cloud.len()];
+        let mut buf = Vec::new();
+        write_label_ply(&cloud, Some(&preds), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let class0 = "230 25 75";
+        for line in text.lines().skip_while(|l| *l != "end_header").skip(1) {
+            assert!(line.ends_with(class0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn label_override_length_checked() {
+        let cloud = sample();
+        let _ = write_label_ply(&cloud, Some(&[0]), Vec::new());
+    }
+}

@@ -1,0 +1,238 @@
+//! Class inventories matching the two datasets of the paper.
+
+use std::fmt;
+
+/// Number of indoor (S3DIS) classes.
+pub const INDOOR_CLASS_COUNT: usize = 13;
+
+/// Number of outdoor (Semantic3D) classes.
+pub const OUTDOOR_CLASS_COUNT: usize = 8;
+
+/// The 13 S3DIS classes, with the same integer labels the paper uses
+/// (window = 5, door = 6, table = 7, chair = 8, bookcase = 10,
+/// board = 11, wall = 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+#[allow(missing_docs)]
+pub enum IndoorClass {
+    Ceiling = 0,
+    Floor = 1,
+    Wall = 2,
+    Beam = 3,
+    Column = 4,
+    Window = 5,
+    Door = 6,
+    Table = 7,
+    Chair = 8,
+    Sofa = 9,
+    Bookcase = 10,
+    Board = 11,
+    Clutter = 12,
+}
+
+impl IndoorClass {
+    /// All classes in label order.
+    pub const ALL: [IndoorClass; INDOOR_CLASS_COUNT] = [
+        IndoorClass::Ceiling,
+        IndoorClass::Floor,
+        IndoorClass::Wall,
+        IndoorClass::Beam,
+        IndoorClass::Column,
+        IndoorClass::Window,
+        IndoorClass::Door,
+        IndoorClass::Table,
+        IndoorClass::Chair,
+        IndoorClass::Sofa,
+        IndoorClass::Bookcase,
+        IndoorClass::Board,
+        IndoorClass::Clutter,
+    ];
+
+    /// The integer label (same numbering as the paper).
+    pub fn label(self) -> usize {
+        self as usize
+    }
+
+    /// The class for an integer label.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `label >= 13`.
+    pub fn from_label(label: usize) -> Self {
+        Self::ALL[label]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndoorClass::Ceiling => "ceiling",
+            IndoorClass::Floor => "floor",
+            IndoorClass::Wall => "wall",
+            IndoorClass::Beam => "beam",
+            IndoorClass::Column => "column",
+            IndoorClass::Window => "window",
+            IndoorClass::Door => "door",
+            IndoorClass::Table => "table",
+            IndoorClass::Chair => "chair",
+            IndoorClass::Sofa => "sofa",
+            IndoorClass::Bookcase => "bookcase",
+            IndoorClass::Board => "board",
+            IndoorClass::Clutter => "clutter",
+        }
+    }
+
+    /// The six source classes of the paper's targeted-attack experiment
+    /// (Tables 2 and 6).
+    pub fn targeted_attack_sources() -> [IndoorClass; 6] {
+        [
+            IndoorClass::Window,
+            IndoorClass::Door,
+            IndoorClass::Table,
+            IndoorClass::Chair,
+            IndoorClass::Bookcase,
+            IndoorClass::Board,
+        ]
+    }
+}
+
+impl fmt::Display for IndoorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The 8 Semantic3D classes. The paper numbers them 1–8 (car = 8,
+/// man-made terrain = 1, …); we store them zero-based and expose the
+/// paper's numbering via [`OutdoorClass::paper_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+#[allow(missing_docs)]
+pub enum OutdoorClass {
+    ManMadeTerrain = 0,
+    NaturalTerrain = 1,
+    HighVegetation = 2,
+    LowVegetation = 3,
+    Building = 4,
+    HardScape = 5,
+    ScanningArtefact = 6,
+    Car = 7,
+}
+
+impl OutdoorClass {
+    /// All classes in label order.
+    pub const ALL: [OutdoorClass; OUTDOOR_CLASS_COUNT] = [
+        OutdoorClass::ManMadeTerrain,
+        OutdoorClass::NaturalTerrain,
+        OutdoorClass::HighVegetation,
+        OutdoorClass::LowVegetation,
+        OutdoorClass::Building,
+        OutdoorClass::HardScape,
+        OutdoorClass::ScanningArtefact,
+        OutdoorClass::Car,
+    ];
+
+    /// The zero-based label used throughout this workspace.
+    pub fn label(self) -> usize {
+        self as usize
+    }
+
+    /// The 1-based numbering used in the paper's tables.
+    pub fn paper_label(self) -> usize {
+        self as usize + 1
+    }
+
+    /// The class for a zero-based label.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `label >= 8`.
+    pub fn from_label(label: usize) -> Self {
+        Self::ALL[label]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OutdoorClass::ManMadeTerrain => "man-made terrain",
+            OutdoorClass::NaturalTerrain => "natural terrain",
+            OutdoorClass::HighVegetation => "high vegetation",
+            OutdoorClass::LowVegetation => "low vegetation",
+            OutdoorClass::Building => "building",
+            OutdoorClass::HardScape => "hard scape",
+            OutdoorClass::ScanningArtefact => "scanning artefact",
+            OutdoorClass::Car => "car",
+        }
+    }
+
+    /// The four target classes of the paper's outdoor targeted attack
+    /// (Table 4): terrain and vegetation classes a car is driven toward.
+    pub fn targeted_attack_targets() -> [OutdoorClass; 4] {
+        [
+            OutdoorClass::ManMadeTerrain,
+            OutdoorClass::NaturalTerrain,
+            OutdoorClass::HighVegetation,
+            OutdoorClass::LowVegetation,
+        ]
+    }
+}
+
+impl fmt::Display for OutdoorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indoor_labels_match_paper() {
+        assert_eq!(IndoorClass::Wall.label(), 2);
+        assert_eq!(IndoorClass::Window.label(), 5);
+        assert_eq!(IndoorClass::Door.label(), 6);
+        assert_eq!(IndoorClass::Table.label(), 7);
+        assert_eq!(IndoorClass::Chair.label(), 8);
+        assert_eq!(IndoorClass::Bookcase.label(), 10);
+        assert_eq!(IndoorClass::Board.label(), 11);
+    }
+
+    #[test]
+    fn indoor_label_round_trip() {
+        for c in IndoorClass::ALL {
+            assert_eq!(IndoorClass::from_label(c.label()), c);
+        }
+    }
+
+    #[test]
+    fn outdoor_paper_labels() {
+        assert_eq!(OutdoorClass::Car.paper_label(), 8);
+        assert_eq!(OutdoorClass::ManMadeTerrain.paper_label(), 1);
+        assert_eq!(OutdoorClass::HighVegetation.paper_label(), 3);
+    }
+
+    #[test]
+    fn outdoor_label_round_trip() {
+        for c in OutdoorClass::ALL {
+            assert_eq!(OutdoorClass::from_label(c.label()), c);
+        }
+    }
+
+    #[test]
+    fn display_names_are_lowercase() {
+        for c in IndoorClass::ALL {
+            assert_eq!(c.to_string(), c.to_string().to_lowercase());
+        }
+        for c in OutdoorClass::ALL {
+            assert_eq!(c.to_string(), c.to_string().to_lowercase());
+        }
+    }
+
+    #[test]
+    fn targeted_sources_match_paper_tables() {
+        let s = IndoorClass::targeted_attack_sources();
+        assert_eq!(s.map(IndoorClass::label), [5, 6, 7, 8, 10, 11]);
+        let t = OutdoorClass::targeted_attack_targets();
+        assert_eq!(t.map(|c| c.paper_label()), [1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-model preprocessing pipelines, matching the paper's description of
+//! how each pre-trained network normalizes its input:
+//!
+//! * **PointNet++**: coordinates min-max scaled to `[0, 3]`, colors in
+//!   `[0, 1]`;
+//! * **ResGCN-28**: coordinates scaled to `[-1, 1]`, colors in `[0, 1]`;
+//! * **RandLA-Net**: the cloud is randomly re-sampled (duplicate/select)
+//!   to a fixed point budget, coordinates scaled to `[0, 1]`;
+//! * **Eq. 10**: the coordinate transform the paper applies when
+//!   transferring ResGCN adversarial samples to PointNet++.
+
+use crate::PointCloud;
+use colper_geom::Point3;
+use colper_tensor::Matrix;
+use rand::Rng;
+
+/// Min-max rescales each coordinate axis of `cloud` to `[lo, hi]`.
+///
+/// Degenerate axes (zero extent) map to the midpoint of the range.
+pub fn minmax_to_range(cloud: &PointCloud, lo: f32, hi: f32) -> PointCloud {
+    let Some(bounds) = cloud.bounds() else {
+        return cloud.clone();
+    };
+    let size = bounds.size();
+    let mid = (lo + hi) * 0.5;
+    let coords = cloud
+        .coords
+        .iter()
+        .map(|&p| {
+            let map_axis = |v: f32, minv: f32, ext: f32| {
+                if ext <= f32::EPSILON {
+                    mid
+                } else {
+                    lo + (v - minv) / ext * (hi - lo)
+                }
+            };
+            Point3::new(
+                map_axis(p.x, bounds.min.x, size.x),
+                map_axis(p.y, bounds.min.y, size.y),
+                map_axis(p.z, bounds.min.z, size.z),
+            )
+        })
+        .collect();
+    PointCloud::new(coords, cloud.colors.clone(), cloud.labels.clone(), cloud.num_classes)
+}
+
+/// PointNet++ preprocessing: coordinates to `[0, 3]`.
+pub fn pointnet_view(cloud: &PointCloud) -> PointCloud {
+    minmax_to_range(cloud, 0.0, 3.0)
+}
+
+/// ResGCN preprocessing: coordinates to `[-1, 1]`.
+pub fn resgcn_view(cloud: &PointCloud) -> PointCloud {
+    minmax_to_range(cloud, -1.0, 1.0)
+}
+
+/// RandLA-Net preprocessing: random duplicate/select re-sampling to
+/// `budget` points, then coordinates to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics when the cloud is empty or `budget == 0`.
+pub fn randla_view<R: Rng + ?Sized>(cloud: &PointCloud, budget: usize, rng: &mut R) -> PointCloud {
+    minmax_to_range(&cloud.resample(budget, rng), 0.0, 1.0)
+}
+
+/// The paper's Eq. 10, verbatim: the coordinate transform used to feed
+/// ResGCN-normalized (`[-1, 1]`) adversarial samples into PointNet++
+/// (`[0, 3]`):
+///
+/// `x' = 2x, y' = 2y, z' = 1.5 z + 1.5`.
+///
+/// Colors and labels are unchanged. Note the paper's x/y mapping lands in
+/// `[-2, 2]`; [`resgcn_to_pointnet`] provides the range-exact variant,
+/// and the transferability harness reports both.
+pub fn eq10_transform(cloud: &PointCloud) -> PointCloud {
+    let coords = cloud
+        .coords
+        .iter()
+        .map(|&p| Point3::new(2.0 * p.x, 2.0 * p.y, 1.5 * p.z + 1.5))
+        .collect();
+    PointCloud::new(coords, cloud.colors.clone(), cloud.labels.clone(), cloud.num_classes)
+}
+
+/// Range-exact ResGCN→PointNet++ coordinate transform: affinely maps
+/// every axis from `[-1, 1]` to `[0, 3]` (`v' = 1.5 (v + 1)`).
+pub fn resgcn_to_pointnet(cloud: &PointCloud) -> PointCloud {
+    let coords = cloud
+        .coords
+        .iter()
+        .map(|&p| Point3::new(1.5 * (p.x + 1.0), 1.5 * (p.y + 1.0), 1.5 * (p.z + 1.0)))
+        .collect();
+    PointCloud::new(coords, cloud.colors.clone(), cloud.labels.clone(), cloud.num_classes)
+}
+
+/// Normalized location features in `[0, 1]` relative to the cloud's
+/// bounding box — the last three of S3DIS's nine per-point features.
+///
+/// Returns an `[N, 3]` matrix; degenerate axes yield `0.5`.
+pub fn location01(cloud: &PointCloud) -> Matrix {
+    let view = minmax_to_range(cloud, 0.0, 1.0);
+    view.coords_matrix()
+}
+
+/// Voxel-grid subsampling view: one representative point per occupied
+/// `cell`-sized voxel — the deterministic preprocessing large-scale
+/// pipelines apply before learning.
+///
+/// # Panics
+///
+/// Panics when `cell` is not positive or the cloud is empty.
+pub fn grid_view(cloud: &PointCloud, cell: f32) -> PointCloud {
+    assert!(!cloud.is_empty(), "grid_view: empty cloud");
+    let keep = colper_geom::voxel_downsample(&cloud.coords, cell);
+    cloud.select(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndoorSceneConfig, SceneGenerator};
+
+    fn sample() -> PointCloud {
+        SceneGenerator::indoor(IndoorSceneConfig::with_points(512)).generate(1)
+    }
+
+    fn coord_range(cloud: &PointCloud) -> (f32, f32) {
+        let b = cloud.bounds().unwrap();
+        let lo = b.min.x.min(b.min.y).min(b.min.z);
+        let hi = b.max.x.max(b.max.y).max(b.max.z);
+        (lo, hi)
+    }
+
+    #[test]
+    fn pointnet_view_range() {
+        let v = pointnet_view(&sample());
+        let (lo, hi) = coord_range(&v);
+        assert!(lo >= -1e-4 && hi <= 3.0 + 1e-4, "range [{lo}, {hi}]");
+        assert!(hi > 2.9, "max should touch the top of the range");
+    }
+
+    #[test]
+    fn resgcn_view_range() {
+        let v = resgcn_view(&sample());
+        let (lo, hi) = coord_range(&v);
+        assert!(lo >= -1.0 - 1e-4 && hi <= 1.0 + 1e-4, "range [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn randla_view_resamples_and_scales() {
+        let mut rng = rand::rngs::mock::StepRng::new(7, 13);
+        let v = randla_view(&sample(), 2048, &mut rng);
+        assert_eq!(v.len(), 2048);
+        let (lo, hi) = coord_range(&v);
+        assert!(lo >= -1e-4 && hi <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn normalization_preserves_colors_and_labels() {
+        let cloud = sample();
+        let v = pointnet_view(&cloud);
+        assert_eq!(v.colors, cloud.colors);
+        assert_eq!(v.labels, cloud.labels);
+    }
+
+    #[test]
+    fn eq10_matches_paper_formula() {
+        let cloud = PointCloud::new(
+            vec![Point3::new(-1.0, 1.0, 0.0)],
+            vec![[0.5; 3]],
+            vec![0],
+            13,
+        );
+        let t = eq10_transform(&cloud);
+        assert_eq!(t.coords[0], Point3::new(-2.0, 2.0, 1.5));
+    }
+
+    #[test]
+    fn range_exact_transform_lands_in_pointnet_range() {
+        let v = resgcn_view(&sample());
+        let t = resgcn_to_pointnet(&v);
+        let (lo, hi) = coord_range(&t);
+        assert!(lo >= -1e-4 && hi <= 3.0 + 1e-3, "range [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn location01_in_unit_cube() {
+        let m = location01(&sample());
+        assert!(m.min().unwrap() >= -1e-5);
+        assert!(m.max().unwrap() <= 1.0 + 1e-5);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn grid_view_reduces_and_preserves_invariants() {
+        let cloud = sample();
+        let g = grid_view(&cloud, 0.5);
+        assert!(g.len() < cloud.len(), "coarse grid should reduce the cloud");
+        assert!(g.len() > 10, "but not collapse it");
+        // Every kept point exists in the source with its label.
+        for (p, l) in g.coords.iter().zip(&g.labels) {
+            assert!(cloud.coords.iter().zip(&cloud.labels).any(|(q, ql)| q == p && ql == l));
+        }
+        // Finer grid keeps more points.
+        let fine = grid_view(&cloud, 0.1);
+        assert!(fine.len() >= g.len());
+    }
+
+    #[test]
+    fn degenerate_axis_maps_to_midpoint() {
+        // All points share z = 0 -> z should map to the mid of the range.
+        let cloud = PointCloud::new(
+            vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 2.0, 0.0)],
+            vec![[0.1; 3]; 2],
+            vec![0, 0],
+            13,
+        );
+        let v = minmax_to_range(&cloud, 0.0, 3.0);
+        assert!((v.coords[0].z - 1.5).abs() < 1e-6);
+        assert!((v.coords[1].z - 1.5).abs() < 1e-6);
+    }
+}

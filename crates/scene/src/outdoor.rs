@@ -1,0 +1,343 @@
+//! Procedural Semantic3D-like outdoor scenes.
+//!
+//! A scene is a square ground patch (z up) split between man-made terrain
+//! (a road strip and plaza) and natural terrain (a rolling heightfield).
+//! On top sit buildings (big boxes), hard scape (low walls, planters),
+//! high vegetation (trunk + canopy trees), low vegetation (ground-hugging
+//! bushes), cars (two stacked boxes parked along the road) and scanning
+//! artefacts (sparse outlier streaks) — the eight Semantic3D classes.
+
+use crate::{ColorModel, OutdoorClass, PointCloud, OUTDOOR_CLASS_COUNT};
+use colper_geom::Point3;
+use rand::Rng;
+
+/// Configuration for the outdoor generator.
+#[derive(Debug, Clone)]
+pub struct OutdoorSceneConfig {
+    /// Exact number of points in the generated cloud.
+    pub n_points: usize,
+    /// Side length of the square scene in meters.
+    pub extent: f32,
+    /// Class-conditional color sampler.
+    pub color_model: ColorModel,
+    /// Half-width of the per-scene lighting multiplier around 1.0.
+    pub lighting_jitter: f32,
+    /// Ground sampling density in points per square meter (before the
+    /// final resample).
+    pub density: f32,
+    /// Guarantee at least one car (the Table 4 experiments need one).
+    pub ensure_car: bool,
+}
+
+impl Default for OutdoorSceneConfig {
+    fn default() -> Self {
+        Self {
+            n_points: 4096,
+            extent: 30.0,
+            color_model: ColorModel::outdoor_default(),
+            lighting_jitter: 0.15,
+            density: 4.0,
+            ensure_car: true,
+        }
+    }
+}
+
+impl OutdoorSceneConfig {
+    /// A config with a custom point budget.
+    pub fn with_points(n_points: usize) -> Self {
+        Self { n_points, ..Self::default() }
+    }
+}
+
+struct Surfel {
+    pos: Point3,
+    class: OutdoorClass,
+}
+
+/// Smooth two-octave value noise used for the natural-terrain height.
+fn terrain_height(x: f32, y: f32, phase: f32) -> f32 {
+    0.6 * ((x * 0.25 + phase).sin() * (y * 0.2 + phase * 0.7).cos())
+        + 0.25 * ((x * 0.7 - phase).cos() * (y * 0.8 + phase).sin())
+}
+
+pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mut R) -> PointCloud {
+    let e = cfg.extent;
+    let phase: f32 = rng.gen_range(0.0..100.0);
+    let road_y0 = rng.gen_range(0.25 * e..0.45 * e);
+    let road_y1 = road_y0 + rng.gen_range(4.0..7.0);
+    let mut surfels: Vec<Surfel> = Vec::new();
+
+    // Ground: road strip = man-made, rest = natural heightfield.
+    let ground_n = ((e * e * cfg.density) as usize).max(1);
+    for _ in 0..ground_n {
+        let x = rng.gen_range(0.0..e);
+        let y = rng.gen_range(0.0..e);
+        if y >= road_y0 && y <= road_y1 {
+            surfels.push(Surfel { pos: Point3::new(x, y, 0.02), class: OutdoorClass::ManMadeTerrain });
+        } else {
+            let z = terrain_height(x, y, phase).max(0.0);
+            surfels.push(Surfel { pos: Point3::new(x, y, z), class: OutdoorClass::NaturalTerrain });
+        }
+    }
+
+    // Buildings along the far side of the road.
+    let n_buildings = rng.gen_range(1..=3);
+    for _ in 0..n_buildings {
+        let bw = rng.gen_range(5.0..10.0);
+        let bd = rng.gen_range(4.0..8.0);
+        let bh = rng.gen_range(5.0..12.0);
+        let bx = rng.gen_range(0.0..(e - bw).max(0.1));
+        let by = (road_y1 + rng.gen_range(1.0..4.0)).min(e - bd - 0.1).max(0.0);
+        sample_box_faces(
+            &mut surfels,
+            Point3::new(bx, by, 0.0),
+            Point3::new(bx + bw, by + bd, bh),
+            OutdoorClass::Building,
+            cfg.density * 2.0,
+            rng,
+        );
+    }
+
+    // Hard scape: low walls and planters near the road.
+    let n_hard = rng.gen_range(2..=5);
+    for _ in 0..n_hard {
+        let hw = rng.gen_range(1.0..4.0);
+        let hx = rng.gen_range(0.0..(e - hw).max(0.1));
+        let hy = (road_y0 - rng.gen_range(0.5..3.0)).max(0.0);
+        sample_box_faces(
+            &mut surfels,
+            Point3::new(hx, hy, 0.0),
+            Point3::new(hx + hw, hy + 0.4, rng.gen_range(0.5..1.2)),
+            OutdoorClass::HardScape,
+            cfg.density * 3.0,
+            rng,
+        );
+    }
+
+    // High vegetation: trees (trunk cylinder + canopy ellipsoid).
+    let n_trees = rng.gen_range(3..=7);
+    for _ in 0..n_trees {
+        let tx = rng.gen_range(1.0..e - 1.0);
+        let ty = if rng.gen_bool(0.7) {
+            // Keep trees off the road.
+            if rng.gen_bool(0.5) { rng.gen_range(0.0..road_y0.max(0.5)) } else { rng.gen_range(road_y1.min(e - 0.5)..e) }
+        } else {
+            rng.gen_range(0.0..e)
+        };
+        let trunk_h = rng.gen_range(2.0..4.0);
+        let canopy_r = rng.gen_range(1.2..2.5);
+        let n_trunk = (trunk_h * cfg.density * 6.0) as usize;
+        for _ in 0..n_trunk.max(4) {
+            let a = rng.gen_range(0.0..std::f32::consts::TAU);
+            let r = 0.15;
+            surfels.push(Surfel {
+                pos: Point3::new(tx + r * a.cos(), ty + r * a.sin(), rng.gen_range(0.0..trunk_h)),
+                class: OutdoorClass::HighVegetation,
+            });
+        }
+        let n_canopy = (canopy_r * canopy_r * cfg.density * 16.0) as usize;
+        for _ in 0..n_canopy.max(8) {
+            // Random point on the canopy ellipsoid surface.
+            let u: f32 = rng.gen_range(-1.0..1.0);
+            let a = rng.gen_range(0.0..std::f32::consts::TAU);
+            let s = (1.0 - u * u).sqrt();
+            surfels.push(Surfel {
+                pos: Point3::new(
+                    tx + canopy_r * s * a.cos(),
+                    ty + canopy_r * s * a.sin(),
+                    trunk_h + canopy_r * 0.8 * (u + 1.0),
+                ),
+                class: OutdoorClass::HighVegetation,
+            });
+        }
+    }
+
+    // Low vegetation: bushes hugging the natural terrain.
+    let n_bushes = rng.gen_range(4..=9);
+    for _ in 0..n_bushes {
+        let bx = rng.gen_range(0.0..e);
+        let by = if rng.gen_bool(0.5) { rng.gen_range(0.0..road_y0.max(0.5)) } else { rng.gen_range(road_y1.min(e - 0.5)..e) };
+        let br = rng.gen_range(0.3..0.9);
+        let base = terrain_height(bx, by, phase).max(0.0);
+        let n = ((br * br * cfg.density * 20.0) as usize).max(6);
+        for _ in 0..n {
+            let dx = rng.gen_range(-br..br);
+            let dy = rng.gen_range(-br..br);
+            surfels.push(Surfel {
+                pos: Point3::new(bx + dx, by + dy, base + rng.gen_range(0.0..br * 0.8)),
+                class: OutdoorClass::LowVegetation,
+            });
+        }
+    }
+
+    // Cars: parked on the road.
+    let n_cars = if cfg.ensure_car { rng.gen_range(1..=3) } else { rng.gen_range(0..=3) };
+    for _ in 0..n_cars {
+        let cw = rng.gen_range(3.8..4.8); // length
+        let cd = rng.gen_range(1.7..2.0); // width
+        let cx = rng.gen_range(0.0..(e - cw).max(0.1));
+        let cy = rng.gen_range(road_y0..(road_y1 - cd).max(road_y0 + 0.01));
+        // Body.
+        sample_box_faces(
+            &mut surfels,
+            Point3::new(cx, cy, 0.25),
+            Point3::new(cx + cw, cy + cd, 1.0),
+            OutdoorClass::Car,
+            cfg.density * 8.0,
+            rng,
+        );
+        // Cabin.
+        sample_box_faces(
+            &mut surfels,
+            Point3::new(cx + cw * 0.25, cy + 0.1, 1.0),
+            Point3::new(cx + cw * 0.75, cy + cd - 0.1, 1.5),
+            OutdoorClass::Car,
+            cfg.density * 8.0,
+            rng,
+        );
+    }
+
+    // Scanning artefacts: sparse outlier streaks.
+    let n_artefacts = rng.gen_range(20..60);
+    for _ in 0..n_artefacts {
+        surfels.push(Surfel {
+            pos: Point3::new(
+                rng.gen_range(0.0..e),
+                rng.gen_range(0.0..e),
+                rng.gen_range(0.0..8.0),
+            ),
+            class: OutdoorClass::ScanningArtefact,
+        });
+    }
+
+    // Color and resample.
+    let lighting = 1.0 + rng.gen_range(-cfg.lighting_jitter..=cfg.lighting_jitter);
+    let coords: Vec<Point3> = surfels.iter().map(|s| s.pos).collect();
+    let labels: Vec<usize> = surfels.iter().map(|s| s.class.label()).collect();
+    let colors: Vec<[f32; 3]> = labels
+        .iter()
+        .map(|&l| cfg.color_model.sample(l, lighting, rng))
+        .collect();
+    let cloud = PointCloud::new(coords, colors, labels, OUTDOOR_CLASS_COUNT);
+    cloud.resample(cfg.n_points, rng)
+}
+
+fn sample_box_faces<R: Rng + ?Sized>(
+    out: &mut Vec<Surfel>,
+    min: Point3,
+    max: Point3,
+    class: OutdoorClass,
+    density: f32,
+    rng: &mut R,
+) {
+    let size = max - min;
+    let faces: [(f32, usize); 3] = [
+        (size.y * size.z, 0),
+        (size.x * size.z, 1),
+        (size.x * size.y, 2),
+    ];
+    for (area, axis) in faces {
+        let n = ((area * density) as usize).max(1);
+        for _ in 0..n {
+            for &at_max in &[false, true] {
+                let mut p = Point3::new(
+                    rng.gen_range(min.x..=max.x.max(min.x + 1e-4)),
+                    rng.gen_range(min.y..=max.y.max(min.y + 1e-4)),
+                    rng.gen_range(min.z..=max.z.max(min.z + 1e-4)),
+                );
+                match axis {
+                    0 => p.x = if at_max { max.x } else { min.x },
+                    1 => p.y = if at_max { max.y } else { min.y },
+                    _ => p.z = if at_max { max.z } else { min.z },
+                }
+                out.push(Surfel { pos: p, class });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(seed: u64) -> PointCloud {
+        generate_scene(&OutdoorSceneConfig::default(), &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn exact_point_budget_and_class_space() {
+        let cloud = gen(0);
+        assert_eq!(cloud.len(), 4096);
+        assert_eq!(cloud.num_classes, OUTDOOR_CLASS_COUNT);
+    }
+
+    #[test]
+    fn car_always_present_when_ensured() {
+        for seed in 0..6 {
+            let cloud = gen(seed);
+            assert!(
+                cloud.class_histogram()[OutdoorClass::Car.label()] > 0,
+                "seed {seed} has no car"
+            );
+        }
+    }
+
+    #[test]
+    fn terrain_classes_dominate() {
+        let cloud = gen(1);
+        let hist = cloud.class_histogram();
+        let terrain = hist[OutdoorClass::ManMadeTerrain.label()]
+            + hist[OutdoorClass::NaturalTerrain.label()];
+        assert!(terrain > cloud.len() / 6, "terrain mass too small: {hist:?}");
+    }
+
+    #[test]
+    fn most_classes_appear() {
+        let cloud = gen(2);
+        let present = cloud.class_histogram().iter().filter(|&&c| c > 0).count();
+        assert!(present >= 6, "only {present} classes present");
+    }
+
+    #[test]
+    fn vegetation_is_green_cars_are_not() {
+        let cloud = gen(3);
+        let mean_color = |class: OutdoorClass| -> [f32; 3] {
+            let idx = cloud.indices_of_class(class.label());
+            let mut m = [0.0f32; 3];
+            for &i in &idx {
+                for c in 0..3 {
+                    m[c] += cloud.colors[i][c] / idx.len() as f32;
+                }
+            }
+            m
+        };
+        let veg = mean_color(OutdoorClass::HighVegetation);
+        assert!(veg[1] > veg[0], "vegetation {veg:?}");
+        let car = mean_color(OutdoorClass::Car);
+        assert!(car[0] > car[1], "car {car:?}");
+    }
+
+    #[test]
+    fn buildings_are_tall() {
+        let cloud = gen(4);
+        let idx = cloud.indices_of_class(OutdoorClass::Building.label());
+        assert!(!idx.is_empty());
+        let max_z = idx.iter().map(|&i| cloud.coords[i].z).fold(0.0f32, f32::max);
+        assert!(max_z > 3.0, "building max z {max_z}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9).coords, gen(10).coords);
+    }
+
+    #[test]
+    fn custom_point_budget() {
+        let cfg = OutdoorSceneConfig::with_points(1024);
+        let cloud = generate_scene(&cfg, &mut StdRng::seed_from_u64(0));
+        assert_eq!(cloud.len(), 1024);
+    }
+}

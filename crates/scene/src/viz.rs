@@ -1,0 +1,149 @@
+//! Terminal visualization: a top-down ASCII map of a labeled cloud.
+//!
+//! Each grid cell shows the dominant class among the points whose (x, y)
+//! fall into it, rendered as that class's letter — a quick sanity view of
+//! scene structure and of segmentation results without leaving the
+//! terminal.
+
+use crate::PointCloud;
+
+/// Characters for up to 16 classes (wraps beyond that). Index `i` is
+/// class `i`.
+const GLYPHS: &[u8] = b"CFWBKNDTHSOAXYZQ";
+
+/// Renders a `width x height` top-down map of `labels` (pass the cloud's
+/// ground truth or a prediction vector).
+///
+/// Empty cells render as `.`; each occupied cell shows the dominant
+/// class glyph.
+///
+/// # Panics
+///
+/// Panics when dimensions are zero, the cloud is empty, or
+/// `labels.len() != cloud.len()`.
+pub fn top_down_map(cloud: &PointCloud, labels: &[usize], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "top_down_map: dimensions must be positive");
+    assert!(!cloud.is_empty(), "top_down_map: empty cloud");
+    assert_eq!(labels.len(), cloud.len(), "top_down_map: labels length mismatch");
+    let bounds = cloud.bounds().expect("non-empty");
+    let size = bounds.size();
+    let sx = if size.x > f32::EPSILON { size.x } else { 1.0 };
+    let sy = if size.y > f32::EPSILON { size.y } else { 1.0 };
+
+    // Per-cell class histogram.
+    let classes = cloud.num_classes;
+    let mut counts = vec![0u32; width * height * classes];
+    for (p, &l) in cloud.coords.iter().zip(labels) {
+        let cx = (((p.x - bounds.min.x) / sx) * width as f32) as usize;
+        let cy = (((p.y - bounds.min.y) / sy) * height as f32) as usize;
+        let cx = cx.min(width - 1);
+        let cy = cy.min(height - 1);
+        counts[(cy * width + cx) * classes + l] += 1;
+    }
+
+    let mut out = String::with_capacity((width + 1) * height);
+    // Render north-up: highest y first.
+    for row in (0..height).rev() {
+        for col in 0..width {
+            let cell = &counts[(row * width + col) * classes..(row * width + col + 1) * classes];
+            let (best, count) = cell
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .expect("non-empty class space");
+            out.push(if *count == 0 {
+                '.'
+            } else {
+                GLYPHS[best % GLYPHS.len()] as char
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The glyph legend for a class count (one `glyph = index` pair per
+/// line), to print beside a map.
+pub fn legend(class_names: &[&str]) -> String {
+    class_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| format!("{} = {name}", GLYPHS[i % GLYPHS.len()] as char))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndoorClass, IndoorSceneConfig, SceneGenerator};
+    use colper_geom::Point3;
+
+    #[test]
+    fn map_has_requested_shape() {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(512)).generate(0);
+        let map = top_down_map(&cloud, &cloud.labels, 40, 16);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 16);
+        assert!(lines.iter().all(|l| l.chars().count() == 40));
+    }
+
+    #[test]
+    fn dominant_class_wins_cell() {
+        let cloud = PointCloud::new(
+            vec![
+                Point3::new(0.1, 0.1, 0.0),
+                Point3::new(0.2, 0.2, 0.0),
+                Point3::new(0.15, 0.15, 0.0),
+                Point3::new(0.9, 0.9, 0.0),
+            ],
+            vec![[0.5; 3]; 4],
+            vec![2, 2, 0, 1],
+            13,
+        );
+        let map = top_down_map(&cloud, &cloud.labels, 2, 2);
+        let lines: Vec<&str> = map.lines().collect();
+        // Bottom-left cell: two wall (2 = 'W') beat one ceiling.
+        assert_eq!(lines[1].as_bytes()[0] as char, 'W');
+        // Top-right cell: the floor point (1 = 'F').
+        assert_eq!(lines[0].as_bytes()[1] as char, 'F');
+    }
+
+    #[test]
+    fn empty_cells_are_dots() {
+        let cloud = PointCloud::new(
+            vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 0.0)],
+            vec![[0.5; 3]; 2],
+            vec![0, 0],
+            13,
+        );
+        let map = top_down_map(&cloud, &cloud.labels, 3, 3);
+        assert!(map.contains('.'));
+    }
+
+    #[test]
+    fn prediction_override_changes_map() {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(256)).generate(1);
+        let truth_map = top_down_map(&cloud, &cloud.labels, 30, 12);
+        let all_wall = vec![IndoorClass::Wall.label(); cloud.len()];
+        let wall_map = top_down_map(&cloud, &all_wall, 30, 12);
+        assert_ne!(truth_map, wall_map);
+        assert!(wall_map.chars().all(|c| c == 'W' || c == '.' || c == '\n'));
+    }
+
+    #[test]
+    fn legend_pairs_glyphs_with_names() {
+        let names: Vec<&str> = IndoorClass::ALL.iter().map(|c| c.name()).collect();
+        let l = legend(&names);
+        assert!(l.contains("C = ceiling"));
+        assert!(l.contains("W = wall"));
+        assert_eq!(l.lines().count(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels length")]
+    fn labels_length_checked() {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(64)).generate(0);
+        let _ = top_down_map(&cloud, &[0], 4, 4);
+    }
+}

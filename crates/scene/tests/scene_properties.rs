@@ -1,0 +1,99 @@
+//! Property-based tests for the scene generators and normalization
+//! pipelines.
+
+use colper_scene::{
+    normalize, IndoorSceneConfig, OutdoorSceneConfig, PointCloud, SceneGenerator,
+    INDOOR_CLASS_COUNT, OUTDOOR_CLASS_COUNT,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn indoor_clouds_satisfy_invariants(seed in 0u64..10_000, points in 32usize..512) {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(points)).generate(seed);
+        prop_assert_eq!(cloud.len(), points);
+        prop_assert_eq!(cloud.num_classes, INDOOR_CLASS_COUNT);
+        prop_assert!(cloud.labels.iter().all(|&l| l < INDOOR_CLASS_COUNT));
+        prop_assert!(cloud.colors.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(cloud.coords.iter().all(|p| p.is_finite()));
+        prop_assert_eq!(cloud.class_histogram().iter().sum::<usize>(), points);
+    }
+
+    #[test]
+    fn outdoor_clouds_satisfy_invariants(seed in 0u64..10_000, points in 32usize..512) {
+        let cloud = SceneGenerator::outdoor(OutdoorSceneConfig::with_points(points)).generate(seed);
+        prop_assert_eq!(cloud.len(), points);
+        prop_assert_eq!(cloud.num_classes, OUTDOOR_CLASS_COUNT);
+        prop_assert!(cloud.labels.iter().all(|&l| l < OUTDOOR_CLASS_COUNT));
+        // Everything sits above ground level (small epsilon for floats).
+        prop_assert!(cloud.coords.iter().all(|p| p.z >= -1e-3));
+    }
+
+    #[test]
+    fn normalization_ranges(seed in 0u64..5_000) {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(128)).generate(seed);
+        let check = |c: &PointCloud, lo: f32, hi: f32| {
+            let b = c.bounds().unwrap();
+            let min = b.min.x.min(b.min.y).min(b.min.z);
+            let max = b.max.x.max(b.max.y).max(b.max.z);
+            min >= lo - 1e-3 && max <= hi + 1e-3
+        };
+        prop_assert!(check(&normalize::pointnet_view(&cloud), 0.0, 3.0));
+        prop_assert!(check(&normalize::resgcn_view(&cloud), -1.0, 1.0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(check(&normalize::randla_view(&cloud, 128, &mut rng), 0.0, 1.0));
+    }
+
+    #[test]
+    fn normalization_preserves_label_multiset(seed in 0u64..5_000) {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(seed);
+        let view = normalize::resgcn_view(&cloud);
+        prop_assert_eq!(view.labels, cloud.labels);
+        prop_assert_eq!(view.colors, cloud.colors);
+    }
+
+    #[test]
+    fn resample_invariants(seed in 0u64..5_000, n in 1usize..400) {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(128)).generate(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = cloud.resample(n, &mut rng);
+        prop_assert_eq!(r.len(), n);
+        // Every resampled point exists in the source.
+        for (p, l) in r.coords.iter().zip(&r.labels) {
+            let found = cloud
+                .coords
+                .iter()
+                .zip(&cloud.labels)
+                .any(|(q, ql)| q == p && ql == l);
+            prop_assert!(found, "resampled point not in source");
+        }
+    }
+
+    #[test]
+    fn eq10_is_affine(seed in 0u64..5_000) {
+        // Affine maps preserve midpoints; verify on real clouds.
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(64)).generate(seed);
+        let view = normalize::resgcn_view(&cloud);
+        let t = normalize::eq10_transform(&view);
+        for (orig, mapped) in view.coords.iter().zip(&t.coords) {
+            prop_assert!((mapped.x - 2.0 * orig.x).abs() < 1e-5);
+            prop_assert!((mapped.y - 2.0 * orig.y).abs() < 1e-5);
+            prop_assert!((mapped.z - (1.5 * orig.z + 1.5)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn select_then_histogram_consistent(seed in 0u64..5_000, class in 0usize..13) {
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(256)).generate(seed);
+        let idx = cloud.indices_of_class(class);
+        prop_assert_eq!(idx.len(), cloud.class_histogram()[class]);
+        if !idx.is_empty() {
+            let sub = cloud.select(&idx);
+            prop_assert!(sub.labels.iter().all(|&l| l == class));
+        }
+    }
+}

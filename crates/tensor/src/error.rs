@@ -1,0 +1,147 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// A shape mismatch between the operands of a tensor operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// The operation that was attempted, e.g. `"matmul"`.
+    op: &'static str,
+    /// Shape of the left-hand operand as `(rows, cols)`.
+    lhs: (usize, usize),
+    /// Shape of the right-hand operand as `(rows, cols)`.
+    rhs: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a new shape error for the operation `op` with the two
+    /// offending operand shapes.
+    pub fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+
+    /// The name of the operation that failed.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// The `(rows, cols)` shape of the left operand.
+    pub fn lhs(&self) -> (usize, usize) {
+        self.lhs
+    }
+
+    /// The `(rows, cols)` shape of the right operand.
+    pub fn rhs(&self) -> (usize, usize) {
+        self.rhs
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: lhs is {}x{}, rhs is {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+/// The error type returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Operand shapes were incompatible.
+    Shape(ShapeError),
+    /// An index was out of bounds: `(index, bound)`.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must stay below.
+        bound: usize,
+    },
+    /// A constructor was handed data whose length disagrees with the
+    /// requested shape.
+    DataLength {
+        /// Length of the provided buffer.
+        got: usize,
+        /// Length implied by the requested shape.
+        expected: usize,
+    },
+    /// An operation that requires a non-empty matrix received an empty one.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Shape(e) => e.fmt(f),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension of size {bound}")
+            }
+            TensorError::DataLength { got, expected } => {
+                write!(f, "data length {got} does not match shape requiring {expected}")
+            }
+            TensorError::Empty(op) => write!(f, "{op} requires a non-empty matrix"),
+        }
+    }
+}
+
+impl Error for TensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TensorError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for TensorError {
+    fn from(e: ShapeError) -> Self {
+        TensorError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_error_display_mentions_op_and_shapes() {
+        let e = ShapeError::new("matmul", (2, 3), (4, 5));
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn tensor_error_from_shape_error_preserves_source() {
+        let e: TensorError = ShapeError::new("add", (1, 1), (2, 2)).into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("add"));
+    }
+
+    #[test]
+    fn index_error_display() {
+        let e = TensorError::IndexOutOfBounds { index: 9, bound: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn data_length_error_display() {
+        let e = TensorError::DataLength { got: 5, expected: 6 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('6'));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = ShapeError::new("mul", (2, 3), (3, 2));
+        assert_eq!(e.op(), "mul");
+        assert_eq!(e.lhs(), (2, 3));
+        assert_eq!(e.rhs(), (3, 2));
+    }
+}

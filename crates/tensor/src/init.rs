@@ -1,0 +1,135 @@
+//! Seeded random initialization schemes for weight matrices.
+
+use crate::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Weight-initialization schemes understood by [`Initializer::sample`].
+///
+/// The variants mirror the initializers used by the reference
+/// implementations of the three segmentation networks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// All zeros (bias vectors).
+    Zeros,
+    /// All ones (batch-norm scales).
+    Ones,
+    /// A constant fill.
+    Constant(f32),
+    /// Uniform in `[-limit, limit]`.
+    Uniform {
+        /// Half-width of the symmetric interval.
+        limit: f32,
+    },
+    /// Glorot/Xavier uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming uniform for ReLU networks: `limit = sqrt(6 / fan_in)`.
+    KaimingUniform,
+    /// Zero-mean Gaussian with the given standard deviation
+    /// (via Box–Muller so that only a `Uniform` sampler is needed).
+    Normal {
+        /// Standard deviation of the distribution.
+        std: f32,
+    },
+}
+
+impl Initializer {
+    /// Samples a `rows x cols` matrix using the fan shape `(rows, cols)` —
+    /// by convention weight matrices are `[fan_in, fan_out]`.
+    pub fn sample<R: Rng + ?Sized>(self, rows: usize, cols: usize, rng: &mut R) -> Matrix {
+        match self {
+            Initializer::Zeros => Matrix::zeros(rows, cols),
+            Initializer::Ones => Matrix::ones(rows, cols),
+            Initializer::Constant(v) => Matrix::filled(rows, cols, v),
+            Initializer::Uniform { limit } => sample_uniform(rows, cols, limit, rng),
+            Initializer::XavierUniform => {
+                let limit = (6.0 / (rows + cols).max(1) as f32).sqrt();
+                sample_uniform(rows, cols, limit, rng)
+            }
+            Initializer::KaimingUniform => {
+                let limit = (6.0 / rows.max(1) as f32).sqrt();
+                sample_uniform(rows, cols, limit, rng)
+            }
+            Initializer::Normal { std } => {
+                let unit = Uniform::new(f32::EPSILON, 1.0f32);
+                Matrix::from_fn(rows, cols, |_, _| {
+                    // Box–Muller transform.
+                    let u1: f32 = unit.sample(rng);
+                    let u2: f32 = unit.sample(rng);
+                    std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+                })
+            }
+        }
+    }
+}
+
+fn sample_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, limit: f32, rng: &mut R) -> Matrix {
+    if limit == 0.0 {
+        return Matrix::zeros(rows, cols);
+    }
+    let dist = Uniform::new_inclusive(-limit, limit);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_ones_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Initializer::Zeros.sample(2, 2, &mut rng).as_slice().iter().all(|&v| v == 0.0));
+        assert!(Initializer::Ones.sample(2, 2, &mut rng).as_slice().iter().all(|&v| v == 1.0));
+        assert!(Initializer::Constant(0.5)
+            .sample(2, 2, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Initializer::Uniform { limit: 0.3 }.sample(50, 50, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| (-0.3..=0.3).contains(&v)));
+        // Not all the same value.
+        assert!(m.max().unwrap() > m.min().unwrap());
+    }
+
+    #[test]
+    fn xavier_limit_scales_with_fans() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let wide = Initializer::XavierUniform.sample(1000, 1000, &mut rng);
+        let narrow = Initializer::XavierUniform.sample(4, 4, &mut rng);
+        assert!(wide.max().unwrap().abs() < narrow.max().unwrap().abs() + 1.0);
+        let limit = (6.0f32 / 2000.0).sqrt();
+        assert!(wide.as_slice().iter().all(|&v| v.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn kaiming_limit_uses_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Initializer::KaimingUniform.sample(24, 8, &mut rng);
+        let limit = (6.0f32 / 24.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Initializer::Normal { std: 2.0 }.sample(100, 100, &mut rng);
+        let mean = m.mean();
+        let var = m.map(|v| (v - mean) * (v - mean)).mean();
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = Initializer::XavierUniform.sample(8, 8, &mut StdRng::seed_from_u64(7));
+        let b = Initializer::XavierUniform.sample(8, 8, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

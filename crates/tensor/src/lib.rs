@@ -1,0 +1,35 @@
+//! Dense 2-D `f32` tensor math for the COLPER reproduction.
+//!
+//! Every higher layer of the workspace (the autodiff tape, the neural
+//! network layers, the segmentation models and the attack itself) stores its
+//! numerical state in the [`Matrix`] type defined here: a row-major,
+//! heap-allocated `rows x cols` matrix of `f32`.
+//!
+//! The crate deliberately stays two-dimensional. Point clouds are sets of
+//! `N` points with `C` per-point features, so `[N, C]` matrices plus a small
+//! family of gather/group operations (provided by `colper-autodiff`) cover
+//! every computation in the paper without the complexity of full n-d
+//! broadcasting.
+//!
+//! # Example
+//!
+//! ```
+//! use colper_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod matrix;
+mod ops;
+
+pub use error::{ShapeError, TensorError};
+pub use init::Initializer;
+pub use matrix::Matrix;

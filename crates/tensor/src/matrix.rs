@@ -1,0 +1,419 @@
+//! The core [`Matrix`] type: a row-major 2-D `f32` tensor.
+
+use crate::TensorError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `rows x cols` matrix of `f32` values.
+///
+/// `Matrix` is the universal container of the workspace: point features
+/// (`[N, C]`), network weights (`[C_in, C_out]`), logits (`[N, classes]`)
+/// and gradients all live in this type.
+///
+/// # Example
+///
+/// ```
+/// use colper_tensor::Matrix;
+///
+/// let m = Matrix::zeros(2, 3);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m[(1, 2)], 0.0);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::DataLength { got: data.len(), expected: rows * cols });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when the rows have uneven
+    /// lengths, and [`TensorError::Empty`] when `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self, TensorError> {
+        let first = rows.first().ok_or(TensorError::Empty("from_rows"))?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(TensorError::DataLength { got: row.len(), expected: cols });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a single-row matrix (`1 x n`) from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Creates a single-column matrix (`n x 1`) from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Builds a `rows x cols` matrix by calling `f(r, c)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The shape as a `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements (`rows * cols`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The underlying row-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns element `(r, c)` or `None` when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index is outside
+    /// the matrix.
+    pub fn set(&mut self, r: usize, c: usize, value: f32) -> Result<(), TensorError> {
+        if r >= self.rows {
+            return Err(TensorError::IndexOutOfBounds { index: r, bound: self.rows });
+        }
+        if c >= self.cols {
+            return Err(TensorError::IndexOutOfBounds { index: c, bound: self.cols });
+        }
+        self.data[r * self.cols + c] = value;
+        Ok(())
+    }
+
+    /// Iterates over the rows of the matrix as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies a rectangular sub-block `[r0..r1) x [c0..c1)` into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bounds are out of range or inverted.
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "row range {r0}..{r1} invalid for {} rows", self.rows);
+        assert!(c0 <= c1 && c1 <= self.cols, "col range {c0}..{c1} invalid for {} cols", self.cols);
+        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        for r in r0..r1 {
+            out.row_mut(r - r0).copy_from_slice(&self.row(r)[c0..c1]);
+        }
+        out
+    }
+
+    /// Selects the listed rows (allowing repetition) into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is `>= rows`.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Reshape to `(rows, cols)` preserving row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when the element count changes.
+    pub fn reshaped(&self, rows: usize, cols: usize) -> Result<Matrix, TensorError> {
+        if rows * cols != self.data.len() {
+            return Err(TensorError::DataLength { got: self.data.len(), expected: rows * cols });
+        }
+        Ok(Matrix { rows, cols, data: self.data.clone() })
+    }
+
+    /// True when every element is finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute difference to another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff requires equal shapes");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        const MAX_ROWS: usize = 8;
+        for (i, row) in self.iter_rows().enumerate().take(MAX_ROWS) {
+            write!(f, "  [")?;
+            const MAX_COLS: usize = 12;
+            for (j, v) in row.iter().enumerate().take(MAX_COLS) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.4}")?;
+            }
+            if row.len() > MAX_COLS {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+            if i + 1 == MAX_ROWS && self.rows > MAX_ROWS {
+                writeln!(f, "  ... ({} more rows)", self.rows - MAX_ROWS)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(m[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(TensorError::DataLength { got: 3, expected: 4 })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(matches!(Matrix::from_rows(&[]), Err(TensorError::Empty(_))));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 7.0;
+        assert_eq!(m[(1, 2)], 7.0);
+        assert_eq!(m.get(1, 2), Some(7.0));
+        assert_eq!(m.get(2, 0), None);
+    }
+
+    #[test]
+    fn set_rejects_out_of_bounds() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.set(0, 0, 1.0).is_ok());
+        assert!(m.set(2, 0, 1.0).is_err());
+        assert!(m.set(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn block_extracts_sub_matrix() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let b = m.block(1, 3, 2, 4);
+        assert_eq!(b.shape(), (2, 2));
+        assert_eq!(b.row(0), &[6.0, 7.0]);
+        assert_eq!(b.row(1), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn select_rows_allows_repeats() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let s = m.select_rows(&[2, 0, 2]);
+        assert_eq!(s.as_slice(), &[3.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_order() {
+        let m = Matrix::from_vec(2, 3, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let r = m.reshaped(3, 2).unwrap();
+        assert_eq!(r.row(1), &[2.0, 3.0]);
+        assert!(m.reshaped(4, 2).is_err());
+    }
+
+    #[test]
+    fn row_vector_and_col_vector() {
+        let r = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.shape(), (1, 3));
+        let c = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.shape(), (3, 1));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::ones(2, 2);
+        assert!(m.all_finite());
+        m[(0, 1)] = f32::NAN;
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn max_abs_diff_measures_worst_entry() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.5, 1.0]]).unwrap();
+        assert!((a.max_abs_diff(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty_and_truncated() {
+        let m = Matrix::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("20x20"));
+        assert!(s.contains("more rows"));
+    }
+}

@@ -1,0 +1,463 @@
+//! Elementwise math, matrix multiplication and reductions on [`Matrix`].
+
+use crate::{Matrix, ShapeError, TensorError};
+
+impl Matrix {
+    /// Elementwise sum with another matrix of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        self.zip_with("add", other, |a, b| a + b)
+    }
+
+    /// Elementwise difference with another matrix of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the shapes differ.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        self.zip_with("sub", other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product with another matrix of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the shapes differ.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        self.zip_with("mul", other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient with another matrix of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the shapes differ.
+    pub fn div(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        self.zip_with("div", other, |a, b| a / b)
+    }
+
+    fn zip_with(
+        &self,
+        op: &'static str,
+        other: &Matrix,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Matrix, TensorError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new(op, self.shape(), other.shape()).into());
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix::from_vec(self.rows(), self.cols(), data).expect("shape preserved"))
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes differ; in-place accumulation is an internal
+    /// hot path where a shape mismatch is a programming error.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign requires equal shapes");
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// Returns a new matrix with every element multiplied by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Returns a new matrix with `s` added to every element.
+    pub fn add_scalar(&self, s: f32) -> Matrix {
+        self.map(|v| v + s)
+    }
+
+    /// Applies `f` to every element, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.as_slice().iter().map(|&v| f(v)).collect();
+        Matrix::from_vec(self.rows(), self.cols(), data).expect("shape preserved")
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Matrix product `self * other` (`[m,k] x [k,n] -> [m,n]`).
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams both operand rows,
+    /// which is the cache-friendly layout for row-major storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        if self.cols() != other.rows() {
+            return Err(ShapeError::new("matmul", self.shape(), other.shape()).into());
+        }
+        let (m, k) = self.shape();
+        let n = other.cols();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (kk, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(kk);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self^T * other` (`[k,m]^T x [k,n] -> [m,n]`) without
+    /// materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        if self.rows() != other.rows() {
+            return Err(ShapeError::new("matmul_tn", self.shape(), other.shape()).into());
+        }
+        let (k, m) = self.shape();
+        let n = other.cols();
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self * other^T` (`[m,k] x [n,k]^T -> [m,n]`) without
+    /// materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        if self.cols() != other.cols() {
+            return Err(ShapeError::new("matmul_nt", self.shape(), other.shape()).into());
+        }
+        let m = self.rows();
+        let n = other.rows();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols(), self.rows(), |r, c| self[(c, r)])
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements; `0.0` for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Column-wise sums (`[n, c] -> [1, c]`).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        for row in self.iter_rows() {
+            for (o, &v) in out.row_mut(0).iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Column-wise means (`[n, c] -> [1, c]`); zeros for an empty matrix.
+    pub fn mean_rows(&self) -> Matrix {
+        if self.rows() == 0 {
+            return Matrix::zeros(1, self.cols());
+        }
+        self.sum_rows().scale(1.0 / self.rows() as f32)
+    }
+
+    /// Row-wise sums (`[n, c] -> [n, 1]`).
+    pub fn sum_cols(&self) -> Matrix {
+        let data = self.iter_rows().map(|r| r.iter().sum()).collect();
+        Matrix::from_vec(self.rows(), 1, data).expect("shape")
+    }
+
+    /// Index of the maximum element in each row.
+    ///
+    /// Ties resolve to the smallest index; an empty row set yields an empty
+    /// vector.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.iter_rows()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    /// The largest element, or `None` for an empty matrix.
+    pub fn max(&self) -> Option<f32> {
+        self.as_slice().iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.max(v)),
+        })
+    }
+
+    /// The smallest element, or `None` for an empty matrix.
+    pub fn min(&self) -> Option<f32> {
+        self.as_slice().iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.min(v)),
+        })
+    }
+
+    /// The squared Frobenius norm (sum of squared elements).
+    pub fn frobenius_sq(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    /// The Frobenius norm.
+    pub fn frobenius(&self) -> f32 {
+        self.frobenius_sq().sqrt()
+    }
+
+    /// Clamps every element to `[lo, hi]`, producing a new matrix.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Matrix {
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// Stacks `others` below `self`, producing a `[sum(rows), c]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when any operand has a different column
+    /// count.
+    pub fn vstack(&self, others: &[&Matrix]) -> Result<Matrix, TensorError> {
+        let total_rows = self.rows() + others.iter().map(|m| m.rows()).sum::<usize>();
+        let mut data = Vec::with_capacity(total_rows * self.cols());
+        data.extend_from_slice(self.as_slice());
+        for m in others {
+            if m.cols() != self.cols() {
+                return Err(ShapeError::new("vstack", self.shape(), m.shape()).into());
+            }
+            data.extend_from_slice(m.as_slice());
+        }
+        Matrix::from_vec(total_rows, self.cols(), data)
+    }
+
+    /// Concatenates `other` to the right of `self`, producing `[n, c1+c2]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        if self.rows() != other.rows() {
+            return Err(ShapeError::new("hstack", self.shape(), other.shape()).into());
+        }
+        let mut out = Matrix::zeros(self.rows(), self.cols() + other.cols());
+        for r in 0..self.rows() {
+            let dst = out.row_mut(r);
+            dst[..self.cols()].copy_from_slice(self.row(r));
+            dst[self.cols()..].copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f32]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = m(&[&[4.0, 3.0], &[2.0, 1.0]]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.div(&b).unwrap().as_slice(), &[0.25, 2.0 / 3.0, 1.5, 4.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.add(&b).is_err());
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = m(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = m(&[&[1.0, 0.5], &[2.0, 1.5], &[3.0, 2.5]]);
+        let direct = a.transpose().matmul(&b).unwrap();
+        let fused = a.matmul_tn(&b).unwrap();
+        assert!(direct.max_abs_diff(&fused) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = m(&[&[1.0, 0.0, 1.0], &[0.5, 0.5, 0.5]]);
+        let direct = a.matmul(&b.transpose()).unwrap();
+        let fused = a.matmul_nt(&b).unwrap();
+        assert!(direct.max_abs_diff(&fused) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.sum_rows().as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.mean_rows().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.sum_cols().as_slice(), &[3.0, 7.0]);
+        assert_eq!(a.max(), Some(4.0));
+        assert_eq!(a.min(), Some(1.0));
+    }
+
+    #[test]
+    fn argmax_rows_breaks_ties_low() {
+        let a = m(&[&[1.0, 3.0, 3.0], &[5.0, 2.0, 1.0]]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let a = m(&[&[3.0, 4.0]]);
+        assert_eq!(a.frobenius_sq(), 25.0);
+        assert_eq!(a.frobenius(), 5.0);
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let a = m(&[&[-2.0, 0.5, 2.0]]);
+        assert_eq!(a.clamp(0.0, 1.0).as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = m(&[&[1.0, 2.0]]);
+        let b = m(&[&[3.0, 4.0]]);
+        let v = a.vstack(&[&b]).unwrap();
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (1, 4));
+        assert_eq!(h.row(0), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn stack_shape_errors() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 3);
+        assert!(a.vstack(&[&b]).is_err());
+        let c = Matrix::zeros(2, 2);
+        assert!(a.hstack(&c).is_err());
+    }
+
+    #[test]
+    fn scale_and_map() {
+        let a = m(&[&[1.0, -2.0]]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, -4.0]);
+        assert_eq!(a.add_scalar(1.0).as_slice(), &[2.0, -1.0]);
+        assert_eq!(a.map(f32::abs).as_slice(), &[1.0, 2.0]);
+        let mut b = a.clone();
+        b.map_inplace(|v| v * v);
+        assert_eq!(b.as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Matrix::ones(2, 2);
+        let b = Matrix::filled(2, 2, 0.5);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[1.5, 1.5, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn empty_matrix_reductions() {
+        let e = Matrix::zeros(0, 3);
+        assert_eq!(e.sum(), 0.0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.max(), None);
+        assert_eq!(e.mean_rows().shape(), (1, 3));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the tensor substrate.
+
+use colper_tensor::Matrix;
+use proptest::prelude::*;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+fn arb_matrix_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        let a = proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |d| Matrix::from_vec(r, c, d).unwrap());
+        let b = proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |d| Matrix::from_vec(r, c, d).unwrap());
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in arb_matrix_pair(8)) {
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba) == 0.0);
+    }
+
+    #[test]
+    fn sub_is_add_of_negation((a, b) in arb_matrix_pair(8)) {
+        let direct = a.sub(&b).unwrap();
+        let via_neg = a.add(&b.scale(-1.0)).unwrap();
+        prop_assert!(direct.max_abs_diff(&via_neg) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_involution(a in arb_matrix(8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(a in arb_matrix(8)) {
+        let i = Matrix::identity(a.cols());
+        let p = a.matmul(&i).unwrap();
+        prop_assert!(p.max_abs_diff(&a) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in arb_matrix(6), (b, c) in arb_matrix_pair(6)) {
+        // Make shapes compatible: a [m,k], b/c [k,n] by transposing b,c to fit.
+        let k = a.cols();
+        let b = b.reshaped(b.len() / b.cols().max(1), b.cols()).unwrap();
+        // Simplest route: rebuild b and c with k rows from their data.
+        let n = 3usize;
+        if b.len() < k * n || c.len() < k * n {
+            return Ok(());
+        }
+        let b = Matrix::from_vec(k, n, b.as_slice()[..k * n].to_vec()).unwrap();
+        let c = Matrix::from_vec(k, n, c.as_slice()[..k * n].to_vec()).unwrap();
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-1);
+    }
+
+    #[test]
+    fn fused_transposed_products_agree(a in arb_matrix(6), b in arb_matrix(6)) {
+        // matmul_tn: a^T * x for x with a.rows() rows.
+        let x = Matrix::from_fn(a.rows(), 4, |r, c| (r + c) as f32 * 0.25);
+        let fused = a.matmul_tn(&x).unwrap();
+        let direct = a.transpose().matmul(&x).unwrap();
+        prop_assert!(fused.max_abs_diff(&direct) < 1e-2);
+
+        // matmul_nt: a * y^T for y with a.cols() cols.
+        let y = Matrix::from_fn(5, b.cols().min(a.cols()).max(1), |r, c| (r * c) as f32 * 0.1);
+        if y.cols() == a.cols() {
+            let fused = a.matmul_nt(&y).unwrap();
+            let direct = a.matmul(&y.transpose()).unwrap();
+            prop_assert!(fused.max_abs_diff(&direct) < 1e-2);
+        }
+    }
+
+    #[test]
+    fn sum_rows_matches_manual(a in arb_matrix(8)) {
+        let s = a.sum_rows();
+        for c in 0..a.cols() {
+            let manual: f32 = (0..a.rows()).map(|r| a[(r, c)]).sum();
+            prop_assert!((s[(0, c)] - manual).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn clamp_is_idempotent(a in arb_matrix(8)) {
+        let once = a.clamp(-1.0, 1.0);
+        let twice = once.clamp(-1.0, 1.0);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn select_rows_matches_row(a in arb_matrix(8)) {
+        let idx: Vec<usize> = (0..a.rows()).rev().collect();
+        let sel = a.select_rows(&idx);
+        for (dst, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.row(dst), a.row(src));
+        }
+    }
+
+    #[test]
+    fn frobenius_sq_nonnegative_and_zero_iff_zero(a in arb_matrix(8)) {
+        prop_assert!(a.frobenius_sq() >= 0.0);
+        if a.frobenius_sq() == 0.0 {
+            prop_assert!(a.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn hstack_then_block_recovers(a in arb_matrix(6)) {
+        let b = a.scale(2.0);
+        let h = a.hstack(&b).unwrap();
+        let left = h.block(0, h.rows(), 0, a.cols());
+        prop_assert_eq!(left, a);
+    }
+}

@@ -1,0 +1,374 @@
+//! `colper` — command-line front end for the COLPER reproduction.
+//!
+//! ```text
+//! colper scene   [--outdoor] [--points N] [--seed S]
+//! colper train   [--model pointnet|resgcn|randla] [--points N] [--rooms R]
+//!                [--epochs E] [--out FILE]
+//! colper attack  [--model pointnet|resgcn|randla] [--steps S] [--points N]
+//!                [--targeted CLASS] [--source CLASS] [--weights FILE]
+//! ```
+//!
+//! Everything runs on synthetic scenes; `train` writes a checkpoint that
+//! `attack --weights` can reuse.
+
+use colper_repro::attack::{AttackConfig, Colper, NoiseBaseline};
+use colper_repro::metrics::ConfusionMatrix;
+use colper_repro::models::{
+    train_model, CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn,
+    ResGcnConfig, SegmentationModel, TrainConfig,
+};
+use colper_repro::nn::{load_params, save_params};
+use colper_repro::scene::{
+    normalize, IndoorClass, IndoorSceneConfig, OutdoorSceneConfig, RoomKind, S3disLikeDataset,
+    SceneGenerator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "scene" => cmd_scene(&flags),
+        "train" => cmd_train(&flags),
+        "attack" => cmd_attack(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  colper scene   [--outdoor] [--points N] [--seed S] [--map] [--ply FILE]
+  colper train   [--model pointnet|resgcn|randla] [--points N] [--rooms R] [--epochs E] [--out FILE]
+  colper attack  [--model pointnet|resgcn|randla] [--steps S] [--points N] [--seed S]
+                 [--targeted CLASS] [--source CLASS] [--weights FILE] [--map] [--ply FILE]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{arg}'"));
+        };
+        // Boolean flags take no value.
+        if name == "outdoor" || name == "map" {
+            flags.insert(name.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn flag_usize(flags: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+    }
+}
+
+fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+    }
+}
+
+fn indoor_class(name: &str) -> Result<IndoorClass, String> {
+    IndoorClass::ALL
+        .into_iter()
+        .find(|c| c.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = IndoorClass::ALL.iter().map(|c| c.name()).collect();
+            format!("unknown class '{name}'; expected one of {}", names.join(", "))
+        })
+}
+
+fn cmd_scene(flags: &HashMap<String, String>) -> Result<(), String> {
+    let points = flag_usize(flags, "points", 1024)?;
+    let seed = flag_u64(flags, "seed", 0)?;
+    let outdoor = flags.contains_key("outdoor");
+    let cloud = if outdoor {
+        SceneGenerator::outdoor(OutdoorSceneConfig::with_points(points)).generate(seed)
+    } else {
+        SceneGenerator::indoor(IndoorSceneConfig::with_points(points)).generate(seed)
+    };
+    let bounds = cloud.bounds().expect("non-empty");
+    println!(
+        "{} scene: {} points, {} classes, extent {:.1} x {:.1} x {:.1} m",
+        if outdoor { "outdoor" } else { "indoor" },
+        cloud.len(),
+        cloud.num_classes,
+        bounds.size().x,
+        bounds.size().y,
+        bounds.size().z
+    );
+    println!("{:<18} {:>8} {:>8}", "class", "points", "share");
+    for (label, count) in cloud.class_histogram().iter().enumerate() {
+        if *count == 0 {
+            continue;
+        }
+        let name = if outdoor {
+            colper_repro::scene::OutdoorClass::from_label(label).name()
+        } else {
+            IndoorClass::from_label(label).name()
+        };
+        println!("{:<18} {:>8} {:>7.2}%", name, count, *count as f32 / cloud.len() as f32 * 100.0);
+    }
+    if flags.contains_key("map") {
+        println!("\ntop-down class map:");
+        print!("{}", colper_repro::scene::viz::top_down_map(&cloud, &cloud.labels, 60, 22));
+        let names: Vec<&str> = if outdoor {
+            colper_repro::scene::OutdoorClass::ALL.iter().map(|c| c.name()).collect()
+        } else {
+            IndoorClass::ALL.iter().map(|c| c.name()).collect()
+        };
+        println!("{}", colper_repro::scene::viz::legend(&names));
+    }
+    if let Some(path) = flags.get("ply") {
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        colper_repro::scene::io::write_ply(&cloud, std::io::BufWriter::new(file))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("RGB point cloud written to {path}");
+    }
+    Ok(())
+}
+
+enum AnyModel {
+    PointNet(PointNet2),
+    ResGcn(ResGcn),
+    RandLa(RandLaNet),
+}
+
+impl AnyModel {
+    fn build(kind: &str, rng: &mut StdRng) -> Result<Self, String> {
+        Ok(match kind {
+            "pointnet" => AnyModel::PointNet(PointNet2::new(PointNet2Config::small(13), rng)),
+            "resgcn" => AnyModel::ResGcn(ResGcn::new(ResGcnConfig::small(13), rng)),
+            "randla" => AnyModel::RandLa(RandLaNet::new(RandLaNetConfig::small(13), rng)),
+            other => return Err(format!("unknown model '{other}' (pointnet|resgcn|randla)")),
+        })
+    }
+
+    fn as_dyn(&self) -> &dyn SegmentationModel {
+        match self {
+            AnyModel::PointNet(m) => m,
+            AnyModel::ResGcn(m) => m,
+            AnyModel::RandLa(m) => m,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn SegmentationModel {
+        match self {
+            AnyModel::PointNet(m) => m,
+            AnyModel::ResGcn(m) => m,
+            AnyModel::RandLa(m) => m,
+        }
+    }
+
+    fn view(&self, cloud: &colper_repro::scene::PointCloud, rng: &mut StdRng) -> CloudTensors {
+        let normalized = match self {
+            AnyModel::PointNet(_) => normalize::pointnet_view(cloud),
+            AnyModel::ResGcn(_) => normalize::resgcn_view(cloud),
+            AnyModel::RandLa(_) => normalize::randla_view(cloud, cloud.len(), rng),
+        };
+        CloudTensors::from_cloud(&normalized)
+    }
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = flags.get("model").map_or("pointnet", String::as_str);
+    let points = flag_usize(flags, "points", 512)?;
+    let rooms = flag_usize(flags, "rooms", 4)?;
+    let epochs = flag_usize(flags, "epochs", 12)?;
+    let default_out = format!("{kind}.clpr");
+    let out = flags.get("out").map_or(default_out.as_str(), String::as_str);
+
+    let mut rng = StdRng::seed_from_u64(flag_u64(flags, "seed", 11)?);
+    let mut model = AnyModel::build(kind, &mut rng)?;
+    let dataset = S3disLikeDataset::new(IndoorSceneConfig::with_points(points), rooms);
+    let clouds: Vec<CloudTensors> = dataset
+        .train_rooms()
+        .iter()
+        .map(|c| model.view(c, &mut rng))
+        .collect();
+    println!("training {kind} on {} rooms x {points} points...", clouds.len());
+    let report = train_model(
+        model.as_dyn_mut(),
+        &clouds,
+        &TrainConfig { epochs, lr: 0.01, target_accuracy: 0.95 },
+        &mut rng,
+    );
+    println!(
+        "trained to {:.1}% accuracy in {} epochs (final loss {:.4})",
+        report.final_accuracy * 100.0,
+        report.epochs_run,
+        report.final_loss
+    );
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    save_params(model.as_dyn().params(), std::io::BufWriter::new(file))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("weights written to {out}");
+    Ok(())
+}
+
+fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = flags.get("model").map_or("pointnet", String::as_str);
+    let points = flag_usize(flags, "points", 512)?;
+    let steps = flag_usize(flags, "steps", 120)?;
+    let seed = flag_u64(flags, "seed", 5)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = AnyModel::build(kind, &mut rng)?;
+
+    if let Some(path) = flags.get("weights") {
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let params = load_params(std::io::BufReader::new(file))
+            .map_err(|e| format!("cannot load {path}: {e}"))?;
+        if params.param_count() != model.as_dyn().params().param_count() {
+            return Err(format!(
+                "checkpoint {path} has {} parameters, model expects {}",
+                params.param_count(),
+                model.as_dyn().params().param_count()
+            ));
+        }
+        *model.as_dyn_mut().params_mut() = params;
+        println!("loaded weights from {path}");
+    } else {
+        // No checkpoint: train briefly so the attack has a real victim.
+        println!("no --weights given; training a fresh victim...");
+        let dataset = S3disLikeDataset::new(IndoorSceneConfig::with_points(points), 4);
+        let clouds: Vec<CloudTensors> =
+            dataset.train_rooms().iter().map(|c| model.view(c, &mut rng)).collect();
+        let report = train_model(
+            model.as_dyn_mut(),
+            &clouds,
+            &TrainConfig { epochs: 12, lr: 0.01, target_accuracy: 0.95 },
+            &mut rng,
+        );
+        println!("victim accuracy: {:.1}%", report.final_accuracy * 100.0);
+    }
+
+    // Victim cloud: a fresh office.
+    let cfg = IndoorSceneConfig {
+        room_kind: Some(RoomKind::Office),
+        ..IndoorSceneConfig::with_points(points)
+    };
+    let cloud = SceneGenerator::indoor(cfg).generate(seed.wrapping_add(12345));
+    let tensors = model.view(&cloud, &mut rng);
+
+    let (config, mask, goal_desc) = match flags.get("targeted") {
+        Some(target_name) => {
+            let target = indoor_class(target_name)?;
+            let source = indoor_class(flags.get("source").map_or("board", String::as_str))?;
+            let mask: Vec<bool> =
+                tensors.labels.iter().map(|&l| l == source.label()).collect();
+            if !mask.iter().any(|&m| m) {
+                return Err(format!("the generated scene has no '{source}' points; try another --seed"));
+            }
+            (
+                AttackConfig::targeted(steps, target.label()),
+                mask,
+                format!("targeted {source} -> {target}"),
+            )
+        }
+        None => (
+            AttackConfig::non_targeted(steps),
+            vec![true; tensors.len()],
+            "non-targeted (all points)".to_string(),
+        ),
+    };
+
+    let clean_preds = colper_repro::models::predict(model.as_dyn(), &tensors, &mut rng);
+    let mut cm = ConfusionMatrix::new(13);
+    cm.update(&clean_preds, &tensors.labels);
+    println!(
+        "clean: accuracy {:.1}%, aIoU {:.1}%",
+        cm.accuracy() * 100.0,
+        cm.mean_iou() * 100.0
+    );
+
+    println!("running COLPER: {goal_desc}, {steps} steps...");
+    let attack = Colper::new(config);
+    let result = attack.run(model.as_dyn(), &tensors, &mask, &mut rng);
+    let mut cm = ConfusionMatrix::new(13);
+    cm.update(&result.predictions, &tensors.labels);
+    println!(
+        "adversarial: accuracy {:.1}%, aIoU {:.1}%, L2 {:.2}, {} steps, converged: {}",
+        cm.accuracy() * 100.0,
+        cm.mean_iou() * 100.0,
+        result.l2(),
+        result.steps_run,
+        result.converged
+    );
+    println!("attacker metric (acc on attacked pts / SR): {:.1}%", result.success_metric * 100.0);
+
+    let baseline = NoiseBaseline::new(result.l2_sq).run(model.as_dyn(), &tensors, &mask, &mut rng);
+    let mut cm = ConfusionMatrix::new(13);
+    cm.update(&baseline.predictions, &tensors.labels);
+    println!(
+        "matched-L2 noise baseline: accuracy {:.1}% (the drop is the optimization, not the noise)",
+        cm.accuracy() * 100.0
+    );
+
+    if flags.contains_key("map") {
+        let mut map_cloud = cloud.clone();
+        map_cloud.coords = tensors.coords.clone();
+        println!("\nsegmentation before the attack:");
+        print!("{}", colper_repro::scene::viz::top_down_map(&map_cloud, &clean_preds, 60, 20));
+        println!("\nsegmentation after the attack:");
+        print!(
+            "{}",
+            colper_repro::scene::viz::top_down_map(&map_cloud, &result.predictions, 60, 20)
+        );
+        let names: Vec<&str> = IndoorClass::ALL.iter().map(|c| c.name()).collect();
+        println!("{}", colper_repro::scene::viz::legend(&names));
+    }
+
+    if let Some(path) = flags.get("ply") {
+        // Export the adversarial cloud (RGB view) and the prediction view.
+        let mut adv_cloud = cloud.clone();
+        adv_cloud.set_colors_from_matrix(&result.adversarial_colors);
+        let file =
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        colper_repro::scene::io::write_ply(&adv_cloud, std::io::BufWriter::new(file))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let seg_path = format!("{path}.segmentation.ply");
+        let file = std::fs::File::create(&seg_path)
+            .map_err(|e| format!("cannot create {seg_path}: {e}"))?;
+        colper_repro::scene::io::write_label_ply(
+            &adv_cloud,
+            Some(&result.predictions),
+            std::io::BufWriter::new(file),
+        )
+        .map_err(|e| format!("cannot write {seg_path}: {e}"))?;
+        println!("adversarial cloud written to {path} (+ {seg_path})");
+    }
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Integration of the defense crate with the attack pipeline: the full
+//! attack → defend → re-evaluate loop, plus detector behavior on real
+//! COLPER samples.
+
+use colper_repro::attack::{apply_adversarial_colors, AttackConfig, Colper};
+use colper_repro::defense::{
+    adversarial_training, AdvTrainConfig, ColorTransform, SmoothnessDetector,
+};
+use colper_repro::models::{
+    evaluate_on, train_model, CloudTensors, PointNet2, PointNet2Config, TrainConfig,
+};
+use colper_repro::scene::{normalize, IndoorSceneConfig, PointCloud, RoomKind, SceneGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn office_cloud(seed: u64, points: usize) -> PointCloud {
+    let cfg = IndoorSceneConfig {
+        room_kind: Some(RoomKind::Office),
+        ..IndoorSceneConfig::with_points(points)
+    };
+    normalize::pointnet_view(&SceneGenerator::indoor(cfg).generate(seed))
+}
+
+fn trained_victim(rng: &mut StdRng) -> (PointNet2, Vec<PointCloud>) {
+    let clouds: Vec<PointCloud> = (0..5).map(|i| office_cloud(6000 + i, 176)).collect();
+    let tensors: Vec<CloudTensors> = clouds.iter().map(CloudTensors::from_cloud).collect();
+    let mut model = PointNet2::new(PointNet2Config::tiny(13), rng);
+    train_model(
+        &mut model,
+        &tensors,
+        &TrainConfig { epochs: 10, lr: 0.01, target_accuracy: 0.92 },
+        rng,
+    );
+    (model, clouds)
+}
+
+#[test]
+fn transform_defenses_partially_restore_accuracy() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let (model, clouds) = trained_victim(&mut rng);
+    let victim_cloud = &clouds[0];
+    let t = CloudTensors::from_cloud(victim_cloud);
+
+    let attack = Colper::new(AttackConfig::non_targeted(90));
+    let mask = vec![true; t.len()];
+    let result = attack.run(&model, &t, &mask, &mut rng);
+    let adv_cloud = apply_adversarial_colors(victim_cloud, &result.adversarial_colors);
+    let attacked_acc = evaluate_on(&model, &CloudTensors::from_cloud(&adv_cloud), &mut rng);
+
+    // Color smoothing must never make the attacked result worse, and when
+    // the attack truly bit (accuracy below 45%) it should claw back a
+    // meaningful share: the attack's fine-grained color pattern is what
+    // smoothing removes.
+    let defended = ColorTransform::Smooth { k: 8 }.apply(&adv_cloud, &mut rng);
+    let defended_acc = evaluate_on(&model, &CloudTensors::from_cloud(&defended), &mut rng);
+    assert!(
+        defended_acc + 0.03 >= attacked_acc,
+        "smoothing should not hurt: {attacked_acc} -> {defended_acc}"
+    );
+    if attacked_acc < 0.45 {
+        assert!(
+            defended_acc > attacked_acc + 0.05,
+            "smoothing should help a strong attack: {attacked_acc} -> {defended_acc}"
+        );
+    }
+}
+
+#[test]
+fn detector_calibrated_on_clean_rooms_accepts_clean_rooms() {
+    // Small synthetic rooms have wide roughness variance, so calibrate
+    // on more clouds with a generous z (the harness's operating point).
+    let clouds: Vec<PointCloud> = (0..10).map(|i| office_cloud(7000 + i, 192)).collect();
+    let detector = SmoothnessDetector::calibrate(&clouds[..8], 6, 4.0);
+    assert!(!detector.is_adversarial(&clouds[8]));
+    assert!(!detector.is_adversarial(&clouds[9]));
+}
+
+#[test]
+fn smoothness_penalty_reduces_detectability() {
+    // The cross-experiment claim from results/defenses.txt, as a test:
+    // λ2=0 attacks score rougher than λ2=1 attacks.
+    let mut rng = StdRng::seed_from_u64(1);
+    let (model, clouds) = trained_victim(&mut rng);
+    let victim_cloud = &clouds[1];
+    let t = CloudTensors::from_cloud(victim_cloud);
+    let mask = vec![true; t.len()];
+
+    let smooth_cfg = AttackConfig::non_targeted(40);
+    let smooth_result = Colper::new(smooth_cfg.clone()).run(&model, &t, &mask, &mut rng);
+    let mut rough_cfg = smooth_cfg;
+    rough_cfg.lambda2 = 0.0;
+    let rough_result = Colper::new(rough_cfg).run(&model, &t, &mask, &mut rng);
+
+    let calib: Vec<PointCloud> = (0..4).map(|i| office_cloud(8000 + i, 176)).collect();
+    let detector = SmoothnessDetector::calibrate(&calib, 6, 3.0);
+    let smooth_score =
+        detector.score(&apply_adversarial_colors(victim_cloud, &smooth_result.adversarial_colors));
+    let rough_score =
+        detector.score(&apply_adversarial_colors(victim_cloud, &rough_result.adversarial_colors));
+    assert!(
+        rough_score >= smooth_score,
+        "λ2=0 should look rougher: {rough_score} vs {smooth_score}"
+    );
+}
+
+#[test]
+fn adversarial_training_pipeline_runs_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let clouds: Vec<CloudTensors> = (0..3)
+        .map(|i| CloudTensors::from_cloud(&office_cloud(9000 + i, 128)))
+        .collect();
+    let mut model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let cfg = AdvTrainConfig { epochs: 2, attack_steps: 4, ..Default::default() };
+    let report = adversarial_training(&mut model, &clouds, &cfg, &mut rng);
+    assert_eq!(report.adversarial_updates + report.clean_updates, 6);
+    assert!(report.total_seconds > 0.0);
+    assert!((0.0..=1.0).contains(&report.final_clean_accuracy));
+}

@@ -1,0 +1,115 @@
+//! Cross-crate API integration: normalization contracts between `scene`
+//! and `models`, weight serialization round trips through a model, the
+//! L0 attack budget, and the transfer pipeline.
+
+use colper_repro::attack::{
+    apply_adversarial_colors, evaluate_cloud, L0Attack, L0AttackConfig, PerturbTarget,
+};
+use colper_repro::models::{
+    logits_of, predict, CloudTensors, PointNet2, PointNet2Config, SegmentationModel,
+};
+use colper_repro::nn::{load_params, save_params};
+use colper_repro::scene::{
+    normalize, IndoorSceneConfig, S3disLikeDataset, SceneGenerator, Semantic3dLikeDataset,
+};
+use colper_repro::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_normalized_view_feeds_every_model_shapewise() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(128)).generate(4);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    for view in [normalize::pointnet_view(&cloud), normalize::resgcn_view(&cloud)] {
+        let t = CloudTensors::from_cloud(&view);
+        let logits = logits_of(&model, &t, &mut rng);
+        assert_eq!(logits.shape(), (128, 13));
+        assert!(logits.all_finite());
+    }
+    let randla = normalize::randla_view(&cloud, 96, &mut rng);
+    let t = CloudTensors::from_cloud(&randla);
+    assert_eq!(logits_of(&model, &t, &mut rng).rows(), 96);
+}
+
+#[test]
+fn model_weights_round_trip_through_checkpoint_format() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(5);
+    let t = CloudTensors::from_cloud(&normalize::pointnet_view(&cloud));
+
+    let mut model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let preds_before = predict(&model, &t, &mut rng);
+
+    let mut buf = Vec::new();
+    save_params(model.params(), &mut buf).expect("save");
+    // Scramble the weights, then restore from the checkpoint.
+    let scrambled: Vec<_> = model.params().param_ids().collect();
+    for id in scrambled {
+        let m = model.params_mut().param_mut(id);
+        *m = Matrix::zeros(m.rows(), m.cols());
+    }
+    *model.params_mut() = load_params(buf.as_slice()).expect("load");
+    let preds_after = predict(&model, &t, &mut rng);
+    assert_eq!(preds_before, preds_after, "checkpoint must restore behaviour exactly");
+}
+
+#[test]
+fn l0_attack_respects_budget_on_both_targets() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(150)).generate(6);
+    let t = CloudTensors::from_cloud(&normalize::resgcn_view(&cloud));
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    for target in [PerturbTarget::Color, PerturbTarget::Coordinate] {
+        let mut cfg = L0AttackConfig::new(target);
+        cfg.steps_per_round = 4;
+        cfg.restore_per_round = 30;
+        let result = L0Attack::new(cfg).run(&model, &t, &mut rng);
+        assert!(
+            result.perturbed_fraction <= 0.101,
+            "{target:?}: {:.3} perturbed",
+            result.perturbed_fraction
+        );
+    }
+}
+
+#[test]
+fn transfer_pipeline_connects_scene_attack_and_models() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let dataset = S3disLikeDataset::new(IndoorSceneConfig::with_points(96), 2);
+    let room = dataset.room(colper_repro::scene::Area(5), 0);
+    let rg_view = normalize::resgcn_view(&room);
+    // Fake an adversarial color block (gray) and replay via Eq. 10.
+    let colors = Matrix::filled(96, 3, 0.5);
+    let adv = apply_adversarial_colors(&rg_view, &colors);
+    let transferred = normalize::eq10_transform(&adv);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let outcome = evaluate_cloud(&model, &transferred, &mut rng);
+    assert_eq!(outcome.predictions.len(), 96);
+    assert!((0.0..=1.0).contains(&outcome.accuracy));
+}
+
+#[test]
+fn datasets_expose_paper_protocol() {
+    let indoor = S3disLikeDataset::new(IndoorSceneConfig::with_points(64), 2);
+    assert_eq!(indoor.train_rooms().len(), 10);
+    assert_eq!(indoor.eval_rooms().len(), 2);
+    assert_eq!(indoor.office33().num_classes, 13);
+
+    let outdoor = Semantic3dLikeDataset::small();
+    assert_eq!(outdoor.len(), 30, "Semantic3D ships 30 point clouds");
+    assert_eq!(outdoor.scene(0).num_classes, 8);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Touch one item from every re-exported crate through the facade.
+    let _ = colper_repro::tensor::Matrix::identity(2);
+    let mut tape = colper_repro::autodiff::Tape::new();
+    let v = tape.leaf(colper_repro::tensor::Matrix::ones(1, 1));
+    let s = tape.sum(v);
+    tape.backward(s);
+    let _ = colper_repro::geom::Point3::new(0.0, 0.0, 0.0);
+    let _ = colper_repro::metrics::ConfusionMatrix::new(2);
+    let _ = colper_repro::attack::AttackConfig::non_targeted(1);
+}
