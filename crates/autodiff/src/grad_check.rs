@@ -40,10 +40,7 @@ pub fn check_gradient(
     let x = tape.leaf(x0.clone());
     let out = build(&mut tape, x);
     tape.backward(out);
-    let analytic = tape
-        .grad(x)
-        .cloned()
-        .unwrap_or_else(|| Matrix::zeros(x0.rows(), x0.cols()));
+    let analytic = tape.grad(x).cloned().unwrap_or_else(|| Matrix::zeros(x0.rows(), x0.cols()));
 
     // Numeric pass.
     const H: f32 = 5e-3;

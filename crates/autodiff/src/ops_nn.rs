@@ -55,11 +55,7 @@ impl Tape {
             }
         }
         let rg = self.any_requires_grad(&[x, gamma, beta]);
-        let v = self.push(
-            out,
-            Op::BatchNorm { x, gamma, beta, xhat, inv_std },
-            rg,
-        );
+        let v = self.push(out, Op::BatchNorm { x, gamma, beta, xhat, inv_std }, rg);
         (v, mean, var)
     }
 
@@ -140,25 +136,21 @@ impl Tape {
             }
             let y = labels[r];
             let row = z.row(r);
-            let (jmax, zmax) = row
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != y)
-                .fold((usize::MAX, f32::NEG_INFINITY), |(bj, bv), (j, &v)| {
+            let (jmax, zmax) = row.iter().enumerate().filter(|&(j, _)| j != y).fold(
+                (usize::MAX, f32::NEG_INFINITY),
+                |(bj, bv), (j, &v)| {
                     if v > bv {
                         (j, v)
                     } else {
                         (bj, bv)
                     }
-                });
+                },
+            );
             let zy = row[y];
             // targeted: want z_y to win -> penalize (zmax - zy)_+, grads +jmax, -y
             // non-targeted: want z_y to lose -> penalize (zy - zmax)_+, grads +y, -jmax
-            let (v, plus, minus) = if targeted {
-                (zmax - zy, jmax, y)
-            } else {
-                (zy - zmax, y, jmax)
-            };
+            let (v, plus, minus) =
+                if targeted { (zmax - zy, jmax, y) } else { (zy - zmax, y, jmax) };
             if v > 0.0 {
                 loss += v;
                 active.push((r, plus, minus));
@@ -179,7 +171,13 @@ impl Tape {
     ///
     /// Panics when `coords.rows() != colors.rows()` or `neighbors.len() !=
     /// N*k`.
-    pub fn smoothness(&mut self, colors: Var, coords: &Matrix, neighbors: &[usize], k: usize) -> Var {
+    pub fn smoothness(
+        &mut self,
+        colors: Var,
+        coords: &Matrix,
+        neighbors: &[usize],
+        k: usize,
+    ) -> Var {
         assert!(k > 0, "smoothness: k must be positive");
         let cv = self.value(colors);
         let n = cv.rows();
@@ -206,12 +204,7 @@ impl Tape {
         let rg = self.node(colors).requires_grad;
         self.push(
             Matrix::filled(1, 1, total),
-            Op::Smoothness {
-                colors,
-                coords: coords.clone(),
-                neighbors: neighbors.to_vec(),
-                k,
-            },
+            Op::Smoothness { colors, coords: coords.clone(), neighbors: neighbors.to_vec(), k },
             rg,
         )
     }

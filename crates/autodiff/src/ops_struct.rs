@@ -153,11 +153,7 @@ impl Tape {
             }
         }
         let rg = self.node(x).requires_grad;
-        self.push(
-            out,
-            Op::WeightedGather { x, idx: idx.to_vec(), w: w.to_vec(), k },
-            rg,
-        )
+        self.push(out, Op::WeightedGather { x, idx: idx.to_vec(), w: w.to_vec(), k }, rg)
     }
 
     /// Concatenates columns: `[N,C1] ++ [N,C2] -> [N,C1+C2]`.
@@ -192,7 +188,11 @@ impl Tape {
     /// Panics when the bounds are invalid.
     pub fn slice_cols(&mut self, x: Var, c0: usize, c1: usize) -> Var {
         let xv = self.value(x);
-        assert!(c0 <= c1 && c1 <= xv.cols(), "slice_cols: range {c0}..{c1} invalid for {} cols", xv.cols());
+        assert!(
+            c0 <= c1 && c1 <= xv.cols(),
+            "slice_cols: range {c0}..{c1} invalid for {} cols",
+            xv.cols()
+        );
         let v = xv.block(0, xv.rows(), c0, c1);
         let rg = self.node(x).requires_grad;
         self.push(v, Op::SliceCols(x, c0, c1), rg)

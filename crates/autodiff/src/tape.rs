@@ -197,8 +197,10 @@ impl Tape {
     }
 
     pub(crate) fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
-        debug_assert!(value.all_finite() || matches!(op, Op::Leaf | Op::Constant),
-            "non-finite value produced by {op:?}");
+        debug_assert!(
+            value.all_finite() || matches!(op, Op::Leaf | Op::Constant),
+            "non-finite value produced by {op:?}"
+        );
         self.nodes.push(Node { value, op, requires_grad });
         Var(self.nodes.len() - 1)
     }

@@ -1,26 +1,33 @@
-//! Criterion benches for the attack's building blocks: the tanh
-//! reparameterization, the smoothness penalty, the CW hinges, and one
-//! full COLPER iteration.
+//! Benches for the attack's building blocks (tanh reparameterization,
+//! smoothness penalty, CW hinges) plus the headline comparison this
+//! target exists for: one COLPER step with a cached [`AttackPlan`]
+//! versus one step that rebuilds all static geometry from scratch.
+//!
+//! The comparison is emitted machine-readably to
+//! `results/BENCH_attack_step.json`. Pass `--quick` (CI does) to skip
+//! the component benches and run the comparison at smoke-test scale.
 
-use colper_attack::{AttackConfig, Colper, TanhReparam};
+use colper_attack::{AttackConfig, AttackPlan, Colper, TanhReparam};
 use colper_autodiff::Tape;
+use colper_bench::write_json;
 use colper_geom::knn_graph;
 use colper_models::{CloudTensors, PointNet2, PointNet2Config};
 use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
 use colper_tensor::Matrix;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 const POINTS: usize = 512;
 
-fn tensors() -> CloudTensors {
-    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(POINTS)).generate(2);
+fn tensors(points: usize) -> CloudTensors {
+    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(points)).generate(2);
     CloudTensors::from_cloud(&normalize::pointnet_view(&cloud))
 }
 
 fn bench_components(c: &mut Criterion) {
-    let t = tensors();
+    let t = tensors(POINTS);
     let mut group = c.benchmark_group("attack_components");
 
     let reparam = TanhReparam::color();
@@ -53,22 +60,77 @@ fn bench_components(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_full_iteration(c: &mut Criterion) {
-    let t = tensors();
-    let mut rng = StdRng::seed_from_u64(0);
-    let model = PointNet2::new(PointNet2Config::small(13), &mut rng);
-    let mut group = c.benchmark_group("attack_iteration");
-    group.sample_size(10);
-    group.bench_function("colper_one_step_pointnet_512", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(3);
-            let attack = Colper::new(AttackConfig::non_targeted(1));
-            let mask = vec![true; t.len()];
-            attack.run(&model, &t, &mask, &mut rng).l2_sq
-        });
-    });
-    group.finish();
+criterion_group!(component_benches, bench_components);
+
+fn median(samples: &mut [u128]) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
 }
 
-criterion_group!(benches, bench_components, bench_full_iteration);
-criterion_main!(benches);
+/// Times `routine` `samples` times (after one untimed warm-up) and
+/// returns the median nanoseconds per call.
+fn time_median_ns(samples: usize, mut routine: impl FnMut()) -> u128 {
+    routine();
+    let mut ns: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            routine();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    median(&mut ns)
+}
+
+/// One attack step with the plan rebuilt from scratch vs. reused from a
+/// cache — the amortization the GeometryPlan layer buys per iteration.
+fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) {
+    let t = tensors(points);
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = match model_scale {
+        "tiny" => PointNet2::new(PointNet2Config::tiny(13), &mut rng),
+        _ => PointNet2::new(PointNet2Config::small(13), &mut rng),
+    };
+    let config = AttackConfig::non_targeted(1);
+    let mask = vec![true; t.len()];
+
+    let unplanned_ns = time_median_ns(samples, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        // `run` builds a fresh AttackPlan internally every call — this
+        // is what every attack step paid before the cache existed.
+        black_box(Colper::new(config.clone()).run(&model, &t, &mask, &mut rng).l2_sq);
+    });
+
+    let plan = AttackPlan::build(&model, &t, &config);
+    let planned_ns = time_median_ns(samples, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        black_box(
+            Colper::new(config.clone()).run_planned(&model, &t, &mask, &plan, &mut rng).l2_sq,
+        );
+    });
+
+    let speedup = unplanned_ns as f64 / planned_ns.max(1) as f64;
+    println!(
+        "bench attack_step/planned_vs_unplanned: unplanned {unplanned_ns} ns, \
+         planned {planned_ns} ns ({speedup:.2}x), {points} points, {samples} samples"
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"attack_step\",\n  \"model\": \"pointnet2_{model_scale}\",\n  \
+         \"points\": {points},\n  \"samples\": {samples},\n  \
+         \"unplanned_median_ns\": {unplanned_ns},\n  \"planned_median_ns\": {planned_ns},\n  \
+         \"speedup\": {speedup:.4}\n}}\n"
+    );
+    write_json("BENCH_attack_step", &json);
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        bench_planned_vs_unplanned(128, 5, "tiny");
+    } else {
+        component_benches();
+        bench_planned_vs_unplanned(POINTS, 11, "small");
+    }
+}

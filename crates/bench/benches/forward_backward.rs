@@ -2,8 +2,8 @@
 //! backward pass (gradient with respect to the input colors).
 
 use colper_models::{
-    bind_input, CloudTensors, ColorBinding, PointNet2, PointNet2Config, RandLaNet,
-    RandLaNetConfig, ResGcn, ResGcnConfig, SegmentationModel,
+    bind_input, CloudTensors, ColorBinding, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig,
+    ResGcn, ResGcnConfig, SegmentationModel,
 };
 use colper_nn::Forward;
 use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
@@ -51,10 +51,15 @@ fn bench_all(c: &mut Criterion) {
     let rg = ResGcn::new(ResGcnConfig::small(13), &mut rng);
     bench_model(c, "resgcn_512", &rg, &tensors(normalize::resgcn_view));
     let rl = RandLaNet::new(RandLaNetConfig::small(13), &mut rng);
-    bench_model(c, "randla_512", &rl, &tensors(|cl| {
-        let mut rng = StdRng::seed_from_u64(9);
-        normalize::randla_view(cl, cl.len(), &mut rng)
-    }));
+    bench_model(
+        c,
+        "randla_512",
+        &rl,
+        &tensors(|cl| {
+            let mut rng = StdRng::seed_from_u64(9);
+            normalize::randla_view(cl, cl.len(), &mut rng)
+        }),
+    );
 }
 
 criterion_group!(benches, bench_all);

@@ -45,16 +45,12 @@ fn bench_table_pipelines(c: &mut Criterion) {
     group.bench_function("table2_cell_targeted_board_to_wall", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            let mask: Vec<bool> = pn_t
-                .labels
-                .iter()
-                .map(|&l| l == IndoorClass::Board.label())
-                .collect();
+            let mask: Vec<bool> =
+                pn_t.labels.iter().map(|&l| l == IndoorClass::Board.label()).collect();
             if !mask.iter().any(|&m| m) {
                 return 0.0;
             }
-            let attack =
-                Colper::new(AttackConfig::targeted(STEPS, IndoorClass::Wall.label()));
+            let attack = Colper::new(AttackConfig::targeted(STEPS, IndoorClass::Wall.label()));
             attack.run(&pointnet, &pn_t, &mask, &mut rng).success_metric
         });
     });

@@ -64,16 +64,13 @@ fn run_variant(
 /// A projected-gradient variant without the tanh change of variables:
 /// optimizes colors directly with Adam and clamps to `[0, 1]` after
 /// every step. Used to quantify what Eq. 5 buys.
-fn clamped_gradient_attack(
-    zoo: &ModelZoo,
-    samples: &[CloudTensors],
-    steps: usize,
-) -> AblationRow {
+fn clamped_gradient_attack(zoo: &ModelZoo, samples: &[CloudTensors], steps: usize) -> AblationRow {
     let model = &zoo.pointnet;
     let classes = model.num_classes();
     let outcomes = parallel_map(samples, |i, t| {
         let mut rng = StdRng::seed_from_u64(72_000 + i as u64);
         let n = t.len();
+        let plan = model.plan(&t.coords);
         let orig = t.colors.clone();
         let mut colors = orig.clone();
         let mut adam = AdamState::new(n, 3);
@@ -86,7 +83,8 @@ fn clamped_gradient_attack(
             let color_var = session.tape.leaf(colors.clone());
             let xyz = session.tape.constant(t.xyz.clone());
             let loc = session.tape.constant(t.loc01.clone());
-            let input = ModelInput { coords: &t.coords, xyz, color: color_var, loc };
+            let input =
+                ModelInput { coords: &t.coords, xyz, color: color_var, loc, plan: Some(&plan) };
             let logits = model.forward(&mut session, &input, &mut rng);
             let orig_var = session.tape.constant(orig.clone());
             let diff = session.tape.sub(color_var, orig_var);
@@ -124,7 +122,7 @@ fn clamped_gradient_attack(
 /// Runs the ablation study on PointNet++.
 pub fn run(zoo: &ModelZoo) -> AblationsReport {
     let steps = zoo.config.attack_steps;
-    let n = zoo.config.eval_samples.min(4).max(2);
+    let n = zoo.config.eval_samples.clamp(2, 4);
     let pn = zoo.prepared_indoor(normalize::pointnet_view);
     let samples = &pn.eval[..n.min(pn.eval.len())];
 
@@ -139,14 +137,40 @@ pub fn run(zoo: &ModelZoo) -> AblationsReport {
         / samples.len() as f32;
 
     let base = AttackConfig::non_targeted(steps);
-    let mut rows = Vec::new();
-    rows.push(run_variant(zoo, samples, "full COLPER (λ2=1, α=10, restarts)", base.clone()));
-    rows.push(run_variant(zoo, samples, "no smoothness (λ2=0)", AttackConfig { lambda2: 0.0, ..base.clone() }));
-    rows.push(run_variant(zoo, samples, "no plateau restarts (noise=0)", AttackConfig { noise_scale: 0.0, ..base.clone() }));
-    rows.push(run_variant(zoo, samples, "small neighborhood (α=5)", AttackConfig { alpha: 5, ..base.clone() }));
-    rows.push(run_variant(zoo, samples, "large neighborhood (α=20)", AttackConfig { alpha: 20, ..base.clone() }));
-    rows.push(run_variant(zoo, samples, "stronger distance weight (λ1=0.5)", AttackConfig { lambda1: 0.5, ..base }));
-    rows.push(clamped_gradient_attack(zoo, samples, steps));
+    let rows = vec![
+        run_variant(zoo, samples, "full COLPER (λ2=1, α=10, restarts)", base.clone()),
+        run_variant(
+            zoo,
+            samples,
+            "no smoothness (λ2=0)",
+            AttackConfig { lambda2: 0.0, ..base.clone() },
+        ),
+        run_variant(
+            zoo,
+            samples,
+            "no plateau restarts (noise=0)",
+            AttackConfig { noise_scale: 0.0, ..base.clone() },
+        ),
+        run_variant(
+            zoo,
+            samples,
+            "small neighborhood (α=5)",
+            AttackConfig { alpha: 5, ..base.clone() },
+        ),
+        run_variant(
+            zoo,
+            samples,
+            "large neighborhood (α=20)",
+            AttackConfig { alpha: 20, ..base.clone() },
+        ),
+        run_variant(
+            zoo,
+            samples,
+            "stronger distance weight (λ1=0.5)",
+            AttackConfig { lambda1: 0.5, ..base },
+        ),
+        clamped_gradient_attack(zoo, samples, steps),
+    ];
 
     AblationsReport { clean_acc, rows }
 }

@@ -47,7 +47,7 @@ fn linf(a: &Matrix, b: &Matrix) -> f32 {
 pub fn run(zoo: &ModelZoo) -> ComparisonReport {
     let model = &zoo.pointnet;
     let steps = zoo.config.attack_steps;
-    let n = zoo.config.eval_samples.min(5).max(3);
+    let n = zoo.config.eval_samples.clamp(3, 5);
     let pn = zoo.prepared_indoor(normalize::pointnet_view);
     let samples: Vec<CloudTensors> = pn.eval[..n.min(pn.eval.len())].to_vec();
 

@@ -15,5 +15,8 @@ fn main() {
     colper_bench::write_report("multiclass", &colper_bench::multiclass::run(&zoo).to_string());
     colper_bench::write_report("defenses", &colper_bench::defenses::run(&zoo).to_string());
     colper_bench::write_report("physical", &colper_bench::physical::run(&zoo).to_string());
-    colper_bench::write_report("attack_comparison", &colper_bench::attack_comparison::run(&zoo).to_string());
+    colper_bench::write_report(
+        "attack_comparison",
+        &colper_bench::attack_comparison::run(&zoo).to_string(),
+    );
 }

@@ -52,14 +52,9 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
     let model = &zoo.pointnet;
     let classes = 13;
     let steps = zoo.config.attack_steps;
-    let n = zoo.config.eval_samples.min(6).max(3);
-    let rooms: Vec<PointCloud> = zoo
-        .indoor
-        .eval_rooms()
-        .into_iter()
-        .take(n)
-        .map(|c| normalize::pointnet_view(&c))
-        .collect();
+    let n = zoo.config.eval_samples.clamp(3, 6);
+    let rooms: Vec<PointCloud> =
+        zoo.indoor.eval_rooms().into_iter().take(n).map(|c| normalize::pointnet_view(&c)).collect();
 
     // Reference: attack the undefended model once per room; reuse the
     // adversarial clouds for the static rows and the detector.
@@ -74,8 +69,7 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
         let (adv_acc, _) = acc_miou(&result.predictions, &t.labels, classes);
         (apply_adversarial_colors(room, &result.adversarial_colors), clean_acc, adv_acc)
     });
-    let undefended_clean =
-        attacked.iter().map(|a| a.1).sum::<f32>() / attacked.len() as f32;
+    let undefended_clean = attacked.iter().map(|a| a.1).sum::<f32>() / attacked.len() as f32;
     let undefended_adv = attacked.iter().map(|a| a.2).sum::<f32>() / attacked.len() as f32;
 
     let transforms = [
@@ -108,8 +102,7 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
             let mask = vec![true; tb.len()];
             let result = attack.run(model, &tb, &mask, &mut rng);
             // The defense re-applies its transform to whatever arrives.
-            let adv_cloud =
-                apply_adversarial_colors(&adaptive_base, &result.adversarial_colors);
+            let adv_cloud = apply_adversarial_colors(&adaptive_base, &result.adversarial_colors);
             let redefended = transform.apply(&adv_cloud, &mut rng);
             let tr = CloudTensors::from_cloud(&redefended);
             let preds = colper_models::predict(model, &tr, &mut rng);

@@ -53,9 +53,8 @@ pub fn run(zoo: &ModelZoo) -> FiguresReport {
     let rg_samples = attack_samples(&zoo.resgcn, &rg.eval[..n.min(rg.eval.len())], steps);
 
     // Office 33 scene dump.
-    let office = colper_models::CloudTensors::from_cloud(&normalize::pointnet_view(
-        &zoo.indoor.office33(),
-    ));
+    let office =
+        colper_models::CloudTensors::from_cloud(&normalize::pointnet_view(&zoo.indoor.office33()));
     let mut rng = StdRng::seed_from_u64(777);
     let clean_preds = colper_models::predict(&zoo.pointnet, &office, &mut rng);
     let mut attack_cfg = AttackConfig::non_targeted(steps);
@@ -123,18 +122,18 @@ impl fmt::Display for FiguresReport {
         let _ = writeln!(out, "== Figures 3-5: per-sample distributions ==\n");
         render_distributions(&mut out, &self.pointnet);
         render_distributions(&mut out, &self.resgcn);
-        let _ = writeln!(
-            out,
-            "== Figures 1/2/9 (textual): Office 33 per-class prediction counts =="
-        );
-        let _ = writeln!(out, "{:<12} {:>8} {:>12} {:>12}", "class", "truth", "clean pred", "adv pred");
+        let _ =
+            writeln!(out, "== Figures 1/2/9 (textual): Office 33 per-class prediction counts ==");
+        let _ =
+            writeln!(out, "{:<12} {:>8} {:>12} {:>12}", "class", "truth", "clean pred", "adv pred");
         for (class, truth, clean, adv) in &self.office33_class_counts {
             let _ = writeln!(out, "{:<12} {:>8} {:>12} {:>12}", class.name(), truth, clean, adv);
         }
-        let _ = writeln!(out, "\n== Convergence: attacked-point accuracy per iteration (Office 33) ==");
+        let _ =
+            writeln!(out, "\n== Convergence: attacked-point accuracy per iteration (Office 33) ==");
         let stride = (self.convergence.len() / 20).max(1);
         for (i, acc) in self.convergence.iter().enumerate().step_by(stride) {
-            let bar: String = std::iter::repeat('#').take((acc * 50.0) as usize).collect();
+            let bar = "#".repeat((acc * 50.0) as usize);
             let _ = writeln!(out, "iter {i:>4} | {bar:<50} | {:.1}%", acc * 100.0);
         }
         let _ = writeln!(out, "\n== Per-class report, clean (Office 33) ==");

@@ -1,11 +1,11 @@
 //! Shared harness: scaling knobs, the trained-model zoo with on-disk
 //! caching, prepared dataset views, and a small parallel map.
 
+use colper_models::ResGcnConfig;
 use colper_models::{
     train_model, CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn,
     SegmentationModel, TrainConfig,
 };
-use colper_models::ResGcnConfig;
 use colper_nn::{load_params, save_params};
 use colper_scene::{
     normalize, IndoorSceneConfig, OutdoorSceneConfig, S3disLikeDataset, Semantic3dLikeDataset,
@@ -142,16 +142,11 @@ impl ModelZoo {
             IndoorSceneConfig::with_points(config.points),
             config.train_rooms_per_area,
         );
-        let outdoor = Semantic3dLikeDataset::new(
-            OutdoorSceneConfig::with_points(config.points),
-            18,
-        );
+        let outdoor =
+            Semantic3dLikeDataset::new(OutdoorSceneConfig::with_points(config.points), 18);
 
-        let train_cfg = TrainConfig {
-            epochs: config.train_epochs,
-            lr: 0.01,
-            target_accuracy: 0.95,
-        };
+        let train_cfg =
+            TrainConfig { epochs: config.train_epochs, lr: 0.01, target_accuracy: 0.95 };
 
         let indoor_train = |view: fn(&colper_scene::PointCloud) -> colper_scene::PointCloud| {
             indoor
@@ -169,7 +164,10 @@ impl ModelZoo {
                 let mut rng = StdRng::seed_from_u64(11);
                 let clouds = indoor_train(normalize::pointnet_view);
                 let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!("  pointnet: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                eprintln!(
+                    "  pointnet: acc {:.3} after {} epochs",
+                    report.final_accuracy, report.epochs_run
+                );
                 m
             },
         );
@@ -181,7 +179,10 @@ impl ModelZoo {
                 let mut rng = StdRng::seed_from_u64(77);
                 let clouds = indoor_train(normalize::pointnet_view);
                 let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!("  pointnet_alt: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                eprintln!(
+                    "  pointnet_alt: acc {:.3} after {} epochs",
+                    report.final_accuracy, report.epochs_run
+                );
                 m
             },
         );
@@ -193,7 +194,10 @@ impl ModelZoo {
                 let mut rng = StdRng::seed_from_u64(22);
                 let clouds = indoor_train(normalize::resgcn_view);
                 let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!("  resgcn: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                eprintln!(
+                    "  resgcn: acc {:.3} after {} epochs",
+                    report.final_accuracy, report.epochs_run
+                );
                 m
             },
         );
@@ -206,10 +210,15 @@ impl ModelZoo {
                 let clouds: Vec<CloudTensors> = indoor
                     .train_rooms()
                     .iter()
-                    .map(|c| CloudTensors::from_cloud(&normalize::randla_view(c, c.len(), &mut rng)))
+                    .map(|c| {
+                        CloudTensors::from_cloud(&normalize::randla_view(c, c.len(), &mut rng))
+                    })
                     .collect();
                 let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!("  randla_indoor: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                eprintln!(
+                    "  randla_indoor: acc {:.3} after {} epochs",
+                    report.final_accuracy, report.epochs_run
+                );
                 m
             },
         );
@@ -222,10 +231,15 @@ impl ModelZoo {
                 let clouds: Vec<CloudTensors> = outdoor
                     .train_scenes()
                     .iter()
-                    .map(|c| CloudTensors::from_cloud(&normalize::randla_view(c, c.len(), &mut rng)))
+                    .map(|c| {
+                        CloudTensors::from_cloud(&normalize::randla_view(c, c.len(), &mut rng))
+                    })
                     .collect();
                 let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!("  randla_outdoor: acc {:.3} after {} epochs", report.final_accuracy, report.epochs_run);
+                eprintln!(
+                    "  randla_outdoor: acc {:.3} after {} epochs",
+                    report.final_accuracy, report.epochs_run
+                );
                 m
             },
         );
@@ -247,12 +261,8 @@ impl ModelZoo {
         &self,
         view: fn(&colper_scene::PointCloud) -> colper_scene::PointCloud,
     ) -> PreparedIndoor {
-        let eval = self
-            .indoor
-            .eval_rooms()
-            .iter()
-            .map(|c| CloudTensors::from_cloud(&view(c)))
-            .collect();
+        let eval =
+            self.indoor.eval_rooms().iter().map(|c| CloudTensors::from_cloud(&view(c))).collect();
         let office33 = self
             .indoor
             .office33_blocks(self.config.targeted_samples.max(2))
@@ -317,12 +327,9 @@ fn train_cached<M: SegmentationModel>(
     model
 }
 
-/// Maps `f` over `items` with one thread per chunk (crossbeam scoped
+/// Maps `f` over `items` with one thread per chunk (std scoped
 /// threads), preserving order.
-pub fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(usize, &T) -> R + Sync,
-) -> Vec<R> {
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
@@ -333,21 +340,18 @@ pub fn parallel_map<T: Sync, R: Send>(
     let chunk = items.len().div_ceil(workers);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
-    crossbeam::thread::scope(|s| {
-        for (ci, (items_chunk, results_chunk)) in items
-            .chunks(chunk)
-            .zip(results.chunks_mut(chunk))
-            .enumerate()
+    std::thread::scope(|s| {
+        for (ci, (items_chunk, results_chunk)) in
+            items.chunks(chunk).zip(results.chunks_mut(chunk)).enumerate()
         {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (j, (item, slot)) in items_chunk.iter().zip(results_chunk).enumerate() {
                     *slot = Some(f(ci * chunk + j, item));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
@@ -370,6 +374,29 @@ pub fn write_report(name: &str, content: &str) {
             eprintln!("(report written to {})", path.display());
         }
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Writes machine-readable benchmark output to `results/<name>.json`
+/// and returns the path written (None when the write failed).
+pub fn write_json(name: &str, content: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match File::create(&path) {
+        Ok(mut file) => {
+            if file.write_all(content.as_bytes()).is_err() {
+                return None;
+            }
+            eprintln!("(json written to {})", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            None
+        }
     }
 }
 

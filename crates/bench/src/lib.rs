@@ -30,16 +30,17 @@ pub mod attack_comparison;
 pub mod defenses;
 pub mod figures;
 mod harness;
-pub mod physical;
 pub mod multiclass;
+pub mod physical;
 pub mod table1;
-pub mod zoo_report;
 pub mod table2_6;
 pub mod table3;
 pub mod table4;
 pub mod table7;
 pub mod table8;
+pub mod zoo_report;
 
 pub use harness::{
-    acc_miou, parallel_map, write_report, BenchConfig, ModelZoo, PreparedIndoor, PreparedOutdoor,
+    acc_miou, parallel_map, write_json, write_report, BenchConfig, ModelZoo, PreparedIndoor,
+    PreparedOutdoor,
 };

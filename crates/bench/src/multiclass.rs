@@ -42,20 +42,15 @@ pub fn run(zoo: &ModelZoo) -> MulticlassReport {
         .office33
         .iter()
         .filter(|t| {
-            sources
-                .iter()
-                .all(|s| t.labels.iter().filter(|&&l| l == s.label()).count() >= 5)
+            sources.iter().all(|s| t.labels.iter().filter(|&&l| l == s.label()).count() >= 5)
         })
         .collect();
     let model = &zoo.pointnet;
 
     let outcomes = parallel_map(&usable, |i, t| {
         let mut rng = StdRng::seed_from_u64(91_000 + i as u64);
-        let mask: Vec<bool> = t
-            .labels
-            .iter()
-            .map(|&l| sources.iter().any(|s| s.label() == l))
-            .collect();
+        let mask: Vec<bool> =
+            t.labels.iter().map(|&l| sources.iter().any(|s| s.label() == l)).collect();
         let mut attack_cfg = AttackConfig::targeted(zoo.config.attack_steps, target.label());
         if attack_cfg.steps < 1000 {
             // Compensate reduced step budgets, as in the Table 2/6 cells.
@@ -68,8 +63,7 @@ pub fn run(zoo: &ModelZoo) -> MulticlassReport {
         let per_class: Vec<(IndoorClass, f32, usize)> = sources
             .iter()
             .map(|&s| {
-                let class_mask: Vec<bool> =
-                    t.labels.iter().map(|&l| l == s.label()).collect();
+                let class_mask: Vec<bool> = t.labels.iter().map(|&l| l == s.label()).collect();
                 let count = class_mask.iter().filter(|&&m| m).count();
                 (s, success_rate(&result.predictions, &targets, &class_mask), count)
             })
@@ -81,8 +75,7 @@ pub fn run(zoo: &ModelZoo) -> MulticlassReport {
 
     let samples = outcomes.len();
     let total_points: usize = outcomes.iter().map(|o| o.2).sum();
-    let sr = outcomes.iter().map(|o| o.1 * o.2 as f32).sum::<f32>()
-        / total_points.max(1) as f32;
+    let sr = outcomes.iter().map(|o| o.1 * o.2 as f32).sum::<f32>() / total_points.max(1) as f32;
     let per_class_sr = sources
         .iter()
         .map(|&s| {

@@ -45,15 +45,21 @@ pub struct PhysicalReport {
 pub fn run(zoo: &ModelZoo) -> PhysicalReport {
     let model = &zoo.pointnet;
     let steps = zoo.config.attack_steps;
-    let n = zoo.config.eval_samples.min(4).max(2);
+    let n = zoo.config.eval_samples.clamp(2, 4);
     let pn = zoo.prepared_indoor(normalize::pointnet_view);
     let samples: Vec<CloudTensors> = pn.eval[..n.min(pn.eval.len())].to_vec();
 
     let severities = [
         ("ideal (8-bit, no jitter)", PhysicalModel::ideal()),
-        ("mild (6-bit, ±10%, σ=0.01)", PhysicalModel { print_bits: 6, lighting_jitter: 0.10, sensor_noise: 0.01 }),
+        (
+            "mild (6-bit, ±10%, σ=0.01)",
+            PhysicalModel { print_bits: 6, lighting_jitter: 0.10, sensor_noise: 0.01 },
+        ),
         ("default (5-bit, ±15%, σ=0.02)", PhysicalModel::default()),
-        ("harsh (4-bit, ±25%, σ=0.05)", PhysicalModel { print_bits: 4, lighting_jitter: 0.25, sensor_noise: 0.05 }),
+        (
+            "harsh (4-bit, ±25%, σ=0.05)",
+            PhysicalModel { print_bits: 4, lighting_jitter: 0.25, sensor_noise: 0.05 },
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -70,9 +76,9 @@ pub fn run(zoo: &ModelZoo) -> PhysicalReport {
             let (clean_acc, _) = acc_miou(&preds, &t.labels, 13);
 
             // Plain attack, then physical replay.
-            let plain = Colper::new(AttackConfig::non_targeted(steps)).run(model, t, &mask, &mut rng);
-            let plain_report =
-                survival(model, t, &plain.adversarial_colors, &pm, 4, &mut rng);
+            let plain =
+                Colper::new(AttackConfig::non_targeted(steps)).run(model, t, &mask, &mut rng);
+            let plain_report = survival(model, t, &plain.adversarial_colors, &pm, 4, &mut rng);
 
             // EoT-hardened attack, then physical replay.
             let robust = robust_colper(
@@ -84,8 +90,7 @@ pub fn run(zoo: &ModelZoo) -> PhysicalReport {
                 3,
                 &mut rng,
             );
-            let robust_report =
-                survival(model, t, &robust.adversarial_colors, &pm, 4, &mut rng);
+            let robust_report = survival(model, t, &robust.adversarial_colors, &pm, 4, &mut rng);
 
             (clean_acc, plain_report, robust_report)
         });

@@ -148,14 +148,23 @@ impl fmt::Display for Table1Report {
             writeln!(
                 f,
                 "{:<12} clean    | {:>7} {:>7.2}% {:>7.2}% | {:>8} {:>8}",
-                row.model, "-", row.clean_acc * 100.0, row.clean_miou * 100.0, "-", "-"
+                row.model,
+                "-",
+                row.clean_acc * 100.0,
+                row.clean_miou * 100.0,
+                "-",
+                "-"
             )?;
             if let Some(b) = best {
                 writeln!(
                     f,
                     "{:<12} best     | {:>7.2} {:>7.2}% {:>7.2}% | {:>7.2}% {:>7.2}%",
-                    row.model, b.l2, b.adv_acc * 100.0, b.adv_miou * 100.0,
-                    b.base_acc * 100.0, b.base_miou * 100.0
+                    row.model,
+                    b.l2,
+                    b.adv_acc * 100.0,
+                    b.adv_miou * 100.0,
+                    b.base_acc * 100.0,
+                    b.base_miou * 100.0
                 )?;
             }
             writeln!(
@@ -172,8 +181,12 @@ impl fmt::Display for Table1Report {
                 writeln!(
                     f,
                     "{:<12} worst    | {:>7.2} {:>7.2}% {:>7.2}% | {:>7.2}% {:>7.2}%",
-                    row.model, w.l2, w.adv_acc * 100.0, w.adv_miou * 100.0,
-                    w.base_acc * 100.0, w.base_miou * 100.0
+                    row.model,
+                    w.l2,
+                    w.adv_acc * 100.0,
+                    w.adv_miou * 100.0,
+                    w.base_acc * 100.0,
+                    w.base_miou * 100.0
                 )?;
             }
             writeln!(f)?;

@@ -85,14 +85,11 @@ pub fn targeted_cell<M: SegmentationModel + Sync>(
     });
     let samples_used = outcomes.len();
     let total_points: usize = outcomes.iter().map(|(_, (_, p), _)| *p).sum();
-    let sr = outcomes
-        .iter()
-        .map(|(_, (sr, p), _)| sr * *p as f32)
-        .sum::<f32>()
+    let sr = outcomes.iter().map(|(_, (sr, p), _)| sr * *p as f32).sum::<f32>()
         / total_points.max(1) as f32;
-    let mean = |get: &dyn Fn(&(f32, (f32, usize), colper_metrics::AttackPointStats)) -> f32| {
-        outcomes.iter().map(get).sum::<f32>() / samples_used as f32
-    };
+    type Outcome = (f32, (f32, usize), colper_metrics::AttackPointStats);
+    let mean =
+        |get: &dyn Fn(&Outcome) -> f32| outcomes.iter().map(get).sum::<f32>() / samples_used as f32;
     Some(TargetedCell {
         model: model.name().to_string(),
         source,

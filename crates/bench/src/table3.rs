@@ -37,7 +37,12 @@ impl fmt::Display for Table3Report {
         writeln!(
             f,
             "{:<8} | {:>7} {:>7.2}% {:>7.2}% | {:>8} {:>8}",
-            "clean", "-", self.clean_acc * 100.0, self.clean_miou * 100.0, "-", "-"
+            "clean",
+            "-",
+            self.clean_acc * 100.0,
+            self.clean_miou * 100.0,
+            "-",
+            "-"
         )?;
         let mut by_acc = self.samples.clone();
         by_acc.sort_by(|a, b| a.adv_acc.partial_cmp(&b.adv_acc).unwrap());
@@ -49,8 +54,12 @@ impl fmt::Display for Table3Report {
             writeln!(
                 f,
                 "{:<8} | {:>7.2} {:>7.2}% {:>7.2}% | {:>7.2}% {:>7.2}%",
-                "best", b.l2, b.adv_acc * 100.0, b.adv_miou * 100.0,
-                b.base_acc * 100.0, b.base_miou * 100.0
+                "best",
+                b.l2,
+                b.adv_acc * 100.0,
+                b.adv_miou * 100.0,
+                b.base_acc * 100.0,
+                b.base_miou * 100.0
             )?;
         }
         writeln!(
@@ -67,8 +76,12 @@ impl fmt::Display for Table3Report {
             writeln!(
                 f,
                 "{:<8} | {:>7.2} {:>7.2}% {:>7.2}% | {:>7.2}% {:>7.2}%",
-                "worst", w.l2, w.adv_acc * 100.0, w.adv_miou * 100.0,
-                w.base_acc * 100.0, w.base_miou * 100.0
+                "worst",
+                w.l2,
+                w.adv_acc * 100.0,
+                w.adv_miou * 100.0,
+                w.base_acc * 100.0,
+                w.base_miou * 100.0
             )?;
         }
         Ok(())

@@ -80,8 +80,8 @@ pub fn run(zoo: &ModelZoo) -> Table4Report {
             continue;
         }
         let total_points: usize = outcomes.iter().map(|o| o.2).sum();
-        let sr = outcomes.iter().map(|o| o.1 * o.2 as f32).sum::<f32>()
-            / total_points.max(1) as f32;
+        let sr =
+            outcomes.iter().map(|o| o.1 * o.2 as f32).sum::<f32>() / total_points.max(1) as f32;
         let n = outcomes.len() as f32;
         rows.push(Table4Row {
             target,

@@ -75,20 +75,19 @@ pub fn run(zoo: &ModelZoo) -> Table7Report {
 
     // The paper selects samples whose clean segmentation accuracy is
     // above 50%.
-    let select = |model: &(dyn SegmentationModel + Sync),
-                  clouds: Vec<CloudTensors>|
-     -> Vec<CloudTensors> {
-        let mut rng = StdRng::seed_from_u64(0);
-        clouds
-            .into_iter()
-            .filter(|t| {
-                let preds = colper_models::predict(model, t, &mut rng);
-                let correct = preds.iter().zip(&t.labels).filter(|(p, l)| p == l).count();
-                correct as f32 / t.len() as f32 > 0.5
-            })
-            .take(n)
-            .collect()
-    };
+    let select =
+        |model: &(dyn SegmentationModel + Sync), clouds: Vec<CloudTensors>| -> Vec<CloudTensors> {
+            let mut rng = StdRng::seed_from_u64(0);
+            clouds
+                .into_iter()
+                .filter(|t| {
+                    let preds = colper_models::predict(model, t, &mut rng);
+                    let correct = preds.iter().zip(&t.labels).filter(|(p, l)| p == l).count();
+                    correct as f32 / t.len() as f32 > 0.5
+                })
+                .take(n)
+                .collect()
+        };
 
     let rg = zoo.prepared_indoor(normalize::resgcn_view);
     let rg_samples = select(&zoo.resgcn, rg.eval);

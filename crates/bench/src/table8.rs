@@ -69,14 +69,10 @@ pub fn run(zoo: &ModelZoo) -> Table8Report {
         (on_source, on_pn_eq10, on_pn_exact)
     });
 
-    let mean =
-        |vals: Vec<(f32, f32)>| -> (f32, f32) {
-            let n = vals.len().max(1) as f32;
-            (
-                vals.iter().map(|v| v.0).sum::<f32>() / n,
-                vals.iter().map(|v| v.1).sum::<f32>() / n,
-            )
-        };
+    let mean = |vals: Vec<(f32, f32)>| -> (f32, f32) {
+        let n = vals.len().max(1) as f32;
+        (vals.iter().map(|v| v.0).sum::<f32>() / n, vals.iter().map(|v| v.1).sum::<f32>() / n)
+    };
 
     let (src_acc, src_miou) = mean(pn_part.iter().map(|(s, _)| (s.accuracy, s.miou)).collect());
     let (alt_acc, alt_miou) = mean(pn_part.iter().map(|(_, a)| (a.accuracy, a.miou)).collect());
@@ -114,16 +110,14 @@ pub fn run(zoo: &ModelZoo) -> Table8Report {
 
 impl fmt::Display for Table8Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Table 8: attack transferability ({} samples per setting) ==", self.samples)?;
+        writeln!(
+            f,
+            "== Table 8: attack transferability ({} samples per setting) ==",
+            self.samples
+        )?;
         writeln!(f, "{:<38} {:>9} {:>9}", "setting", "acc", "aIoU")?;
         for r in &self.rows {
-            writeln!(
-                f,
-                "{:<38} {:>8.2}% {:>8.2}%",
-                r.setting,
-                r.accuracy * 100.0,
-                r.miou * 100.0
-            )?;
+            writeln!(f, "{:<38} {:>8.2}% {:>8.2}%", r.setting, r.accuracy * 100.0, r.miou * 100.0)?;
         }
         Ok(())
     }

@@ -35,7 +35,10 @@ pub struct ZooReport {
     pub entries: Vec<ZooEntry>,
 }
 
-fn evaluate_indoor<M: SegmentationModel>(model: &M, prepared: &PreparedIndoor) -> (f32, f32, ClassReport) {
+fn evaluate_indoor<M: SegmentationModel>(
+    model: &M,
+    prepared: &PreparedIndoor,
+) -> (f32, f32, ClassReport) {
     let mut rng = StdRng::seed_from_u64(0);
     let mut cm = ConfusionMatrix::new(13);
     for t in &prepared.eval {
@@ -121,7 +124,11 @@ pub fn clean_accuracy<M: SegmentationModel>(model: &M, clouds: &[CloudTensors]) 
 impl fmt::Display for ZooReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== Target models: clean evaluation (paper's Experiment Settings) ==")?;
-        writeln!(f, "{:<24} {:<22} {:>9} {:>9} {:>10}", "model", "dataset", "acc", "aIoU", "params")?;
+        writeln!(
+            f,
+            "{:<24} {:<22} {:>9} {:>9} {:>10}",
+            "model", "dataset", "acc", "aIoU", "params"
+        )?;
         for e in &self.entries {
             writeln!(
                 f,

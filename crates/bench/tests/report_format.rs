@@ -114,8 +114,16 @@ fn table7_renders_na_for_failed_settings() {
 fn table8_renders_all_settings() {
     let report = Table8Report {
         rows: vec![
-            TransferRow { setting: "pointnet++ (self-trained)".into(), accuracy: 0.3435, miou: 0.3139 },
-            TransferRow { setting: "resgcn -> pointnet++ (eq. 10)".into(), accuracy: 0.3901, miou: 0.2530 },
+            TransferRow {
+                setting: "pointnet++ (self-trained)".into(),
+                accuracy: 0.3435,
+                miou: 0.3139,
+            },
+            TransferRow {
+                setting: "resgcn -> pointnet++ (eq. 10)".into(),
+                accuracy: 0.3901,
+                miou: 0.2530,
+            },
         ],
         samples: 6,
     };

@@ -3,11 +3,80 @@
 use crate::{AttackConfig, AttackGoal, AttackResult, TanhReparam};
 use colper_geom::knn_graph;
 use colper_metrics::success_rate;
-use colper_models::{ModelInput, SegmentationModel};
+use colper_models::{CloudTensors, GeometryPlan, ModelInput, SegmentationModel};
 use colper_nn::{AdamState, Forward};
 use colper_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// Pre-computed per-(model, cloud) geometry shared by every iteration of
+/// an attack — and by repeated attacks on the same cloud.
+///
+/// Holds the victim's [`GeometryPlan`] plus the fixed alpha-NN graph of
+/// the smoothness penalty (Eq. 6). Caching is sound because COLPER
+/// perturbs only *colors*: coordinates never change during the
+/// optimization, so every coordinate-derived structure is a constant of
+/// the run.
+#[derive(Debug)]
+pub struct AttackPlan {
+    geometry: GeometryPlan,
+    smooth_nbrs: Vec<usize>,
+    alpha: usize,
+}
+
+impl AttackPlan {
+    /// Builds the plan for attacking `tensors` on `model` under `config`.
+    pub fn build<M: SegmentationModel + ?Sized>(
+        model: &M,
+        tensors: &CloudTensors,
+        config: &AttackConfig,
+    ) -> Self {
+        let alpha = config.alpha.min(tensors.len());
+        Self {
+            geometry: model.plan(&tensors.coords),
+            smooth_nbrs: knn_graph(&tensors.coords, alpha),
+            alpha,
+        }
+    }
+
+    /// The victim model's cached geometry (usable for planned inference
+    /// on the same cloud, e.g. clean predictions before the attack).
+    pub fn geometry(&self) -> &GeometryPlan {
+        &self.geometry
+    }
+}
+
+/// Gain-plateau detection for the noise-restart rule of Algorithm 1.
+///
+/// The paper checks every `int(Steps * 0.01)` iterations whether the
+/// objective improved *since the last checkpoint*. The previous
+/// implementation compared against the gain of the immediately preceding
+/// iteration (`prev_gain` was overwritten every step), so a run whose
+/// gain crept down by epsilon each step never restarted even when it had
+/// been flat for the whole window.
+#[derive(Debug)]
+struct PlateauTracker {
+    every: usize,
+    checkpoint_gain: f32,
+}
+
+impl PlateauTracker {
+    fn new(every: usize) -> Self {
+        Self { every, checkpoint_gain: f32::INFINITY }
+    }
+
+    /// Records the gain of `step`; returns `true` when this step is a
+    /// checkpoint and the objective has not improved since the previous
+    /// checkpoint (i.e. noise should be injected).
+    fn observe(&mut self, step: usize, gain: f32) -> bool {
+        if step == 0 || !step.is_multiple_of(self.every) {
+            return false;
+        }
+        let stalled = gain >= self.checkpoint_gain;
+        self.checkpoint_gain = gain;
+        stalled
+    }
+}
 
 /// The COLPER attack.
 ///
@@ -49,6 +118,27 @@ impl Colper {
         mask: &[bool],
         rng: &mut StdRng,
     ) -> AttackResult {
+        let plan = AttackPlan::build(model, tensors, &self.config);
+        self.run_planned(model, tensors, mask, &plan, rng)
+    }
+
+    /// [`Colper::run`] with a pre-built [`AttackPlan`] — use this when
+    /// attacking the same cloud more than once (repeated runs, clean
+    /// predictions plus attack, parameter sweeps) so the geometry is
+    /// computed exactly once.
+    ///
+    /// # Panics
+    ///
+    /// In addition to [`Colper::run`]'s panics, panics when `plan` was
+    /// built for a different cloud or configuration.
+    pub fn run_planned<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        tensors: &colper_models::CloudTensors,
+        mask: &[bool],
+        plan: &AttackPlan,
+        rng: &mut StdRng,
+    ) -> AttackResult {
         let n = tensors.len();
         let classes = model.num_classes();
         let cfg = &self.config;
@@ -56,6 +146,8 @@ impl Colper {
         assert_eq!(mask.len(), n, "mask length must equal point count");
         let attacked_points = mask.iter().filter(|&&m| m).count();
         assert!(attacked_points > 0, "attack mask selects no points");
+        assert_eq!(plan.alpha, cfg.alpha.min(n), "attack plan built under a different alpha");
+        assert_eq!(plan.geometry.num_points(), n, "attack plan built for a different cloud");
 
         let labels_for_loss: Vec<usize> = match cfg.goal {
             AttackGoal::NonTargeted => tensors.labels.clone(),
@@ -70,9 +162,10 @@ impl Colper {
         let mut w = reparam.to_w(&orig);
         let mut adam = AdamState::new(n, 3);
 
-        // Fixed alpha-NN graph for the smoothness penalty (Eq. 6).
-        let alpha = cfg.alpha.min(n);
-        let smooth_nbrs = knn_graph(&tensors.coords, alpha);
+        // Fixed alpha-NN graph for the smoothness penalty (Eq. 6),
+        // cached in the plan.
+        let alpha = plan.alpha;
+        let smooth_nbrs = &plan.smooth_nbrs;
 
         // Only masked points may change: color = mask*c(w) + (1-mask)*orig.
         let mask_m = Matrix::from_fn(n, 3, |r, _| if mask[r] { 1.0 } else { 0.0 });
@@ -82,7 +175,8 @@ impl Colper {
         // Steps = 1000); clamp from below so reduced step budgets do not
         // degenerate into noise injection at every iteration.
         let plateau_every = (cfg.steps / 100).max(5);
-        let mut prev_gain = f32::INFINITY;
+        let mut plateau = PlateauTracker::new(plateau_every);
+        let mut restarts = 0usize;
         let mut history = Vec::with_capacity(cfg.steps);
         let mut converged = false;
         let mut steps_run = 0;
@@ -124,7 +218,13 @@ impl Colper {
                 };
                 let xyz = session.tape.constant(tensors.xyz.clone());
                 let loc = session.tape.constant(tensors.loc01.clone());
-                let input = ModelInput { coords: &tensors.coords, xyz, color: seen_color, loc };
+                let input = ModelInput {
+                    coords: &tensors.coords,
+                    xyz,
+                    color: seen_color,
+                    loc,
+                    plan: Some(&plan.geometry),
+                };
                 let logits = model.forward(&mut session, &input, rng);
 
                 // gain = D + λ1 L + λ2 S   (Eq. 2 / Eq. 3)
@@ -132,7 +232,7 @@ impl Colper {
                 let diff = session.tape.sub(color, orig_var);
                 let sq = session.tape.square(diff);
                 let dist = session.tape.sum(sq);
-                let smooth = session.tape.smoothness(color, &tensors.xyz, &smooth_nbrs, alpha);
+                let smooth = session.tape.smoothness(color, &tensors.xyz, smooth_nbrs, alpha);
                 let adv_loss = match cfg.goal {
                     AttackGoal::NonTargeted => {
                         session.tape.cw_nontargeted(logits, &labels_for_loss, mask)
@@ -189,8 +289,10 @@ impl Colper {
             }
 
             // Plateau restart: every int(Steps * 0.01) iterations, add
-            // uniform noise when the objective stopped improving.
-            if step > 0 && step % plateau_every == 0 && gain_v >= prev_gain {
+            // uniform noise when the objective stopped improving since
+            // the previous checkpoint.
+            if plateau.observe(step, gain_v) {
+                restarts += 1;
                 for (r, &attacked) in mask.iter().enumerate() {
                     if attacked {
                         for c in 0..3 {
@@ -199,13 +301,9 @@ impl Colper {
                     }
                 }
             }
-            prev_gain = gain_v;
         }
 
-        let l2_sq = best_colors
-            .sub(&orig)
-            .expect("shape")
-            .frobenius_sq();
+        let l2_sq = best_colors.sub(&orig).expect("shape").frobenius_sq();
         AttackResult {
             adversarial_colors: best_colors,
             l2_sq,
@@ -216,6 +314,7 @@ impl Colper {
             predictions: best_preds,
             success_metric: best_metric,
             attacked_points,
+            restarts,
         }
     }
 }
@@ -274,7 +373,7 @@ mod tests {
         let clean_acc = evaluate_on(&model, victim_cloud, &mut rng);
         assert!(clean_acc > 0.5, "victim should segment decently, got {clean_acc}");
 
-        let attack = Colper::new(AttackConfig::non_targeted(60));
+        let attack = Colper::new(AttackConfig::non_targeted(150));
         let mask = vec![true; victim_cloud.len()];
         let result = attack.run(&model, victim_cloud, &mask, &mut rng);
         assert!(
@@ -292,8 +391,7 @@ mod tests {
         let (model, clouds) = trained_victim(&mut rng);
         let t = &clouds[1];
         // Attack only the table points.
-        let mask: Vec<bool> =
-            t.labels.iter().map(|&l| l == IndoorClass::Table.label()).collect();
+        let mask: Vec<bool> = t.labels.iter().map(|&l| l == IndoorClass::Table.label()).collect();
         if !mask.iter().any(|&m| m) {
             return; // sample without tables; other seeds cover this path
         }
@@ -349,6 +447,85 @@ mod tests {
         let result = attack.run(&model, t, &mask, &mut rng);
         assert!(result.converged);
         assert_eq!(result.steps_run, 1);
+    }
+
+    #[test]
+    fn plateau_tracker_compares_against_checkpoint_not_previous_step() {
+        let mut t = PlateauTracker::new(5);
+        // Steps between checkpoints never consult the tracker.
+        assert!(!t.observe(1, 100.0));
+        assert!(!t.observe(4, 1.0));
+        // First checkpoint: nothing to compare against yet.
+        assert!(!t.observe(5, 10.0));
+        // Gain fell step-to-step (17 -> 12) but NOT since the checkpoint
+        // (10 -> 12): the old per-step comparison would have seen
+        // improvement here and skipped the restart.
+        assert!(t.observe(10, 12.0));
+        // Genuine improvement since the checkpoint: no restart.
+        assert!(!t.observe(15, 3.0));
+        // Flat again relative to the new checkpoint.
+        assert!(t.observe(20, 3.0));
+    }
+
+    #[test]
+    fn stalled_objective_triggers_noise_restart() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Untrained victim and a learning rate so small the iterate — and
+        // with it the gain — cannot move: every checkpoint sees a stalled
+        // objective and must inject noise.
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(64)).generate(9);
+        let t = CloudTensors::from_cloud(&normalize::pointnet_view(&cloud));
+        let mut cfg = AttackConfig::non_targeted(16);
+        cfg.lr = 1e-12;
+        cfg.convergence_threshold = Some(0.0); // never converge
+        let attack = Colper::new(cfg);
+        let mask = vec![true; t.len()];
+        let result = attack.run(&model, &t, &mask, &mut rng);
+        assert_eq!(result.steps_run, 16);
+        // plateau_every = max(16/100, 5) = 5 -> checkpoints at 5, 10, 15.
+        // The first checkpoint only records a baseline; by step 10 the
+        // gain has not moved, so noise must be injected at least once
+        // (afterwards the noise itself may legitimately change the gain).
+        assert!(
+            result.restarts >= 1,
+            "stalled attack should trigger a noise restart, got {}",
+            result.restarts
+        );
+    }
+
+    #[test]
+    fn planned_and_plan_free_attacks_agree() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(11);
+        let t = CloudTensors::from_cloud(&normalize::pointnet_view(&cloud));
+        let cfg = AttackConfig::non_targeted(8);
+        let attack = Colper::new(cfg.clone());
+        let mask = vec![true; t.len()];
+        let plain = attack.run(&model, &t, &mask, &mut StdRng::seed_from_u64(42));
+        let plan = AttackPlan::build(&model, &t, &cfg);
+        let planned = attack.run_planned(&model, &t, &mask, &plan, &mut StdRng::seed_from_u64(42));
+        assert_eq!(plain.adversarial_colors, planned.adversarial_colors);
+        assert_eq!(plain.gain_history, planned.gain_history);
+        assert_eq!(plain.predictions, planned.predictions);
+    }
+
+    #[test]
+    #[should_panic(expected = "different cloud")]
+    fn mismatched_plan_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let small = CloudTensors::from_cloud(&normalize::pointnet_view(
+            &SceneGenerator::indoor(IndoorSceneConfig::with_points(64)).generate(1),
+        ));
+        let big = CloudTensors::from_cloud(&normalize::pointnet_view(
+            &SceneGenerator::indoor(IndoorSceneConfig::with_points(128)).generate(2),
+        ));
+        let cfg = AttackConfig::non_targeted(5);
+        let plan = AttackPlan::build(&model, &small, &cfg);
+        let mask = vec![true; big.len()];
+        let _ = Colper::new(cfg).run_planned(&model, &big, &mask, &plan, &mut rng);
     }
 
     #[test]

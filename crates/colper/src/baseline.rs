@@ -90,19 +90,10 @@ impl NoiseBaseline {
         perturbed.colors = noisy.clone();
         let preds = colper_models::predict(model, &perturbed, rng);
         let mut cm = ConfusionMatrix::new(model.num_classes());
-        let masked_preds: Vec<usize> = preds
-            .iter()
-            .zip(mask)
-            .filter(|(_, &m)| m)
-            .map(|(&p, _)| p)
-            .collect();
-        let masked_labels: Vec<usize> = tensors
-            .labels
-            .iter()
-            .zip(mask)
-            .filter(|(_, &m)| m)
-            .map(|(&l, _)| l)
-            .collect();
+        let masked_preds: Vec<usize> =
+            preds.iter().zip(mask).filter(|(_, &m)| m).map(|(&p, _)| p).collect();
+        let masked_labels: Vec<usize> =
+            tensors.labels.iter().zip(mask).filter(|(_, &m)| m).map(|(&l, _)| l).collect();
         cm.update(&masked_preds, &masked_labels);
         let l2_sq = noisy.sub(&tensors.colors).expect("shape").frobenius_sq();
         AttackResult {
@@ -115,6 +106,7 @@ impl NoiseBaseline {
             predictions: preds,
             success_metric: cm.accuracy(),
             attacked_points: mask.iter().filter(|&&m| m).count(),
+            restarts: 0,
         }
     }
 }
@@ -167,7 +159,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let orig = Matrix::filled(300, 3, 1.0);
         let target = 2.0;
-        let noisy = random_color_noise(&orig, &[true; 300].to_vec(), target, &mut rng);
+        let noisy = random_color_noise(&orig, [true; 300].as_ref(), target, &mut rng);
         let achieved = noisy.sub(&orig).unwrap().frobenius_sq();
         assert!((achieved - target).abs() / target < 0.1, "achieved {achieved}");
     }

@@ -5,7 +5,7 @@
 //! module is the library-level equivalent of that loop (the experiment
 //! harness builds its tables on top of the same primitives).
 
-use crate::{AttackConfig, AttackGoal, AttackResult, Colper};
+use crate::{AttackConfig, AttackGoal, AttackPlan, AttackResult, Colper};
 use colper_metrics::{ConfusionMatrix, Summary};
 use colper_models::{CloudTensors, SegmentationModel};
 use rand::rngs::StdRng;
@@ -75,13 +75,18 @@ pub fn run_batch<M: SegmentationModel + Sync>(
                 for (j, (t, slot)) in cloud_chunk.iter().zip(item_chunk).enumerate() {
                     let index = ci * chunk + j;
                     let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(index as u64));
-                    let clean_preds = colper_models::predict(model, t, &mut rng);
+                    // One plan per cloud serves the clean prediction and
+                    // every attack iteration.
+                    let plan = AttackPlan::build(model, t, &config);
+                    let clean_preds =
+                        colper_models::predict_planned(model, t, plan.geometry(), &mut rng);
                     let mut cm = ConfusionMatrix::new(classes);
                     cm.update(&clean_preds, &t.labels);
                     let clean_accuracy = cm.accuracy();
 
                     let mask = mask_of(t);
-                    let result = Colper::new(config.clone()).run(model, t, &mask, &mut rng);
+                    let result =
+                        Colper::new(config.clone()).run_planned(model, t, &mask, &plan, &mut rng);
                     let mut cm = ConfusionMatrix::new(classes);
                     cm.update(&result.predictions, &t.labels);
                     *slot = Some(BatchItem {
@@ -116,9 +121,8 @@ pub fn run_batch_non_targeted<M: SegmentationModel + Sync>(
     steps: usize,
     base_seed: u64,
 ) -> BatchOutcome {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4);
+    let workers =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
     run_batch(
         model,
         clouds,
@@ -141,9 +145,8 @@ pub fn run_batch_targeted<M: SegmentationModel + Sync>(
     steps: usize,
     base_seed: u64,
 ) -> BatchOutcome {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4);
+    let workers =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
     let mut config = AttackConfig::targeted(steps, target);
     config.goal = AttackGoal::Targeted { target };
     run_batch(

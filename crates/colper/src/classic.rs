@@ -10,7 +10,7 @@
 //! smoothness term and restarts.
 
 use crate::AttackResult;
-use colper_models::{CloudTensors, ModelInput, SegmentationModel};
+use colper_models::{CloudTensors, GeometryPlan, ModelInput, SegmentationModel};
 use colper_nn::Forward;
 use colper_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -86,6 +86,8 @@ impl ClassicAttack {
         assert!(attacked_points > 0, "attack mask selects no points");
         let orig = tensors.colors.clone();
         let eps = self.epsilon;
+        // Color-only attack: geometry is constant across iterations.
+        let plan = model.plan(&tensors.coords);
 
         let (steps, step_size, random_start) = match self.kind {
             ClassicKind::Fgsm => (1usize, eps, false),
@@ -110,7 +112,7 @@ impl ClassicAttack {
         let mut best_colors = colors.clone();
         let mut best_acc = f32::INFINITY;
         for _ in 0..steps {
-            let (grad, loss, preds) = self.gradient(model, tensors, &colors, rng);
+            let (grad, loss, preds) = self.gradient(model, tensors, &colors, &plan, rng);
             history.push(loss);
             let acc = masked_accuracy(&preds, &tensors.labels, mask);
             if best_preds.is_empty() || acc < best_acc {
@@ -132,7 +134,7 @@ impl ClassicAttack {
             }
         }
         // Score the final iterate too.
-        let (_, _, preds) = self.gradient(model, tensors, &colors, rng);
+        let (_, _, preds) = self.gradient(model, tensors, &colors, &plan, rng);
         let acc = masked_accuracy(&preds, &tensors.labels, mask);
         if acc < best_acc {
             best_acc = acc;
@@ -151,6 +153,7 @@ impl ClassicAttack {
             predictions: best_preds,
             success_metric: best_acc,
             attacked_points,
+            restarts: 0,
         }
     }
 
@@ -161,21 +164,19 @@ impl ClassicAttack {
         model: &M,
         tensors: &CloudTensors,
         colors: &Matrix,
+        plan: &GeometryPlan,
         rng: &mut StdRng,
     ) -> (Matrix, f32, Vec<usize>) {
         let mut session = Forward::new(model.params(), false);
         let color = session.tape.leaf(colors.clone());
         let xyz = session.tape.constant(tensors.xyz.clone());
         let loc = session.tape.constant(tensors.loc01.clone());
-        let input = ModelInput { coords: &tensors.coords, xyz, color, loc };
+        let input = ModelInput { coords: &tensors.coords, xyz, color, loc, plan: Some(plan) };
         let logits = model.forward(&mut session, &input, rng);
         let loss = session.tape.softmax_cross_entropy(logits, &tensors.labels);
         session.tape.backward(loss);
-        let grad = session
-            .tape
-            .grad(color)
-            .cloned()
-            .unwrap_or_else(|| Matrix::zeros(colors.rows(), 3));
+        let grad =
+            session.tape.grad(color).cloned().unwrap_or_else(|| Matrix::zeros(colors.rows(), 3));
         let loss_v = session.tape.value(loss)[(0, 0)];
         let preds = session.tape.value(logits).argmax_rows();
         (grad, loss_v, preds)

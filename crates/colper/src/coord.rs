@@ -10,7 +10,7 @@
 use crate::{AttackGoal, TanhReparam};
 use colper_geom::Point3;
 use colper_metrics::ConfusionMatrix;
-use colper_models::{CloudTensors, ModelInput, SegmentationModel};
+use colper_models::{CloudTensors, GeometryPlan, ModelInput, SegmentationModel};
 use colper_nn::{AdamState, Forward};
 use colper_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -129,6 +129,11 @@ impl L0Attack {
         let mut w = reparam.to_w(&orig);
         let w_orig = w.clone();
         let mut perturbable = vec![true; n];
+        // During optimization the *graph* coordinates stay the original
+        // ones even when xyz features are perturbed (input.coords is
+        // never rebuilt mid-run), so one plan covers every step. Only the
+        // final evaluation below re-derives geometry from moved points.
+        let plan = model.plan(&tensors.coords);
         let budget_points = ((n as f32) * cfg.l0_budget).floor() as usize;
 
         let max_rounds = n / cfg.restore_per_round.max(1) + 2;
@@ -138,7 +143,16 @@ impl L0Attack {
             // Algorithm 2 drops the D and S terms (gain = loss).
             let mut adam = AdamState::new(n, 3);
             for _ in 0..cfg.steps_per_round {
-                let (grad, _) = self.step(model, tensors, &w, &perturbable, &labels_for_loss, &reparam, rng);
+                let (grad, _) = self.step(
+                    model,
+                    tensors,
+                    &w,
+                    &perturbable,
+                    &labels_for_loss,
+                    &reparam,
+                    &plan,
+                    rng,
+                );
                 last_grad = grad.clone();
                 adam.update(&mut w, &grad, cfg.lr);
             }
@@ -155,6 +169,7 @@ impl L0Attack {
                         &perturbable,
                         &labels_for_loss,
                         &reparam,
+                        &plan,
                         rng,
                     );
                     adam.update(&mut w, &grad, cfg.lr * 2.0);
@@ -166,16 +181,12 @@ impl L0Attack {
             let mut scores: Vec<(f32, usize)> = (0..n)
                 .filter(|&i| perturbable[i])
                 .map(|i| {
-                    let s: f32 = (0..3)
-                        .map(|c| (last_grad[(i, c)] * perturb[(i, c)]).abs())
-                        .sum();
+                    let s: f32 = (0..3).map(|c| (last_grad[(i, c)] * perturb[(i, c)]).abs()).sum();
                     (s, i)
                 })
                 .collect();
             scores.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            let to_restore = cfg
-                .restore_per_round
-                .min(count.saturating_sub(budget_points).max(1));
+            let to_restore = cfg.restore_per_round.min(count.saturating_sub(budget_points).max(1));
             for &(_, i) in scores.iter().take(to_restore) {
                 perturbable[i] = false;
                 for c in 0..3 {
@@ -202,7 +213,9 @@ impl L0Attack {
             PerturbTarget::Coordinate => {
                 final_tensors.xyz = adversarial.clone();
                 final_tensors.coords = (0..n)
-                    .map(|i| Point3::new(adversarial[(i, 0)], adversarial[(i, 1)], adversarial[(i, 2)]))
+                    .map(|i| {
+                        Point3::new(adversarial[(i, 0)], adversarial[(i, 1)], adversarial[(i, 2)])
+                    })
                     .collect();
             }
         }
@@ -232,6 +245,7 @@ impl L0Attack {
     }
 
     /// One gradient evaluation: returns `(grad_w, loss_value)`.
+    #[allow(clippy::too_many_arguments)]
     fn step<M: SegmentationModel + ?Sized>(
         &self,
         model: &M,
@@ -240,6 +254,7 @@ impl L0Attack {
         perturbable: &[bool],
         labels_for_loss: &[usize],
         reparam: &TanhReparam,
+        plan: &GeometryPlan,
         rng: &mut StdRng,
     ) -> (Matrix, f32) {
         let n = tensors.len();
@@ -262,7 +277,7 @@ impl L0Attack {
             PerturbTarget::Coordinate => (feat, session.tape.constant(tensors.colors.clone())),
         };
         let loc = session.tape.constant(tensors.loc01.clone());
-        let input = ModelInput { coords: &tensors.coords, xyz, color, loc };
+        let input = ModelInput { coords: &tensors.coords, xyz, color, loc, plan: Some(plan) };
         let logits = model.forward(&mut session, &input, rng);
         // Algorithm 2 keeps the adversarial loss over the *whole* attacked
         // set X_t (all points here); only the perturbation support shrinks
@@ -279,11 +294,7 @@ impl L0Attack {
         };
         session.tape.backward(loss);
         let loss_v = session.tape.value(loss)[(0, 0)];
-        let grad = session
-            .tape
-            .grad(w_var)
-            .cloned()
-            .unwrap_or_else(|| Matrix::zeros(n, 3));
+        let grad = session.tape.grad(w_var).cloned().unwrap_or_else(|| Matrix::zeros(n, 3));
         (grad, loss_v)
     }
 }
@@ -295,7 +306,10 @@ mod tests {
     use colper_scene::{normalize, IndoorSceneConfig, RoomKind, SceneGenerator};
     use rand::SeedableRng;
 
-    fn victim(rng: &mut StdRng, norm: fn(&colper_scene::PointCloud) -> colper_scene::PointCloud) -> (PointNet2, CloudTensors) {
+    fn victim(
+        rng: &mut StdRng,
+        norm: fn(&colper_scene::PointCloud) -> colper_scene::PointCloud,
+    ) -> (PointNet2, CloudTensors) {
         let clouds: Vec<CloudTensors> = (0..4)
             .map(|i| {
                 let cfg = IndoorSceneConfig {
@@ -352,7 +366,9 @@ mod tests {
         // At most budget fraction of rows differ.
         let n = t.len();
         let changed = (0..n)
-            .filter(|&i| (0..3).any(|c| (result.adversarial[(i, c)] - t.colors[(i, c)]).abs() > 1e-3))
+            .filter(|&i| {
+                (0..3).any(|c| (result.adversarial[(i, c)] - t.colors[(i, c)]).abs() > 1e-3)
+            })
             .count();
         assert!(changed as f32 / n as f32 <= 0.11, "{changed}/{n} changed");
     }

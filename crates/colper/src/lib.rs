@@ -52,16 +52,16 @@ mod classic;
 mod config;
 mod coord;
 pub mod physical;
-mod report;
 mod reparam;
+mod report;
 mod transfer;
 
-pub use attack::Colper;
+pub use attack::{AttackPlan, Colper};
 pub use baseline::{random_color_noise, NoiseBaseline};
 pub use batch::{run_batch, run_batch_non_targeted, run_batch_targeted, BatchItem, BatchOutcome};
 pub use classic::{ClassicAttack, ClassicKind};
 pub use config::{AttackConfig, AttackGoal};
 pub use coord::{L0Attack, L0AttackConfig, L0Result, PerturbTarget};
-pub use report::AttackResult;
 pub use reparam::TanhReparam;
+pub use report::AttackResult;
 pub use transfer::{apply_adversarial_colors, evaluate_cloud, TransferOutcome};

@@ -103,11 +103,7 @@ pub fn survival<M: SegmentationModel + ?Sized>(
     rng: &mut StdRng,
 ) -> SurvivalReport {
     assert!(trials > 0, "survival: trials must be positive");
-    assert_eq!(
-        adversarial_colors.shape(),
-        (tensors.len(), 3),
-        "survival: color shape mismatch"
-    );
+    assert_eq!(adversarial_colors.shape(), (tensors.len(), 3), "survival: color shape mismatch");
     let classes = model.num_classes();
     let acc_of = |colors: Matrix, rng: &mut StdRng| -> f32 {
         let mut t = tensors.clone();

@@ -27,6 +27,9 @@ pub struct AttackResult {
     pub success_metric: f32,
     /// Number of attacked points (`|X_t|`).
     pub attacked_points: usize,
+    /// Number of plateau noise restarts performed (Algorithm 1's
+    /// random-noise injection when the gain stalls between checkpoints).
+    pub restarts: usize,
 }
 
 impl AttackResult {
@@ -53,6 +56,7 @@ mod tests {
             predictions: vec![0],
             success_metric: 0.0,
             attacked_points: 1,
+            restarts: 0,
         };
         assert_eq!(r.l2(), 3.0);
     }

@@ -2,9 +2,7 @@
 //! discipline, metric bounds and reparameterization consistency — for
 //! arbitrary scenes, masks and configurations.
 
-use colper_attack::{
-    random_color_noise, AttackConfig, AttackGoal, Colper, TanhReparam,
-};
+use colper_attack::{random_color_noise, AttackConfig, AttackGoal, Colper, TanhReparam};
 use colper_models::{CloudTensors, PointNet2, PointNet2Config};
 use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
 use colper_tensor::Matrix;

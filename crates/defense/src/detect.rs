@@ -55,8 +55,7 @@ impl SmoothnessDetector {
         assert!(k > 0, "SmoothnessDetector: k must be positive");
         let scores: Vec<f32> = clean.iter().map(|c| color_roughness(c, k)).collect();
         let mean = scores.iter().sum::<f32>() / scores.len() as f32;
-        let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f32>()
-            / scores.len() as f32;
+        let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f32>() / scores.len() as f32;
         let std = var.sqrt();
         Self { k, threshold: mean + z * std.max(1e-6), clean_mean: mean, clean_std: std }
     }

@@ -139,12 +139,8 @@ mod tests {
     fn quantize_reduces_distinct_values() {
         let cloud = sample();
         let q = quantize_colors(&cloud, 2);
-        let mut distinct: Vec<u32> = q
-            .colors
-            .iter()
-            .flatten()
-            .map(|v| (v * 1000.0).round() as u32)
-            .collect();
+        let mut distinct: Vec<u32> =
+            q.colors.iter().flatten().map(|v| (v * 1000.0).round() as u32).collect();
         distinct.sort_unstable();
         distinct.dedup();
         assert!(distinct.len() <= 4, "2 bits -> at most 4 levels, got {}", distinct.len());

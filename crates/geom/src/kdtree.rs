@@ -115,10 +115,7 @@ impl KdTree {
         let axis = bounds.longest_axis();
         let mid = indices.len() / 2;
         indices.select_nth_unstable_by(mid, |&a, &b| {
-            points[a]
-                .axis(axis)
-                .partial_cmp(&points[b].axis(axis))
-                .unwrap_or(Ordering::Equal)
+            points[a].axis(axis).partial_cmp(&points[b].axis(axis)).unwrap_or(Ordering::Equal)
         });
         let value = points[indices[mid]].axis(axis);
         let (left_idx, right_idx) = indices.split_at_mut(mid);
@@ -192,6 +189,77 @@ impl KdTree {
         }
     }
 
+    /// The `k` nearest neighbors of `query` among the points for which
+    /// `keep` returns `true`, sorted by ascending distance.
+    ///
+    /// Indices are into the *original* slice the tree was built from,
+    /// exactly as with [`KdTree::knn`]. This lets one tree over the full
+    /// point set answer queries restricted to an arbitrary subset (e.g.
+    /// the survivors of a random downsampling) without rebuilding.
+    ///
+    /// Returns fewer than `k` neighbors when fewer than `k` points pass
+    /// the filter.
+    pub fn knn_filtered(
+        &self,
+        query: Point3,
+        k: usize,
+        keep: impl Fn(usize) -> bool,
+    ) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        if let Some(root) = &self.root {
+            self.knn_visit_filtered(root, query, k, &keep, &mut heap);
+        }
+        let mut out: Vec<Neighbor> = heap.into_iter().map(|e| e.0).collect();
+        out.sort_by(|a, b| {
+            a.sq_dist
+                .partial_cmp(&b.sq_dist)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        out
+    }
+
+    fn knn_visit_filtered(
+        &self,
+        node: &Node,
+        query: Point3,
+        k: usize,
+        keep: &impl Fn(usize) -> bool,
+        heap: &mut BinaryHeap<HeapEntry>,
+    ) {
+        match node {
+            Node::Leaf { items } => {
+                for &i in items {
+                    if !keep(i) {
+                        continue;
+                    }
+                    let d = self.points[i].sq_dist(query);
+                    if heap.len() < k {
+                        heap.push(HeapEntry(Neighbor { index: i, sq_dist: d }));
+                    } else if d < heap.peek().expect("non-empty").0.sq_dist {
+                        heap.pop();
+                        heap.push(HeapEntry(Neighbor { index: i, sq_dist: d }));
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right, bounds_left, bounds_right } => {
+                let (first, second, b_second) = if query.axis(*axis) < *value {
+                    (left, right, bounds_right)
+                } else {
+                    (right, left, bounds_left)
+                };
+                self.knn_visit_filtered(first, query, k, keep, heap);
+                let worst = heap.peek().map_or(f32::INFINITY, |e| e.0.sq_dist);
+                if heap.len() < k || b_second.sq_dist_to_point(query) < worst {
+                    self.knn_visit_filtered(second, query, k, keep, heap);
+                }
+            }
+        }
+    }
+
     /// All points within `radius` of `query`, sorted by ascending
     /// distance.
     pub fn within_radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
@@ -235,7 +303,13 @@ mod tests {
     fn random_points(n: usize, seed: u64) -> Vec<Point3> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| Point3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| {
+                Point3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
             .collect()
     }
 
@@ -261,7 +335,11 @@ mod tests {
         let tree = KdTree::build(&pts);
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..50 {
-            let q = Point3::new(rng.gen_range(-1.2..1.2), rng.gen_range(-1.2..1.2), rng.gen_range(-1.2..1.2));
+            let q = Point3::new(
+                rng.gen_range(-1.2..1.2),
+                rng.gen_range(-1.2..1.2),
+                rng.gen_range(-1.2..1.2),
+            );
             let k = rng.gen_range(1..20);
             let got = tree.knn(q, k);
             let mut brute: Vec<Neighbor> = pts
@@ -285,12 +363,8 @@ mod tests {
         let q = Point3::new(0.1, -0.2, 0.3);
         let r = 0.5;
         let got = tree.within_radius(q, r);
-        let expected: Vec<usize> = pts
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.sq_dist(q) <= r * r)
-            .map(|(i, _)| i)
-            .collect();
+        let expected: Vec<usize> =
+            pts.iter().enumerate().filter(|(_, p)| p.sq_dist(q) <= r * r).map(|(i, _)| i).collect();
         let got_idx: std::collections::HashSet<usize> = got.iter().map(|n| n.index).collect();
         assert_eq!(got_idx.len(), expected.len());
         for i in expected {
@@ -315,6 +389,58 @@ mod tests {
     fn knn_k_zero() {
         let tree = KdTree::build(&random_points(10, 1));
         assert!(tree.knn(Point3::ORIGIN, 0).is_empty());
+    }
+
+    #[test]
+    fn knn_filtered_matches_brute_force_on_subset() {
+        let pts = random_points(400, 13);
+        let tree = KdTree::build(&pts);
+        // Keep roughly a third of the points.
+        let keep_mask: Vec<bool> = (0..pts.len()).map(|i| i % 3 == 0).collect();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let q = Point3::new(
+                rng.gen_range(-1.2..1.2),
+                rng.gen_range(-1.2..1.2),
+                rng.gen_range(-1.2..1.2),
+            );
+            let k = rng.gen_range(1..12);
+            let got = tree.knn_filtered(q, k, |i| keep_mask[i]);
+            let mut brute: Vec<Neighbor> = pts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep_mask[*i])
+                .map(|(i, &p)| Neighbor { index: i, sq_dist: p.sq_dist(q) })
+                .collect();
+            brute.sort_by(|a, b| {
+                a.sq_dist.partial_cmp(&b.sq_dist).unwrap().then_with(|| a.index.cmp(&b.index))
+            });
+            brute.truncate(k);
+            assert_eq!(got.len(), brute.len());
+            for (g, b) in got.iter().zip(&brute) {
+                assert!((g.sq_dist - b.sq_dist).abs() < 1e-6, "kd {g:?} vs brute {b:?}");
+                assert!(keep_mask[g.index], "filtered query returned excluded point");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_filtered_with_sparse_subset_returns_all_survivors() {
+        let pts = random_points(100, 3);
+        let tree = KdTree::build(&pts);
+        // Only two points pass; asking for 5 returns both.
+        let got = tree.knn_filtered(Point3::ORIGIN, 5, |i| i == 4 || i == 87);
+        assert_eq!(got.len(), 2);
+        let idx: Vec<usize> = got.iter().map(|n| n.index).collect();
+        assert!(idx.contains(&4) && idx.contains(&87));
+    }
+
+    #[test]
+    fn knn_filtered_all_pass_matches_knn() {
+        let pts = random_points(200, 17);
+        let tree = KdTree::build(&pts);
+        let q = Point3::new(0.2, -0.4, 0.6);
+        assert_eq!(tree.knn(q, 8), tree.knn_filtered(q, 8, |_| true));
     }
 
     #[test]

@@ -80,6 +80,61 @@ pub fn dilated_knn(points: &[Point3], k: usize, dilation: usize) -> Vec<usize> {
     out
 }
 
+/// Builds the k-NN graph of the *subset* `subset` of a tree's points
+/// without rebuilding a tree over the subset: entry `i*k + j` is the
+/// subset-local index of the j-th nearest subset point to subset point
+/// `i`. Padding follows [`knn_graph`]: when the subset holds fewer than
+/// `k` points, rows repeat the farthest available neighbor.
+///
+/// This is how RandLA-Net's coarse encoder levels reuse the cached
+/// full-resolution kd-tree after random downsampling.
+///
+/// # Panics
+///
+/// Panics when `subset` is empty, `k == 0`, or an index is out of
+/// bounds for the tree.
+pub fn subset_knn_graph(tree: &KdTree, subset: &[usize], k: usize) -> Vec<usize> {
+    assert!(!subset.is_empty(), "subset_knn_graph: empty subset");
+    assert!(k > 0, "subset_knn_graph: k must be positive");
+    let (mask, local) = subset_index(tree.len(), subset);
+    let kq = k.min(subset.len());
+    let mut out = Vec::with_capacity(subset.len() * k);
+    for &orig in subset {
+        let nn = tree.knn_filtered(tree.points()[orig], kq, |i| mask[i]);
+        let last = local[nn.last().expect("at least one neighbor").index];
+        for j in 0..k {
+            out.push(nn.get(j).map_or(last, |n| local[n.index]));
+        }
+    }
+    out
+}
+
+/// For each query point, the subset-local index of its nearest neighbor
+/// among `subset`, using the cached tree over the full point set
+/// (RandLA-Net's decoder upsampling).
+///
+/// # Panics
+///
+/// Panics when `subset` is empty or an index is out of bounds for the
+/// tree.
+pub fn subset_nearest(tree: &KdTree, subset: &[usize], queries: &[Point3]) -> Vec<usize> {
+    assert!(!subset.is_empty(), "subset_nearest: empty subset");
+    let (mask, local) = subset_index(tree.len(), subset);
+    queries.iter().map(|&q| local[tree.knn_filtered(q, 1, |i| mask[i])[0].index]).collect()
+}
+
+/// Membership mask and original-index -> subset-local-index map.
+fn subset_index(len: usize, subset: &[usize]) -> (Vec<bool>, Vec<usize>) {
+    let mut mask = vec![false; len];
+    let mut local = vec![usize::MAX; len];
+    for (l, &orig) in subset.iter().enumerate() {
+        assert!(orig < len, "subset index {orig} out of bounds for {len} points");
+        mask[orig] = true;
+        local[orig] = l;
+    }
+    (mask, local)
+}
+
 /// Dense pairwise squared distances between two point sets,
 /// `out[i * b.len() + j] = ||a[i] - b[j]||^2`.
 pub fn pairwise_sq_dist(a: &[Point3], b: &[Point3]) -> Vec<f32> {
@@ -101,7 +156,13 @@ mod tests {
     fn random_points(n: usize, seed: u64) -> Vec<Point3> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| Point3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| {
+                Point3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
             .collect()
     }
 
@@ -166,5 +227,55 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn knn_graph_rejects_empty() {
         let _ = knn_graph(&[], 3);
+    }
+
+    #[test]
+    fn subset_knn_graph_matches_fresh_graph_up_to_distance() {
+        use crate::KdTree;
+        let pts = random_points(120, 19);
+        let tree = KdTree::build(&pts);
+        // An arbitrary (unsorted) subset, as random_sample would produce.
+        let subset: Vec<usize> = vec![97, 3, 55, 12, 80, 41, 7, 66, 23, 101, 5, 88];
+        let sub_pts: Vec<Point3> = subset.iter().map(|&i| pts[i]).collect();
+        let k = 4;
+        let via_tree = subset_knn_graph(&tree, &subset, k);
+        let fresh = knn_graph(&sub_pts, k);
+        assert_eq!(via_tree.len(), fresh.len());
+        // The points are in general position, so the neighbor sets must
+        // agree exactly (both are subset-local indices).
+        assert_eq!(via_tree, fresh);
+    }
+
+    #[test]
+    fn subset_knn_graph_pads_small_subsets() {
+        use crate::KdTree;
+        let pts = random_points(50, 23);
+        let tree = KdTree::build(&pts);
+        let subset = vec![10, 30];
+        let g = subset_knn_graph(&tree, &subset, 6);
+        assert_eq!(g.len(), 2 * 6);
+        assert!(g.iter().all(|&i| i < 2));
+        // Self is always the nearest neighbor.
+        assert_eq!(g[0], 0);
+        assert_eq!(g[6], 1);
+    }
+
+    #[test]
+    fn subset_nearest_finds_closest_survivor() {
+        use crate::KdTree;
+        let pts: Vec<Point3> = (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let tree = KdTree::build(&pts);
+        let subset = vec![8, 2, 5]; // unsorted, as after random sampling
+        let queries = vec![Point3::new(0.2, 0.0, 0.0), Point3::new(5.6, 0.0, 0.0)];
+        let nearest = subset_nearest(&tree, &subset, &queries);
+        assert_eq!(nearest, vec![1, 2]); // local indices of points 2 and 5
+    }
+
+    #[test]
+    #[should_panic(expected = "empty subset")]
+    fn subset_knn_graph_rejects_empty_subset() {
+        use crate::KdTree;
+        let pts = random_points(10, 1);
+        let _ = subset_knn_graph(&KdTree::build(&pts), &[], 3);
     }
 }

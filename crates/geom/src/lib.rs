@@ -38,7 +38,9 @@ mod voxel;
 pub use aabb::Aabb;
 pub use graph::NeighborGraph;
 pub use kdtree::{KdTree, Neighbor};
-pub use knn::{brute_force_knn, dilated_knn, knn_graph, pairwise_sq_dist};
+pub use knn::{
+    brute_force_knn, dilated_knn, knn_graph, pairwise_sq_dist, subset_knn_graph, subset_nearest,
+};
 pub use point::Point3;
 pub use sampling::{ball_query, farthest_point_sampling, random_sample, three_nn_weights};
 pub use voxel::{occupied_voxels, voxel_downsample};

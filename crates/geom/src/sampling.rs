@@ -19,10 +19,12 @@ pub fn farthest_point_sampling(points: &[Point3], m: usize, start: usize) -> Vec
     assert!(start < points.len(), "farthest_point_sampling: start out of bounds");
     let m = m.min(points.len());
     let mut selected = Vec::with_capacity(m);
+    let mut chosen = vec![false; points.len()];
     let mut min_dist = vec![f32::INFINITY; points.len()];
     let mut current = start;
     for _ in 0..m {
         selected.push(current);
+        chosen[current] = true;
         let p = points[current];
         let mut next = current;
         let mut best = f32::NEG_INFINITY;
@@ -31,7 +33,11 @@ pub fn farthest_point_sampling(points: &[Point3], m: usize, start: usize) -> Vec
             if d < min_dist[i] {
                 min_dist[i] = d;
             }
-            if min_dist[i] > best {
+            // Only unselected points are candidates: with coincident
+            // points every min_dist can be 0 and the farthest point would
+            // otherwise resolve to an already-selected index, yielding
+            // duplicate centroids.
+            if !chosen[i] && min_dist[i] > best {
                 best = min_dist[i];
                 next = i;
             }
@@ -70,7 +76,7 @@ pub fn ball_query(points: &[Point3], centroids: &[Point3], radius: f32, k: usize
         let in_range = tree.within_radius(c, radius);
         if in_range.is_empty() {
             let nn = tree.knn(c, 1)[0].index;
-            out.extend(std::iter::repeat(nn).take(k));
+            out.extend(std::iter::repeat_n(nn, k));
         } else {
             let first = in_range[0].index;
             for j in 0..k {
@@ -132,6 +138,31 @@ mod tests {
         let sel = farthest_point_sampling(&pts, 2, 0);
         // From point 0 the farthest is point 9.
         assert_eq!(sel, vec![0, 9]);
+    }
+
+    #[test]
+    fn fps_handles_coincident_points_without_duplicates() {
+        // Four distinct positions, each duplicated: after the distinct
+        // positions are exhausted every min_dist is 0 and the old
+        // implementation re-selected an already-chosen index.
+        let mut pts = Vec::new();
+        for i in 0..4 {
+            let p = Point3::new(i as f32, 0.0, 0.0);
+            pts.push(p);
+            pts.push(p);
+        }
+        let sel = farthest_point_sampling(&pts, 6, 0);
+        assert_eq!(sel.len(), 6);
+        let set: std::collections::HashSet<_> = sel.iter().collect();
+        assert_eq!(set.len(), 6, "duplicate centroid indices returned: {sel:?}");
+    }
+
+    #[test]
+    fn fps_all_points_identical_still_distinct_indices() {
+        let pts = vec![Point3::ORIGIN; 8];
+        let sel = farthest_point_sampling(&pts, 8, 0);
+        let set: std::collections::HashSet<_> = sel.iter().collect();
+        assert_eq!(set.len(), 8);
     }
 
     #[test]

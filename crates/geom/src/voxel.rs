@@ -18,11 +18,7 @@ pub fn voxel_downsample(points: &[Point3], cell: f32) -> Vec<usize> {
         return Vec::new();
     }
     let key = |p: Point3| -> (i64, i64, i64) {
-        (
-            (p.x / cell).floor() as i64,
-            (p.y / cell).floor() as i64,
-            (p.z / cell).floor() as i64,
-        )
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64, (p.z / cell).floor() as i64)
     };
     // First pass: per-cell centroid.
     let mut cells: HashMap<(i64, i64, i64), (Point3, usize)> = HashMap::new();
@@ -121,7 +117,9 @@ mod tests {
         // (Full order-independence is not guaranteed: the centroid
         // accumulates in f32, so summation order can shift exact ties.)
         let pts: Vec<Point3> = (0..40)
-            .map(|i| Point3::new((i as f32 * 0.37).fract() * 3.0, (i as f32 * 0.73).fract() * 3.0, 0.0))
+            .map(|i| {
+                Point3::new((i as f32 * 0.37).fract() * 3.0, (i as f32 * 0.73).fract() * 3.0, 0.0)
+            })
             .collect();
         assert_eq!(voxel_downsample(&pts, 1.0), voxel_downsample(&pts, 1.0));
         // Selected indices are valid and unique.

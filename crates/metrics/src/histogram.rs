@@ -91,7 +91,7 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             let (a, b) = self.bin_range(i);
             let bar_len = (c as usize * width) / max as usize;
-            let bar: String = std::iter::repeat('#').take(bar_len).collect();
+            let bar = "#".repeat(bar_len);
             out.push_str(&format!("[{a:>8.3}, {b:>8.3}) |{bar:<width$}| {c}\n"));
         }
         out

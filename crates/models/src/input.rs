@@ -1,6 +1,7 @@
 //! Converting a [`PointCloud`] into the tensors a model consumes, and
 //! binding them onto a tape.
 
+use crate::GeometryPlan;
 use colper_autodiff::{Tape, Var};
 use colper_geom::Point3;
 use colper_scene::{normalize, PointCloud};
@@ -74,6 +75,10 @@ pub struct ModelInput<'a> {
     pub color: Var,
     /// `[N, 3]` normalized-location feature variable.
     pub loc: Var,
+    /// Pre-computed geometry for this (model, cloud) pair. `None` makes
+    /// the forward pass rebuild the structures on the fly — same code
+    /// path, same results, just slower.
+    pub plan: Option<&'a GeometryPlan>,
 }
 
 /// Binds a [`CloudTensors`] onto `tape`, choosing how the color block is
@@ -90,7 +95,21 @@ pub fn bind_input<'a>(
         ColorBinding::Constant => tape.constant(tensors.colors.clone()),
     };
     let loc = tape.constant(tensors.loc01.clone());
-    ModelInput { coords: &tensors.coords, xyz, color, loc }
+    ModelInput { coords: &tensors.coords, xyz, color, loc, plan: None }
+}
+
+/// Like [`bind_input`], but attaches a pre-computed [`GeometryPlan`] so
+/// the forward pass skips coordinate-structure construction. The plan
+/// must have been built by the same model for the same cloud.
+pub fn bind_input_planned<'a>(
+    tape: &mut Tape,
+    tensors: &'a CloudTensors,
+    color: ColorBinding,
+    plan: &'a GeometryPlan,
+) -> ModelInput<'a> {
+    let mut input = bind_input(tape, tensors, color);
+    input.plan = Some(plan);
+    input
 }
 
 #[cfg(test)]

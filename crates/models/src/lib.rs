@@ -38,16 +38,21 @@
 
 mod input;
 mod persist;
+mod plan;
 mod pointnet2;
 mod randlanet;
 mod resgcn;
 mod train;
 mod traits;
 
-pub use input::{bind_input, CloudTensors, ColorBinding, ModelInput};
+pub use input::{bind_input, bind_input_planned, CloudTensors, ColorBinding, ModelInput};
 pub use persist::{load_model, save_pointnet2, save_randlanet, save_resgcn, LoadedModel};
+pub use plan::{GeometryPlan, PointNet2Plan, RandLaPlan, ResGcnPlan};
 pub use pointnet2::{PointNet2, PointNet2Config};
 pub use randlanet::{RandLaNet, RandLaNetConfig};
 pub use resgcn::{ResGcn, ResGcnConfig};
 pub use train::{train_model, TrainConfig, TrainReport};
-pub use traits::{evaluate_on, logits_of, predict, SegmentationModel};
+pub use traits::{
+    evaluate_on, evaluate_on_planned, logits_of, logits_of_planned, predict, predict_planned,
+    SegmentationModel,
+};

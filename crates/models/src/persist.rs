@@ -26,8 +26,7 @@
 //! ```
 
 use crate::{
-    PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn, ResGcnConfig,
-    SegmentationModel,
+    PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn, ResGcnConfig, SegmentationModel,
 };
 use colper_nn::{load_params, save_params, SerializeError};
 use rand::rngs::StdRng;

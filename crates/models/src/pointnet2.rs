@@ -1,9 +1,10 @@
 //! PointNet++ (Qi et al., 2017): hierarchical set abstraction and feature
 //! propagation.
 
-use crate::{ModelInput, SegmentationModel};
+use crate::plan::{plan_pointnet2, resolve_plan};
+use crate::{GeometryPlan, ModelInput, SegmentationModel};
 use colper_autodiff::Var;
-use colper_geom::{ball_query, farthest_point_sampling, three_nn_weights, Point3};
+use colper_geom::Point3;
 use colper_nn::{Activation, Dropout, Forward, Linear, ParamSet, SharedMlp};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -47,7 +48,12 @@ impl PointNet2Config {
             sa_npoints: vec![1024, 256, 64, 16],
             sa_radii: vec![0.3, 0.6, 1.2, 2.4],
             sa_k: vec![32, 32, 32, 32],
-            sa_widths: vec![vec![32, 32, 64], vec![64, 64, 128], vec![128, 128, 256], vec![256, 256, 512]],
+            sa_widths: vec![
+                vec![32, 32, 64],
+                vec![64, 64, 128],
+                vec![128, 128, 256],
+                vec![256, 256, 512],
+            ],
             fp_widths: vec![vec![256, 256], vec![256, 256], vec![256, 128], vec![128, 128, 128]],
             head_width: 128,
             dropout: 0.5,
@@ -165,14 +171,8 @@ impl PointNet2 {
             true,
             rng,
         );
-        let head_out = Linear::new(
-            &mut params,
-            "head.out",
-            config.head_width,
-            config.num_classes,
-            true,
-            rng,
-        );
+        let head_out =
+            Linear::new(&mut params, "head.out", config.head_width, config.num_classes, true, rng);
         let dropout = Dropout::new(config.dropout);
         Self { config, params, sa_mlps, fp_mlps, head, head_out, dropout }
     }
@@ -204,33 +204,30 @@ impl SegmentationModel for PointNet2 {
         let levels = self.config.sa_npoints.len();
         let n = input.coords.len();
         assert!(n > 0, "PointNet2: empty input");
+        let built;
+        let plan = resolve_plan!(
+            input,
+            built,
+            PointNet2,
+            plan_pointnet2(&self.config, input.coords),
+            "PointNet2"
+        );
 
         let feats0 = session.tape.concat_cols_all(&[input.xyz, input.color, input.loc]);
-        let mut coords_lv: Vec<Vec<Point3>> = vec![input.coords.to_vec()];
         let mut xyz_lv: Vec<Var> = vec![input.xyz];
         let mut feats_lv: Vec<Var> = vec![feats0];
 
         // Set abstraction: downsample and aggregate.
-        for i in 0..levels {
-            let cur_coords = &coords_lv[i];
-            let m = self.config.sa_npoints[i].min(cur_coords.len());
-            let centroid_idx = farthest_point_sampling(cur_coords, m, 0);
-            let centroids: Vec<Point3> = centroid_idx.iter().map(|&j| cur_coords[j]).collect();
-            let k = self.config.sa_k[i];
-            let nb = ball_query(cur_coords, &centroids, self.config.sa_radii[i], k);
-            let center_flat: Vec<usize> =
-                centroid_idx.iter().flat_map(|&c| std::iter::repeat(c).take(k)).collect();
-
-            let nb_xyz = session.tape.gather_rows(xyz_lv[i], &nb);
-            let ctr_xyz = session.tape.gather_rows(xyz_lv[i], &center_flat);
+        for (i, sa) in plan.sa.iter().enumerate() {
+            let nb_xyz = session.tape.gather_rows(xyz_lv[i], &sa.neighbors);
+            let ctr_xyz = session.tape.gather_rows(xyz_lv[i], &sa.center_flat);
             let rel = session.tape.sub(nb_xyz, ctr_xyz);
-            let nb_feats = session.tape.gather_rows(feats_lv[i], &nb);
+            let nb_feats = session.tape.gather_rows(feats_lv[i], &sa.neighbors);
             let grouped = session.tape.concat_cols(rel, nb_feats);
             let h = self.sa_mlps[i].forward(session, grouped);
-            let pooled = session.tape.group_max(h, k);
+            let pooled = session.tape.group_max(h, sa.k);
 
-            let next_xyz = session.tape.gather_rows(xyz_lv[i], &centroid_idx);
-            coords_lv.push(centroids);
+            let next_xyz = session.tape.gather_rows(xyz_lv[i], &sa.centroid_idx);
             xyz_lv.push(next_xyz);
             feats_lv.push(pooled);
         }
@@ -239,8 +236,8 @@ impl SegmentationModel for PointNet2 {
         let mut cur = feats_lv[levels];
         for (j, fp) in self.fp_mlps.iter().enumerate() {
             let fine = levels - 1 - j;
-            let (idx, w) = three_nn_weights(&coords_lv[fine + 1], &coords_lv[fine]);
-            let interp = session.tape.weighted_gather(cur, &idx, &w, 3);
+            let (idx, w) = &plan.fp[j];
+            let interp = session.tape.weighted_gather(cur, idx, w, 3);
             let h = session.tape.concat_cols(interp, feats_lv[fine]);
             cur = fp.forward(session, h);
         }
@@ -248,6 +245,10 @@ impl SegmentationModel for PointNet2 {
         let h = self.head.forward(session, cur);
         let h = self.dropout.forward(session, h, rng);
         self.head_out.forward(session, h)
+    }
+
+    fn plan(&self, coords: &[Point3]) -> GeometryPlan {
+        GeometryPlan::PointNet2(plan_pointnet2(&self.config, coords))
     }
 }
 

@@ -9,9 +9,10 @@
 //! decoder upsamples with nearest-neighbor interpolation and skip
 //! connections.
 
-use crate::{ModelInput, SegmentationModel};
+use crate::plan::{plan_randlanet, resolve_plan};
+use crate::{GeometryPlan, ModelInput, SegmentationModel};
 use colper_autodiff::Var;
-use colper_geom::{knn_graph, random_sample, KdTree, Point3};
+use colper_geom::{random_sample, subset_knn_graph, subset_nearest, Point3};
 use colper_nn::{Activation, Dropout, Forward, Linear, ParamSet, SharedMlp};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -47,13 +48,7 @@ impl RandLaNetConfig {
     /// A CPU-friendly two-stage configuration used by the experiment
     /// harness (512-point clouds).
     pub fn small(num_classes: usize) -> Self {
-        Self {
-            num_classes,
-            stages: vec![(128, 32), (32, 64)],
-            k: 8,
-            stem: 16,
-            dropout: 0.3,
-        }
+        Self { num_classes, stages: vec![(128, 32), (32, 64)], k: 8, stem: 16, dropout: 0.3 }
     }
 
     /// A minimal configuration for unit tests.
@@ -131,7 +126,14 @@ impl RandLaNet {
                 rng,
             );
             let edge_dim = c_in + half;
-            let score = Linear::new(&mut params, &format!("stage{i}.score"), edge_dim, edge_dim, false, rng);
+            let score = Linear::new(
+                &mut params,
+                &format!("stage{i}.score"),
+                edge_dim,
+                edge_dim,
+                false,
+                rng,
+            );
             let out_mlp = SharedMlp::new(
                 &mut params,
                 &format!("stage{i}.out"),
@@ -140,7 +142,8 @@ impl RandLaNet {
                 true,
                 rng,
             );
-            let shortcut = Linear::new(&mut params, &format!("stage{i}.sc"), c_in, c_out, false, rng);
+            let shortcut =
+                Linear::new(&mut params, &format!("stage{i}.sc"), c_in, c_out, false, rng);
             stages.push(Stage { locse, score, out_mlp, shortcut });
             c_in = c_out;
         }
@@ -150,7 +153,8 @@ impl RandLaNet {
         let mut cur_c = c_in;
         for j in 0..config.stages.len() {
             let fine_level = config.stages.len() - 1 - j;
-            let skip_c = if fine_level == 0 { config.stem } else { config.stages[fine_level - 1].1 };
+            let skip_c =
+                if fine_level == 0 { config.stem } else { config.stages[fine_level - 1].1 };
             let out_c = skip_c.max(16);
             dec_mlps.push(SharedMlp::new(
                 &mut params,
@@ -162,7 +166,8 @@ impl RandLaNet {
             ));
             cur_c = out_c;
         }
-        let head = SharedMlp::new(&mut params, "head", &[cur_c, cur_c], Activation::LeakyRelu, true, rng);
+        let head =
+            SharedMlp::new(&mut params, "head", &[cur_c, cur_c], Activation::LeakyRelu, true, rng);
         let head_out = Linear::new(&mut params, "head.out", cur_c, config.num_classes, true, rng);
         let dropout = Dropout::new(config.dropout);
         Self { config, params, stem, stages, dec_mlps, head, head_out, dropout }
@@ -174,23 +179,22 @@ impl RandLaNet {
     }
 
     /// One local-spatial-encoding + attentive-pooling aggregation at a
-    /// fixed resolution.
+    /// fixed resolution, over pre-computed neighborhoods (`nb` and
+    /// `center_flat` are flattened `[len * k]` level-local indices).
+    #[allow(clippy::too_many_arguments)]
     fn aggregate(
         &self,
         session: &mut Forward<'_>,
         stage: &Stage,
-        coords: &[Point3],
+        nb: &[usize],
+        center_flat: &[usize],
         xyz: Var,
         h: Var,
         k: usize,
     ) -> Var {
-        let n = coords.len();
-        let nb = knn_graph(coords, k);
-        let center_flat: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat(i).take(k)).collect();
-
         // Relative position encoding (Eq. 1 of RandLA-Net).
-        let xyz_j = session.tape.gather_rows(xyz, &nb);
-        let xyz_i = session.tape.gather_rows(xyz, &center_flat);
+        let xyz_j = session.tape.gather_rows(xyz, nb);
+        let xyz_i = session.tape.gather_rows(xyz, center_flat);
         let rel = session.tape.sub(xyz_j, xyz_i);
         let rel_sq = session.tape.square(rel);
         let d2 = session.tape.sum_cols(rel_sq);
@@ -200,7 +204,7 @@ impl RandLaNet {
         let pos_enc = stage.locse.forward(session, relpos);
 
         // Attentive pooling: learned per-channel softmax over neighbors.
-        let feats_j = session.tape.gather_rows(h, &nb);
+        let feats_j = session.tape.gather_rows(h, nb);
         let edge = session.tape.concat_cols(feats_j, pos_enc);
         let scores = stage.score.forward(session, edge);
         let attn = session.tape.group_softmax(scores, k);
@@ -235,25 +239,46 @@ impl SegmentationModel for RandLaNet {
     fn forward(&self, session: &mut Forward<'_>, input: &ModelInput<'_>, rng: &mut StdRng) -> Var {
         let n = input.coords.len();
         assert!(n > 0, "RandLaNet: empty input");
-        let k = self.config.k.min(n);
+        let built;
+        let plan = resolve_plan!(
+            input,
+            built,
+            RandLa,
+            plan_randlanet(&self.config, input.coords),
+            "RandLaNet"
+        );
+        let k = plan.k;
 
         let feats0 = session.tape.concat_cols_all(&[input.xyz, input.color, input.loc]);
         let mut h = self.stem.forward(session, feats0);
 
-        let mut coords_lv: Vec<Vec<Point3>> = vec![input.coords.to_vec()];
+        // Random downsampling is per-pass state, so coarse levels track
+        // which *original* indices survive; their neighborhoods come from
+        // filtered queries against the cached full-resolution kd-tree.
+        let mut orig_lv: Vec<Vec<usize>> = vec![(0..n).collect()];
         let mut xyz_lv: Vec<Var> = vec![input.xyz];
         let mut skip_feats: Vec<Var> = vec![h];
 
         // Encoder: aggregate then randomly downsample.
         for (s, stage) in self.stages.iter().enumerate() {
-            let cur_coords = coords_lv[s].clone();
-            let agg = self.aggregate(session, stage, &cur_coords, xyz_lv[s], h, k.min(cur_coords.len()));
-            let m = self.config.stages[s].0.min(cur_coords.len());
-            let keep = random_sample(cur_coords.len(), m, rng);
-            let next_coords: Vec<Point3> = keep.iter().map(|&i| cur_coords[i]).collect();
+            let cur_len = orig_lv[s].len();
+            let k_lv = k.min(cur_len);
+            let nb_built: Vec<usize>;
+            let center_built: Vec<usize>;
+            let (nb, center_flat): (&[usize], &[usize]) = if s == 0 {
+                (&plan.knn0, &plan.center_flat0)
+            } else {
+                nb_built = subset_knn_graph(&plan.tree, &orig_lv[s], k_lv);
+                center_built = (0..cur_len).flat_map(|i| std::iter::repeat_n(i, k_lv)).collect();
+                (&nb_built, &center_built)
+            };
+            let agg = self.aggregate(session, stage, nb, center_flat, xyz_lv[s], h, k_lv);
+            let m = self.config.stages[s].0.min(cur_len);
+            let keep = random_sample(cur_len, m, rng);
+            let next_orig: Vec<usize> = keep.iter().map(|&i| orig_lv[s][i]).collect();
             let next_xyz = session.tape.gather_rows(xyz_lv[s], &keep);
             h = session.tape.gather_rows(agg, &keep);
-            coords_lv.push(next_coords);
+            orig_lv.push(next_orig);
             xyz_lv.push(next_xyz);
             skip_feats.push(h);
         }
@@ -261,11 +286,8 @@ impl SegmentationModel for RandLaNet {
         // Decoder: nearest-neighbor upsampling with skip connections.
         for (j, dec) in self.dec_mlps.iter().enumerate() {
             let fine = self.config.stages.len() - 1 - j;
-            let coarse_tree = KdTree::build(&coords_lv[fine + 1]);
-            let idx: Vec<usize> = coords_lv[fine]
-                .iter()
-                .map(|&p| coarse_tree.knn(p, 1)[0].index)
-                .collect();
+            let queries: Vec<Point3> = orig_lv[fine].iter().map(|&i| input.coords[i]).collect();
+            let idx = subset_nearest(&plan.tree, &orig_lv[fine + 1], &queries);
             let w = vec![1.0f32; idx.len()];
             let up = session.tape.weighted_gather(h, &idx, &w, 1);
             let cat = session.tape.concat_cols(up, skip_feats[fine]);
@@ -275,6 +297,10 @@ impl SegmentationModel for RandLaNet {
         let hh = self.head.forward(session, h);
         let hh = self.dropout.forward(session, hh, rng);
         self.head_out.forward(session, hh)
+    }
+
+    fn plan(&self, coords: &[Point3]) -> GeometryPlan {
+        GeometryPlan::RandLa(plan_randlanet(&self.config, coords))
     }
 }
 

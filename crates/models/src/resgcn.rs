@@ -9,9 +9,10 @@
 //! depth the paper's pre-trained ResGCN-28 uses, available here via
 //! [`ResGcnConfig::paper`].
 
-use crate::{ModelInput, SegmentationModel};
+use crate::plan::{plan_resgcn, resolve_plan};
+use crate::{GeometryPlan, ModelInput, SegmentationModel};
 use colper_autodiff::Var;
-use colper_geom::dilated_knn;
+use colper_geom::Point3;
 use colper_nn::{Activation, Dropout, Forward, Linear, ParamSet, SharedMlp};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -106,16 +107,9 @@ impl ResGcn {
             })
             .collect();
         // Head sees the final features plus a broadcast global context.
-        let head = SharedMlp::new(
-            &mut params,
-            "head",
-            &[2 * c, c],
-            Activation::LeakyRelu,
-            true,
-            rng,
-        );
-        let head_out =
-            Linear::new(&mut params, "head.out", c, config.num_classes, true, rng);
+        let head =
+            SharedMlp::new(&mut params, "head", &[2 * c, c], Activation::LeakyRelu, true, rng);
+        let head_out = Linear::new(&mut params, "head.out", c, config.num_classes, true, rng);
         let dropout = Dropout::new(config.dropout);
         let display_name = format!("resgcn-{}", config.blocks);
         Self { config, params, stem, edge_mlps, head, head_out, dropout, display_name }
@@ -147,28 +141,18 @@ impl SegmentationModel for ResGcn {
     fn forward(&self, session: &mut Forward<'_>, input: &ModelInput<'_>, rng: &mut StdRng) -> Var {
         let n = input.coords.len();
         assert!(n > 0, "ResGcn: empty input");
-        let k = self.config.k.min(n);
+        let built;
+        let plan =
+            resolve_plan!(input, built, ResGcn, plan_resgcn(&self.config, input.coords), "ResGcn");
+        let k = plan.k;
 
         let feats0 = session.tape.concat_cols_all(&[input.xyz, input.color, input.loc]);
         let mut h = self.stem.forward(session, feats0);
 
-        // Pre-compute one graph per distinct dilation (coordinates are
-        // fixed for the whole pass).
-        let dilations: Vec<usize> =
-            (0..self.config.blocks).map(|b| 1 + b % self.config.max_dilation).collect();
-        let mut graphs: Vec<Option<Vec<usize>>> = vec![None; self.config.max_dilation + 1];
-        for &d in &dilations {
-            if graphs[d].is_none() {
-                graphs[d] = Some(dilated_knn(input.coords, k, d));
-            }
-        }
-        let center_flat: Vec<usize> =
-            (0..n).flat_map(|i| std::iter::repeat(i).take(k)).collect();
-
         for (b, edge_mlp) in self.edge_mlps.iter().enumerate() {
-            let nb = graphs[dilations[b]].as_ref().expect("graph precomputed");
+            let nb = plan.graphs[plan.dilations[b]].as_ref().expect("graph precomputed");
             let x_j = session.tape.gather_rows(h, nb);
-            let x_i = session.tape.gather_rows(h, &center_flat);
+            let x_i = session.tape.gather_rows(h, &plan.center_flat);
             let diff = session.tape.sub(x_j, x_i);
             let edge = session.tape.concat_cols(x_i, diff);
             let msg = edge_mlp.forward(session, edge);
@@ -185,6 +169,10 @@ impl SegmentationModel for ResGcn {
         let hh = self.head.forward(session, with_ctx);
         let hh = self.dropout.forward(session, hh, rng);
         self.head_out.forward(session, hh)
+    }
+
+    fn plan(&self, coords: &[Point3]) -> GeometryPlan {
+        GeometryPlan::ResGcn(plan_resgcn(&self.config, coords))
     }
 }
 

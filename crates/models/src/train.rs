@@ -2,7 +2,7 @@
 //! scenes — this is how the reproduction obtains its "pre-trained"
 //! networks.
 
-use crate::{bind_input, CloudTensors, ColorBinding, SegmentationModel};
+use crate::{bind_input_planned, CloudTensors, ColorBinding, GeometryPlan, SegmentationModel};
 use colper_nn::{Adam, Forward};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -51,6 +51,9 @@ pub fn train_model<M: SegmentationModel + ?Sized>(
 ) -> TrainReport {
     assert!(!clouds.is_empty(), "train_model: no training clouds");
     let mut adam = Adam::with_lr(config.lr);
+    // Geometry depends only on coordinates, which never change across
+    // epochs — plan each cloud once instead of once per epoch.
+    let plans: Vec<GeometryPlan> = clouds.iter().map(|t| model.plan(&t.coords)).collect();
     let mut order: Vec<usize> = (0..clouds.len()).collect();
     let mut trace = Vec::with_capacity(config.epochs);
     let mut final_loss = f32::INFINITY;
@@ -64,7 +67,8 @@ pub fn train_model<M: SegmentationModel + ?Sized>(
             let t = &clouds[ci];
             let (grads, bn_updates, loss, acc) = {
                 let mut session = Forward::new(model.params(), true);
-                let input = bind_input(&mut session.tape, t, ColorBinding::Constant);
+                let input =
+                    bind_input_planned(&mut session.tape, t, ColorBinding::Constant, &plans[ci]);
                 let logits = model.forward(&mut session, &input, rng);
                 let loss_var = session.tape.softmax_cross_entropy(logits, &t.labels);
                 session.tape.backward(loss_var);
@@ -104,7 +108,11 @@ mod tests {
     use colper_scene::{normalize, IndoorSceneConfig, RoomKind, SceneGenerator};
     use rand::SeedableRng;
 
-    fn training_set(n_clouds: usize, points: usize, norm: fn(&colper_scene::PointCloud) -> colper_scene::PointCloud) -> Vec<CloudTensors> {
+    fn training_set(
+        n_clouds: usize,
+        points: usize,
+        norm: fn(&colper_scene::PointCloud) -> colper_scene::PointCloud,
+    ) -> Vec<CloudTensors> {
         (0..n_clouds)
             .map(|i| {
                 let cfg = IndoorSceneConfig {

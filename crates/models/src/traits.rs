@@ -1,7 +1,8 @@
 //! The [`SegmentationModel`] trait and inference helpers.
 
-use crate::{bind_input, CloudTensors, ColorBinding, ModelInput};
+use crate::{bind_input, bind_input_planned, CloudTensors, ColorBinding, GeometryPlan, ModelInput};
 use colper_autodiff::Var;
+use colper_geom::Point3;
 use colper_nn::{Forward, ParamSet};
 use colper_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -32,6 +33,15 @@ pub trait SegmentationModel {
     /// `rng` drives dropout (training) and any stochastic pooling the
     /// architecture uses (RandLA-Net's random sampling).
     fn forward(&self, session: &mut Forward<'_>, input: &ModelInput<'_>, rng: &mut StdRng) -> Var;
+
+    /// Pre-computes every coordinate-only structure the forward pass
+    /// needs for `coords` (FPS centroids, ball queries, k-NN graphs, …).
+    ///
+    /// The returned plan is valid for any number of forward passes over
+    /// the same coordinates — attach it via
+    /// [`crate::bind_input_planned`] or [`ModelInput::plan`]. Planned
+    /// and plan-free passes produce bit-identical logits.
+    fn plan(&self, coords: &[Point3]) -> GeometryPlan;
 }
 
 /// Runs an evaluation-mode forward pass and returns the logits matrix.
@@ -63,6 +73,44 @@ pub fn evaluate_on<M: SegmentationModel + ?Sized>(
     rng: &mut StdRng,
 ) -> f32 {
     let preds = predict(model, tensors, rng);
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(&tensors.labels).filter(|(p, l)| p == l).count();
+    correct as f32 / preds.len() as f32
+}
+
+/// [`logits_of`] with a pre-computed geometry plan.
+pub fn logits_of_planned<M: SegmentationModel + ?Sized>(
+    model: &M,
+    tensors: &CloudTensors,
+    plan: &GeometryPlan,
+    rng: &mut StdRng,
+) -> Matrix {
+    let mut session = Forward::new(model.params(), false);
+    let input = bind_input_planned(&mut session.tape, tensors, ColorBinding::Constant, plan);
+    let logits = model.forward(&mut session, &input, rng);
+    session.tape.value(logits).clone()
+}
+
+/// [`predict`] with a pre-computed geometry plan.
+pub fn predict_planned<M: SegmentationModel + ?Sized>(
+    model: &M,
+    tensors: &CloudTensors,
+    plan: &GeometryPlan,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    logits_of_planned(model, tensors, plan, rng).argmax_rows()
+}
+
+/// [`evaluate_on`] with a pre-computed geometry plan.
+pub fn evaluate_on_planned<M: SegmentationModel + ?Sized>(
+    model: &M,
+    tensors: &CloudTensors,
+    plan: &GeometryPlan,
+    rng: &mut StdRng,
+) -> f32 {
+    let preds = predict_planned(model, tensors, plan, rng);
     if preds.is_empty() {
         return 0.0;
     }

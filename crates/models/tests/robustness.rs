@@ -33,12 +33,8 @@ fn assert_clean_logits(t: &CloudTensors, context: &str) {
 
 #[test]
 fn single_point_cloud() {
-    let cloud = PointCloud::new(
-        vec![Point3::new(0.5, 0.5, 0.5)],
-        vec![[0.3, 0.6, 0.9]],
-        vec![2],
-        13,
-    );
+    let cloud =
+        PointCloud::new(vec![Point3::new(0.5, 0.5, 0.5)], vec![[0.3, 0.6, 0.9]], vec![2], 13);
     assert_clean_logits(&CloudTensors::from_cloud(&cloud), "single point");
 }
 
@@ -105,10 +101,6 @@ fn logits_respond_to_color_changes() {
         let l1 = logits_of(model.as_ref(), &t1, &mut rng);
         let mut rng = StdRng::seed_from_u64(7);
         let l2 = logits_of(model.as_ref(), &t2, &mut rng);
-        assert!(
-            l1.max_abs_diff(&l2) > 1e-4,
-            "{}: logits ignore color entirely",
-            model.name()
-        );
+        assert!(l1.max_abs_diff(&l2) > 1e-4, "{}: logits ignore color entirely", model.name());
     }
 }

@@ -36,13 +36,18 @@ impl Dropout {
         }
         let (rows, cols) = f.tape.value(x).shape();
         let keep = 1.0 - self.p;
-        let mask = Matrix::from_fn(rows, cols, |_, _| {
-            if rng.gen::<f32>() < keep {
-                1.0 / keep
-            } else {
-                0.0
-            }
-        });
+        let mask =
+            Matrix::from_fn(
+                rows,
+                cols,
+                |_, _| {
+                    if rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                },
+            );
         f.tape.mul_const(x, mask)
     }
 }

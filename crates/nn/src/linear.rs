@@ -32,10 +32,7 @@ impl Linear {
             Initializer::KaimingUniform.sample(in_dim, out_dim, rng),
         );
         let bias = bias.then(|| {
-            params.add_param(
-                format!("{name}.bias"),
-                Initializer::Zeros.sample(1, out_dim, rng),
-            )
+            params.add_param(format!("{name}.bias"), Initializer::Zeros.sample(1, out_dim, rng))
         });
         Self { weight, bias, in_dim, out_dim }
     }

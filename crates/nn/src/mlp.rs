@@ -53,7 +53,8 @@ impl SharedMlp {
         assert!(dims.len() >= 2, "SharedMlp needs at least [in, out] dims");
         let mut blocks = Vec::with_capacity(dims.len() - 1);
         for (i, pair) in dims.windows(2).enumerate() {
-            let lin = Linear::new(params, &format!("{name}.{i}"), pair[0], pair[1], !batch_norm, rng);
+            let lin =
+                Linear::new(params, &format!("{name}.{i}"), pair[0], pair[1], !batch_norm, rng);
             let bn = batch_norm.then(|| BatchNorm::new(params, &format!("{name}.{i}.bn"), pair[1]));
             blocks.push((lin, bn, activation));
         }

@@ -93,8 +93,8 @@ impl Adam {
                 self.states.resize(id.0 + 1, None);
             }
             let value = params.param_mut(*id);
-            let state = self.states[id.0]
-                .get_or_insert_with(|| AdamState::new(value.rows(), value.cols()));
+            let state =
+                self.states[id.0].get_or_insert_with(|| AdamState::new(value.rows(), value.cols()));
             state.update(value, grad, self.lr);
         }
     }

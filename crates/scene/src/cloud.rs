@@ -114,12 +114,7 @@ impl PointCloud {
 
     /// Indices of the points whose label is `class`.
     pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|&(_, &l)| l == class)
-            .map(|(i, _)| i)
-            .collect()
+        self.labels.iter().enumerate().filter(|&(_, &l)| l == class).map(|(i, _)| i).collect()
     }
 
     /// A boolean mask selecting points of `class`.
@@ -175,9 +170,7 @@ impl PointCloud {
         self.colors
             .iter()
             .zip(&other.colors)
-            .map(|(a, b)| {
-                (0..3).map(|c| (a[c] - b[c]) * (a[c] - b[c])).sum::<f32>()
-            })
+            .map(|(a, b)| (0..3).map(|c| (a[c] - b[c]) * (a[c] - b[c])).sum::<f32>())
             .sum()
     }
 

@@ -83,7 +83,7 @@ impl S3disLikeDataset {
         // Cycle the room kinds so every area has a mix, with offices
         // over-represented as in the real dataset.
         let kind = match index % 6 {
-            0 | 1 | 2 => RoomKind::Office,
+            0..=2 => RoomKind::Office,
             3 => RoomKind::ConferenceRoom,
             4 => RoomKind::Hallway,
             _ => RoomKind::Lobby,
@@ -100,11 +100,7 @@ impl S3disLikeDataset {
     /// Training rooms: areas 1–4 and 6 (Area 5 held out, as in the
     /// paper).
     pub fn train_rooms(&self) -> Vec<PointCloud> {
-        Area::ALL
-            .iter()
-            .filter(|a| **a != Area::EVAL)
-            .flat_map(|&a| self.area_rooms(a))
-            .collect()
+        Area::ALL.iter().filter(|a| **a != Area::EVAL).flat_map(|&a| self.area_rooms(a)).collect()
     }
 
     /// Evaluation rooms: Area 5.

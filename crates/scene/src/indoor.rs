@@ -102,9 +102,8 @@ impl WallPatch {
 }
 
 pub(crate) fn generate_room<R: Rng + ?Sized>(cfg: &IndoorSceneConfig, rng: &mut R) -> PointCloud {
-    let kind = cfg.room_kind.unwrap_or_else(|| {
-        RoomKind::ALL[rng.gen_range(0..RoomKind::ALL.len())]
-    });
+    let kind =
+        cfg.room_kind.unwrap_or_else(|| RoomKind::ALL[rng.gen_range(0..RoomKind::ALL.len())]);
     let (w, d, h) = room_dims(kind, rng);
     let mut surfels: Vec<Surfel> = Vec::new();
 
@@ -174,26 +173,18 @@ pub(crate) fn generate_room<R: Rng + ?Sized>(cfg: &IndoorSceneConfig, rng: &mut 
 
 fn room_dims<R: Rng + ?Sized>(kind: RoomKind, rng: &mut R) -> (f32, f32, f32) {
     match kind {
-        RoomKind::Office => (
-            rng.gen_range(3.0..5.0),
-            rng.gen_range(3.0..5.0),
-            rng.gen_range(2.6..3.2),
-        ),
-        RoomKind::ConferenceRoom => (
-            rng.gen_range(5.0..8.0),
-            rng.gen_range(4.0..6.0),
-            rng.gen_range(2.8..3.4),
-        ),
-        RoomKind::Hallway => (
-            rng.gen_range(8.0..14.0),
-            rng.gen_range(1.8..2.6),
-            rng.gen_range(2.6..3.0),
-        ),
-        RoomKind::Lobby => (
-            rng.gen_range(7.0..11.0),
-            rng.gen_range(6.0..9.0),
-            rng.gen_range(3.0..4.2),
-        ),
+        RoomKind::Office => {
+            (rng.gen_range(3.0..5.0), rng.gen_range(3.0..5.0), rng.gen_range(2.6..3.2))
+        }
+        RoomKind::ConferenceRoom => {
+            (rng.gen_range(5.0..8.0), rng.gen_range(4.0..6.0), rng.gen_range(2.8..3.4))
+        }
+        RoomKind::Hallway => {
+            (rng.gen_range(8.0..14.0), rng.gen_range(1.8..2.6), rng.gen_range(2.6..3.0))
+        }
+        RoomKind::Lobby => {
+            (rng.gen_range(7.0..11.0), rng.gen_range(6.0..9.0), rng.gen_range(3.0..4.2))
+        }
     }
 }
 
@@ -222,8 +213,11 @@ fn plan_wall_patches<R: Rng + ?Sized>(
             // Reject overlaps: patches occlude each other (first match
             // wins when relabeling), which could erase a class entirely.
             let overlaps = patches.iter().any(|p: &WallPatch| {
-                p.wall == wall && p.u0 < candidate.u1 && candidate.u0 < p.u1
-                    && p.z0 < candidate.z1 && candidate.z0 < p.z1
+                p.wall == wall
+                    && p.u0 < candidate.u1
+                    && candidate.u0 < p.u1
+                    && p.z0 < candidate.z1
+                    && candidate.z0 < p.z1
             });
             if overlaps {
                 if attempt < 11 {
@@ -345,7 +339,8 @@ fn place_table<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: 
         rng,
     );
     // Four legs.
-    for (lx, ly) in [(x, y), (x + tw - 0.05, y), (x, y + td - 0.05), (x + tw - 0.05, y + td - 0.05)] {
+    for (lx, ly) in [(x, y), (x + tw - 0.05, y), (x, y + td - 0.05), (x + tw - 0.05, y + td - 0.05)]
+    {
         sample_box(
             out,
             Point3::new(lx, ly, 0.0),
@@ -357,7 +352,13 @@ fn place_table<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: 
     }
 }
 
-fn place_big_table<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: f32, rng: &mut R) {
+fn place_big_table<R: Rng + ?Sized>(
+    out: &mut Vec<Surfel>,
+    w: f32,
+    d: f32,
+    density: f32,
+    rng: &mut R,
+) {
     let tw = (w * 0.5).clamp(1.5, 4.0);
     let td = (d * 0.35).clamp(1.0, 2.0);
     let th = 0.75;
@@ -450,16 +451,28 @@ fn place_sofa<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: f
     }
 }
 
-fn place_bookcase<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, density: f32, rng: &mut R) {
+fn place_bookcase<R: Rng + ?Sized>(
+    out: &mut Vec<Surfel>,
+    w: f32,
+    d: f32,
+    density: f32,
+    rng: &mut R,
+) {
     let bw = rng.gen_range(0.8..1.8);
     let bd = 0.35;
     let bh = rng.gen_range(1.6..2.2);
     // Against a random wall.
     let against_x = rng.gen_bool(0.5);
     let (x, y) = if against_x {
-        (rng.gen_range(0.2..(w - bw - 0.2).max(0.25)), if rng.gen_bool(0.5) { 0.05 } else { d - bd - 0.05 })
+        (
+            rng.gen_range(0.2..(w - bw - 0.2).max(0.25)),
+            if rng.gen_bool(0.5) { 0.05 } else { d - bd - 0.05 },
+        )
     } else {
-        (if rng.gen_bool(0.5) { 0.05 } else { w - bd - 0.05 }, rng.gen_range(0.2..(d - bw - 0.2).max(0.25)))
+        (
+            if rng.gen_bool(0.5) { 0.05 } else { w - bd - 0.05 },
+            rng.gen_range(0.2..(d - bw - 0.2).max(0.25)),
+        )
     };
     let (bx, by) = if against_x { (bw, bd) } else { (bd, bw) };
     // Carcass.
@@ -475,7 +488,17 @@ fn place_bookcase<R: Rng + ?Sized>(out: &mut Vec<Surfel>, w: f32, d: f32, densit
     let n_shelves = (bh / 0.4) as usize;
     for s in 1..n_shelves {
         let z = s as f32 * 0.4;
-        sample_horizontal_rect(out, x, x + bx, y, y + by, z, IndoorClass::Bookcase, density * 1.2, rng);
+        sample_horizontal_rect(
+            out,
+            x,
+            x + bx,
+            y,
+            y + by,
+            z,
+            IndoorClass::Bookcase,
+            density * 1.2,
+            rng,
+        );
     }
 }
 
@@ -488,6 +511,7 @@ fn free_spot<R: Rng + ?Sized>(w: f32, d: f32, fw: f32, fd: f32, rng: &mut R) -> 
 }
 
 /// Samples a horizontal rectangle at height `z`.
+#[allow(clippy::too_many_arguments)]
 fn sample_horizontal_rect<R: Rng + ?Sized>(
     out: &mut Vec<Surfel>,
     x0: f32,
@@ -584,10 +608,8 @@ fn finalize<R: Rng + ?Sized>(
     let lighting = 1.0 + rng.gen_range(-cfg.lighting_jitter..=cfg.lighting_jitter);
     let coords: Vec<Point3> = surfels.iter().map(|s| s.pos).collect();
     let labels: Vec<usize> = surfels.iter().map(|s| s.class.label()).collect();
-    let colors: Vec<[f32; 3]> = labels
-        .iter()
-        .map(|&l| cfg.color_model.sample(l, lighting, rng))
-        .collect();
+    let colors: Vec<[f32; 3]> =
+        labels.iter().map(|&l| cfg.color_model.sample(l, lighting, rng)).collect();
     let cloud = PointCloud::new(coords, colors, labels, INDOOR_CLASS_COUNT);
     cloud.resample(cfg.n_points, rng)
 }
@@ -611,10 +633,7 @@ mod tests {
             let cloud = gen(RoomKind::Office, seed);
             let hist = cloud.class_histogram();
             for class in IndoorClass::targeted_attack_sources() {
-                assert!(
-                    hist[class.label()] > 0,
-                    "office seed {seed} missing {class}: {hist:?}"
-                );
+                assert!(hist[class.label()] > 0, "office seed {seed} missing {class}: {hist:?}");
             }
             assert!(hist[IndoorClass::Wall.label()] > 0);
         }
@@ -667,11 +686,9 @@ mod tests {
         // Average ceiling color should be bright.
         let idx = cloud.indices_of_class(IndoorClass::Ceiling.label());
         assert!(!idx.is_empty());
-        let mean_lum: f32 = idx
-            .iter()
-            .map(|&i| cloud.colors[i].iter().sum::<f32>() / 3.0)
-            .sum::<f32>()
-            / idx.len() as f32;
+        let mean_lum: f32 =
+            idx.iter().map(|&i| cloud.colors[i].iter().sum::<f32>() / 3.0).sum::<f32>()
+                / idx.len() as f32;
         assert!(mean_lum > 0.6, "ceiling luminance {mean_lum}");
     }
 

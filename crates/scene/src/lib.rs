@@ -33,7 +33,6 @@
 #![warn(missing_docs)]
 
 mod cloud;
-pub mod viz;
 mod color;
 mod dataset;
 mod indoor;
@@ -41,6 +40,7 @@ pub mod io;
 mod labels;
 pub mod normalize;
 mod outdoor;
+pub mod viz;
 
 pub use cloud::PointCloud;
 pub use color::ColorModel;

@@ -74,11 +74,8 @@ pub fn randla_view<R: Rng + ?Sized>(cloud: &PointCloud, budget: usize, rng: &mut
 /// `[-2, 2]`; [`resgcn_to_pointnet`] provides the range-exact variant,
 /// and the transferability harness reports both.
 pub fn eq10_transform(cloud: &PointCloud) -> PointCloud {
-    let coords = cloud
-        .coords
-        .iter()
-        .map(|&p| Point3::new(2.0 * p.x, 2.0 * p.y, 1.5 * p.z + 1.5))
-        .collect();
+    let coords =
+        cloud.coords.iter().map(|&p| Point3::new(2.0 * p.x, 2.0 * p.y, 1.5 * p.z + 1.5)).collect();
     PointCloud::new(coords, cloud.colors.clone(), cloud.labels.clone(), cloud.num_classes)
 }
 
@@ -165,12 +162,7 @@ mod tests {
 
     #[test]
     fn eq10_matches_paper_formula() {
-        let cloud = PointCloud::new(
-            vec![Point3::new(-1.0, 1.0, 0.0)],
-            vec![[0.5; 3]],
-            vec![0],
-            13,
-        );
+        let cloud = PointCloud::new(vec![Point3::new(-1.0, 1.0, 0.0)], vec![[0.5; 3]], vec![0], 13);
         let t = eq10_transform(&cloud);
         assert_eq!(t.coords[0], Point3::new(-2.0, 2.0, 1.5));
     }

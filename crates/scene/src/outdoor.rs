@@ -73,7 +73,8 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
         let x = rng.gen_range(0.0..e);
         let y = rng.gen_range(0.0..e);
         if y >= road_y0 && y <= road_y1 {
-            surfels.push(Surfel { pos: Point3::new(x, y, 0.02), class: OutdoorClass::ManMadeTerrain });
+            surfels
+                .push(Surfel { pos: Point3::new(x, y, 0.02), class: OutdoorClass::ManMadeTerrain });
         } else {
             let z = terrain_height(x, y, phase).max(0.0);
             surfels.push(Surfel { pos: Point3::new(x, y, z), class: OutdoorClass::NaturalTerrain });
@@ -120,7 +121,11 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
         let tx = rng.gen_range(1.0..e - 1.0);
         let ty = if rng.gen_bool(0.7) {
             // Keep trees off the road.
-            if rng.gen_bool(0.5) { rng.gen_range(0.0..road_y0.max(0.5)) } else { rng.gen_range(road_y1.min(e - 0.5)..e) }
+            if rng.gen_bool(0.5) {
+                rng.gen_range(0.0..road_y0.max(0.5))
+            } else {
+                rng.gen_range(road_y1.min(e - 0.5)..e)
+            }
         } else {
             rng.gen_range(0.0..e)
         };
@@ -156,7 +161,11 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
     let n_bushes = rng.gen_range(4..=9);
     for _ in 0..n_bushes {
         let bx = rng.gen_range(0.0..e);
-        let by = if rng.gen_bool(0.5) { rng.gen_range(0.0..road_y0.max(0.5)) } else { rng.gen_range(road_y1.min(e - 0.5)..e) };
+        let by = if rng.gen_bool(0.5) {
+            rng.gen_range(0.0..road_y0.max(0.5))
+        } else {
+            rng.gen_range(road_y1.min(e - 0.5)..e)
+        };
         let br = rng.gen_range(0.3..0.9);
         let base = terrain_height(bx, by, phase).max(0.0);
         let n = ((br * br * cfg.density * 20.0) as usize).max(6);
@@ -201,11 +210,7 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
     let n_artefacts = rng.gen_range(20..60);
     for _ in 0..n_artefacts {
         surfels.push(Surfel {
-            pos: Point3::new(
-                rng.gen_range(0.0..e),
-                rng.gen_range(0.0..e),
-                rng.gen_range(0.0..8.0),
-            ),
+            pos: Point3::new(rng.gen_range(0.0..e), rng.gen_range(0.0..e), rng.gen_range(0.0..8.0)),
             class: OutdoorClass::ScanningArtefact,
         });
     }
@@ -214,10 +219,8 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
     let lighting = 1.0 + rng.gen_range(-cfg.lighting_jitter..=cfg.lighting_jitter);
     let coords: Vec<Point3> = surfels.iter().map(|s| s.pos).collect();
     let labels: Vec<usize> = surfels.iter().map(|s| s.class.label()).collect();
-    let colors: Vec<[f32; 3]> = labels
-        .iter()
-        .map(|&l| cfg.color_model.sample(l, lighting, rng))
-        .collect();
+    let colors: Vec<[f32; 3]> =
+        labels.iter().map(|&l| cfg.color_model.sample(l, lighting, rng)).collect();
     let cloud = PointCloud::new(coords, colors, labels, OUTDOOR_CLASS_COUNT);
     cloud.resample(cfg.n_points, rng)
 }
@@ -231,11 +234,8 @@ fn sample_box_faces<R: Rng + ?Sized>(
     rng: &mut R,
 ) {
     let size = max - min;
-    let faces: [(f32, usize); 3] = [
-        (size.y * size.z, 0),
-        (size.x * size.z, 1),
-        (size.x * size.y, 2),
-    ];
+    let faces: [(f32, usize); 3] =
+        [(size.y * size.z, 0), (size.x * size.z, 1), (size.x * size.y, 2)];
     for (area, axis) in faces {
         let n = ((area * density) as usize).max(1);
         for _ in 0..n {
@@ -288,8 +288,8 @@ mod tests {
     fn terrain_classes_dominate() {
         let cloud = gen(1);
         let hist = cloud.class_histogram();
-        let terrain = hist[OutdoorClass::ManMadeTerrain.label()]
-            + hist[OutdoorClass::NaturalTerrain.label()];
+        let terrain =
+            hist[OutdoorClass::ManMadeTerrain.label()] + hist[OutdoorClass::NaturalTerrain.label()];
         assert!(terrain > cloud.len() / 6, "terrain mass too small: {hist:?}");
     }
 
@@ -307,8 +307,8 @@ mod tests {
             let idx = cloud.indices_of_class(class.label());
             let mut m = [0.0f32; 3];
             for &i in &idx {
-                for c in 0..3 {
-                    m[c] += cloud.colors[i][c] / idx.len() as f32;
+                for (c, v) in m.iter_mut().enumerate() {
+                    *v += cloud.colors[i][c] / idx.len() as f32;
                 }
             }
             m

@@ -46,16 +46,9 @@ pub fn top_down_map(cloud: &PointCloud, labels: &[usize], width: usize, height: 
     for row in (0..height).rev() {
         for col in 0..width {
             let cell = &counts[(row * width + col) * classes..(row * width + col + 1) * classes];
-            let (best, count) = cell
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &c)| c)
-                .expect("non-empty class space");
-            out.push(if *count == 0 {
-                '.'
-            } else {
-                GLYPHS[best % GLYPHS.len()] as char
-            });
+            let (best, count) =
+                cell.iter().enumerate().max_by_key(|(_, &c)| c).expect("non-empty class space");
+            out.push(if *count == 0 { '.' } else { GLYPHS[best % GLYPHS.len()] as char });
         }
         out.push('\n');
     }

@@ -190,9 +190,11 @@ impl Matrix {
         Ok(())
     }
 
-    /// Iterates over the rows of the matrix as slices.
+    /// Iterates over the rows of the matrix as slices, yielding exactly
+    /// [`Matrix::rows`] items even for zero-column matrices (where every
+    /// row is the empty slice).
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols.max(1))
+        (0..self.rows).map(move |r| &self.data[r * self.cols..(r + 1) * self.cols])
     }
 
     /// Copies a rectangular sub-block `[r0..r1) x [c0..c1)` into a new matrix.
@@ -247,11 +249,7 @@ impl Matrix {
     /// Panics when the shapes differ.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff requires equal shapes");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 }
 
@@ -259,14 +257,24 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -316,6 +324,26 @@ mod tests {
                 assert_eq!(m[(r, c)], if r == c { 1.0 } else { 0.0 });
             }
         }
+    }
+
+    #[test]
+    fn iter_rows_yields_exactly_rows_items() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn iter_rows_zero_column_matrix_yields_empty_rows() {
+        // Regression: chunks_exact(cols.max(1)) yielded zero rows for an
+        // N x 0 matrix instead of N empty slices.
+        let m = Matrix::zeros(4, 0);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.is_empty()));
+        // And a 0 x N matrix yields no rows.
+        assert_eq!(Matrix::zeros(0, 5).iter_rows().count(), 0);
     }
 
     #[test]

@@ -48,12 +48,7 @@ impl Matrix {
         if self.shape() != other.shape() {
             return Err(ShapeError::new(op, self.shape(), other.shape()).into());
         }
-        let data = self
-            .as_slice()
-            .iter()
-            .zip(other.as_slice())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
         Ok(Matrix::from_vec(self.rows(), self.cols(), data).expect("shape preserved"))
     }
 
@@ -234,13 +229,16 @@ impl Matrix {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                        if v > bv {
-                            (i, v)
-                        } else {
-                            (bi, bv)
-                        }
-                    })
+                    .fold(
+                        (0usize, f32::NEG_INFINITY),
+                        |(bi, bv), (i, &v)| {
+                            if v > bv {
+                                (i, v)
+                            } else {
+                                (bi, bv)
+                            }
+                        },
+                    )
                     .0
             })
             .collect()

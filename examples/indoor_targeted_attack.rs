@@ -48,8 +48,7 @@ fn main() {
         .filter(|s| office.labels.iter().filter(|&&l| l == s.label()).count() >= 15)
         .min_by(|a, b| {
             let sr = |s: &IndoorClass| {
-                let mask: Vec<bool> =
-                    office.labels.iter().map(|&l| l == s.label()).collect();
+                let mask: Vec<bool> = office.labels.iter().map(|&l| l == s.label()).collect();
                 success_rate(&clean_preds, &targets, &mask)
             };
             sr(a).partial_cmp(&sr(b)).expect("finite")
@@ -77,12 +76,7 @@ fn main() {
     );
     println!(
         "  {source} points predicted as wall: {}/{}",
-        result
-            .predictions
-            .iter()
-            .zip(&mask)
-            .filter(|(&p, &m)| m && p == target.label())
-            .count(),
+        result.predictions.iter().zip(&mask).filter(|(&p, &m)| m && p == target.label()).count(),
         source_points
     );
 }

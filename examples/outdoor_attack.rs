@@ -41,13 +41,8 @@ fn main() {
     let scene = dataset
         .eval_scenes()
         .into_iter()
-        .map(|c| {
-            let t = CloudTensors::from_cloud(&normalize::randla_view(&c, c.len(), &mut rng));
-            t
-        })
-        .find(|t| {
-            t.labels.iter().filter(|&&l| l == OutdoorClass::Car.label()).count() >= 15
-        })
+        .map(|c| CloudTensors::from_cloud(&normalize::randla_view(&c, c.len(), &mut rng)))
+        .find(|t| t.labels.iter().filter(|&&l| l == OutdoorClass::Car.label()).count() >= 15)
         .expect("an evaluation scene with a car");
 
     let clean_acc = evaluate_on(&model, &scene, &mut rng);
@@ -60,11 +55,7 @@ fn main() {
     let attack = Colper::new(AttackConfig::non_targeted(80));
     let result = attack.run(&model, &scene, &mask, &mut rng);
     let baseline = NoiseBaseline::new(result.l2_sq).run(&model, &scene, &mask, &mut rng);
-    println!(
-        "  COLPER:   L2 {:.2}, accuracy {:.1}%",
-        result.l2(),
-        result.success_metric * 100.0
-    );
+    println!("  COLPER:   L2 {:.2}, accuracy {:.1}%", result.l2(), result.success_metric * 100.0);
     println!(
         "  baseline: L2 {:.2}, accuracy {:.1}% (same noise budget, no optimization)",
         baseline.l2_sq.sqrt(),

@@ -8,9 +8,7 @@
 //! cargo run --release --example transferability
 //! ```
 
-use colper_repro::attack::{
-    apply_adversarial_colors, evaluate_cloud, AttackConfig, Colper,
-};
+use colper_repro::attack::{apply_adversarial_colors, evaluate_cloud, AttackConfig, Colper};
 use colper_repro::models::{
     train_model, CloudTensors, PointNet2, PointNet2Config, ResGcn, ResGcnConfig, TrainConfig,
 };

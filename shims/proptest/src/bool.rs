@@ -1,0 +1,18 @@
+//! Boolean strategies (mirrors `proptest::bool`).
+
+use crate::strategy::{Strategy, TestRng};
+
+/// The type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Uniformly random booleans.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,72 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use crate::strategy::{Strategy, TestRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted size arguments for [`vec`]: a fixed length or a length
+/// range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        Self { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        Self { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+/// A strategy producing `Vec`s of values from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.below(self.size.lo as i128, self.size.hi_inclusive as i128 + 1) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::fnv1a;
+
+    #[test]
+    fn fixed_and_ranged_sizes() {
+        let mut rng = TestRng::for_case(fnv1a("vec"), 0);
+        let fixed = vec(0u8..10, 7).generate(&mut rng);
+        assert_eq!(fixed.len(), 7);
+        for _ in 0..100 {
+            let v = vec(0u8..10, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let w = vec(0u8..10, 2..=3).generate(&mut rng);
+            assert!((2..=3).contains(&w.len()));
+        }
+    }
+}

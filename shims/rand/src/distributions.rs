@@ -1,0 +1,227 @@
+//! Distributions: [`Standard`], [`Uniform`] and the [`Distribution`]
+//! trait, plus the [`uniform`] sampling machinery behind `gen_range`.
+
+use crate::RngCore;
+
+/// Types that can sample values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over `[0, 1)` for
+/// floats, uniform over the full domain for integers and `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        crate::unit_f32(rng)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        crate::unit_f64(rng)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// A uniform distribution over a fixed range, reusable across draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: uniform::SampleUniform + PartialOrd + Copy> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new called with low >= high");
+        Self { low, high, inclusive: false }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive called with low > high");
+        Self { low, high, inclusive: true }
+    }
+}
+
+impl<T: uniform::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.low, self.high, self.inclusive)
+    }
+}
+
+/// Range-sampling machinery (mirrors `rand::distributions::uniform`).
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types `gen_range` can sample.
+    pub trait SampleUniform: Sized {
+        /// A uniform draw from `[low, high)` (or `[low, high]` when
+        /// `inclusive`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range expressions accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "gen_range: empty inclusive range");
+            T::sample_uniform(rng, start, end, true)
+        }
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let lo = low as i128;
+                    let hi = high as i128;
+                    let span = (hi - lo + if inclusive { 1 } else { 0 }) as u128;
+                    debug_assert!(span > 0);
+                    // Widening-multiply range reduction: unbiased enough
+                    // for the spans this workspace draws (all << 2^64).
+                    let offset = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (lo + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f32 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self {
+            let unit = if inclusive {
+                (rng.next_u32() >> 8) as f32 * (1.0 / ((1u32 << 24) - 1) as f32)
+            } else {
+                crate::unit_f32(rng)
+            };
+            let v = low + (high - low) * unit;
+            // Guard against rounding pushing an exclusive draw onto the
+            // upper bound.
+            if !inclusive && v >= high {
+                low.max(high - (high - low) * f32::EPSILON)
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self {
+            let unit = if inclusive {
+                (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+            } else {
+                crate::unit_f64(rng)
+            };
+            let v = low + (high - low) * unit;
+            if !inclusive && v >= high {
+                low.max(high - (high - low) * f64::EPSILON)
+            } else {
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_reuse_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = Uniform::new(f32::EPSILON, 1.0f32);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((f32::EPSILON..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn uniform_inclusive_hits_bounds_region() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let d = Uniform::new_inclusive(-0.3f32, 0.3);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for _ in 0..2000 {
+            let v = d.sample(&mut rng);
+            assert!((-0.3..=0.3).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < -0.25 && hi > 0.25, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn standard_f32_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v: f32 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

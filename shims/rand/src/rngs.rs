@@ -1,0 +1,106 @@
+//! Concrete generators: [`StdRng`], [`SmallRng`] and the mock
+//! [`mock::StepRng`].
+
+use crate::{RngCore, SeedableRng, SplitMix64};
+
+/// The workspace's standard seeded generator: xoshiro256**.
+///
+/// Not the same algorithm (or stream) as upstream `rand`'s ChaCha12-based
+/// `StdRng`, but deterministic, `Clone`-snapshottable and statistically
+/// solid, which is all the workspace requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // xoshiro's state must not be all-zero; remix through SplitMix64.
+        if s == [0; 4] {
+            let mut sm = SplitMix64 { state: 0 };
+            for slot in &mut s {
+                *slot = sm.next();
+            }
+        }
+        Self { s }
+    }
+}
+
+/// Small fast generator; in this shim it shares the [`StdRng`] engine.
+pub type SmallRng = StdRng;
+
+/// Mock generators for tests.
+pub mod mock {
+    use crate::RngCore;
+
+    /// A deterministic counter "generator": yields `initial`,
+    /// `initial + increment`, ... — mirrors `rand::rngs::mock::StepRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StepRng {
+        value: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        /// A generator counting from `initial` in steps of `increment`.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            Self { value: initial, increment }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = self.value;
+            self.value = self.value.wrapping_add(self.increment);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mock::StepRng;
+    use super::*;
+
+    #[test]
+    fn step_rng_counts() {
+        let mut r = StepRng::new(7, 13);
+        assert_eq!(r.next_u64(), 7);
+        assert_eq!(r.next_u64(), 20);
+        assert_eq!(r.next_u32(), 33);
+    }
+
+    #[test]
+    fn zero_seed_is_remixed() {
+        let mut r = StdRng::from_seed([0u8; 32]);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

@@ -86,7 +86,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-fn flag_usize(flags: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+fn flag_usize(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
@@ -101,13 +105,10 @@ fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result
 }
 
 fn indoor_class(name: &str) -> Result<IndoorClass, String> {
-    IndoorClass::ALL
-        .into_iter()
-        .find(|c| c.name() == name)
-        .ok_or_else(|| {
-            let names: Vec<&str> = IndoorClass::ALL.iter().map(|c| c.name()).collect();
-            format!("unknown class '{name}'; expected one of {}", names.join(", "))
-        })
+    IndoorClass::ALL.into_iter().find(|c| c.name() == name).ok_or_else(|| {
+        let names: Vec<&str> = IndoorClass::ALL.iter().map(|c| c.name()).collect();
+        format!("unknown class '{name}'; expected one of {}", names.join(", "))
+    })
 }
 
 fn cmd_scene(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -213,11 +214,8 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(flag_u64(flags, "seed", 11)?);
     let mut model = AnyModel::build(kind, &mut rng)?;
     let dataset = S3disLikeDataset::new(IndoorSceneConfig::with_points(points), rooms);
-    let clouds: Vec<CloudTensors> = dataset
-        .train_rooms()
-        .iter()
-        .map(|c| model.view(c, &mut rng))
-        .collect();
+    let clouds: Vec<CloudTensors> =
+        dataset.train_rooms().iter().map(|c| model.view(c, &mut rng)).collect();
     println!("training {kind} on {} rooms x {points} points...", clouds.len());
     let report = train_model(
         model.as_dyn_mut(),
@@ -287,10 +285,11 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
         Some(target_name) => {
             let target = indoor_class(target_name)?;
             let source = indoor_class(flags.get("source").map_or("board", String::as_str))?;
-            let mask: Vec<bool> =
-                tensors.labels.iter().map(|&l| l == source.label()).collect();
+            let mask: Vec<bool> = tensors.labels.iter().map(|&l| l == source.label()).collect();
             if !mask.iter().any(|&m| m) {
-                return Err(format!("the generated scene has no '{source}' points; try another --seed"));
+                return Err(format!(
+                    "the generated scene has no '{source}' points; try another --seed"
+                ));
             }
             (
                 AttackConfig::targeted(steps, target.label()),
@@ -305,18 +304,17 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
         ),
     };
 
-    let clean_preds = colper_repro::models::predict(model.as_dyn(), &tensors, &mut rng);
+    // One geometry plan serves the clean prediction and every attack step.
+    let plan = colper_repro::attack::AttackPlan::build(model.as_dyn(), &tensors, &config);
+    let clean_preds =
+        colper_repro::models::predict_planned(model.as_dyn(), &tensors, plan.geometry(), &mut rng);
     let mut cm = ConfusionMatrix::new(13);
     cm.update(&clean_preds, &tensors.labels);
-    println!(
-        "clean: accuracy {:.1}%, aIoU {:.1}%",
-        cm.accuracy() * 100.0,
-        cm.mean_iou() * 100.0
-    );
+    println!("clean: accuracy {:.1}%, aIoU {:.1}%", cm.accuracy() * 100.0, cm.mean_iou() * 100.0);
 
     println!("running COLPER: {goal_desc}, {steps} steps...");
     let attack = Colper::new(config);
-    let result = attack.run(model.as_dyn(), &tensors, &mask, &mut rng);
+    let result = attack.run_planned(model.as_dyn(), &tensors, &mask, &plan, &mut rng);
     let mut cm = ConfusionMatrix::new(13);
     cm.update(&result.predictions, &tensors.labels);
     println!(
@@ -355,8 +353,7 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
         // Export the adversarial cloud (RGB view) and the prediction view.
         let mut adv_cloud = cloud.clone();
         adv_cloud.set_colors_from_matrix(&result.adversarial_colors);
-        let file =
-            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         colper_repro::scene::io::write_ply(&adv_cloud, std::io::BufWriter::new(file))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         let seg_path = format!("{path}.segmentation.ply");

@@ -106,9 +106,8 @@ fn smoothness_penalty_reduces_detectability() {
 #[test]
 fn adversarial_training_pipeline_runs_end_to_end() {
     let mut rng = StdRng::seed_from_u64(2);
-    let clouds: Vec<CloudTensors> = (0..3)
-        .map(|i| CloudTensors::from_cloud(&office_cloud(9000 + i, 128)))
-        .collect();
+    let clouds: Vec<CloudTensors> =
+        (0..3).map(|i| CloudTensors::from_cloud(&office_cloud(9000 + i, 128))).collect();
     let mut model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
     let cfg = AdvTrainConfig { epochs: 2, attack_steps: 4, ..Default::default() };
     let report = adversarial_training(&mut model, &clouds, &cfg, &mut rng);

@@ -2,8 +2,10 @@
 //! and attacks bit-for-bit — the property the experiment harness's
 //! caching and the paper-protocol splits rely on.
 
-use colper_repro::attack::{AttackConfig, Colper};
-use colper_repro::models::{train_model, CloudTensors, PointNet2, PointNet2Config, TrainConfig};
+use colper_repro::attack::{AttackConfig, AttackPlan, Colper};
+use colper_repro::models::{
+    train_model, CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, TrainConfig,
+};
 use colper_repro::scene::{normalize, IndoorSceneConfig, SceneGenerator, Semantic3dLikeDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,6 +57,30 @@ fn attack_is_deterministic_under_fixed_seed() {
         let attack = Colper::new(AttackConfig::non_targeted(10));
         let mask = vec![true; t.len()];
         attack.run(&model, &t, &mask, &mut rng)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.adversarial_colors, b.adversarial_colors);
+    assert_eq!(a.gain_history, b.gain_history);
+    assert_eq!(a.predictions, b.predictions);
+}
+
+#[test]
+fn randlanet_attack_is_deterministic_under_plan_cache() {
+    // RandLA-Net keeps its per-pass random downsampling even with a
+    // cached geometry plan; the outcome must still be a pure function of
+    // the seed, and rebuilding the plan must not change it.
+    let mut rng = StdRng::seed_from_u64(6);
+    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(128)).generate(78);
+    let t = CloudTensors::from_cloud(&normalize::pointnet_view(&cloud));
+    let model = RandLaNet::new(RandLaNetConfig::tiny(13), &mut rng);
+
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(321);
+        let config = AttackConfig::non_targeted(6);
+        let plan = AttackPlan::build(&model, &t, &config);
+        let mask = vec![true; t.len()];
+        Colper::new(config).run_planned(&model, &t, &mask, &plan, &mut rng)
     };
     let a = run();
     let b = run();

@@ -64,8 +64,7 @@ fn full_pipeline_targeted_attack_confines_damage() {
     // Find a cloud with enough board points.
     let source = IndoorClass::Board.label();
     let target = IndoorClass::Wall.label();
-    let extra: Vec<CloudTensors> =
-        (0..10).map(|i| office_tensors(900 + i, 192)).collect();
+    let extra: Vec<CloudTensors> = (0..10).map(|i| office_tensors(900 + i, 192)).collect();
     let victim = clouds
         .iter()
         .chain(extra.iter())
@@ -139,9 +138,7 @@ fn attack_survives_degenerate_geometry() {
     // get extremely dense neighborhoods.
     let n = 80;
     let cloud = PointCloud::new(
-        (0..n)
-            .map(|i| Point3::new((i % 10) as f32 * 0.3, (i / 10) as f32 * 0.3, 0.0))
-            .collect(),
+        (0..n).map(|i| Point3::new((i % 10) as f32 * 0.3, (i / 10) as f32 * 0.3, 0.0)).collect(),
         vec![[0.5, 0.45, 0.4]; n],
         vec![1; n], // all floor
         13,

@@ -1,0 +1,67 @@
+//! GeometryPlan equivalence contracts: a forward pass with a cached
+//! plan must be bit-identical to the plan-free path for every model.
+//! The cache is only an amortization — never an approximation.
+
+use colper_repro::models::{
+    logits_of, logits_of_planned, CloudTensors, PointNet2, PointNet2Config, RandLaNet,
+    RandLaNetConfig, ResGcn, ResGcnConfig, SegmentationModel,
+};
+use colper_repro::scene::{normalize, IndoorSceneConfig, SceneGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tensors(points: usize, seed: u64) -> CloudTensors {
+    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(points)).generate(seed);
+    CloudTensors::from_cloud(&normalize::pointnet_view(&cloud))
+}
+
+/// Runs both paths with identical rng seeds and demands equal logits.
+fn assert_planned_matches_plan_free<M: SegmentationModel>(model: &M, t: &CloudTensors) {
+    let plan = model.plan(&t.coords);
+    let mut rng_a = StdRng::seed_from_u64(4242);
+    let mut rng_b = StdRng::seed_from_u64(4242);
+    let plain = logits_of(model, t, &mut rng_a);
+    let planned = logits_of_planned(model, t, &plan, &mut rng_b);
+    assert_eq!(plain, planned, "planned forward must be bit-identical");
+}
+
+#[test]
+fn pointnet2_planned_forward_is_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let t = tensors(128, 11);
+    assert_planned_matches_plan_free(&model, &t);
+}
+
+#[test]
+fn resgcn_planned_forward_is_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let model = ResGcn::new(ResGcnConfig::tiny(13), &mut rng);
+    let t = tensors(96, 12);
+    assert_planned_matches_plan_free(&model, &t);
+}
+
+#[test]
+fn randlanet_planned_forward_is_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = RandLaNet::new(RandLaNetConfig::tiny(13), &mut rng);
+    let t = tensors(128, 13);
+    assert_planned_matches_plan_free(&model, &t);
+}
+
+#[test]
+fn one_plan_serves_repeated_forward_passes() {
+    // The attack reuses one plan for hundreds of steps; repeated planned
+    // passes must keep agreeing with the plan-free baseline.
+    let mut rng = StdRng::seed_from_u64(10);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let t = tensors(96, 14);
+    let plan = model.plan(&t.coords);
+    let mut rng_plain = StdRng::seed_from_u64(1);
+    let baseline = logits_of(&model, &t, &mut rng_plain);
+    for _ in 0..3 {
+        let mut rng_planned = StdRng::seed_from_u64(1);
+        let again = logits_of_planned(&model, &t, &plan, &mut rng_planned);
+        assert_eq!(baseline, again);
+    }
+}
