@@ -12,6 +12,7 @@ use colper_autodiff::Tape;
 use colper_bench::write_json;
 use colper_geom::knn_graph;
 use colper_models::{CloudTensors, PointNet2, PointNet2Config};
+use colper_runtime::Runtime;
 use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
 use colper_tensor::Matrix;
 use criterion::{black_box, criterion_group, Criterion};
@@ -125,12 +126,95 @@ fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) 
     write_json("BENCH_attack_step", &json);
 }
 
+/// A COLPER attack on the work-stealing pool vs. the sequential runtime.
+///
+/// Beyond timing, this is the bit-identity gate for the runtime: the two
+/// executions must produce the same adversarial sample down to the last
+/// bit, and the emitted `results/BENCH_parallel.json` keeps the metric
+/// block separate from the timing block so CI can diff metric blocks
+/// across `--threads` values (timings legitimately differ; results may
+/// not).
+fn bench_parallel(points: usize, steps: usize, samples: usize, threads: usize, model_scale: &str) {
+    let t = tensors(points);
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = match model_scale {
+        "tiny" => PointNet2::new(PointNet2Config::tiny(13), &mut rng),
+        _ => PointNet2::new(PointNet2Config::small(13), &mut rng),
+    };
+    let mut config = AttackConfig::non_targeted(steps);
+    // Two EoT samples per step so the sample-level fan-out is exercised
+    // on top of the tensor/geometry kernels.
+    config.gradient_samples = 2;
+    config.convergence_threshold = Some(0.0); // never stop early
+    let mask = vec![true; t.len()];
+    let plan = AttackPlan::build(&model, &t, &config);
+
+    let run_with = |rt: &Runtime| {
+        let mut rng = StdRng::seed_from_u64(3);
+        Colper::new(config.clone())
+            .with_runtime(rt.clone())
+            .run_planned(&model, &t, &mask, &plan, &mut rng)
+    };
+
+    let sequential = Runtime::sequential();
+    let pool = Runtime::new(threads);
+    let sequential_ns = time_median_ns(samples, || {
+        black_box(run_with(&sequential).l2_sq);
+    });
+    let pool_ns = time_median_ns(samples, || {
+        black_box(run_with(&pool).l2_sq);
+    });
+
+    let seq_result = run_with(&sequential);
+    let pool_result = run_with(&pool);
+    assert_eq!(
+        seq_result.adversarial_colors, pool_result.adversarial_colors,
+        "pool attack must be bit-identical to sequential"
+    );
+    assert_eq!(seq_result.predictions, pool_result.predictions);
+    assert_eq!(seq_result.gain_history, pool_result.gain_history);
+
+    // Order-sensitive digest of the whole gain trajectory, in raw bits.
+    let gain_digest =
+        seq_result.gain_history.iter().fold(0u64, |h, g| h.rotate_left(7) ^ u64::from(g.to_bits()));
+    let host = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+
+    let speedup = sequential_ns as f64 / pool_ns.max(1) as f64;
+    println!(
+        "bench attack_step/parallel: sequential {sequential_ns} ns, \
+         pool({threads}) {pool_ns} ns ({speedup:.2}x), {points} points, host parallelism {host}"
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"attack_parallel\",\n  \"model\": \"pointnet2_{model_scale}\",\n  \
+         \"points\": {points},\n  \"steps\": {steps},\n  \"samples\": {samples},\n  \
+         \"threads\": {threads},\n  \"host_parallelism\": {host},\n  \
+         \"timing\": {{\n    \"sequential_median_ns\": {sequential_ns},\n    \
+         \"pool_median_ns\": {pool_ns},\n    \"speedup\": {speedup:.4}\n  }},\n  \
+         \"metrics\": {{\n    \"l2_sq_bits\": {l2_bits},\n    \
+         \"success_metric_bits\": {sm_bits},\n    \"steps_run\": {steps_run},\n    \
+         \"gain_digest\": {gain_digest}\n  }}\n}}\n",
+        l2_bits = seq_result.l2_sq.to_bits(),
+        sm_bits = seq_result.success_metric.to_bits(),
+        steps_run = seq_result.steps_run,
+    );
+    write_json("BENCH_parallel", &json);
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4);
     if quick {
         bench_planned_vs_unplanned(128, 5, "tiny");
+        bench_parallel(128, 4, 3, threads, "tiny");
     } else {
         component_benches();
         bench_planned_vs_unplanned(POINTS, 11, "small");
+        bench_parallel(POINTS, 4, 3, threads, "small");
     }
 }

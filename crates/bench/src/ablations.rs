@@ -43,7 +43,7 @@ fn run_variant(
     config: AttackConfig,
 ) -> AblationRow {
     let classes = zoo.pointnet.num_classes();
-    let outcomes = parallel_map(samples, |i, t| {
+    let outcomes = parallel_map(&zoo.runtime, samples, |i, t| {
         let mut rng = StdRng::seed_from_u64(71_000 + i as u64);
         let attack = Colper::new(config.clone());
         let mask = vec![true; t.len()];
@@ -67,7 +67,7 @@ fn run_variant(
 fn clamped_gradient_attack(zoo: &ModelZoo, samples: &[CloudTensors], steps: usize) -> AblationRow {
     let model = &zoo.pointnet;
     let classes = model.num_classes();
-    let outcomes = parallel_map(samples, |i, t| {
+    let outcomes = parallel_map(&zoo.runtime, samples, |i, t| {
         let mut rng = StdRng::seed_from_u64(72_000 + i as u64);
         let n = t.len();
         let plan = model.plan(&t.coords);

@@ -70,7 +70,7 @@ pub fn run(zoo: &ModelZoo) -> ComparisonReport {
 
     let mut rows = Vec::new();
     // COLPER reference row.
-    let colper_outcomes = parallel_map(&samples, |i, t| {
+    let colper_outcomes = parallel_map(&zoo.runtime, &samples, |i, t| {
         let mut rng = StdRng::seed_from_u64(97_000 + i as u64);
         let attack = Colper::new(AttackConfig::non_targeted(steps));
         let mask = vec![true; t.len()];
@@ -89,7 +89,7 @@ pub fn run(zoo: &ModelZoo) -> ComparisonReport {
     });
 
     for (kind, eps, passes) in classic {
-        let outcomes = parallel_map(&samples, |i, t| {
+        let outcomes = parallel_map(&zoo.runtime, &samples, |i, t| {
             let mut rng = StdRng::seed_from_u64(98_000 + i as u64);
             let attack = ClassicAttack::new(kind, eps);
             let mask = vec![true; t.len()];

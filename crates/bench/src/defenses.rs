@@ -58,7 +58,7 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
 
     // Reference: attack the undefended model once per room; reuse the
     // adversarial clouds for the static rows and the detector.
-    let attacked: Vec<(PointCloud, f32, f32)> = parallel_map(&rooms, |i, room| {
+    let attacked: Vec<(PointCloud, f32, f32)> = parallel_map(&zoo.runtime, &rooms, |i, room| {
         let mut rng = StdRng::seed_from_u64(81_000 + i as u64);
         let t = CloudTensors::from_cloud(room);
         let clean_preds = colper_models::predict(model, &t, &mut rng);
@@ -80,7 +80,7 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
     ];
     let mut rows = Vec::new();
     for transform in transforms {
-        let outcomes = parallel_map(&rooms, |i, room| {
+        let outcomes = parallel_map(&zoo.runtime, &rooms, |i, room| {
             let mut rng = StdRng::seed_from_u64(82_000 + i as u64);
             // Clean accuracy through the defense.
             let defended_clean = transform.apply(room, &mut rng);
@@ -133,7 +133,7 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
     let adv_clouds: Vec<PointCloud> = attacked.iter().map(|a| a.0.clone()).collect();
     let report = detector.evaluate(&rooms, &adv_clouds);
 
-    let rough_adv: Vec<PointCloud> = parallel_map(&rooms, |i, room| {
+    let rough_adv: Vec<PointCloud> = parallel_map(&zoo.runtime, &rooms, |i, room| {
         let mut rng = StdRng::seed_from_u64(83_000 + i as u64);
         let t = CloudTensors::from_cloud(room);
         let mut cfg = AttackConfig::non_targeted(steps);

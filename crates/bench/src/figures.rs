@@ -48,9 +48,11 @@ pub fn run(zoo: &ModelZoo) -> FiguresReport {
     let n = zoo.config.eval_samples;
 
     let pn = zoo.prepared_indoor(normalize::pointnet_view);
-    let pn_samples = attack_samples(&zoo.pointnet, &pn.eval[..n.min(pn.eval.len())], steps);
+    let pn_samples =
+        attack_samples(&zoo.pointnet, &pn.eval[..n.min(pn.eval.len())], steps, &zoo.runtime);
     let rg = zoo.prepared_indoor(normalize::resgcn_view);
-    let rg_samples = attack_samples(&zoo.resgcn, &rg.eval[..n.min(rg.eval.len())], steps);
+    let rg_samples =
+        attack_samples(&zoo.resgcn, &rg.eval[..n.min(rg.eval.len())], steps, &zoo.runtime);
 
     // Office 33 scene dump.
     let office =

@@ -7,6 +7,7 @@ use colper_models::{
     SegmentationModel, TrainConfig,
 };
 use colper_nn::{load_params, save_params};
+use colper_runtime::Runtime;
 use colper_scene::{
     normalize, IndoorSceneConfig, OutdoorSceneConfig, S3disLikeDataset, Semantic3dLikeDataset,
 };
@@ -117,6 +118,9 @@ pub struct PreparedOutdoor {
 pub struct ModelZoo {
     /// Harness configuration used to build the zoo.
     pub config: BenchConfig,
+    /// The shared compute runtime every experiment schedules onto
+    /// (honors `COLPER_THREADS`, defaulting to the host parallelism).
+    pub runtime: Runtime,
     /// PointNet++ trained on the indoor data (PointNet++ view).
     pub pointnet: PointNet2,
     /// A second PointNet++ trained with different initialization — the
@@ -138,6 +142,14 @@ impl ModelZoo {
     /// Builds (or loads from cache) the whole zoo. Prints progress to
     /// stderr because training can take minutes on first run.
     pub fn load_or_train(config: &BenchConfig) -> Self {
+        Self::load_or_train_on(config, Runtime::from_env())
+    }
+
+    /// [`ModelZoo::load_or_train`] on an explicit runtime (the CLI's
+    /// `--threads` flag lands here). The runtime is installed for the
+    /// duration of training so geometry planning parallelizes, and kept
+    /// in the zoo for the experiments to schedule onto.
+    pub fn load_or_train_on(config: &BenchConfig, runtime: Runtime) -> Self {
         let indoor = S3disLikeDataset::new(
             IndoorSceneConfig::with_points(config.points),
             config.train_rooms_per_area,
@@ -156,96 +168,109 @@ impl ModelZoo {
                 .collect::<Vec<_>>()
         };
 
-        let pointnet = train_cached(
-            config,
-            "pointnet",
-            || PointNet2::new(PointNet2Config::small(13), &mut StdRng::seed_from_u64(11)),
-            |mut m| {
-                let mut rng = StdRng::seed_from_u64(11);
-                let clouds = indoor_train(normalize::pointnet_view);
-                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!(
-                    "  pointnet: acc {:.3} after {} epochs",
-                    report.final_accuracy, report.epochs_run
+        let (pointnet, pointnet_alt, resgcn, randla_indoor, randla_outdoor) =
+            runtime.install(|| {
+                let pointnet = train_cached(
+                    config,
+                    "pointnet",
+                    || PointNet2::new(PointNet2Config::small(13), &mut StdRng::seed_from_u64(11)),
+                    |mut m| {
+                        let mut rng = StdRng::seed_from_u64(11);
+                        let clouds = indoor_train(normalize::pointnet_view);
+                        let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                        eprintln!(
+                            "  pointnet: acc {:.3} after {} epochs",
+                            report.final_accuracy, report.epochs_run
+                        );
+                        m
+                    },
                 );
-                m
-            },
-        );
-        let pointnet_alt = train_cached(
-            config,
-            "pointnet_alt",
-            || PointNet2::new(PointNet2Config::small(13), &mut StdRng::seed_from_u64(77)),
-            |mut m| {
-                let mut rng = StdRng::seed_from_u64(77);
-                let clouds = indoor_train(normalize::pointnet_view);
-                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!(
-                    "  pointnet_alt: acc {:.3} after {} epochs",
-                    report.final_accuracy, report.epochs_run
+                let pointnet_alt = train_cached(
+                    config,
+                    "pointnet_alt",
+                    || PointNet2::new(PointNet2Config::small(13), &mut StdRng::seed_from_u64(77)),
+                    |mut m| {
+                        let mut rng = StdRng::seed_from_u64(77);
+                        let clouds = indoor_train(normalize::pointnet_view);
+                        let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                        eprintln!(
+                            "  pointnet_alt: acc {:.3} after {} epochs",
+                            report.final_accuracy, report.epochs_run
+                        );
+                        m
+                    },
                 );
-                m
-            },
-        );
-        let resgcn = train_cached(
-            config,
-            "resgcn",
-            || ResGcn::new(ResGcnConfig::small(13), &mut StdRng::seed_from_u64(22)),
-            |mut m| {
-                let mut rng = StdRng::seed_from_u64(22);
-                let clouds = indoor_train(normalize::resgcn_view);
-                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!(
-                    "  resgcn: acc {:.3} after {} epochs",
-                    report.final_accuracy, report.epochs_run
+                let resgcn = train_cached(
+                    config,
+                    "resgcn",
+                    || ResGcn::new(ResGcnConfig::small(13), &mut StdRng::seed_from_u64(22)),
+                    |mut m| {
+                        let mut rng = StdRng::seed_from_u64(22);
+                        let clouds = indoor_train(normalize::resgcn_view);
+                        let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                        eprintln!(
+                            "  resgcn: acc {:.3} after {} epochs",
+                            report.final_accuracy, report.epochs_run
+                        );
+                        m
+                    },
                 );
-                m
-            },
-        );
-        let randla_indoor = train_cached(
-            config,
-            "randla_indoor",
-            || RandLaNet::new(RandLaNetConfig::small(13), &mut StdRng::seed_from_u64(33)),
-            |mut m| {
-                let mut rng = StdRng::seed_from_u64(33);
-                let clouds: Vec<CloudTensors> = indoor
-                    .train_rooms()
-                    .iter()
-                    .map(|c| {
-                        CloudTensors::from_cloud(&normalize::randla_view(c, c.len(), &mut rng))
-                    })
-                    .collect();
-                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!(
-                    "  randla_indoor: acc {:.3} after {} epochs",
-                    report.final_accuracy, report.epochs_run
+                let randla_indoor = train_cached(
+                    config,
+                    "randla_indoor",
+                    || RandLaNet::new(RandLaNetConfig::small(13), &mut StdRng::seed_from_u64(33)),
+                    |mut m| {
+                        let mut rng = StdRng::seed_from_u64(33);
+                        let clouds: Vec<CloudTensors> = indoor
+                            .train_rooms()
+                            .iter()
+                            .map(|c| {
+                                CloudTensors::from_cloud(&normalize::randla_view(
+                                    c,
+                                    c.len(),
+                                    &mut rng,
+                                ))
+                            })
+                            .collect();
+                        let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                        eprintln!(
+                            "  randla_indoor: acc {:.3} after {} epochs",
+                            report.final_accuracy, report.epochs_run
+                        );
+                        m
+                    },
                 );
-                m
-            },
-        );
-        let randla_outdoor = train_cached(
-            config,
-            "randla_outdoor",
-            || RandLaNet::new(RandLaNetConfig::small(8), &mut StdRng::seed_from_u64(44)),
-            |mut m| {
-                let mut rng = StdRng::seed_from_u64(44);
-                let clouds: Vec<CloudTensors> = outdoor
-                    .train_scenes()
-                    .iter()
-                    .map(|c| {
-                        CloudTensors::from_cloud(&normalize::randla_view(c, c.len(), &mut rng))
-                    })
-                    .collect();
-                let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
-                eprintln!(
-                    "  randla_outdoor: acc {:.3} after {} epochs",
-                    report.final_accuracy, report.epochs_run
+                let randla_outdoor = train_cached(
+                    config,
+                    "randla_outdoor",
+                    || RandLaNet::new(RandLaNetConfig::small(8), &mut StdRng::seed_from_u64(44)),
+                    |mut m| {
+                        let mut rng = StdRng::seed_from_u64(44);
+                        let clouds: Vec<CloudTensors> = outdoor
+                            .train_scenes()
+                            .iter()
+                            .map(|c| {
+                                CloudTensors::from_cloud(&normalize::randla_view(
+                                    c,
+                                    c.len(),
+                                    &mut rng,
+                                ))
+                            })
+                            .collect();
+                        let report = train_model(&mut m, &clouds, &train_cfg, &mut rng);
+                        eprintln!(
+                            "  randla_outdoor: acc {:.3} after {} epochs",
+                            report.final_accuracy, report.epochs_run
+                        );
+                        m
+                    },
                 );
-                m
-            },
-        );
+                (pointnet, pointnet_alt, resgcn, randla_indoor, randla_outdoor)
+            });
 
         Self {
             config: config.clone(),
+            runtime,
             pointnet,
             pointnet_alt,
             resgcn,
@@ -327,32 +352,15 @@ fn train_cached<M: SegmentationModel>(
     model
 }
 
-/// Maps `f` over `items` with one thread per chunk (std scoped
-/// threads), preserving order.
-pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if workers <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let chunk = items.len().div_ceil(workers);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    std::thread::scope(|s| {
-        for (ci, (items_chunk, results_chunk)) in
-            items.chunks(chunk).zip(results.chunks_mut(chunk)).enumerate()
-        {
-            let f = &f;
-            s.spawn(move || {
-                for (j, (item, slot)) in items_chunk.iter().zip(results_chunk).enumerate() {
-                    *slot = Some(f(ci * chunk + j, item));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+/// Maps `f` over `items` on `runtime`, preserving order. Each item is one
+/// stealable pool task, so a skewed item (a slow attack) never strands the
+/// rest of a statically pre-assigned chunk.
+pub fn parallel_map<T: Sync, R: Send>(
+    runtime: &Runtime,
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    runtime.par_map_grained(items.len(), 1, |i| f(i, &items[i]))
 }
 
 /// Overall accuracy and aIoU of predictions against labels.
@@ -416,7 +424,8 @@ mod tests {
     #[test]
     fn parallel_map_preserves_order() {
         let items: Vec<usize> = (0..37).collect();
-        let out = parallel_map(&items, |i, &x| i * 1000 + x);
+        let rt = Runtime::new(4);
+        let out = parallel_map(&rt, &items, |i, &x| i * 1000 + x);
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, i * 1000 + i);
         }
@@ -424,7 +433,7 @@ mod tests {
 
     #[test]
     fn parallel_map_single_item() {
-        let out = parallel_map(&[5usize], |_, &x| x * 2);
+        let out = parallel_map(&Runtime::sequential(), &[5usize], |_, &x| x * 2);
         assert_eq!(out, vec![10]);
     }
 

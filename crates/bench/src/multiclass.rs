@@ -47,7 +47,7 @@ pub fn run(zoo: &ModelZoo) -> MulticlassReport {
         .collect();
     let model = &zoo.pointnet;
 
-    let outcomes = parallel_map(&usable, |i, t| {
+    let outcomes = parallel_map(&zoo.runtime, &usable, |i, t| {
         let mut rng = StdRng::seed_from_u64(91_000 + i as u64);
         let mask: Vec<bool> =
             t.labels.iter().map(|&l| sources.iter().any(|s| s.label() == l)).collect();

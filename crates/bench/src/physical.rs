@@ -64,7 +64,7 @@ pub fn run(zoo: &ModelZoo) -> PhysicalReport {
 
     let mut rows = Vec::new();
     for (label, pm) in severities {
-        let outcomes = parallel_map(&samples, |i, t| {
+        let outcomes = parallel_map(&zoo.runtime, &samples, |i, t| {
             let mut rng = StdRng::seed_from_u64(95_000 + i as u64);
             let mask = vec![true; t.len()];
 

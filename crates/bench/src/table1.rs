@@ -5,6 +5,7 @@ use crate::{acc_miou, parallel_map, BenchConfig, ModelZoo};
 use colper_attack::{AttackConfig, Colper, NoiseBaseline};
 use colper_metrics::Summary;
 use colper_models::{CloudTensors, SegmentationModel};
+use colper_runtime::Runtime;
 use colper_scene::normalize;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,13 +64,14 @@ pub struct Table1Report {
 
 /// Attacks every sample of one model (parallel across samples) and
 /// reports per-sample outcomes.
-pub fn attack_samples<M: SegmentationModel + Sync>(
+pub fn attack_samples<M: SegmentationModel>(
     model: &M,
     samples: &[CloudTensors],
     steps: usize,
+    runtime: &Runtime,
 ) -> Vec<SampleOutcome> {
     let classes = model.num_classes();
-    parallel_map(samples, |i, t| {
+    parallel_map(runtime, samples, |i, t| {
         let mut rng = StdRng::seed_from_u64(9000 + i as u64);
         let clean_preds = colper_models::predict(model, t, &mut rng);
         let (clean_acc, clean_miou) = acc_miou(&clean_preds, &t.labels, classes);
@@ -101,11 +103,11 @@ pub fn run(zoo: &ModelZoo) -> Table1Report {
     let mut rows = Vec::new();
 
     let pn = zoo.prepared_indoor(normalize::pointnet_view);
-    rows.push(model_rows(&zoo.pointnet, &pn.eval[..n.min(pn.eval.len())], cfg));
+    rows.push(model_rows(&zoo.pointnet, &pn.eval[..n.min(pn.eval.len())], cfg, &zoo.runtime));
     let rg = zoo.prepared_indoor(normalize::resgcn_view);
-    rows.push(model_rows(&zoo.resgcn, &rg.eval[..n.min(rg.eval.len())], cfg));
+    rows.push(model_rows(&zoo.resgcn, &rg.eval[..n.min(rg.eval.len())], cfg, &zoo.runtime));
     let rl = zoo.prepared_indoor(randla_indoor_view);
-    rows.push(model_rows(&zoo.randla_indoor, &rl.eval[..n.min(rl.eval.len())], cfg));
+    rows.push(model_rows(&zoo.randla_indoor, &rl.eval[..n.min(rl.eval.len())], cfg, &zoo.runtime));
 
     Table1Report { rows }
 }
@@ -116,12 +118,13 @@ fn randla_indoor_view(c: &colper_scene::PointCloud) -> colper_scene::PointCloud 
     normalize::randla_view(c, c.len(), &mut rng)
 }
 
-fn model_rows<M: SegmentationModel + Sync>(
+fn model_rows<M: SegmentationModel>(
     model: &M,
     samples: &[CloudTensors],
     cfg: &BenchConfig,
+    runtime: &Runtime,
 ) -> ModelRows {
-    let outcomes = attack_samples(model, samples, cfg.attack_steps);
+    let outcomes = attack_samples(model, samples, cfg.attack_steps, runtime);
     let clean_acc = outcomes.iter().map(|s| s.clean_acc).sum::<f32>() / outcomes.len() as f32;
     let clean_miou = outcomes.iter().map(|s| s.clean_miou).sum::<f32>() / outcomes.len() as f32;
     ModelRows { model: model.name().to_string(), clean_acc, clean_miou, samples: outcomes }

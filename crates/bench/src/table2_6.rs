@@ -49,12 +49,13 @@ pub struct Table6Report {
 }
 
 /// Attacks one model's office blocks for one source class.
-pub fn targeted_cell<M: SegmentationModel + Sync>(
+pub fn targeted_cell<M: SegmentationModel>(
     model: &M,
     samples: &[CloudTensors],
     source: IndoorClass,
     target: IndoorClass,
     cfg: &BenchConfig,
+    runtime: &colper_runtime::Runtime,
 ) -> Option<TargetedCell> {
     let classes = model.num_classes();
     let usable: Vec<&CloudTensors> = samples
@@ -64,7 +65,7 @@ pub fn targeted_cell<M: SegmentationModel + Sync>(
     if usable.is_empty() {
         return None;
     }
-    let outcomes = parallel_map(&usable, |i, t| {
+    let outcomes = parallel_map(runtime, &usable, |i, t| {
         let mut rng = StdRng::seed_from_u64(17_000 + i as u64);
         let mask: Vec<bool> = t.labels.iter().map(|&l| l == source.label()).collect();
         // Compensate reduced step budgets (the paper runs 1000) with a
@@ -119,13 +120,15 @@ pub fn run(zoo: &ModelZoo) -> Table6Report {
     });
 
     for source in IndoorClass::targeted_attack_sources() {
-        if let Some(cell) = targeted_cell(&zoo.pointnet, &pn.office33, source, target, cfg) {
+        let rt = &zoo.runtime;
+        if let Some(cell) = targeted_cell(&zoo.pointnet, &pn.office33, source, target, cfg, rt) {
             cells.push(cell);
         }
-        if let Some(cell) = targeted_cell(&zoo.resgcn, &rg.office33, source, target, cfg) {
+        if let Some(cell) = targeted_cell(&zoo.resgcn, &rg.office33, source, target, cfg, rt) {
             cells.push(cell);
         }
-        if let Some(cell) = targeted_cell(&zoo.randla_indoor, &rl.office33, source, target, cfg) {
+        if let Some(cell) = targeted_cell(&zoo.randla_indoor, &rl.office33, source, target, cfg, rt)
+        {
             cells.push(cell);
         }
     }

@@ -20,7 +20,12 @@ pub struct Table3Report {
 pub fn run(zoo: &ModelZoo) -> Table3Report {
     let prepared = zoo.prepared_outdoor();
     let n = zoo.config.eval_samples.min(prepared.eval.len());
-    let samples = attack_samples(&zoo.randla_outdoor, &prepared.eval[..n], zoo.config.attack_steps);
+    let samples = attack_samples(
+        &zoo.randla_outdoor,
+        &prepared.eval[..n],
+        zoo.config.attack_steps,
+        &zoo.runtime,
+    );
     let clean_acc = samples.iter().map(|s| s.clean_acc).sum::<f32>() / samples.len() as f32;
     let clean_miou = samples.iter().map(|s| s.clean_miou).sum::<f32>() / samples.len() as f32;
     Table3Report { clean_acc, clean_miou, samples }

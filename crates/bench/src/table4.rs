@@ -58,7 +58,7 @@ pub fn run(zoo: &ModelZoo) -> Table4Report {
     let classes = 8;
     let mut rows = Vec::new();
     for target in OutdoorClass::targeted_attack_targets() {
-        let outcomes = parallel_map(&usable, |i, t| {
+        let outcomes = parallel_map(&zoo.runtime, &usable, |i, t| {
             let mut rng = StdRng::seed_from_u64(31_000 + i as u64 + target.label() as u64 * 97);
             let mask: Vec<bool> = t.labels.iter().map(|&l| l == source).collect();
             // The paper runs 1000 iterations; at reduced step budgets the

@@ -35,13 +35,14 @@ pub struct Table7Report {
     pub rows: Vec<Table7Row>,
 }
 
-fn run_rows<M: SegmentationModel + Sync>(
+fn run_rows<M: SegmentationModel>(
     model: &M,
     samples: &[CloudTensors],
     target: PerturbTarget,
     steps: usize,
+    runtime: &colper_runtime::Runtime,
 ) -> Table7Row {
-    let outcomes = parallel_map(samples, |i, t| {
+    let outcomes = parallel_map(runtime, samples, |i, t| {
         let mut rng = StdRng::seed_from_u64(53_000 + i as u64);
         let mut cfg = L0AttackConfig::new(target);
         cfg.steps_per_round = (steps / 4).max(5);
@@ -95,10 +96,10 @@ pub fn run(zoo: &ModelZoo) -> Table7Report {
     let pn_samples = select(&zoo.pointnet, pn.eval);
 
     let rows = vec![
-        run_rows(&zoo.resgcn, &rg_samples, PerturbTarget::Color, steps),
-        run_rows(&zoo.resgcn, &rg_samples, PerturbTarget::Coordinate, steps),
-        run_rows(&zoo.pointnet, &pn_samples, PerturbTarget::Color, steps),
-        run_rows(&zoo.pointnet, &pn_samples, PerturbTarget::Coordinate, steps),
+        run_rows(&zoo.resgcn, &rg_samples, PerturbTarget::Color, steps, &zoo.runtime),
+        run_rows(&zoo.resgcn, &rg_samples, PerturbTarget::Coordinate, steps, &zoo.runtime),
+        run_rows(&zoo.pointnet, &pn_samples, PerturbTarget::Color, steps, &zoo.runtime),
+        run_rows(&zoo.pointnet, &pn_samples, PerturbTarget::Coordinate, steps, &zoo.runtime),
     ];
     Table7Report { rows }
 }

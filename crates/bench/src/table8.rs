@@ -38,7 +38,7 @@ pub fn run(zoo: &ModelZoo) -> Table8Report {
     let steps = zoo.config.attack_steps;
 
     // Part 1: PointNet++ -> PointNet++ with different parameters.
-    let pn_part = parallel_map(&rooms, |i, room| {
+    let pn_part = parallel_map(&zoo.runtime, &rooms, |i, room| {
         let mut rng = StdRng::seed_from_u64(61_000 + i as u64);
         let view = normalize::pointnet_view(room);
         let tensors = colper_models::CloudTensors::from_cloud(&view);
@@ -52,7 +52,7 @@ pub fn run(zoo: &ModelZoo) -> Table8Report {
     });
 
     // Part 2: ResGCN -> PointNet++ across model families.
-    let rg_part = parallel_map(&rooms, |i, room| {
+    let rg_part = parallel_map(&zoo.runtime, &rooms, |i, room| {
         let mut rng = StdRng::seed_from_u64(62_000 + i as u64);
         let view = normalize::resgcn_view(room);
         let tensors = colper_models::CloudTensors::from_cloud(&view);

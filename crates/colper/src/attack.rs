@@ -5,9 +5,15 @@ use colper_geom::knn_graph;
 use colper_metrics::success_rate;
 use colper_models::{CloudTensors, GeometryPlan, ModelInput, SegmentationModel};
 use colper_nn::{AdamState, Forward};
+use colper_runtime::Runtime;
 use colper_tensor::Matrix;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+
+/// One EoT sample's contribution to a step: `(gain, d gain / d w,
+/// evaluation)`. The evaluation — unlit predictions and colors for metric
+/// tracking — is `Some` only for sample 0.
+type SampleEval = (f32, Matrix, Option<(Vec<usize>, Matrix)>);
 
 /// Pre-computed per-(model, cloud) geometry shared by every iteration of
 /// an attack — and by repeated attacks on the same cloud.
@@ -84,20 +90,55 @@ impl PlateauTracker {
 /// optimization against a victim model on one point cloud. The cloud's
 /// tensors must already be in the victim's normalized view (see
 /// [`colper_scene::normalize`]).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// # Parallelism
+///
+/// The attack runs on a [`Runtime`]: [`Colper::with_runtime`] attaches an
+/// explicit handle, while a default instance inherits whatever runtime the
+/// caller [installed](Runtime::install) (falling back to sequential).
+/// Results are bit-identical for every thread count — the pool only changes
+/// wall-clock time, never the adversarial sample.
+#[derive(Debug, Clone)]
 pub struct Colper {
     config: AttackConfig,
+    runtime: Runtime,
+}
+
+impl PartialEq for Colper {
+    /// Equality is configuration equality: the runtime is an execution
+    /// resource, not part of the attack's identity (results do not depend
+    /// on it).
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+    }
 }
 
 impl Colper {
-    /// Creates the attack with the given configuration.
+    /// Creates the attack with the given configuration. The attack defers
+    /// to the ambient [`Runtime`] of the calling thread; use
+    /// [`Colper::with_runtime`] to pin one explicitly.
     pub fn new(config: AttackConfig) -> Self {
-        Self { config }
+        Self { config, runtime: Runtime::sequential() }
+    }
+
+    /// Attaches a compute runtime. An explicit pool here overrides the
+    /// ambient runtime; passing [`Runtime::sequential`] restores the
+    /// default deferring behavior.
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// The attack configuration.
     pub fn config(&self) -> &AttackConfig {
         &self.config
+    }
+
+    /// The runtime the attack was built with (sequential unless
+    /// [`Colper::with_runtime`] was used).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     /// Runs the attack on one cloud. `mask` selects the attacked points
@@ -138,6 +179,29 @@ impl Colper {
         mask: &[bool],
         plan: &AttackPlan,
         rng: &mut StdRng,
+    ) -> AttackResult {
+        // An explicitly attached runtime wins; the default sequential
+        // handle defers to the ambient one so `Colper::new` picks up pool
+        // parallelism installed by batch / bench callers. Installing the
+        // effective runtime lets the tensor and geometry kernels inside
+        // the forward/backward passes see the same pool.
+        let rt = if self.runtime.is_sequential() {
+            colper_runtime::current()
+        } else {
+            self.runtime.clone()
+        };
+        rt.clone().install(move || self.optimize(model, tensors, mask, plan, rng, &rt))
+    }
+
+    /// The optimization loop of Algorithm 1, running on `rt`.
+    fn optimize<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        tensors: &colper_models::CloudTensors,
+        mask: &[bool],
+        plan: &AttackPlan,
+        rng: &mut StdRng,
+        rt: &Runtime,
     ) -> AttackResult {
         let n = tensors.len();
         let classes = model.num_classes();
@@ -194,10 +258,7 @@ impl Colper {
             // `gradient_samples` forward/backward passes (stochastic
             // victims like RandLA-Net resample per pass). One pass
             // reproduces the paper exactly.
-            let mut grad_w = Matrix::zeros(n, 3);
-            let mut gain_v = 0.0f32;
-            let mut first_eval: Option<(Vec<usize>, Matrix)> = None;
-            for sample_idx in 0..cfg.gradient_samples {
+            let one_sample = |sample_idx: usize, rng: &mut StdRng| -> SampleEval {
                 let mut session = Forward::new(model.params(), false);
                 let w_var = session.tape.leaf(w.clone());
                 let color_free = reparam.features_on_tape(&mut session.tape, w_var);
@@ -247,22 +308,45 @@ impl Colper {
                 let gain = session.tape.add(partial, weighted_smooth);
                 session.tape.backward(gain);
 
-                gain_v += session.tape.value(gain)[(0, 0)];
-                grad_w.add_assign(session.tape.grad(w_var).expect("w must receive a gradient"));
-                if first_eval.is_none() {
-                    first_eval = Some((
-                        session.tape.value(logits).argmax_rows(),
-                        session.tape.value(color).clone(),
-                    ));
-                }
-            }
+                let gain_v = session.tape.value(gain)[(0, 0)];
+                let grad = session.tape.grad(w_var).expect("w must receive a gradient").clone();
+                let eval = (sample_idx == 0).then(|| {
+                    (session.tape.value(logits).argmax_rows(), session.tape.value(color).clone())
+                });
+                (gain_v, grad, eval)
+            };
+
+            let (gain_sum, grad_sum, first_eval) = if cfg.gradient_samples == 1 {
+                // Single-sample (paper-exact) path: the forward pass draws
+                // from the caller's RNG in place, preserving its stream.
+                one_sample(0, rng)
+            } else {
+                // Derive one seed per sample *sequentially* from the
+                // caller's RNG, so both the sample trajectories and the
+                // caller's stream afterwards are independent of how the
+                // pool schedules the samples. `par_reduce` folds the
+                // per-sample terms in sample order (grain 1), so the
+                // averaged gradient is bit-identical on every runtime,
+                // including the sequential one.
+                let seeds: Vec<u64> = (0..cfg.gradient_samples).map(|_| rng.gen()).collect();
+                rt.par_reduce(
+                    cfg.gradient_samples,
+                    1,
+                    |s| one_sample(s, &mut StdRng::seed_from_u64(seeds[s])),
+                    |(ga, mut wa, ea), (gb, wb, eb)| {
+                        wa.add_assign(&wb);
+                        (ga + gb, wa, ea.or(eb))
+                    },
+                )
+                .expect("gradient_samples is validated to be at least 1")
+            };
             let inv = 1.0 / cfg.gradient_samples as f32;
-            gain_v *= inv;
-            let grad_w = grad_w.scale(inv);
+            let gain_v = gain_sum * inv;
+            let grad_w = grad_sum.scale(inv);
             history.push(gain_v);
 
             // Attacker's metric on the current iterate.
-            let (preds, colors_now) = first_eval.expect("at least one gradient sample");
+            let (preds, colors_now) = first_eval.expect("sample 0 reports an evaluation");
             let metric = match cfg.goal {
                 AttackGoal::NonTargeted => masked_accuracy(&preds, &tensors.labels, mask),
                 AttackGoal::Targeted { .. } => success_rate(&preds, &labels_for_loss, mask),

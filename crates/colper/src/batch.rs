@@ -8,6 +8,7 @@
 use crate::{AttackConfig, AttackGoal, AttackPlan, AttackResult, Colper};
 use colper_metrics::{ConfusionMatrix, Summary};
 use colper_models::{CloudTensors, SegmentationModel};
+use colper_runtime::Runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -41,66 +42,49 @@ pub struct BatchOutcome {
 
 /// Attacks every cloud (each with an all-points mask for non-targeted
 /// goals, or a per-cloud source-class mask supplied by `mask_of`),
-/// spreading clouds over `workers` OS threads.
+/// scheduling each cloud as one stealable task on `runtime` — a slow,
+/// skewed cloud never strands the rest of a pre-assigned chunk the way
+/// the old static `workers` split did.
 ///
 /// Seeds derive from `base_seed + index`, so outcomes are reproducible
-/// and independent of the thread schedule.
+/// and independent of the runtime's thread count and schedule.
 ///
 /// # Panics
 ///
 /// Panics when `clouds` is empty or a mask selects no points.
-pub fn run_batch<M: SegmentationModel + Sync>(
+pub fn run_batch<M: SegmentationModel + ?Sized>(
     model: &M,
     clouds: &[CloudTensors],
     config: &AttackConfig,
     mask_of: impl Fn(&CloudTensors) -> Vec<bool> + Sync,
     base_seed: u64,
-    workers: usize,
+    runtime: &Runtime,
 ) -> BatchOutcome {
     assert!(!clouds.is_empty(), "run_batch: no clouds");
-    let workers = workers.max(1).min(clouds.len());
     let classes = model.num_classes();
 
-    let chunk = clouds.len().div_ceil(workers);
-    let mut items: Vec<Option<BatchItem>> = Vec::with_capacity(clouds.len());
-    items.resize_with(clouds.len(), || None);
+    let items: Vec<BatchItem> = runtime.par_map_grained(clouds.len(), 1, |index| {
+        let t = &clouds[index];
+        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(index as u64));
+        // One plan per cloud serves the clean prediction and every attack
+        // iteration.
+        let plan = AttackPlan::build(model, t, config);
+        let clean_preds = colper_models::predict_planned(model, t, plan.geometry(), &mut rng);
+        let mut cm = ConfusionMatrix::new(classes);
+        cm.update(&clean_preds, &t.labels);
+        let clean_accuracy = cm.accuracy();
 
-    std::thread::scope(|scope| {
-        for (ci, (cloud_chunk, item_chunk)) in
-            clouds.chunks(chunk).zip(items.chunks_mut(chunk)).enumerate()
-        {
-            let mask_of = &mask_of;
-            let config = config.clone();
-            scope.spawn(move || {
-                for (j, (t, slot)) in cloud_chunk.iter().zip(item_chunk).enumerate() {
-                    let index = ci * chunk + j;
-                    let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(index as u64));
-                    // One plan per cloud serves the clean prediction and
-                    // every attack iteration.
-                    let plan = AttackPlan::build(model, t, &config);
-                    let clean_preds =
-                        colper_models::predict_planned(model, t, plan.geometry(), &mut rng);
-                    let mut cm = ConfusionMatrix::new(classes);
-                    cm.update(&clean_preds, &t.labels);
-                    let clean_accuracy = cm.accuracy();
-
-                    let mask = mask_of(t);
-                    let result =
-                        Colper::new(config.clone()).run_planned(model, t, &mask, &plan, &mut rng);
-                    let mut cm = ConfusionMatrix::new(classes);
-                    cm.update(&result.predictions, &t.labels);
-                    *slot = Some(BatchItem {
-                        clean_accuracy,
-                        adversarial_accuracy: cm.accuracy(),
-                        adversarial_miou: cm.mean_iou(),
-                        result,
-                    });
-                }
-            });
+        let mask = mask_of(t);
+        let result = Colper::new(config.clone()).run_planned(model, t, &mask, &plan, &mut rng);
+        let mut cm = ConfusionMatrix::new(classes);
+        cm.update(&result.predictions, &t.labels);
+        BatchItem {
+            clean_accuracy,
+            adversarial_accuracy: cm.accuracy(),
+            adversarial_miou: cm.mean_iou(),
+            result,
         }
     });
-
-    let items: Vec<BatchItem> = items.into_iter().map(|i| i.expect("slot filled")).collect();
     let accs: Vec<f32> = items.iter().map(|i| i.adversarial_accuracy).collect();
     let mious: Vec<f32> = items.iter().map(|i| i.adversarial_miou).collect();
     let l2s: Vec<f32> = items.iter().map(|i| i.result.l2()).collect();
@@ -115,21 +99,20 @@ pub fn run_batch<M: SegmentationModel + Sync>(
 }
 
 /// Convenience: non-targeted batch over all points of every cloud.
-pub fn run_batch_non_targeted<M: SegmentationModel + Sync>(
+pub fn run_batch_non_targeted<M: SegmentationModel + ?Sized>(
     model: &M,
     clouds: &[CloudTensors],
     steps: usize,
     base_seed: u64,
+    runtime: &Runtime,
 ) -> BatchOutcome {
-    let workers =
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
     run_batch(
         model,
         clouds,
         &AttackConfig::non_targeted(steps),
         |t| vec![true; t.len()],
         base_seed,
-        workers,
+        runtime,
     )
 }
 
@@ -137,16 +120,15 @@ pub fn run_batch_non_targeted<M: SegmentationModel + Sync>(
 /// target in every cloud (clouds without the source class are skipped by
 /// the caller; a cloud with zero source points panics as in
 /// [`Colper::run`]).
-pub fn run_batch_targeted<M: SegmentationModel + Sync>(
+pub fn run_batch_targeted<M: SegmentationModel + ?Sized>(
     model: &M,
     clouds: &[CloudTensors],
     source: usize,
     target: usize,
     steps: usize,
     base_seed: u64,
+    runtime: &Runtime,
 ) -> BatchOutcome {
-    let workers =
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
     let mut config = AttackConfig::targeted(steps, target);
     config.goal = AttackGoal::Targeted { target };
     run_batch(
@@ -155,7 +137,7 @@ pub fn run_batch_targeted<M: SegmentationModel + Sync>(
         &config,
         |t| t.labels.iter().map(|&l| l == source).collect(),
         base_seed,
-        workers,
+        runtime,
     )
 }
 
@@ -179,7 +161,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
         let data = clouds(5);
-        let outcome = run_batch_non_targeted(&model, &data, 3, 7);
+        let outcome = run_batch_non_targeted(&model, &data, 3, 7, &Runtime::new(2));
         assert_eq!(outcome.items.len(), 5);
         assert_eq!(outcome.adversarial_accuracy.count, 5);
         assert!((0.0..=1.0).contains(&outcome.convergence_rate));
@@ -190,13 +172,14 @@ mod tests {
     }
 
     #[test]
-    fn batch_is_deterministic_regardless_of_workers() {
+    fn batch_is_deterministic_regardless_of_runtime() {
         let mut rng = StdRng::seed_from_u64(1);
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
         let data = clouds(4);
         let cfg = AttackConfig::non_targeted(3);
-        let serial = run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 9, 1);
-        let parallel = run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 9, 4);
+        let serial =
+            run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 9, &Runtime::sequential());
+        let parallel = run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 9, &Runtime::new(4));
         for (a, b) in serial.items.iter().zip(&parallel.items) {
             assert_eq!(a.result.adversarial_colors, b.result.adversarial_colors);
             assert_eq!(a.adversarial_accuracy, b.adversarial_accuracy);
@@ -208,6 +191,6 @@ mod tests {
     fn empty_batch_rejected() {
         let mut rng = StdRng::seed_from_u64(2);
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
-        let _ = run_batch_non_targeted(&model, &[], 3, 0);
+        let _ = run_batch_non_targeted(&model, &[], 3, 0, &Runtime::sequential());
     }
 }

@@ -79,9 +79,50 @@ pub struct KdTree {
 
 const LEAF_SIZE: usize = 16;
 
+/// Below this many points a parallel build costs more than it saves.
+const MIN_PAR_BUILD: usize = 2048;
+
+/// Outcome of one splitting step, shared by the sequential and parallel
+/// builds so both produce the exact same tree.
+enum SplitStep<'a> {
+    /// Leaf-sized or degenerate node: these indices become a leaf.
+    Leaf(Vec<usize>),
+    /// A proper split with both halves non-empty.
+    Split {
+        axis: usize,
+        value: f32,
+        bounds_left: Aabb,
+        bounds_right: Aabb,
+        left: &'a mut [usize],
+        right: &'a mut [usize],
+    },
+}
+
+/// Partial tree produced by the frontier expansion of a parallel build:
+/// the top of the tree with unbuilt subtrees parked in numbered slots.
+enum Proto {
+    Done(Node),
+    Split {
+        axis: usize,
+        value: f32,
+        bounds_left: Aabb,
+        bounds_right: Aabb,
+        left: Box<Proto>,
+        right: Box<Proto>,
+    },
+    Open {
+        slot: usize,
+    },
+}
+
 impl KdTree {
     /// Builds a tree from a point slice. An empty slice yields an empty
     /// tree whose queries return no neighbors.
+    ///
+    /// Large builds split the top of the tree sequentially and construct
+    /// the resulting subtrees in parallel on the ambient runtime. Every
+    /// split decision is shared with the sequential code path, so the tree
+    /// is bit-identical regardless of thread count.
     pub fn build(points: &[Point3]) -> Self {
         let points = points.to_vec();
         if points.is_empty() {
@@ -89,8 +130,116 @@ impl KdTree {
         }
         let mut indices: Vec<usize> = (0..points.len()).collect();
         let bounds = Aabb::from_points(&points).expect("non-empty");
-        let root = Self::build_node(&points, &mut indices, bounds);
+        let rt = colper_runtime::current();
+        let root = if points.len() < MIN_PAR_BUILD || rt.is_sequential() {
+            Self::build_node(&points, &mut indices, bounds)
+        } else {
+            // Expand the top of the tree until ~4 subtree tasks per thread
+            // exist, then build the subtrees across the pool.
+            let depth = usize::BITS - (4 * rt.threads()).next_power_of_two().leading_zeros();
+            let mut tasks: Vec<(Vec<usize>, Aabb)> = Vec::new();
+            let proto =
+                Self::expand_frontier(&points, &mut indices, bounds, depth as usize, &mut tasks);
+            let built = rt.par_map(tasks.len(), |i| {
+                let (task_indices, task_bounds) = &tasks[i];
+                Self::build_node(&points, &mut task_indices.clone(), *task_bounds)
+            });
+            let mut built: Vec<Option<Node>> = built.into_iter().map(Some).collect();
+            Self::assemble(proto, &mut built)
+        };
         Self { points, root: Some(root) }
+    }
+
+    /// The single splitting step used by both build strategies: partitions
+    /// `indices` around the median of the longest axis, falling back to a
+    /// leaf for leaf-sized or degenerate (all-equal coordinate) nodes.
+    fn split_step<'a>(points: &[Point3], indices: &'a mut [usize], bounds: Aabb) -> SplitStep<'a> {
+        if indices.len() <= LEAF_SIZE {
+            return SplitStep::Leaf(indices.to_vec());
+        }
+        let axis = bounds.longest_axis();
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            points[a].axis(axis).partial_cmp(&points[b].axis(axis)).unwrap_or(Ordering::Equal)
+        });
+        let value = points[indices[mid]].axis(axis);
+        let (left_idx, right_idx) = indices.split_at_mut(mid);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            let mut items = left_idx.to_vec();
+            items.extend_from_slice(right_idx);
+            return SplitStep::Leaf(items);
+        }
+        let bounds_left =
+            Aabb::from_points(&left_idx.iter().map(|&i| points[i]).collect::<Vec<_>>())
+                .expect("non-empty");
+        let bounds_right =
+            Aabb::from_points(&right_idx.iter().map(|&i| points[i]).collect::<Vec<_>>())
+                .expect("non-empty");
+        SplitStep::Split {
+            axis,
+            value,
+            bounds_left,
+            bounds_right,
+            left: left_idx,
+            right: right_idx,
+        }
+    }
+
+    /// Splits the top `depth` levels, pushing every unexpanded subtree as a
+    /// `(indices, bounds)` task and recording its slot in the proto tree.
+    fn expand_frontier(
+        points: &[Point3],
+        indices: &mut [usize],
+        bounds: Aabb,
+        depth: usize,
+        tasks: &mut Vec<(Vec<usize>, Aabb)>,
+    ) -> Proto {
+        if depth == 0 {
+            let slot = tasks.len();
+            tasks.push((indices.to_vec(), bounds));
+            return Proto::Open { slot };
+        }
+        match Self::split_step(points, indices, bounds) {
+            SplitStep::Leaf(items) => Proto::Done(Node::Leaf { items }),
+            SplitStep::Split { axis, value, bounds_left, bounds_right, left, right } => {
+                Proto::Split {
+                    axis,
+                    value,
+                    bounds_left,
+                    bounds_right,
+                    left: Box::new(Self::expand_frontier(
+                        points,
+                        left,
+                        bounds_left,
+                        depth - 1,
+                        tasks,
+                    )),
+                    right: Box::new(Self::expand_frontier(
+                        points,
+                        right,
+                        bounds_right,
+                        depth - 1,
+                        tasks,
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Replaces every open slot of the proto tree with its built subtree.
+    fn assemble(proto: Proto, built: &mut [Option<Node>]) -> Node {
+        match proto {
+            Proto::Done(node) => node,
+            Proto::Open { slot } => built[slot].take().expect("each slot built exactly once"),
+            Proto::Split { axis, value, bounds_left, bounds_right, left, right } => Node::Split {
+                axis,
+                value,
+                left: Box::new(Self::assemble(*left, built)),
+                right: Box::new(Self::assemble(*right, built)),
+                bounds_left,
+                bounds_right,
+            },
+        }
     }
 
     /// Number of points in the tree.
@@ -109,34 +258,18 @@ impl KdTree {
     }
 
     fn build_node(points: &[Point3], indices: &mut [usize], bounds: Aabb) -> Node {
-        if indices.len() <= LEAF_SIZE {
-            return Node::Leaf { items: indices.to_vec() };
-        }
-        let axis = bounds.longest_axis();
-        let mid = indices.len() / 2;
-        indices.select_nth_unstable_by(mid, |&a, &b| {
-            points[a].axis(axis).partial_cmp(&points[b].axis(axis)).unwrap_or(Ordering::Equal)
-        });
-        let value = points[indices[mid]].axis(axis);
-        let (left_idx, right_idx) = indices.split_at_mut(mid);
-        // Degenerate split (all coordinates equal along this axis): fall
-        // back to a leaf to guarantee termination.
-        if left_idx.is_empty() || right_idx.is_empty() {
-            let mut items = left_idx.to_vec();
-            items.extend_from_slice(right_idx);
-            return Node::Leaf { items };
-        }
-        let bl = Aabb::from_points(&left_idx.iter().map(|&i| points[i]).collect::<Vec<_>>())
-            .expect("non-empty");
-        let br = Aabb::from_points(&right_idx.iter().map(|&i| points[i]).collect::<Vec<_>>())
-            .expect("non-empty");
-        Node::Split {
-            axis,
-            value,
-            left: Box::new(Self::build_node(points, left_idx, bl)),
-            right: Box::new(Self::build_node(points, right_idx, br)),
-            bounds_left: bl,
-            bounds_right: br,
+        match Self::split_step(points, indices, bounds) {
+            SplitStep::Leaf(items) => Node::Leaf { items },
+            SplitStep::Split { axis, value, bounds_left, bounds_right, left, right } => {
+                Node::Split {
+                    axis,
+                    value,
+                    left: Box::new(Self::build_node(points, left, bounds_left)),
+                    right: Box::new(Self::build_node(points, right, bounds_right)),
+                    bounds_left,
+                    bounds_right,
+                }
+            }
         }
     }
 

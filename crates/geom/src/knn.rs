@@ -1,8 +1,58 @@
 //! k-nearest-neighbor graph construction, including the dilated variant
 //! used by DeepGCN.
+//!
+//! Graph construction loops are embarrassingly parallel over query points:
+//! each output row depends only on its own query and the (immutable) tree,
+//! so the rows are split across the ambient [`colper_runtime`] runtime and
+//! results are identical at any thread count.
 
 use crate::{KdTree, Neighbor, Point3};
+use colper_runtime::Runtime;
 use std::cmp::Ordering;
+
+/// Below this many queries the per-chunk scheduling overhead outweighs the
+/// tree traversals.
+const MIN_PAR_QUERIES: usize = 128;
+
+/// The ambient runtime when `queries` crosses the parallel threshold and
+/// workers exist; `None` means "run the plain sequential loop".
+fn runtime_for(queries: usize) -> Option<Runtime> {
+    if queries < MIN_PAR_QUERIES {
+        return None;
+    }
+    let rt = colper_runtime::current();
+    if rt.is_sequential() {
+        None
+    } else {
+        Some(rt)
+    }
+}
+
+/// Fills `out` (one row of `row_len` entries per query) by running
+/// `fill(query_index, row)` for every row, in parallel when worthwhile.
+fn fill_rows(
+    out: &mut [usize],
+    queries: usize,
+    row_len: usize,
+    fill: impl Fn(usize, &mut [usize]) + Sync,
+) {
+    debug_assert_eq!(out.len(), queries * row_len);
+    match runtime_for(queries) {
+        None => {
+            for (i, row) in out.chunks_mut(row_len).enumerate() {
+                fill(i, row);
+            }
+        }
+        Some(rt) => {
+            let rows_per = queries.div_ceil(4 * rt.threads()).max(1);
+            rt.par_chunks_mut(out, rows_per * row_len, |c, sub| {
+                for (j, row) in sub.chunks_mut(row_len).enumerate() {
+                    fill(c * rows_per + j, row);
+                }
+            });
+        }
+    }
+}
 
 /// Brute-force k-NN of `query` within `points`, sorted ascending by
 /// distance. Reference implementation used to differential-test the
@@ -39,14 +89,15 @@ pub fn knn_graph(points: &[Point3], k: usize) -> Vec<usize> {
     assert!(!points.is_empty(), "knn_graph: empty point set");
     assert!(k > 0, "knn_graph: k must be positive");
     let tree = KdTree::build(points);
-    let mut out = Vec::with_capacity(points.len() * k);
-    for &p in points {
-        let nn = tree.knn(p, k.min(points.len()));
+    let kq = k.min(points.len());
+    let mut out = vec![0usize; points.len() * k];
+    fill_rows(&mut out, points.len(), k, |i, row| {
+        let nn = tree.knn(points[i], kq);
         let last = nn.last().expect("at least one neighbor").index;
-        for j in 0..k {
-            out.push(nn.get(j).map_or(last, |n| n.index));
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = nn.get(j).map_or(last, |n| n.index);
         }
-    }
+    });
     out
 }
 
@@ -68,15 +119,14 @@ pub fn dilated_knn(points: &[Point3], k: usize, dilation: usize) -> Vec<usize> {
     }
     let tree = KdTree::build(points);
     let wide = (k * dilation).min(points.len());
-    let mut out = Vec::with_capacity(points.len() * k);
-    for &p in points {
-        let nn = tree.knn(p, wide);
+    let mut out = vec![0usize; points.len() * k];
+    fill_rows(&mut out, points.len(), k, |i, row| {
+        let nn = tree.knn(points[i], wide);
         let last = nn.last().expect("at least one neighbor").index;
-        for j in 0..k {
-            let idx = j * dilation;
-            out.push(nn.get(idx).map_or(last, |n| n.index));
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = nn.get(j * dilation).map_or(last, |n| n.index);
         }
-    }
+    });
     out
 }
 
@@ -98,14 +148,14 @@ pub fn subset_knn_graph(tree: &KdTree, subset: &[usize], k: usize) -> Vec<usize>
     assert!(k > 0, "subset_knn_graph: k must be positive");
     let (mask, local) = subset_index(tree.len(), subset);
     let kq = k.min(subset.len());
-    let mut out = Vec::with_capacity(subset.len() * k);
-    for &orig in subset {
-        let nn = tree.knn_filtered(tree.points()[orig], kq, |i| mask[i]);
+    let mut out = vec![0usize; subset.len() * k];
+    fill_rows(&mut out, subset.len(), k, |q, row| {
+        let nn = tree.knn_filtered(tree.points()[subset[q]], kq, |i| mask[i]);
         let last = local[nn.last().expect("at least one neighbor").index];
-        for j in 0..k {
-            out.push(nn.get(j).map_or(last, |n| local[n.index]));
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = nn.get(j).map_or(last, |n| local[n.index]);
         }
-    }
+    });
     out
 }
 
@@ -120,7 +170,11 @@ pub fn subset_knn_graph(tree: &KdTree, subset: &[usize], k: usize) -> Vec<usize>
 pub fn subset_nearest(tree: &KdTree, subset: &[usize], queries: &[Point3]) -> Vec<usize> {
     assert!(!subset.is_empty(), "subset_nearest: empty subset");
     let (mask, local) = subset_index(tree.len(), subset);
-    queries.iter().map(|&q| local[tree.knn_filtered(q, 1, |i| mask[i])[0].index]).collect()
+    let mut out = vec![0usize; queries.len()];
+    fill_rows(&mut out, queries.len(), 1, |q, row| {
+        row[0] = local[tree.knn_filtered(queries[q], 1, |i| mask[i])[0].index];
+    });
+    out
 }
 
 /// Membership mask and original-index -> subset-local-index map.
@@ -269,6 +323,42 @@ mod tests {
         let queries = vec![Point3::new(0.2, 0.0, 0.0), Point3::new(5.6, 0.0, 0.0)];
         let nearest = subset_nearest(&tree, &subset, &queries);
         assert_eq!(nearest, vec![1, 2]); // local indices of points 2 and 5
+    }
+
+    #[test]
+    fn parallel_graphs_match_sequential_bit_for_bit() {
+        let pts = random_points(600, 31);
+        let tree = KdTree::build(&pts);
+        let subset: Vec<usize> = (0..300).map(|i| i * 2).collect();
+        let seq = (
+            knn_graph(&pts, 8),
+            dilated_knn(&pts, 4, 2),
+            subset_knn_graph(&tree, &subset, 6),
+            subset_nearest(&tree, &subset, &pts),
+        );
+        let rt = colper_runtime::Runtime::new(4);
+        let par = rt.install(|| {
+            // The tree itself is also rebuilt under the pool inside
+            // knn_graph/dilated_knn, covering the parallel kd-tree build.
+            (
+                knn_graph(&pts, 8),
+                dilated_knn(&pts, 4, 2),
+                subset_knn_graph(&tree, &subset, 6),
+                subset_nearest(&tree, &subset, &pts),
+            )
+        });
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_kdtree_build_matches_sequential_queries() {
+        let pts = random_points(3000, 57); // above MIN_PAR_BUILD
+        let seq_tree = KdTree::build(&pts);
+        let rt = colper_runtime::Runtime::new(3);
+        let par_tree = rt.install(|| KdTree::build(&pts));
+        for (qi, &q) in pts.iter().enumerate().step_by(97) {
+            assert_eq!(seq_tree.knn(q, 12), par_tree.knn(q, 12), "query {qi}");
+        }
     }
 
     #[test]

@@ -52,8 +52,13 @@ pub fn train_model<M: SegmentationModel + ?Sized>(
     assert!(!clouds.is_empty(), "train_model: no training clouds");
     let mut adam = Adam::with_lr(config.lr);
     // Geometry depends only on coordinates, which never change across
-    // epochs — plan each cloud once instead of once per epoch.
-    let plans: Vec<GeometryPlan> = clouds.iter().map(|t| model.plan(&t.coords)).collect();
+    // epochs — plan each cloud once instead of once per epoch, spreading
+    // the independent clouds across the ambient runtime. The epoch loop
+    // below stays sequential: SGD steps are order-dependent.
+    let plans: Vec<GeometryPlan> = {
+        let model: &M = model;
+        colper_runtime::current().par_map(clouds.len(), |i| model.plan(&clouds[i].coords))
+    };
     let mut order: Vec<usize> = (0..clouds.len()).collect();
     let mut trace = Vec::with_capacity(config.epochs);
     let mut final_loss = f32::INFINITY;

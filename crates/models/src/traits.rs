@@ -14,7 +14,11 @@ use rand::rngs::StdRng;
 /// logits variable. Parameter gradients appear when the session is in
 /// training mode; input gradients appear whenever the caller bound an
 /// input as a leaf (the attack's color variable).
-pub trait SegmentationModel {
+///
+/// `Sync` is a supertrait so a shared `&M` can drive concurrent forward
+/// passes on the [`colper_runtime`] worker pool (batched attacks, parallel
+/// gradient samples); model state is read-only during inference.
+pub trait SegmentationModel: Sync {
     /// Short human-readable model name (`"pointnet++"`, `"resgcn-28"`, …).
     fn name(&self) -> &str;
 

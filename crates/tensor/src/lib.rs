@@ -29,6 +29,7 @@ mod error;
 mod init;
 mod matrix;
 mod ops;
+mod par;
 
 pub use error::{ShapeError, TensorError};
 pub use init::Initializer;

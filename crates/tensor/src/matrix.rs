@@ -164,13 +164,59 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Returns element `(r, c)` or `None` when out of bounds.
-    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
-        if r < self.rows && c < self.cols {
-            Some(self.data[r * self.cols + c])
-        } else {
-            None
+    /// Returns element `(r, c)`.
+    ///
+    /// The fallible counterpart of [`Matrix::at`]; matches [`Matrix::set`]
+    /// so the read/write pair share one error contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index is outside
+    /// the matrix.
+    pub fn get(&self, r: usize, c: usize) -> Result<f32, TensorError> {
+        if r >= self.rows {
+            return Err(TensorError::IndexOutOfBounds { index: r, bound: self.rows });
         }
+        if c >= self.cols {
+            return Err(TensorError::IndexOutOfBounds { index: c, bound: self.cols });
+        }
+        Ok(self.data[r * self.cols + c])
+    }
+
+    /// Returns element `(r, c)`, panicking on out-of-bounds access.
+    ///
+    /// The by-value twin of `m[(r, c)]` for hot loops; prefer [`Matrix::get`]
+    /// when the index is not known to be valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Returns a mutable reference to element `(r, c)`, panicking on
+    /// out-of-bounds access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[r * self.cols + c]
     }
 
     /// Sets element `(r, c)`.
@@ -214,11 +260,28 @@ impl Matrix {
 
     /// Selects the listed rows (allowing repetition) into a new matrix.
     ///
+    /// Large gathers split the output rows across the ambient runtime; each
+    /// output row is a plain copy, so results are identical at any thread
+    /// count.
+    ///
     /// # Panics
     ///
     /// Panics when an index is `>= rows`.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        if self.cols == 0 {
+            return out;
+        }
+        if let Some(rt) = crate::par::runtime_for(out.len(), crate::par::MIN_PAR_ELEMS) {
+            let rows_per = crate::par::chunk_len(indices.len(), &rt);
+            let cols = self.cols;
+            rt.par_chunks_mut(out.as_mut_slice(), rows_per * cols, |c, sub| {
+                for (j, dst) in sub.chunks_mut(cols).enumerate() {
+                    dst.copy_from_slice(self.row(indices[c * rows_per + j]));
+                }
+            });
+            return out;
+        }
         for (dst, &src) in indices.iter().enumerate() {
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
@@ -371,16 +434,27 @@ mod tests {
         let mut m = Matrix::zeros(2, 3);
         m[(1, 2)] = 7.0;
         assert_eq!(m[(1, 2)], 7.0);
-        assert_eq!(m.get(1, 2), Some(7.0));
-        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.at(1, 2), 7.0);
+        assert_eq!(m.get(1, 2), Ok(7.0));
+        *m.at_mut(0, 1) = 3.0;
+        assert_eq!(m.at(0, 1), 3.0);
     }
 
     #[test]
-    fn set_rejects_out_of_bounds() {
+    fn get_and_set_share_the_fallible_contract() {
         let mut m = Matrix::zeros(2, 2);
         assert!(m.set(0, 0, 1.0).is_ok());
         assert!(m.set(2, 0, 1.0).is_err());
         assert!(m.set(0, 2, 1.0).is_err());
+        assert_eq!(m.get(0, 0), Ok(1.0));
+        assert!(matches!(m.get(2, 0), Err(TensorError::IndexOutOfBounds { index: 2, bound: 2 })));
+        assert!(m.get(0, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn at_panics_out_of_bounds() {
+        Matrix::zeros(2, 2).at(2, 0);
     }
 
     #[test]

@@ -1,6 +1,39 @@
 //! Elementwise math, matrix multiplication and reductions on [`Matrix`].
+//!
+//! The matmul family and the large elementwise kernels consult the ambient
+//! [`colper_runtime`] runtime and split their *output rows/elements* across
+//! the worker pool. Each output element is produced by exactly one task
+//! using the same operation order as the sequential loop, so parallel
+//! results are bit-identical to sequential ones (see `par.rs`).
 
+use crate::par::{chunk_len, runtime_for, MIN_PAR_ELEMS, MIN_PAR_MACS};
 use crate::{Matrix, ShapeError, TensorError};
+
+/// Runs `row_job(i, out_row)` for every row of `out`, splitting the rows
+/// across the ambient runtime when `macs` (multiply-accumulate count) makes
+/// it worthwhile. Each row is written by exactly one invocation, so the
+/// result is bit-identical to the sequential row loop.
+fn for_each_out_row(out: &mut Matrix, macs: usize, row_job: impl Fn(usize, &mut [f32]) + Sync) {
+    let (m, n) = out.shape();
+    if m == 0 || n == 0 {
+        return;
+    }
+    match runtime_for(macs, MIN_PAR_MACS) {
+        None => {
+            for i in 0..m {
+                row_job(i, out.row_mut(i));
+            }
+        }
+        Some(rt) => {
+            let rows_per = chunk_len(m, &rt);
+            rt.par_chunks_mut(out.as_mut_slice(), rows_per * n, |c, sub| {
+                for (j, out_row) in sub.chunks_mut(n).enumerate() {
+                    row_job(c * rows_per + j, out_row);
+                }
+            });
+        }
+    }
+}
 
 impl Matrix {
     /// Elementwise sum with another matrix of the same shape.
@@ -43,10 +76,22 @@ impl Matrix {
         &self,
         op: &'static str,
         other: &Matrix,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Matrix, TensorError> {
         if self.shape() != other.shape() {
             return Err(ShapeError::new(op, self.shape(), other.shape()).into());
+        }
+        if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
+            let (a, b) = (self.as_slice(), other.as_slice());
+            let mut out = Matrix::zeros(self.rows(), self.cols());
+            let chunk = chunk_len(a.len(), &rt);
+            rt.par_chunks_mut(out.as_mut_slice(), chunk, |c, sub| {
+                let base = c * chunk;
+                for (off, o) in sub.iter_mut().enumerate() {
+                    *o = f(a[base + off], b[base + off]);
+                }
+            });
+            return Ok(out);
         }
         let data = self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
         Ok(Matrix::from_vec(self.rows(), self.cols(), data).expect("shape preserved"))
@@ -60,6 +105,17 @@ impl Matrix {
     /// hot path where a shape mismatch is a programming error.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign requires equal shapes");
+        if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
+            let b = other.as_slice();
+            let chunk = chunk_len(b.len(), &rt);
+            rt.par_chunks_mut(self.as_mut_slice(), chunk, |c, sub| {
+                let base = c * chunk;
+                for (off, a) in sub.iter_mut().enumerate() {
+                    *a += b[base + off];
+                }
+            });
+            return;
+        }
         for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a += b;
         }
@@ -76,7 +132,19 @@ impl Matrix {
     }
 
     /// Applies `f` to every element, producing a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
+            let a = self.as_slice();
+            let mut out = Matrix::zeros(self.rows(), self.cols());
+            let chunk = chunk_len(a.len(), &rt);
+            rt.par_chunks_mut(out.as_mut_slice(), chunk, |c, sub| {
+                let base = c * chunk;
+                for (off, o) in sub.iter_mut().enumerate() {
+                    *o = f(a[base + off]);
+                }
+            });
+            return out;
+        }
         let data = self.as_slice().iter().map(|&v| f(v)).collect();
         Matrix::from_vec(self.rows(), self.cols(), data).expect("shape preserved")
     }
@@ -91,7 +159,10 @@ impl Matrix {
     /// Matrix product `self * other` (`[m,k] x [k,n] -> [m,n]`).
     ///
     /// Uses an i-k-j loop order so the inner loop streams both operand rows,
-    /// which is the cache-friendly layout for row-major storage.
+    /// which is the cache-friendly layout for row-major storage. Large
+    /// products split their output rows across the ambient runtime; each row
+    /// keeps the sequential accumulation order, so results are bit-identical
+    /// at any thread count.
     ///
     /// # Errors
     ///
@@ -103,9 +174,8 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = other.cols();
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
+        for_each_out_row(&mut out, m * k * n, |i, out_row| {
             let a_row = self.row(i);
-            let out_row = out.row_mut(i);
             for (kk, &a) in a_row.iter().enumerate().take(k) {
                 if a == 0.0 {
                     continue;
@@ -115,12 +185,18 @@ impl Matrix {
                     *o += a * b;
                 }
             }
-        }
+        });
         Ok(out)
     }
 
     /// Matrix product `self^T * other` (`[k,m]^T x [k,n] -> [m,n]`) without
     /// materializing the transpose.
+    ///
+    /// The loop nest is output-row (`i`) outermost so rows can be split
+    /// across the ambient runtime; every `out[i][j]` still accumulates its
+    /// `k` terms in ascending-`k` order, exactly as the previous `k`-outer
+    /// formulation did, so results are bit-identical (and thread-count
+    /// independent).
     ///
     /// # Errors
     ///
@@ -132,19 +208,18 @@ impl Matrix {
         let (k, m) = self.shape();
         let n = other.cols();
         let mut out = Matrix::zeros(m, n);
-        for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = other.row(kk);
-            for (i, &a) in a_row.iter().enumerate().take(m) {
+        for_each_out_row(&mut out, m * k * n, |i, out_row| {
+            for kk in 0..k {
+                let a = self.at(kk, i);
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = out.row_mut(i);
+                let b_row = other.row(kk);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -159,11 +234,11 @@ impl Matrix {
             return Err(ShapeError::new("matmul_nt", self.shape(), other.shape()).into());
         }
         let m = self.rows();
+        let k = self.cols();
         let n = other.rows();
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
+        for_each_out_row(&mut out, m * k * n, |i, out_row| {
             let a_row = self.row(i);
-            let out_row = out.row_mut(i);
             for (j, o) in out_row.iter_mut().enumerate().take(n) {
                 let b_row = other.row(j);
                 let mut acc = 0.0f32;
@@ -172,7 +247,7 @@ impl Matrix {
                 }
                 *o = acc;
             }
-        }
+        });
         Ok(out)
     }
 
@@ -448,6 +523,37 @@ mod tests {
         let b = Matrix::filled(2, 2, 0.5);
         a.add_assign(&b);
         assert_eq!(a.as_slice(), &[1.5, 1.5, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_sequential() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        // Big enough to cross every parallel threshold.
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::from_fn(96, 80, |_, _| rng.gen_range(-1.0f32..1.0));
+        let b = Matrix::from_fn(80, 96, |_, _| rng.gen_range(-1.0f32..1.0));
+        let seq = (
+            a.matmul(&b).unwrap(),
+            a.matmul_tn(&a).unwrap(),
+            a.matmul_nt(&a).unwrap(),
+            a.add(&a).unwrap(),
+            a.map(|v| v * 1.7 + 0.3),
+            a.select_rows(&vec![5usize; 500]),
+        );
+        let rt = colper_runtime::Runtime::new(4);
+        let par = rt.install(|| {
+            (
+                a.matmul(&b).unwrap(),
+                a.matmul_tn(&a).unwrap(),
+                a.matmul_nt(&a).unwrap(),
+                a.add(&a).unwrap(),
+                a.map(|v| v * 1.7 + 0.3),
+                a.select_rows(&vec![5usize; 500]),
+            )
+        });
+        // PartialEq on Matrix is exact f32 equality, i.e. bit identity for
+        // non-NaN data.
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -3,13 +3,16 @@
 //! ```text
 //! colper scene   [--outdoor] [--points N] [--seed S]
 //! colper train   [--model pointnet|resgcn|randla] [--points N] [--rooms R]
-//!                [--epochs E] [--out FILE]
+//!                [--epochs E] [--out FILE] [--threads N]
 //! colper attack  [--model pointnet|resgcn|randla] [--steps S] [--points N]
 //!                [--targeted CLASS] [--source CLASS] [--weights FILE]
+//!                [--threads N]
 //! ```
 //!
 //! Everything runs on synthetic scenes; `train` writes a checkpoint that
-//! `attack --weights` can reuse.
+//! `attack --weights` can reuse. `--threads` sizes the shared compute
+//! pool (default: `COLPER_THREADS`, else the host parallelism); every
+//! thread count produces bit-identical results.
 
 use colper_repro::attack::{AttackConfig, Colper, NoiseBaseline};
 use colper_repro::metrics::ConfusionMatrix;
@@ -18,6 +21,7 @@ use colper_repro::models::{
     ResGcnConfig, SegmentationModel, TrainConfig,
 };
 use colper_repro::nn::{load_params, save_params};
+use colper_repro::runtime::Runtime;
 use colper_repro::scene::{
     normalize, IndoorClass, IndoorSceneConfig, OutdoorSceneConfig, RoomKind, S3disLikeDataset,
     SceneGenerator,
@@ -40,7 +44,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match command.as_str() {
+    // One pool serves the whole command; every library layer picks it up
+    // as the ambient runtime. Results are identical for any --threads.
+    let runtime = match flags.get("threads").map(|v| v.parse::<usize>()) {
+        None => Runtime::from_env(),
+        Some(Ok(n)) if n >= 1 => Runtime::new(n),
+        Some(_) => {
+            eprintln!("error: --threads expects a positive integer\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = runtime.install(|| match command.as_str() {
         "scene" => cmd_scene(&flags),
         "train" => cmd_train(&flags),
         "attack" => cmd_attack(&flags),
@@ -49,7 +63,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
-    };
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -62,8 +76,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   colper scene   [--outdoor] [--points N] [--seed S] [--map] [--ply FILE]
   colper train   [--model pointnet|resgcn|randla] [--points N] [--rooms R] [--epochs E] [--out FILE]
+                 [--threads N]
   colper attack  [--model pointnet|resgcn|randla] [--steps S] [--points N] [--seed S]
-                 [--targeted CLASS] [--source CLASS] [--weights FILE] [--map] [--ply FILE]";
+                 [--targeted CLASS] [--source CLASS] [--weights FILE] [--map] [--ply FILE]
+                 [--threads N]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();

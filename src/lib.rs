@@ -25,6 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The shared work-stealing compute pool every knob plumbs into
+/// (re-export of `colper-runtime`).
+pub use colper_runtime as runtime;
+
 /// Dense 2-D tensor math (re-export of `colper-tensor`).
 pub use colper_tensor as tensor;
 

@@ -1,0 +1,109 @@
+//! Parallel-equivalence contracts for the work-stealing runtime: an
+//! attack scheduled on a pool of any size must reproduce the sequential
+//! run bit-for-bit — on every victim architecture, and at every layer
+//! the pool reaches (tensor kernels, k-NN queries, EoT sample fan-out,
+//! per-cloud batch scheduling).
+
+use colper_repro::attack::{run_batch, AttackConfig, AttackPlan, Colper};
+use colper_repro::models::{
+    CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn, ResGcnConfig,
+    SegmentationModel,
+};
+use colper_repro::runtime::Runtime;
+use colper_repro::scene::{normalize, IndoorSceneConfig, SceneGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn indoor(points: usize, seed: u64) -> colper_repro::scene::PointCloud {
+    SceneGenerator::indoor(IndoorSceneConfig::with_points(points)).generate(seed)
+}
+
+/// Runs a short multi-sample attack on `model` under `rt` and returns
+/// the full result for comparison.
+fn attack_on<M: SegmentationModel>(
+    model: &M,
+    t: &CloudTensors,
+    rt: Runtime,
+) -> colper_repro::attack::AttackResult {
+    let mut cfg = AttackConfig::non_targeted(4);
+    cfg.gradient_samples = 2; // exercise the EoT fan-out
+    cfg.convergence_threshold = Some(0.0); // never stop early
+    let plan = AttackPlan::build(model, t, &cfg);
+    let mask = vec![true; t.len()];
+    let mut rng = StdRng::seed_from_u64(99);
+    Colper::new(cfg).with_runtime(rt).run_planned(model, t, &mask, &plan, &mut rng)
+}
+
+fn assert_thread_count_invariant<M: SegmentationModel>(model: &M, t: &CloudTensors) {
+    let seq = attack_on(model, t, Runtime::sequential());
+    for threads in [2, 4] {
+        let par = attack_on(model, t, Runtime::new(threads));
+        assert_eq!(
+            seq.adversarial_colors, par.adversarial_colors,
+            "colors diverged at {threads} threads"
+        );
+        assert_eq!(seq.gain_history, par.gain_history, "gains diverged at {threads} threads");
+        assert_eq!(seq.predictions, par.predictions, "preds diverged at {threads} threads");
+        assert_eq!(seq.l2_sq.to_bits(), par.l2_sq.to_bits());
+    }
+}
+
+#[test]
+fn pointnet_attack_is_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let t = CloudTensors::from_cloud(&normalize::pointnet_view(&indoor(128, 7)));
+    assert_thread_count_invariant(&model, &t);
+}
+
+#[test]
+fn resgcn_attack_is_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = ResGcn::new(ResGcnConfig::tiny(13), &mut rng);
+    let t = CloudTensors::from_cloud(&normalize::resgcn_view(&indoor(128, 8)));
+    assert_thread_count_invariant(&model, &t);
+}
+
+#[test]
+fn randla_attack_is_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = RandLaNet::new(RandLaNetConfig::tiny(13), &mut rng);
+    let cloud = indoor(128, 9);
+    let mut view_rng = StdRng::seed_from_u64(3);
+    let t = CloudTensors::from_cloud(&normalize::randla_view(&cloud, cloud.len(), &mut view_rng));
+    assert_thread_count_invariant(&model, &t);
+}
+
+#[test]
+fn batch_outcome_is_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let clouds: Vec<CloudTensors> = (0..3)
+        .map(|i| CloudTensors::from_cloud(&normalize::pointnet_view(&indoor(96, 20 + i))))
+        .collect();
+    let cfg = AttackConfig::non_targeted(3);
+    let mask_of = |t: &CloudTensors| vec![true; t.len()];
+    let seq = run_batch(&model, &clouds, &cfg, mask_of, 11, &Runtime::sequential());
+    let par = run_batch(&model, &clouds, &cfg, mask_of, 11, &Runtime::new(4));
+    assert_eq!(seq.items.len(), par.items.len());
+    for (a, b) in seq.items.iter().zip(&par.items) {
+        assert_eq!(a.result.adversarial_colors, b.result.adversarial_colors);
+        assert_eq!(a.result.gain_history, b.result.gain_history);
+        assert_eq!(a.clean_accuracy.to_bits(), b.clean_accuracy.to_bits());
+        assert_eq!(a.adversarial_miou.to_bits(), b.adversarial_miou.to_bits());
+    }
+}
+
+#[test]
+fn ambient_runtime_is_inherited_by_default_colper() {
+    // A default `Colper` must pick up the runtime the caller installed —
+    // and still produce the sequential answer bit-for-bit.
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let t = CloudTensors::from_cloud(&normalize::pointnet_view(&indoor(96, 30)));
+    let seq = attack_on(&model, &t, Runtime::sequential());
+    let pool = Runtime::new(3);
+    let ambient = pool.install(|| attack_on(&model, &t, Runtime::sequential()));
+    assert_eq!(seq.adversarial_colors, ambient.adversarial_colors);
+    assert_eq!(seq.gain_history, ambient.gain_history);
+}
