@@ -1,7 +1,12 @@
 //! Arithmetic, activation and reduction operations on the [`Tape`].
+//!
+//! Every op writes its output into storage drawn from the tape's buffer
+//! pool ([`Tape::reset`] recycles it), so a reused tape allocates nothing
+//! in steady state.
 
-use crate::tape::{Op, Tape, Var};
+use crate::tape::{Op, Tape, Value, Var};
 use colper_tensor::Matrix;
+use std::sync::Arc;
 
 impl Tape {
     /// Elementwise `a + b` (equal shapes).
@@ -10,9 +15,11 @@ impl Tape {
     ///
     /// Panics when the shapes differ.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b)).expect("add: shape mismatch");
+        let (r, c) = self.value(a).shape();
+        let mut out = self.alloc(r, c);
+        self.value(a).add_into(self.value(b), &mut out).expect("add: shape mismatch");
         let rg = self.any_requires_grad(&[a, b]);
-        self.push(v, Op::Add(a, b), rg)
+        self.push(out, Op::Add(a, b), rg)
     }
 
     /// Elementwise `a - b` (equal shapes).
@@ -21,9 +28,11 @@ impl Tape {
     ///
     /// Panics when the shapes differ.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b)).expect("sub: shape mismatch");
+        let (r, c) = self.value(a).shape();
+        let mut out = self.alloc(r, c);
+        self.value(a).sub_into(self.value(b), &mut out).expect("sub: shape mismatch");
         let rg = self.any_requires_grad(&[a, b]);
-        self.push(v, Op::Sub(a, b), rg)
+        self.push(out, Op::Sub(a, b), rg)
     }
 
     /// Elementwise `a * b` (equal shapes).
@@ -32,9 +41,11 @@ impl Tape {
     ///
     /// Panics when the shapes differ.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b)).expect("mul: shape mismatch");
+        let (r, c) = self.value(a).shape();
+        let mut out = self.alloc(r, c);
+        self.value(a).mul_into(self.value(b), &mut out).expect("mul: shape mismatch");
         let rg = self.any_requires_grad(&[a, b]);
-        self.push(v, Op::Mul(a, b), rg)
+        self.push(out, Op::Mul(a, b), rg)
     }
 
     /// Row-broadcast `x + row` where `x` is `[N,C]` and `row` is `[1,C]`.
@@ -81,25 +92,34 @@ impl Tape {
         f: impl Fn(f32, f32) -> f32,
         op: Op,
     ) -> Var {
+        let (xr, xc) = self.value(x).shape();
+        {
+            let rv = self.value(row);
+            assert_eq!(rv.rows(), 1, "{name}: broadcast operand must have one row");
+            assert_eq!(xc, rv.cols(), "{name}: column mismatch {} vs {}", xc, rv.cols());
+        }
+        let mut out = self.alloc(xr, xc);
         let xv = self.value(x);
         let rv = self.value(row);
-        assert_eq!(rv.rows(), 1, "{name}: broadcast operand must have one row");
-        assert_eq!(xv.cols(), rv.cols(), "{name}: column mismatch {} vs {}", xv.cols(), rv.cols());
-        let out = Matrix::from_fn(xv.rows(), xv.cols(), |r, c| f(xv[(r, c)], rv[(0, c)]));
+        for r in 0..xr {
+            for c in 0..xc {
+                out[(r, c)] = f(xv[(r, c)], rv[(0, c)]);
+            }
+        }
         let rg = self.any_requires_grad(&[x, row]);
         self.push(out, op, rg)
     }
 
     /// `x * s` for a scalar `s`.
     pub fn scale(&mut self, x: Var, s: f32) -> Var {
-        let v = self.value(x).scale(s);
+        let v = self.unary_map(x, |t| t * s);
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Scale(x, s), rg)
     }
 
     /// `x + s` for a scalar `s`.
     pub fn add_scalar(&mut self, x: Var, s: f32) -> Var {
-        let v = self.value(x).add_scalar(s);
+        let v = self.unary_map(x, |t| t + s);
         let rg = self.node(x).requires_grad;
         self.push(v, Op::AddScalar(x, s), rg)
     }
@@ -115,42 +135,47 @@ impl Tape {
     ///
     /// Panics when the inner dimensions disagree.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b)).expect("matmul: inner dimension mismatch");
+        let m = self.value(a).rows();
+        let n = self.value(b).cols();
+        let mut out = self.alloc(m, n);
+        self.value(a)
+            .matmul_into(self.value(b), &mut out)
+            .expect("matmul: inner dimension mismatch");
         let rg = self.any_requires_grad(&[a, b]);
-        self.push(v, Op::Matmul(a, b), rg)
+        self.push(out, Op::Matmul(a, b), rg)
     }
 
     /// Rectified linear unit, `max(x, 0)`.
     pub fn relu(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|t| t.max(0.0));
+        let v = self.unary_map(x, |t| t.max(0.0));
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Relu(x), rg)
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
-        let v = self.value(x).map(|t| if t > 0.0 { t } else { alpha * t });
+        let v = self.unary_map(x, |t| if t > 0.0 { t } else { alpha * t });
         let rg = self.node(x).requires_grad;
         self.push(v, Op::LeakyRelu(x, alpha), rg)
     }
 
     /// Hyperbolic tangent (the reparameterization of Eq. 5 in the paper).
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(f32::tanh);
+        let v = self.unary_map(x, f32::tanh);
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Tanh(x), rg)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|t| 1.0 / (1.0 + (-t).exp()));
+        let v = self.unary_map(x, |t| 1.0 / (1.0 + (-t).exp()));
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Sigmoid(x), rg)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(f32::exp);
+        let v = self.unary_map(x, f32::exp);
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Exp(x), rg)
     }
@@ -159,23 +184,32 @@ impl Tape {
     ///
     /// The caller is responsible for keeping inputs positive.
     pub fn ln(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(f32::ln);
+        let v = self.unary_map(x, f32::ln);
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Ln(x), rg)
     }
 
     /// Elementwise square root.
     pub fn sqrt(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(f32::sqrt);
+        let v = self.unary_map(x, f32::sqrt);
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Sqrt(x), rg)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|t| t * t);
+        let v = self.unary_map(x, |t| t * t);
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Square(x), rg)
+    }
+
+    /// `map(x, f)` in pooled storage: the shared body of the elementwise
+    /// unary ops.
+    fn unary_map(&mut self, x: Var, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let (r, c) = self.value(x).shape();
+        let mut out = self.alloc(r, c);
+        self.value(x).map_into(&mut out, f);
+        out
     }
 
     /// Elementwise product with a constant mask (dropout, fixed masks).
@@ -184,44 +218,70 @@ impl Tape {
     ///
     /// Panics when the mask shape differs from `x`.
     pub fn mul_const(&mut self, x: Var, mask: Matrix) -> Var {
-        let v = self.value(x).mul(&mask).expect("mul_const: shape mismatch");
+        let (r, c) = self.value(x).shape();
+        let mut out = self.alloc(r, c);
+        self.value(x).mul_into(&mask, &mut out).expect("mul_const: shape mismatch");
         let rg = self.node(x).requires_grad;
-        self.push(v, Op::MulConst(x, mask), rg)
+        self.push(out, Op::MulConst(x, Value::Owned(mask)), rg)
+    }
+
+    /// [`Tape::mul_const`] with an interned (`Arc`-shared) mask — the mask
+    /// is neither copied per step nor recycled on reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask shape differs from `x`.
+    pub fn mul_const_shared(&mut self, x: Var, mask: Arc<Matrix>) -> Var {
+        let (r, c) = self.value(x).shape();
+        let mut out = self.alloc(r, c);
+        self.value(x).mul_into(&mask, &mut out).expect("mul_const: shape mismatch");
+        let rg = self.node(x).requires_grad;
+        self.push(out, Op::MulConst(x, Value::Shared(mask)), rg)
     }
 
     /// Sum of all elements, producing a `1x1` scalar.
     pub fn sum(&mut self, x: Var) -> Var {
-        let v = Matrix::filled(1, 1, self.value(x).sum());
+        let s = self.value(x).sum();
+        let mut v = self.alloc(1, 1);
+        v[(0, 0)] = s;
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Sum(x), rg)
     }
 
     /// Mean of all elements, producing a `1x1` scalar.
     pub fn mean(&mut self, x: Var) -> Var {
-        let v = Matrix::filled(1, 1, self.value(x).mean());
+        let s = self.value(x).mean();
+        let mut v = self.alloc(1, 1);
+        v[(0, 0)] = s;
         let rg = self.node(x).requires_grad;
         self.push(v, Op::Mean(x), rg)
     }
 
     /// Column-wise sums: `[N,C] -> [1,C]`.
     pub fn sum_rows(&mut self, x: Var) -> Var {
-        let v = self.value(x).sum_rows();
+        let c = self.value(x).cols();
+        let mut out = self.alloc(1, c);
+        self.value(x).sum_rows_into(&mut out);
         let rg = self.node(x).requires_grad;
-        self.push(v, Op::SumRows(x), rg)
+        self.push(out, Op::SumRows(x), rg)
     }
 
     /// Column-wise means: `[N,C] -> [1,C]`.
     pub fn mean_rows(&mut self, x: Var) -> Var {
-        let v = self.value(x).mean_rows();
+        let c = self.value(x).cols();
+        let mut out = self.alloc(1, c);
+        self.value(x).mean_rows_into(&mut out);
         let rg = self.node(x).requires_grad;
-        self.push(v, Op::MeanRows(x), rg)
+        self.push(out, Op::MeanRows(x), rg)
     }
 
     /// Row-wise sums: `[N,C] -> [N,1]`.
     pub fn sum_cols(&mut self, x: Var) -> Var {
-        let v = self.value(x).sum_cols();
+        let r = self.value(x).rows();
+        let mut out = self.alloc(r, 1);
+        self.value(x).sum_cols_into(&mut out);
         let rg = self.node(x).requires_grad;
-        self.push(v, Op::SumCols(x), rg)
+        self.push(out, Op::SumCols(x), rg)
     }
 }
 
@@ -360,6 +420,26 @@ mod tests {
         let loss = t.sum(y);
         t.backward(loss);
         assert_eq!(t.grad(x).unwrap().as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_const_shared_matches_owned() {
+        let mask = mat(&[&[0.0, 2.0]]);
+        let mut t1 = Tape::new();
+        let x1 = t1.leaf(mat(&[&[1.0, 2.0]]));
+        let y1 = t1.mul_const(x1, mask.clone());
+        let l1 = t1.sum(y1);
+        t1.backward(l1);
+
+        let shared = Arc::new(mask);
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf(mat(&[&[1.0, 2.0]]));
+        let y2 = t2.mul_const_shared(x2, shared);
+        let l2 = t2.sum(y2);
+        t2.backward(l2);
+
+        assert_eq!(t1.value(y1), t2.value(y2));
+        assert_eq!(t1.grad(x1), t2.grad(x2));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Fused neural-network operations: batch normalization, training loss,
 //! and the paper's attack objectives (Eq. 6, 7, 8).
 
-use crate::tape::{Op, Tape, Var};
+use crate::tape::{Ix, Op, Tape, Value, Var};
 use colper_tensor::Matrix;
+use std::sync::Arc;
 
 impl Tape {
     /// Batch normalization in training mode over the row (batch) axis.
@@ -23,35 +24,46 @@ impl Tape {
         beta: Var,
         eps: f32,
     ) -> (Var, Matrix, Matrix) {
-        let xv = self.value(x).clone();
-        let (n, c) = xv.shape();
+        let (n, c) = self.value(x).shape();
         assert!(n > 0, "batch_norm_train: empty batch");
         assert_eq!(self.value(gamma).shape(), (1, c), "batch_norm_train: gamma shape");
         assert_eq!(self.value(beta).shape(), (1, c), "batch_norm_train: beta shape");
 
-        let mean = xv.mean_rows();
+        // Mean and variance escape the tape (the caller folds them into
+        // running statistics), so they are plain allocations, not pooled.
         let mut var = Matrix::zeros(1, c);
-        for r in 0..n {
-            for cc in 0..c {
-                let d = xv[(r, cc)] - mean[(0, cc)];
-                var[(0, cc)] += d * d;
+        let mean = {
+            let xv = self.value(x);
+            let mean = xv.mean_rows();
+            for r in 0..n {
+                for cc in 0..c {
+                    let d = xv[(r, cc)] - mean[(0, cc)];
+                    var[(0, cc)] += d * d;
+                }
             }
-        }
+            mean
+        };
         var.map_inplace(|v| v / n as f32);
-        let inv_std = var.map(|v| 1.0 / (v + eps).sqrt());
+        let mut inv_std = self.alloc(1, c);
+        var.map_into(&mut inv_std, |v| 1.0 / (v + eps).sqrt());
 
-        let mut xhat = Matrix::zeros(n, c);
-        for r in 0..n {
-            for cc in 0..c {
-                xhat[(r, cc)] = (xv[(r, cc)] - mean[(0, cc)]) * inv_std[(0, cc)];
+        let mut xhat = self.alloc(n, c);
+        {
+            let xv = self.value(x);
+            for r in 0..n {
+                for cc in 0..c {
+                    xhat[(r, cc)] = (xv[(r, cc)] - mean[(0, cc)]) * inv_std[(0, cc)];
+                }
             }
         }
-        let gammav = self.value(gamma).clone();
-        let betav = self.value(beta).clone();
-        let mut out = Matrix::zeros(n, c);
-        for r in 0..n {
-            for cc in 0..c {
-                out[(r, cc)] = xhat[(r, cc)] * gammav[(0, cc)] + betav[(0, cc)];
+        let mut out = self.alloc(n, c);
+        {
+            let gammav = self.value(gamma);
+            let betav = self.value(beta);
+            for r in 0..n {
+                for cc in 0..c {
+                    out[(r, cc)] = xhat[(r, cc)] * gammav[(0, cc)] + betav[(0, cc)];
+                }
             }
         }
         let rg = self.any_requires_grad(&[x, gamma, beta]);
@@ -66,34 +78,35 @@ impl Tape {
     ///
     /// Panics when `labels.len() != N` or a label is out of range.
     pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
-        let z = self.value(logits);
-        let (n, c) = z.shape();
+        let (n, c) = self.value(logits).shape();
         assert_eq!(labels.len(), n, "softmax_cross_entropy: {n} rows vs {} labels", labels.len());
         assert!(labels.iter().all(|&y| y < c), "softmax_cross_entropy: label out of range");
 
-        let mut softmax = Matrix::zeros(n, c);
+        let mut softmax = self.alloc(n, c);
         let mut loss = 0.0f32;
-        for r in 0..n {
-            let row = z.row(r);
-            let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            for (cc, &v) in row.iter().enumerate() {
-                let e = (v - maxv).exp();
-                softmax[(r, cc)] = e;
-                denom += e;
+        {
+            let z = self.value(logits);
+            for r in 0..n {
+                let row = z.row(r);
+                let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut denom = 0.0f32;
+                for (cc, &v) in row.iter().enumerate() {
+                    let e = (v - maxv).exp();
+                    softmax[(r, cc)] = e;
+                    denom += e;
+                }
+                for cc in 0..c {
+                    softmax[(r, cc)] /= denom;
+                }
+                loss -= softmax[(r, labels[r])].max(1e-12).ln();
             }
-            for cc in 0..c {
-                softmax[(r, cc)] /= denom;
-            }
-            loss -= softmax[(r, labels[r])].max(1e-12).ln();
         }
         loss /= n.max(1) as f32;
+        let labels = self.pooled_idx_copy(labels);
         let rg = self.node(logits).requires_grad;
-        self.push(
-            Matrix::filled(1, 1, loss),
-            Op::SoftmaxCrossEntropy { logits, labels: labels.to_vec(), softmax },
-            rg,
-        )
+        let mut lv = self.alloc(1, 1);
+        lv[(0, 0)] = loss;
+        self.push(lv, Op::SoftmaxCrossEntropy { logits, labels, softmax }, rg)
     }
 
     /// The paper's targeted adversarial loss (Eq. 7):
@@ -121,43 +134,47 @@ impl Tape {
     }
 
     fn cw_hinge(&mut self, logits: Var, labels: &[usize], mask: &[bool], targeted: bool) -> Var {
-        let z = self.value(logits);
-        let (n, c) = z.shape();
+        let (n, c) = self.value(logits).shape();
         assert_eq!(labels.len(), n, "cw_hinge: {n} rows vs {} labels", labels.len());
         assert_eq!(mask.len(), n, "cw_hinge: {n} rows vs {} mask entries", mask.len());
         assert!(labels.iter().all(|&y| y < c), "cw_hinge: label out of range");
         assert!(c >= 2, "cw_hinge: needs at least two classes");
 
+        let mut active = self.take_tri();
         let mut loss = 0.0f32;
-        let mut active = Vec::new();
-        for r in 0..n {
-            if !mask[r] {
-                continue;
-            }
-            let y = labels[r];
-            let row = z.row(r);
-            let (jmax, zmax) = row.iter().enumerate().filter(|&(j, _)| j != y).fold(
-                (usize::MAX, f32::NEG_INFINITY),
-                |(bj, bv), (j, &v)| {
-                    if v > bv {
-                        (j, v)
-                    } else {
-                        (bj, bv)
-                    }
-                },
-            );
-            let zy = row[y];
-            // targeted: want z_y to win -> penalize (zmax - zy)_+, grads +jmax, -y
-            // non-targeted: want z_y to lose -> penalize (zy - zmax)_+, grads +y, -jmax
-            let (v, plus, minus) =
-                if targeted { (zmax - zy, jmax, y) } else { (zy - zmax, y, jmax) };
-            if v > 0.0 {
-                loss += v;
-                active.push((r, plus, minus));
+        {
+            let z = self.value(logits);
+            for r in 0..n {
+                if !mask[r] {
+                    continue;
+                }
+                let y = labels[r];
+                let row = z.row(r);
+                let (jmax, zmax) = row.iter().enumerate().filter(|&(j, _)| j != y).fold(
+                    (usize::MAX, f32::NEG_INFINITY),
+                    |(bj, bv), (j, &v)| {
+                        if v > bv {
+                            (j, v)
+                        } else {
+                            (bj, bv)
+                        }
+                    },
+                );
+                let zy = row[y];
+                // targeted: want z_y to win -> penalize (zmax - zy)_+, grads +jmax, -y
+                // non-targeted: want z_y to lose -> penalize (zy - zmax)_+, grads +y, -jmax
+                let (v, plus, minus) =
+                    if targeted { (zmax - zy, jmax, y) } else { (zy - zmax, y, jmax) };
+                if v > 0.0 {
+                    loss += v;
+                    active.push((r, plus, minus));
+                }
             }
         }
         let rg = self.node(logits).requires_grad;
-        self.push(Matrix::filled(1, 1, loss), Op::CwHinge { logits, active }, rg)
+        let mut lv = self.alloc(1, 1);
+        lv[(0, 0)] = loss;
+        self.push(lv, Op::CwHinge { logits, active }, rg)
     }
 
     /// The paper's smoothness penalty (Eq. 6):
@@ -178,6 +195,46 @@ impl Tape {
         neighbors: &[usize],
         k: usize,
     ) -> Var {
+        let total = self.smoothness_value(colors, coords, neighbors, k);
+        let coords = Value::Owned(self.alloc_copy(coords));
+        let neighbors = Ix::Owned(self.pooled_idx_copy(neighbors));
+        let rg = self.node(colors).requires_grad;
+        let mut lv = self.alloc(1, 1);
+        lv[(0, 0)] = total;
+        self.push(lv, Op::Smoothness { colors, coords, neighbors, k }, rg)
+    }
+
+    /// [`Tape::smoothness`] with interned (`Arc`-shared) coordinates and
+    /// neighbor list, as recorded once per cloud by an attack plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coords.rows() != colors.rows()` or `neighbors.len() !=
+    /// N*k`.
+    pub fn smoothness_shared(
+        &mut self,
+        colors: Var,
+        coords: Arc<Matrix>,
+        neighbors: Arc<[usize]>,
+        k: usize,
+    ) -> Var {
+        let total = self.smoothness_value(colors, &coords, &neighbors, k);
+        let rg = self.node(colors).requires_grad;
+        let mut lv = self.alloc(1, 1);
+        lv[(0, 0)] = total;
+        self.push(
+            lv,
+            Op::Smoothness {
+                colors,
+                coords: Value::Shared(coords),
+                neighbors: Ix::Shared(neighbors),
+                k,
+            },
+            rg,
+        )
+    }
+
+    fn smoothness_value(&self, colors: Var, coords: &Matrix, neighbors: &[usize], k: usize) -> f32 {
         assert!(k > 0, "smoothness: k must be positive");
         let cv = self.value(colors);
         let n = cv.rows();
@@ -201,12 +258,7 @@ impl Tape {
                 total += d2.sqrt();
             }
         }
-        let rg = self.node(colors).requires_grad;
-        self.push(
-            Matrix::filled(1, 1, total),
-            Op::Smoothness { colors, coords: coords.clone(), neighbors: neighbors.to_vec(), k },
-            rg,
-        )
+        total
     }
 }
 
@@ -335,6 +387,26 @@ mod tests {
         let neighbors = vec![1, 2, 0, 2, 0, 1]; // k = 2
         let report = check_gradient(&c0, |t, c| t.smoothness(c, &coords, &neighbors, 2));
         assert!(report.max_abs_err < 2e-2, "{report:?}");
+    }
+
+    #[test]
+    fn smoothness_shared_matches_slice_variant() {
+        let coords = mat(&[&[0.0, 0.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let neighbors = vec![1, 2, 0, 2, 0, 1];
+        let colors = mat(&[&[0.2, 0.4, 0.9], &[0.8, 0.1, 0.3], &[0.5, 0.5, 0.5]]);
+
+        let mut t1 = Tape::new();
+        let c1 = t1.leaf(colors.clone());
+        let s1 = t1.smoothness(c1, &coords, &neighbors, 2);
+        t1.backward(s1);
+
+        let mut t2 = Tape::new();
+        let c2 = t2.leaf(colors);
+        let s2 = t2.smoothness_shared(c2, Arc::new(coords), Arc::from(&neighbors[..]), 2);
+        t2.backward(s2);
+
+        assert_eq!(t1.value(s1), t2.value(s2));
+        assert_eq!(t1.grad(c1), t2.grad(c2));
     }
 
     #[test]

@@ -6,9 +6,15 @@
 //! `group_max` / `group_mean` / `group_softmax` pool over each group of `k`
 //! consecutive rows, and `weighted_gather` performs the inverse-distance
 //! interpolation of PointNet++ feature propagation.
+//!
+//! Index payloads come in two flavors: slice arguments are copied into
+//! pooled vectors (recycled on [`Tape::reset`]), while the `_shared`
+//! variants take `Arc` payloads interned once per (model, cloud) plan and
+//! shared across steps with no copy at all.
 
-use crate::tape::{Op, Tape, Var};
+use crate::tape::{Ix, Op, Tape, Var, Wts};
 use colper_tensor::Matrix;
+use std::sync::Arc;
 
 impl Tape {
     /// Gathers rows: `out[i] = x[idx[i]]`. Indices may repeat.
@@ -17,12 +23,29 @@ impl Tape {
     ///
     /// Panics when any index is out of bounds.
     pub fn gather_rows(&mut self, x: Var, idx: &[usize]) -> Var {
-        let xv = self.value(x);
-        let bound = xv.rows();
-        assert!(idx.iter().all(|&i| i < bound), "gather_rows: index out of bounds (rows={bound})");
-        let v = xv.select_rows(idx);
+        let out = self.gather_rows_value(x, idx);
+        let payload = self.pooled_idx_copy(idx);
         let rg = self.node(x).requires_grad;
-        self.push(v, Op::GatherRows(x, idx.to_vec()), rg)
+        self.push(out, Op::GatherRows(x, Ix::Owned(payload)), rg)
+    }
+
+    /// [`Tape::gather_rows`] with an interned (`Arc`-shared) index list.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of bounds.
+    pub fn gather_rows_shared(&mut self, x: Var, idx: Arc<[usize]>) -> Var {
+        let out = self.gather_rows_value(x, &idx);
+        let rg = self.node(x).requires_grad;
+        self.push(out, Op::GatherRows(x, Ix::Shared(idx)), rg)
+    }
+
+    fn gather_rows_value(&mut self, x: Var, idx: &[usize]) -> Matrix {
+        let (bound, cols) = self.value(x).shape();
+        assert!(idx.iter().all(|&i| i < bound), "gather_rows: index out of bounds (rows={bound})");
+        let mut out = self.alloc(idx.len(), cols);
+        self.value(x).select_rows_into(idx, &mut out);
+        out
     }
 
     /// Max-pool over consecutive groups of `k` rows: `[G*k, C] -> [G, C]`.
@@ -35,12 +58,13 @@ impl Tape {
     /// Panics when the row count is not a multiple of `k` or `k == 0`.
     pub fn group_max(&mut self, x: Var, k: usize) -> Var {
         assert!(k > 0, "group_max: k must be positive");
-        let xv = self.value(x);
-        let (rows, cols) = xv.shape();
+        let (rows, cols) = self.value(x).shape();
         assert_eq!(rows % k, 0, "group_max: {rows} rows not divisible by k={k}");
         let groups = rows / k;
-        let mut out = Matrix::zeros(groups, cols);
-        let mut argmax = vec![0usize; groups * cols];
+        let mut out = self.alloc(groups, cols);
+        let mut argmax = self.take_idx();
+        argmax.resize(groups * cols, 0);
+        let xv = self.value(x);
         for g in 0..groups {
             for c in 0..cols {
                 let mut best = f32::NEG_INFINITY;
@@ -68,11 +92,11 @@ impl Tape {
     /// Panics when the row count is not a multiple of `k` or `k == 0`.
     pub fn group_mean(&mut self, x: Var, k: usize) -> Var {
         assert!(k > 0, "group_mean: k must be positive");
-        let xv = self.value(x);
-        let (rows, cols) = xv.shape();
+        let (rows, cols) = self.value(x).shape();
         assert_eq!(rows % k, 0, "group_mean: {rows} rows not divisible by k={k}");
         let groups = rows / k;
-        let mut out = Matrix::zeros(groups, cols);
+        let mut out = self.alloc(groups, cols);
+        let xv = self.value(x);
         for g in 0..groups {
             for j in 0..k {
                 let row = xv.row(g * k + j);
@@ -96,11 +120,11 @@ impl Tape {
     /// Panics when the row count is not a multiple of `k` or `k == 0`.
     pub fn group_softmax(&mut self, x: Var, k: usize) -> Var {
         assert!(k > 0, "group_softmax: k must be positive");
-        let xv = self.value(x);
-        let (rows, cols) = xv.shape();
+        let (rows, cols) = self.value(x).shape();
         assert_eq!(rows % k, 0, "group_softmax: {rows} rows not divisible by k={k}");
         let groups = rows / k;
-        let mut out = Matrix::zeros(rows, cols);
+        let mut out = self.alloc(rows, cols);
+        let xv = self.value(x);
         for g in 0..groups {
             for c in 0..cols {
                 let mut maxv = f32::NEG_INFINITY;
@@ -119,7 +143,7 @@ impl Tape {
             }
         }
         let rg = self.node(x).requires_grad;
-        let softmax = out.clone();
+        let softmax = self.alloc_copy(&out);
         self.push(out, Op::GroupSoftmax { x, k, softmax }, rg)
     }
 
@@ -133,15 +157,41 @@ impl Tape {
     /// Panics when `idx.len() != w.len()`, the length is not a multiple of
     /// `k`, or any index is out of bounds.
     pub fn weighted_gather(&mut self, x: Var, idx: &[usize], w: &[f32], k: usize) -> Var {
+        let out = self.weighted_gather_value(x, idx, w, k);
+        let idx = self.pooled_idx_copy(idx);
+        let w = self.pooled_w_copy(w);
+        let rg = self.node(x).requires_grad;
+        self.push(out, Op::WeightedGather { x, idx: Ix::Owned(idx), w: Wts::Owned(w), k }, rg)
+    }
+
+    /// [`Tape::weighted_gather`] with interned (`Arc`-shared) index and
+    /// weight lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx.len() != w.len()`, the length is not a multiple of
+    /// `k`, or any index is out of bounds.
+    pub fn weighted_gather_shared(
+        &mut self,
+        x: Var,
+        idx: Arc<[usize]>,
+        w: Arc<[f32]>,
+        k: usize,
+    ) -> Var {
+        let out = self.weighted_gather_value(x, &idx, &w, k);
+        let rg = self.node(x).requires_grad;
+        self.push(out, Op::WeightedGather { x, idx: Ix::Shared(idx), w: Wts::Shared(w), k }, rg)
+    }
+
+    fn weighted_gather_value(&mut self, x: Var, idx: &[usize], w: &[f32], k: usize) -> Matrix {
         assert!(k > 0, "weighted_gather: k must be positive");
         assert_eq!(idx.len(), w.len(), "weighted_gather: idx and w must have equal length");
         assert_eq!(idx.len() % k, 0, "weighted_gather: length not divisible by k");
-        let xv = self.value(x);
-        let bound = xv.rows();
+        let (bound, cols) = self.value(x).shape();
         assert!(idx.iter().all(|&i| i < bound), "weighted_gather: index out of bounds");
         let out_rows = idx.len() / k;
-        let cols = xv.cols();
-        let mut out = Matrix::zeros(out_rows, cols);
+        let mut out = self.alloc(out_rows, cols);
+        let xv = self.value(x);
         for i in 0..out_rows {
             for j in 0..k {
                 let flat = i * k + j;
@@ -152,8 +202,7 @@ impl Tape {
                 }
             }
         }
-        let rg = self.node(x).requires_grad;
-        self.push(out, Op::WeightedGather { x, idx: idx.to_vec(), w: w.to_vec(), k }, rg)
+        out
     }
 
     /// Concatenates columns: `[N,C1] ++ [N,C2] -> [N,C1+C2]`.
@@ -162,9 +211,14 @@ impl Tape {
     ///
     /// Panics when the row counts differ.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).hstack(self.value(b)).expect("concat_cols: row count mismatch");
+        let rows = self.value(a).rows();
+        let cols = self.value(a).cols() + self.value(b).cols();
+        let mut out = self.alloc(rows, cols);
+        self.value(a)
+            .hstack_into(self.value(b), &mut out)
+            .expect("concat_cols: row count mismatch");
         let rg = self.any_requires_grad(&[a, b]);
-        self.push(v, Op::ConcatCols(a, b), rg)
+        self.push(out, Op::ConcatCols(a, b), rg)
     }
 
     /// Concatenates several column blocks left to right.
@@ -187,15 +241,12 @@ impl Tape {
     ///
     /// Panics when the bounds are invalid.
     pub fn slice_cols(&mut self, x: Var, c0: usize, c1: usize) -> Var {
-        let xv = self.value(x);
-        assert!(
-            c0 <= c1 && c1 <= xv.cols(),
-            "slice_cols: range {c0}..{c1} invalid for {} cols",
-            xv.cols()
-        );
-        let v = xv.block(0, xv.rows(), c0, c1);
+        let (rows, cols) = self.value(x).shape();
+        assert!(c0 <= c1 && c1 <= cols, "slice_cols: range {c0}..{c1} invalid for {cols} cols");
+        let mut out = self.alloc(rows, c1 - c0);
+        self.value(x).block_into(0, rows, c0, c1, &mut out);
         let rg = self.node(x).requires_grad;
-        self.push(v, Op::SliceCols(x, c0, c1), rg)
+        self.push(out, Op::SliceCols(x, c0, c1), rg)
     }
 }
 
@@ -224,6 +275,25 @@ mod tests {
         let loss = t.sum(y);
         t.backward(loss);
         assert_eq!(t.grad(x).unwrap().as_slice(), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_rows_shared_matches_slice_variant() {
+        let idx: Arc<[usize]> = Arc::from(&[2usize, 2, 0][..]);
+        let mut t1 = Tape::new();
+        let x1 = t1.leaf(mat(&[&[1.0], &[2.0], &[3.0]]));
+        let y1 = t1.gather_rows(x1, &idx);
+        let l1 = t1.sum(y1);
+        t1.backward(l1);
+
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf(mat(&[&[1.0], &[2.0], &[3.0]]));
+        let y2 = t2.gather_rows_shared(x2, idx);
+        let l2 = t2.sum(y2);
+        t2.backward(l2);
+
+        assert_eq!(t1.value(y1), t2.value(y2));
+        assert_eq!(t1.grad(x1), t2.grad(x2));
     }
 
     #[test]
@@ -292,6 +362,26 @@ mod tests {
             t.sum(z)
         });
         assert!(report.max_abs_err < 2e-2, "{report:?}");
+    }
+
+    #[test]
+    fn weighted_gather_shared_matches_slice_variant() {
+        let idx: Arc<[usize]> = Arc::from(&[0usize, 1, 2, 0][..]);
+        let w: Arc<[f32]> = Arc::from(&[0.5f32, 0.5, 1.0, 0.0][..]);
+        let mut t1 = Tape::new();
+        let x1 = t1.leaf(mat(&[&[1.0], &[10.0], &[100.0]]));
+        let y1 = t1.weighted_gather(x1, &idx, &w, 2);
+        let l1 = t1.sum(y1);
+        t1.backward(l1);
+
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf(mat(&[&[1.0], &[10.0], &[100.0]]));
+        let y2 = t2.weighted_gather_shared(x2, idx, w, 2);
+        let l2 = t2.sum(y2);
+        t2.backward(l2);
+
+        assert_eq!(t1.value(y1), t2.value(y2));
+        assert_eq!(t1.grad(x1), t2.grad(x2));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The [`Tape`]: a linear record of primitive operations and its reverse
 //! (backward) pass.
 
-use colper_tensor::Matrix;
+use colper_tensor::{BufferPool, Matrix};
+use std::collections::VecDeque;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// A handle to a value recorded on a [`Tape`].
 ///
@@ -11,12 +14,66 @@ use colper_tensor::Matrix;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
 
+/// A matrix either owned by the tape (recycled into the buffer pool on
+/// [`Tape::reset`]) or shared across tapes/steps via `Arc` (interned
+/// constants: coordinates, masks, dropout-off masks).
+#[derive(Debug)]
+pub(crate) enum Value {
+    Owned(Matrix),
+    Shared(Arc<Matrix>),
+}
+
+impl Deref for Value {
+    type Target = Matrix;
+    fn deref(&self) -> &Matrix {
+        match self {
+            Value::Owned(m) => m,
+            Value::Shared(m) => m,
+        }
+    }
+}
+
+/// An index payload either owned by the tape (recycled on reset) or shared
+/// via `Arc` (plan-interned gather indices).
+#[derive(Debug)]
+pub(crate) enum Ix {
+    Owned(Vec<usize>),
+    Shared(Arc<[usize]>),
+}
+
+impl Deref for Ix {
+    type Target = [usize];
+    fn deref(&self) -> &[usize] {
+        match self {
+            Ix::Owned(v) => v,
+            Ix::Shared(v) => v,
+        }
+    }
+}
+
+/// A weight payload either owned by the tape or shared via `Arc`.
+#[derive(Debug)]
+pub(crate) enum Wts {
+    Owned(Vec<f32>),
+    Shared(Arc<[f32]>),
+}
+
+impl Deref for Wts {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        match self {
+            Wts::Owned(v) => v,
+            Wts::Shared(v) => v,
+        }
+    }
+}
+
 /// The primitive operations the tape can record.
 ///
 /// Each variant stores the operand handles plus whatever forward-pass
 /// context the backward pass needs (e.g. argmax indices for grouped max
 /// pooling, the saved softmax for cross-entropy).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub(crate) enum Op {
     /// A differentiable input (weights, adversarial variables).
     Leaf,
@@ -47,14 +104,14 @@ pub(crate) enum Op {
     Sqrt(Var),
     Square(Var),
     /// Elementwise product with a constant matrix (dropout masks etc.).
-    MulConst(Var, Matrix),
+    MulConst(Var, Value),
     Sum(Var),
     Mean(Var),
     SumRows(Var),
     MeanRows(Var),
     SumCols(Var),
     /// Row gather: `out[i] = x[idx[i]]`.
-    GatherRows(Var, Vec<usize>),
+    GatherRows(Var, Ix),
     /// Max over consecutive groups of `k` rows; saves per-output-element
     /// source rows for the backward scatter.
     GroupMax {
@@ -74,8 +131,8 @@ pub(crate) enum Op {
     /// `out[i] = sum_j w[i*k+j] * x[idx[i*k+j]]`.
     WeightedGather {
         x: Var,
-        idx: Vec<usize>,
-        w: Vec<f32>,
+        idx: Ix,
+        w: Wts,
         k: usize,
     },
     ConcatCols(Var, Var),
@@ -106,15 +163,66 @@ pub(crate) enum Op {
     /// differentiable in the color block only.
     Smoothness {
         colors: Var,
-        coords: Matrix,
-        neighbors: Vec<usize>,
+        coords: Value,
+        neighbors: Ix,
         k: usize,
     },
 }
 
+impl Op {
+    /// Calls `f` for every operand `Var` of this op (forward-pass inputs
+    /// only, not saved context). Drives the backward reachability pass.
+    fn for_each_operand(&self, mut f: impl FnMut(Var)) {
+        match self {
+            Op::Leaf | Op::Constant => {}
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::AddRow(a, b)
+            | Op::SubRow(a, b)
+            | Op::MulRow(a, b)
+            | Op::DivRow(a, b)
+            | Op::Matmul(a, b)
+            | Op::ConcatCols(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Op::Scale(x, _)
+            | Op::AddScalar(x, _)
+            | Op::LeakyRelu(x, _)
+            | Op::Relu(x)
+            | Op::Tanh(x)
+            | Op::Sigmoid(x)
+            | Op::Exp(x)
+            | Op::Ln(x)
+            | Op::Sqrt(x)
+            | Op::Square(x)
+            | Op::Sum(x)
+            | Op::Mean(x)
+            | Op::SumRows(x)
+            | Op::MeanRows(x)
+            | Op::SumCols(x)
+            | Op::GroupMean(x, _)
+            | Op::SliceCols(x, _, _)
+            | Op::MulConst(x, _)
+            | Op::GatherRows(x, _)
+            | Op::GroupMax { x, .. }
+            | Op::GroupSoftmax { x, .. }
+            | Op::WeightedGather { x, .. } => f(*x),
+            Op::BatchNorm { x, gamma, beta, .. } => {
+                f(*x);
+                f(*gamma);
+                f(*beta);
+            }
+            Op::SoftmaxCrossEntropy { logits, .. } | Op::CwHinge { logits, .. } => f(*logits),
+            Op::Smoothness { colors, .. } => f(*colors),
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct Node {
-    pub value: Matrix,
+    pub value: Value,
     pub op: Op,
     pub requires_grad: bool,
 }
@@ -125,13 +233,22 @@ pub(crate) struct Node {
 /// the op methods (see the `ops_*` modules), call [`Tape::backward`] on a
 /// scalar output, then read gradients with [`Tape::grad`].
 ///
-/// Tapes are single-use per forward/backward cycle: re-running a model
-/// means building a fresh tape, which keeps lifetimes trivial and matches
-/// how the attack loop re-evaluates the network every iteration.
+/// Tapes are reusable: [`Tape::reset`] clears the recorded graph but keeps
+/// every value/gradient buffer in an internal [`BufferPool`], so a loop that
+/// rebuilds the same graph shape every iteration (the attack's steady
+/// state) performs no heap allocation for tape storage. Constants that are
+/// identical across iterations can additionally be interned once and shared
+/// via [`Tape::constant_shared`] instead of being copied per step.
 #[derive(Debug, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Matrix>>,
+    pool: BufferPool,
+    idx_pool: VecDeque<Vec<usize>>,
+    w_pool: VecDeque<Vec<f32>>,
+    tri_pool: VecDeque<Vec<(usize, usize, usize)>>,
+    live: Vec<bool>,
+    visited: usize,
 }
 
 impl Tape {
@@ -142,7 +259,7 @@ impl Tape {
 
     /// Creates an empty tape with room for `capacity` nodes.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { nodes: Vec::with_capacity(capacity), grads: Vec::new() }
+        Self { nodes: Vec::with_capacity(capacity), ..Self::default() }
     }
 
     /// Number of nodes recorded so far.
@@ -155,15 +272,107 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Clears the recorded graph while retaining all storage.
+    ///
+    /// Every owned value, gradient and op payload (index vectors, saved
+    /// softmax matrices, …) is shelved in the tape's pools; the next
+    /// forward pass refills the recycled buffers in place. Shared (`Arc`)
+    /// payloads are dropped without touching the pools.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            if let Value::Owned(m) = node.value {
+                self.pool.recycle(m);
+            }
+            match node.op {
+                Op::MulConst(_, Value::Owned(m)) => self.pool.recycle(m),
+                Op::GatherRows(_, Ix::Owned(idx)) => self.idx_pool.push_back(idx),
+                Op::GroupMax { argmax, .. } => self.idx_pool.push_back(argmax),
+                Op::GroupSoftmax { softmax, .. } => self.pool.recycle(softmax),
+                Op::WeightedGather { idx, w, .. } => {
+                    if let Ix::Owned(idx) = idx {
+                        self.idx_pool.push_back(idx);
+                    }
+                    if let Wts::Owned(w) = w {
+                        self.w_pool.push_back(w);
+                    }
+                }
+                Op::BatchNorm { xhat, inv_std, .. } => {
+                    self.pool.recycle(xhat);
+                    self.pool.recycle(inv_std);
+                }
+                Op::SoftmaxCrossEntropy { labels, softmax, .. } => {
+                    self.idx_pool.push_back(labels);
+                    self.pool.recycle(softmax);
+                }
+                Op::CwHinge { active, .. } => self.tri_pool.push_back(active),
+                Op::Smoothness { coords, neighbors, .. } => {
+                    if let Value::Owned(m) = coords {
+                        self.pool.recycle(m);
+                    }
+                    if let Ix::Owned(n) = neighbors {
+                        self.idx_pool.push_back(n);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for g in self.grads.drain(..).flatten() {
+            self.pool.recycle(g);
+        }
+        self.live.clear();
+        self.visited = 0;
+    }
+
+    /// `(hits, misses)` of the internal buffer pool. A reused tape whose
+    /// `misses` count stops growing performs no heap allocation for value
+    /// or gradient storage.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+
+    /// Number of nodes the last [`Tape::backward`] actually processed
+    /// (nodes reachable from the loss root that received a gradient).
+    pub fn backward_visited(&self) -> usize {
+        self.visited
+    }
+
     /// Records a differentiable leaf (a gradient will be available after
     /// [`Tape::backward`]).
     pub fn leaf(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Leaf, true)
     }
 
+    /// Records a differentiable leaf by copying `value` into recycled
+    /// storage (the allocation-free variant of [`Tape::leaf`]).
+    pub fn leaf_from(&mut self, value: &Matrix) -> Var {
+        let m = self.pool.copy_of(value);
+        self.push(m, Op::Leaf, true)
+    }
+
     /// Records a constant (no gradient is tracked through it).
     pub fn constant(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Constant, false)
+    }
+
+    /// Records a constant by copying `value` into recycled storage.
+    pub fn constant_from(&mut self, value: &Matrix) -> Var {
+        let m = self.pool.copy_of(value);
+        self.push(m, Op::Constant, false)
+    }
+
+    /// Records an interned constant shared via `Arc` — no copy at all.
+    /// The backing matrix can be shared across steps (and tapes), which is
+    /// how attack plans intern coordinates, masks and frozen channels.
+    pub fn constant_shared(&mut self, value: Arc<Matrix>) -> Var {
+        self.push_value(Value::Shared(value), Op::Constant, false)
+    }
+
+    /// Records a constant computed elementwise from `src` into recycled
+    /// storage (e.g. the inverse-std row of an eval-mode batch norm).
+    pub fn constant_map(&mut self, src: &Matrix, f: impl Fn(f32) -> f32 + Sync) -> Var {
+        let mut m = self.pool.zeros_like(src);
+        src.map_into(&mut m, f);
+        self.push(m, Op::Constant, false)
     }
 
     /// Records a scalar constant as a `1x1` matrix.
@@ -196,7 +405,57 @@ impl Tape {
         &self.nodes[v.0]
     }
 
+    /// A zero-filled matrix from the tape's buffer pool. Forward ops write
+    /// node values into these so that [`Tape::reset`] can recycle them.
+    pub(crate) fn alloc(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.pool.zeros(rows, cols)
+    }
+
+    /// A pooled copy of `src`.
+    pub(crate) fn alloc_copy(&mut self, src: &Matrix) -> Matrix {
+        self.pool.copy_of(src)
+    }
+
+    /// An empty (cleared) index vector from the index pool.
+    pub(crate) fn take_idx(&mut self) -> Vec<usize> {
+        let mut v = self.idx_pool.pop_front().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// A pooled copy of an index slice.
+    pub(crate) fn pooled_idx_copy(&mut self, src: &[usize]) -> Vec<usize> {
+        let mut v = self.take_idx();
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// An empty (cleared) weight vector from the weight pool.
+    pub(crate) fn take_w(&mut self) -> Vec<f32> {
+        let mut v = self.w_pool.pop_front().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// A pooled copy of a weight slice.
+    pub(crate) fn pooled_w_copy(&mut self, src: &[f32]) -> Vec<f32> {
+        let mut v = self.take_w();
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// An empty (cleared) hinge-triple vector from its pool.
+    pub(crate) fn take_tri(&mut self) -> Vec<(usize, usize, usize)> {
+        let mut v = self.tri_pool.pop_front().unwrap_or_default();
+        v.clear();
+        v
+    }
+
     pub(crate) fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
+        self.push_value(Value::Owned(value), op, requires_grad)
+    }
+
+    pub(crate) fn push_value(&mut self, value: Value, op: Op, requires_grad: bool) -> Var {
         debug_assert!(
             value.all_finite() || matches!(op, Op::Leaf | Op::Constant),
             "non-finite value produced by {op:?}"
@@ -213,7 +472,9 @@ impl Tape {
     /// Runs the reverse pass from the scalar output `out`, accumulating
     /// gradients for every node that `out` (transitively) depends on.
     ///
-    /// Calling `backward` again replaces the previous gradients.
+    /// A reachability mark pass first restricts the walk to ancestors of
+    /// `out`, so recorded-but-unused subgraphs cost nothing. Calling
+    /// `backward` again replaces the previous gradients.
     ///
     /// # Panics
     ///
@@ -222,317 +483,488 @@ impl Tape {
         let n = self.nodes.len();
         assert_eq!(self.node(out).value.shape(), (1, 1), "backward requires a scalar output");
         assert!(self.node(out).requires_grad, "backward output does not depend on any leaf");
-        self.grads = vec![None; n];
-        self.grads[out.0] = Some(Matrix::ones(1, 1));
+
+        // Mark pass: which nodes are ancestors of `out` through
+        // gradient-requiring edges?
+        self.live.clear();
+        self.live.resize(n, false);
+        self.live[out.0] = true;
+        {
+            let (nodes, live) = (&self.nodes, &mut self.live);
+            for i in (0..n).rev() {
+                if !live[i] || !nodes[i].requires_grad {
+                    continue;
+                }
+                nodes[i].op.for_each_operand(|v| live[v.0] = true);
+            }
+        }
+
+        for g in self.grads.drain(..).flatten() {
+            self.pool.recycle(g);
+        }
+        self.grads.resize_with(n, || None);
+        self.visited = 0;
+        let seed = {
+            let mut o = self.pool.zeros(1, 1);
+            o[(0, 0)] = 1.0;
+            o
+        };
+        self.grads[out.0] = Some(seed);
 
         for i in (0..n).rev() {
-            if !self.nodes[i].requires_grad {
+            if !self.nodes[i].requires_grad || !self.live[i] {
                 continue;
             }
             let Some(gy) = self.grads[i].take() else { continue };
-            self.step_backward(i, &gy);
+            self.visited += 1;
+            step_backward(&self.nodes, &mut self.grads, &mut self.pool, i, &gy);
             self.grads[i] = Some(gy);
-        }
-    }
-
-    fn accumulate(&mut self, v: Var, g: Matrix) {
-        if !self.nodes[v.0].requires_grad {
-            return;
-        }
-        match &mut self.grads[v.0] {
-            Some(acc) => acc.add_assign(&g),
-            slot @ None => *slot = Some(g),
-        }
-    }
-
-    #[allow(clippy::too_many_lines)]
-    fn step_backward(&mut self, i: usize, gy: &Matrix) {
-        // Clone the op descriptor (cheap except for saved matrices, which
-        // are only cloned when the op actually fires in the backward pass).
-        let op = self.nodes[i].op.clone();
-        match op {
-            Op::Leaf | Op::Constant => {}
-            Op::Add(a, b) => {
-                self.accumulate(a, gy.clone());
-                self.accumulate(b, gy.clone());
-            }
-            Op::Sub(a, b) => {
-                self.accumulate(a, gy.clone());
-                self.accumulate(b, gy.scale(-1.0));
-            }
-            Op::Mul(a, b) => {
-                let ga = gy.mul(&self.nodes[b.0].value).expect("shape");
-                let gb = gy.mul(&self.nodes[a.0].value).expect("shape");
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
-            }
-            Op::AddRow(x, r) => {
-                self.accumulate(x, gy.clone());
-                self.accumulate(r, gy.sum_rows());
-            }
-            Op::SubRow(x, r) => {
-                self.accumulate(x, gy.clone());
-                self.accumulate(r, gy.sum_rows().scale(-1.0));
-            }
-            Op::MulRow(x, r) => {
-                let rv = self.nodes[r.0].value.clone();
-                let xv = self.nodes[x.0].value.clone();
-                let gx = broadcast_mul(gy, &rv);
-                let gr = gy.mul(&xv).expect("shape").sum_rows();
-                self.accumulate(x, gx);
-                self.accumulate(r, gr);
-            }
-            Op::DivRow(x, r) => {
-                let rv = self.nodes[r.0].value.clone();
-                let xv = self.nodes[x.0].value.clone();
-                let inv = rv.map(|v| 1.0 / v);
-                let gx = broadcast_mul(gy, &inv);
-                // d/dr (x/r) = -x / r^2
-                let inv2 = rv.map(|v| -1.0 / (v * v));
-                let gr = broadcast_mul(&gy.mul(&xv).expect("shape"), &inv2).sum_rows();
-                self.accumulate(x, gx);
-                self.accumulate(r, gr);
-            }
-            Op::Scale(x, s) => self.accumulate(x, gy.scale(s)),
-            Op::AddScalar(x, _) => self.accumulate(x, gy.clone()),
-            Op::Matmul(a, b) => {
-                let bv = &self.nodes[b.0].value;
-                let av = &self.nodes[a.0].value;
-                let ga = gy.matmul_nt(bv).expect("shape");
-                let gb = av.matmul_tn(gy).expect("shape");
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
-            }
-            Op::Relu(x) => {
-                let g = gy
-                    .mul(&self.nodes[x.0].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 }))
-                    .expect("shape");
-                self.accumulate(x, g);
-            }
-            Op::LeakyRelu(x, alpha) => {
-                let g = gy
-                    .mul(&self.nodes[x.0].value.map(|v| if v > 0.0 { 1.0 } else { alpha }))
-                    .expect("shape");
-                self.accumulate(x, g);
-            }
-            Op::Tanh(x) => {
-                // y = tanh(x); dy/dx = 1 - y^2 (read from the output node).
-                let y = &self.nodes[i].value;
-                let g = gy.mul(&y.map(|t| 1.0 - t * t)).expect("shape");
-                self.accumulate(x, g);
-            }
-            Op::Sigmoid(x) => {
-                let y = &self.nodes[i].value;
-                let g = gy.mul(&y.map(|s| s * (1.0 - s))).expect("shape");
-                self.accumulate(x, g);
-            }
-            Op::Exp(x) => {
-                let y = self.nodes[i].value.clone();
-                self.accumulate(x, gy.mul(&y).expect("shape"));
-            }
-            Op::Ln(x) => {
-                let g = gy.mul(&self.nodes[x.0].value.map(|v| 1.0 / v)).expect("shape");
-                self.accumulate(x, g);
-            }
-            Op::Sqrt(x) => {
-                let y = &self.nodes[i].value;
-                let g = gy.mul(&y.map(|s| 0.5 / s.max(1e-12))).expect("shape");
-                self.accumulate(x, g);
-            }
-            Op::Square(x) => {
-                let g = gy.mul(&self.nodes[x.0].value.scale(2.0)).expect("shape");
-                self.accumulate(x, g);
-            }
-            Op::MulConst(x, m) => {
-                self.accumulate(x, gy.mul(&m).expect("shape"));
-            }
-            Op::Sum(x) => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                self.accumulate(x, Matrix::filled(r, c, gy[(0, 0)]));
-            }
-            Op::Mean(x) => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                let denom = (r * c).max(1) as f32;
-                self.accumulate(x, Matrix::filled(r, c, gy[(0, 0)] / denom));
-            }
-            Op::SumRows(x) => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                let g = Matrix::from_fn(r, c, |_, cc| gy[(0, cc)]);
-                self.accumulate(x, g);
-            }
-            Op::MeanRows(x) => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                let inv = 1.0 / r.max(1) as f32;
-                let g = Matrix::from_fn(r, c, |_, cc| gy[(0, cc)] * inv);
-                self.accumulate(x, g);
-            }
-            Op::SumCols(x) => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                let g = Matrix::from_fn(r, c, |rr, _| gy[(rr, 0)]);
-                self.accumulate(x, g);
-            }
-            Op::GatherRows(x, idx) => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                let mut g = Matrix::zeros(r, c);
-                for (dst, &src) in idx.iter().enumerate() {
-                    let row = gy.row(dst);
-                    for (acc, &v) in g.row_mut(src).iter_mut().zip(row) {
-                        *acc += v;
-                    }
-                }
-                self.accumulate(x, g);
-            }
-            Op::GroupMax { x, argmax } => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                let mut g = Matrix::zeros(r, c);
-                for out_row in 0..gy.rows() {
-                    for col in 0..c {
-                        let src = argmax[out_row * c + col];
-                        g[(src, col)] += gy[(out_row, col)];
-                    }
-                }
-                self.accumulate(x, g);
-            }
-            Op::GroupMean(x, k) => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                let inv = 1.0 / k as f32;
-                let g = Matrix::from_fn(r, c, |rr, cc| gy[(rr / k, cc)] * inv);
-                self.accumulate(x, g);
-            }
-            Op::GroupSoftmax { x, k, softmax } => {
-                // For each group g and column c:
-                // dx = s * (dy - sum_group(dy * s)).
-                let (r, c) = softmax.shape();
-                let groups = r / k;
-                let mut g = Matrix::zeros(r, c);
-                for gi in 0..groups {
-                    for cc in 0..c {
-                        let mut dot = 0.0f32;
-                        for j in 0..k {
-                            let rr = gi * k + j;
-                            dot += gy[(rr, cc)] * softmax[(rr, cc)];
-                        }
-                        for j in 0..k {
-                            let rr = gi * k + j;
-                            g[(rr, cc)] = softmax[(rr, cc)] * (gy[(rr, cc)] - dot);
-                        }
-                    }
-                }
-                self.accumulate(x, g);
-            }
-            Op::WeightedGather { x, idx, w, k } => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                let mut g = Matrix::zeros(r, c);
-                for out_row in 0..gy.rows() {
-                    for j in 0..k {
-                        let flat = out_row * k + j;
-                        let src = idx[flat];
-                        let weight = w[flat];
-                        let row = gy.row(out_row);
-                        for (acc, &v) in g.row_mut(src).iter_mut().zip(row) {
-                            *acc += weight * v;
-                        }
-                    }
-                }
-                self.accumulate(x, g);
-            }
-            Op::ConcatCols(a, b) => {
-                let ca = self.nodes[a.0].value.cols();
-                let cb = self.nodes[b.0].value.cols();
-                let ga = gy.block(0, gy.rows(), 0, ca);
-                let gb = gy.block(0, gy.rows(), ca, ca + cb);
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
-            }
-            Op::SliceCols(x, c0, _c1) => {
-                let (r, c) = self.nodes[x.0].value.shape();
-                let mut g = Matrix::zeros(r, c);
-                for rr in 0..gy.rows() {
-                    for cc in 0..gy.cols() {
-                        g[(rr, c0 + cc)] = gy[(rr, cc)];
-                    }
-                }
-                self.accumulate(x, g);
-            }
-            Op::BatchNorm { x, gamma, beta, xhat, inv_std } => {
-                let n = xhat.rows() as f32;
-                let gammav = self.nodes[gamma.0].value.clone();
-                // gbeta = sum_rows(gy); ggamma = sum_rows(gy * xhat)
-                let gbeta = gy.sum_rows();
-                let ggamma = gy.mul(&xhat).expect("shape").sum_rows();
-                // gxhat = gy * gamma (row broadcast)
-                let gxhat = broadcast_mul(gy, &gammav);
-                // gx = inv_std/N * (N*gxhat - sum_rows(gxhat) - xhat * sum_rows(gxhat*xhat))
-                let s1 = gxhat.sum_rows();
-                let s2 = gxhat.mul(&xhat).expect("shape").sum_rows();
-                let mut gx = Matrix::zeros(xhat.rows(), xhat.cols());
-                for rr in 0..xhat.rows() {
-                    for cc in 0..xhat.cols() {
-                        let v = inv_std[(0, cc)] / n
-                            * (n * gxhat[(rr, cc)] - s1[(0, cc)] - xhat[(rr, cc)] * s2[(0, cc)]);
-                        gx[(rr, cc)] = v;
-                    }
-                }
-                self.accumulate(x, gx);
-                self.accumulate(gamma, ggamma);
-                self.accumulate(beta, gbeta);
-            }
-            Op::SoftmaxCrossEntropy { logits, labels, softmax } => {
-                let n = labels.len().max(1) as f32;
-                let scale = gy[(0, 0)] / n;
-                let mut g = softmax.clone();
-                for (r, &y) in labels.iter().enumerate() {
-                    g[(r, y)] -= 1.0;
-                }
-                self.accumulate(logits, g.scale(scale));
-            }
-            Op::CwHinge { logits, active } => {
-                let (r, c) = self.nodes[logits.0].value.shape();
-                let s = gy[(0, 0)];
-                let mut g = Matrix::zeros(r, c);
-                for &(row, plus, minus) in &active {
-                    g[(row, plus)] += s;
-                    g[(row, minus)] -= s;
-                }
-                self.accumulate(logits, g);
-            }
-            Op::Smoothness { colors, coords, neighbors, k } => {
-                let cv = self.nodes[colors.0].value.clone();
-                let n = cv.rows();
-                let cdim = cv.cols();
-                let s = gy[(0, 0)];
-                let mut g = Matrix::zeros(n, cdim);
-                for i_pt in 0..n {
-                    for j in 0..k {
-                        let nb = neighbors[i_pt * k + j];
-                        let mut d2 = 0.0f32;
-                        for d in 0..coords.cols() {
-                            let dd = coords[(i_pt, d)] - coords[(nb, d)];
-                            d2 += dd * dd;
-                        }
-                        for d in 0..cdim {
-                            let dd = cv[(i_pt, d)] - cv[(nb, d)];
-                            d2 += dd * dd;
-                        }
-                        let dist = d2.sqrt().max(1e-8);
-                        for d in 0..cdim {
-                            let dd = (cv[(i_pt, d)] - cv[(nb, d)]) / dist;
-                            g[(i_pt, d)] += s * dd;
-                            g[(nb, d)] -= s * dd;
-                        }
-                    }
-                }
-                self.accumulate(colors, g);
-            }
         }
     }
 }
 
-/// Multiplies `[N,C]` by a `[1,C]` row, broadcasting over rows.
-pub(crate) fn broadcast_mul(x: &Matrix, row: &Matrix) -> Matrix {
+/// Adds an owned gradient contribution to `grads[v]`, recycling `g`
+/// whenever its storage is not moved into the slot.
+fn accumulate(
+    nodes: &[Node],
+    grads: &mut [Option<Matrix>],
+    pool: &mut BufferPool,
+    v: Var,
+    g: Matrix,
+) {
+    if !nodes[v.0].requires_grad {
+        pool.recycle(g);
+        return;
+    }
+    match &mut grads[v.0] {
+        Some(acc) => {
+            acc.add_assign(&g);
+            pool.recycle(g);
+        }
+        slot @ None => *slot = Some(g),
+    }
+}
+
+/// Adds a borrowed gradient contribution to `grads[v]`: add-assign in place
+/// when a slot exists, else a pooled copy (the identity-Jacobian fast path
+/// for `Add`/`AddRow`/`AddScalar`, which previously cloned `gy`).
+fn accumulate_copy(
+    nodes: &[Node],
+    grads: &mut [Option<Matrix>],
+    pool: &mut BufferPool,
+    v: Var,
+    gy: &Matrix,
+) {
+    if !nodes[v.0].requires_grad {
+        return;
+    }
+    match &mut grads[v.0] {
+        Some(acc) => acc.add_assign(gy),
+        slot @ None => *slot = Some(pool.copy_of(gy)),
+    }
+}
+
+/// One backward step for node `i`. Dispatches on a borrowed `&Op` — no op
+/// payload is cloned — and builds every produced gradient in pooled
+/// storage. All arithmetic keeps the exact scalar expressions and
+/// accumulation order of the original allocating implementation, so
+/// gradients are bit-identical.
+#[allow(clippy::too_many_lines)]
+fn step_backward(
+    nodes: &[Node],
+    grads: &mut [Option<Matrix>],
+    pool: &mut BufferPool,
+    i: usize,
+    gy: &Matrix,
+) {
+    match &nodes[i].op {
+        Op::Leaf | Op::Constant => {}
+        Op::Add(a, b) => {
+            accumulate_copy(nodes, grads, pool, *a, gy);
+            accumulate_copy(nodes, grads, pool, *b, gy);
+        }
+        Op::Sub(a, b) => {
+            accumulate_copy(nodes, grads, pool, *a, gy);
+            let mut gb = pool.zeros_like(gy);
+            gy.map_into(&mut gb, |v| -v);
+            accumulate(nodes, grads, pool, *b, gb);
+        }
+        Op::Mul(a, b) => {
+            let mut ga = pool.zeros_like(gy);
+            gy.mul_into(&nodes[b.0].value, &mut ga).expect("shape");
+            let mut gb = pool.zeros_like(gy);
+            gy.mul_into(&nodes[a.0].value, &mut gb).expect("shape");
+            accumulate(nodes, grads, pool, *a, ga);
+            accumulate(nodes, grads, pool, *b, gb);
+        }
+        Op::AddRow(x, r) => {
+            accumulate_copy(nodes, grads, pool, *x, gy);
+            let mut gr = pool.zeros(1, gy.cols());
+            gy.sum_rows_into(&mut gr);
+            accumulate(nodes, grads, pool, *r, gr);
+        }
+        Op::SubRow(x, r) => {
+            accumulate_copy(nodes, grads, pool, *x, gy);
+            let mut gr = pool.zeros(1, gy.cols());
+            gy.sum_rows_into(&mut gr);
+            gr.map_inplace(|v| -v);
+            accumulate(nodes, grads, pool, *r, gr);
+        }
+        Op::MulRow(x, r) => {
+            let rv: &Matrix = &nodes[r.0].value;
+            let xv: &Matrix = &nodes[x.0].value;
+            let mut gx = pool.zeros_like(gy);
+            broadcast_mul_into(gy, rv, &mut gx);
+            let mut tmp = pool.zeros_like(gy);
+            gy.mul_into(xv, &mut tmp).expect("shape");
+            let mut gr = pool.zeros(1, gy.cols());
+            tmp.sum_rows_into(&mut gr);
+            pool.recycle(tmp);
+            accumulate(nodes, grads, pool, *x, gx);
+            accumulate(nodes, grads, pool, *r, gr);
+        }
+        Op::DivRow(x, r) => {
+            let rv: &Matrix = &nodes[r.0].value;
+            let xv: &Matrix = &nodes[x.0].value;
+            let mut inv = pool.zeros_like(rv);
+            rv.map_into(&mut inv, |v| 1.0 / v);
+            let mut gx = pool.zeros_like(gy);
+            broadcast_mul_into(gy, &inv, &mut gx);
+            // d/dr (x/r) = -x / r^2
+            rv.map_into(&mut inv, |v| -1.0 / (v * v));
+            let mut tmp = pool.zeros_like(gy);
+            gy.mul_into(xv, &mut tmp).expect("shape");
+            let mut bm = pool.zeros_like(gy);
+            broadcast_mul_into(&tmp, &inv, &mut bm);
+            let mut gr = pool.zeros(1, gy.cols());
+            bm.sum_rows_into(&mut gr);
+            pool.recycle(inv);
+            pool.recycle(tmp);
+            pool.recycle(bm);
+            accumulate(nodes, grads, pool, *x, gx);
+            accumulate(nodes, grads, pool, *r, gr);
+        }
+        Op::Scale(x, s) => {
+            let s = *s;
+            let mut g = pool.zeros_like(gy);
+            gy.map_into(&mut g, |v| v * s);
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::AddScalar(x, _) => accumulate_copy(nodes, grads, pool, *x, gy),
+        Op::Matmul(a, b) => {
+            let av: &Matrix = &nodes[a.0].value;
+            let bv: &Matrix = &nodes[b.0].value;
+            let mut ga = pool.zeros(gy.rows(), bv.rows());
+            gy.matmul_nt_into(bv, &mut ga).expect("shape");
+            let mut gb = pool.zeros(av.cols(), gy.cols());
+            av.matmul_tn_into(gy, &mut gb).expect("shape");
+            accumulate(nodes, grads, pool, *a, ga);
+            accumulate(nodes, grads, pool, *b, gb);
+        }
+        Op::Relu(x) => {
+            let g = elementwise_grad(nodes, pool, gy, &nodes[x.0].value, |v| {
+                if v > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::LeakyRelu(x, alpha) => {
+            let alpha = *alpha;
+            let g = elementwise_grad(nodes, pool, gy, &nodes[x.0].value, move |v| {
+                if v > 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            });
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::Tanh(x) => {
+            // y = tanh(x); dy/dx = 1 - y^2 (read from the output node).
+            let g = elementwise_grad(nodes, pool, gy, &nodes[i].value, |t| 1.0 - t * t);
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::Sigmoid(x) => {
+            let g = elementwise_grad(nodes, pool, gy, &nodes[i].value, |s| s * (1.0 - s));
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::Exp(x) => {
+            let mut g = pool.zeros_like(gy);
+            gy.mul_into(&nodes[i].value, &mut g).expect("shape");
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::Ln(x) => {
+            let g = elementwise_grad(nodes, pool, gy, &nodes[x.0].value, |v| 1.0 / v);
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::Sqrt(x) => {
+            let g = elementwise_grad(nodes, pool, gy, &nodes[i].value, |s| 0.5 / s.max(1e-12));
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::Square(x) => {
+            let g = elementwise_grad(nodes, pool, gy, &nodes[x.0].value, |v| v * 2.0);
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::MulConst(x, m) => {
+            let mut g = pool.zeros_like(gy);
+            gy.mul_into(m, &mut g).expect("shape");
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::Sum(x) => {
+            let (r, c) = nodes[x.0].value.shape();
+            let mut g = pool.zeros(r, c);
+            g.as_mut_slice().fill(gy[(0, 0)]);
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::Mean(x) => {
+            let (r, c) = nodes[x.0].value.shape();
+            let denom = (r * c).max(1) as f32;
+            let mut g = pool.zeros(r, c);
+            g.as_mut_slice().fill(gy[(0, 0)] / denom);
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::SumRows(x) => {
+            let (r, c) = nodes[x.0].value.shape();
+            let mut g = pool.zeros(r, c);
+            for rr in 0..r {
+                g.row_mut(rr).copy_from_slice(gy.row(0));
+            }
+            debug_assert_eq!(gy.cols(), c);
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::MeanRows(x) => {
+            let (r, c) = nodes[x.0].value.shape();
+            let inv = 1.0 / r.max(1) as f32;
+            let mut g = pool.zeros(r, c);
+            for rr in 0..r {
+                for cc in 0..c {
+                    g[(rr, cc)] = gy[(0, cc)] * inv;
+                }
+            }
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::SumCols(x) => {
+            let (r, c) = nodes[x.0].value.shape();
+            let mut g = pool.zeros(r, c);
+            for rr in 0..r {
+                for cc in 0..c {
+                    g[(rr, cc)] = gy[(rr, 0)];
+                }
+            }
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::GatherRows(x, idx) => {
+            let (r, c) = nodes[x.0].value.shape();
+            let mut g = pool.zeros(r, c);
+            for (dst, &src) in idx.iter().enumerate() {
+                let row = gy.row(dst);
+                for (acc, &v) in g.row_mut(src).iter_mut().zip(row) {
+                    *acc += v;
+                }
+            }
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::GroupMax { x, argmax } => {
+            let (r, c) = nodes[x.0].value.shape();
+            let mut g = pool.zeros(r, c);
+            for out_row in 0..gy.rows() {
+                for col in 0..c {
+                    let src = argmax[out_row * c + col];
+                    g[(src, col)] += gy[(out_row, col)];
+                }
+            }
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::GroupMean(x, k) => {
+            let k = *k;
+            let (r, c) = nodes[x.0].value.shape();
+            let inv = 1.0 / k as f32;
+            let mut g = pool.zeros(r, c);
+            for rr in 0..r {
+                for cc in 0..c {
+                    g[(rr, cc)] = gy[(rr / k, cc)] * inv;
+                }
+            }
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::GroupSoftmax { x, k, softmax } => {
+            // For each group g and column c:
+            // dx = s * (dy - sum_group(dy * s)).
+            let k = *k;
+            let (r, c) = softmax.shape();
+            let groups = r / k;
+            let mut g = pool.zeros(r, c);
+            for gi in 0..groups {
+                for cc in 0..c {
+                    let mut dot = 0.0f32;
+                    for j in 0..k {
+                        let rr = gi * k + j;
+                        dot += gy[(rr, cc)] * softmax[(rr, cc)];
+                    }
+                    for j in 0..k {
+                        let rr = gi * k + j;
+                        g[(rr, cc)] = softmax[(rr, cc)] * (gy[(rr, cc)] - dot);
+                    }
+                }
+            }
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::WeightedGather { x, idx, w, k } => {
+            let k = *k;
+            let (r, c) = nodes[x.0].value.shape();
+            let mut g = pool.zeros(r, c);
+            for out_row in 0..gy.rows() {
+                for j in 0..k {
+                    let flat = out_row * k + j;
+                    let src = idx[flat];
+                    let weight = w[flat];
+                    let row = gy.row(out_row);
+                    for (acc, &v) in g.row_mut(src).iter_mut().zip(row) {
+                        *acc += weight * v;
+                    }
+                }
+            }
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::ConcatCols(a, b) => {
+            let ca = nodes[a.0].value.cols();
+            let cb = nodes[b.0].value.cols();
+            let mut ga = pool.zeros(gy.rows(), ca);
+            gy.block_into(0, gy.rows(), 0, ca, &mut ga);
+            let mut gb = pool.zeros(gy.rows(), cb);
+            gy.block_into(0, gy.rows(), ca, ca + cb, &mut gb);
+            accumulate(nodes, grads, pool, *a, ga);
+            accumulate(nodes, grads, pool, *b, gb);
+        }
+        Op::SliceCols(x, c0, _c1) => {
+            let c0 = *c0;
+            let (r, c) = nodes[x.0].value.shape();
+            let mut g = pool.zeros(r, c);
+            for rr in 0..gy.rows() {
+                for cc in 0..gy.cols() {
+                    g[(rr, c0 + cc)] = gy[(rr, cc)];
+                }
+            }
+            accumulate(nodes, grads, pool, *x, g);
+        }
+        Op::BatchNorm { x, gamma, beta, xhat, inv_std } => {
+            let n = xhat.rows() as f32;
+            let gammav: &Matrix = &nodes[gamma.0].value;
+            // gbeta = sum_rows(gy); ggamma = sum_rows(gy * xhat)
+            let mut gbeta = pool.zeros(1, gy.cols());
+            gy.sum_rows_into(&mut gbeta);
+            let mut tmp = pool.zeros_like(gy);
+            gy.mul_into(xhat, &mut tmp).expect("shape");
+            let mut ggamma = pool.zeros(1, gy.cols());
+            tmp.sum_rows_into(&mut ggamma);
+            // gxhat = gy * gamma (row broadcast)
+            let mut gxhat = pool.zeros_like(gy);
+            broadcast_mul_into(gy, gammav, &mut gxhat);
+            // gx = inv_std/N * (N*gxhat - sum_rows(gxhat) - xhat * sum_rows(gxhat*xhat))
+            let mut s1 = pool.zeros(1, gy.cols());
+            gxhat.sum_rows_into(&mut s1);
+            gxhat.mul_into(xhat, &mut tmp).expect("shape");
+            let mut s2 = pool.zeros(1, gy.cols());
+            tmp.sum_rows_into(&mut s2);
+            let mut gx = pool.zeros(xhat.rows(), xhat.cols());
+            for rr in 0..xhat.rows() {
+                for cc in 0..xhat.cols() {
+                    let v = inv_std[(0, cc)] / n
+                        * (n * gxhat[(rr, cc)] - s1[(0, cc)] - xhat[(rr, cc)] * s2[(0, cc)]);
+                    gx[(rr, cc)] = v;
+                }
+            }
+            pool.recycle(tmp);
+            pool.recycle(gxhat);
+            pool.recycle(s1);
+            pool.recycle(s2);
+            accumulate(nodes, grads, pool, *x, gx);
+            accumulate(nodes, grads, pool, *gamma, ggamma);
+            accumulate(nodes, grads, pool, *beta, gbeta);
+        }
+        Op::SoftmaxCrossEntropy { logits, labels, softmax } => {
+            let n = labels.len().max(1) as f32;
+            let scale = gy[(0, 0)] / n;
+            let mut g = pool.copy_of(softmax);
+            for (r, &y) in labels.iter().enumerate() {
+                g[(r, y)] -= 1.0;
+            }
+            g.map_inplace(|v| v * scale);
+            accumulate(nodes, grads, pool, *logits, g);
+        }
+        Op::CwHinge { logits, active } => {
+            let (r, c) = nodes[logits.0].value.shape();
+            let s = gy[(0, 0)];
+            let mut g = pool.zeros(r, c);
+            for &(row, plus, minus) in active.iter() {
+                g[(row, plus)] += s;
+                g[(row, minus)] -= s;
+            }
+            accumulate(nodes, grads, pool, *logits, g);
+        }
+        Op::Smoothness { colors, coords, neighbors, k } => {
+            let k = *k;
+            let cv: &Matrix = &nodes[colors.0].value;
+            let n = cv.rows();
+            let cdim = cv.cols();
+            let s = gy[(0, 0)];
+            let mut g = pool.zeros(n, cdim);
+            for i_pt in 0..n {
+                for j in 0..k {
+                    let nb = neighbors[i_pt * k + j];
+                    let mut d2 = 0.0f32;
+                    for d in 0..coords.cols() {
+                        let dd = coords[(i_pt, d)] - coords[(nb, d)];
+                        d2 += dd * dd;
+                    }
+                    for d in 0..cdim {
+                        let dd = cv[(i_pt, d)] - cv[(nb, d)];
+                        d2 += dd * dd;
+                    }
+                    let dist = d2.sqrt().max(1e-8);
+                    for d in 0..cdim {
+                        let dd = (cv[(i_pt, d)] - cv[(nb, d)]) / dist;
+                        g[(i_pt, d)] += s * dd;
+                        g[(nb, d)] -= s * dd;
+                    }
+                }
+            }
+            accumulate(nodes, grads, pool, *colors, g);
+        }
+    }
+}
+
+/// `gy * map(src, deriv)` in pooled storage — the shared shape of every
+/// elementwise activation backward. Same `map` + `mul` expressions as the
+/// old allocating code, so results are bit-identical.
+fn elementwise_grad(
+    _nodes: &[Node],
+    pool: &mut BufferPool,
+    gy: &Matrix,
+    src: &Matrix,
+    deriv: impl Fn(f32) -> f32 + Sync,
+) -> Matrix {
+    let mut tmp = pool.zeros_like(src);
+    src.map_into(&mut tmp, deriv);
+    let mut g = pool.zeros_like(gy);
+    gy.mul_into(&tmp, &mut g).expect("shape");
+    pool.recycle(tmp);
+    g
+}
+
+/// Multiplies `[N,C]` by a `[1,C]` row, broadcasting over rows, into `out`.
+pub(crate) fn broadcast_mul_into(x: &Matrix, row: &Matrix, out: &mut Matrix) {
     debug_assert_eq!(row.rows(), 1);
     debug_assert_eq!(x.cols(), row.cols());
-    Matrix::from_fn(x.rows(), x.cols(), |r, c| x[(r, c)] * row[(0, c)])
+    debug_assert_eq!(out.shape(), x.shape());
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            out[(r, c)] = x[(r, c)] * row[(0, c)];
+        }
+    }
 }
 
 #[cfg(test)]
@@ -601,5 +1033,61 @@ mod tests {
         t.backward(loss);
         t.backward(loss);
         assert_eq!(t.grad(x).unwrap()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn shared_constants_are_not_copied() {
+        let m = Arc::new(Matrix::filled(2, 2, 3.0));
+        let mut t = Tape::new();
+        let c = t.constant_shared(Arc::clone(&m));
+        assert_eq!(t.value(c), &*m);
+        assert_eq!(Arc::strong_count(&m), 2);
+        t.reset();
+        assert_eq!(Arc::strong_count(&m), 1, "reset drops the shared ref");
+        assert_eq!(t.pool_stats(), (0, 0), "no pooled storage involved");
+    }
+
+    #[test]
+    fn reset_tape_reaches_zero_allocation_steady_state() {
+        let xv = Matrix::from_fn(6, 4, |r, c| (r * 4 + c) as f32 * 0.1 - 1.0);
+        let idx = [0usize, 2, 4, 5];
+        let mut t = Tape::new();
+        let run = |t: &mut Tape| {
+            t.reset();
+            let x = t.leaf_from(&xv);
+            let y = t.tanh(x);
+            let z = t.gather_rows(y, &idx);
+            let q = t.square(z);
+            let loss = t.sum(q);
+            t.backward(loss);
+            t.grad(x).unwrap().clone()
+        };
+        let g1 = run(&mut t);
+        let misses_warm = t.pool_stats().1;
+        let g2 = run(&mut t);
+        let g3 = run(&mut t);
+        assert_eq!(g1, g2, "reused tape must be bit-identical to the first pass");
+        assert_eq!(g2, g3);
+        assert_eq!(
+            t.pool_stats().1,
+            misses_warm,
+            "steady-state steps must not allocate tape value/grad storage"
+        );
+    }
+
+    #[test]
+    fn backward_skips_subgraphs_unreachable_from_the_loss() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::ones(1, 2));
+        let y = t.tanh(x);
+        let loss = t.sum(y);
+        // A gradient-requiring subgraph that the loss does not depend on:
+        // without the reachability pass it would still be walked.
+        let dead = t.square(y);
+        let _dead_sum = t.sum(dead);
+        t.backward(loss);
+        assert_eq!(t.backward_visited(), 3, "only loss, tanh and leaf are visited");
+        assert!(t.grad(dead).is_none());
+        assert!(t.grad(x).is_some());
     }
 }

@@ -4,14 +4,20 @@
 //! versus one step that rebuilds all static geometry from scratch.
 //!
 //! The comparison is emitted machine-readably to
-//! `results/BENCH_attack_step.json`. Pass `--quick` (CI does) to skip
-//! the component benches and run the comparison at smoke-test scale.
+//! `results/BENCH_attack_step.json`. An allocation-counting mode
+//! (thread-local gauge around the system allocator) measures heap
+//! allocations per steady-state attack step and emits
+//! `results/BENCH_alloc.json`; it asserts the committed zero-allocation
+//! budget, so running the bench doubles as the CI gate. Pass `--quick`
+//! (CI does) to skip the component benches and run the comparisons at
+//! smoke-test scale; `--alloc-only` runs just the allocation gauge.
 
 use colper_attack::{AttackConfig, AttackPlan, Colper, TanhReparam};
 use colper_autodiff::Tape;
 use colper_bench::write_json;
 use colper_geom::knn_graph;
-use colper_models::{CloudTensors, PointNet2, PointNet2Config};
+use colper_models::{CloudTensors, ModelInput, PointNet2, PointNet2Config, SegmentationModel};
+use colper_nn::Forward;
 use colper_runtime::Runtime;
 use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
 use colper_tensor::Matrix;
@@ -19,6 +25,74 @@ use criterion::{black_box, criterion_group, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// Heap allocations a steady-state attack step (step >= 2 on a planned
+/// cloud, single gradient sample) is allowed to make. The tape arenas,
+/// interned constants, and preallocated scratch make this exactly zero;
+/// raising it requires a deliberate decision, not a silent regression.
+const STEADY_STATE_ALLOC_BUDGET: u64 = 0;
+
+/// Thread-local gauge around the system allocator. Counting is scoped to
+/// the bench thread and toggled around measured regions only, so worker
+/// threads and harness bookkeeping never pollute a measurement; measured
+/// regions therefore run on the sequential runtime.
+mod alloc_gauge {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    /// System-allocator wrapper feeding the thread-local counters.
+    pub struct CountingAllocator;
+
+    thread_local! {
+        static ENABLED: Cell<bool> = const { Cell::new(false) };
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+        static BYTES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    fn record(size: usize) {
+        ENABLED.with(|e| {
+            if e.get() {
+                ALLOCS.with(|a| a.set(a.get() + 1));
+                BYTES.with(|b| b.set(b.get() + size as u64));
+            }
+        });
+    }
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            record(new_size);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+    }
+
+    /// Runs `f` with the gauge on; returns `(result, allocations,
+    /// bytes requested)` for the current thread during the call.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+        ALLOCS.with(|a| a.set(0));
+        BYTES.with(|b| b.set(0));
+        ENABLED.with(|e| e.set(true));
+        let out = f();
+        ENABLED.with(|e| e.set(false));
+        (out, ALLOCS.with(Cell::get), BYTES.with(Cell::get))
+    }
+}
+
+#[global_allocator]
+static GLOBAL: alloc_gauge::CountingAllocator = alloc_gauge::CountingAllocator;
 
 const POINTS: usize = 512;
 
@@ -97,6 +171,25 @@ fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) 
     let config = AttackConfig::non_targeted(1);
     let mask = vec![true; t.len()];
 
+    // Warm up everything the two timed closures share — the runtime's
+    // thread pool, lazy statics, allocator arenas, page cache — before
+    // either routine is timed, so neither side pays first-use costs
+    // inside its measured region. The plan is built here too; both
+    // warm-up runs double as a bit-identity check between the paths.
+    let plan = AttackPlan::build(&model, &t, &config);
+    let warm_unplanned = {
+        let mut rng = StdRng::seed_from_u64(3);
+        Colper::new(config.clone()).run(&model, &t, &mask, &mut rng)
+    };
+    let warm_planned = {
+        let mut rng = StdRng::seed_from_u64(3);
+        Colper::new(config.clone()).run_planned(&model, &t, &mask, &plan, &mut rng)
+    };
+    assert_eq!(
+        warm_unplanned.adversarial_colors, warm_planned.adversarial_colors,
+        "planned attack must be bit-identical to the plan-free attack"
+    );
+
     let unplanned_ns = time_median_ns(samples, || {
         let mut rng = StdRng::seed_from_u64(3);
         // `run` builds a fresh AttackPlan internally every call — this
@@ -104,7 +197,6 @@ fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) 
         black_box(Colper::new(config.clone()).run(&model, &t, &mask, &mut rng).l2_sq);
     });
 
-    let plan = AttackPlan::build(&model, &t, &config);
     let planned_ns = time_median_ns(samples, || {
         let mut rng = StdRng::seed_from_u64(3);
         black_box(
@@ -200,21 +292,153 @@ fn bench_parallel(points: usize, steps: usize, samples: usize, threads: usize, m
     write_json("BENCH_parallel", &json);
 }
 
+/// Counts heap allocations per steady-state attack step, plus a
+/// fresh-vs-reused session replica showing where the savings come from.
+///
+/// Both measurements run on the sequential runtime so the thread-local
+/// gauge sees every allocation the step makes:
+///
+/// 1. **Attack marginal** — the production path. Runs the planned
+///    single-sample attack for `LONG` and `SHORT` steps and divides the
+///    difference by `LONG - SHORT`: startup and teardown allocations
+///    cancel, leaving exactly the per-step cost of steps
+///    `SHORT..LONG` — all of them steady-state (step >= 2).
+/// 2. **Session replica** — one forward+backward pass per step through
+///    the public tape API, once with a fresh session per step (the old
+///    regime) and once with a single session recycled via `reset` (the
+///    new regime).
+///
+/// Asserts [`STEADY_STATE_ALLOC_BUDGET`] on both the attack marginal and
+/// the reused-session steady state, so `cargo bench` is the CI gate.
+// The budget is a tunable constant that happens to be 0 today; the `<=`
+// comparisons are kept so raising it never silently inverts the gate.
+#[allow(clippy::absurd_extreme_comparisons)]
+fn bench_alloc(points: usize, model_scale: &str) {
+    const SHORT: usize = 3;
+    const LONG: usize = 8;
+    const REPLICA_STEPS: usize = 6;
+    let t = tensors(points);
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = match model_scale {
+        "tiny" => PointNet2::new(PointNet2Config::tiny(13), &mut rng),
+        _ => PointNet2::new(PointNet2Config::small(13), &mut rng),
+    };
+    let mask = vec![true; t.len()];
+    let seq = Runtime::sequential();
+
+    let attack_allocs = |steps: usize| -> (u64, u64) {
+        let mut config = AttackConfig::non_targeted(steps);
+        config.convergence_threshold = Some(0.0); // never stop early
+        let plan = AttackPlan::build(&model, &t, &config);
+        let colper = Colper::new(config).with_runtime(seq.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let ((), allocs, bytes) = alloc_gauge::measure(|| {
+            black_box(colper.run_planned(&model, &t, &mask, &plan, &mut rng).l2_sq);
+        });
+        (allocs, bytes)
+    };
+    let (long_allocs, long_bytes) = attack_allocs(LONG);
+    let (short_allocs, short_bytes) = attack_allocs(SHORT);
+    let steps_diff = (LONG - SHORT) as u64;
+    let allocs_per_step = long_allocs.saturating_sub(short_allocs) / steps_diff;
+    let bytes_per_step = long_bytes.saturating_sub(short_bytes) as f64 / steps_diff as f64;
+
+    // Replica: the same planned forward+backward each step, comparing a
+    // fresh session per step against one session recycled with `reset`.
+    let geometry = model.plan(&t.coords);
+    let step_pass = |session: &mut Forward<'_>, step: usize| {
+        let xyz = session.tape.constant_from(&t.xyz);
+        let color = session.tape.leaf_from(&t.colors);
+        let loc = session.tape.constant_from(&t.loc01);
+        let input = ModelInput { coords: &t.coords, xyz, color, loc, plan: Some(&geometry) };
+        let mut rng = StdRng::seed_from_u64(700 + step as u64);
+        let logits = model.forward(session, &input, &mut rng);
+        let loss = session.tape.softmax_cross_entropy(logits, &t.labels);
+        session.tape.backward(loss);
+        black_box(session.tape.value(loss)[(0, 0)]);
+    };
+    let fresh: Vec<(u64, u64)> = seq.install(|| {
+        (0..REPLICA_STEPS)
+            .map(|step| {
+                let ((), a, b) = alloc_gauge::measure(|| {
+                    let mut session = Forward::new(model.params(), false);
+                    step_pass(&mut session, step);
+                });
+                (a, b)
+            })
+            .collect()
+    });
+    let reused: Vec<(u64, u64)> = seq.install(|| {
+        let mut session = Forward::new(model.params(), false);
+        (0..REPLICA_STEPS)
+            .map(|step| {
+                let ((), a, b) = alloc_gauge::measure(|| {
+                    session.reset();
+                    step_pass(&mut session, step);
+                });
+                (a, b)
+            })
+            .collect()
+    });
+    let (fresh_steady_allocs, fresh_steady_bytes) = fresh[REPLICA_STEPS - 1];
+    let (reused_steady_allocs, reused_steady_bytes) = reused[REPLICA_STEPS - 1];
+
+    println!(
+        "bench attack_step/alloc: attack steady state {allocs_per_step} allocs/step \
+         ({bytes_per_step:.1} bytes/step); replica fresh {fresh_steady_allocs} allocs/pass \
+         vs reused {reused_steady_allocs} allocs/pass, {points} points"
+    );
+    assert!(
+        allocs_per_step <= STEADY_STATE_ALLOC_BUDGET,
+        "steady-state attack step allocates ({allocs_per_step} allocs/step > budget \
+         {STEADY_STATE_ALLOC_BUDGET}); the tape arena or scratch reuse regressed"
+    );
+    assert!(
+        reused_steady_allocs <= STEADY_STATE_ALLOC_BUDGET,
+        "reused session still allocates ({reused_steady_allocs} allocs/pass > budget \
+         {STEADY_STATE_ALLOC_BUDGET}); the tape arena or scratch reuse regressed"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"attack_alloc\",\n  \"model\": \"pointnet2_{model_scale}\",\n  \
+         \"points\": {points},\n  \"budget_allocs_per_step\": {STEADY_STATE_ALLOC_BUDGET},\n  \
+         \"attack_steady_state\": {{\n    \"steps_measured\": {steps_diff},\n    \
+         \"allocs_per_step\": {allocs_per_step},\n    \
+         \"bytes_per_step\": {bytes_per_step:.1}\n  }},\n  \
+         \"session_replica\": {{\n    \"fresh_first_allocs\": {},\n    \
+         \"fresh_steady_allocs\": {fresh_steady_allocs},\n    \
+         \"fresh_steady_bytes\": {fresh_steady_bytes},\n    \
+         \"reused_first_allocs\": {},\n    \
+         \"reused_steady_allocs\": {reused_steady_allocs},\n    \
+         \"reused_steady_bytes\": {reused_steady_bytes}\n  }}\n}}\n",
+        fresh[0].0, reused[0].0,
+    );
+    write_json("BENCH_alloc", &json);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let alloc_only = args.iter().any(|a| a == "--alloc-only");
     let threads = args
         .iter()
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(4);
-    if quick {
-        bench_planned_vs_unplanned(128, 5, "tiny");
+    if alloc_only {
+        bench_alloc(if quick { 128 } else { POINTS }, if quick { "tiny" } else { "small" });
+    } else if quick {
+        // 384 points (not 128): large enough that the cached geometry
+        // dominates measurement noise, so the planned/unplanned speedup
+        // is meaningful even at smoke-test scale.
+        bench_planned_vs_unplanned(384, 7, "tiny");
         bench_parallel(128, 4, 3, threads, "tiny");
+        bench_alloc(128, "tiny");
     } else {
         component_benches();
         bench_planned_vs_unplanned(POINTS, 11, "small");
         bench_parallel(POINTS, 4, 3, threads, "small");
+        bench_alloc(POINTS, "small");
     }
 }

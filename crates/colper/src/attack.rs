@@ -9,6 +9,7 @@ use colper_runtime::Runtime;
 use colper_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// One EoT sample's contribution to a step: `(gain, d gain / d w,
 /// evaluation)`. The evaluation — unlit predictions and colors for metric
@@ -19,15 +20,20 @@ type SampleEval = (f32, Matrix, Option<(Vec<usize>, Matrix)>);
 /// an attack — and by repeated attacks on the same cloud.
 ///
 /// Holds the victim's [`GeometryPlan`] plus the fixed alpha-NN graph of
-/// the smoothness penalty (Eq. 6). Caching is sound because COLPER
-/// perturbs only *colors*: coordinates never change during the
-/// optimization, so every coordinate-derived structure is a constant of
-/// the run.
+/// the smoothness penalty (Eq. 6) and interned (`Arc`-shared) copies of
+/// the coordinate tensors, so each step binds them onto the tape without
+/// copying. Caching is sound because COLPER perturbs only *colors*:
+/// coordinates never change during the optimization, so every
+/// coordinate-derived structure is a constant of the run.
 #[derive(Debug)]
 pub struct AttackPlan {
     geometry: GeometryPlan,
-    smooth_nbrs: Vec<usize>,
+    smooth_nbrs: Arc<[usize]>,
     alpha: usize,
+    /// Interned `[N,3]` coordinate tensor (model input + smoothness).
+    xyz: Arc<Matrix>,
+    /// Interned `[N,3]` normalized-location tensor (model input).
+    loc01: Arc<Matrix>,
 }
 
 impl AttackPlan {
@@ -40,8 +46,10 @@ impl AttackPlan {
         let alpha = config.alpha.min(tensors.len());
         Self {
             geometry: model.plan(&tensors.coords),
-            smooth_nbrs: knn_graph(&tensors.coords, alpha),
+            smooth_nbrs: knn_graph(&tensors.coords, alpha).into(),
             alpha,
+            xyz: Arc::new(tensors.xyz.clone()),
+            loc01: Arc::new(tensors.loc01.clone()),
         }
     }
 
@@ -212,6 +220,7 @@ impl Colper {
         assert!(attacked_points > 0, "attack mask selects no points");
         assert_eq!(plan.alpha, cfg.alpha.min(n), "attack plan built under a different alpha");
         assert_eq!(plan.geometry.num_points(), n, "attack plan built for a different cloud");
+        assert!(*plan.xyz == tensors.xyz, "attack plan built for a different cloud");
 
         let labels_for_loss: Vec<usize> = match cfg.goal {
             AttackGoal::NonTargeted => tensors.labels.clone(),
@@ -220,20 +229,22 @@ impl Colper {
         let threshold = cfg.threshold(classes);
 
         // Eq. 5: optimize w with colors = tanh-mapped w, initialized so
-        // the first iterate reproduces the clean colors.
+        // the first iterate reproduces the clean colors. The run's
+        // constants are interned once so every step shares them with the
+        // tape instead of copying them into the graph.
         let reparam = TanhReparam::color();
-        let orig = tensors.colors.clone();
+        let orig = Arc::new(tensors.colors.clone());
         let mut w = reparam.to_w(&orig);
         let mut adam = AdamState::new(n, 3);
 
         // Fixed alpha-NN graph for the smoothness penalty (Eq. 6),
         // cached in the plan.
         let alpha = plan.alpha;
-        let smooth_nbrs = &plan.smooth_nbrs;
 
         // Only masked points may change: color = mask*c(w) + (1-mask)*orig.
-        let mask_m = Matrix::from_fn(n, 3, |r, _| if mask[r] { 1.0 } else { 0.0 });
-        let frozen = Matrix::from_fn(n, 3, |r, c| if mask[r] { 0.0 } else { orig[(r, c)] });
+        let mask_m = Arc::new(Matrix::from_fn(n, 3, |r, _| if mask[r] { 1.0 } else { 0.0 }));
+        let frozen =
+            Arc::new(Matrix::from_fn(n, 3, |r, c| if mask[r] { 0.0 } else { orig[(r, c)] }));
 
         // The paper checks every int(Steps * 0.01) iterations (10 when
         // Steps = 1000); clamp from below so reduced step budgets do not
@@ -248,22 +259,37 @@ impl Colper {
             AttackGoal::NonTargeted => (f32::INFINITY, |new, best| new < best),
             AttackGoal::Targeted { .. } => (f32::NEG_INFINITY, |new, best| new > best),
         };
-        let mut best_colors = orig.clone();
+        let mut best_colors = Matrix::clone(&orig);
         let mut best_preds: Vec<usize> = Vec::new();
+
+        // Steady-state buffers for the single-sample path: one reusable
+        // forward session plus preallocated gradient / prediction / color
+        // scratch, so step >= 2 performs no heap allocation in tape value
+        // or gradient storage.
+        let mut steady = (cfg.gradient_samples == 1).then(|| Forward::new(model.params(), false));
+        let mut grad_buf = Matrix::zeros(n, 3);
+        let mut preds_buf: Vec<usize> = Vec::new();
+        let mut colors_buf = Matrix::zeros(n, 3);
 
         let mut metric_history = Vec::new();
         for step in 0..cfg.steps {
             steps_run = step + 1;
-            // Expectation over transforms: average the gradient over
-            // `gradient_samples` forward/backward passes (stochastic
-            // victims like RandLA-Net resample per pass). One pass
-            // reproduces the paper exactly.
-            let one_sample = |sample_idx: usize, rng: &mut StdRng| -> SampleEval {
-                let mut session = Forward::new(model.params(), false);
-                let w_var = session.tape.leaf(w.clone());
+            // Records one forward/backward pass onto `session` and returns
+            // `(gain, w_var, color, logits)`. Shared by the session-reuse
+            // and EoT paths so both record the exact same graph.
+            let build = |session: &mut Forward<'_>,
+                         sample_idx: usize,
+                         rng: &mut StdRng|
+             -> (
+                colper_autodiff::Var,
+                colper_autodiff::Var,
+                colper_autodiff::Var,
+                colper_autodiff::Var,
+            ) {
+                let w_var = session.tape.leaf_from(&w);
                 let color_free = reparam.features_on_tape(&mut session.tape, w_var);
-                let color_masked = session.tape.mul_const(color_free, mask_m.clone());
-                let frozen_var = session.tape.constant(frozen.clone());
+                let color_masked = session.tape.mul_const_shared(color_free, mask_m.clone());
+                let frozen_var = session.tape.constant_shared(frozen.clone());
                 let color = session.tape.add(color_masked, frozen_var);
 
                 // EoT over illumination: the victim sees the colors under
@@ -277,8 +303,8 @@ impl Colper {
                 } else {
                     color
                 };
-                let xyz = session.tape.constant(tensors.xyz.clone());
-                let loc = session.tape.constant(tensors.loc01.clone());
+                let xyz = session.tape.constant_shared(plan.xyz.clone());
+                let loc = session.tape.constant_shared(plan.loc01.clone());
                 let input = ModelInput {
                     coords: &tensors.coords,
                     xyz,
@@ -286,14 +312,19 @@ impl Colper {
                     loc,
                     plan: Some(&plan.geometry),
                 };
-                let logits = model.forward(&mut session, &input, rng);
+                let logits = model.forward(session, &input, rng);
 
                 // gain = D + λ1 L + λ2 S   (Eq. 2 / Eq. 3)
-                let orig_var = session.tape.constant(orig.clone());
+                let orig_var = session.tape.constant_shared(orig.clone());
                 let diff = session.tape.sub(color, orig_var);
                 let sq = session.tape.square(diff);
                 let dist = session.tape.sum(sq);
-                let smooth = session.tape.smoothness(color, &tensors.xyz, smooth_nbrs, alpha);
+                let smooth = session.tape.smoothness_shared(
+                    color,
+                    plan.xyz.clone(),
+                    plan.smooth_nbrs.clone(),
+                    alpha,
+                );
                 let adv_loss = match cfg.goal {
                     AttackGoal::NonTargeted => {
                         session.tape.cw_nontargeted(logits, &labels_for_loss, mask)
@@ -307,60 +338,86 @@ impl Colper {
                 let partial = session.tape.add(dist, weighted_loss);
                 let gain = session.tape.add(partial, weighted_smooth);
                 session.tape.backward(gain);
-
-                let gain_v = session.tape.value(gain)[(0, 0)];
-                let grad = session.tape.grad(w_var).expect("w must receive a gradient").clone();
-                let eval = (sample_idx == 0).then(|| {
-                    (session.tape.value(logits).argmax_rows(), session.tape.value(color).clone())
-                });
-                (gain_v, grad, eval)
+                (gain, w_var, color, logits)
             };
 
-            let (gain_sum, grad_sum, first_eval) = if cfg.gradient_samples == 1 {
+            let gain_v = if cfg.gradient_samples == 1 {
                 // Single-sample (paper-exact) path: the forward pass draws
                 // from the caller's RNG in place, preserving its stream.
-                one_sample(0, rng)
+                // One session is reused across every step — `reset` keeps
+                // the tape's buffer pools, and the extraction below writes
+                // into preallocated scratch, so the steady state allocates
+                // nothing.
+                let session = steady.as_mut().expect("single-sample path owns a session");
+                session.reset();
+                let (gain, w_var, color, logits) = build(session, 0, rng);
+                let gain_v = session.tape.value(gain)[(0, 0)];
+                grad_buf.fill_from(session.tape.grad(w_var).expect("w must receive a gradient"));
+                session.tape.value(logits).argmax_rows_into(&mut preds_buf);
+                colors_buf.fill_from(session.tape.value(color));
+                gain_v
             } else {
-                // Derive one seed per sample *sequentially* from the
-                // caller's RNG, so both the sample trajectories and the
-                // caller's stream afterwards are independent of how the
-                // pool schedules the samples. `par_reduce` folds the
-                // per-sample terms in sample order (grain 1), so the
-                // averaged gradient is bit-identical on every runtime,
-                // including the sequential one.
+                // Expectation over transforms: average the gradient over
+                // `gradient_samples` forward/backward passes (stochastic
+                // victims like RandLA-Net resample per pass). Derive one
+                // seed per sample *sequentially* from the caller's RNG, so
+                // both the sample trajectories and the caller's stream
+                // afterwards are independent of how the pool schedules the
+                // samples. `par_reduce` folds the per-sample terms in
+                // sample order (grain 1), so the averaged gradient is
+                // bit-identical on every runtime, including the sequential
+                // one. Worker sessions cannot be reused across steps here
+                // (the closure is shared by the pool), so this path keeps
+                // fresh sessions.
+                let one_sample = |sample_idx: usize, rng: &mut StdRng| -> SampleEval {
+                    let mut session = Forward::new(model.params(), false);
+                    let (gain, w_var, color, logits) = build(&mut session, sample_idx, rng);
+                    let gain_v = session.tape.value(gain)[(0, 0)];
+                    let grad = session.tape.grad(w_var).expect("w must receive a gradient").clone();
+                    let eval = (sample_idx == 0).then(|| {
+                        (
+                            session.tape.value(logits).argmax_rows(),
+                            session.tape.value(color).clone(),
+                        )
+                    });
+                    (gain_v, grad, eval)
+                };
                 let seeds: Vec<u64> = (0..cfg.gradient_samples).map(|_| rng.gen()).collect();
-                rt.par_reduce(
-                    cfg.gradient_samples,
-                    1,
-                    |s| one_sample(s, &mut StdRng::seed_from_u64(seeds[s])),
-                    |(ga, mut wa, ea), (gb, wb, eb)| {
-                        wa.add_assign(&wb);
-                        (ga + gb, wa, ea.or(eb))
-                    },
-                )
-                .expect("gradient_samples is validated to be at least 1")
+                let (gain_sum, grad_sum, first_eval) = rt
+                    .par_reduce(
+                        cfg.gradient_samples,
+                        1,
+                        |s| one_sample(s, &mut StdRng::seed_from_u64(seeds[s])),
+                        |(ga, mut wa, ea), (gb, wb, eb)| {
+                            wa.add_assign(&wb);
+                            (ga + gb, wa, ea.or(eb))
+                        },
+                    )
+                    .expect("gradient_samples is validated to be at least 1");
+                let inv = 1.0 / cfg.gradient_samples as f32;
+                grad_buf = grad_sum.scale(inv);
+                let (preds, colors_now) = first_eval.expect("sample 0 reports an evaluation");
+                preds_buf = preds;
+                colors_buf = colors_now;
+                gain_sum * inv
             };
-            let inv = 1.0 / cfg.gradient_samples as f32;
-            let gain_v = gain_sum * inv;
-            let grad_w = grad_sum.scale(inv);
             history.push(gain_v);
 
             // Attacker's metric on the current iterate.
-            let (preds, colors_now) = first_eval.expect("sample 0 reports an evaluation");
             let metric = match cfg.goal {
-                AttackGoal::NonTargeted => masked_accuracy(&preds, &tensors.labels, mask),
-                AttackGoal::Targeted { .. } => success_rate(&preds, &labels_for_loss, mask),
+                AttackGoal::NonTargeted => masked_accuracy(&preds_buf, &tensors.labels, mask),
+                AttackGoal::Targeted { .. } => success_rate(&preds_buf, &labels_for_loss, mask),
             };
             if cfg.record_trajectory {
                 metric_history.push(metric);
             }
             if best_preds.is_empty() || better(metric, best_metric) {
                 best_metric = metric;
-                best_colors = colors_now;
-                best_preds = preds;
+                best_colors.fill_from(&colors_buf);
+                best_preds.clone_from(&preds_buf);
             }
 
-            adam.update(&mut w, &grad_w, cfg.lr);
+            adam.update(&mut w, &grad_buf, cfg.lr);
 
             // Converge(gain_i): the attacker's own stopping criterion.
             let done = match cfg.goal {

@@ -25,6 +25,7 @@ use crate::{PointNet2Config, RandLaNetConfig, ResGcnConfig};
 use colper_geom::{
     ball_query, dilated_knn, farthest_point_sampling, knn_graph, three_nn_weights, KdTree, Point3,
 };
+use std::sync::Arc;
 
 /// Pre-computed coordinate-only structures for one (model config, cloud)
 /// pair. Obtain one from [`crate::SegmentationModel::plan`]; the variant
@@ -59,15 +60,23 @@ impl GeometryPlan {
     }
 }
 
+/// One feature-propagation level's interpolation payload: 3-NN indices
+/// and matching inverse-distance weights, `Arc`-interned for sharing
+/// with the tape.
+pub(crate) type InterpLevel = (Arc<[usize]>, Arc<[f32]>);
+
 /// One set-abstraction level of a [`PointNet2Plan`].
+///
+/// Index lists are `Arc`-interned so each forward pass shares them with
+/// the tape instead of copying them into every recorded gather op.
 #[derive(Debug)]
 pub struct PointNet2SaLevel {
     /// FPS-selected centroid indices into the level's point set.
-    pub(crate) centroid_idx: Vec<usize>,
+    pub(crate) centroid_idx: Arc<[usize]>,
     /// Flattened `[m * k]` ball-query neighbor indices.
-    pub(crate) neighbors: Vec<usize>,
+    pub(crate) neighbors: Arc<[usize]>,
     /// Flattened `[m * k]` centroid index repeated per neighbor slot.
-    pub(crate) center_flat: Vec<usize>,
+    pub(crate) center_flat: Arc<[usize]>,
     /// Neighbors per ball at this level.
     pub(crate) k: usize,
 }
@@ -81,7 +90,7 @@ pub struct PointNet2Plan {
     pub(crate) sa: Vec<PointNet2SaLevel>,
     /// Per FP level (coarsest first): 3-NN indices and inverse-distance
     /// weights interpolating coarse features onto the finer level.
-    pub(crate) fp: Vec<(Vec<usize>, Vec<f32>)>,
+    pub(crate) fp: Vec<InterpLevel>,
 }
 
 pub(crate) fn plan_pointnet2(config: &PointNet2Config, coords: &[Point3]) -> PointNet2Plan {
@@ -98,13 +107,19 @@ pub(crate) fn plan_pointnet2(config: &PointNet2Config, coords: &[Point3]) -> Poi
         let neighbors = ball_query(cur, &centroids, config.sa_radii[i], k);
         let center_flat: Vec<usize> =
             centroid_idx.iter().flat_map(|&c| std::iter::repeat_n(c, k)).collect();
-        sa.push(PointNet2SaLevel { centroid_idx, neighbors, center_flat, k });
+        sa.push(PointNet2SaLevel {
+            centroid_idx: centroid_idx.into(),
+            neighbors: neighbors.into(),
+            center_flat: center_flat.into(),
+            k,
+        });
         coords_lv.push(centroids);
     }
     let mut fp = Vec::with_capacity(levels);
     for j in 0..levels {
         let fine = levels - 1 - j;
-        fp.push(three_nn_weights(&coords_lv[fine + 1], &coords_lv[fine]));
+        let (idx, w) = three_nn_weights(&coords_lv[fine + 1], &coords_lv[fine]);
+        fp.push((idx.into(), w.into()));
     }
     PointNet2Plan { n: coords.len(), sa, fp }
 }
@@ -119,9 +134,11 @@ pub struct ResGcnPlan {
     /// Dilation used by each block (`1 + b % max_dilation`).
     pub(crate) dilations: Vec<usize>,
     /// `graphs[d]` is the dilated k-NN graph for dilation `d`.
-    pub(crate) graphs: Vec<Option<Vec<usize>>>,
+    pub(crate) graphs: Vec<Option<Arc<[usize]>>>,
     /// Flattened `[n * k]` center indices for edge grouping.
-    pub(crate) center_flat: Vec<usize>,
+    pub(crate) center_flat: Arc<[usize]>,
+    /// `[n]` zeros: gathers the global mean row back onto every point.
+    pub(crate) global_rep: Arc<[usize]>,
 }
 
 pub(crate) fn plan_resgcn(config: &ResGcnConfig, coords: &[Point3]) -> ResGcnPlan {
@@ -129,14 +146,21 @@ pub(crate) fn plan_resgcn(config: &ResGcnConfig, coords: &[Point3]) -> ResGcnPla
     let n = coords.len();
     let k = config.k.min(n);
     let dilations: Vec<usize> = (0..config.blocks).map(|b| 1 + b % config.max_dilation).collect();
-    let mut graphs: Vec<Option<Vec<usize>>> = vec![None; config.max_dilation + 1];
+    let mut graphs: Vec<Option<Arc<[usize]>>> = vec![None; config.max_dilation + 1];
     for &d in &dilations {
         if graphs[d].is_none() {
-            graphs[d] = Some(dilated_knn(coords, k, d));
+            graphs[d] = Some(dilated_knn(coords, k, d).into());
         }
     }
     let center_flat: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, k)).collect();
-    ResGcnPlan { n, k, dilations, graphs, center_flat }
+    ResGcnPlan {
+        n,
+        k,
+        dilations,
+        graphs,
+        center_flat: center_flat.into(),
+        global_rep: vec![0usize; n].into(),
+    }
 }
 
 /// Cached geometry for a RandLA-Net forward pass: the full-resolution
@@ -151,9 +175,9 @@ pub struct RandLaPlan {
     /// kd-tree over the full-resolution cloud, shared by every level.
     pub(crate) tree: KdTree,
     /// Full-resolution `[n * k]` k-NN graph (stage 0's neighborhoods).
-    pub(crate) knn0: Vec<usize>,
+    pub(crate) knn0: Arc<[usize]>,
     /// Flattened `[n * k]` center indices for stage 0.
-    pub(crate) center_flat0: Vec<usize>,
+    pub(crate) center_flat0: Arc<[usize]>,
 }
 
 pub(crate) fn plan_randlanet(config: &RandLaNetConfig, coords: &[Point3]) -> RandLaPlan {
@@ -163,7 +187,7 @@ pub(crate) fn plan_randlanet(config: &RandLaNetConfig, coords: &[Point3]) -> Ran
     let tree = KdTree::build(coords);
     let knn0 = knn_graph(coords, k);
     let center_flat0: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, k)).collect();
-    RandLaPlan { n, k, tree, knn0, center_flat0 }
+    RandLaPlan { n, k, tree, knn0: knn0.into(), center_flat0: center_flat0.into() }
 }
 
 /// Resolves the plan a forward pass will consume: the caller-supplied
@@ -243,7 +267,7 @@ mod tests {
         let coords = random_coords(80, 2);
         let p = plan_randlanet(&cfg, &coords);
         assert_eq!(p.tree.len(), 80);
-        assert_eq!(p.knn0, knn_graph(&coords, p.k));
+        assert_eq!(&p.knn0[..], &knn_graph(&coords, p.k)[..]);
         assert_eq!(p.center_flat0.len(), 80 * p.k);
     }
 

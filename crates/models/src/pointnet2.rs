@@ -214,22 +214,28 @@ impl SegmentationModel for PointNet2 {
         );
 
         let feats0 = session.tape.concat_cols_all(&[input.xyz, input.color, input.loc]);
-        let mut xyz_lv: Vec<Var> = vec![input.xyz];
-        let mut feats_lv: Vec<Var> = vec![feats0];
+        // Per-level handles live on the stack (not in Vecs) so the
+        // steady-state pass performs zero heap allocations; slots past
+        // `levels` hold unused copies of the level-0 handles.
+        const MAX_LEVELS: usize = 8;
+        assert!(levels <= MAX_LEVELS, "PointNet2: at most {MAX_LEVELS} SA levels supported");
+        let mut xyz_lv = [input.xyz; MAX_LEVELS + 1];
+        let mut feats_lv = [feats0; MAX_LEVELS + 1];
 
-        // Set abstraction: downsample and aggregate.
+        // Set abstraction: downsample and aggregate. Index lists are
+        // interned in the plan and shared with the tape (no per-pass copy).
         for (i, sa) in plan.sa.iter().enumerate() {
-            let nb_xyz = session.tape.gather_rows(xyz_lv[i], &sa.neighbors);
-            let ctr_xyz = session.tape.gather_rows(xyz_lv[i], &sa.center_flat);
+            let nb_xyz = session.tape.gather_rows_shared(xyz_lv[i], sa.neighbors.clone());
+            let ctr_xyz = session.tape.gather_rows_shared(xyz_lv[i], sa.center_flat.clone());
             let rel = session.tape.sub(nb_xyz, ctr_xyz);
-            let nb_feats = session.tape.gather_rows(feats_lv[i], &sa.neighbors);
+            let nb_feats = session.tape.gather_rows_shared(feats_lv[i], sa.neighbors.clone());
             let grouped = session.tape.concat_cols(rel, nb_feats);
             let h = self.sa_mlps[i].forward(session, grouped);
             let pooled = session.tape.group_max(h, sa.k);
 
-            let next_xyz = session.tape.gather_rows(xyz_lv[i], &sa.centroid_idx);
-            xyz_lv.push(next_xyz);
-            feats_lv.push(pooled);
+            let next_xyz = session.tape.gather_rows_shared(xyz_lv[i], sa.centroid_idx.clone());
+            xyz_lv[i + 1] = next_xyz;
+            feats_lv[i + 1] = pooled;
         }
 
         // Feature propagation: interpolate back up with skip connections.
@@ -237,7 +243,7 @@ impl SegmentationModel for PointNet2 {
         for (j, fp) in self.fp_mlps.iter().enumerate() {
             let fine = levels - 1 - j;
             let (idx, w) = &plan.fp[j];
-            let interp = session.tape.weighted_gather(cur, idx, w, 3);
+            let interp = session.tape.weighted_gather_shared(cur, idx.clone(), w.clone(), 3);
             let h = session.tape.concat_cols(interp, feats_lv[fine]);
             cur = fp.forward(session, h);
         }

@@ -266,7 +266,7 @@ impl SegmentationModel for RandLaNet {
             let nb_built: Vec<usize>;
             let center_built: Vec<usize>;
             let (nb, center_flat): (&[usize], &[usize]) = if s == 0 {
-                (&plan.knn0, &plan.center_flat0)
+                (&plan.knn0[..], &plan.center_flat0[..])
             } else {
                 nb_built = subset_knn_graph(&plan.tree, &orig_lv[s], k_lv);
                 center_built = (0..cur_len).flat_map(|i| std::iter::repeat_n(i, k_lv)).collect();

@@ -151,8 +151,8 @@ impl SegmentationModel for ResGcn {
 
         for (b, edge_mlp) in self.edge_mlps.iter().enumerate() {
             let nb = plan.graphs[plan.dilations[b]].as_ref().expect("graph precomputed");
-            let x_j = session.tape.gather_rows(h, nb);
-            let x_i = session.tape.gather_rows(h, &plan.center_flat);
+            let x_j = session.tape.gather_rows_shared(h, nb.clone());
+            let x_i = session.tape.gather_rows_shared(h, plan.center_flat.clone());
             let diff = session.tape.sub(x_j, x_i);
             let edge = session.tape.concat_cols(x_i, diff);
             let msg = edge_mlp.forward(session, edge);
@@ -164,7 +164,7 @@ impl SegmentationModel for ResGcn {
 
         // Global context: mean over points, broadcast back to each point.
         let global = session.tape.mean_rows(h);
-        let global_rep = session.tape.gather_rows(global, &vec![0; n]);
+        let global_rep = session.tape.gather_rows_shared(global, plan.global_rep.clone());
         let with_ctx = session.tape.concat_cols(h, global_rep);
         let hh = self.head.forward(session, with_ctx);
         let hh = self.dropout.forward(session, hh, rng);

@@ -73,13 +73,11 @@ impl BatchNorm {
             // y = x * scale + shift, scale = gamma/sqrt(var+eps),
             // shift = beta - mean*scale.
             let eps = self.eps;
-            let mean = f.buffer(self.running_mean).clone();
-            let var = f.buffer(self.running_var).clone();
+            let var = f.buffer_shared(self.running_var);
             let gamma = f.param(self.gamma);
             let beta = f.param(self.beta);
-            let inv_std = var.map(|v| 1.0 / (v + eps).sqrt());
-            let inv_std_row = f.tape.constant(inv_std);
-            let mean_row = f.tape.constant(mean);
+            let inv_std_row = f.tape.constant_map(&var, |v| 1.0 / (v + eps).sqrt());
+            let mean_row = f.tape.constant_shared(f.buffer_shared(self.running_mean));
             let scale = f.tape.mul_row(inv_std_row, gamma); // [1,dim]
             let ms = f.tape.mul(mean_row, scale);
             let shift = f.tape.sub(beta, ms);

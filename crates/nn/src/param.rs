@@ -3,6 +3,7 @@
 
 use colper_autodiff::{Tape, Var};
 use colper_tensor::Matrix;
+use std::sync::Arc;
 
 /// Handle to a trainable parameter inside a [`ParamSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,7 +17,9 @@ pub struct BufferId(pub(crate) usize);
 #[derive(Debug, Clone)]
 pub(crate) struct Named {
     pub name: String,
-    pub value: Matrix,
+    /// `Arc` so that eval-mode forward passes can bind the matrix onto a
+    /// tape as a shared constant without copying the weights every step.
+    pub value: Arc<Matrix>,
 }
 
 /// Owns all trainable parameters and buffers of a model.
@@ -39,13 +42,13 @@ impl ParamSet {
     /// Registers a trainable parameter; names should be unique and
     /// path-like (`"sa0.mlp1.weight"`).
     pub fn add_param(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
-        self.params.push(Named { name: name.into(), value });
+        self.params.push(Named { name: name.into(), value: Arc::new(value) });
         ParamId(self.params.len() - 1)
     }
 
     /// Registers a non-trainable buffer.
     pub fn add_buffer(&mut self, name: impl Into<String>, value: Matrix) -> BufferId {
-        self.buffers.push(Named { name: name.into(), value });
+        self.buffers.push(Named { name: name.into(), value: Arc::new(value) });
         BufferId(self.buffers.len() - 1)
     }
 
@@ -54,9 +57,15 @@ impl ParamSet {
         &self.params[id.0].value
     }
 
-    /// Mutable access to a parameter (used by optimizers).
+    /// A shared handle to a parameter's current value (no copy).
+    pub fn param_shared(&self, id: ParamId) -> Arc<Matrix> {
+        Arc::clone(&self.params[id.0].value)
+    }
+
+    /// Mutable access to a parameter (used by optimizers). Clones the
+    /// storage only if a forward session still holds it bound to a tape.
     pub fn param_mut(&mut self, id: ParamId) -> &mut Matrix {
-        &mut self.params[id.0].value
+        Arc::make_mut(&mut self.params[id.0].value)
     }
 
     /// The name of a parameter.
@@ -69,9 +78,15 @@ impl ParamSet {
         &self.buffers[id.0].value
     }
 
-    /// Mutable access to a buffer.
+    /// A shared handle to a buffer's current value (no copy).
+    pub fn buffer_shared(&self, id: BufferId) -> Arc<Matrix> {
+        Arc::clone(&self.buffers[id.0].value)
+    }
+
+    /// Mutable access to a buffer. Clones the storage only if a forward
+    /// session still holds it bound to a tape.
     pub fn buffer_mut(&mut self, id: BufferId) -> &mut Matrix {
-        &mut self.buffers[id.0].value
+        Arc::make_mut(&mut self.buffers[id.0].value)
     }
 
     /// Number of registered parameters (matrices, not scalars).
@@ -158,21 +173,44 @@ impl<'p> Forward<'p> {
         self.training
     }
 
+    /// Clears the recorded graph while keeping the tape's buffer pools, so
+    /// the next forward pass of the same shape allocates nothing.
+    ///
+    /// Parameter bindings and pending batch-norm updates are dropped along
+    /// with the graph.
+    pub fn reset(&mut self) {
+        self.tape.reset();
+        self.bound.fill(None);
+        self.bn_updates.clear();
+    }
+
     /// Binds parameter `id` onto the tape (cached: repeated calls return
     /// the same [`Var`]).
+    ///
+    /// Training sessions copy the value into a differentiable leaf;
+    /// evaluation sessions share the parameter's storage with the tape as
+    /// a constant — no copy, no gradient.
     pub fn param(&mut self, id: ParamId) -> Var {
         if let Some(v) = self.bound[id.0] {
             return v;
         }
-        let value = self.params.param(id).clone();
-        let v = if self.training { self.tape.leaf(value) } else { self.tape.constant(value) };
+        let v = if self.training {
+            self.tape.leaf_from(self.params.param(id))
+        } else {
+            self.tape.constant_shared(self.params.param_shared(id))
+        };
         self.bound[id.0] = Some(v);
         v
     }
 
     /// Reads a buffer's current value.
-    pub fn buffer(&self, id: BufferId) -> &Matrix {
+    pub fn buffer(&self, id: BufferId) -> &'p Matrix {
         self.params.buffer(id)
+    }
+
+    /// A shared handle to a buffer's current value (no copy).
+    pub fn buffer_shared(&self, id: BufferId) -> Arc<Matrix> {
+        self.params.buffer_shared(id)
     }
 
     /// Records a batch-norm running-statistics update for later commit.

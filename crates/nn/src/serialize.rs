@@ -142,7 +142,7 @@ fn read_records<R: Read>(r: &mut R) -> Result<Vec<Named>, SerializeError> {
         }
         let value = Matrix::from_vec(rows, cols, data)
             .map_err(|_| SerializeError::Corrupt("shape/data mismatch"))?;
-        out.push(Named { name, value });
+        out.push(Named { name, value: std::sync::Arc::new(value) });
     }
     Ok(out)
 }

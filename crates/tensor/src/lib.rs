@@ -30,7 +30,9 @@ mod init;
 mod matrix;
 mod ops;
 mod par;
+mod pool;
 
 pub use error::{ShapeError, TensorError};
 pub use init::Initializer;
 pub use matrix::Matrix;
+pub use pool::BufferPool;

@@ -249,13 +249,42 @@ impl Matrix {
     ///
     /// Panics when the bounds are out of range or inverted.
     pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        let mut out = Matrix::zeros(r1.saturating_sub(r0), c1.saturating_sub(c0));
+        self.block_into(r0, r1, c0, c1, &mut out);
+        out
+    }
+
+    /// [`Matrix::block`] writing into a caller-provided matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bounds are out of range or inverted, or when `out`
+    /// has the wrong shape.
+    pub fn block_into(&self, r0: usize, r1: usize, c0: usize, c1: usize, out: &mut Matrix) {
         assert!(r0 <= r1 && r1 <= self.rows, "row range {r0}..{r1} invalid for {} rows", self.rows);
         assert!(c0 <= c1 && c1 <= self.cols, "col range {c0}..{c1} invalid for {} cols", self.cols);
-        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        assert_eq!(out.shape(), (r1 - r0, c1 - c0), "block_into: output shape mismatch");
         for r in r0..r1 {
             out.row_mut(r - r0).copy_from_slice(&self.row(r)[c0..c1]);
         }
-        out
+    }
+
+    /// Overwrites `self` with the contents of `src`.
+    ///
+    /// The in-place twin of `clone()` for recycled buffers: no allocation,
+    /// every element is written.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes differ — a pooled buffer must never be
+    /// silently reinterpreted as a different shape.
+    pub fn fill_from(&mut self, src: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            src.shape(),
+            "fill_from: shape mismatch (reusing a buffer across shapes is rejected)"
+        );
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Selects the listed rows (allowing repetition) into a new matrix.
@@ -269,8 +298,26 @@ impl Matrix {
     /// Panics when an index is `>= rows`.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Matrix::select_rows`] writing into a caller-provided matrix.
+    ///
+    /// Uses the same parallel split (and therefore produces bit-identical
+    /// results) as the allocating variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is `>= rows` or `out` has the wrong shape.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (indices.len(), self.cols),
+            "select_rows_into: output shape mismatch"
+        );
         if self.cols == 0 {
-            return out;
+            return;
         }
         if let Some(rt) = crate::par::runtime_for(out.len(), crate::par::MIN_PAR_ELEMS) {
             let rows_per = crate::par::chunk_len(indices.len(), &rt);
@@ -280,12 +327,11 @@ impl Matrix {
                     dst.copy_from_slice(self.row(indices[c * rows_per + j]));
                 }
             });
-            return out;
+            return;
         }
         for (dst, &src) in indices.iter().enumerate() {
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
-        out
     }
 
     /// Reshape to `(rows, cols)` preserving row-major order.
@@ -471,6 +517,30 @@ mod tests {
         assert_eq!(b.shape(), (2, 2));
         assert_eq!(b.row(0), &[6.0, 7.0]);
         assert_eq!(b.row(1), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn fill_from_overwrites_every_element() {
+        let mut dst = Matrix::filled(2, 2, 9.0);
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        dst.fill_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn fill_from_rejects_shape_mismatch() {
+        let mut dst = Matrix::zeros(2, 2);
+        dst.fill_from(&Matrix::zeros(4, 1));
+    }
+
+    #[test]
+    fn select_rows_into_matches_allocating_variant() {
+        let m = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32);
+        let idx = [5, 0, 5, 2];
+        let mut out = Matrix::filled(4, 3, -1.0);
+        m.select_rows_into(&idx, &mut out);
+        assert_eq!(out, m.select_rows(&idx));
     }
 
     #[test]

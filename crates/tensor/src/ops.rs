@@ -72,18 +72,69 @@ impl Matrix {
         self.zip_with("div", other, |a, b| a / b)
     }
 
+    /// [`Matrix::add`] writing into a caller-provided matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the operand shapes differ.
+    pub fn add_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
+        self.zip_with_into("add", other, out, |a, b| a + b)
+    }
+
+    /// [`Matrix::sub`] writing into a caller-provided matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the operand shapes differ.
+    pub fn sub_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
+        self.zip_with_into("sub", other, out, |a, b| a - b)
+    }
+
+    /// [`Matrix::mul`] writing into a caller-provided matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the operand shapes differ.
+    pub fn mul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
+        self.zip_with_into("mul", other, out, |a, b| a * b)
+    }
+
+    /// [`Matrix::div`] writing into a caller-provided matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the operand shapes differ.
+    pub fn div_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
+        self.zip_with_into("div", other, out, |a, b| a / b)
+    }
+
     fn zip_with(
         &self,
         op: &'static str,
         other: &Matrix,
         f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Matrix, TensorError> {
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        self.zip_with_into(op, other, &mut out, f)?;
+        Ok(out)
+    }
+
+    /// Shared kernel for the elementwise binary ops. Writing into a
+    /// recycled buffer uses the same parallel split and scalar expressions
+    /// as the allocating path, so results are bit-identical.
+    fn zip_with_into(
+        &self,
+        op: &'static str,
+        other: &Matrix,
+        out: &mut Matrix,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<(), TensorError> {
         if self.shape() != other.shape() {
             return Err(ShapeError::new(op, self.shape(), other.shape()).into());
         }
+        assert_eq!(out.shape(), self.shape(), "{op}_into: output shape mismatch");
+        let (a, b) = (self.as_slice(), other.as_slice());
         if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
-            let (a, b) = (self.as_slice(), other.as_slice());
-            let mut out = Matrix::zeros(self.rows(), self.cols());
             let chunk = chunk_len(a.len(), &rt);
             rt.par_chunks_mut(out.as_mut_slice(), chunk, |c, sub| {
                 let base = c * chunk;
@@ -91,10 +142,12 @@ impl Matrix {
                     *o = f(a[base + off], b[base + off]);
                 }
             });
-            return Ok(out);
+            return Ok(());
         }
-        let data = self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Matrix::from_vec(self.rows(), self.cols(), data).expect("shape preserved"))
+        for (o, (&av, &bv)) in out.as_mut_slice().iter_mut().zip(a.iter().zip(b)) {
+            *o = f(av, bv);
+        }
+        Ok(())
     }
 
     /// Adds `other` into `self` in place.
@@ -133,9 +186,22 @@ impl Matrix {
 
     /// Applies `f` to every element, producing a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        self.map_into(&mut out, f);
+        out
+    }
+
+    /// [`Matrix::map`] writing into a caller-provided matrix of the same
+    /// shape. Same parallel split as the allocating path, so results are
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` has a different shape.
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f32) -> f32 + Sync) {
+        assert_eq!(out.shape(), self.shape(), "map_into: output shape mismatch");
+        let a = self.as_slice();
         if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
-            let a = self.as_slice();
-            let mut out = Matrix::zeros(self.rows(), self.cols());
             let chunk = chunk_len(a.len(), &rt);
             rt.par_chunks_mut(out.as_mut_slice(), chunk, |c, sub| {
                 let base = c * chunk;
@@ -143,10 +209,11 @@ impl Matrix {
                     *o = f(a[base + off]);
                 }
             });
-            return out;
+            return;
         }
-        let data = self.as_slice().iter().map(|&v| f(v)).collect();
-        Matrix::from_vec(self.rows(), self.cols(), data).expect("shape preserved")
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(a) {
+            *o = f(v);
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -168,13 +235,30 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-provided matrix (which is
+    /// zeroed first, so recycled buffers are safe).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != other.rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not `[m, n]`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
         if self.cols() != other.rows() {
             return Err(ShapeError::new("matmul", self.shape(), other.shape()).into());
         }
         let (m, k) = self.shape();
         let n = other.cols();
-        let mut out = Matrix::zeros(m, n);
-        for_each_out_row(&mut out, m * k * n, |i, out_row| {
+        assert_eq!(out.shape(), (m, n), "matmul_into: output shape mismatch");
+        out.as_mut_slice().fill(0.0);
+        for_each_out_row(out, m * k * n, |i, out_row| {
             let a_row = self.row(i);
             for (kk, &a) in a_row.iter().enumerate().take(k) {
                 if a == 0.0 {
@@ -186,7 +270,7 @@ impl Matrix {
                 }
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix product `self^T * other` (`[k,m]^T x [k,n] -> [m,n]`) without
@@ -202,13 +286,30 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when `self.rows() != other.rows()`.
     pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        self.matmul_tn_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_tn`] writing into a caller-provided matrix (which is
+    /// zeroed first, so recycled buffers are safe).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.rows() != other.rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not `[m, n]`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
         if self.rows() != other.rows() {
             return Err(ShapeError::new("matmul_tn", self.shape(), other.shape()).into());
         }
         let (k, m) = self.shape();
         let n = other.cols();
-        let mut out = Matrix::zeros(m, n);
-        for_each_out_row(&mut out, m * k * n, |i, out_row| {
+        assert_eq!(out.shape(), (m, n), "matmul_tn_into: output shape mismatch");
+        out.as_mut_slice().fill(0.0);
+        for_each_out_row(out, m * k * n, |i, out_row| {
             for kk in 0..k {
                 let a = self.at(kk, i);
                 if a == 0.0 {
@@ -220,7 +321,7 @@ impl Matrix {
                 }
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix product `self * other^T` (`[m,k] x [n,k]^T -> [m,n]`) without
@@ -230,14 +331,31 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        self.matmul_nt_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-provided matrix. Every
+    /// output element is fully overwritten, so recycled buffers are safe
+    /// without pre-zeroing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != other.cols()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not `[m, n]`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
         if self.cols() != other.cols() {
             return Err(ShapeError::new("matmul_nt", self.shape(), other.shape()).into());
         }
         let m = self.rows();
         let k = self.cols();
         let n = other.rows();
-        let mut out = Matrix::zeros(m, n);
-        for_each_out_row(&mut out, m * k * n, |i, out_row| {
+        assert_eq!(out.shape(), (m, n), "matmul_nt_into: output shape mismatch");
+        for_each_out_row(out, m * k * n, |i, out_row| {
             let a_row = self.row(i);
             for (j, o) in out_row.iter_mut().enumerate().take(n) {
                 let b_row = other.row(j);
@@ -248,7 +366,7 @@ impl Matrix {
                 *o = acc;
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Returns the transpose of the matrix.
@@ -273,26 +391,67 @@ impl Matrix {
     /// Column-wise sums (`[n, c] -> [1, c]`).
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols());
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::sum_rows`] writing into a caller-provided `[1, c]` matrix
+    /// (which is zeroed first, so recycled buffers are safe).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not `[1, c]`.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (1, self.cols()), "sum_rows_into: output shape mismatch");
+        out.as_mut_slice().fill(0.0);
         for row in self.iter_rows() {
             for (o, &v) in out.row_mut(0).iter_mut().zip(row) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Column-wise means (`[n, c] -> [1, c]`); zeros for an empty matrix.
     pub fn mean_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        self.mean_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::mean_rows`] writing into a caller-provided `[1, c]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not `[1, c]`.
+    pub fn mean_rows_into(&self, out: &mut Matrix) {
         if self.rows() == 0 {
-            return Matrix::zeros(1, self.cols());
+            assert_eq!(out.shape(), (1, self.cols()), "mean_rows_into: output shape mismatch");
+            out.as_mut_slice().fill(0.0);
+            return;
         }
-        self.sum_rows().scale(1.0 / self.rows() as f32)
+        self.sum_rows_into(out);
+        let s = 1.0 / self.rows() as f32;
+        out.map_inplace(|v| v * s);
     }
 
     /// Row-wise sums (`[n, c] -> [n, 1]`).
     pub fn sum_cols(&self) -> Matrix {
-        let data = self.iter_rows().map(|r| r.iter().sum()).collect();
-        Matrix::from_vec(self.rows(), 1, data).expect("shape")
+        let mut out = Matrix::zeros(self.rows(), 1);
+        self.sum_cols_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::sum_cols`] writing into a caller-provided `[n, 1]` matrix.
+    /// Every element is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not `[n, 1]`.
+    pub fn sum_cols_into(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (self.rows(), 1), "sum_cols_into: output shape mismatch");
+        for (o, r) in out.as_mut_slice().iter_mut().zip(self.iter_rows()) {
+            *o = r.iter().sum();
+        }
     }
 
     /// Index of the maximum element in each row.
@@ -300,23 +459,30 @@ impl Matrix {
     /// Ties resolve to the smallest index; an empty row set yields an empty
     /// vector.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        self.iter_rows()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .fold(
-                        (0usize, f32::NEG_INFINITY),
-                        |(bi, bv), (i, &v)| {
-                            if v > bv {
-                                (i, v)
-                            } else {
-                                (bi, bv)
-                            }
-                        },
-                    )
-                    .0
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.argmax_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::argmax_rows`] writing into a caller-provided vector, which
+    /// is cleared first (its capacity is reused).
+    pub fn argmax_rows_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.iter_rows().map(|row| {
+            row.iter()
+                .enumerate()
+                .fold(
+                    (0usize, f32::NEG_INFINITY),
+                    |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    },
+                )
+                .0
+        }));
     }
 
     /// The largest element, or `None` for an empty matrix.
@@ -375,16 +541,36 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when the row counts differ.
     pub fn hstack(&self, other: &Matrix) -> Result<Matrix, TensorError> {
+        let mut out = Matrix::zeros(self.rows(), self.cols() + other.cols());
+        self.hstack_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::hstack`] writing into a caller-provided `[n, c1+c2]`
+    /// matrix. Every element is fully overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the row counts differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not `[n, c1+c2]`.
+    pub fn hstack_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
         if self.rows() != other.rows() {
             return Err(ShapeError::new("hstack", self.shape(), other.shape()).into());
         }
-        let mut out = Matrix::zeros(self.rows(), self.cols() + other.cols());
+        assert_eq!(
+            out.shape(),
+            (self.rows(), self.cols() + other.cols()),
+            "hstack_into: output shape mismatch"
+        );
         for r in 0..self.rows() {
             let dst = out.row_mut(r);
             dst[..self.cols()].copy_from_slice(self.row(r));
             dst[self.cols()..].copy_from_slice(other.row(r));
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -554,6 +740,75 @@ mod tests {
         // PartialEq on Matrix is exact f32 equality, i.e. bit identity for
         // non-NaN data.
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::from_fn(17, 9, |_, _| rng.gen_range(-2.0f32..2.0));
+        let b = Matrix::from_fn(17, 9, |_, _| rng.gen_range(-2.0f32..2.0));
+        let c = Matrix::from_fn(9, 6, |_, _| rng.gen_range(-2.0f32..2.0));
+
+        // Deliberately dirty recycled buffers: every `_into` kernel must
+        // fully define its output.
+        let mut out = Matrix::filled(17, 9, f32::NAN);
+        a.add_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.add(&b).unwrap());
+        a.sub_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.sub(&b).unwrap());
+        a.mul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.mul(&b).unwrap());
+        a.div_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.div(&b).unwrap());
+        a.map_into(&mut out, |v| v * 1.7 + 0.3);
+        assert_eq!(out, a.map(|v| v * 1.7 + 0.3));
+
+        let mut mm = Matrix::filled(17, 6, f32::NAN);
+        a.matmul_into(&c, &mut mm).unwrap();
+        assert_eq!(mm, a.matmul(&c).unwrap());
+        let mut tn = Matrix::filled(9, 9, f32::NAN);
+        a.matmul_tn_into(&b, &mut tn).unwrap();
+        assert_eq!(tn, a.matmul_tn(&b).unwrap());
+        let mut nt = Matrix::filled(17, 17, f32::NAN);
+        a.matmul_nt_into(&b, &mut nt).unwrap();
+        assert_eq!(nt, a.matmul_nt(&b).unwrap());
+
+        let mut sr = Matrix::filled(1, 9, f32::NAN);
+        a.sum_rows_into(&mut sr);
+        assert_eq!(sr, a.sum_rows());
+        a.mean_rows_into(&mut sr);
+        assert_eq!(sr, a.mean_rows());
+        let mut sc = Matrix::filled(17, 1, f32::NAN);
+        a.sum_cols_into(&mut sc);
+        assert_eq!(sc, a.sum_cols());
+
+        let mut hs = Matrix::filled(17, 18, f32::NAN);
+        a.hstack_into(&b, &mut hs).unwrap();
+        assert_eq!(hs, a.hstack(&b).unwrap());
+
+        let mut idx = vec![99usize; 3];
+        a.argmax_rows_into(&mut idx);
+        assert_eq!(idx, a.argmax_rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn into_variant_rejects_wrong_output_shape() {
+        let a = Matrix::zeros(2, 2);
+        let mut out = Matrix::zeros(3, 3);
+        let _ = a.add_into(&a, &mut out);
+    }
+
+    #[test]
+    fn into_variant_propagates_operand_shape_error() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(2, 2);
+        assert!(a.add_into(&b, &mut out).is_err());
+        let mut mm = Matrix::zeros(2, 3);
+        assert!(a.matmul_into(&b, &mut mm).is_ok());
+        assert!(b.matmul_into(&a, &mut mm).is_err());
     }
 
     #[test]

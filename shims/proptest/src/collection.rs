@@ -3,7 +3,7 @@
 use crate::strategy::{Strategy, TestRng};
 use std::ops::{Range, RangeInclusive};
 
-/// Accepted size arguments for [`vec`]: a fixed length or a length
+/// Accepted size arguments for [`vec()`]: a fixed length or a length
 /// range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -36,7 +36,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -1,0 +1,125 @@
+//! Tape-reuse equivalence contracts: a session whose tape is recycled
+//! with [`Forward::reset`] between attack-style steps must produce
+//! values and gradients bit-identical to a fresh tape per step, and must
+//! stop taking new buffers from the pool once steady state is reached.
+//! Reuse is only an amortization — never an approximation.
+
+use colper_repro::models::{
+    bind_input_planned, CloudTensors, ColorBinding, GeometryPlan, PointNet2, PointNet2Config,
+    RandLaNet, RandLaNetConfig, ResGcn, ResGcnConfig, SegmentationModel,
+};
+use colper_repro::nn::Forward;
+use colper_repro::runtime::Runtime;
+use colper_repro::scene::{normalize, IndoorSceneConfig, SceneGenerator};
+use colper_repro::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STEPS: usize = 4;
+
+fn tensors(points: usize, seed: u64) -> CloudTensors {
+    let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(points)).generate(seed);
+    CloudTensors::from_cloud(&normalize::pointnet_view(&cloud))
+}
+
+/// The cloud with its colors nudged, standing in for one attack update.
+fn step_tensors(base: &CloudTensors, step: usize) -> CloudTensors {
+    let delta = 0.01 * step as f32;
+    let mut t = base.clone();
+    t.colors = t.colors.map(|v| (v + delta).clamp(0.0, 1.0));
+    t
+}
+
+/// Logits, color gradient, loss, and (hits, misses) pool stats per step.
+type StepRecord = (Matrix, Matrix, f32, (u64, u64));
+
+/// Runs `STEPS` forward+backward passes. With `reuse` the same session is
+/// reset between steps; without it every step gets a fresh session.
+fn trajectory<M: SegmentationModel>(
+    model: &M,
+    base: &CloudTensors,
+    plan: &GeometryPlan,
+    reuse: bool,
+) -> Vec<StepRecord> {
+    let mut session = Forward::new(model.params(), false);
+    let mut out = Vec::with_capacity(STEPS);
+    for step in 0..STEPS {
+        if reuse {
+            session.reset();
+        } else {
+            session = Forward::new(model.params(), false);
+        }
+        let t = step_tensors(base, step);
+        let input = bind_input_planned(&mut session.tape, &t, ColorBinding::Leaf, plan);
+        let color = input.color;
+        let mut rng = StdRng::seed_from_u64(900 + step as u64);
+        let logits = model.forward(&mut session, &input, &mut rng);
+        let loss = session.tape.softmax_cross_entropy(logits, &t.labels);
+        session.tape.backward(loss);
+        out.push((
+            session.tape.value(logits).clone(),
+            session.tape.grad(color).expect("color must receive a gradient").clone(),
+            session.tape.value(loss)[(0, 0)],
+            session.tape.pool_stats(),
+        ));
+    }
+    out
+}
+
+fn assert_reuse_is_bit_identical<M: SegmentationModel>(model: &M, base: &CloudTensors) {
+    let plan = model.plan(&base.coords);
+    let mut reference: Option<Vec<(Matrix, Matrix, f32)>> = None;
+    for threads in [1usize, 4] {
+        let rt = Runtime::new(threads);
+        let (fresh, reused) = rt.install(|| {
+            (trajectory(model, base, &plan, false), trajectory(model, base, &plan, true))
+        });
+        for (step, (f, r)) in fresh.iter().zip(&reused).enumerate() {
+            assert_eq!(f.0, r.0, "logits diverge at step {step} with {threads} threads");
+            assert_eq!(f.1, r.1, "color grad diverges at step {step} with {threads} threads");
+            assert_eq!(
+                f.2.to_bits(),
+                r.2.to_bits(),
+                "loss diverges at step {step} with {threads} threads"
+            );
+        }
+        // Steady state: once every buffer shape has been seen, further
+        // steps must be answered entirely from the pool.
+        let (_, misses_step2) = reused[2].3;
+        let (_, misses_step3) = reused[3].3;
+        assert_eq!(
+            misses_step2, misses_step3,
+            "pool misses grew after steady state with {threads} threads"
+        );
+        // The reused trajectory must also agree across thread counts.
+        let slim: Vec<_> = reused.into_iter().map(|(l, g, v, _)| (l, g, v)).collect();
+        match &reference {
+            None => reference = Some(slim),
+            Some(r) => assert_eq!(r, &slim, "trajectory changed with {threads} threads"),
+        }
+    }
+}
+
+#[test]
+fn pointnet2_reused_tape_matches_fresh_tapes() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let t = tensors(96, 31);
+    assert_reuse_is_bit_identical(&model, &t);
+}
+
+#[test]
+fn resgcn_reused_tape_matches_fresh_tapes() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let model = ResGcn::new(ResGcnConfig::tiny(13), &mut rng);
+    let t = tensors(80, 32);
+    assert_reuse_is_bit_identical(&model, &t);
+}
+
+#[test]
+fn randlanet_reused_tape_matches_fresh_tapes() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let model = RandLaNet::new(RandLaNetConfig::tiny(13), &mut rng);
+    let t = tensors(96, 33);
+    assert_reuse_is_bit_identical(&model, &t);
+}
