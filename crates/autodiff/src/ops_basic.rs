@@ -5,7 +5,7 @@
 //! in steady state.
 
 use crate::tape::{Op, Tape, Value, Var};
-use colper_tensor::Matrix;
+use colper_tensor::{kernels, Matrix};
 use std::sync::Arc;
 
 impl Tape {
@@ -54,7 +54,7 @@ impl Tape {
     ///
     /// Panics when `row` is not a single row of matching width.
     pub fn add_row(&mut self, x: Var, row: Var) -> Var {
-        self.row_broadcast("add_row", x, row, |a, b| a + b, Op::AddRow(x, row))
+        self.row_broadcast("add_row", x, row, kernels::add, Op::AddRow(x, row))
     }
 
     /// Row-broadcast `x - row`.
@@ -63,7 +63,7 @@ impl Tape {
     ///
     /// Panics when `row` is not a single row of matching width.
     pub fn sub_row(&mut self, x: Var, row: Var) -> Var {
-        self.row_broadcast("sub_row", x, row, |a, b| a - b, Op::SubRow(x, row))
+        self.row_broadcast("sub_row", x, row, kernels::sub, Op::SubRow(x, row))
     }
 
     /// Row-broadcast `x * row`.
@@ -72,7 +72,7 @@ impl Tape {
     ///
     /// Panics when `row` is not a single row of matching width.
     pub fn mul_row(&mut self, x: Var, row: Var) -> Var {
-        self.row_broadcast("mul_row", x, row, |a, b| a * b, Op::MulRow(x, row))
+        self.row_broadcast("mul_row", x, row, kernels::mul, Op::MulRow(x, row))
     }
 
     /// Row-broadcast `x / row`.
@@ -81,7 +81,7 @@ impl Tape {
     ///
     /// Panics when `row` is not a single row of matching width.
     pub fn div_row(&mut self, x: Var, row: Var) -> Var {
-        self.row_broadcast("div_row", x, row, |a, b| a / b, Op::DivRow(x, row))
+        self.row_broadcast("div_row", x, row, kernels::div, Op::DivRow(x, row))
     }
 
     fn row_broadcast(
@@ -89,7 +89,7 @@ impl Tape {
         name: &str,
         x: Var,
         row: Var,
-        f: impl Fn(f32, f32) -> f32,
+        k: fn(&[f32], &[f32], &mut [f32]),
         op: Op,
     ) -> Var {
         let (xr, xc) = self.value(x).shape();
@@ -100,11 +100,9 @@ impl Tape {
         }
         let mut out = self.alloc(xr, xc);
         let xv = self.value(x);
-        let rv = self.value(row);
+        let rrow = self.value(row).row(0);
         for r in 0..xr {
-            for c in 0..xc {
-                out[(r, c)] = f(xv[(r, c)], rv[(0, c)]);
-            }
+            k(xv.row(r), rrow, out.row_mut(r));
         }
         let rg = self.any_requires_grad(&[x, row]);
         self.push(out, op, rg)
@@ -112,9 +110,11 @@ impl Tape {
 
     /// `x * s` for a scalar `s`.
     pub fn scale(&mut self, x: Var, s: f32) -> Var {
-        let v = self.unary_map(x, |t| t * s);
+        let (r, c) = self.value(x).shape();
+        let mut out = self.alloc(r, c);
+        self.value(x).scale_into(s, &mut out);
         let rg = self.node(x).requires_grad;
-        self.push(v, Op::Scale(x, s), rg)
+        self.push(out, Op::Scale(x, s), rg)
     }
 
     /// `x + s` for a scalar `s`.
@@ -160,10 +160,15 @@ impl Tape {
     }
 
     /// Hyperbolic tangent (the reparameterization of Eq. 5 in the paper).
+    ///
+    /// Routed through the dispatched [`Matrix::tanh_into`] kernel, whose
+    /// scalar and SIMD paths are bit-identical.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.unary_map(x, f32::tanh);
+        let (r, c) = self.value(x).shape();
+        let mut out = self.alloc(r, c);
+        self.value(x).tanh_into(&mut out);
         let rg = self.node(x).requires_grad;
-        self.push(v, Op::Tanh(x), rg)
+        self.push(out, Op::Tanh(x), rg)
     }
 
     /// Logistic sigmoid.

@@ -2,7 +2,7 @@
 //! and the paper's attack objectives (Eq. 6, 7, 8).
 
 use crate::tape::{Ix, Op, Tape, Value, Var};
-use colper_tensor::Matrix;
+use colper_tensor::{kernels, Matrix};
 use std::sync::Arc;
 
 impl Tape {
@@ -32,14 +32,13 @@ impl Tape {
         // Mean and variance escape the tape (the caller folds them into
         // running statistics), so they are plain allocations, not pooled.
         let mut var = Matrix::zeros(1, c);
+        let mut diff = Matrix::zeros(1, c);
         let mean = {
             let xv = self.value(x);
             let mean = xv.mean_rows();
             for r in 0..n {
-                for cc in 0..c {
-                    let d = xv[(r, cc)] - mean[(0, cc)];
-                    var[(0, cc)] += d * d;
-                }
+                kernels::sub(xv.row(r), mean.row(0), diff.row_mut(0));
+                kernels::add_prod_assign(var.row_mut(0), diff.row(0), diff.row(0));
             }
             mean
         };
@@ -51,9 +50,9 @@ impl Tape {
         {
             let xv = self.value(x);
             for r in 0..n {
-                for cc in 0..c {
-                    xhat[(r, cc)] = (xv[(r, cc)] - mean[(0, cc)]) * inv_std[(0, cc)];
-                }
+                let row = xhat.row_mut(r);
+                kernels::sub(xv.row(r), mean.row(0), row);
+                kernels::mul_assign(row, inv_std.row(0));
             }
         }
         let mut out = self.alloc(n, c);
@@ -61,9 +60,7 @@ impl Tape {
             let gammav = self.value(gamma);
             let betav = self.value(beta);
             for r in 0..n {
-                for cc in 0..c {
-                    out[(r, cc)] = xhat[(r, cc)] * gammav[(0, cc)] + betav[(0, cc)];
-                }
+                kernels::mul_add(xhat.row(r), gammav.row(0), betav.row(0), out.row_mut(r));
             }
         }
         let rg = self.any_requires_grad(&[x, gamma, beta]);

@@ -13,7 +13,7 @@
 //! shared across steps with no copy at all.
 
 use crate::tape::{Ix, Op, Tape, Var, Wts};
-use colper_tensor::Matrix;
+use colper_tensor::{kernels, Matrix};
 use std::sync::Arc;
 
 impl Tape {
@@ -99,10 +99,7 @@ impl Tape {
         let xv = self.value(x);
         for g in 0..groups {
             for j in 0..k {
-                let row = xv.row(g * k + j);
-                for (acc, &v) in out.row_mut(g).iter_mut().zip(row) {
-                    *acc += v;
-                }
+                kernels::add_assign(out.row_mut(g), xv.row(g * k + j));
             }
         }
         out.map_inplace(|v| v / k as f32);
@@ -195,11 +192,7 @@ impl Tape {
         for i in 0..out_rows {
             for j in 0..k {
                 let flat = i * k + j;
-                let src = xv.row(idx[flat]);
-                let weight = w[flat];
-                for (acc, &v) in out.row_mut(i).iter_mut().zip(src) {
-                    *acc += weight * v;
-                }
+                kernels::axpy(out.row_mut(i), w[flat], xv.row(idx[flat]));
             }
         }
         out

@@ -1,7 +1,7 @@
 //! The [`Tape`]: a linear record of primitive operations and its reverse
 //! (backward) pass.
 
-use colper_tensor::{BufferPool, Matrix};
+use colper_tensor::{kernels, BufferPool, Matrix};
 use std::collections::VecDeque;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -645,9 +645,8 @@ fn step_backward(
             accumulate(nodes, grads, pool, *r, gr);
         }
         Op::Scale(x, s) => {
-            let s = *s;
             let mut g = pool.zeros_like(gy);
-            gy.map_into(&mut g, |v| v * s);
+            gy.scale_into(*s, &mut g);
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::AddScalar(x, _) => accumulate_copy(nodes, grads, pool, *x, gy),
@@ -740,9 +739,7 @@ fn step_backward(
             let inv = 1.0 / r.max(1) as f32;
             let mut g = pool.zeros(r, c);
             for rr in 0..r {
-                for cc in 0..c {
-                    g[(rr, cc)] = gy[(0, cc)] * inv;
-                }
+                kernels::scale(gy.row(0), inv, g.row_mut(rr));
             }
             accumulate(nodes, grads, pool, *x, g);
         }
@@ -760,10 +757,7 @@ fn step_backward(
             let (r, c) = nodes[x.0].value.shape();
             let mut g = pool.zeros(r, c);
             for (dst, &src) in idx.iter().enumerate() {
-                let row = gy.row(dst);
-                for (acc, &v) in g.row_mut(src).iter_mut().zip(row) {
-                    *acc += v;
-                }
+                kernels::add_assign(g.row_mut(src), gy.row(dst));
             }
             accumulate(nodes, grads, pool, *x, g);
         }
@@ -784,9 +778,7 @@ fn step_backward(
             let inv = 1.0 / k as f32;
             let mut g = pool.zeros(r, c);
             for rr in 0..r {
-                for cc in 0..c {
-                    g[(rr, cc)] = gy[(rr / k, cc)] * inv;
-                }
+                kernels::scale(gy.row(rr / k), inv, g.row_mut(rr));
             }
             accumulate(nodes, grads, pool, *x, g);
         }
@@ -819,12 +811,7 @@ fn step_backward(
             for out_row in 0..gy.rows() {
                 for j in 0..k {
                     let flat = out_row * k + j;
-                    let src = idx[flat];
-                    let weight = w[flat];
-                    let row = gy.row(out_row);
-                    for (acc, &v) in g.row_mut(src).iter_mut().zip(row) {
-                        *acc += weight * v;
-                    }
+                    kernels::axpy(g.row_mut(idx[flat]), w[flat], gy.row(out_row));
                 }
             }
             accumulate(nodes, grads, pool, *x, g);
@@ -869,14 +856,21 @@ fn step_backward(
             gxhat.mul_into(xhat, &mut tmp).expect("shape");
             let mut s2 = pool.zeros(1, gy.cols());
             tmp.sum_rows_into(&mut s2);
+            // gx row-by-row via kernels: gx = n*gxhat; gx -= s1; gx -= xhat*s2;
+            // gx *= inv_std/n (all [1,C] rows broadcast over rows).
+            let mut inv_n = pool.zeros(1, gy.cols());
+            for cc in 0..gy.cols() {
+                inv_n[(0, cc)] = inv_std[(0, cc)] / n;
+            }
             let mut gx = pool.zeros(xhat.rows(), xhat.cols());
             for rr in 0..xhat.rows() {
-                for cc in 0..xhat.cols() {
-                    let v = inv_std[(0, cc)] / n
-                        * (n * gxhat[(rr, cc)] - s1[(0, cc)] - xhat[(rr, cc)] * s2[(0, cc)]);
-                    gx[(rr, cc)] = v;
-                }
+                let row = gx.row_mut(rr);
+                kernels::scale(gxhat.row(rr), n, row);
+                kernels::sub_assign(row, s1.row(0));
+                kernels::sub_prod_assign(row, xhat.row(rr), s2.row(0));
+                kernels::mul_assign(row, inv_n.row(0));
             }
+            pool.recycle(inv_n);
             pool.recycle(tmp);
             pool.recycle(gxhat);
             pool.recycle(s1);
@@ -960,10 +954,9 @@ pub(crate) fn broadcast_mul_into(x: &Matrix, row: &Matrix, out: &mut Matrix) {
     debug_assert_eq!(row.rows(), 1);
     debug_assert_eq!(x.cols(), row.cols());
     debug_assert_eq!(out.shape(), x.shape());
+    let rrow = row.row(0);
     for r in 0..x.rows() {
-        for c in 0..x.cols() {
-            out[(r, c)] = x[(r, c)] * row[(0, c)];
-        }
+        kernels::mul(x.row(r), rrow, out.row_mut(r));
     }
 }
 

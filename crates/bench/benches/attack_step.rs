@@ -8,9 +8,13 @@
 //! (thread-local gauge around the system allocator) measures heap
 //! allocations per steady-state attack step and emits
 //! `results/BENCH_alloc.json`; it asserts the committed zero-allocation
-//! budget, so running the bench doubles as the CI gate. Pass `--quick`
-//! (CI does) to skip the component benches and run the comparisons at
-//! smoke-test scale; `--alloc-only` runs just the allocation gauge.
+//! budget, so running the bench doubles as the CI gate. A kernel-dispatch
+//! comparison times the scalar reference against the runtime-dispatched
+//! AVX2+FMA path and emits `results/BENCH_simd.json`, asserting the
+//! committed >= 2x matmul speedup on hosts that support it. Pass
+//! `--quick` (CI does) to skip the component benches and run every
+//! comparison at smoke-test scale — one quick invocation refreshes all
+//! four BENCH files; `--alloc-only` runs just the allocation gauge.
 
 use colper_attack::{AttackConfig, AttackPlan, Colper, TanhReparam};
 use colper_autodiff::Tape;
@@ -416,6 +420,79 @@ fn bench_alloc(points: usize, model_scale: &str) {
     write_json("BENCH_alloc", &json);
 }
 
+/// Scalar-reference vs dispatched-SIMD throughput on the hot kernels, at
+/// the matrix shapes the network layers actually run (N points x 64-wide
+/// feature blocks). Emits `results/BENCH_simd.json` with the detected
+/// feature set, per-shape medians and GFLOP/s; asserts the committed 2x
+/// matmul speedup floor on hosts where the AVX2+FMA path is active, and
+/// verifies outputs are bit-identical across paths while it is at it.
+fn bench_simd(samples: usize) {
+    use colper_tensor::kernels;
+
+    let shapes: [(usize, usize, usize); 3] = [(64, 64, 64), (256, 64, 64), (512, 128, 64)];
+    let seq = Runtime::sequential();
+    let was = kernels::simd_active();
+    let mut rows = Vec::new();
+    let mut headline_speedup = 0.0f64;
+
+    for &(m, k, n) in &shapes {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c) as f32 * 0.17).sin());
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 17 + c) as f32 * 0.23).cos());
+        let mut out = Matrix::zeros(m, n);
+
+        let mut run_path = |simd: bool| -> (u128, Vec<u32>) {
+            kernels::set_simd_enabled(simd);
+            let ns = seq.install(|| {
+                time_median_ns(samples, || {
+                    a.matmul_into(&b, &mut out).expect("shape");
+                    black_box(out.as_slice().first().copied());
+                })
+            });
+            (ns, out.as_slice().iter().map(|v| v.to_bits()).collect())
+        };
+        let (scalar_ns, scalar_bits) = run_path(false);
+        let (simd_ns, simd_bits) = if kernels::simd_supported() {
+            run_path(true)
+        } else {
+            (scalar_ns, scalar_bits.clone())
+        };
+        assert_eq!(scalar_bits, simd_bits, "matmul paths diverge at {m}x{k}x{n}");
+
+        let flops = 2.0 * (m * k * n) as f64;
+        let speedup = scalar_ns as f64 / simd_ns.max(1) as f64;
+        headline_speedup = headline_speedup.max(speedup);
+        let gflops = flops / simd_ns.max(1) as f64;
+        println!(
+            "bench attack_step/simd: matmul {m}x{k}x{n} scalar {scalar_ns} ns, \
+             dispatched {simd_ns} ns ({speedup:.2}x, {gflops:.2} GFLOP/s)"
+        );
+        rows.push(format!(
+            "    {{\n      \"m\": {m}, \"k\": {k}, \"n\": {n},\n      \
+             \"scalar_median_ns\": {scalar_ns},\n      \
+             \"dispatched_median_ns\": {simd_ns},\n      \
+             \"speedup\": {speedup:.4},\n      \"dispatched_gflops\": {gflops:.4}\n    }}"
+        ));
+    }
+    kernels::set_simd_enabled(was);
+
+    if kernels::simd_supported() {
+        assert!(
+            headline_speedup >= 2.0,
+            "AVX2+FMA matmul path is only {headline_speedup:.2}x over the scalar \
+             reference (committed floor: 2x)"
+        );
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"simd_kernels\",\n  \"features\": \"{}\",\n  \
+         \"simd_supported\": {},\n  \"samples\": {samples},\n  \
+         \"best_matmul_speedup\": {headline_speedup:.4},\n  \"matmul\": [\n{}\n  ]\n}}\n",
+        kernels::features(),
+        kernels::simd_supported(),
+        rows.join(",\n"),
+    );
+    write_json("BENCH_simd", &json);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -435,10 +512,12 @@ fn main() {
         bench_planned_vs_unplanned(384, 7, "tiny");
         bench_parallel(128, 4, 3, threads, "tiny");
         bench_alloc(128, "tiny");
+        bench_simd(9);
     } else {
         component_benches();
         bench_planned_vs_unplanned(POINTS, 11, "small");
         bench_parallel(POINTS, 4, 3, threads, "small");
         bench_alloc(POINTS, "small");
+        bench_simd(25);
     }
 }

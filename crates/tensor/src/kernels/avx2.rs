@@ -1,0 +1,390 @@
+//! AVX2+FMA implementations of the kernels in [`super::scalar`].
+//!
+//! Each function mirrors its scalar reference *operation for operation*:
+//! elementwise kernels run the identical per-lane expression (with
+//! `vfmadd*ps` matching [`f32::mul_add`]), and reductions keep the same
+//! eight lane-strided partial sums — the `ymm` accumulator *is* the scalar
+//! reference's `[f32; 8]` partial array — combined with the same fixed
+//! tree. Because every instruction used here is correctly rounded
+//! (IEEE-754 add/sub/mul/div/fma/max/min), the results are bit-identical
+//! to the scalar path for every input, NaN and signed zero included.
+//!
+//! This is the only module in the crate allowed to use `unsafe`: the
+//! intrinsics require it, and every function is `#[target_feature]`-gated
+//! so it must only be called after runtime detection (enforced by the
+//! dispatch layer in [`super`]).
+#![allow(unsafe_code)]
+
+use super::scalar;
+use core::arch::x86_64::{
+    _mm256_add_ps, _mm256_blendv_ps, _mm256_cmp_ps, _mm256_div_ps, _mm256_fmadd_ps,
+    _mm256_fnmadd_ps, _mm256_loadu_ps, _mm256_max_ps, _mm256_min_ps, _mm256_mul_ps, _mm256_set1_ps,
+    _mm256_setzero_ps, _mm256_storeu_ps, _mm256_sub_ps, _CMP_UNORD_Q,
+};
+
+const W: usize = 8;
+
+macro_rules! zip_kernel {
+    ($name:ident, $vop:expr, $sop:expr) => {
+        /// AVX2 twin of the like-named scalar reference kernel.
+        ///
+        /// # Safety
+        ///
+        /// Requires AVX2+FMA, verified by the caller via runtime detection.
+        #[target_feature(enable = "avx2", enable = "fma")]
+        pub(super) unsafe fn $name(a: &[f32], b: &[f32], out: &mut [f32]) {
+            let n = out.len();
+            assert!(a.len() >= n && b.len() >= n);
+            let mut i = 0;
+            while i + W <= n {
+                let va = _mm256_loadu_ps(a.as_ptr().add(i));
+                let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), $vop(va, vb));
+                i += W;
+            }
+            while i < n {
+                out[i] = $sop(a[i], b[i]);
+                i += 1;
+            }
+        }
+    };
+}
+
+zip_kernel!(add, _mm256_add_ps, |x: f32, y: f32| x + y);
+zip_kernel!(sub, _mm256_sub_ps, |x: f32, y: f32| x - y);
+zip_kernel!(mul, _mm256_mul_ps, |x: f32, y: f32| x * y);
+zip_kernel!(div, _mm256_div_ps, |x: f32, y: f32| x / y);
+
+macro_rules! assign_kernel {
+    ($name:ident, $vop:expr, $sop:expr) => {
+        /// AVX2 twin of the like-named scalar reference kernel.
+        ///
+        /// # Safety
+        ///
+        /// Requires AVX2+FMA, verified by the caller via runtime detection.
+        #[target_feature(enable = "avx2", enable = "fma")]
+        pub(super) unsafe fn $name(dst: &mut [f32], src: &[f32]) {
+            let n = dst.len();
+            assert!(src.len() >= n);
+            let mut i = 0;
+            while i + W <= n {
+                let vd = _mm256_loadu_ps(dst.as_ptr().add(i));
+                let vs = _mm256_loadu_ps(src.as_ptr().add(i));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), $vop(vd, vs));
+                i += W;
+            }
+            while i < n {
+                dst[i] = $sop(dst[i], src[i]);
+                i += 1;
+            }
+        }
+    };
+}
+
+assign_kernel!(add_assign, _mm256_add_ps, |d: f32, s: f32| d + s);
+assign_kernel!(sub_assign, _mm256_sub_ps, |d: f32, s: f32| d - s);
+assign_kernel!(mul_assign, _mm256_mul_ps, |d: f32, s: f32| d * s);
+
+/// AVX2 twin of [`scalar::axpy`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn axpy(dst: &mut [f32], alpha: f32, x: &[f32]) {
+    let n = dst.len();
+    assert!(x.len() >= n);
+    let va = _mm256_set1_ps(alpha);
+    let mut i = 0;
+    while i + W <= n {
+        let vd = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_fmadd_ps(va, vx, vd));
+        i += W;
+    }
+    while i < n {
+        dst[i] = alpha.mul_add(x[i], dst[i]);
+        i += 1;
+    }
+}
+
+/// AVX2 twin of [`scalar::add_prod_assign`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn add_prod_assign(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    let n = dst.len();
+    assert!(a.len() >= n && b.len() >= n);
+    let mut i = 0;
+    while i + W <= n {
+        let vd = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_fmadd_ps(va, vb, vd));
+        i += W;
+    }
+    while i < n {
+        dst[i] = a[i].mul_add(b[i], dst[i]);
+        i += 1;
+    }
+}
+
+/// AVX2 twin of [`scalar::sub_prod_assign`] (`vfnmadd` computes the same
+/// correctly-rounded `-a*b + dst` as the scalar `(-a).mul_add(b, dst)`).
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn sub_prod_assign(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    let n = dst.len();
+    assert!(a.len() >= n && b.len() >= n);
+    let mut i = 0;
+    while i + W <= n {
+        let vd = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_fnmadd_ps(va, vb, vd));
+        i += W;
+    }
+    while i < n {
+        dst[i] = (-a[i]).mul_add(b[i], dst[i]);
+        i += 1;
+    }
+}
+
+/// AVX2 twin of [`scalar::mul_add`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn mul_add(a: &[f32], b: &[f32], c: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    assert!(a.len() >= n && b.len() >= n && c.len() >= n);
+    let mut i = 0;
+    while i + W <= n {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+        let vc = _mm256_loadu_ps(c.as_ptr().add(i));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_fmadd_ps(va, vb, vc));
+        i += W;
+    }
+    while i < n {
+        out[i] = a[i].mul_add(b[i], c[i]);
+        i += 1;
+    }
+}
+
+/// AVX2 twin of [`scalar::scale`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn scale(a: &[f32], s: f32, out: &mut [f32]) {
+    let n = out.len();
+    assert!(a.len() >= n);
+    let vs = _mm256_set1_ps(s);
+    let mut i = 0;
+    while i + W <= n {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_mul_ps(va, vs));
+        i += W;
+    }
+    while i < n {
+        out[i] = a[i] * s;
+        i += 1;
+    }
+}
+
+/// AVX2 twin of [`scalar::scale_assign`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn scale_assign(dst: &mut [f32], s: f32) {
+    let n = dst.len();
+    let vs = _mm256_set1_ps(s);
+    let mut i = 0;
+    while i + W <= n {
+        let vd = _mm256_loadu_ps(dst.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_mul_ps(vd, vs));
+        i += W;
+    }
+    while i < n {
+        dst[i] *= s;
+        i += 1;
+    }
+}
+
+/// AVX2 twin of [`scalar::sum`]: the `ymm` accumulator is the scalar
+/// reference's `[f32; 8]` partial array; tail elements fold into their
+/// `i % 8` lanes after the store, then the shared fixed tree combines.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn sum(a: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + W <= n {
+        acc = _mm256_add_ps(acc, _mm256_loadu_ps(a.as_ptr().add(i)));
+        i += W;
+    }
+    let mut lanes = [0.0f32; W];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    for (l, &v) in lanes.iter_mut().zip(&a[i..]) {
+        *l += v;
+    }
+    scalar::combine(&lanes)
+}
+
+/// AVX2 twin of [`scalar::dot`]; same lane-strided partials as [`sum`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + W <= n {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+        acc = _mm256_fmadd_ps(va, vb, acc);
+        i += W;
+    }
+    let mut lanes = [0.0f32; W];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    for (l, (&x, &y)) in lanes.iter_mut().zip(a[i..n].iter().zip(&b[i..n])) {
+        *l = x.mul_add(y, *l);
+    }
+    scalar::combine(&lanes)
+}
+
+/// AVX2 twin of [`scalar::sum_sq`]; same lane-strided partials as [`sum`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn sum_sq(a: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + W <= n {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        acc = _mm256_fmadd_ps(va, va, acc);
+        i += W;
+    }
+    let mut lanes = [0.0f32; W];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    for (l, &v) in lanes.iter_mut().zip(&a[i..]) {
+        *l = v.mul_add(v, *l);
+    }
+    scalar::combine(&lanes)
+}
+
+/// AVX2 twin of [`scalar::matmul_row`].
+///
+/// Columns advance in blocks of 32 (four independent `ymm` accumulators to
+/// hide FMA latency), then 8, then a scalar tail; every output element
+/// still accumulates its `k` terms as one ascending-`k` fused chain
+/// starting from its initial value, identical to the scalar reference.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    let k = a_row.len();
+    assert!(b.len() >= k * n && out_row.len() >= n);
+    let bp = b.as_ptr();
+    let op = out_row.as_mut_ptr();
+    let mut j = 0;
+    while j + 4 * W <= n {
+        let mut c0 = _mm256_loadu_ps(op.add(j));
+        let mut c1 = _mm256_loadu_ps(op.add(j + W));
+        let mut c2 = _mm256_loadu_ps(op.add(j + 2 * W));
+        let mut c3 = _mm256_loadu_ps(op.add(j + 3 * W));
+        for (kk, &a) in a_row.iter().enumerate() {
+            let va = _mm256_set1_ps(a);
+            let base = bp.add(kk * n + j);
+            c0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(base), c0);
+            c1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(base.add(W)), c1);
+            c2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(base.add(2 * W)), c2);
+            c3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(base.add(3 * W)), c3);
+        }
+        _mm256_storeu_ps(op.add(j), c0);
+        _mm256_storeu_ps(op.add(j + W), c1);
+        _mm256_storeu_ps(op.add(j + 2 * W), c2);
+        _mm256_storeu_ps(op.add(j + 3 * W), c3);
+        j += 4 * W;
+    }
+    while j + W <= n {
+        let mut c0 = _mm256_loadu_ps(op.add(j));
+        for (kk, &a) in a_row.iter().enumerate() {
+            c0 = _mm256_fmadd_ps(_mm256_set1_ps(a), _mm256_loadu_ps(bp.add(kk * n + j)), c0);
+        }
+        _mm256_storeu_ps(op.add(j), c0);
+        j += W;
+    }
+    while j < n {
+        let mut acc = out_row[j];
+        for (kk, &a) in a_row.iter().enumerate() {
+            acc = a.mul_add(b[kk * n + j], acc);
+        }
+        out_row[j] = acc;
+        j += 1;
+    }
+}
+
+/// AVX2 twin of [`scalar::tanh`]: the same clamp, fused polynomial chain
+/// and division on eight lanes at a time, with NaN inputs passed through
+/// bit-for-bit via an unordered-compare blend.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(super) unsafe fn tanh(a: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    assert!(a.len() >= n);
+    let clamp_hi = _mm256_set1_ps(scalar::CLAMP);
+    let clamp_lo = _mm256_set1_ps(-scalar::CLAMP);
+    let mut i = 0;
+    while i + W <= n {
+        let x = _mm256_loadu_ps(a.as_ptr().add(i));
+        // max/min with the clamp constant in the second operand: NaN lanes
+        // come out clamped here but are replaced by the original x below.
+        let xc = _mm256_min_ps(_mm256_max_ps(x, clamp_lo), clamp_hi);
+        let x2 = _mm256_mul_ps(xc, xc);
+        let mut p = _mm256_set1_ps(scalar::A13);
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(scalar::A11));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(scalar::A9));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(scalar::A7));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(scalar::A5));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(scalar::A3));
+        p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(scalar::A1));
+        let num = _mm256_mul_ps(p, xc);
+        let mut q = _mm256_set1_ps(scalar::B6);
+        q = _mm256_fmadd_ps(q, x2, _mm256_set1_ps(scalar::B4));
+        q = _mm256_fmadd_ps(q, x2, _mm256_set1_ps(scalar::B2));
+        q = _mm256_fmadd_ps(q, x2, _mm256_set1_ps(scalar::B0));
+        let t = _mm256_div_ps(num, q);
+        let nan_mask = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_blendv_ps(t, x, nan_mask));
+        i += W;
+    }
+    while i < n {
+        out[i] = scalar::tanh_lane(a[i]);
+        i += 1;
+    }
+}

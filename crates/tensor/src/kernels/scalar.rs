@@ -1,0 +1,242 @@
+//! Pinned-order scalar reference kernels.
+//!
+//! Every kernel in this module is the *semantic definition* of the
+//! corresponding dispatched kernel in [`super`]: the AVX2 implementations
+//! must produce bit-identical results for every input, including NaN and
+//! signed zero. Two rules make that possible:
+//!
+//! 1. **Elementwise and axpy-family kernels** perform an identical
+//!    straight-line sequence of correctly-rounded IEEE-754 operations per
+//!    output element (`+`, `-`, `*`, `/` and [`f32::mul_add`], which is the
+//!    correctly-rounded fused multiply-add, matching `vfmadd*ps`).
+//! 2. **Reduction kernels** accumulate into eight lane-strided partial sums
+//!    (element `i` goes to lane `i % 8`, ascending `i` within each lane) and
+//!    combine them with the fixed tree [`combine`]. An AVX2 `ymm`
+//!    accumulator performs exactly the per-lane operation sequence, so
+//!    storing it to memory and applying the same tree reproduces the scalar
+//!    result bit for bit.
+//!
+//! These functions are public so property tests (and sceptical users) can
+//! compare them directly against whatever `super`'s runtime dispatch picks.
+
+/// Number of strided partial sums used by every reduction kernel. Equal to
+/// the AVX2 `f32` vector width so one `ymm` register holds all lanes.
+pub const LANES: usize = 8;
+
+/// Combines eight lane partials in the fixed order shared by the scalar and
+/// SIMD reductions: `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+#[inline]
+pub fn combine(l: &[f32; LANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// `out[i] = a[i] + b[i]`.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = x + y;
+    }
+}
+
+/// `out[i] = a[i] - b[i]`.
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = x - y;
+    }
+}
+
+/// `out[i] = a[i] * b[i]`.
+pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = x * y;
+    }
+}
+
+/// `out[i] = a[i] / b[i]`.
+pub fn div(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = x / y;
+    }
+}
+
+/// `dst[i] += src[i]`.
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// `dst[i] -= src[i]`.
+pub fn sub_assign(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d -= s;
+    }
+}
+
+/// `dst[i] *= src[i]`.
+pub fn mul_assign(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d *= s;
+    }
+}
+
+/// `dst[i] = fma(alpha, x[i], dst[i])` — fused scaled accumulation.
+pub fn axpy(dst: &mut [f32], alpha: f32, x: &[f32]) {
+    for (d, &v) in dst.iter_mut().zip(x) {
+        *d = alpha.mul_add(v, *d);
+    }
+}
+
+/// `dst[i] = fma(a[i], b[i], dst[i])` — fused product accumulation.
+pub fn add_prod_assign(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    for (d, (&x, &y)) in dst.iter_mut().zip(a.iter().zip(b)) {
+        *d = x.mul_add(y, *d);
+    }
+}
+
+/// `dst[i] = fma(-a[i], b[i], dst[i])` — fused product subtraction.
+pub fn sub_prod_assign(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    for (d, (&x, &y)) in dst.iter_mut().zip(a.iter().zip(b)) {
+        *d = (-x).mul_add(y, *d);
+    }
+}
+
+/// `out[i] = fma(a[i], b[i], c[i])`.
+pub fn mul_add(a: &[f32], b: &[f32], c: &[f32], out: &mut [f32]) {
+    for (o, ((&x, &y), &z)) in out.iter_mut().zip(a.iter().zip(b).zip(c)) {
+        *o = x.mul_add(y, z);
+    }
+}
+
+/// `out[i] = a[i] * s`.
+pub fn scale(a: &[f32], s: f32, out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = x * s;
+    }
+}
+
+/// `dst[i] *= s`.
+pub fn scale_assign(dst: &mut [f32], s: f32) {
+    for d in dst.iter_mut() {
+        *d *= s;
+    }
+}
+
+/// Sum of all elements via eight lane-strided partials and [`combine`].
+pub fn sum(a: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut chunks = a.chunks_exact(LANES);
+    for ch in &mut chunks {
+        for (l, &v) in acc.iter_mut().zip(ch) {
+            *l += v;
+        }
+    }
+    for (l, &v) in acc.iter_mut().zip(chunks.remainder()) {
+        *l += v;
+    }
+    combine(&acc)
+}
+
+/// Dot product via eight lane-strided fused partials and [`combine`].
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        for (l, (&xv, &yv)) in acc.iter_mut().zip(x.iter().zip(y)) {
+            *l = xv.mul_add(yv, *l);
+        }
+    }
+    for (l, (&xv, &yv)) in acc.iter_mut().zip(ca.remainder().iter().zip(cb.remainder())) {
+        *l = xv.mul_add(yv, *l);
+    }
+    combine(&acc)
+}
+
+/// Sum of squares via eight lane-strided fused partials and [`combine`].
+pub fn sum_sq(a: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut chunks = a.chunks_exact(LANES);
+    for ch in &mut chunks {
+        for (l, &v) in acc.iter_mut().zip(ch) {
+            *l = v.mul_add(v, *l);
+        }
+    }
+    for (l, &v) in acc.iter_mut().zip(chunks.remainder()) {
+        *l = v.mul_add(v, *l);
+    }
+    combine(&acc)
+}
+
+/// One output row of a row-major matrix product:
+/// `out_row[j] += sum_k a_row[k] * b[k*n + j]`, accumulated as an
+/// ascending-`k` chain of fused multiply-adds per output element.
+///
+/// `b` is the full `k x n` row-major right-hand operand. Both matmul and
+/// matmul-transposed route through this kernel (the latter after packing
+/// its left operand), so every product shares one accumulation order.
+pub fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    debug_assert_eq!(a_row.len() * n, b.len());
+    for (kk, &a) in a_row.iter().enumerate() {
+        let b_row = &b[kk * n..kk * n + n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o = a.mul_add(bv, *o);
+        }
+    }
+}
+
+// Coefficients of the rational tanh approximation (odd degree-13 numerator
+// over even degree-6 denominator, evaluated in x^2). The full-precision
+// decimals document the canonical coefficient set; they round to the f32
+// values actually used.
+#[allow(clippy::excessive_precision)]
+mod tanh_coeffs {
+    pub const CLAMP: f32 = 7.90531110763549805;
+    pub const A1: f32 = 4.89352455891786e-03;
+    pub const A3: f32 = 6.37261928875436e-04;
+    pub const A5: f32 = 1.48572235717979e-05;
+    pub const A7: f32 = 5.12229709037114e-08;
+    pub const A9: f32 = -8.60467152213735e-11;
+    pub const A11: f32 = 2.00018790482477e-13;
+    pub const A13: f32 = -2.76076847742355e-16;
+    pub const B0: f32 = 4.89352518554385e-03;
+    pub const B2: f32 = 2.26843463243900e-03;
+    pub const B4: f32 = 1.18534705686654e-04;
+    pub const B6: f32 = 1.19825839466702e-06;
+}
+pub(super) use tanh_coeffs::*;
+
+/// One lane of the shared tanh algorithm: clamp to `±CLAMP`, evaluate the
+/// rational approximation with a fixed fused-multiply-add chain, pass NaN
+/// through unchanged. Every operation is correctly rounded, so the AVX2
+/// path (same operations on eight lanes) is bit-identical.
+#[inline]
+pub fn tanh_lane(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    // Written as max-then-min (not `clamp`) to mirror the AVX2 path's
+    // `_mm256_min_ps(_mm256_max_ps(..))` sequence operation for operation.
+    #[allow(clippy::manual_clamp)]
+    let xc = x.max(-CLAMP).min(CLAMP);
+    let x2 = xc * xc;
+    let mut p = A13;
+    p = p.mul_add(x2, A11);
+    p = p.mul_add(x2, A9);
+    p = p.mul_add(x2, A7);
+    p = p.mul_add(x2, A5);
+    p = p.mul_add(x2, A3);
+    p = p.mul_add(x2, A1);
+    let num = p * xc;
+    let mut q = B6;
+    q = q.mul_add(x2, B4);
+    q = q.mul_add(x2, B2);
+    q = q.mul_add(x2, B0);
+    num / q
+}
+
+/// `out[i] = tanh(a[i])` via [`tanh_lane`].
+pub fn tanh(a: &[f32], out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = tanh_lane(x);
+    }
+}

@@ -22,11 +22,15 @@
 //! assert_eq!(c, a);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place: the
+// AVX2 intrinsics inside `kernels::avx2`, which are gated behind runtime
+// feature detection and mirror the safe scalar reference bit for bit.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod init;
+pub mod kernels;
 mod matrix;
 mod ops;
 mod par;

@@ -5,9 +5,23 @@
 //! the worker pool. Each output element is produced by exactly one task
 //! using the same operation order as the sequential loop, so parallel
 //! results are bit-identical to sequential ones (see `par.rs`).
+//!
+//! All hot inner loops route through [`crate::kernels`], whose scalar and
+//! AVX2 paths are bit-identical — so neither thread count nor SIMD
+//! dispatch ever changes a result.
 
+use crate::kernels;
 use crate::par::{chunk_len, runtime_for, MIN_PAR_ELEMS, MIN_PAR_MACS};
-use crate::{Matrix, ShapeError, TensorError};
+use crate::{BufferPool, Matrix, ShapeError, TensorError};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread scratch for matmul packing panels. Thread-local so the
+    /// hot loop stays allocation-free after warmup without threading a
+    /// pool handle through every matmul call site; per-worker warmup is a
+    /// bounded one-time cost because the runtime's workers are persistent.
+    static PACK_POOL: RefCell<BufferPool> = RefCell::new(BufferPool::new());
+}
 
 /// Runs `row_job(i, out_row)` for every row of `out`, splitting the rows
 /// across the ambient runtime when `macs` (multiply-accumulate count) makes
@@ -42,7 +56,7 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when the shapes differ.
     pub fn add(&self, other: &Matrix) -> Result<Matrix, TensorError> {
-        self.zip_with("add", other, |a, b| a + b)
+        self.zip_with("add", other, kernels::add)
     }
 
     /// Elementwise difference with another matrix of the same shape.
@@ -51,7 +65,7 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when the shapes differ.
     pub fn sub(&self, other: &Matrix) -> Result<Matrix, TensorError> {
-        self.zip_with("sub", other, |a, b| a - b)
+        self.zip_with("sub", other, kernels::sub)
     }
 
     /// Elementwise (Hadamard) product with another matrix of the same shape.
@@ -60,7 +74,7 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when the shapes differ.
     pub fn mul(&self, other: &Matrix) -> Result<Matrix, TensorError> {
-        self.zip_with("mul", other, |a, b| a * b)
+        self.zip_with("mul", other, kernels::mul)
     }
 
     /// Elementwise quotient with another matrix of the same shape.
@@ -69,7 +83,7 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when the shapes differ.
     pub fn div(&self, other: &Matrix) -> Result<Matrix, TensorError> {
-        self.zip_with("div", other, |a, b| a / b)
+        self.zip_with("div", other, kernels::div)
     }
 
     /// [`Matrix::add`] writing into a caller-provided matrix.
@@ -78,7 +92,7 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when the operand shapes differ.
     pub fn add_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
-        self.zip_with_into("add", other, out, |a, b| a + b)
+        self.zip_with_into("add", other, out, kernels::add)
     }
 
     /// [`Matrix::sub`] writing into a caller-provided matrix.
@@ -87,7 +101,7 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when the operand shapes differ.
     pub fn sub_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
-        self.zip_with_into("sub", other, out, |a, b| a - b)
+        self.zip_with_into("sub", other, out, kernels::sub)
     }
 
     /// [`Matrix::mul`] writing into a caller-provided matrix.
@@ -96,7 +110,7 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when the operand shapes differ.
     pub fn mul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
-        self.zip_with_into("mul", other, out, |a, b| a * b)
+        self.zip_with_into("mul", other, out, kernels::mul)
     }
 
     /// [`Matrix::div`] writing into a caller-provided matrix.
@@ -105,29 +119,31 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when the operand shapes differ.
     pub fn div_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
-        self.zip_with_into("div", other, out, |a, b| a / b)
+        self.zip_with_into("div", other, out, kernels::div)
     }
 
     fn zip_with(
         &self,
         op: &'static str,
         other: &Matrix,
-        f: impl Fn(f32, f32) -> f32 + Sync,
+        k: fn(&[f32], &[f32], &mut [f32]),
     ) -> Result<Matrix, TensorError> {
         let mut out = Matrix::zeros(self.rows(), self.cols());
-        self.zip_with_into(op, other, &mut out, f)?;
+        self.zip_with_into(op, other, &mut out, k)?;
         Ok(out)
     }
 
-    /// Shared kernel for the elementwise binary ops. Writing into a
-    /// recycled buffer uses the same parallel split and scalar expressions
-    /// as the allocating path, so results are bit-identical.
+    /// Shared driver for the elementwise binary ops: shape checks plus the
+    /// parallel chunk split, delegating the arithmetic to a dispatched
+    /// [`kernels`] kernel. The kernels are elementwise, so the chunk
+    /// boundaries cannot affect results; writing into a recycled buffer
+    /// is bit-identical to the allocating path.
     fn zip_with_into(
         &self,
         op: &'static str,
         other: &Matrix,
         out: &mut Matrix,
-        f: impl Fn(f32, f32) -> f32 + Sync,
+        k: fn(&[f32], &[f32], &mut [f32]),
     ) -> Result<(), TensorError> {
         if self.shape() != other.shape() {
             return Err(ShapeError::new(op, self.shape(), other.shape()).into());
@@ -138,15 +154,11 @@ impl Matrix {
             let chunk = chunk_len(a.len(), &rt);
             rt.par_chunks_mut(out.as_mut_slice(), chunk, |c, sub| {
                 let base = c * chunk;
-                for (off, o) in sub.iter_mut().enumerate() {
-                    *o = f(a[base + off], b[base + off]);
-                }
+                k(&a[base..base + sub.len()], &b[base..base + sub.len()], sub);
             });
             return Ok(());
         }
-        for (o, (&av, &bv)) in out.as_mut_slice().iter_mut().zip(a.iter().zip(b)) {
-            *o = f(av, bv);
-        }
+        k(a, b, out.as_mut_slice());
         Ok(())
     }
 
@@ -163,20 +175,65 @@ impl Matrix {
             let chunk = chunk_len(b.len(), &rt);
             rt.par_chunks_mut(self.as_mut_slice(), chunk, |c, sub| {
                 let base = c * chunk;
-                for (off, a) in sub.iter_mut().enumerate() {
-                    *a += b[base + off];
-                }
+                kernels::add_assign(sub, &b[base..base + sub.len()]);
             });
             return;
         }
-        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
-            *a += b;
-        }
+        kernels::add_assign(self.as_mut_slice(), other.as_slice());
     }
 
     /// Returns a new matrix with every element multiplied by `s`.
     pub fn scale(&self, s: f32) -> Matrix {
-        self.map(|v| v * s)
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        self.scale_into(s, &mut out);
+        out
+    }
+
+    /// [`Matrix::scale`] writing into a caller-provided matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` has a different shape.
+    pub fn scale_into(&self, s: f32, out: &mut Matrix) {
+        assert_eq!(out.shape(), self.shape(), "scale_into: output shape mismatch");
+        let a = self.as_slice();
+        if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
+            let chunk = chunk_len(a.len(), &rt);
+            rt.par_chunks_mut(out.as_mut_slice(), chunk, |c, sub| {
+                let base = c * chunk;
+                kernels::scale(&a[base..base + sub.len()], s, sub);
+            });
+            return;
+        }
+        kernels::scale(a, s, out.as_mut_slice());
+    }
+
+    /// Elementwise hyperbolic tangent via the dispatched [`kernels::tanh`]
+    /// (a clamp + rational approximation whose scalar and SIMD paths are
+    /// bit-identical; accurate to a few ULP against `f32::tanh`).
+    pub fn tanh(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        self.tanh_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::tanh`] writing into a caller-provided matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` has a different shape.
+    pub fn tanh_into(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), self.shape(), "tanh_into: output shape mismatch");
+        let a = self.as_slice();
+        if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
+            let chunk = chunk_len(a.len(), &rt);
+            rt.par_chunks_mut(out.as_mut_slice(), chunk, |c, sub| {
+                let base = c * chunk;
+                kernels::tanh(&a[base..base + sub.len()], sub);
+            });
+            return;
+        }
+        kernels::tanh(a, out.as_mut_slice());
     }
 
     /// Returns a new matrix with `s` added to every element.
@@ -258,17 +315,9 @@ impl Matrix {
         let n = other.cols();
         assert_eq!(out.shape(), (m, n), "matmul_into: output shape mismatch");
         out.as_mut_slice().fill(0.0);
+        let b = other.as_slice();
         for_each_out_row(out, m * k * n, |i, out_row| {
-            let a_row = self.row(i);
-            for (kk, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(kk);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+            kernels::matmul_row(self.row(i), b, n, out_row);
         });
         Ok(())
     }
@@ -309,18 +358,21 @@ impl Matrix {
         let n = other.cols();
         assert_eq!(out.shape(), (m, n), "matmul_tn_into: output shape mismatch");
         out.as_mut_slice().fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return Ok(());
+        }
+        // Pack self^T into a pooled panel so the inner kernel reads
+        // contiguous rows instead of stride-m columns. Packing happens on
+        // the calling thread before the row split, so the panel contents —
+        // and therefore the results — are independent of thread count.
+        let mut packed = PACK_POOL.with(|p| p.borrow_mut().scratch(m, k));
+        self.transpose_into(&mut packed);
+        let b = other.as_slice();
+        let packed_ref = &packed;
         for_each_out_row(out, m * k * n, |i, out_row| {
-            for kk in 0..k {
-                let a = self.at(kk, i);
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(kk);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+            kernels::matmul_row(packed_ref.row(i), b, n, out_row);
         });
+        PACK_POOL.with(|p| p.borrow_mut().recycle(packed));
         Ok(())
     }
 
@@ -358,12 +410,7 @@ impl Matrix {
         for_each_out_row(out, m * k * n, |i, out_row| {
             let a_row = self.row(i);
             for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
+                *o = kernels::dot(a_row, other.row(j));
             }
         });
         Ok(())
@@ -371,12 +418,44 @@ impl Matrix {
 
     /// Returns the transpose of the matrix.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols(), self.rows(), |r, c| self[(c, r)])
+        let mut out = Matrix::zeros(self.cols(), self.rows());
+        self.transpose_into(&mut out);
+        out
     }
 
-    /// Sum of all elements.
+    /// [`Matrix::transpose`] writing into a caller-provided `[c, r]`
+    /// matrix. Every element is fully overwritten, so recycled (dirty)
+    /// buffers are safe. Walks 32x32 blocks so both source reads and
+    /// destination writes stay cache-resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not `[cols, rows]`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols(), self.rows()),
+            "transpose_into: output shape mismatch"
+        );
+        const BLOCK: usize = 32;
+        let (r, c) = self.shape();
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for rb in (0..r).step_by(BLOCK) {
+            for cb in (0..c).step_by(BLOCK) {
+                for i in rb..(rb + BLOCK).min(r) {
+                    for j in cb..(cb + BLOCK).min(c) {
+                        dst[j * r + i] = src[i * c + j];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sum of all elements (dispatched lane-strided reduction; see
+    /// [`kernels::sum`]).
     pub fn sum(&self) -> f32 {
-        self.as_slice().iter().sum()
+        kernels::sum(self.as_slice())
     }
 
     /// Arithmetic mean of all elements; `0.0` for an empty matrix.
@@ -405,9 +484,7 @@ impl Matrix {
         assert_eq!(out.shape(), (1, self.cols()), "sum_rows_into: output shape mismatch");
         out.as_mut_slice().fill(0.0);
         for row in self.iter_rows() {
-            for (o, &v) in out.row_mut(0).iter_mut().zip(row) {
-                *o += v;
-            }
+            kernels::add_assign(out.as_mut_slice(), row);
         }
     }
 
@@ -430,8 +507,7 @@ impl Matrix {
             return;
         }
         self.sum_rows_into(out);
-        let s = 1.0 / self.rows() as f32;
-        out.map_inplace(|v| v * s);
+        kernels::scale_assign(out.as_mut_slice(), 1.0 / self.rows() as f32);
     }
 
     /// Row-wise sums (`[n, c] -> [n, 1]`).
@@ -450,7 +526,7 @@ impl Matrix {
     pub fn sum_cols_into(&self, out: &mut Matrix) {
         assert_eq!(out.shape(), (self.rows(), 1), "sum_cols_into: output shape mismatch");
         for (o, r) in out.as_mut_slice().iter_mut().zip(self.iter_rows()) {
-            *o = r.iter().sum();
+            *o = kernels::sum(r);
         }
     }
 
@@ -501,9 +577,10 @@ impl Matrix {
         })
     }
 
-    /// The squared Frobenius norm (sum of squared elements).
+    /// The squared Frobenius norm (dispatched lane-strided fused sum of
+    /// squares; see [`kernels::sum_sq`]).
     pub fn frobenius_sq(&self) -> f32 {
-        self.as_slice().iter().map(|v| v * v).sum()
+        kernels::sum_sq(self.as_slice())
     }
 
     /// The Frobenius norm.
@@ -763,6 +840,14 @@ mod tests {
         assert_eq!(out, a.div(&b).unwrap());
         a.map_into(&mut out, |v| v * 1.7 + 0.3);
         assert_eq!(out, a.map(|v| v * 1.7 + 0.3));
+        a.scale_into(-0.35, &mut out);
+        assert_eq!(out, a.scale(-0.35));
+        a.tanh_into(&mut out);
+        assert_eq!(out, a.tanh());
+
+        let mut tr = Matrix::filled(9, 17, f32::NAN);
+        a.transpose_into(&mut tr);
+        assert_eq!(tr, a.transpose());
 
         let mut mm = Matrix::filled(17, 6, f32::NAN);
         a.matmul_into(&c, &mut mm).unwrap();

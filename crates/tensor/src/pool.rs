@@ -62,6 +62,26 @@ impl BufferPool {
         self.zeros(like.rows(), like.cols())
     }
 
+    /// Returns a `rows x cols` matrix with **unspecified contents**,
+    /// skipping the zero-fill of [`BufferPool::zeros`]. For scratch space
+    /// that a kernel fully overwrites (e.g. matmul packing panels).
+    pub fn scratch(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        if len == 0 {
+            return Matrix::zeros(rows, cols);
+        }
+        match self.take_buf(len) {
+            Some(buf) => {
+                self.hits += 1;
+                Matrix::from_vec(rows, cols, buf).expect("pooled buffer length matches shape")
+            }
+            None => {
+                self.misses += 1;
+                Matrix::zeros(rows, cols)
+            }
+        }
+    }
+
     /// Returns a copy of `src`, reusing a shelved buffer when available.
     pub fn copy_of(&mut self, src: &Matrix) -> Matrix {
         if src.is_empty() {

@@ -94,6 +94,32 @@ fn batch_outcome_is_thread_count_invariant() {
     }
 }
 
+/// A full attack — EoT fan-out, parallel runtime and all — must return
+/// the same colors, gains and predictions bit for bit whether the hot
+/// kernels dispatched to the AVX2 path or the pinned-order scalar
+/// reference. (Vacuous on hosts without AVX2+FMA.)
+#[test]
+fn attack_result_bit_identical_across_dispatch_paths() {
+    use colper_repro::tensor::kernels::{set_simd_enabled, simd_active, simd_supported};
+    let mut rng = StdRng::seed_from_u64(6);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let t = CloudTensors::from_cloud(&normalize::pointnet_view(&indoor(96, 40)));
+
+    let was = simd_active();
+    set_simd_enabled(false);
+    let scalar_run = attack_on(&model, &t, Runtime::new(3));
+    set_simd_enabled(true);
+    let simd_run = attack_on(&model, &t, Runtime::new(3));
+    set_simd_enabled(was);
+
+    if simd_supported() {
+        assert_eq!(scalar_run.adversarial_colors, simd_run.adversarial_colors);
+        assert_eq!(scalar_run.gain_history, simd_run.gain_history);
+        assert_eq!(scalar_run.predictions, simd_run.predictions);
+        assert_eq!(scalar_run.l2_sq.to_bits(), simd_run.l2_sq.to_bits());
+    }
+}
+
 #[test]
 fn ambient_runtime_is_inherited_by_default_colper() {
     // A default `Colper` must pick up the runtime the caller installed —

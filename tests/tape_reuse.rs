@@ -100,6 +100,35 @@ fn assert_reuse_is_bit_identical<M: SegmentationModel>(model: &M, base: &CloudTe
     }
 }
 
+/// The kernel dispatch path (pinned-order scalar vs AVX2) must be
+/// invisible: a full forward+backward trajectory run entirely on the
+/// scalar reference must match the SIMD path bit for bit — values,
+/// gradients and losses. (On hosts without AVX2+FMA both runs take the
+/// scalar path and the assertion is vacuous.)
+#[test]
+fn gradients_bit_identical_across_dispatch_paths() {
+    use colper_repro::tensor::kernels::{set_simd_enabled, simd_active, simd_supported};
+    let mut rng = StdRng::seed_from_u64(24);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let t = tensors(96, 34);
+    let plan = model.plan(&t.coords);
+
+    let was = simd_active();
+    set_simd_enabled(false);
+    let scalar_run = trajectory(&model, &t, &plan, true);
+    set_simd_enabled(true);
+    let simd_run = trajectory(&model, &t, &plan, true);
+    set_simd_enabled(was);
+
+    if simd_supported() {
+        for (step, (s, v)) in scalar_run.iter().zip(&simd_run).enumerate() {
+            assert_eq!(s.0, v.0, "logits diverge across dispatch paths at step {step}");
+            assert_eq!(s.1, v.1, "color grad diverges across dispatch paths at step {step}");
+            assert_eq!(s.2.to_bits(), v.2.to_bits(), "loss diverges across dispatch paths");
+        }
+    }
+}
+
 #[test]
 fn pointnet2_reused_tape_matches_fresh_tapes() {
     let mut rng = StdRng::seed_from_u64(21);
