@@ -101,6 +101,7 @@ impl Tape {
         let mut out = self.alloc(xr, xc);
         let xv = self.value(x);
         let rrow = self.value(row).row(0);
+        kernels::count_dispatch(xr);
         for r in 0..xr {
             k(xv.row(r), rrow, out.row_mut(r));
         }

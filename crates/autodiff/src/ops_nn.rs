@@ -36,6 +36,7 @@ impl Tape {
         let mean = {
             let xv = self.value(x);
             let mean = xv.mean_rows();
+            kernels::count_dispatch(2 * n);
             for r in 0..n {
                 kernels::sub(xv.row(r), mean.row(0), diff.row_mut(0));
                 kernels::add_prod_assign(var.row_mut(0), diff.row(0), diff.row(0));
@@ -49,6 +50,7 @@ impl Tape {
         let mut xhat = self.alloc(n, c);
         {
             let xv = self.value(x);
+            kernels::count_dispatch(2 * n);
             for r in 0..n {
                 let row = xhat.row_mut(r);
                 kernels::sub(xv.row(r), mean.row(0), row);
@@ -59,6 +61,7 @@ impl Tape {
         {
             let gammav = self.value(gamma);
             let betav = self.value(beta);
+            kernels::count_dispatch(n);
             for r in 0..n {
                 kernels::mul_add(xhat.row(r), gammav.row(0), betav.row(0), out.row_mut(r));
             }

@@ -97,6 +97,7 @@ impl Tape {
         let groups = rows / k;
         let mut out = self.alloc(groups, cols);
         let xv = self.value(x);
+        kernels::count_dispatch(rows);
         for g in 0..groups {
             for j in 0..k {
                 kernels::add_assign(out.row_mut(g), xv.row(g * k + j));
@@ -189,6 +190,7 @@ impl Tape {
         let out_rows = idx.len() / k;
         let mut out = self.alloc(out_rows, cols);
         let xv = self.value(x);
+        kernels::count_dispatch(idx.len());
         for i in 0..out_rows {
             for j in 0..k {
                 let flat = i * k + j;

@@ -279,6 +279,7 @@ impl Tape {
     /// forward pass refills the recycled buffers in place. Shared (`Arc`)
     /// payloads are dropped without touching the pools.
     pub fn reset(&mut self) {
+        colper_obs::counters::TAPE_RESETS.incr();
         for node in self.nodes.drain(..) {
             if let Value::Owned(m) = node.value {
                 self.pool.recycle(m);
@@ -480,7 +481,10 @@ impl Tape {
     ///
     /// Panics when `out` is not a `1x1` scalar or does not require grad.
     pub fn backward(&mut self, out: Var) {
+        let _span = colper_obs::span!(TAPE_BACKWARD);
         let n = self.nodes.len();
+        colper_obs::counters::TAPE_BACKWARDS.incr();
+        colper_obs::gauges::TAPE_NODES.record(n as u64);
         assert_eq!(self.node(out).value.shape(), (1, 1), "backward requires a scalar output");
         assert!(self.node(out).requires_grad, "backward output does not depend on any leaf");
 
@@ -738,6 +742,7 @@ fn step_backward(
             let (r, c) = nodes[x.0].value.shape();
             let inv = 1.0 / r.max(1) as f32;
             let mut g = pool.zeros(r, c);
+            kernels::count_dispatch(r);
             for rr in 0..r {
                 kernels::scale(gy.row(0), inv, g.row_mut(rr));
             }
@@ -756,6 +761,7 @@ fn step_backward(
         Op::GatherRows(x, idx) => {
             let (r, c) = nodes[x.0].value.shape();
             let mut g = pool.zeros(r, c);
+            kernels::count_dispatch(idx.len());
             for (dst, &src) in idx.iter().enumerate() {
                 kernels::add_assign(g.row_mut(src), gy.row(dst));
             }
@@ -777,6 +783,7 @@ fn step_backward(
             let (r, c) = nodes[x.0].value.shape();
             let inv = 1.0 / k as f32;
             let mut g = pool.zeros(r, c);
+            kernels::count_dispatch(r);
             for rr in 0..r {
                 kernels::scale(gy.row(rr / k), inv, g.row_mut(rr));
             }
@@ -808,6 +815,7 @@ fn step_backward(
             let k = *k;
             let (r, c) = nodes[x.0].value.shape();
             let mut g = pool.zeros(r, c);
+            kernels::count_dispatch(gy.rows() * k);
             for out_row in 0..gy.rows() {
                 for j in 0..k {
                     let flat = out_row * k + j;
@@ -863,6 +871,7 @@ fn step_backward(
                 inv_n[(0, cc)] = inv_std[(0, cc)] / n;
             }
             let mut gx = pool.zeros(xhat.rows(), xhat.cols());
+            kernels::count_dispatch(4 * xhat.rows());
             for rr in 0..xhat.rows() {
                 let row = gx.row_mut(rr);
                 kernels::scale(gxhat.row(rr), n, row);
@@ -955,6 +964,7 @@ pub(crate) fn broadcast_mul_into(x: &Matrix, row: &Matrix, out: &mut Matrix) {
     debug_assert_eq!(x.cols(), row.cols());
     debug_assert_eq!(out.shape(), x.shape());
     let rrow = row.row(0);
+    kernels::count_dispatch(x.rows());
     for r in 0..x.rows() {
         kernels::mul(x.row(r), rrow, out.row_mut(r));
     }

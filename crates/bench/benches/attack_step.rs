@@ -16,7 +16,9 @@
 //! comparison at smoke-test scale — one quick invocation refreshes all
 //! four BENCH files; `--alloc-only` runs just the allocation gauge.
 
-use colper_attack::{AttackConfig, AttackPlan, Colper, TanhReparam};
+#![allow(deprecated)]
+
+use colper_attack::{AttackConfig, AttackPlan, AttackSession, Colper, TanhReparam};
 use colper_autodiff::Tape;
 use colper_bench::write_json;
 use colper_geom::knn_graph;
@@ -208,16 +210,52 @@ fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) 
         );
     });
 
+    // Trace overhead: the same planned attack through the session API,
+    // tracing off vs on (the enabled path records one StepRecord per
+    // step and keeps every span/counter live). A longer attack than the
+    // 1-step headline comparison, so the per-step hooks — not setup —
+    // dominate what the ratio measures. Committed ceiling: 5%.
+    const TRACE_STEPS: usize = 6;
+    let mut trace_cfg = AttackConfig::non_targeted(TRACE_STEPS);
+    trace_cfg.convergence_threshold = Some(0.0); // never stop early
+    let trace_plan = AttackPlan::build(&model, &t, &trace_cfg);
+    let session_run = |observer: &colper_obs::Observer| {
+        AttackSession::new(trace_cfg.clone())
+            .plan(&trace_plan)
+            .observer(observer)
+            .seed(3)
+            .run(&model, std::slice::from_ref(&t))
+    };
+    colper_obs::set_enabled(false);
+    let trace_off_ns = time_median_ns(samples, || {
+        black_box(session_run(&colper_obs::Observer::disabled()).items[0].result.l2_sq);
+    });
+    colper_obs::set_enabled(true);
+    let trace_on_ns = time_median_ns(samples, || {
+        black_box(session_run(&colper_obs::Observer::enabled()).items[0].result.l2_sq);
+    });
+    colper_obs::set_enabled(false);
+    colper_obs::reset();
+    let trace_overhead = trace_on_ns as f64 / trace_off_ns.max(1) as f64 - 1.0;
+
     let speedup = unplanned_ns as f64 / planned_ns.max(1) as f64;
     println!(
         "bench attack_step/planned_vs_unplanned: unplanned {unplanned_ns} ns, \
          planned {planned_ns} ns ({speedup:.2}x), {points} points, {samples} samples"
     );
+    println!(
+        "bench attack_step/trace_overhead: off {trace_off_ns} ns, on {trace_on_ns} ns \
+         ({:+.2}%, {TRACE_STEPS} steps)",
+        trace_overhead * 100.0
+    );
     let json = format!(
         "{{\n  \"benchmark\": \"attack_step\",\n  \"model\": \"pointnet2_{model_scale}\",\n  \
          \"points\": {points},\n  \"samples\": {samples},\n  \
          \"unplanned_median_ns\": {unplanned_ns},\n  \"planned_median_ns\": {planned_ns},\n  \
-         \"speedup\": {speedup:.4}\n}}\n"
+         \"speedup\": {speedup:.4},\n  \
+         \"trace\": {{\n    \"steps\": {TRACE_STEPS},\n    \
+         \"off_median_ns\": {trace_off_ns},\n    \"on_median_ns\": {trace_on_ns},\n    \
+         \"overhead_fraction\": {trace_overhead:.4}\n  }}\n}}\n"
     );
     write_json("BENCH_attack_step", &json);
 }

@@ -3,6 +3,8 @@
 //! These track the cost of regenerating each paper artefact rather than
 //! its numbers (use the `table*` binaries for the numbers).
 
+#![allow(deprecated)]
+
 use colper_attack::{AttackConfig, Colper, L0Attack, L0AttackConfig, NoiseBaseline, PerturbTarget};
 use colper_models::{CloudTensors, PointNet2, PointNet2Config, ResGcn, ResGcnConfig};
 use colper_scene::{normalize, IndoorClass, IndoorSceneConfig, RoomKind, SceneGenerator};

@@ -1,10 +1,12 @@
 //! Algorithm 1 of the paper: the COLPER optimization loop.
 
 use crate::{AttackConfig, AttackGoal, AttackResult, TanhReparam};
+use colper_autodiff::Var;
 use colper_geom::knn_graph;
 use colper_metrics::success_rate;
 use colper_models::{CloudTensors, GeometryPlan, ModelInput, SegmentationModel};
 use colper_nn::{AdamState, Forward};
+use colper_obs::{Observer, StepRecord};
 use colper_runtime::Runtime;
 use colper_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -12,9 +14,14 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// One EoT sample's contribution to a step: `(gain, d gain / d w,
-/// evaluation)`. The evaluation — unlit predictions and colors for metric
-/// tracking — is `Some` only for sample 0.
-type SampleEval = (f32, Matrix, Option<(Vec<usize>, Matrix)>);
+/// evaluation)`. The evaluation — unlit predictions, colors and raw loss
+/// terms `[D, L, S]` for metric tracking and telemetry — is `Some` only
+/// for sample 0.
+type SampleEval = (f32, Matrix, Option<(Vec<usize>, Matrix, [f32; 3])>);
+
+/// Vars handed back by the per-step graph builder: `(gain, w, color,
+/// logits, dist, adv_loss, smooth)`.
+type BuiltVars = (Var, Var, Var, Var, Var, Var, Var);
 
 /// Pre-computed per-(model, cloud) geometry shared by every iteration of
 /// an attack — and by repeated attacks on the same cloud.
@@ -160,6 +167,7 @@ impl Colper {
     ///
     /// Panics when `mask.len() != tensors.len()`, no point is attacked,
     /// or the configuration is invalid for the model's class count.
+    #[deprecated(note = "use `AttackSession::new(config).run(model, &[cloud])` instead")]
     pub fn run<M: SegmentationModel + ?Sized>(
         &self,
         model: &M,
@@ -168,7 +176,7 @@ impl Colper {
         rng: &mut StdRng,
     ) -> AttackResult {
         let plan = AttackPlan::build(model, tensors, &self.config);
-        self.run_planned(model, tensors, mask, &plan, rng)
+        self.run_planned_obs(model, tensors, mask, &plan, rng, &Observer::disabled(), 0)
     }
 
     /// [`Colper::run`] with a pre-built [`AttackPlan`] — use this when
@@ -180,6 +188,9 @@ impl Colper {
     ///
     /// In addition to [`Colper::run`]'s panics, panics when `plan` was
     /// built for a different cloud or configuration.
+    #[deprecated(
+        note = "use `AttackSession::new(config).plan(&plan).run(model, &[cloud])` instead"
+    )]
     pub fn run_planned<M: SegmentationModel + ?Sized>(
         &self,
         model: &M,
@@ -187,6 +198,24 @@ impl Colper {
         mask: &[bool],
         plan: &AttackPlan,
         rng: &mut StdRng,
+    ) -> AttackResult {
+        self.run_planned_obs(model, tensors, mask, plan, rng, &Observer::disabled(), 0)
+    }
+
+    /// The attack engine shared by [`crate::AttackSession`] and the
+    /// deprecated entry points: one planned attack drawing from the
+    /// caller's RNG, reporting step telemetry for cloud index `cloud`
+    /// through `obs` (a no-op with a disabled observer).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_planned_obs<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        tensors: &colper_models::CloudTensors,
+        mask: &[bool],
+        plan: &AttackPlan,
+        rng: &mut StdRng,
+        obs: &Observer,
+        cloud: usize,
     ) -> AttackResult {
         // An explicitly attached runtime wins; the default sequential
         // handle defers to the ambient one so `Colper::new` picks up pool
@@ -198,10 +227,11 @@ impl Colper {
         } else {
             self.runtime.clone()
         };
-        rt.clone().install(move || self.optimize(model, tensors, mask, plan, rng, &rt))
+        rt.clone().install(move || self.optimize(model, tensors, mask, plan, rng, &rt, obs, cloud))
     }
 
     /// The optimization loop of Algorithm 1, running on `rt`.
+    #[allow(clippy::too_many_arguments)]
     fn optimize<M: SegmentationModel + ?Sized>(
         &self,
         model: &M,
@@ -210,6 +240,8 @@ impl Colper {
         plan: &AttackPlan,
         rng: &mut StdRng,
         rt: &Runtime,
+        obs: &Observer,
+        cloud: usize,
     ) -> AttackResult {
         let n = tensors.len();
         let classes = model.num_classes();
@@ -271,76 +303,80 @@ impl Colper {
         let mut preds_buf: Vec<usize> = Vec::new();
         let mut colors_buf = Matrix::zeros(n, 3);
 
+        // Telemetry is collected into a buffer pre-sized to the step
+        // budget (`None` — and no allocation at all — when tracing is
+        // off). Every recorded quantity is *read* from state the loop
+        // already computes; tracing cannot perturb the trajectory.
+        let mut trace_buf = obs.begin_attack(cloud, cfg.steps);
+
         let mut metric_history = Vec::new();
         for step in 0..cfg.steps {
+            let _step_span = colper_obs::span!(ATTACK_STEP);
             steps_run = step + 1;
             // Records one forward/backward pass onto `session` and returns
-            // `(gain, w_var, color, logits)`. Shared by the session-reuse
-            // and EoT paths so both record the exact same graph.
-            let build = |session: &mut Forward<'_>,
-                         sample_idx: usize,
-                         rng: &mut StdRng|
-             -> (
-                colper_autodiff::Var,
-                colper_autodiff::Var,
-                colper_autodiff::Var,
-                colper_autodiff::Var,
-            ) {
-                let w_var = session.tape.leaf_from(&w);
-                let color_free = reparam.features_on_tape(&mut session.tape, w_var);
-                let color_masked = session.tape.mul_const_shared(color_free, mask_m.clone());
-                let frozen_var = session.tape.constant_shared(frozen.clone());
-                let color = session.tape.add(color_masked, frozen_var);
+            // `(gain, w_var, color, logits, dist, adv_loss, smooth)`.
+            // Shared by the session-reuse and EoT paths so both record the
+            // exact same graph.
+            let build =
+                |session: &mut Forward<'_>, sample_idx: usize, rng: &mut StdRng| -> BuiltVars {
+                    let w_var = session.tape.leaf_from(&w);
+                    let color_free = reparam.features_on_tape(&mut session.tape, w_var);
+                    let color_masked = session.tape.mul_const_shared(color_free, mask_m.clone());
+                    let frozen_var = session.tape.constant_shared(frozen.clone());
+                    let color = session.tape.add(color_masked, frozen_var);
 
-                // EoT over illumination: the victim sees the colors under
-                // a random scene-lighting multiplier, while the distance
-                // and smoothness terms stay on the printed (unlit) colors.
-                // The first sample stays unlit so the convergence metric
-                // and best-iterate selection are deterministic.
-                let seen_color = if cfg.lighting_eot > 0.0 && sample_idx > 0 {
-                    let lf = 1.0 + rng.gen_range(-cfg.lighting_eot..=cfg.lighting_eot);
-                    session.tape.scale(color, lf)
-                } else {
-                    color
-                };
-                let xyz = session.tape.constant_shared(plan.xyz.clone());
-                let loc = session.tape.constant_shared(plan.loc01.clone());
-                let input = ModelInput {
-                    coords: &tensors.coords,
-                    xyz,
-                    color: seen_color,
-                    loc,
-                    plan: Some(&plan.geometry),
-                };
-                let logits = model.forward(session, &input, rng);
+                    // EoT over illumination: the victim sees the colors under
+                    // a random scene-lighting multiplier, while the distance
+                    // and smoothness terms stay on the printed (unlit) colors.
+                    // The first sample stays unlit so the convergence metric
+                    // and best-iterate selection are deterministic.
+                    let seen_color = if cfg.lighting_eot > 0.0 && sample_idx > 0 {
+                        let lf = 1.0 + rng.gen_range(-cfg.lighting_eot..=cfg.lighting_eot);
+                        session.tape.scale(color, lf)
+                    } else {
+                        color
+                    };
+                    let xyz = session.tape.constant_shared(plan.xyz.clone());
+                    let loc = session.tape.constant_shared(plan.loc01.clone());
+                    let input = ModelInput {
+                        coords: &tensors.coords,
+                        xyz,
+                        color: seen_color,
+                        loc,
+                        plan: Some(&plan.geometry),
+                    };
+                    let logits = model.forward(session, &input, rng);
 
-                // gain = D + λ1 L + λ2 S   (Eq. 2 / Eq. 3)
-                let orig_var = session.tape.constant_shared(orig.clone());
-                let diff = session.tape.sub(color, orig_var);
-                let sq = session.tape.square(diff);
-                let dist = session.tape.sum(sq);
-                let smooth = session.tape.smoothness_shared(
-                    color,
-                    plan.xyz.clone(),
-                    plan.smooth_nbrs.clone(),
-                    alpha,
-                );
-                let adv_loss = match cfg.goal {
-                    AttackGoal::NonTargeted => {
-                        session.tape.cw_nontargeted(logits, &labels_for_loss, mask)
-                    }
-                    AttackGoal::Targeted { .. } => {
-                        session.tape.cw_targeted(logits, &labels_for_loss, mask)
-                    }
+                    // gain = D + λ1 L + λ2 S   (Eq. 2 / Eq. 3)
+                    let orig_var = session.tape.constant_shared(orig.clone());
+                    let diff = session.tape.sub(color, orig_var);
+                    let sq = session.tape.square(diff);
+                    let dist = session.tape.sum(sq);
+                    let smooth = session.tape.smoothness_shared(
+                        color,
+                        plan.xyz.clone(),
+                        plan.smooth_nbrs.clone(),
+                        alpha,
+                    );
+                    let adv_loss = match cfg.goal {
+                        AttackGoal::NonTargeted => {
+                            session.tape.cw_nontargeted(logits, &labels_for_loss, mask)
+                        }
+                        AttackGoal::Targeted { .. } => {
+                            session.tape.cw_targeted(logits, &labels_for_loss, mask)
+                        }
+                    };
+                    let weighted_loss = session.tape.scale(adv_loss, cfg.lambda1);
+                    let weighted_smooth = session.tape.scale(smooth, cfg.lambda2);
+                    let partial = session.tape.add(dist, weighted_loss);
+                    let gain = session.tape.add(partial, weighted_smooth);
+                    session.tape.backward(gain);
+                    (gain, w_var, color, logits, dist, adv_loss, smooth)
                 };
-                let weighted_loss = session.tape.scale(adv_loss, cfg.lambda1);
-                let weighted_smooth = session.tape.scale(smooth, cfg.lambda2);
-                let partial = session.tape.add(dist, weighted_loss);
-                let gain = session.tape.add(partial, weighted_smooth);
-                session.tape.backward(gain);
-                (gain, w_var, color, logits)
-            };
 
+            // Raw loss terms `[D, L, S]` of the (unlit) sample 0,
+            // reported in the step telemetry.
+            let terms: [f32; 3];
             let gain_v = if cfg.gradient_samples == 1 {
                 // Single-sample (paper-exact) path: the forward pass draws
                 // from the caller's RNG in place, preserving its stream.
@@ -350,8 +386,16 @@ impl Colper {
                 // nothing.
                 let session = steady.as_mut().expect("single-sample path owns a session");
                 session.reset();
-                let (gain, w_var, color, logits) = build(session, 0, rng);
+                let (gain, w_var, color, logits, dist, adv_loss, smooth) = {
+                    let _build_span = colper_obs::span!(ATTACK_BUILD);
+                    build(session, 0, rng)
+                };
                 let gain_v = session.tape.value(gain)[(0, 0)];
+                terms = [
+                    session.tape.value(dist)[(0, 0)],
+                    session.tape.value(adv_loss)[(0, 0)],
+                    session.tape.value(smooth)[(0, 0)],
+                ];
                 grad_buf.fill_from(session.tape.grad(w_var).expect("w must receive a gradient"));
                 session.tape.value(logits).argmax_rows_into(&mut preds_buf);
                 colors_buf.fill_from(session.tape.value(color));
@@ -371,13 +415,21 @@ impl Colper {
                 // fresh sessions.
                 let one_sample = |sample_idx: usize, rng: &mut StdRng| -> SampleEval {
                     let mut session = Forward::new(model.params(), false);
-                    let (gain, w_var, color, logits) = build(&mut session, sample_idx, rng);
+                    let (gain, w_var, color, logits, dist, adv_loss, smooth) = {
+                        let _build_span = colper_obs::span!(ATTACK_BUILD);
+                        build(&mut session, sample_idx, rng)
+                    };
                     let gain_v = session.tape.value(gain)[(0, 0)];
                     let grad = session.tape.grad(w_var).expect("w must receive a gradient").clone();
                     let eval = (sample_idx == 0).then(|| {
                         (
                             session.tape.value(logits).argmax_rows(),
                             session.tape.value(color).clone(),
+                            [
+                                session.tape.value(dist)[(0, 0)],
+                                session.tape.value(adv_loss)[(0, 0)],
+                                session.tape.value(smooth)[(0, 0)],
+                            ],
                         )
                     });
                     (gain_v, grad, eval)
@@ -396,9 +448,11 @@ impl Colper {
                     .expect("gradient_samples is validated to be at least 1");
                 let inv = 1.0 / cfg.gradient_samples as f32;
                 grad_buf = grad_sum.scale(inv);
-                let (preds, colors_now) = first_eval.expect("sample 0 reports an evaluation");
+                let (preds, colors_now, sample0_terms) =
+                    first_eval.expect("sample 0 reports an evaluation");
                 preds_buf = preds;
                 colors_buf = colors_now;
+                terms = sample0_terms;
                 gain_sum * inv
             };
             history.push(gain_v);
@@ -417,23 +471,25 @@ impl Colper {
                 best_preds.clone_from(&preds_buf);
             }
 
-            adam.update(&mut w, &grad_buf, cfg.lr);
+            {
+                let _adam_span = colper_obs::span!(ATTACK_ADAM);
+                adam.update(&mut w, &grad_buf, cfg.lr);
+            }
 
             // Converge(gain_i): the attacker's own stopping criterion.
             let done = match cfg.goal {
                 AttackGoal::NonTargeted => metric < threshold,
                 AttackGoal::Targeted { .. } => metric >= threshold,
             };
-            if done {
-                converged = true;
-                break;
-            }
 
             // Plateau restart: every int(Steps * 0.01) iterations, add
             // uniform noise when the objective stopped improving since
-            // the previous checkpoint.
-            if plateau.observe(step, gain_v) {
+            // the previous checkpoint. A converged step never consults
+            // the tracker (it used to break before reaching it).
+            let restarted = !done && plateau.observe(step, gain_v);
+            if restarted {
                 restarts += 1;
+                colper_obs::counters::ATTACK_RESTARTS.incr();
                 for (r, &attacked) in mask.iter().enumerate() {
                     if attacked {
                         for c in 0..3 {
@@ -442,6 +498,38 @@ impl Colper {
                     }
                 }
             }
+
+            if let Some(buf) = trace_buf.as_mut() {
+                let grad_inf_norm = grad_buf.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                let flipped_points = preds_buf
+                    .iter()
+                    .zip(&tensors.labels)
+                    .zip(mask)
+                    .filter(|((p, l), &attacked)| attacked && p != l)
+                    .count();
+                buf.push(StepRecord {
+                    step,
+                    gain: gain_v,
+                    dist: terms[0],
+                    cw_hinge: terms[1],
+                    smooth: terms[2],
+                    weighted_hinge: cfg.lambda1 * terms[1],
+                    weighted_smooth: cfg.lambda2 * terms[2],
+                    grad_inf_norm,
+                    flipped_points,
+                    metric,
+                    plateau_checkpoint_gain: plateau.checkpoint_gain,
+                    restarted,
+                });
+            }
+
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        if let Some(buf) = trace_buf {
+            obs.finish_attack(buf);
         }
 
         let l2_sq = best_colors.sub(&orig).expect("shape").frobenius_sq();
@@ -480,6 +568,7 @@ fn masked_accuracy(preds: &[usize], labels: &[usize], mask: &[bool]) -> f32 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated shims are themselves under test
 mod tests {
     use super::*;
     use colper_models::{

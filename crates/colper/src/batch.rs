@@ -5,12 +5,11 @@
 //! module is the library-level equivalent of that loop (the experiment
 //! harness builds its tables on top of the same primitives).
 
-use crate::{AttackConfig, AttackGoal, AttackPlan, AttackResult, Colper};
-use colper_metrics::{ConfusionMatrix, Summary};
+use crate::{AttackConfig, AttackGoal, AttackResult, AttackSession};
+use colper_metrics::{AttackReport, Summary};
 use colper_models::{CloudTensors, SegmentationModel};
+use colper_obs::Observer;
 use colper_runtime::Runtime;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// One cloud's attack outcome with segmentation quality attached.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,11 +39,61 @@ pub struct BatchOutcome {
     pub convergence_rate: f32,
 }
 
+impl BatchOutcome {
+    /// Aggregates per-cloud items into the batch summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` is empty.
+    pub fn aggregate(items: Vec<BatchItem>) -> Self {
+        assert!(!items.is_empty(), "BatchOutcome::aggregate: no items");
+        let accs: Vec<f32> = items.iter().map(|i| i.adversarial_accuracy).collect();
+        let mious: Vec<f32> = items.iter().map(|i| i.adversarial_miou).collect();
+        let l2s: Vec<f32> = items.iter().map(|i| i.result.l2()).collect();
+        let converged = items.iter().filter(|i| i.result.converged).count();
+        BatchOutcome {
+            adversarial_accuracy: Summary::of(&accs),
+            adversarial_miou: Summary::of(&mious),
+            l2: Summary::of(&l2s),
+            convergence_rate: converged as f32 / items.len() as f32,
+            items,
+        }
+    }
+
+    /// One [`AttackReport`] per cloud, in input order — the unified
+    /// serialization schema shared by the CLI, the bench bins and the
+    /// `colper-obs` sinks. When `observer` collected step telemetry for
+    /// a cloud (same observer handed to the session, tracing on), the
+    /// matching report nests it under `steps`.
+    pub fn reports(&self, observer: &Observer) -> Vec<AttackReport> {
+        let traces = observer.attack_traces();
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(cloud, item)| AttackReport {
+                cloud,
+                l2: item.result.l2(),
+                steps_run: item.result.steps_run,
+                converged: item.result.converged,
+                success_metric: item.result.success_metric,
+                attacked_points: item.result.attacked_points,
+                restarts: item.result.restarts,
+                clean_accuracy: item.clean_accuracy,
+                adversarial_accuracy: item.adversarial_accuracy,
+                adversarial_miou: item.adversarial_miou,
+                steps: traces
+                    .iter()
+                    .find(|t| t.cloud == cloud)
+                    .map(|t| t.steps.clone())
+                    .unwrap_or_default(),
+            })
+            .collect()
+    }
+}
+
 /// Attacks every cloud (each with an all-points mask for non-targeted
 /// goals, or a per-cloud source-class mask supplied by `mask_of`),
-/// scheduling each cloud as one stealable task on `runtime` — a slow,
-/// skewed cloud never strands the rest of a pre-assigned chunk the way
-/// the old static `workers` split did.
+/// scheduling each cloud as one stealable task on `runtime`.
 ///
 /// Seeds derive from `base_seed + index`, so outcomes are reproducible
 /// and independent of the runtime's thread count and schedule.
@@ -52,6 +101,9 @@ pub struct BatchOutcome {
 /// # Panics
 ///
 /// Panics when `clouds` is empty or a mask selects no points.
+#[deprecated(
+    note = "use `AttackSession::new(config).runtime(&rt).seed(seed).mask_with(&f).run(...)` instead"
+)]
 pub fn run_batch<M: SegmentationModel + ?Sized>(
     model: &M,
     clouds: &[CloudTensors],
@@ -60,45 +112,17 @@ pub fn run_batch<M: SegmentationModel + ?Sized>(
     base_seed: u64,
     runtime: &Runtime,
 ) -> BatchOutcome {
-    assert!(!clouds.is_empty(), "run_batch: no clouds");
-    let classes = model.num_classes();
-
-    let items: Vec<BatchItem> = runtime.par_map_grained(clouds.len(), 1, |index| {
-        let t = &clouds[index];
-        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(index as u64));
-        // One plan per cloud serves the clean prediction and every attack
-        // iteration.
-        let plan = AttackPlan::build(model, t, config);
-        let clean_preds = colper_models::predict_planned(model, t, plan.geometry(), &mut rng);
-        let mut cm = ConfusionMatrix::new(classes);
-        cm.update(&clean_preds, &t.labels);
-        let clean_accuracy = cm.accuracy();
-
-        let mask = mask_of(t);
-        let result = Colper::new(config.clone()).run_planned(model, t, &mask, &plan, &mut rng);
-        let mut cm = ConfusionMatrix::new(classes);
-        cm.update(&result.predictions, &t.labels);
-        BatchItem {
-            clean_accuracy,
-            adversarial_accuracy: cm.accuracy(),
-            adversarial_miou: cm.mean_iou(),
-            result,
-        }
-    });
-    let accs: Vec<f32> = items.iter().map(|i| i.adversarial_accuracy).collect();
-    let mious: Vec<f32> = items.iter().map(|i| i.adversarial_miou).collect();
-    let l2s: Vec<f32> = items.iter().map(|i| i.result.l2()).collect();
-    let converged = items.iter().filter(|i| i.result.converged).count();
-    BatchOutcome {
-        adversarial_accuracy: Summary::of(&accs),
-        adversarial_miou: Summary::of(&mious),
-        l2: Summary::of(&l2s),
-        convergence_rate: converged as f32 / items.len() as f32,
-        items,
-    }
+    AttackSession::new(config.clone())
+        .runtime(runtime)
+        .seed(base_seed)
+        .mask_with(&mask_of)
+        .run(model, clouds)
 }
 
 /// Convenience: non-targeted batch over all points of every cloud.
+#[deprecated(
+    note = "use `AttackSession::new(AttackConfig::non_targeted(steps)).runtime(&rt).seed(seed).run(...)` instead"
+)]
 pub fn run_batch_non_targeted<M: SegmentationModel + ?Sized>(
     model: &M,
     clouds: &[CloudTensors],
@@ -106,6 +130,7 @@ pub fn run_batch_non_targeted<M: SegmentationModel + ?Sized>(
     base_seed: u64,
     runtime: &Runtime,
 ) -> BatchOutcome {
+    #[allow(deprecated)]
     run_batch(
         model,
         clouds,
@@ -119,7 +144,10 @@ pub fn run_batch_non_targeted<M: SegmentationModel + ?Sized>(
 /// Convenience: targeted batch attacking one source class toward a
 /// target in every cloud (clouds without the source class are skipped by
 /// the caller; a cloud with zero source points panics as in
-/// [`Colper::run`]).
+/// [`crate::Colper::run`]).
+#[deprecated(
+    note = "use `AttackSession::new(AttackConfig::targeted(steps, target)).mask_source_class(source).run(...)` instead"
+)]
 pub fn run_batch_targeted<M: SegmentationModel + ?Sized>(
     model: &M,
     clouds: &[CloudTensors],
@@ -131,6 +159,7 @@ pub fn run_batch_targeted<M: SegmentationModel + ?Sized>(
 ) -> BatchOutcome {
     let mut config = AttackConfig::targeted(steps, target);
     config.goal = AttackGoal::Targeted { target };
+    #[allow(deprecated)]
     run_batch(
         model,
         clouds,
@@ -142,10 +171,13 @@ pub fn run_batch_targeted<M: SegmentationModel + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use colper_models::{PointNet2, PointNet2Config};
     use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn clouds(n: u64) -> Vec<CloudTensors> {
         (0..n)

@@ -54,14 +54,21 @@ mod coord;
 pub mod physical;
 mod reparam;
 mod report;
+mod session;
 mod transfer;
 
 pub use attack::{AttackPlan, Colper};
 pub use baseline::{random_color_noise, NoiseBaseline};
-pub use batch::{run_batch, run_batch_non_targeted, run_batch_targeted, BatchItem, BatchOutcome};
+#[allow(deprecated)]
+pub use batch::{run_batch, run_batch_non_targeted, run_batch_targeted};
+pub use batch::{BatchItem, BatchOutcome};
 pub use classic::{ClassicAttack, ClassicKind};
+/// Re-exported so attack callers can build an [`Observer`] without
+/// depending on `colper-obs` directly.
+pub use colper_obs::Observer;
 pub use config::{AttackConfig, AttackGoal};
 pub use coord::{L0Attack, L0AttackConfig, L0Result, PerturbTarget};
 pub use reparam::TanhReparam;
 pub use report::AttackResult;
+pub use session::AttackSession;
 pub use transfer::{apply_adversarial_colors, evaluate_cloud, TransferOutcome};

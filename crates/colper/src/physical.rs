@@ -157,10 +157,20 @@ pub fn robust_colper<M: SegmentationModel + Sync + ?Sized>(
         AttackGoal::NonTargeted => 0.0,
         AttackGoal::Targeted { .. } => 1.1,
     });
-    Colper::new(config).run(model, tensors, mask, rng)
+    let plan = crate::AttackPlan::build(model, tensors, &config);
+    Colper::new(config).run_planned_obs(
+        model,
+        tensors,
+        mask,
+        &plan,
+        rng,
+        &colper_obs::Observer::disabled(),
+        0,
+    )
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated single-cloud entry point
 mod tests {
     use super::*;
     use colper_models::{train_model, PointNet2, PointNet2Config, TrainConfig};

@@ -1,0 +1,297 @@
+//! The unified attack entry point: [`AttackSession`].
+//!
+//! Historically the crate grew five ways to launch an attack
+//! (`Colper::run`, `run_planned`, `run_batch`, `run_batch_non_targeted`,
+//! `run_batch_targeted`), each threading a different subset of runtime /
+//! plan / seed / mask through its signature. `AttackSession` collapses
+//! them into one builder: a single-cloud attack is simply the 1-element
+//! batch case.
+//!
+//! ```no_run
+//! use colper_attack::{AttackConfig, AttackSession};
+//! use colper_models::{CloudTensors, PointNet2, PointNet2Config};
+//! use colper_obs::Observer;
+//! use colper_runtime::Runtime;
+//! use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(256)).generate(1);
+//! let tensors = CloudTensors::from_cloud(&normalize::pointnet_view(&cloud));
+//! let model = PointNet2::new(PointNet2Config::small(13), &mut rng);
+//! let rt = Runtime::new(4);
+//! let obs = Observer::from_env();
+//! let outcome = AttackSession::new(AttackConfig::non_targeted(64))
+//!     .runtime(&rt)
+//!     .observer(&obs)
+//!     .seed(7)
+//!     .run(&model, std::slice::from_ref(&tensors));
+//! println!("adv accuracy: {}", outcome.adversarial_accuracy.mean);
+//! ```
+
+use crate::{AttackConfig, AttackPlan, BatchItem, BatchOutcome, Colper};
+use colper_metrics::ConfusionMatrix;
+use colper_models::{CloudTensors, SegmentationModel};
+use colper_obs::Observer;
+use colper_runtime::Runtime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How the session derives each cloud's attacked-point mask.
+enum MaskSelector<'a> {
+    /// Attack every point (the paper's non-targeted setting).
+    All,
+    /// Attack the points whose ground-truth label equals the class (the
+    /// paper's targeted setting).
+    SourceClass(usize),
+    /// Arbitrary per-cloud mask.
+    Custom(&'a (dyn Fn(&CloudTensors) -> Vec<bool> + Sync)),
+}
+
+/// Builder for attack runs: configure once, run over one cloud or many.
+///
+/// Defaults: sequential [`Runtime`] (deferring to the ambient one inside
+/// the optimizer, exactly like [`Colper::new`]), no pre-built plan, a
+/// disabled [`Observer`], seed 0, and an all-points mask.
+///
+/// Per-cloud RNGs derive from `seed + cloud_index`, so outcomes are
+/// reproducible and independent of the runtime's thread count and
+/// schedule — matching the former `run_batch` contract.
+pub struct AttackSession<'a> {
+    config: AttackConfig,
+    runtime: Runtime,
+    plan: Option<&'a AttackPlan>,
+    observer: Observer,
+    base_seed: u64,
+    mask: MaskSelector<'a>,
+}
+
+impl<'a> AttackSession<'a> {
+    /// Starts a session with the given attack configuration.
+    pub fn new(config: AttackConfig) -> Self {
+        Self {
+            config,
+            runtime: Runtime::sequential(),
+            plan: None,
+            observer: Observer::disabled(),
+            base_seed: 0,
+            mask: MaskSelector::All,
+        }
+    }
+
+    /// Attaches a compute runtime: clouds are scheduled over it as
+    /// stealable tasks, one per cloud.
+    #[must_use]
+    pub fn runtime(mut self, runtime: &Runtime) -> Self {
+        self.runtime = runtime.clone();
+        self
+    }
+
+    /// Attaches a pre-built [`AttackPlan`]. Only valid for single-cloud
+    /// runs ([`AttackSession::run`] panics otherwise) — a plan caches one
+    /// cloud's geometry.
+    #[must_use]
+    pub fn plan(mut self, plan: &'a AttackPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Attaches an observer collecting per-step telemetry (records only
+    /// while global tracing is on — see [`colper_obs::enabled`]).
+    #[must_use]
+    pub fn observer(mut self, observer: &Observer) -> Self {
+        self.observer = observer.clone();
+        self
+    }
+
+    /// Sets the base seed; cloud `i` draws from `seed + i`.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Attacks every point of every cloud (the default).
+    #[must_use]
+    pub fn mask_all(mut self) -> Self {
+        self.mask = MaskSelector::All;
+        self
+    }
+
+    /// Attacks the points labeled `source` in each cloud.
+    #[must_use]
+    pub fn mask_source_class(mut self, source: usize) -> Self {
+        self.mask = MaskSelector::SourceClass(source);
+        self
+    }
+
+    /// Derives each cloud's mask with `mask_of`.
+    #[must_use]
+    pub fn mask_with(mut self, mask_of: &'a (dyn Fn(&CloudTensors) -> Vec<bool> + Sync)) -> Self {
+        self.mask = MaskSelector::Custom(mask_of);
+        self
+    }
+
+    /// Runs the attack over `clouds`, one stealable task per cloud, and
+    /// aggregates the outcome. Single-cloud attacks are the 1-element
+    /// case: `session.run(&model, std::slice::from_ref(&tensors))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clouds` is empty, when a pre-built plan is combined
+    /// with more than one cloud, when a mask selects no points, or when
+    /// the configuration is invalid for the model's class count.
+    pub fn run<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        clouds: &[CloudTensors],
+    ) -> BatchOutcome {
+        assert!(!clouds.is_empty(), "attack session: no clouds");
+        assert!(
+            self.plan.is_none() || clouds.len() == 1,
+            "attack session: a pre-built plan applies to exactly one cloud"
+        );
+        let classes = model.num_classes();
+
+        let items: Vec<BatchItem> = self.runtime.par_map_grained(clouds.len(), 1, |index| {
+            let _cloud_span = colper_obs::span!(BATCH_CLOUD);
+            colper_obs::counters::BATCH_CLOUDS.incr();
+            let t = &clouds[index];
+            let mut rng = StdRng::seed_from_u64(self.base_seed.wrapping_add(index as u64));
+            // One plan per cloud serves the clean prediction and every
+            // attack iteration.
+            let built;
+            let plan = match self.plan {
+                Some(plan) => plan,
+                None => {
+                    built = AttackPlan::build(model, t, &self.config);
+                    &built
+                }
+            };
+            let clean_preds = colper_models::predict_planned(model, t, plan.geometry(), &mut rng);
+            let mut cm = ConfusionMatrix::new(classes);
+            cm.update(&clean_preds, &t.labels);
+            let clean_accuracy = cm.accuracy();
+
+            let mask = match &self.mask {
+                MaskSelector::All => vec![true; t.len()],
+                MaskSelector::SourceClass(source) => t.labels.iter().map(|l| l == source).collect(),
+                MaskSelector::Custom(mask_of) => mask_of(t),
+            };
+            let result = Colper::new(self.config.clone()).run_planned_obs(
+                model,
+                t,
+                &mask,
+                plan,
+                &mut rng,
+                &self.observer,
+                index,
+            );
+            let mut cm = ConfusionMatrix::new(classes);
+            cm.update(&result.predictions, &t.labels);
+            BatchItem {
+                clean_accuracy,
+                adversarial_accuracy: cm.accuracy(),
+                adversarial_miou: cm.mean_iou(),
+                result,
+            }
+        });
+        BatchOutcome::aggregate(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttackResult;
+    use colper_models::{PointNet2, PointNet2Config};
+    use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
+
+    fn clouds(n: u64) -> Vec<CloudTensors> {
+        (0..n)
+            .map(|i| {
+                let c = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(i);
+                CloudTensors::from_cloud(&normalize::pointnet_view(&c))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn session_matches_the_deprecated_batch_entry_point() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(3);
+        let cfg = AttackConfig::non_targeted(3);
+        let session_out =
+            AttackSession::new(cfg.clone()).runtime(&Runtime::new(2)).seed(7).run(&model, &data);
+        #[allow(deprecated)]
+        let batch_out =
+            crate::run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 7, &Runtime::new(2));
+        assert_eq!(session_out, batch_out);
+    }
+
+    #[test]
+    fn single_cloud_is_the_one_element_batch_and_matches_colper_run() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(1);
+        let cfg = AttackConfig::non_targeted(4);
+        let outcome = AttackSession::new(cfg.clone()).seed(11).run(&model, &data);
+        assert_eq!(outcome.items.len(), 1);
+
+        // The session seeds cloud 0 with `seed + 0` *and* uses the same
+        // RNG for the clean prediction first — reproduce that stream.
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let plan = AttackPlan::build(&model, &data[0], &cfg);
+        let _clean = colper_models::predict_planned(&model, &data[0], plan.geometry(), &mut rng2);
+        #[allow(deprecated)]
+        let direct: AttackResult = Colper::new(cfg).run_planned(
+            &model,
+            &data[0],
+            &vec![true; data[0].len()],
+            &plan,
+            &mut rng2,
+        );
+        assert_eq!(outcome.items[0].result, direct);
+    }
+
+    #[test]
+    fn source_class_mask_matches_custom_closure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(2);
+        // Pick a label present in both clouds.
+        let source = data[0].labels[0];
+        if !data[1].labels.contains(&source) {
+            return;
+        }
+        let cfg = AttackConfig::non_targeted(2);
+        let by_variant =
+            AttackSession::new(cfg.clone()).mask_source_class(source).run(&model, &data);
+        let mask_of = move |t: &CloudTensors| -> Vec<bool> {
+            t.labels.iter().map(|&l| l == source).collect()
+        };
+        let by_closure = AttackSession::new(cfg).mask_with(&mask_of).run(&model, &data);
+        assert_eq!(by_variant, by_closure);
+    }
+
+    #[test]
+    #[should_panic(expected = "no clouds")]
+    fn empty_session_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let _ = AttackSession::new(AttackConfig::non_targeted(2)).run(&model, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one cloud")]
+    fn plan_with_many_clouds_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(2);
+        let cfg = AttackConfig::non_targeted(2);
+        let plan = AttackPlan::build(&model, &data[0], &cfg);
+        let _ = AttackSession::new(cfg).plan(&plan).run(&model, &data);
+    }
+}

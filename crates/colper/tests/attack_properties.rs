@@ -2,6 +2,10 @@
 //! discipline, metric bounds and reparameterization consistency — for
 //! arbitrary scenes, masks and configurations.
 
+// Property tests drive the single-cloud entry point directly: each case
+// threads its own proptest-derived rng.
+#![allow(deprecated)]
+
 use colper_attack::{random_color_noise, AttackConfig, AttackGoal, Colper, TanhReparam};
 use colper_models::{CloudTensors, PointNet2, PointNet2Config};
 use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};

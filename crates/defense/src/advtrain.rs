@@ -7,6 +7,12 @@
 //! updates and reports both the robustness gained and the overhead paid,
 //! so the harness can reproduce that trade-off.
 
+// Adversarial training threads ONE rng through every epoch (the attack
+// draws interleave with the shuffle and clean/adversarial coin flips), so
+// it keeps the rng-threading single-cloud entry point rather than the
+// per-cloud-seeded `AttackSession`.
+#![allow(deprecated)]
+
 use colper_attack::{AttackConfig, Colper};
 use colper_models::{bind_input, CloudTensors, ColorBinding, SegmentationModel};
 use colper_nn::{Adam, Forward};

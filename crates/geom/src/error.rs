@@ -1,0 +1,61 @@
+//! Error types for fallible geometry queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// The error type returned by fallible geometry queries.
+///
+/// Display output matches the panic messages of the corresponding
+/// panicking entry points word for word, so `try_*` callers that
+/// `unwrap_or_else(|e| panic!("{e}"))` are indistinguishable from the
+/// original assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// A query that requires a non-empty subset received an empty one.
+    EmptySubset(&'static str),
+    /// A neighbor count of zero was requested.
+    NonPositiveK(&'static str),
+    /// A subset entry does not index into the tree's point set:
+    /// `(index, len)`.
+    SubsetIndexOutOfBounds {
+        /// The offending original-space index.
+        index: usize,
+        /// Number of points in the tree.
+        len: usize,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::EmptySubset(op) => write!(f, "{op}: empty subset"),
+            GeomError::NonPositiveK(op) => write!(f, "{op}: k must be positive"),
+            GeomError::SubsetIndexOutOfBounds { index, len } => {
+                write!(f, "subset index {index} out of bounds for {len} points")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_the_historic_panic_messages() {
+        assert_eq!(
+            GeomError::EmptySubset("subset_knn_graph").to_string(),
+            "subset_knn_graph: empty subset"
+        );
+        assert_eq!(
+            GeomError::NonPositiveK("subset_knn_graph").to_string(),
+            "subset_knn_graph: k must be positive"
+        );
+        assert_eq!(
+            GeomError::SubsetIndexOutOfBounds { index: 9, len: 4 }.to_string(),
+            "subset index 9 out of bounds for 4 points"
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! so the rows are split across the ambient [`colper_runtime`] runtime and
 //! results are identical at any thread count.
 
-use crate::{KdTree, Neighbor, Point3};
+use crate::{GeomError, KdTree, Neighbor, Point3};
 use colper_runtime::Runtime;
 use std::cmp::Ordering;
 
@@ -142,11 +142,32 @@ pub fn dilated_knn(points: &[Point3], k: usize, dilation: usize) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics when `subset` is empty, `k == 0`, or an index is out of
-/// bounds for the tree.
+/// bounds for the tree; [`try_subset_knn_graph`] is the fallible twin.
 pub fn subset_knn_graph(tree: &KdTree, subset: &[usize], k: usize) -> Vec<usize> {
-    assert!(!subset.is_empty(), "subset_knn_graph: empty subset");
-    assert!(k > 0, "subset_knn_graph: k must be positive");
-    let (mask, local) = subset_index(tree.len(), subset);
+    try_subset_knn_graph(tree, subset, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`subset_knn_graph`], following the tensor crate's
+/// `get`/`at` convention.
+///
+/// # Errors
+///
+/// Returns [`GeomError::EmptySubset`] when `subset` is empty,
+/// [`GeomError::NonPositiveK`] when `k == 0`, and
+/// [`GeomError::SubsetIndexOutOfBounds`] when a subset entry does not
+/// index into the tree's point set.
+pub fn try_subset_knn_graph(
+    tree: &KdTree,
+    subset: &[usize],
+    k: usize,
+) -> Result<Vec<usize>, GeomError> {
+    if subset.is_empty() {
+        return Err(GeomError::EmptySubset("subset_knn_graph"));
+    }
+    if k == 0 {
+        return Err(GeomError::NonPositiveK("subset_knn_graph"));
+    }
+    let (mask, local) = subset_index(tree.len(), subset)?;
     let kq = k.min(subset.len());
     let mut out = vec![0usize; subset.len() * k];
     fill_rows(&mut out, subset.len(), k, |q, row| {
@@ -156,7 +177,7 @@ pub fn subset_knn_graph(tree: &KdTree, subset: &[usize], k: usize) -> Vec<usize>
             *slot = nn.get(j).map_or(last, |n| local[n.index]);
         }
     });
-    out
+    Ok(out)
 }
 
 /// For each query point, the subset-local index of its nearest neighbor
@@ -166,27 +187,46 @@ pub fn subset_knn_graph(tree: &KdTree, subset: &[usize], k: usize) -> Vec<usize>
 /// # Panics
 ///
 /// Panics when `subset` is empty or an index is out of bounds for the
-/// tree.
+/// tree; [`try_subset_nearest`] is the fallible twin.
 pub fn subset_nearest(tree: &KdTree, subset: &[usize], queries: &[Point3]) -> Vec<usize> {
-    assert!(!subset.is_empty(), "subset_nearest: empty subset");
-    let (mask, local) = subset_index(tree.len(), subset);
+    try_subset_nearest(tree, subset, queries).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`subset_nearest`].
+///
+/// # Errors
+///
+/// Returns [`GeomError::EmptySubset`] when `subset` is empty and
+/// [`GeomError::SubsetIndexOutOfBounds`] when a subset entry does not
+/// index into the tree's point set.
+pub fn try_subset_nearest(
+    tree: &KdTree,
+    subset: &[usize],
+    queries: &[Point3],
+) -> Result<Vec<usize>, GeomError> {
+    if subset.is_empty() {
+        return Err(GeomError::EmptySubset("subset_nearest"));
+    }
+    let (mask, local) = subset_index(tree.len(), subset)?;
     let mut out = vec![0usize; queries.len()];
     fill_rows(&mut out, queries.len(), 1, |q, row| {
         row[0] = local[tree.knn_filtered(queries[q], 1, |i| mask[i])[0].index];
     });
-    out
+    Ok(out)
 }
 
 /// Membership mask and original-index -> subset-local-index map.
-fn subset_index(len: usize, subset: &[usize]) -> (Vec<bool>, Vec<usize>) {
+fn subset_index(len: usize, subset: &[usize]) -> Result<(Vec<bool>, Vec<usize>), GeomError> {
     let mut mask = vec![false; len];
     let mut local = vec![usize::MAX; len];
     for (l, &orig) in subset.iter().enumerate() {
-        assert!(orig < len, "subset index {orig} out of bounds for {len} points");
+        if orig >= len {
+            return Err(GeomError::SubsetIndexOutOfBounds { index: orig, len });
+        }
         mask[orig] = true;
         local[orig] = l;
     }
-    (mask, local)
+    Ok((mask, local))
 }
 
 /// Dense pairwise squared distances between two point sets,
@@ -367,5 +407,48 @@ mod tests {
         use crate::KdTree;
         let pts = random_points(10, 1);
         let _ = subset_knn_graph(&KdTree::build(&pts), &[], 3);
+    }
+
+    #[test]
+    fn try_variants_report_errors_instead_of_panicking() {
+        use crate::KdTree;
+        let pts = random_points(10, 1);
+        let tree = KdTree::build(&pts);
+        assert_eq!(
+            try_subset_knn_graph(&tree, &[], 3),
+            Err(GeomError::EmptySubset("subset_knn_graph"))
+        );
+        assert_eq!(
+            try_subset_knn_graph(&tree, &[1, 2], 0),
+            Err(GeomError::NonPositiveK("subset_knn_graph"))
+        );
+        assert_eq!(
+            try_subset_knn_graph(&tree, &[1, 99], 2),
+            Err(GeomError::SubsetIndexOutOfBounds { index: 99, len: 10 })
+        );
+        assert_eq!(
+            try_subset_nearest(&tree, &[], &pts),
+            Err(GeomError::EmptySubset("subset_nearest"))
+        );
+        assert_eq!(
+            try_subset_nearest(&tree, &[42], &pts),
+            Err(GeomError::SubsetIndexOutOfBounds { index: 42, len: 10 })
+        );
+    }
+
+    #[test]
+    fn try_variants_agree_with_the_panicking_entry_points() {
+        use crate::KdTree;
+        let pts = random_points(60, 13);
+        let tree = KdTree::build(&pts);
+        let subset: Vec<usize> = (0..30).map(|i| i * 2).collect();
+        assert_eq!(
+            try_subset_knn_graph(&tree, &subset, 5).unwrap(),
+            subset_knn_graph(&tree, &subset, 5)
+        );
+        assert_eq!(
+            try_subset_nearest(&tree, &subset, &pts).unwrap(),
+            subset_nearest(&tree, &subset, &pts)
+        );
     }
 }

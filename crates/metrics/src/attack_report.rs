@@ -1,0 +1,117 @@
+//! The unified [`AttackReport`]: one schema for attack outcomes across
+//! the CLI, the bench bins and the `colper-obs` trace sinks.
+//!
+//! Historically the workspace had two report types: the attack crate's
+//! matrix-carrying result and this crate's per-class table. The heavy
+//! tensors stay with the attack crate ([`ClassReport`](crate::ClassReport)
+//! remains the per-class presentation layer); `AttackReport` is the
+//! plain-data summary every sink serializes — with the per-step
+//! telemetry of `colper-obs` nested directly into it, so a traced run's
+//! JSON carries its whole trajectory in the same object.
+
+use colper_obs::{jf, StepRecord};
+
+/// Plain-data summary of one cloud's attack run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttackReport {
+    /// Input-order index of the cloud within its run (0 for single-cloud
+    /// sessions).
+    pub cloud: usize,
+    /// The L2 (not squared) perturbation norm, as in the paper's tables.
+    pub l2: f32,
+    /// Iterations actually run (early stop on convergence).
+    pub steps_run: usize,
+    /// Whether the attacker's criterion was met before the step budget.
+    pub converged: bool,
+    /// The attacker's metric on the best sample: accuracy over attacked
+    /// points (non-targeted, lower is better) or SR (targeted, higher).
+    pub success_metric: f32,
+    /// Number of attacked points (`|X_t|`).
+    pub attacked_points: usize,
+    /// Plateau noise restarts performed.
+    pub restarts: usize,
+    /// Clean (pre-attack) accuracy on this cloud.
+    pub clean_accuracy: f32,
+    /// Post-attack accuracy over all points.
+    pub adversarial_accuracy: f32,
+    /// Post-attack aIoU over all points.
+    pub adversarial_miou: f32,
+    /// Per-step telemetry (empty unless the run was traced).
+    pub steps: Vec<StepRecord>,
+}
+
+impl AttackReport {
+    /// The report as one JSON object. The `steps` array elements use the
+    /// [`StepRecord::to_json`] schema — the same one the `colper-obs`
+    /// JSONL sink emits per step.
+    pub fn to_json(&self) -> String {
+        let steps: Vec<String> = self.steps.iter().map(StepRecord::to_json).collect();
+        format!(
+            concat!(
+                "{{\"cloud\":{},\"l2\":{},\"steps_run\":{},\"converged\":{},",
+                "\"success_metric\":{},\"attacked_points\":{},\"restarts\":{},",
+                "\"clean_accuracy\":{},\"adversarial_accuracy\":{},",
+                "\"adversarial_miou\":{},\"steps\":[{}]}}"
+            ),
+            self.cloud,
+            jf(self.l2),
+            self.steps_run,
+            self.converged,
+            jf(self.success_metric),
+            self.attacked_points,
+            self.restarts,
+            jf(self.clean_accuracy),
+            jf(self.adversarial_accuracy),
+            jf(self.adversarial_miou),
+            steps.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_every_field_and_nested_steps() {
+        let report = AttackReport {
+            cloud: 2,
+            l2: 1.5,
+            steps_run: 3,
+            converged: true,
+            success_metric: 0.25,
+            attacked_points: 96,
+            restarts: 1,
+            clean_accuracy: 0.9,
+            adversarial_accuracy: 0.3,
+            adversarial_miou: 0.2,
+            steps: vec![
+                StepRecord { step: 0, gain: 5.0, ..StepRecord::default() },
+                StepRecord { step: 1, gain: 4.0, ..StepRecord::default() },
+            ],
+        };
+        let json = report.to_json();
+        for key in [
+            "\"cloud\":2",
+            "\"l2\":1.5",
+            "\"steps_run\":3",
+            "\"converged\":true",
+            "\"success_metric\":0.25",
+            "\"attacked_points\":96",
+            "\"restarts\":1",
+            "\"clean_accuracy\":0.9",
+            "\"adversarial_accuracy\":0.3",
+            "\"adversarial_miou\":0.2",
+            "\"steps\":[{",
+            "\"step\":1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn untraced_report_has_empty_steps_array() {
+        let json = AttackReport::default().to_json();
+        assert!(json.contains("\"steps\":[]"), "{json}");
+    }
+}

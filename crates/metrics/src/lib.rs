@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 mod attack;
+mod attack_report;
 mod confusion;
 mod histogram;
 mod report;
 mod stats;
 
 pub use attack::{oob_metrics, success_rate, AttackPointStats};
+pub use attack_report::AttackReport;
 pub use confusion::ConfusionMatrix;
 pub use histogram::Histogram;
 pub use report::{ClassReport, ClassRow};

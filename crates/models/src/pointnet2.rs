@@ -201,6 +201,7 @@ impl SegmentationModel for PointNet2 {
     }
 
     fn forward(&self, session: &mut Forward<'_>, input: &ModelInput<'_>, rng: &mut StdRng) -> Var {
+        let _span = colper_obs::span!(FORWARD_POINTNET2);
         let levels = self.config.sa_npoints.len();
         let n = input.coords.len();
         assert!(n > 0, "PointNet2: empty input");
@@ -225,6 +226,7 @@ impl SegmentationModel for PointNet2 {
         // Set abstraction: downsample and aggregate. Index lists are
         // interned in the plan and shared with the tape (no per-pass copy).
         for (i, sa) in plan.sa.iter().enumerate() {
+            let _span = colper_obs::span!(FORWARD_POINTNET2_SA);
             let nb_xyz = session.tape.gather_rows_shared(xyz_lv[i], sa.neighbors.clone());
             let ctr_xyz = session.tape.gather_rows_shared(xyz_lv[i], sa.center_flat.clone());
             let rel = session.tape.sub(nb_xyz, ctr_xyz);
@@ -241,6 +243,7 @@ impl SegmentationModel for PointNet2 {
         // Feature propagation: interpolate back up with skip connections.
         let mut cur = feats_lv[levels];
         for (j, fp) in self.fp_mlps.iter().enumerate() {
+            let _span = colper_obs::span!(FORWARD_POINTNET2_FP);
             let fine = levels - 1 - j;
             let (idx, w) = &plan.fp[j];
             let interp = session.tape.weighted_gather_shared(cur, idx.clone(), w.clone(), 3);

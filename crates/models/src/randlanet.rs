@@ -237,6 +237,7 @@ impl SegmentationModel for RandLaNet {
     }
 
     fn forward(&self, session: &mut Forward<'_>, input: &ModelInput<'_>, rng: &mut StdRng) -> Var {
+        let _span = colper_obs::span!(FORWARD_RANDLA);
         let n = input.coords.len();
         assert!(n > 0, "RandLaNet: empty input");
         let built;
@@ -261,6 +262,7 @@ impl SegmentationModel for RandLaNet {
 
         // Encoder: aggregate then randomly downsample.
         for (s, stage) in self.stages.iter().enumerate() {
+            let _span = colper_obs::span!(FORWARD_RANDLA_STAGE);
             let cur_len = orig_lv[s].len();
             let k_lv = k.min(cur_len);
             let nb_built: Vec<usize>;
@@ -285,6 +287,7 @@ impl SegmentationModel for RandLaNet {
 
         // Decoder: nearest-neighbor upsampling with skip connections.
         for (j, dec) in self.dec_mlps.iter().enumerate() {
+            let _span = colper_obs::span!(FORWARD_RANDLA_DECODER);
             let fine = self.config.stages.len() - 1 - j;
             let queries: Vec<Point3> = orig_lv[fine].iter().map(|&i| input.coords[i]).collect();
             let idx = subset_nearest(&plan.tree, &orig_lv[fine + 1], &queries);

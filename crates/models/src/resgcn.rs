@@ -139,6 +139,7 @@ impl SegmentationModel for ResGcn {
     }
 
     fn forward(&self, session: &mut Forward<'_>, input: &ModelInput<'_>, rng: &mut StdRng) -> Var {
+        let _span = colper_obs::span!(FORWARD_RESGCN);
         let n = input.coords.len();
         assert!(n > 0, "ResGcn: empty input");
         let built;
@@ -150,6 +151,7 @@ impl SegmentationModel for ResGcn {
         let mut h = self.stem.forward(session, feats0);
 
         for (b, edge_mlp) in self.edge_mlps.iter().enumerate() {
+            let _span = colper_obs::span!(FORWARD_RESGCN_BLOCK);
             let nb = plan.graphs[plan.dilations[b]].as_ref().expect("graph precomputed");
             let x_j = session.tape.gather_rows_shared(h, nb.clone());
             let x_i = session.tape.gather_rows_shared(h, plan.center_flat.clone());

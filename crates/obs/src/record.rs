@@ -1,0 +1,268 @@
+//! Per-attack-step telemetry: the [`StepRecord`] schema, the pre-sized
+//! per-run buffer, and the [`Observer`] that collects finished runs.
+
+use crate::sink::jf;
+use std::sync::{Arc, Mutex};
+
+/// One attack iteration's telemetry. Every field is *read* from the
+/// optimizer state after the step's arithmetic is done; producing a
+/// record never changes the trajectory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StepRecord {
+    /// Iteration index (0-based).
+    pub step: usize,
+    /// The composite objective `gain = D + λ1·L + λ2·S` (averaged over
+    /// EoT samples when `gradient_samples > 1`).
+    pub gain: f32,
+    /// The squared-L2 distance term `D` (sample 0).
+    pub dist: f32,
+    /// The raw CW hinge value `L` before the λ1 weight — the margin the
+    /// optimizer is pushing on (sample 0).
+    pub cw_hinge: f32,
+    /// The raw smoothness penalty `S` before the λ2 weight (sample 0).
+    pub smooth: f32,
+    /// `λ1·L`: the adversarial term's contribution to the gain.
+    pub weighted_hinge: f32,
+    /// `λ2·S`: the smoothness term's contribution to the gain.
+    pub weighted_smooth: f32,
+    /// ∞-norm of the gradient w.r.t. the reparameterized color variable.
+    pub grad_inf_norm: f32,
+    /// Attacked points whose prediction differs from the ground-truth
+    /// label on this iterate.
+    pub flipped_points: usize,
+    /// The attacker's metric on this iterate (masked accuracy for
+    /// non-targeted goals, success rate for targeted ones).
+    pub metric: f32,
+    /// The plateau tracker's reference gain (the last checkpoint).
+    pub plateau_checkpoint_gain: f32,
+    /// Whether this step ended in a plateau noise restart.
+    pub restarted: bool,
+}
+
+impl StepRecord {
+    /// The record as one JSON object (no trailing newline). This is the
+    /// `"step"` line schema of the JSONL sink and the element schema of
+    /// `AttackReport.steps`.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"step\":{},\"gain\":{},\"dist\":{},\"cw_hinge\":{},\"smooth\":{},",
+                "\"weighted_hinge\":{},\"weighted_smooth\":{},\"grad_inf_norm\":{},",
+                "\"flipped_points\":{},\"metric\":{},\"plateau_checkpoint_gain\":{},",
+                "\"restarted\":{}}}"
+            ),
+            self.step,
+            jf(self.gain),
+            jf(self.dist),
+            jf(self.cw_hinge),
+            jf(self.smooth),
+            jf(self.weighted_hinge),
+            jf(self.weighted_smooth),
+            jf(self.grad_inf_norm),
+            self.flipped_points,
+            jf(self.metric),
+            jf(self.plateau_checkpoint_gain),
+            self.restarted
+        )
+    }
+}
+
+/// A fixed-capacity step buffer for one attack run. Allocated once at
+/// setup ([`Observer::begin_attack`]); pushes past the capacity are
+/// counted as dropped instead of reallocating, so the hot loop never
+/// touches the allocator.
+#[derive(Debug)]
+pub struct StepTraceBuffer {
+    cloud: usize,
+    records: Vec<StepRecord>,
+    dropped: u64,
+}
+
+impl StepTraceBuffer {
+    /// Appends a record, dropping (and counting) it when the buffer is
+    /// at capacity.
+    #[inline]
+    pub fn push(&mut self, record: StepRecord) {
+        if self.records.len() < self.records.capacity() {
+            self.records.push(record);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Records accumulated so far.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+}
+
+/// One finished attack run's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackTrace {
+    /// Input-order index of the cloud within the run (0 for single-cloud
+    /// sessions).
+    pub cloud: usize,
+    /// Per-step records in iteration order.
+    pub steps: Vec<StepRecord>,
+    /// Records dropped because the buffer capacity was exhausted (0
+    /// unless a caller under-sized the buffer).
+    pub dropped: u64,
+}
+
+/// Collects [`StepRecord`]s from attack runs. Cheap to clone and share;
+/// a [`Observer::disabled`] handle (also the `Default`) makes every
+/// collection call a no-op, which is what keeps the trace-off attack
+/// loop allocation-free.
+///
+/// The intended flow: the attack loop asks [`Observer::begin_attack`]
+/// for a pre-sized buffer *outside* the hot loop, pushes one record per
+/// step, and hands the buffer back via [`Observer::finish_attack`] when
+/// the run ends. Batch runs do this once per cloud, concurrently — the
+/// shared list is locked only at run boundaries, never per step.
+#[derive(Debug, Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<Mutex<Vec<AttackTrace>>>>,
+}
+
+impl Observer {
+    /// An observer that records nothing (every call is a no-op).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An observer that collects step telemetry (when global recording
+    /// is also on — see [`crate::enabled`]).
+    pub fn enabled() -> Self {
+        Self { inner: Some(Arc::new(Mutex::new(Vec::new()))) }
+    }
+
+    /// [`Observer::enabled`] when `COLPER_TRACE` turned recording on,
+    /// otherwise [`Observer::disabled`].
+    pub fn from_env() -> Self {
+        if crate::enabled() {
+            Self::enabled()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// Whether this observer currently records (both the handle and the
+    /// global flag must be on).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some() && crate::enabled()
+    }
+
+    /// Starts a run on cloud `cloud` with room for `steps` records.
+    /// Returns `None` — and allocates nothing — when not recording.
+    pub fn begin_attack(&self, cloud: usize, steps: usize) -> Option<StepTraceBuffer> {
+        self.is_active().then(|| StepTraceBuffer {
+            cloud,
+            records: Vec::with_capacity(steps),
+            dropped: 0,
+        })
+    }
+
+    /// Files a finished run's buffer.
+    pub fn finish_attack(&self, buf: StepTraceBuffer) {
+        if let Some(inner) = &self.inner {
+            let mut traces = inner.lock().unwrap_or_else(|e| e.into_inner());
+            traces.push(AttackTrace { cloud: buf.cloud, steps: buf.records, dropped: buf.dropped });
+        }
+    }
+
+    /// All finished runs so far, sorted by cloud index (batch workers
+    /// finish in pool order, not input order).
+    pub fn attack_traces(&self) -> Vec<AttackTrace> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let mut traces = inner.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                traces.sort_by_key(|t| t.cloud);
+                traces
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TEST_LOCK;
+
+    #[test]
+    fn disabled_observer_hands_out_no_buffers() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        let obs = Observer::disabled();
+        assert!(!obs.is_active());
+        assert!(obs.begin_attack(0, 100).is_none());
+        assert!(obs.attack_traces().is_empty());
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn enabled_observer_needs_the_global_flag() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(false);
+        let obs = Observer::enabled();
+        assert!(!obs.is_active());
+        assert!(obs.begin_attack(0, 10).is_none());
+    }
+
+    #[test]
+    fn buffer_is_presized_and_never_grows() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        let obs = Observer::enabled();
+        let mut buf = obs.begin_attack(3, 2).expect("recording is on");
+        let cap = buf.records.capacity();
+        for step in 0..5 {
+            buf.push(StepRecord { step, ..StepRecord::default() });
+        }
+        assert_eq!(buf.records.capacity(), cap, "push must not reallocate");
+        assert_eq!(buf.records().len(), 2);
+        obs.finish_attack(buf);
+        let traces = obs.attack_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].cloud, 3);
+        assert_eq!(traces[0].dropped, 3);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn traces_sort_by_cloud_index() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        let obs = Observer::enabled();
+        for cloud in [2usize, 0, 1] {
+            let buf = obs.begin_attack(cloud, 1).expect("recording is on");
+            obs.finish_attack(buf);
+        }
+        let order: Vec<usize> = obs.attack_traces().iter().map(|t| t.cloud).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn step_record_json_has_every_field() {
+        let r = StepRecord { step: 4, gain: 1.5, restarted: true, ..StepRecord::default() };
+        let json = r.to_json();
+        for key in [
+            "\"step\":4",
+            "\"gain\":1.5",
+            "\"dist\":",
+            "\"cw_hinge\":",
+            "\"smooth\":",
+            "\"weighted_hinge\":",
+            "\"weighted_smooth\":",
+            "\"grad_inf_norm\":",
+            "\"flipped_points\":",
+            "\"metric\":",
+            "\"plateau_checkpoint_gain\":",
+            "\"restarted\":true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

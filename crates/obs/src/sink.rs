@@ -1,0 +1,311 @@
+//! Trace sinks: snapshotting the global aggregates plus an observer's
+//! step telemetry into a [`TraceReport`], and rendering it as JSONL, an
+//! aggregated JSON summary, or a human-readable table.
+//!
+//! JSON is emitted by hand — the workspace is offline and carries no
+//! serde. The formats:
+//!
+//! * **JSONL** ([`TraceReport::to_jsonl`]): one object per line, each
+//!   tagged with a `"type"` — `meta`, `span`, `counter`, `gauge`,
+//!   `worker`, then one `step` line per attack iteration.
+//! * **Summary** ([`TraceReport::summary_json`]): a single object with
+//!   the same aggregates keyed by name, for dashboards and CI checks.
+//! * **Table** ([`TraceReport::table`]): the end-of-run text the CLI
+//!   prints under `--trace`.
+
+use crate::record::AttackTrace;
+use crate::Observer;
+use std::path::{Path, PathBuf};
+
+/// Formats an `f32` as a JSON value (non-finite values become `null`,
+/// which no aggregate should ever produce but a malformed trace line is
+/// worse than a null).
+pub fn jf(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A point-in-time copy of everything the instrumentation recorded:
+/// span aggregates, counters, gauges, per-worker task counts, and the
+/// step telemetry collected by an [`Observer`].
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// `(name, count, total_ns, max_ns)` per span, inventory order.
+    pub spans: Vec<(&'static str, u64, u64, u64)>,
+    /// `(name, value)` per counter, inventory order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, last, max, samples)` per gauge, inventory order.
+    pub gauges: Vec<(&'static str, u64, u64, u64)>,
+    /// `(worker_index, tasks)` for pool workers that ran tasks.
+    pub worker_tasks: Vec<(usize, u64)>,
+    /// Per-run step telemetry, sorted by cloud index.
+    pub attacks: Vec<AttackTrace>,
+}
+
+impl TraceReport {
+    /// Snapshots the global aggregates and `observer`'s collected runs.
+    pub fn capture(observer: &Observer) -> Self {
+        Self {
+            spans: crate::spans::all()
+                .into_iter()
+                .map(|s| {
+                    let (count, total, max) = s.snapshot();
+                    (s.name(), count, total, max)
+                })
+                .collect(),
+            counters: crate::counters::all().into_iter().map(|c| (c.name(), c.get())).collect(),
+            gauges: crate::gauges::all()
+                .into_iter()
+                .map(|g| {
+                    let (last, max, samples) = g.snapshot();
+                    (g.name(), last, max, samples)
+                })
+                .collect(),
+            worker_tasks: crate::worker_task_counts(),
+            attacks: observer.attack_traces(),
+        }
+    }
+
+    /// The trace as JSONL (one JSON object per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let total_steps: usize = self.attacks.iter().map(|a| a.steps.len()).sum();
+        out.push_str(&format!(
+            "{{\"type\":\"meta\",\"schema\":\"colper-trace-v1\",\"attacks\":{},\"steps\":{}}}\n",
+            self.attacks.len(),
+            total_steps
+        ));
+        for &(name, count, total_ns, max_ns) in &self.spans {
+            if count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"name\":\"{name}\",\"count\":{count},\
+                 \"total_ns\":{total_ns},\"max_ns\":{max_ns}}}\n"
+            ));
+        }
+        for &(name, value) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}\n"
+            ));
+        }
+        for &(name, last, max, samples) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":\"{name}\",\"last\":{last},\
+                 \"max\":{max},\"samples\":{samples}}}\n"
+            ));
+        }
+        for &(worker, tasks) in &self.worker_tasks {
+            out.push_str(&format!(
+                "{{\"type\":\"worker\",\"index\":{worker},\"tasks\":{tasks}}}\n"
+            ));
+        }
+        for attack in &self.attacks {
+            for step in &attack.steps {
+                let body = step.to_json();
+                // Splice the cloud index into the step object.
+                out.push_str(&format!(
+                    "{{\"type\":\"step\",\"cloud\":{},{}\n",
+                    attack.cloud,
+                    &body[1..]
+                ));
+            }
+        }
+        out
+    }
+
+    /// The aggregated summary as one JSON object.
+    pub fn summary_json(&self) -> String {
+        let mut spans = Vec::new();
+        for &(name, count, total_ns, max_ns) in &self.spans {
+            if count == 0 {
+                continue;
+            }
+            let mean_ns = total_ns / count;
+            spans.push(format!(
+                "\"{name}\":{{\"count\":{count},\"total_ns\":{total_ns},\
+                 \"mean_ns\":{mean_ns},\"max_ns\":{max_ns}}}"
+            ));
+        }
+        let counters: Vec<String> =
+            self.counters.iter().map(|&(name, v)| format!("\"{name}\":{v}")).collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|&(name, last, max, samples)| {
+                format!("\"{name}\":{{\"last\":{last},\"max\":{max},\"samples\":{samples}}}")
+            })
+            .collect();
+        let workers: Vec<String> =
+            self.worker_tasks.iter().map(|&(i, t)| format!("\"{i}\":{t}")).collect();
+        let attacks: Vec<String> = self
+            .attacks
+            .iter()
+            .map(|a| {
+                let last_gain = a.steps.last().map_or("null".to_string(), |s| jf(s.gain));
+                let restarts = a.steps.iter().filter(|s| s.restarted).count();
+                format!(
+                    "{{\"cloud\":{},\"steps\":{},\"dropped\":{},\
+                     \"final_gain\":{last_gain},\"restarts\":{restarts}}}",
+                    a.cloud,
+                    a.steps.len(),
+                    a.dropped
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"colper-trace-v1\",\n  \"spans\": {{{}}},\n  \"counters\": {{{}}},\n  \
+             \"gauges\": {{{}}},\n  \"worker_tasks\": {{{}}},\n  \"attacks\": [{}]\n}}\n",
+            spans.join(","),
+            counters.join(","),
+            gauges.join(","),
+            workers.join(","),
+            attacks.join(",")
+        )
+    }
+
+    /// The human-readable end-of-run table (what the CLI prints under
+    /// `--trace`).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>12} {:>10} {:>10}\n",
+            "span", "count", "total ms", "mean us", "max us"
+        ));
+        for &(name, count, total_ns, max_ns) in &self.spans {
+            if count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>12.2} {:>10.1} {:>10.1}\n",
+                name,
+                count,
+                total_ns as f64 / 1e6,
+                total_ns as f64 / count as f64 / 1e3,
+                max_ns as f64 / 1e3
+            ));
+        }
+        out.push_str(&format!("\n{:<28} {:>9}\n", "counter", "value"));
+        for &(name, value) in &self.counters {
+            if value == 0 {
+                continue;
+            }
+            out.push_str(&format!("{:<28} {:>9}\n", name, value));
+        }
+        for &(name, last, max, _) in &self.gauges {
+            if max == 0 {
+                continue;
+            }
+            out.push_str(&format!("{:<28} last {last}, max {max}\n", name));
+        }
+        if !self.worker_tasks.is_empty() {
+            let tasks: Vec<String> =
+                self.worker_tasks.iter().map(|&(i, t)| format!("w{i}:{t}")).collect();
+            out.push_str(&format!("{:<28} {}\n", "runtime.worker_tasks", tasks.join(" ")));
+        }
+        for attack in &self.attacks {
+            let restarts = attack.steps.iter().filter(|s| s.restarted).count();
+            let gain = attack.steps.last().map_or(f32::NAN, |s| s.gain);
+            out.push_str(&format!(
+                "attack cloud {}: {} steps traced, final gain {:.4}, {} restarts\n",
+                attack.cloud,
+                attack.steps.len(),
+                gain,
+                restarts
+            ));
+        }
+        out
+    }
+
+    /// Writes `<stem>.jsonl` and `<stem>_summary.json` under `dir`
+    /// (creating it), returning the two paths.
+    pub fn write(&self, dir: &Path, stem: &str) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let jsonl = dir.join(format!("{stem}.jsonl"));
+        std::fs::write(&jsonl, self.to_jsonl())?;
+        let summary = dir.join(format!("{stem}_summary.json"));
+        std::fs::write(&summary, self.summary_json())?;
+        Ok((jsonl, summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::StepRecord;
+    use crate::TEST_LOCK;
+
+    fn sample_report() -> TraceReport {
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _s = crate::span!(ATTACK_STEP);
+            crate::counters::POOL_HIT.add(3);
+            crate::gauges::TAPE_NODES.record(17);
+            crate::worker_task(0);
+        }
+        let obs = Observer::enabled();
+        let mut buf = obs.begin_attack(0, 4).expect("recording on");
+        buf.push(StepRecord { step: 0, gain: 2.5, ..StepRecord::default() });
+        buf.push(StepRecord { step: 1, gain: 2.0, restarted: true, ..StepRecord::default() });
+        obs.finish_attack(buf);
+        let report = TraceReport::capture(&obs);
+        crate::set_enabled(false);
+        crate::reset();
+        report
+    }
+
+    #[test]
+    fn jsonl_lines_carry_types_and_steps() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let report = sample_report();
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"type\":\"meta\""));
+        assert!(lines[0].contains("\"schema\":\"colper-trace-v1\""));
+        assert!(jsonl.contains("\"type\":\"span\",\"name\":\"attack.step\""));
+        assert!(jsonl.contains("\"type\":\"counter\",\"name\":\"tensor.pool.hit\",\"value\":3"));
+        assert!(jsonl.contains("\"type\":\"gauge\",\"name\":\"tape.nodes_live\""));
+        assert!(jsonl.contains("\"type\":\"worker\",\"index\":0,\"tasks\":1"));
+        let steps: Vec<&&str> = lines.iter().filter(|l| l.contains("\"type\":\"step\"")).collect();
+        assert_eq!(steps.len(), 2);
+        assert!(steps[0].contains("\"cloud\":0"));
+        assert!(steps[1].contains("\"restarted\":true"));
+        // Every line is one object: crude but serde-free validation.
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line {line}");
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_runs() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let report = sample_report();
+        let summary = report.summary_json();
+        assert!(summary.contains("\"schema\": \"colper-trace-v1\""));
+        assert!(summary.contains("\"attack.step\":{\"count\":1"));
+        assert!(summary.contains("\"tensor.pool.hit\":3"));
+        assert!(summary.contains("\"final_gain\":2"));
+        assert!(summary.contains("\"restarts\":1"));
+    }
+
+    #[test]
+    fn table_renders_without_zero_rows() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let report = sample_report();
+        let table = report.table();
+        assert!(table.contains("attack.step"));
+        assert!(!table.contains("forward.resgcn"), "zero spans must be elided:\n{table}");
+        assert!(table.contains("attack cloud 0: 2 steps traced"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(jf(f32::NAN), "null");
+        assert_eq!(jf(f32::INFINITY), "null");
+        assert_eq!(jf(1.25), "1.25");
+    }
+}

@@ -203,10 +203,13 @@ impl Shared {
     fn find_task(&self, own: usize) -> Option<Task> {
         let n = self.deques.len();
         if let Some(t) = lock(&self.deques[own]).pop_front() {
+            colper_obs::worker_task(own);
             return Some(t);
         }
         for off in 1..n {
             if let Some(t) = lock(&self.deques[(own + off) % n]).pop_back() {
+                colper_obs::worker_task(own);
+                colper_obs::counters::RUNTIME_STEALS.incr();
                 return Some(t);
             }
         }
@@ -311,7 +314,10 @@ impl Pool {
             let _guard = PoolGuard::enter();
             while !latch.is_done() {
                 match self.shared.steal_any() {
-                    Some(task) => execute(task),
+                    Some(task) => {
+                        colper_obs::counters::RUNTIME_SUBMITTER_TASKS.incr();
+                        execute(task)
+                    }
                     None => {
                         latch.wait();
                         break;

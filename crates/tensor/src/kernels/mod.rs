@@ -95,6 +95,29 @@ pub fn set_simd_enabled(enabled: bool) {
     MODE.store(m, Ordering::Relaxed);
 }
 
+/// Credits `calls` kernel invocations to the active dispatch path's
+/// counter (`kernel.dispatch.simd` / `kernel.dispatch.scalar`).
+///
+/// Counting happens here, in bulk at the tensor-op boundary, rather than
+/// inside the `dispatched!` wrappers: the innermost kernels run hundreds
+/// of thousands of times per attack step, and even one relaxed atomic
+/// increment per call costs ~30% of a step when tracing is on. Callers
+/// pass the sequential-order invocation count (a matmul credits its `m`
+/// row kernels, a loop its trip count), so the totals are independent of
+/// thread count and chunking.
+#[inline]
+pub fn count_dispatch(calls: usize) {
+    if calls == 0 || !colper_obs::enabled() {
+        return;
+    }
+    let counter = if simd_active() {
+        &colper_obs::counters::KERNEL_DISPATCH_SIMD
+    } else {
+        &colper_obs::counters::KERNEL_DISPATCH_SCALAR
+    };
+    counter.add(calls as u64);
+}
+
 /// Short description of the active kernel path for logs and bench reports.
 pub fn features() -> &'static str {
     if simd_active() {

@@ -164,6 +164,35 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Returns row `r` as a slice.
+    ///
+    /// The fallible counterpart of [`Matrix::row`], following the same
+    /// convention as [`Matrix::get`] / [`Matrix::at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when `r >= rows`.
+    pub fn get_row(&self, r: usize) -> Result<&[f32], TensorError> {
+        if r >= self.rows {
+            return Err(TensorError::IndexOutOfBounds { index: r, bound: self.rows });
+        }
+        Ok(&self.data[r * self.cols..(r + 1) * self.cols])
+    }
+
+    /// Returns row `r` as a mutable slice.
+    ///
+    /// The fallible counterpart of [`Matrix::row_mut`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when `r >= rows`.
+    pub fn get_row_mut(&mut self, r: usize) -> Result<&mut [f32], TensorError> {
+        if r >= self.rows {
+            return Err(TensorError::IndexOutOfBounds { index: r, bound: self.rows });
+        }
+        Ok(&mut self.data[r * self.cols..(r + 1) * self.cols])
+    }
+
     /// Returns element `(r, c)`.
     ///
     /// The fallible counterpart of [`Matrix::at`]; matches [`Matrix::set`]
@@ -501,6 +530,16 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn at_panics_out_of_bounds() {
         Matrix::zeros(2, 2).at(2, 0);
+    }
+
+    #[test]
+    fn get_row_is_the_fallible_twin_of_row() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.get_row(1).unwrap(), m.row(1));
+        assert!(matches!(m.get_row(2), Err(TensorError::IndexOutOfBounds { index: 2, bound: 2 })));
+        m.get_row_mut(0).unwrap()[1] = 9.0;
+        assert_eq!(m.row(0), &[1.0, 9.0]);
+        assert!(m.get_row_mut(5).is_err());
     }
 
     #[test]

@@ -149,6 +149,7 @@ impl Matrix {
             return Err(ShapeError::new(op, self.shape(), other.shape()).into());
         }
         assert_eq!(out.shape(), self.shape(), "{op}_into: output shape mismatch");
+        kernels::count_dispatch(1);
         let (a, b) = (self.as_slice(), other.as_slice());
         if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
             let chunk = chunk_len(a.len(), &rt);
@@ -170,6 +171,7 @@ impl Matrix {
     /// hot path where a shape mismatch is a programming error.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign requires equal shapes");
+        kernels::count_dispatch(1);
         if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
             let b = other.as_slice();
             let chunk = chunk_len(b.len(), &rt);
@@ -196,6 +198,7 @@ impl Matrix {
     /// Panics when `out` has a different shape.
     pub fn scale_into(&self, s: f32, out: &mut Matrix) {
         assert_eq!(out.shape(), self.shape(), "scale_into: output shape mismatch");
+        kernels::count_dispatch(1);
         let a = self.as_slice();
         if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
             let chunk = chunk_len(a.len(), &rt);
@@ -224,6 +227,7 @@ impl Matrix {
     /// Panics when `out` has a different shape.
     pub fn tanh_into(&self, out: &mut Matrix) {
         assert_eq!(out.shape(), self.shape(), "tanh_into: output shape mismatch");
+        kernels::count_dispatch(1);
         let a = self.as_slice();
         if let Some(rt) = runtime_for(self.len(), MIN_PAR_ELEMS) {
             let chunk = chunk_len(a.len(), &rt);
@@ -315,6 +319,7 @@ impl Matrix {
         let n = other.cols();
         assert_eq!(out.shape(), (m, n), "matmul_into: output shape mismatch");
         out.as_mut_slice().fill(0.0);
+        kernels::count_dispatch(m);
         let b = other.as_slice();
         for_each_out_row(out, m * k * n, |i, out_row| {
             kernels::matmul_row(self.row(i), b, n, out_row);
@@ -361,6 +366,7 @@ impl Matrix {
         if m == 0 || n == 0 || k == 0 {
             return Ok(());
         }
+        kernels::count_dispatch(m);
         // Pack self^T into a pooled panel so the inner kernel reads
         // contiguous rows instead of stride-m columns. Packing happens on
         // the calling thread before the row split, so the panel contents —
@@ -407,6 +413,7 @@ impl Matrix {
         let k = self.cols();
         let n = other.rows();
         assert_eq!(out.shape(), (m, n), "matmul_nt_into: output shape mismatch");
+        kernels::count_dispatch(m * n);
         for_each_out_row(out, m * k * n, |i, out_row| {
             let a_row = self.row(i);
             for (j, o) in out_row.iter_mut().enumerate().take(n) {
@@ -455,6 +462,7 @@ impl Matrix {
     /// Sum of all elements (dispatched lane-strided reduction; see
     /// [`kernels::sum`]).
     pub fn sum(&self) -> f32 {
+        kernels::count_dispatch(1);
         kernels::sum(self.as_slice())
     }
 
@@ -482,6 +490,7 @@ impl Matrix {
     /// Panics when `out` is not `[1, c]`.
     pub fn sum_rows_into(&self, out: &mut Matrix) {
         assert_eq!(out.shape(), (1, self.cols()), "sum_rows_into: output shape mismatch");
+        kernels::count_dispatch(self.rows());
         out.as_mut_slice().fill(0.0);
         for row in self.iter_rows() {
             kernels::add_assign(out.as_mut_slice(), row);
@@ -507,6 +516,7 @@ impl Matrix {
             return;
         }
         self.sum_rows_into(out);
+        kernels::count_dispatch(1);
         kernels::scale_assign(out.as_mut_slice(), 1.0 / self.rows() as f32);
     }
 
@@ -525,6 +535,7 @@ impl Matrix {
     /// Panics when `out` is not `[n, 1]`.
     pub fn sum_cols_into(&self, out: &mut Matrix) {
         assert_eq!(out.shape(), (self.rows(), 1), "sum_cols_into: output shape mismatch");
+        kernels::count_dispatch(self.rows());
         for (o, r) in out.as_mut_slice().iter_mut().zip(self.iter_rows()) {
             *o = kernels::sum(r);
         }
@@ -580,6 +591,7 @@ impl Matrix {
     /// The squared Frobenius norm (dispatched lane-strided fused sum of
     /// squares; see [`kernels::sum_sq`]).
     pub fn frobenius_sq(&self) -> f32 {
+        kernels::count_dispatch(1);
         kernels::sum_sq(self.as_slice())
     }
 

@@ -47,11 +47,13 @@ impl BufferPool {
         match self.take_buf(len) {
             Some(mut buf) => {
                 self.hits += 1;
+                colper_obs::counters::POOL_HIT.incr();
                 buf.fill(0.0);
                 Matrix::from_vec(rows, cols, buf).expect("pooled buffer length matches shape")
             }
             None => {
                 self.misses += 1;
+                colper_obs::counters::POOL_MISS.incr();
                 Matrix::zeros(rows, cols)
             }
         }
@@ -73,10 +75,12 @@ impl BufferPool {
         match self.take_buf(len) {
             Some(buf) => {
                 self.hits += 1;
+                colper_obs::counters::POOL_HIT.incr();
                 Matrix::from_vec(rows, cols, buf).expect("pooled buffer length matches shape")
             }
             None => {
                 self.misses += 1;
+                colper_obs::counters::POOL_MISS.incr();
                 Matrix::zeros(rows, cols)
             }
         }
@@ -90,12 +94,14 @@ impl BufferPool {
         match self.take_buf(src.len()) {
             Some(mut buf) => {
                 self.hits += 1;
+                colper_obs::counters::POOL_HIT.incr();
                 buf.copy_from_slice(src.as_slice());
                 Matrix::from_vec(src.rows(), src.cols(), buf)
                     .expect("pooled buffer length matches shape")
             }
             None => {
                 self.misses += 1;
+                colper_obs::counters::POOL_MISS.incr();
                 src.clone()
             }
         }

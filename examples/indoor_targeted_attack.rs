@@ -8,7 +8,7 @@
 //! cargo run --release --example indoor_targeted_attack
 //! ```
 
-use colper_repro::attack::{AttackConfig, Colper};
+use colper_repro::attack::{AttackConfig, AttackSession};
 use colper_repro::metrics::{oob_metrics, success_rate};
 use colper_repro::models::{predict, train_model, CloudTensors, ResGcn, ResGcnConfig, TrainConfig};
 use colper_repro::scene::{normalize, IndoorClass, S3disLikeDataset};
@@ -63,8 +63,11 @@ fn main() {
     );
 
     println!("running COLPER targeted attack {source} -> {target}...");
-    let attack = Colper::new(AttackConfig::targeted(100, target.label()));
-    let result = attack.run(&model, &office, &mask, &mut rng);
+    let outcome = AttackSession::new(AttackConfig::targeted(100, target.label()))
+        .mask_source_class(source.label())
+        .seed(13)
+        .run(&model, std::slice::from_ref(&office));
+    let result = &outcome.items[0].result;
     let stats = oob_metrics(&result.predictions, &office.labels, &mask, 13);
 
     println!("  perturbation L2:   {:.2}", result.l2());

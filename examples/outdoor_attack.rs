@@ -8,7 +8,7 @@
 //! cargo run --release --example outdoor_attack
 //! ```
 
-use colper_repro::attack::{AttackConfig, Colper, NoiseBaseline};
+use colper_repro::attack::{AttackConfig, AttackSession, NoiseBaseline};
 use colper_repro::metrics::success_rate;
 use colper_repro::models::{
     evaluate_on, train_model, CloudTensors, RandLaNet, RandLaNetConfig, TrainConfig,
@@ -52,8 +52,10 @@ fn main() {
     // noise baseline of Table 3.
     println!("running non-targeted COLPER...");
     let mask = vec![true; scene.len()];
-    let attack = Colper::new(AttackConfig::non_targeted(80));
-    let result = attack.run(&model, &scene, &mask, &mut rng);
+    let outcome = AttackSession::new(AttackConfig::non_targeted(80))
+        .seed(29)
+        .run(&model, std::slice::from_ref(&scene));
+    let result = &outcome.items[0].result;
     let baseline = NoiseBaseline::new(result.l2_sq).run(&model, &scene, &mask, &mut rng);
     println!("  COLPER:   L2 {:.2}, accuracy {:.1}%", result.l2(), result.success_metric * 100.0);
     println!(
@@ -67,8 +69,11 @@ fn main() {
     let target = OutdoorClass::HighVegetation;
     println!("running targeted COLPER: {source} -> {target}...");
     let car_mask: Vec<bool> = scene.labels.iter().map(|&l| l == source.label()).collect();
-    let attack = Colper::new(AttackConfig::targeted(100, target.label()));
-    let result = attack.run(&model, &scene, &car_mask, &mut rng);
+    let outcome = AttackSession::new(AttackConfig::targeted(100, target.label()))
+        .mask_source_class(source.label())
+        .seed(30)
+        .run(&model, std::slice::from_ref(&scene));
+    let result = &outcome.items[0].result;
     let targets = vec![target.label(); scene.len()];
     println!(
         "  SR: {:.1}% of {} car points now predicted as {target} (L2 {:.2})",

@@ -7,10 +7,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use colper_repro::attack::{AttackConfig, Colper};
+use colper_repro::attack::{AttackConfig, AttackSession};
 use colper_repro::models::{
     evaluate_on, train_model, CloudTensors, PointNet2, PointNet2Config, TrainConfig,
 };
+use colper_repro::obs::{Observer, TraceReport};
 use colper_repro::scene::{normalize, IndoorSceneConfig, RoomKind, SceneGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,10 +61,15 @@ fn main() {
     let clean_acc = evaluate_on(&model, &victim_cloud, &mut rng);
     println!("clean accuracy on held-out room: {:.1}%", clean_acc * 100.0);
 
+    // Honors COLPER_TRACE=1: run with it set to also get per-step attack
+    // telemetry and an end-of-run timing table.
+    let observer = Observer::from_env();
     println!("running COLPER (non-targeted, all points)...");
-    let attack = Colper::new(AttackConfig::non_targeted(80));
-    let mask = vec![true; victim_cloud.len()];
-    let result = attack.run(&model, &victim_cloud, &mask, &mut rng);
+    let outcome = AttackSession::new(AttackConfig::non_targeted(80))
+        .observer(&observer)
+        .seed(7)
+        .run(&model, std::slice::from_ref(&victim_cloud));
+    let result = &outcome.items[0].result;
 
     println!("  perturbation L2:        {:.2}", result.l2());
     println!("  post-attack accuracy:   {:.1}%", result.success_metric * 100.0);
@@ -72,4 +78,8 @@ fn main() {
         "  accuracy drop:          {:.1} percentage points, color-only",
         (clean_acc - result.success_metric) * 100.0
     );
+
+    if observer.is_active() {
+        println!("\n{}", TraceReport::capture(&observer).table());
+    }
 }

@@ -8,7 +8,7 @@
 //! cargo run --release --example transferability
 //! ```
 
-use colper_repro::attack::{apply_adversarial_colors, evaluate_cloud, AttackConfig, Colper};
+use colper_repro::attack::{apply_adversarial_colors, evaluate_cloud, AttackConfig, AttackSession};
 use colper_repro::models::{
     train_model, CloudTensors, PointNet2, PointNet2Config, ResGcn, ResGcnConfig, TrainConfig,
 };
@@ -64,9 +64,10 @@ fn main() {
     println!("generating adversarial sample against ResGCN...");
     let rg_view = normalize::resgcn_view(&room);
     let tensors = CloudTensors::from_cloud(&rg_view);
-    let attack = Colper::new(AttackConfig::non_targeted(100));
-    let mask = vec![true; tensors.len()];
-    let result = attack.run(&resgcn, &tensors, &mask, &mut rng);
+    let outcome = AttackSession::new(AttackConfig::non_targeted(100))
+        .seed(41)
+        .run(&resgcn, std::slice::from_ref(&tensors));
+    let result = &outcome.items[0].result;
     println!(
         "  on source model: accuracy {:.1}% (L2 {:.2})",
         result.success_metric * 100.0,

@@ -14,13 +14,14 @@
 //! pool (default: `COLPER_THREADS`, else the host parallelism); every
 //! thread count produces bit-identical results.
 
-use colper_repro::attack::{AttackConfig, Colper, NoiseBaseline};
+use colper_repro::attack::{AttackConfig, AttackSession, NoiseBaseline};
 use colper_repro::metrics::ConfusionMatrix;
 use colper_repro::models::{
     train_model, CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn,
     ResGcnConfig, SegmentationModel, TrainConfig,
 };
 use colper_repro::nn::{load_params, save_params};
+use colper_repro::obs::{Observer, TraceReport};
 use colper_repro::runtime::Runtime;
 use colper_repro::scene::{
     normalize, IndoorClass, IndoorSceneConfig, OutdoorSceneConfig, RoomKind, S3disLikeDataset,
@@ -79,7 +80,7 @@ const USAGE: &str = "usage:
                  [--threads N]
   colper attack  [--model pointnet|resgcn|randla] [--steps S] [--points N] [--seed S]
                  [--targeted CLASS] [--source CLASS] [--weights FILE] [--map] [--ply FILE]
-                 [--threads N]";
+                 [--threads N] [--trace]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -90,7 +91,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument '{arg}'"));
         };
         // Boolean flags take no value.
-        if name == "outdoor" || name == "map" {
+        if name == "outdoor" || name == "map" || name == "trace" {
             flags.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -320,28 +321,62 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
         ),
     };
 
-    // One geometry plan serves the clean prediction and every attack step.
+    // `--trace` (or COLPER_TRACE=1 in the environment) switches on the
+    // observability layer: per-step telemetry plus span/counter
+    // aggregates written under `results/`.
+    if flags.contains_key("trace") {
+        colper_repro::obs::set_enabled(true);
+    }
+    let observer = Observer::from_env();
+
+    // One geometry plan serves the clean prediction and every attack
+    // step. The session derives cloud 0's RNG from the seed and runs the
+    // clean prediction first; replay that stream here so the printed
+    // (and `--map`ped) clean segmentation is exactly what it saw.
     let plan = colper_repro::attack::AttackPlan::build(model.as_dyn(), &tensors, &config);
-    let clean_preds =
-        colper_repro::models::predict_planned(model.as_dyn(), &tensors, plan.geometry(), &mut rng);
+    let mut clean_rng = StdRng::seed_from_u64(seed);
+    let clean_preds = colper_repro::models::predict_planned(
+        model.as_dyn(),
+        &tensors,
+        plan.geometry(),
+        &mut clean_rng,
+    );
     let mut cm = ConfusionMatrix::new(13);
     cm.update(&clean_preds, &tensors.labels);
     println!("clean: accuracy {:.1}%, aIoU {:.1}%", cm.accuracy() * 100.0, cm.mean_iou() * 100.0);
 
     println!("running COLPER: {goal_desc}, {steps} steps...");
-    let attack = Colper::new(config);
-    let result = attack.run_planned(model.as_dyn(), &tensors, &mask, &plan, &mut rng);
-    let mut cm = ConfusionMatrix::new(13);
-    cm.update(&result.predictions, &tensors.labels);
+    let mask_of = |_: &CloudTensors| mask.clone();
+    let outcome = AttackSession::new(config)
+        .plan(&plan)
+        .observer(&observer)
+        .seed(seed)
+        .mask_with(&mask_of)
+        .run(model.as_dyn(), std::slice::from_ref(&tensors));
+    let item = &outcome.items[0];
+    let result = &item.result;
     println!(
         "adversarial: accuracy {:.1}%, aIoU {:.1}%, L2 {:.2}, {} steps, converged: {}",
-        cm.accuracy() * 100.0,
-        cm.mean_iou() * 100.0,
+        item.adversarial_accuracy * 100.0,
+        item.adversarial_miou * 100.0,
         result.l2(),
         result.steps_run,
         result.converged
     );
     println!("attacker metric (acc on attacked pts / SR): {:.1}%", result.success_metric * 100.0);
+
+    if observer.is_active() {
+        let trace = TraceReport::capture(&observer);
+        let (jsonl, summary) = trace
+            .write(std::path::Path::new("results"), "TRACE_attack")
+            .map_err(|e| format!("cannot write trace: {e}"))?;
+        let reports: Vec<String> = outcome.reports(&observer).iter().map(|r| r.to_json()).collect();
+        let report_path = "results/TRACE_attack_report.json";
+        std::fs::write(report_path, format!("[{}]\n", reports.join(",")))
+            .map_err(|e| format!("cannot write {report_path}: {e}"))?;
+        println!("\n{}", trace.table());
+        println!("trace: {} + {} + {report_path}", jsonl.display(), summary.display());
+    }
 
     let baseline = NoiseBaseline::new(result.l2_sq).run(model.as_dyn(), &tensors, &mask, &mut rng);
     let mut cm = ConfusionMatrix::new(13);

@@ -25,6 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Observability: timing spans, counters, per-step attack telemetry
+/// (re-export of `colper-obs`).
+pub use colper_obs as obs;
+
 /// The shared work-stealing compute pool every knob plumbs into
 /// (re-export of `colper-runtime`).
 pub use colper_runtime as runtime;

@@ -2,6 +2,11 @@
 //! attack → defend → re-evaluate loop, plus detector behavior on real
 //! COLPER samples.
 
+// These contracts pin the behavior of the deprecated entry points
+// (the `AttackSession` equivalence tests live in the attack crate and
+// `tests/obs_equivalence.rs`).
+#![allow(deprecated)]
+
 use colper_repro::attack::{apply_adversarial_colors, AttackConfig, Colper};
 use colper_repro::defense::{
     adversarial_training, AdvTrainConfig, ColorTransform, SmoothnessDetector,

@@ -2,6 +2,11 @@
 //! and attacks bit-for-bit — the property the experiment harness's
 //! caching and the paper-protocol splits rely on.
 
+// These contracts pin the behavior of the deprecated entry points
+// (the `AttackSession` equivalence tests live in the attack crate and
+// `tests/obs_equivalence.rs`).
+#![allow(deprecated)]
+
 use colper_repro::attack::{AttackConfig, AttackPlan, Colper};
 use colper_repro::models::{
     train_model, CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, TrainConfig,

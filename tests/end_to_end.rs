@@ -1,6 +1,11 @@
 //! End-to-end integration: synthetic data -> trained victim -> attack ->
 //! metrics, spanning every crate of the workspace.
 
+// These contracts pin the behavior of the deprecated entry points
+// (the `AttackSession` equivalence tests live in the attack crate and
+// `tests/obs_equivalence.rs`).
+#![allow(deprecated)]
+
 use colper_repro::attack::{AttackConfig, Colper, NoiseBaseline};
 use colper_repro::metrics::success_rate;
 use colper_repro::models::{

@@ -1,0 +1,167 @@
+//! Observability equivalence contracts: turning tracing on must not
+//! change a single bit of any attack trajectory — on every victim
+//! architecture and at any thread count — and a trace-off run must
+//! record nothing at all. The telemetry hooks only *read* optimizer
+//! state; these tests pin that property end to end.
+
+use colper_repro::attack::{AttackConfig, AttackSession, BatchOutcome};
+use colper_repro::models::{
+    CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn, ResGcnConfig,
+    SegmentationModel,
+};
+use colper_repro::obs::{self, Observer};
+use colper_repro::runtime::Runtime;
+use colper_repro::scene::{normalize, IndoorSceneConfig, SceneGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Tests in this binary flip the process-global trace flag; serialize
+/// them so a concurrent test never observes the wrong mode.
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+const STEPS: usize = 4;
+
+fn indoor(points: usize, seed: u64) -> colper_repro::scene::PointCloud {
+    SceneGenerator::indoor(IndoorSceneConfig::with_points(points)).generate(seed)
+}
+
+/// Runs a short multi-sample attack through the session API under the
+/// given thread count and observer.
+fn attack_on<M: SegmentationModel + ?Sized>(
+    model: &M,
+    t: &CloudTensors,
+    threads: usize,
+    observer: &Observer,
+) -> BatchOutcome {
+    let mut cfg = AttackConfig::non_targeted(STEPS);
+    cfg.gradient_samples = 2; // exercise the EoT fan-out
+    cfg.convergence_threshold = Some(0.0); // never stop early
+    let rt = if threads == 1 { Runtime::sequential() } else { Runtime::new(threads) };
+    AttackSession::new(cfg)
+        .runtime(&rt)
+        .observer(observer)
+        .seed(99)
+        .run(model, std::slice::from_ref(t))
+}
+
+fn assert_trace_invariant<M: SegmentationModel + ?Sized>(model: &M, t: &CloudTensors) {
+    let _g = FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for threads in [1usize, 4] {
+        // Trace off: even a live observer handle must hand out no
+        // buffers while the global flag is down.
+        obs::set_enabled(false);
+        let off_observer = Observer::enabled();
+        let off = attack_on(model, t, threads, &off_observer);
+        assert!(
+            off_observer.attack_traces().is_empty(),
+            "trace-off run must record nothing ({threads} threads)"
+        );
+
+        // Trace on: same seed, same runtime — and telemetry this time.
+        obs::set_enabled(true);
+        let on_observer = Observer::enabled();
+        let on = attack_on(model, t, threads, &on_observer);
+        obs::set_enabled(false);
+
+        assert_eq!(off, on, "tracing changed the trajectory at {threads} threads");
+
+        let traces = on_observer.attack_traces();
+        assert_eq!(traces.len(), 1, "one trace per cloud");
+        assert_eq!(traces[0].cloud, 0);
+        assert_eq!(traces[0].dropped, 0, "buffer was pre-sized for every step");
+        assert_eq!(traces[0].steps.len(), STEPS, "one record per iteration");
+        // The recorded gains are the trajectory the optimizer reported.
+        let recorded: Vec<f32> = traces[0].steps.iter().map(|s| s.gain).collect();
+        assert_eq!(
+            recorded, on.items[0].result.gain_history,
+            "telemetry must mirror gain_history bit-for-bit"
+        );
+        for (i, step) in traces[0].steps.iter().enumerate() {
+            assert_eq!(step.step, i);
+            assert!(step.gain.is_finite());
+            assert!(step.grad_inf_norm >= 0.0);
+            assert!(step.flipped_points <= t.len());
+            // `gain` is the EoT mean over all samples while the term
+            // split is sample 0's, so the decomposition only holds
+            // approximately (tight when the forward pass is
+            // sample-invariant, looser for RandLA's random sampling).
+            let weighted = step.dist + step.weighted_hinge + step.weighted_smooth;
+            assert!(
+                (weighted - step.gain).abs() <= 5e-2 * step.gain.abs().max(1.0),
+                "gain decomposition drifted: {} vs {}",
+                weighted,
+                step.gain
+            );
+        }
+    }
+}
+
+#[test]
+fn pointnet_trajectory_is_trace_invariant() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let t = CloudTensors::from_cloud(&normalize::pointnet_view(&indoor(128, 7)));
+    assert_trace_invariant(&model, &t);
+}
+
+#[test]
+fn resgcn_trajectory_is_trace_invariant() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = ResGcn::new(ResGcnConfig::tiny(13), &mut rng);
+    let t = CloudTensors::from_cloud(&normalize::resgcn_view(&indoor(128, 8)));
+    assert_trace_invariant(&model, &t);
+}
+
+#[test]
+fn randla_trajectory_is_trace_invariant() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = RandLaNet::new(RandLaNetConfig::tiny(13), &mut rng);
+    let cloud = indoor(128, 9);
+    let mut view_rng = StdRng::seed_from_u64(3);
+    let t = CloudTensors::from_cloud(&normalize::randla_view(&cloud, cloud.len(), &mut view_rng));
+    assert_trace_invariant(&model, &t);
+}
+
+/// A traced batch collects one trace per cloud (input order), matches
+/// the untraced batch bit-for-bit, and nests into [`AttackReport`]s.
+#[test]
+fn batch_traces_cover_every_cloud_and_leave_the_outcome_unchanged() {
+    let _g = FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+    let clouds: Vec<CloudTensors> = (0..3)
+        .map(|i| CloudTensors::from_cloud(&normalize::pointnet_view(&indoor(96, 20 + i))))
+        .collect();
+    let cfg = AttackConfig::non_targeted(3);
+
+    obs::set_enabled(false);
+    let off =
+        AttackSession::new(cfg.clone()).runtime(&Runtime::new(4)).seed(11).run(&model, &clouds);
+
+    obs::set_enabled(true);
+    let observer = Observer::enabled();
+    let on = AttackSession::new(cfg)
+        .runtime(&Runtime::new(4))
+        .observer(&observer)
+        .seed(11)
+        .run(&model, &clouds);
+    obs::set_enabled(false);
+
+    assert_eq!(off, on, "tracing changed the batch outcome");
+    let traces = observer.attack_traces();
+    let order: Vec<usize> = traces.iter().map(|t| t.cloud).collect();
+    assert_eq!(order, vec![0, 1, 2], "one trace per cloud, input order");
+
+    let reports = on.reports(&observer);
+    assert_eq!(reports.len(), 3);
+    for (i, report) in reports.iter().enumerate() {
+        assert_eq!(report.cloud, i);
+        assert_eq!(report.steps.len(), on.items[i].result.steps_run);
+        assert_eq!(
+            report.adversarial_accuracy.to_bits(),
+            on.items[i].adversarial_accuracy.to_bits()
+        );
+        assert!(report.to_json().contains("\"steps\":["));
+    }
+}

@@ -4,6 +4,11 @@
 //! the pool reaches (tensor kernels, k-NN queries, EoT sample fan-out,
 //! per-cloud batch scheduling).
 
+// These contracts pin the behavior of the deprecated entry points
+// (the `AttackSession` equivalence tests live in the attack crate and
+// `tests/obs_equivalence.rs`).
+#![allow(deprecated)]
+
 use colper_repro::attack::{run_batch, AttackConfig, AttackPlan, Colper};
 use colper_repro::models::{
     CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn, ResGcnConfig,
