@@ -16,9 +16,7 @@
 //! comparison at smoke-test scale — one quick invocation refreshes all
 //! four BENCH files; `--alloc-only` runs just the allocation gauge.
 
-#![allow(deprecated)]
-
-use colper_attack::{AttackConfig, AttackPlan, AttackSession, Colper, TanhReparam};
+use colper_attack::{AttackConfig, AttackPlan, AttackSession, TanhReparam};
 use colper_autodiff::Tape;
 use colper_bench::write_json;
 use colper_geom::knn_graph;
@@ -175,7 +173,6 @@ fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) 
         _ => PointNet2::new(PointNet2Config::small(13), &mut rng),
     };
     let config = AttackConfig::non_targeted(1);
-    let mask = vec![true; t.len()];
 
     // Warm up everything the two timed closures share — the runtime's
     // thread pool, lazy statics, allocator arenas, page cache — before
@@ -185,11 +182,11 @@ fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) 
     let plan = AttackPlan::build(&model, &t, &config);
     let warm_unplanned = {
         let mut rng = StdRng::seed_from_u64(3);
-        Colper::new(config.clone()).run(&model, &t, &mask, &mut rng)
+        AttackSession::new(config.clone()).run_with_rng(&model, &t, &mut rng)
     };
     let warm_planned = {
         let mut rng = StdRng::seed_from_u64(3);
-        Colper::new(config.clone()).run_planned(&model, &t, &mask, &plan, &mut rng)
+        AttackSession::new(config.clone()).plan(&plan).run_with_rng(&model, &t, &mut rng)
     };
     assert_eq!(
         warm_unplanned.adversarial_colors, warm_planned.adversarial_colors,
@@ -198,15 +195,16 @@ fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) 
 
     let unplanned_ns = time_median_ns(samples, || {
         let mut rng = StdRng::seed_from_u64(3);
-        // `run` builds a fresh AttackPlan internally every call — this
-        // is what every attack step paid before the cache existed.
-        black_box(Colper::new(config.clone()).run(&model, &t, &mask, &mut rng).l2_sq);
+        // The plan-free path builds a fresh AttackPlan internally every
+        // call — this is what every attack step paid before the cache
+        // existed.
+        black_box(AttackSession::new(config.clone()).run_with_rng(&model, &t, &mut rng).l2_sq);
     });
 
     let planned_ns = time_median_ns(samples, || {
         let mut rng = StdRng::seed_from_u64(3);
         black_box(
-            Colper::new(config.clone()).run_planned(&model, &t, &mask, &plan, &mut rng).l2_sq,
+            AttackSession::new(config.clone()).plan(&plan).run_with_rng(&model, &t, &mut rng).l2_sq,
         );
     });
 
@@ -280,14 +278,14 @@ fn bench_parallel(points: usize, steps: usize, samples: usize, threads: usize, m
     // on top of the tensor/geometry kernels.
     config.gradient_samples = 2;
     config.convergence_threshold = Some(0.0); // never stop early
-    let mask = vec![true; t.len()];
     let plan = AttackPlan::build(&model, &t, &config);
 
     let run_with = |rt: &Runtime| {
         let mut rng = StdRng::seed_from_u64(3);
-        Colper::new(config.clone())
-            .with_runtime(rt.clone())
-            .run_planned(&model, &t, &mask, &plan, &mut rng)
+        AttackSession::new(config.clone())
+            .runtime(rt)
+            .plan(&plan)
+            .run_with_rng(&model, &t, &mut rng)
     };
 
     let sequential = Runtime::sequential();
@@ -365,20 +363,25 @@ fn bench_alloc(points: usize, model_scale: &str) {
         "tiny" => PointNet2::new(PointNet2Config::tiny(13), &mut rng),
         _ => PointNet2::new(PointNet2Config::small(13), &mut rng),
     };
-    let mask = vec![true; t.len()];
     let seq = Runtime::sequential();
 
     let attack_allocs = |steps: usize| -> (u64, u64) {
         let mut config = AttackConfig::non_targeted(steps);
         config.convergence_threshold = Some(0.0); // never stop early
         let plan = AttackPlan::build(&model, &t, &config);
-        let colper = Colper::new(config).with_runtime(seq.clone());
+        let session = AttackSession::new(config).runtime(&seq).plan(&plan);
         let mut rng = StdRng::seed_from_u64(3);
         let ((), allocs, bytes) = alloc_gauge::measure(|| {
-            black_box(colper.run_planned(&model, &t, &mask, &plan, &mut rng).l2_sq);
+            black_box(session.run_with_rng(&model, &t, &mut rng).l2_sq);
         });
         (allocs, bytes)
     };
+    // Warm up before measuring: the first attack in a process pays a
+    // one-time burst of lazy initialization (counter registry, SIMD
+    // dispatch, thread-local pools). Measuring LONG first would book
+    // that burst against the extra steps and report phantom per-step
+    // allocations.
+    let _ = attack_allocs(SHORT);
     let (long_allocs, long_bytes) = attack_allocs(LONG);
     let (short_allocs, short_bytes) = attack_allocs(SHORT);
     let steps_diff = (LONG - SHORT) as u64;

@@ -3,9 +3,9 @@
 //! These track the cost of regenerating each paper artefact rather than
 //! its numbers (use the `table*` binaries for the numbers).
 
-#![allow(deprecated)]
-
-use colper_attack::{AttackConfig, Colper, L0Attack, L0AttackConfig, NoiseBaseline, PerturbTarget};
+use colper_attack::{
+    AttackConfig, AttackSession, L0Attack, L0AttackConfig, NoiseBaseline, PerturbTarget,
+};
 use colper_models::{CloudTensors, PointNet2, PointNet2Config, ResGcn, ResGcnConfig};
 use colper_scene::{normalize, IndoorClass, IndoorSceneConfig, RoomKind, SceneGenerator};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -36,9 +36,9 @@ fn bench_table_pipelines(c: &mut Criterion) {
     group.bench_function("table1_cell_nontargeted_plus_baseline", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
-            let attack = Colper::new(AttackConfig::non_targeted(STEPS));
+            let attack = AttackSession::new(AttackConfig::non_targeted(STEPS));
             let mask = vec![true; pn_t.len()];
-            let result = attack.run(&pointnet, &pn_t, &mask, &mut rng);
+            let result = attack.run_with_rng(&pointnet, &pn_t, &mut rng);
             let baseline = NoiseBaseline::new(result.l2_sq).run(&pointnet, &pn_t, &mask, &mut rng);
             (result.success_metric, baseline.success_metric)
         });
@@ -52,8 +52,10 @@ fn bench_table_pipelines(c: &mut Criterion) {
             if !mask.iter().any(|&m| m) {
                 return 0.0;
             }
-            let attack = Colper::new(AttackConfig::targeted(STEPS, IndoorClass::Wall.label()));
-            attack.run(&pointnet, &pn_t, &mask, &mut rng).success_metric
+            let attack =
+                AttackSession::new(AttackConfig::targeted(STEPS, IndoorClass::Wall.label()))
+                    .mask_source_class(IndoorClass::Board.label());
+            attack.run_with_rng(&pointnet, &pn_t, &mut rng).success_metric
         });
     });
 
@@ -73,9 +75,8 @@ fn bench_table_pipelines(c: &mut Criterion) {
             let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(POINTS)).generate(6);
             let view = normalize::resgcn_view(&cloud);
             let t = CloudTensors::from_cloud(&view);
-            let attack = Colper::new(AttackConfig::non_targeted(STEPS));
-            let mask = vec![true; t.len()];
-            let result = attack.run(&resgcn, &t, &mask, &mut rng);
+            let attack = AttackSession::new(AttackConfig::non_targeted(STEPS));
+            let result = attack.run_with_rng(&resgcn, &t, &mut rng);
             let adv = colper_attack::apply_adversarial_colors(&view, &result.adversarial_colors);
             let transferred = normalize::eq10_transform(&adv);
             colper_attack::evaluate_cloud(&pointnet, &transferred, &mut rng).accuracy

@@ -4,7 +4,7 @@
 //! (vs. a plain projected/clamped gradient descent).
 
 use crate::{acc_miou, parallel_map, ModelZoo};
-use colper_attack::{AttackConfig, Colper};
+use colper_attack::{AttackConfig, AttackSession};
 use colper_models::{CloudTensors, ModelInput, SegmentationModel};
 use colper_nn::{AdamState, Forward};
 use colper_scene::normalize;
@@ -45,9 +45,8 @@ fn run_variant(
     let classes = zoo.pointnet.num_classes();
     let outcomes = parallel_map(&zoo.runtime, samples, |i, t| {
         let mut rng = StdRng::seed_from_u64(71_000 + i as u64);
-        let attack = Colper::new(config.clone());
-        let mask = vec![true; t.len()];
-        let result = attack.run(&zoo.pointnet, t, &mask, &mut rng);
+        let attack = AttackSession::new(config.clone());
+        let result = attack.run_with_rng(&zoo.pointnet, t, &mut rng);
         let (acc, miou) = acc_miou(&result.predictions, &t.labels, classes);
         (acc, miou, result.l2(), result.steps_run as f32)
     });

@@ -3,7 +3,7 @@
 //! restricted to the color channels, on the same victims and samples.
 
 use crate::{acc_miou, parallel_map, ModelZoo};
-use colper_attack::{AttackConfig, ClassicAttack, ClassicKind, Colper};
+use colper_attack::{AttackConfig, AttackSession, ClassicAttack, ClassicKind};
 use colper_models::CloudTensors;
 use colper_scene::normalize;
 use colper_tensor::Matrix;
@@ -72,9 +72,8 @@ pub fn run(zoo: &ModelZoo) -> ComparisonReport {
     // COLPER reference row.
     let colper_outcomes = parallel_map(&zoo.runtime, &samples, |i, t| {
         let mut rng = StdRng::seed_from_u64(97_000 + i as u64);
-        let attack = Colper::new(AttackConfig::non_targeted(steps));
-        let mask = vec![true; t.len()];
-        let result = attack.run(model, t, &mask, &mut rng);
+        let attack = AttackSession::new(AttackConfig::non_targeted(steps));
+        let result = attack.run_with_rng(model, t, &mut rng);
         let (acc, miou) = acc_miou(&result.predictions, &t.labels, 13);
         (acc, miou, result.l2(), linf(&result.adversarial_colors, &t.colors), result.steps_run)
     });

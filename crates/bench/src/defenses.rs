@@ -7,7 +7,7 @@
 //! input). The detector is scored by detection / false-positive rate.
 
 use crate::{acc_miou, parallel_map, ModelZoo};
-use colper_attack::{apply_adversarial_colors, AttackConfig, Colper};
+use colper_attack::{apply_adversarial_colors, AttackConfig, AttackSession};
 use colper_defense::{ColorTransform, SmoothnessDetector};
 use colper_models::CloudTensors;
 use colper_scene::{normalize, PointCloud};
@@ -63,9 +63,8 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
         let t = CloudTensors::from_cloud(room);
         let clean_preds = colper_models::predict(model, &t, &mut rng);
         let (clean_acc, _) = acc_miou(&clean_preds, &t.labels, classes);
-        let attack = Colper::new(AttackConfig::non_targeted(steps));
-        let mask = vec![true; t.len()];
-        let result = attack.run(model, &t, &mask, &mut rng);
+        let attack = AttackSession::new(AttackConfig::non_targeted(steps));
+        let result = attack.run_with_rng(model, &t, &mut rng);
         let (adv_acc, _) = acc_miou(&result.predictions, &t.labels, classes);
         (apply_adversarial_colors(room, &result.adversarial_colors), clean_acc, adv_acc)
     });
@@ -98,9 +97,8 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
             // input (transform folded in front of the optimization).
             let adaptive_base = transform.apply(room, &mut rng);
             let tb = CloudTensors::from_cloud(&adaptive_base);
-            let attack = Colper::new(AttackConfig::non_targeted(steps));
-            let mask = vec![true; tb.len()];
-            let result = attack.run(model, &tb, &mask, &mut rng);
+            let attack = AttackSession::new(AttackConfig::non_targeted(steps));
+            let result = attack.run_with_rng(model, &tb, &mut rng);
             // The defense re-applies its transform to whatever arrives.
             let adv_cloud = apply_adversarial_colors(&adaptive_base, &result.adversarial_colors);
             let redefended = transform.apply(&adv_cloud, &mut rng);
@@ -138,8 +136,7 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
         let t = CloudTensors::from_cloud(room);
         let mut cfg = AttackConfig::non_targeted(steps);
         cfg.lambda2 = 0.0; // no smoothness: a noisier perturbation
-        let mask = vec![true; t.len()];
-        let result = Colper::new(cfg).run(model, &t, &mask, &mut rng);
+        let result = AttackSession::new(cfg).run_with_rng(model, &t, &mut rng);
         apply_adversarial_colors(room, &result.adversarial_colors)
     });
     let rough_report = detector.evaluate(&rooms, &rough_adv);

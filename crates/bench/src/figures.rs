@@ -6,7 +6,7 @@
 
 use crate::table1::{attack_samples, SampleOutcome};
 use crate::ModelZoo;
-use colper_attack::{AttackConfig, Colper};
+use colper_attack::{AttackConfig, AttackSession};
 use colper_metrics::{ClassReport, ConfusionMatrix, Histogram};
 use colper_scene::{normalize, IndoorClass};
 use rand::rngs::StdRng;
@@ -62,9 +62,8 @@ pub fn run(zoo: &ModelZoo) -> FiguresReport {
     let mut attack_cfg = AttackConfig::non_targeted(steps);
     attack_cfg.record_trajectory = true;
     attack_cfg.convergence_threshold = Some(0.0); // full trajectory
-    let attack = Colper::new(attack_cfg);
-    let mask = vec![true; office.len()];
-    let result = attack.run(&zoo.pointnet, &office, &mask, &mut rng);
+    let attack = AttackSession::new(attack_cfg);
+    let result = attack.run_with_rng(&zoo.pointnet, &office, &mut rng);
     let office33_class_counts = IndoorClass::ALL
         .iter()
         .map(|&class| {

@@ -22,9 +22,6 @@
 //! for larger sample counts and step budgets, `COLPER_QUICK=1` for a
 //! smoke-test pass.
 
-// The harness pins published table numbers; porting it to `AttackSession`
-// would reseed per-cloud RNG streams and churn every golden artefact.
-#![allow(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -3,7 +3,7 @@
 //! bookcase are all driven to `wall` in a single optimization.
 
 use crate::{parallel_map, ModelZoo};
-use colper_attack::{AttackConfig, Colper};
+use colper_attack::{AttackConfig, AttackSession};
 use colper_metrics::{oob_metrics, success_rate};
 use colper_models::CloudTensors;
 use colper_scene::{normalize, IndoorClass};
@@ -56,8 +56,11 @@ pub fn run(zoo: &ModelZoo) -> MulticlassReport {
             // Compensate reduced step budgets, as in the Table 2/6 cells.
             attack_cfg.lr = 0.05;
         }
-        let attack = Colper::new(attack_cfg);
-        let result = attack.run(model, t, &mask, &mut rng);
+        let multi_source = |t: &CloudTensors| -> Vec<bool> {
+            t.labels.iter().map(|&l| sources.iter().any(|s| s.label() == l)).collect()
+        };
+        let attack = AttackSession::new(attack_cfg).mask_with(&multi_source);
+        let result = attack.run_with_rng(model, t, &mut rng);
         let targets = vec![target.label(); t.len()];
         let overall_sr = success_rate(&result.predictions, &targets, &mask);
         let per_class: Vec<(IndoorClass, f32, usize)> = sources

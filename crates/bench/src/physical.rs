@@ -8,7 +8,7 @@
 
 use crate::{acc_miou, parallel_map, ModelZoo};
 use colper_attack::physical::{robust_colper, survival, PhysicalModel};
-use colper_attack::{AttackConfig, Colper};
+use colper_attack::{AttackConfig, AttackSession};
 use colper_models::CloudTensors;
 use colper_scene::normalize;
 use rand::rngs::StdRng;
@@ -76,8 +76,8 @@ pub fn run(zoo: &ModelZoo) -> PhysicalReport {
             let (clean_acc, _) = acc_miou(&preds, &t.labels, 13);
 
             // Plain attack, then physical replay.
-            let plain =
-                Colper::new(AttackConfig::non_targeted(steps)).run(model, t, &mask, &mut rng);
+            let plain = AttackSession::new(AttackConfig::non_targeted(steps))
+                .run_with_rng(model, t, &mut rng);
             let plain_report = survival(model, t, &plain.adversarial_colors, &pm, 4, &mut rng);
 
             // EoT-hardened attack, then physical replay.

@@ -2,7 +2,7 @@
 //! models, compared to a random-noise baseline matched on L2.
 
 use crate::{acc_miou, parallel_map, BenchConfig, ModelZoo};
-use colper_attack::{AttackConfig, Colper, NoiseBaseline};
+use colper_attack::{AttackConfig, AttackSession, NoiseBaseline};
 use colper_metrics::Summary;
 use colper_models::{CloudTensors, SegmentationModel};
 use colper_runtime::Runtime;
@@ -76,9 +76,9 @@ pub fn attack_samples<M: SegmentationModel>(
         let clean_preds = colper_models::predict(model, t, &mut rng);
         let (clean_acc, clean_miou) = acc_miou(&clean_preds, &t.labels, classes);
 
-        let attack = Colper::new(AttackConfig::non_targeted(steps));
+        let attack = AttackSession::new(AttackConfig::non_targeted(steps));
         let mask = vec![true; t.len()];
-        let result = attack.run(model, t, &mask, &mut rng);
+        let result = attack.run_with_rng(model, t, &mut rng);
         let (adv_acc, adv_miou) = acc_miou(&result.predictions, &t.labels, classes);
 
         let baseline = NoiseBaseline::new(result.l2_sq).run(model, t, &mask, &mut rng);

@@ -4,7 +4,7 @@
 //! of Table 6; this module regenerates the full Table 6.
 
 use crate::{parallel_map, BenchConfig, ModelZoo};
-use colper_attack::{AttackConfig, Colper};
+use colper_attack::{AttackConfig, AttackSession};
 use colper_metrics::{oob_metrics, success_rate};
 use colper_models::{CloudTensors, SegmentationModel};
 use colper_scene::{normalize, IndoorClass};
@@ -74,8 +74,8 @@ pub fn targeted_cell<M: SegmentationModel>(
         if attack_cfg.steps < 1000 {
             attack_cfg.lr = 0.05;
         }
-        let attack = Colper::new(attack_cfg);
-        let result = attack.run(model, t, &mask, &mut rng);
+        let attack = AttackSession::new(attack_cfg).mask_source_class(source.label());
+        let result = attack.run_with_rng(model, t, &mut rng);
         let targets = vec![target.label(); t.len()];
         let sr_points = (
             success_rate(&result.predictions, &targets, &mask),

@@ -3,7 +3,7 @@
 //! vegetation, against RandLA-Net.
 
 use crate::{parallel_map, ModelZoo};
-use colper_attack::{AttackConfig, Colper};
+use colper_attack::{AttackConfig, AttackSession};
 use colper_metrics::{oob_metrics, success_rate};
 use colper_models::CloudTensors;
 use colper_scene::OutdoorClass;
@@ -68,8 +68,8 @@ pub fn run(zoo: &ModelZoo) -> Table4Report {
             if cfg.steps < 1000 {
                 cfg.lr = 0.05;
             }
-            let attack = Colper::new(cfg);
-            let result = attack.run(model, t, &mask, &mut rng);
+            let attack = AttackSession::new(cfg).mask_source_class(source);
+            let result = attack.run_with_rng(model, t, &mut rng);
             let targets = vec![target.label(); t.len()];
             let sr = success_rate(&result.predictions, &targets, &mask);
             let pts = mask.iter().filter(|&&m| m).count();

@@ -5,7 +5,7 @@
 //! range-exact variant).
 
 use crate::{parallel_map, ModelZoo};
-use colper_attack::{apply_adversarial_colors, evaluate_cloud, AttackConfig, Colper};
+use colper_attack::{apply_adversarial_colors, evaluate_cloud, AttackConfig, AttackSession};
 use colper_scene::{normalize, PointCloud};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,9 +42,8 @@ pub fn run(zoo: &ModelZoo) -> Table8Report {
         let mut rng = StdRng::seed_from_u64(61_000 + i as u64);
         let view = normalize::pointnet_view(room);
         let tensors = colper_models::CloudTensors::from_cloud(&view);
-        let attack = Colper::new(AttackConfig::non_targeted(steps));
-        let mask = vec![true; tensors.len()];
-        let result = attack.run(&zoo.pointnet, &tensors, &mask, &mut rng);
+        let attack = AttackSession::new(AttackConfig::non_targeted(steps));
+        let result = attack.run_with_rng(&zoo.pointnet, &tensors, &mut rng);
         let adv_cloud = apply_adversarial_colors(&view, &result.adversarial_colors);
         let on_source = evaluate_cloud(&zoo.pointnet, &adv_cloud, &mut rng);
         let on_alt = evaluate_cloud(&zoo.pointnet_alt, &adv_cloud, &mut rng);
@@ -56,9 +55,8 @@ pub fn run(zoo: &ModelZoo) -> Table8Report {
         let mut rng = StdRng::seed_from_u64(62_000 + i as u64);
         let view = normalize::resgcn_view(room);
         let tensors = colper_models::CloudTensors::from_cloud(&view);
-        let attack = Colper::new(AttackConfig::non_targeted(steps));
-        let mask = vec![true; tensors.len()];
-        let result = attack.run(&zoo.resgcn, &tensors, &mask, &mut rng);
+        let attack = AttackSession::new(AttackConfig::non_targeted(steps));
+        let result = attack.run_with_rng(&zoo.resgcn, &tensors, &mut rng);
         let adv_cloud = apply_adversarial_colors(&view, &result.adversarial_colors);
         let on_source = evaluate_cloud(&zoo.resgcn, &adv_cloud, &mut rng);
         // Eq. 10 verbatim, and the range-exact variant.

@@ -217,6 +217,26 @@ impl Colper {
         obs: &Observer,
         cloud: usize,
     ) -> AttackResult {
+        self.run_planned_obs_seated(model, tensors, mask, plan, rng, obs, cloud, None)
+    }
+
+    /// [`Colper::run_planned_obs`] with an optional [`crate::WarmSeat`]:
+    /// the single-sample steady path resumes on the seat's donated tape
+    /// (instead of growing a fresh one) and donates its own tape back
+    /// when the run finishes. Results are bit-identical either way; the
+    /// seat only recycles buffer pools.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_planned_obs_seated<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        tensors: &colper_models::CloudTensors,
+        mask: &[bool],
+        plan: &AttackPlan,
+        rng: &mut StdRng,
+        obs: &Observer,
+        cloud: usize,
+        seat: Option<&mut crate::WarmSeat>,
+    ) -> AttackResult {
         // An explicitly attached runtime wins; the default sequential
         // handle defers to the ambient one so `Colper::new` picks up pool
         // parallelism installed by batch / bench callers. Installing the
@@ -227,7 +247,8 @@ impl Colper {
         } else {
             self.runtime.clone()
         };
-        rt.clone().install(move || self.optimize(model, tensors, mask, plan, rng, &rt, obs, cloud))
+        rt.clone()
+            .install(move || self.optimize(model, tensors, mask, plan, rng, &rt, obs, cloud, seat))
     }
 
     /// The optimization loop of Algorithm 1, running on `rt`.
@@ -242,6 +263,7 @@ impl Colper {
         rt: &Runtime,
         obs: &Observer,
         cloud: usize,
+        mut seat: Option<&mut crate::WarmSeat>,
     ) -> AttackResult {
         let n = tensors.len();
         let classes = model.num_classes();
@@ -297,8 +319,17 @@ impl Colper {
         // Steady-state buffers for the single-sample path: one reusable
         // forward session plus preallocated gradient / prediction / color
         // scratch, so step >= 2 performs no heap allocation in tape value
-        // or gradient storage.
-        let mut steady = (cfg.gradient_samples == 1).then(|| Forward::new(model.params(), false));
+        // or gradient storage. A seated run resumes on the seat's donated
+        // tape, extending the zero-allocation property back to step 1 of
+        // repeat attacks on same-shaped clouds.
+        let mut steady =
+            (cfg.gradient_samples == 1).then(|| match seat.as_mut().and_then(|s| s.checkout()) {
+                Some(tape) => {
+                    colper_obs::counters::SEAT_WARM.incr();
+                    Forward::resume(model.params(), false, tape)
+                }
+                None => Forward::new(model.params(), false),
+            });
         let mut grad_buf = Matrix::zeros(n, 3);
         let mut preds_buf: Vec<usize> = Vec::new();
         let mut colors_buf = Matrix::zeros(n, 3);
@@ -530,6 +561,12 @@ impl Colper {
         }
         if let Some(buf) = trace_buf {
             obs.finish_attack(buf);
+        }
+
+        // Hand the steady session's tape back to the seat so the next
+        // attack seated here starts with warmed buffer pools.
+        if let (Some(seat), Some(session)) = (seat.as_mut(), steady.take()) {
+            seat.donate(session.into_tape());
         }
 
         let l2_sq = best_colors.sub(&orig).expect("shape").frobenius_sq();

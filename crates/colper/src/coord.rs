@@ -185,7 +185,7 @@ impl L0Attack {
                     (s, i)
                 })
                 .collect();
-            scores.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            restoration_order(&mut scores);
             let to_restore = cfg.restore_per_round.min(count.saturating_sub(budget_points).max(1));
             for &(_, i) in scores.iter().take(to_restore) {
                 perturbable[i] = false;
@@ -299,6 +299,16 @@ impl L0Attack {
     }
 }
 
+/// Sorts Eq. 9 restoration candidates by ascending impact score with the
+/// point index as tie-break. Uses [`f32::total_cmp`]: a non-finite score
+/// (a diverged gradient, an overflowed perturbation product) must not
+/// poison the ordering — NaN sorts after every finite score, so broken
+/// points are restored *last* and the order stays a total, deterministic
+/// function of the input.
+fn restoration_order(scores: &mut [(f32, usize)]) {
+    scores.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,5 +381,39 @@ mod tests {
             })
             .count();
         assert!(changed as f32 / n as f32 <= 0.11, "{changed}/{n} changed");
+    }
+
+    #[test]
+    fn restoration_order_is_total_under_nan_and_inf() {
+        // The old `partial_cmp(..).unwrap_or(Equal)` comparator made NaN
+        // compare equal to *everything*, which breaks transitivity and
+        // lets the sort order depend on element layout. `total_cmp` plus
+        // the index tie-break must produce one canonical order.
+        let mut scores = vec![
+            (f32::NAN, 0),
+            (1.0, 1),
+            (f32::NEG_INFINITY, 2),
+            (0.0, 3),
+            (f32::INFINITY, 4),
+            (1.0, 5),
+            (f32::NAN, 6),
+        ];
+        restoration_order(&mut scores);
+        let order: Vec<usize> = scores.iter().map(|&(_, i)| i).collect();
+        // -inf < 0 < 1 (ties by index) < +inf < NaN (ties by index).
+        assert_eq!(order, vec![2, 3, 1, 5, 4, 0, 6]);
+
+        // Any permutation of the same input sorts to the same order.
+        let mut rotated = vec![
+            (1.0, 5),
+            (f32::NAN, 6),
+            (f32::INFINITY, 4),
+            (f32::NAN, 0),
+            (0.0, 3),
+            (1.0, 1),
+            (f32::NEG_INFINITY, 2),
+        ];
+        restoration_order(&mut rotated);
+        assert_eq!(rotated.iter().map(|&(_, i)| i).collect::<Vec<_>>(), order);
     }
 }

@@ -26,7 +26,7 @@
 //! # Example
 //!
 //! ```no_run
-//! use colper_attack::{AttackConfig, AttackGoal, Colper};
+//! use colper_attack::{AttackConfig, AttackSession};
 //! use colper_models::{CloudTensors, PointNet2, PointNet2Config};
 //! use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
 //! use rand::rngs::StdRng;
@@ -36,9 +36,8 @@
 //! let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(512)).generate(1);
 //! let tensors = CloudTensors::from_cloud(&normalize::pointnet_view(&cloud));
 //! let model = PointNet2::new(PointNet2Config::small(13), &mut rng);
-//! let attack = Colper::new(AttackConfig::non_targeted(64));
-//! let mask = vec![true; tensors.len()];
-//! let result = attack.run(&model, &tensors, &mask, &mut rng);
+//! let attack = AttackSession::new(AttackConfig::non_targeted(64));
+//! let result = attack.run_with_rng(&model, &tensors, &mut rng);
 //! println!("post-attack accuracy on attacked points: {}", result.success_metric);
 //! ```
 
@@ -54,8 +53,10 @@ mod coord;
 pub mod physical;
 mod reparam;
 mod report;
+mod seat;
 mod session;
 mod transfer;
+mod validate;
 
 pub use attack::{AttackPlan, Colper};
 pub use baseline::{random_color_noise, NoiseBaseline};
@@ -70,5 +71,7 @@ pub use config::{AttackConfig, AttackGoal};
 pub use coord::{L0Attack, L0AttackConfig, L0Result, PerturbTarget};
 pub use reparam::TanhReparam;
 pub use report::AttackResult;
+pub use seat::WarmSeat;
 pub use session::AttackSession;
 pub use transfer::{apply_adversarial_colors, evaluate_cloud, TransferOutcome};
+pub use validate::{validate_clouds, SessionError};

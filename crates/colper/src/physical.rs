@@ -170,7 +170,6 @@ pub fn robust_colper<M: SegmentationModel + Sync + ?Sized>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated single-cloud entry point
 mod tests {
     use super::*;
     use colper_models::{train_model, PointNet2, PointNet2Config, TrainConfig};
@@ -226,9 +225,8 @@ mod tests {
     fn survival_reports_bounded_and_ordered() {
         let mut rng = StdRng::seed_from_u64(2);
         let (model, t) = victim(&mut rng);
-        let attack = Colper::new(AttackConfig::non_targeted(25));
-        let mask = vec![true; t.len()];
-        let result = attack.run(&model, &t, &mask, &mut rng);
+        let attack = crate::AttackSession::new(AttackConfig::non_targeted(25));
+        let result = attack.run_with_rng(&model, &t, &mut rng);
         let report = survival(
             &model,
             &t,

@@ -30,7 +30,9 @@
 //! println!("adv accuracy: {}", outcome.adversarial_accuracy.mean);
 //! ```
 
-use crate::{AttackConfig, AttackPlan, BatchItem, BatchOutcome, Colper};
+use crate::{
+    AttackConfig, AttackPlan, AttackResult, BatchItem, BatchOutcome, Colper, SessionError, WarmSeat,
+};
 use colper_metrics::ConfusionMatrix;
 use colper_models::{CloudTensors, SegmentationModel};
 use colper_obs::Observer;
@@ -133,25 +135,122 @@ impl<'a> AttackSession<'a> {
         self
     }
 
+    /// Runs the attack on one cloud drawing noise from the caller's RNG,
+    /// for callers that thread one RNG stream through a longer procedure
+    /// (adversarial training interleaves attacks with weight updates and
+    /// must not reseed per cloud). Uses the session's plan when attached,
+    /// and its mask selector; the observer reports the cloud as index 0.
+    ///
+    /// Unlike [`AttackSession::run`], no clean prediction is made and no
+    /// per-cloud seed is derived — the RNG stream is bit-identical to the
+    /// former `Colper::run` entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask selects no points, when an attached plan was
+    /// built for a different cloud, or when the configuration is invalid
+    /// for the model's class count.
+    pub fn run_with_rng<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        cloud: &CloudTensors,
+        rng: &mut StdRng,
+    ) -> AttackResult {
+        let built;
+        let plan = match self.plan {
+            Some(plan) => plan,
+            None => {
+                built = AttackPlan::build(model, cloud, &self.config);
+                &built
+            }
+        };
+        let mask = match &self.mask {
+            MaskSelector::All => vec![true; cloud.len()],
+            MaskSelector::SourceClass(source) => cloud.labels.iter().map(|l| l == source).collect(),
+            MaskSelector::Custom(mask_of) => mask_of(cloud),
+        };
+        Colper::new(self.config.clone()).with_runtime(self.runtime.clone()).run_planned_obs(
+            model,
+            cloud,
+            &mask,
+            plan,
+            rng,
+            &self.observer,
+            0,
+        )
+    }
+
+    /// [`AttackSession::run_with_rng`] on a [`WarmSeat`]: the run resumes
+    /// on the seat's donated tape (if any) and donates its own tape back
+    /// when it finishes, so repeated attacks on same-shaped clouds skip
+    /// the first-step allocation burst. Bit-identical to the seatless
+    /// entry point — the seat recycles buffer pools, never state.
+    pub fn run_with_rng_seated<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        cloud: &CloudTensors,
+        rng: &mut StdRng,
+        seat: &mut WarmSeat,
+    ) -> AttackResult {
+        let built;
+        let plan = match self.plan {
+            Some(plan) => plan,
+            None => {
+                built = AttackPlan::build(model, cloud, &self.config);
+                &built
+            }
+        };
+        let mask = match &self.mask {
+            MaskSelector::All => vec![true; cloud.len()],
+            MaskSelector::SourceClass(source) => cloud.labels.iter().map(|l| l == source).collect(),
+            MaskSelector::Custom(mask_of) => mask_of(cloud),
+        };
+        Colper::new(self.config.clone()).with_runtime(self.runtime.clone()).run_planned_obs_seated(
+            model,
+            cloud,
+            &mask,
+            plan,
+            rng,
+            &self.observer,
+            0,
+            Some(seat),
+        )
+    }
+
     /// Runs the attack over `clouds`, one stealable task per cloud, and
     /// aggregates the outcome. Single-cloud attacks are the 1-element
     /// case: `session.run(&model, std::slice::from_ref(&tensors))`.
     ///
     /// # Panics
     ///
-    /// Panics when `clouds` is empty, when a pre-built plan is combined
-    /// with more than one cloud, when a mask selects no points, or when
-    /// the configuration is invalid for the model's class count.
+    /// Panics on any input [`AttackSession::try_run`] rejects, and when a
+    /// mask selects no points or the configuration is invalid for the
+    /// model's class count.
     pub fn run<M: SegmentationModel + ?Sized>(
         &self,
         model: &M,
         clouds: &[CloudTensors],
     ) -> BatchOutcome {
-        assert!(!clouds.is_empty(), "attack session: no clouds");
-        assert!(
-            self.plan.is_none() || clouds.len() == 1,
-            "attack session: a pre-built plan applies to exactly one cloud"
-        );
+        match self.try_run(model, clouds) {
+            Ok(outcome) => outcome,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Validates the batch and runs the attack, returning a typed
+    /// [`SessionError`] instead of propagating garbage gradients when a
+    /// cloud carries NaN/inf coordinates, colors outside `[0, 1]`, or
+    /// out-of-range labels. The service intake maps these errors to
+    /// client faults.
+    pub fn try_run<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        clouds: &[CloudTensors],
+    ) -> Result<BatchOutcome, SessionError> {
+        crate::validate_clouds(clouds, model.num_classes())?;
+        if self.plan.is_some() && clouds.len() != 1 {
+            return Err(SessionError::PlanNeedsSingleCloud { clouds: clouds.len() });
+        }
         let classes = model.num_classes();
 
         let items: Vec<BatchItem> = self.runtime.par_map_grained(clouds.len(), 1, |index| {
@@ -197,7 +296,7 @@ impl<'a> AttackSession<'a> {
                 result,
             }
         });
-        BatchOutcome::aggregate(items)
+        Ok(BatchOutcome::aggregate(items))
     }
 }
 
@@ -274,6 +373,58 @@ mod tests {
         };
         let by_closure = AttackSession::new(cfg).mask_with(&mask_of).run(&model, &data);
         assert_eq!(by_variant, by_closure);
+    }
+
+    #[test]
+    fn run_with_rng_matches_the_deprecated_colper_run() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(1);
+        let cfg = AttackConfig::non_targeted(3);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let a = AttackSession::new(cfg.clone()).run_with_rng(&model, &data[0], &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        #[allow(deprecated)]
+        let b = Colper::new(cfg).run(&model, &data[0], &vec![true; data[0].len()], &mut rng_b);
+        assert_eq!(a, b);
+        // Both consume the same amount of randomness.
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn try_run_rejects_nan_coordinates_with_typed_error() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let mut data = clouds(1);
+        data[0].coords[3].x = f32::NAN;
+        let err =
+            AttackSession::new(AttackConfig::non_targeted(2)).try_run(&model, &data).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::SessionError::NonFiniteCoordinate { cloud: 0, point: 3, axis: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn try_run_rejects_out_of_range_colors() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let mut data = clouds(1);
+        data[0].colors.as_mut_slice()[4] = -0.25;
+        let err =
+            AttackSession::new(AttackConfig::non_targeted(2)).try_run(&model, &data).unwrap_err();
+        assert!(matches!(err, crate::SessionError::ColorOutOfRange { .. }));
+    }
+
+    #[test]
+    fn try_run_matches_run_on_valid_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(1);
+        let cfg = AttackConfig::non_targeted(2);
+        let a = AttackSession::new(cfg.clone()).seed(3).try_run(&model, &data).unwrap();
+        let b = AttackSession::new(cfg).seed(3).run(&model, &data);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -2,11 +2,7 @@
 //! discipline, metric bounds and reparameterization consistency — for
 //! arbitrary scenes, masks and configurations.
 
-// Property tests drive the single-cloud entry point directly: each case
-// threads its own proptest-derived rng.
-#![allow(deprecated)]
-
-use colper_attack::{random_color_noise, AttackConfig, AttackGoal, Colper, TanhReparam};
+use colper_attack::{random_color_noise, AttackConfig, AttackGoal, AttackSession, TanhReparam};
 use colper_models::{CloudTensors, PointNet2, PointNet2Config};
 use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
 use colper_tensor::Matrix;
@@ -44,7 +40,9 @@ proptest! {
         } else {
             AttackConfig::non_targeted(5)
         };
-        let result = Colper::new(config).run(&model, &t, &mask, &mut rng);
+        let mask_of = |_: &CloudTensors| mask.clone();
+        let result =
+            AttackSession::new(config).mask_with(&mask_of).run_with_rng(&model, &t, &mut rng);
 
         // Feasibility.
         prop_assert!(result.adversarial_colors.min().unwrap() >= 0.0);

@@ -7,13 +7,7 @@
 //! updates and reports both the robustness gained and the overhead paid,
 //! so the harness can reproduce that trade-off.
 
-// Adversarial training threads ONE rng through every epoch (the attack
-// draws interleave with the shuffle and clean/adversarial coin flips), so
-// it keeps the rng-threading single-cloud entry point rather than the
-// per-cloud-seeded `AttackSession`.
-#![allow(deprecated)]
-
-use colper_attack::{AttackConfig, Colper};
+use colper_attack::{AttackConfig, AttackSession};
 use colper_models::{bind_input, CloudTensors, ColorBinding, SegmentationModel};
 use colper_nn::{Adam, Forward};
 use rand::rngs::StdRng;
@@ -88,9 +82,12 @@ pub fn adversarial_training<M: SegmentationModel + ?Sized>(
             let adversarial = rng.gen_range(0.0..1.0) < config.adversarial_fraction;
             let train_input: CloudTensors = if adversarial {
                 let attack_started = Instant::now();
-                let attack = Colper::new(AttackConfig::non_targeted(config.attack_steps));
-                let mask = vec![true; t.len()];
-                let result = attack.run(model, t, &mask, rng);
+                // Adversarial training threads ONE rng through every epoch
+                // (attack draws interleave with the shuffle and the
+                // clean/adversarial coin flips), so it uses the
+                // rng-threading entry point rather than per-cloud seeds.
+                let attack = AttackSession::new(AttackConfig::non_targeted(config.attack_steps));
+                let result = attack.run_with_rng(model, t, rng);
                 attack_seconds += attack_started.elapsed().as_secs_f32();
                 adversarial_updates += 1;
                 let mut adv = t.clone();
@@ -170,10 +167,9 @@ mod tests {
 
         // Attack both with the same small budget and compare.
         let victim_cloud = &data[0];
-        let attack = colper_attack::Colper::new(AttackConfig::non_targeted(15));
-        let mask = vec![true; victim_cloud.len()];
-        let on_plain = attack.run(&plain, victim_cloud, &mask, &mut rng).success_metric;
-        let on_robust = attack.run(&robust, victim_cloud, &mask, &mut rng).success_metric;
+        let attack = AttackSession::new(AttackConfig::non_targeted(15));
+        let on_plain = attack.run_with_rng(&plain, victim_cloud, &mut rng).success_metric;
+        let on_robust = attack.run_with_rng(&robust, victim_cloud, &mut rng).success_metric;
         // Robust model should retain at least as much accuracy under
         // attack (allow slack: tiny models, tiny budgets).
         assert!(

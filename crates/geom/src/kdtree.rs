@@ -23,11 +23,10 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0
-            .sq_dist
-            .partial_cmp(&other.0.sq_dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.0.index.cmp(&other.0.index))
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN
+        // distance (from a non-finite input point) must still give a
+        // total order or BinaryHeap's invariants silently break.
+        self.0.sq_dist.total_cmp(&other.0.sq_dist).then_with(|| self.0.index.cmp(&other.0.index))
     }
 }
 
@@ -159,8 +158,13 @@ impl KdTree {
         }
         let axis = bounds.longest_axis();
         let mid = indices.len() / 2;
+        // `total_cmp` + index tie-break keeps the median selection a total,
+        // deterministic order even when a coordinate is NaN. The old
+        // `partial_cmp(..).unwrap_or(Equal)` comparator is non-transitive
+        // under NaN, which makes the partition — and hence the whole tree
+        // shape — depend on the incidental order of the index slice.
         indices.select_nth_unstable_by(mid, |&a, &b| {
-            points[a].axis(axis).partial_cmp(&points[b].axis(axis)).unwrap_or(Ordering::Equal)
+            points[a].axis(axis).total_cmp(&points[b].axis(axis)).then_with(|| a.cmp(&b))
         });
         let value = points[indices[mid]].axis(axis);
         let (left_idx, right_idx) = indices.split_at_mut(mid);
@@ -285,12 +289,7 @@ impl KdTree {
             self.knn_visit(root, query, k, &mut heap);
         }
         let mut out: Vec<Neighbor> = heap.into_iter().map(|e| e.0).collect();
-        out.sort_by(|a, b| {
-            a.sq_dist
-                .partial_cmp(&b.sq_dist)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.index.cmp(&b.index))
-        });
+        out.sort_by(|a, b| a.sq_dist.total_cmp(&b.sq_dist).then_with(|| a.index.cmp(&b.index)));
         out
     }
 
@@ -346,12 +345,7 @@ impl KdTree {
             self.knn_visit_filtered(root, query, k, &keep, &mut heap);
         }
         let mut out: Vec<Neighbor> = heap.into_iter().map(|e| e.0).collect();
-        out.sort_by(|a, b| {
-            a.sq_dist
-                .partial_cmp(&b.sq_dist)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.index.cmp(&b.index))
-        });
+        out.sort_by(|a, b| a.sq_dist.total_cmp(&b.sq_dist).then_with(|| a.index.cmp(&b.index)));
         out
     }
 
@@ -401,7 +395,7 @@ impl KdTree {
         if let Some(root) = &self.root {
             self.radius_visit(root, query, r2, &mut out);
         }
-        out.sort_by(|a, b| a.sq_dist.partial_cmp(&b.sq_dist).unwrap_or(Ordering::Equal));
+        out.sort_by(|a, b| a.sq_dist.total_cmp(&b.sq_dist).then_with(|| a.index.cmp(&b.index)));
         out
     }
 
@@ -574,6 +568,46 @@ mod tests {
         let tree = KdTree::build(&pts);
         let q = Point3::new(0.2, -0.4, 0.6);
         assert_eq!(tree.knn(q, 8), tree.knn_filtered(q, 8, |_| true));
+    }
+
+    #[test]
+    fn build_and_queries_stay_deterministic_under_nan_and_inf() {
+        // A cloud with a few poisoned coordinates: the tree must still be a
+        // deterministic function of the input (same build regardless of the
+        // incidental index order fed to the median selection), and queries
+        // over the finite points must be unaffected.
+        let mut pts = random_points(64, 11);
+        pts[5] = Point3::new(f32::NAN, 0.0, 0.0);
+        pts[23] = Point3::new(0.1, f32::INFINITY, -0.2);
+        pts[41] = Point3::new(f32::NEG_INFINITY, f32::NAN, 0.3);
+
+        let q = Point3::new(0.05, -0.1, 0.2);
+        let knn_a = KdTree::build(&pts).knn(q, 8);
+        let knn_b = KdTree::build(&pts).knn(q, 8);
+        assert_eq!(knn_a, knn_b, "kd-tree build is not deterministic under NaN/inf points");
+
+        // Brute-force comparison restricted to finite points: poisoned
+        // points have NaN/inf distances and must never displace real
+        // neighbors.
+        let mut brute: Vec<Neighbor> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| [p.x, p.y, p.z].iter().all(|c| c.is_finite()))
+            .map(|(i, &p)| Neighbor { index: i, sq_dist: p.sq_dist(q) })
+            .collect();
+        brute.sort_by(|a, b| a.sq_dist.total_cmp(&b.sq_dist).then_with(|| a.index.cmp(&b.index)));
+        brute.truncate(8);
+        assert_eq!(knn_a.len(), 8);
+        for (g, b) in knn_a.iter().zip(&brute) {
+            assert_eq!(g.index, b.index, "NaN point displaced a finite neighbor");
+        }
+
+        // Radius queries likewise: finite hits only, ascending total order.
+        let hits = KdTree::build(&pts).within_radius(q, 0.6);
+        for w in hits.windows(2) {
+            assert!(w[0].sq_dist.total_cmp(&w[1].sq_dist).is_le());
+        }
+        assert!(hits.iter().all(|n| n.sq_dist.is_finite()));
     }
 
     #[test]

@@ -92,10 +92,14 @@ impl ClassReport {
     /// useful for post-attack reports. Absent classes sort last.
     pub fn by_vulnerability(&self) -> Vec<&ClassRow> {
         let mut rows: Vec<&ClassRow> = self.rows.iter().collect();
+        // `total_cmp` + class tie-break: a NaN IoU (degenerate confusion
+        // matrix) must not make the ordering depend on the input permutation.
+        // Under `total_cmp` NaN sorts after +inf, so broken classes land
+        // after absent ones at the very end of the table.
         rows.sort_by(|a, b| {
             let ka = a.iou.unwrap_or(f32::INFINITY);
             let kb = b.iou.unwrap_or(f32::INFINITY);
-            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+            ka.total_cmp(&kb).then_with(|| a.class.cmp(&b.class))
         });
         rows
     }
@@ -173,6 +177,36 @@ mod tests {
         assert_eq!(sorted[0].class, 1);
         // Absent class 2 sorts last.
         assert_eq!(sorted[2].class, 2);
+    }
+
+    #[test]
+    fn vulnerability_order_is_total_under_nan_iou() {
+        // Hand-built rows: NaN IoU must sort last (after absent classes),
+        // ties break on class index, and the order must not depend on the
+        // row permutation the sort happens to receive.
+        let row = |class: usize, iou: Option<f32>| ClassRow {
+            class,
+            name: format!("class {class}"),
+            support: 1,
+            precision: None,
+            recall: None,
+            iou,
+        };
+        let rows = vec![
+            row(0, Some(f32::NAN)),
+            row(1, Some(0.5)),
+            row(2, None),
+            row(3, Some(0.5)),
+            row(4, Some(f32::NEG_INFINITY)),
+        ];
+        let report = ClassReport { rows, accuracy: 0.0, mean_iou: 0.0 };
+        let order: Vec<usize> = report.by_vulnerability().iter().map(|r| r.class).collect();
+        assert_eq!(order, vec![4, 1, 3, 2, 0]);
+
+        let mut reversed = report.clone();
+        reversed.rows.reverse();
+        let order_rev: Vec<usize> = reversed.by_vulnerability().iter().map(|r| r.class).collect();
+        assert_eq!(order_rev, order, "vulnerability order depends on row permutation");
     }
 
     #[test]

@@ -168,6 +168,33 @@ impl<'p> Forward<'p> {
         }
     }
 
+    /// Starts a session over `params` on a donated tape, recycling the
+    /// tape's buffer pools from whatever session used it last.
+    ///
+    /// This is [`Forward::new`] for warm starts: a caller that kept the
+    /// tape of a finished session (via [`Forward::into_tape`]) hands it
+    /// back and the first forward pass of the same shape allocates
+    /// nothing, exactly like an in-place [`Forward::reset`]. The donated
+    /// graph is cleared before use, so the recorded computation is
+    /// independent of the tape's history.
+    pub fn resume(params: &'p ParamSet, training: bool, mut tape: Tape) -> Self {
+        tape.reset();
+        Self {
+            tape,
+            params,
+            bound: vec![None; params.param_count()],
+            training,
+            bn_updates: Vec::new(),
+        }
+    }
+
+    /// Consumes the session and returns its tape (graph cleared, buffer
+    /// pools intact) for donation to a later [`Forward::resume`].
+    pub fn into_tape(mut self) -> Tape {
+        self.tape.reset();
+        self.tape
+    }
+
     /// Whether the session is in training mode.
     pub fn training(&self) -> bool {
         self.training
@@ -285,6 +312,30 @@ mod tests {
         f.tape.backward(s);
         assert!(f.tape.grad(v).is_none(), "eval params must not get grads");
         assert!(f.collect_grads().is_empty());
+    }
+
+    #[test]
+    fn resume_matches_new_and_round_trips_the_tape() {
+        let mut ps = ParamSet::new();
+        let w = ps.add_param("w", Matrix::filled(2, 2, 0.5));
+        let run = |f: &mut Forward<'_>| {
+            let v = f.param(w);
+            let x = f.tape.leaf(Matrix::filled(2, 2, 3.0));
+            let y = f.tape.mul(x, v);
+            let s = f.tape.sum(y);
+            f.tape.backward(s);
+            (f.tape.value(s)[(0, 0)], f.tape.grad(x).expect("leaf grad").clone())
+        };
+        let mut fresh = Forward::new(&ps, false);
+        let (want_v, want_g) = run(&mut fresh);
+        // Donate the tape through into_tape -> resume: same values, same
+        // gradients, bindings and bn updates dropped with the old graph.
+        let tape = fresh.into_tape();
+        let mut warmed = Forward::resume(&ps, false, tape);
+        let (got_v, got_g) = run(&mut warmed);
+        assert_eq!(want_v.to_bits(), got_v.to_bits());
+        assert_eq!(want_g, got_g);
+        assert!(warmed.collect_grads().is_empty(), "eval params still get no grads");
     }
 
     #[test]

@@ -43,7 +43,7 @@
 mod record;
 mod sink;
 
-pub use record::{AttackTrace, Observer, StepRecord, StepTraceBuffer};
+pub use record::{AttackTrace, Observer, StepRecord, StepSink, StepTraceBuffer};
 pub use sink::{jf, TraceReport};
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -333,9 +333,11 @@ pub mod counters {
     pub static BATCH_CLOUDS: Counter = Counter::new("attack.batch.clouds");
     /// Plateau noise restarts injected by the attack loop.
     pub static ATTACK_RESTARTS: Counter = Counter::new("attack.restarts");
+    /// Seated attacks that started on a donated warm tape.
+    pub static SEAT_WARM: Counter = Counter::new("attack.seat.warm");
 
     /// Every counter in the inventory, for snapshotting and reset.
-    pub fn all() -> [&'static Counter; 10] {
+    pub fn all() -> [&'static Counter; 11] {
         [
             &KERNEL_DISPATCH_SIMD,
             &KERNEL_DISPATCH_SCALAR,
@@ -347,6 +349,7 @@ pub mod counters {
             &TAPE_BACKWARDS,
             &BATCH_CLOUDS,
             &ATTACK_RESTARTS,
+            &SEAT_WARM,
         ]
     }
 }

@@ -2,6 +2,7 @@
 //! per-run buffer, and the [`Observer`] that collects finished runs.
 
 use crate::sink::jf;
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
 /// One attack iteration's telemetry. Every field is *read* from the
@@ -67,22 +68,58 @@ impl StepRecord {
     }
 }
 
+/// A live consumer of step telemetry: every record pushed into a
+/// [`StepTraceBuffer`] is also handed to the observer's sink, *while the
+/// attack is still running*. This is how a service streams per-step
+/// progress to a client instead of waiting for the finished trace.
+///
+/// Implementations must be cheap and non-blocking relative to an attack
+/// step (enqueue onto a channel, write to a buffered socket); a slow
+/// sink stalls the optimization loop it observes.
+pub trait StepSink: Send + Sync {
+    /// Called once per attack iteration with the freshly produced record.
+    fn on_step(&self, cloud: usize, record: &StepRecord);
+
+    /// Called when the run on `cloud` finishes, after the last
+    /// [`StepSink::on_step`]. `steps` is the number of records produced,
+    /// `dropped` how many exceeded the buffer capacity (still streamed).
+    fn on_finish(&self, cloud: usize, steps: usize, dropped: u64) {
+        let _ = (cloud, steps, dropped);
+    }
+}
+
 /// A fixed-capacity step buffer for one attack run. Allocated once at
 /// setup ([`Observer::begin_attack`]); pushes past the capacity are
 /// counted as dropped instead of reallocating, so the hot loop never
 /// touches the allocator.
-#[derive(Debug)]
 pub struct StepTraceBuffer {
     cloud: usize,
     records: Vec<StepRecord>,
     dropped: u64,
+    sink: Option<Arc<dyn StepSink>>,
+    produced: usize,
+}
+
+impl fmt::Debug for StepTraceBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StepTraceBuffer")
+            .field("cloud", &self.cloud)
+            .field("records", &self.records.len())
+            .field("dropped", &self.dropped)
+            .field("streaming", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl StepTraceBuffer {
     /// Appends a record, dropping (and counting) it when the buffer is
-    /// at capacity.
+    /// at capacity. A streaming sink sees every record either way.
     #[inline]
     pub fn push(&mut self, record: StepRecord) {
+        self.produced += 1;
+        if let Some(sink) = &self.sink {
+            sink.on_step(self.cloud, &record);
+        }
         if self.records.len() < self.records.capacity() {
             self.records.push(record);
         } else {
@@ -119,21 +156,40 @@ pub struct AttackTrace {
 /// step, and hands the buffer back via [`Observer::finish_attack`] when
 /// the run ends. Batch runs do this once per cloud, concurrently — the
 /// shared list is locked only at run boundaries, never per step.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Observer {
     inner: Option<Arc<Mutex<Vec<AttackTrace>>>>,
+    sink: Option<Arc<dyn StepSink>>,
+}
+
+impl fmt::Debug for Observer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Observer")
+            .field("collecting", &self.inner.is_some())
+            .field("streaming", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Observer {
     /// An observer that records nothing (every call is a no-op).
     pub fn disabled() -> Self {
-        Self { inner: None }
+        Self { inner: None, sink: None }
     }
 
     /// An observer that collects step telemetry (when global recording
     /// is also on — see [`crate::enabled`]).
     pub fn enabled() -> Self {
-        Self { inner: Some(Arc::new(Mutex::new(Vec::new()))) }
+        Self { inner: Some(Arc::new(Mutex::new(Vec::new()))), sink: None }
+    }
+
+    /// An observer that both collects step telemetry *and* streams every
+    /// record to `sink` as it is produced. Unlike [`Observer::enabled`],
+    /// a sinking observer is active regardless of the global recording
+    /// flag: the sink was attached explicitly for this run (a service
+    /// job asked to stream), not ambiently via `COLPER_TRACE`.
+    pub fn with_sink(sink: Arc<dyn StepSink>) -> Self {
+        Self { inner: Some(Arc::new(Mutex::new(Vec::new()))), sink: Some(sink) }
     }
 
     /// [`Observer::enabled`] when `COLPER_TRACE` turned recording on,
@@ -146,11 +202,11 @@ impl Observer {
         }
     }
 
-    /// Whether this observer currently records (both the handle and the
-    /// global flag must be on).
+    /// Whether this observer currently records: a collecting handle plus
+    /// either the global flag or an attached streaming sink.
     #[inline]
     pub fn is_active(&self) -> bool {
-        self.inner.is_some() && crate::enabled()
+        self.inner.is_some() && (crate::enabled() || self.sink.is_some())
     }
 
     /// Starts a run on cloud `cloud` with room for `steps` records.
@@ -160,11 +216,17 @@ impl Observer {
             cloud,
             records: Vec::with_capacity(steps),
             dropped: 0,
+            sink: self.sink.clone(),
+            produced: 0,
         })
     }
 
-    /// Files a finished run's buffer.
+    /// Files a finished run's buffer, notifying the streaming sink (if
+    /// any) that the run is over.
     pub fn finish_attack(&self, buf: StepTraceBuffer) {
+        if let Some(sink) = &buf.sink {
+            sink.on_finish(buf.cloud, buf.produced, buf.dropped);
+        }
         if let Some(inner) = &self.inner {
             let mut traces = inner.lock().unwrap_or_else(|e| e.into_inner());
             traces.push(AttackTrace { cloud: buf.cloud, steps: buf.records, dropped: buf.dropped });
@@ -242,6 +304,41 @@ mod tests {
         let order: Vec<usize> = obs.attack_traces().iter().map(|t| t.cloud).collect();
         assert_eq!(order, vec![0, 1, 2]);
         crate::set_enabled(false);
+    }
+
+    #[test]
+    fn sink_streams_every_record_and_ignores_the_global_flag() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(false); // streaming must work without COLPER_TRACE
+        #[derive(Default)]
+        struct Recorder {
+            steps: Mutex<Vec<(usize, usize)>>,
+            finished: Mutex<Option<(usize, usize, u64)>>,
+        }
+        impl StepSink for Recorder {
+            fn on_step(&self, cloud: usize, record: &StepRecord) {
+                self.steps.lock().unwrap().push((cloud, record.step));
+            }
+            fn on_finish(&self, cloud: usize, steps: usize, dropped: u64) {
+                *self.finished.lock().unwrap() = Some((cloud, steps, dropped));
+            }
+        }
+        let recorder = Arc::new(Recorder::default());
+        let obs = Observer::with_sink(recorder.clone());
+        assert!(obs.is_active(), "a sinking observer is active without the global flag");
+        // Capacity 2, 3 pushes: the third drops from the buffer but still
+        // streams to the sink.
+        let mut buf = obs.begin_attack(7, 2).expect("sinking observer hands out buffers");
+        for step in 0..3 {
+            buf.push(StepRecord { step, ..StepRecord::default() });
+        }
+        obs.finish_attack(buf);
+        assert_eq!(*recorder.steps.lock().unwrap(), vec![(7, 0), (7, 1), (7, 2)]);
+        assert_eq!(*recorder.finished.lock().unwrap(), Some((7, 3, 1)));
+        let traces = obs.attack_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].steps.len(), 2);
+        assert_eq!(traces[0].dropped, 1);
     }
 
     #[test]

@@ -290,17 +290,33 @@ impl Pool {
     /// Runs `job(chunk_index)` for every `chunk_index in 0..chunks` across
     /// the pool, participating from the calling thread, and propagates the
     /// first panic after all chunks have quiesced.
-    fn run_chunks(&self, chunks: usize, job: &(dyn Fn(usize) + Sync)) {
-        let latch = Latch::new(chunks);
+    ///
+    /// `max_tasks` bounds how many pool tasks the region may occupy at
+    /// once: task `t` executes chunks `t, t + tasks, t + 2·tasks, …` in
+    /// increasing chunk order. The chunk ranges themselves never change,
+    /// so a budgeted run computes bit-identical results — the cap only
+    /// limits how many workers the region can draw from the shared pool.
+    fn run_chunks(&self, chunks: usize, max_tasks: usize, job: &(dyn Fn(usize) + Sync)) {
+        let tasks = chunks.min(max_tasks).max(1);
+        let run_strided = move |t: usize| {
+            let mut c = t;
+            while c < chunks {
+                job(c);
+                c += tasks;
+            }
+        };
+        let latch = Latch::new(tasks);
         // SAFETY: erases the closure's borrow lifetime. The latch wait below
         // guarantees this frame outlives every dereference of the pointer.
         let job: *const (dyn Fn(usize) + Sync) = unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(job)
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                &run_strided,
+            )
         };
         let workers = self.shared.deques.len();
-        for c in 0..chunks {
-            let task = Task { job, latch: Arc::clone(&latch), index: c };
-            lock(&self.shared.deques[c % workers]).push_back(task);
+        for t in 0..tasks {
+            let task = Task { job, latch: Arc::clone(&latch), index: t };
+            lock(&self.shared.deques[t % workers]).push_back(task);
         }
         {
             let mut epoch = lock(&self.shared.epoch);
@@ -370,6 +386,10 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 #[derive(Clone, Default)]
 pub struct Runtime {
     pool: Option<Arc<Pool>>,
+    /// Upper bound on pool tasks one parallel region may occupy (`None`
+    /// = the whole pool). Lets many jobs share a pool without any one
+    /// of them saturating it; see [`Runtime::with_budget`].
+    budget: Option<usize>,
 }
 
 impl fmt::Debug for Runtime {
@@ -386,7 +406,7 @@ impl Runtime {
         if threads <= 1 {
             Runtime::sequential()
         } else {
-            Runtime { pool: Some(Arc::new(Pool::new(threads))) }
+            Runtime { pool: Some(Arc::new(Pool::new(threads))), budget: None }
         }
     }
 
@@ -394,7 +414,22 @@ impl Runtime {
     /// index order. This is the reference behaviour all parallel execution
     /// is required to reproduce bit-identically.
     pub fn sequential() -> Runtime {
-        Runtime { pool: None }
+        Runtime { pool: None, budget: None }
+    }
+
+    /// A handle onto the same pool whose parallel regions may occupy at
+    /// most `max_tasks` pool tasks at a time (clamped to at least 1).
+    ///
+    /// This is how a job scheduler carves per-job thread budgets out of
+    /// one shared pool: every job gets a budgeted clone, the pool itself
+    /// is sized once for the machine, and no single job can starve the
+    /// others. Results are bit-identical to the unbudgeted handle —
+    /// chunk boundaries never depend on the budget, only the number of
+    /// concurrently scheduled tasks does.
+    #[must_use]
+    pub fn with_budget(mut self, max_tasks: usize) -> Runtime {
+        self.budget = Some(max_tasks.max(1));
+        self
     }
 
     /// Builds a runtime from the environment: `COLPER_THREADS` if set (and
@@ -408,9 +443,11 @@ impl Runtime {
         Runtime::new(threads)
     }
 
-    /// Total parallelism of this runtime (1 for the sequential runtime).
+    /// Total parallelism of this runtime (1 for the sequential runtime),
+    /// after applying any task budget ([`Runtime::with_budget`]).
     pub fn threads(&self) -> usize {
-        self.pool.as_ref().map_or(1, |p| p.threads)
+        let pool = self.pool.as_ref().map_or(1, |p| p.threads);
+        pool.min(self.budget.unwrap_or(usize::MAX))
     }
 
     /// True when this handle has no worker pool and runs everything inline.
@@ -437,10 +474,10 @@ impl Runtime {
         f()
     }
 
-    /// Should this call run inline? (No pool, nested inside a pool task, or
-    /// not enough chunks to be worth scheduling.)
+    /// Should this call run inline? (No pool, nested inside a pool task,
+    /// not enough chunks to be worth scheduling, or a budget of 1.)
     fn pool_for(&self, chunks: usize) -> Option<&Pool> {
-        if chunks < 2 || in_pool() {
+        if chunks < 2 || in_pool() || self.threads() < 2 {
             return None;
         }
         self.pool.as_deref()
@@ -467,7 +504,9 @@ impl Runtime {
                     f(chunk_range(c));
                 }
             }
-            Some(pool) => pool.run_chunks(chunks, &|c| f(chunk_range(c))),
+            Some(pool) => {
+                pool.run_chunks(chunks, self.budget.unwrap_or(usize::MAX), &|c| f(chunk_range(c)))
+            }
         }
     }
 
@@ -750,6 +789,46 @@ mod tests {
             let mut got = ranges.into_inner().unwrap();
             got.sort_unstable();
             assert_eq!(got, vec![(0, 4), (4, 8), (8, 10)]);
+        }
+    }
+
+    #[test]
+    fn budgeted_runtime_caps_concurrency_and_keeps_results() {
+        let rt = Runtime::new(4).with_budget(2);
+        assert_eq!(rt.threads(), 2);
+        assert!(!rt.is_sequential());
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let out = rt.par_map_grained(64, 1, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+            i * 2
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(peak <= 2, "budget 2 exceeded: {peak} chunks ran concurrently");
+    }
+
+    #[test]
+    fn budget_of_one_runs_inline() {
+        let rt = Runtime::new(4).with_budget(1);
+        assert_eq!(rt.threads(), 1);
+        let submitter = std::thread::current().id();
+        rt.par_for(32, |_| assert_eq!(std::thread::current().id(), submitter));
+    }
+
+    #[test]
+    fn budgeted_reduce_is_bit_identical() {
+        let vals: Vec<f32> =
+            (0..5_000).map(|i| ((i * 2654435761_usize) % 997) as f32 * 1e-3 + 3e3).collect();
+        let sum = |rt: &Runtime| {
+            rt.par_reduce(vals.len(), 64, |i| vals[i], |a, b| a + b).unwrap().to_bits()
+        };
+        let seq = sum(&Runtime::sequential());
+        for budget in 1..=5 {
+            assert_eq!(seq, sum(&Runtime::new(4).with_budget(budget)), "budget {budget}");
         }
     }
 

@@ -1,0 +1,272 @@
+//! The load-test client: many concurrent attack jobs against a running
+//! `colperd`, with latency percentiles and a machine-readable report.
+//!
+//! Latencies are sorted with `total_cmp` — the service bench must never
+//! panic or mis-rank on a NaN that slipped into a timing computation,
+//! for the same reason the attack's point orderings are NaN-safe.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Instant;
+
+/// How the load test is shaped.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Sequential requests per client.
+    pub requests_per_client: usize,
+    /// The `POST /attack` body each request sends.
+    pub body: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7414".to_string(),
+            clients: 100,
+            requests_per_client: 2,
+            body: r#"{"points":64,"steps":5,"priority":"batch"}"#.to_string(),
+        }
+    }
+}
+
+/// Latency percentiles in milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests each client sent.
+    pub requests_per_client: usize,
+    /// `200` responses.
+    pub ok: u64,
+    /// `429` backpressure rejections.
+    pub rejected: u64,
+    /// Transport failures and non-200/429 statuses.
+    pub errors: u64,
+    /// Wall-clock span of the whole run, seconds.
+    pub wall_s: f64,
+    /// Completed (`200`) jobs per second of wall clock.
+    pub jobs_per_sec: f64,
+    /// Percentiles over completed jobs only.
+    pub latency: LatencySummary,
+    /// The server's `/stats` body after the run (raw JSON), if
+    /// reachable.
+    pub server_stats: Option<String>,
+}
+
+/// Sends one HTTP/1.1 request and reads the response to EOF (the server
+/// always answers `Connection: close`). Returns `(status, body)`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| std::io::Error::other("response missing a status line"))?;
+    let payload = match response.split_once("\r\n\r\n") {
+        Some((_head, payload)) => payload.to_string(),
+        None => String::new(),
+    };
+    Ok((status, payload))
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    // Nearest-rank: the smallest value with at least q of the sample at
+    // or below it.
+    let rank = ((sorted_ms.len() as f64 * q).ceil() as usize).saturating_sub(1);
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Runs the load test: `clients` threads, each sending
+/// `requests_per_client` jobs back to back.
+pub fn run_load(config: &LoadConfig) -> LoadReport {
+    let started = Instant::now();
+    let results: Vec<(u64, u64, u64, Vec<f64>)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ok = 0u64;
+                    let mut rejected = 0u64;
+                    let mut errors = 0u64;
+                    let mut latencies_ms = Vec::with_capacity(config.requests_per_client);
+                    for _ in 0..config.requests_per_client {
+                        let sent = Instant::now();
+                        match http_request(&config.addr, "POST", "/attack", &config.body) {
+                            Ok((200, _)) => {
+                                ok += 1;
+                                latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Ok((429, _)) => rejected += 1,
+                            Ok(_) | Err(_) => errors += 1,
+                        }
+                    }
+                    (ok, rejected, errors, latencies_ms)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut ok = 0;
+    let mut rejected = 0;
+    let mut errors = 0;
+    let mut latencies_ms = Vec::new();
+    for (o, r, e, l) in results {
+        ok += o;
+        rejected += r;
+        errors += e;
+        latencies_ms.extend(l);
+    }
+    // NaN-safe total order, like every other sort in the workspace.
+    latencies_ms.sort_by(f64::total_cmp);
+
+    LoadReport {
+        clients: config.clients,
+        requests_per_client: config.requests_per_client,
+        ok,
+        rejected,
+        errors,
+        wall_s,
+        jobs_per_sec: if wall_s > 0.0 { ok as f64 / wall_s } else { 0.0 },
+        latency: LatencySummary {
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p90_ms: percentile(&latencies_ms, 0.90),
+            p99_ms: percentile(&latencies_ms, 0.99),
+            max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        },
+        server_stats: http_request(&config.addr, "GET", "/stats", "")
+            .ok()
+            .filter(|(status, _)| *status == 200)
+            .map(|(_, body)| body),
+    }
+}
+
+impl LoadReport {
+    /// The report as the `results/BENCH_service.json` document.
+    pub fn to_json(&self) -> String {
+        let stats = self.server_stats.as_deref().unwrap_or("null");
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"colper-bench-service-v1\",\n",
+                "  \"clients\": {},\n",
+                "  \"requests_per_client\": {},\n",
+                "  \"ok\": {},\n",
+                "  \"rejected_429\": {},\n",
+                "  \"errors\": {},\n",
+                "  \"wall_s\": {:.4},\n",
+                "  \"jobs_per_sec\": {:.3},\n",
+                "  \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n",
+                "  \"server_stats\": {}\n",
+                "}}\n"
+            ),
+            self.clients,
+            self.requests_per_client,
+            self.ok,
+            self.rejected,
+            self.errors,
+            self.wall_s,
+            self.jobs_per_sec,
+            self.latency.p50_ms,
+            self.latency.p90_ms,
+            self.latency.p99_ms,
+            self.latency.max_ms,
+            stats,
+        )
+    }
+
+    /// The one-line human summary the load-test binary prints.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} clients x {} req: {} ok, {} backpressured, {} errors | {:.1} jobs/s | p50 {:.1} ms, p99 {:.1} ms",
+            self.clients,
+            self.requests_per_client,
+            self.ok,
+            self.rejected,
+            self.errors,
+            self.jobs_per_sec,
+            self.latency.p50_ms,
+            self.latency.p99_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nan_safe_and_ordered() {
+        let mut ms = vec![5.0, f64::NAN, 1.0, 3.0];
+        ms.sort_by(f64::total_cmp);
+        // NaN sorts to the end under total order; percentiles below it
+        // stay meaningful.
+        assert_eq!(percentile(&ms, 0.0), 1.0);
+        assert_eq!(percentile(&ms, 0.5), 3.0);
+        assert!(percentile(&ms, 1.0).is_nan());
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let report = LoadReport {
+            clients: 4,
+            requests_per_client: 2,
+            ok: 7,
+            rejected: 1,
+            errors: 0,
+            wall_s: 1.5,
+            jobs_per_sec: 4.67,
+            latency: LatencySummary { p50_ms: 10.0, p90_ms: 20.0, p99_ms: 30.0, max_ms: 31.0 },
+            server_stats: Some("{\"completed\":7}".to_string()),
+        };
+        let parsed = crate::json::Json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(crate::json::Json::as_str),
+            Some("colper-bench-service-v1")
+        );
+        assert_eq!(parsed.get("ok").and_then(crate::json::Json::as_u64), Some(7));
+        assert_eq!(
+            parsed
+                .get("server_stats")
+                .and_then(|s| s.get("completed"))
+                .and_then(crate::json::Json::as_u64),
+            Some(7)
+        );
+        assert!(report.summary_line().contains("7 ok"));
+    }
+}

@@ -1,0 +1,49 @@
+//! `colperd`: a pooled, backpressured attack service over the COLPER
+//! reproduction.
+//!
+//! The library crates answer "what does one attack do?"; this crate
+//! answers "what does a *stream* of attack requests do to a shared
+//! machine?" — the operational questions behind robustness evaluation
+//! at service scale:
+//!
+//! * **Intake** ([`http`], [`json`], [`proto`]): a hand-rolled
+//!   HTTP/1.1 + JSON front door (the workspace takes no network or
+//!   serde dependencies). Malformed bytes → `400`; well-formed but
+//!   invalid jobs (unknown model, NaN cloud, out-of-range labels) →
+//!   `422` with the library's typed validation messages.
+//! * **Backpressure** ([`queue`]): a bounded two-priority queue.
+//!   Interactive jobs overtake batch jobs; a full queue answers `429`
+//!   immediately instead of queueing latency.
+//! * **Warm seats** ([`pool`]): finished jobs donate their autodiff
+//!   tape back to a pool keyed by `(model, point-count bucket)`, so
+//!   steady-state jobs skip the first-step allocation burst and run on
+//!   the attack loop's zero-allocation path. Bit-identical to cold
+//!   runs — seats recycle buffer pools, never state.
+//! * **Scheduling** ([`server`]): jobs run on one shared work-stealing
+//!   [`colper_runtime::Runtime`] under per-job thread budgets, so a
+//!   greedy job cannot monopolize the pool, and results stay
+//!   bit-identical across budgets.
+//! * **Telemetry**: streamed jobs receive live per-step
+//!   `colper-trace-v1` JSONL lines over the socket via
+//!   [`colper_obs::StepSink`]; `/stats` exposes service counters.
+//! * **Load testing** ([`client`]): a multi-client driver that writes
+//!   `results/BENCH_service.json` with throughput and latency
+//!   percentiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod pool;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use client::{run_load, LoadConfig, LoadReport};
+pub use pool::{ModelKind, SeatPool};
+pub use proto::JobSpec;
+pub use queue::{JobQueue, Priority};
+pub use server::{ServeConfig, Server};

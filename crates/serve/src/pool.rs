@@ -1,0 +1,128 @@
+//! Warm-seat pooling keyed by (model, point-count bucket).
+//!
+//! Every attack with `gradient_samples == 1` runs its steady-state loop
+//! on a single [`WarmSeat`] tape. Tape capacity scales with the model's
+//! graph size and the cloud's point count, so seats are pooled per
+//! `(model kind, bucket)` where the bucket is the point count rounded up
+//! to a power of two — a 700-point job and a 900-point job share the
+//! 1024 bucket and therefore reuse each other's arenas, while a
+//! 64-point job never inflates its tiny tape to megabytes by inheriting
+//! a 4096-point one.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+
+use colper_attack::WarmSeat;
+
+/// Which pretrained zoo model a job targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The PointNet segmentation head.
+    PointNet,
+    /// The residual GCN segmentation head.
+    ResGcn,
+}
+
+impl ModelKind {
+    /// Parses the wire name (`"pointnet"` / `"resgcn"`).
+    pub fn parse(name: &str) -> Option<ModelKind> {
+        match name {
+            "pointnet" => Some(ModelKind::PointNet),
+            "resgcn" => Some(ModelKind::ResGcn),
+            _ => None,
+        }
+    }
+
+    /// The wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::PointNet => "pointnet",
+            ModelKind::ResGcn => "resgcn",
+        }
+    }
+}
+
+/// Rounds a point count up to its pooling bucket.
+pub fn bucket_for(points: usize) -> usize {
+    points.max(1).next_power_of_two()
+}
+
+/// A pool of warm seats, capped per `(model, bucket)` key.
+pub struct SeatPool {
+    seats: Mutex<HashMap<(ModelKind, usize), Vec<WarmSeat>>>,
+    per_key_cap: usize,
+}
+
+impl SeatPool {
+    /// Creates a pool retaining at most `per_key_cap` idle seats per key
+    /// (clamped to at least 1).
+    pub fn new(per_key_cap: usize) -> Self {
+        Self { seats: Mutex::new(HashMap::new()), per_key_cap: per_key_cap.max(1) }
+    }
+
+    /// Takes a seat for `(model, points)`, minting a cold one when no
+    /// warm seat is idle in that bucket.
+    pub fn checkout(&self, model: ModelKind, points: usize) -> WarmSeat {
+        let key = (model, bucket_for(points));
+        let mut seats = self.seats.lock().unwrap_or_else(PoisonError::into_inner);
+        seats.get_mut(&key).and_then(Vec::pop).unwrap_or_default()
+    }
+
+    /// Returns a seat after a job; dropped instead if the bucket already
+    /// holds `per_key_cap` idle seats.
+    pub fn checkin(&self, model: ModelKind, points: usize, seat: WarmSeat) {
+        let key = (model, bucket_for(points));
+        let mut seats = self.seats.lock().unwrap_or_else(PoisonError::into_inner);
+        let bucket = seats.entry(key).or_default();
+        if bucket.len() < self.per_key_cap {
+            bucket.push(seat);
+        }
+    }
+
+    /// Total idle seats across all buckets.
+    pub fn idle(&self) -> usize {
+        let seats = self.seats.lock().unwrap_or_else(PoisonError::into_inner);
+        seats.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_round_up_to_powers_of_two() {
+        assert_eq!(bucket_for(0), 1);
+        assert_eq!(bucket_for(1), 1);
+        assert_eq!(bucket_for(64), 64);
+        assert_eq!(bucket_for(65), 128);
+        assert_eq!(bucket_for(700), 1024);
+        assert_eq!(bucket_for(900), 1024);
+    }
+
+    #[test]
+    fn checkin_then_checkout_reuses_the_seat_within_a_bucket() {
+        let pool = SeatPool::new(4);
+        let cold = pool.checkout(ModelKind::PointNet, 700);
+        assert!(!cold.is_warm(), "first checkout in a bucket mints a cold seat");
+        pool.checkin(ModelKind::PointNet, 700, cold);
+        assert_eq!(pool.idle(), 1);
+        // 900 points rounds to the same 1024 bucket → same seat back.
+        let again = pool.checkout(ModelKind::PointNet, 900);
+        assert_eq!(pool.idle(), 0);
+        // A different model or bucket mints fresh seats.
+        pool.checkin(ModelKind::PointNet, 900, again);
+        pool.checkout(ModelKind::ResGcn, 700);
+        pool.checkout(ModelKind::PointNet, 64);
+        assert_eq!(pool.idle(), 1, "the 1024-bucket PointNet seat stays idle");
+    }
+
+    #[test]
+    fn per_key_cap_bounds_idle_seats() {
+        let pool = SeatPool::new(2);
+        for _ in 0..5 {
+            pool.checkin(ModelKind::PointNet, 64, WarmSeat::new());
+        }
+        assert_eq!(pool.idle(), 2, "extra seats beyond the cap are dropped");
+    }
+}

@@ -1,0 +1,175 @@
+//! The bounded two-priority job queue behind the intake.
+//!
+//! Backpressure is the point: the queue has a hard capacity and
+//! [`JobQueue::push`] fails instead of blocking when it is full, so the
+//! HTTP intake can answer `429` immediately rather than letting latency
+//! grow without bound. Two priority classes share the capacity —
+//! `interactive` jobs (a human waiting on a socket) always drain before
+//! `batch` jobs (sweeps, load generators), with FIFO order inside each
+//! class.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Scheduling class of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// A caller is blocked on the result; drains first.
+    Interactive,
+    /// Throughput work; drains only when no interactive job waits.
+    Batch,
+}
+
+impl Priority {
+    /// Parses the wire name (`"interactive"` / `"batch"`).
+    pub fn parse(name: &str) -> Option<Priority> {
+        match name {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Push failure: the queue was at capacity (or shut down); the rejected
+/// job is handed back so the caller can answer the client.
+#[derive(Debug)]
+pub struct Rejected<T>(pub T);
+
+struct Inner<T> {
+    interactive: VecDeque<T>,
+    batch: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Inner<T> {
+    fn len(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+}
+
+/// A bounded MPMC queue with two strict priority classes.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue admitting at most `capacity` queued jobs across
+    /// both classes (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a job, failing immediately (never blocking) when the
+    /// queue is full or closed.
+    pub fn push(&self, priority: Priority, job: T) -> Result<(), Rejected<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.closed || inner.len() >= self.capacity {
+            return Err(Rejected(job));
+        }
+        match priority {
+            Priority::Interactive => inner.interactive.push_back(job),
+            Priority::Batch => inner.batch.push_back(job),
+        }
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (interactive before batch) or the
+    /// queue is closed and drained; `None` means "no more work, ever".
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = inner.interactive.pop_front() {
+                return Some(job);
+            }
+            if let Some(job) = inner.batch.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes fail, and
+    /// blocked poppers wake up with `None` once the queue is empty.
+    pub fn close(&self) {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current `(interactive, batch)` depths.
+    pub fn depths(&self) -> (usize, usize) {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        (inner.interactive.len(), inner.batch.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn interactive_always_drains_before_batch() {
+        let q = JobQueue::new(8);
+        q.push(Priority::Batch, "b1").unwrap();
+        q.push(Priority::Interactive, "i1").unwrap();
+        q.push(Priority::Batch, "b2").unwrap();
+        q.push(Priority::Interactive, "i2").unwrap();
+        // Strict priority, FIFO within class.
+        assert_eq!(q.pop(), Some("i1"));
+        assert_eq!(q.pop(), Some("i2"));
+        assert_eq!(q.pop(), Some("b1"));
+        q.push(Priority::Interactive, "i3").unwrap();
+        assert_eq!(q.pop(), Some("i3"), "late interactive overtakes queued batch");
+        assert_eq!(q.pop(), Some("b2"));
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = JobQueue::new(2);
+        q.push(Priority::Interactive, 1).unwrap();
+        q.push(Priority::Batch, 2).unwrap();
+        // Capacity is shared across classes.
+        let Rejected(job) = q.push(Priority::Interactive, 3).unwrap_err();
+        assert_eq!(job, 3, "the rejected job is handed back");
+        assert_eq!(q.depths(), (1, 1));
+        assert_eq!(q.pop(), Some(1));
+        q.push(Priority::Interactive, 4).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_wakes_poppers_with_none() {
+        let q = Arc::new(JobQueue::new(4));
+        q.push(Priority::Batch, 7).unwrap();
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || (q.pop(), q.pop()))
+        };
+        // Give the waiter a chance to consume the job and block.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), (Some(7), None));
+        assert!(q.push(Priority::Interactive, 8).is_err(), "closed queue admits nothing");
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! `colper-loadtest` — drives a running `colperd` with many concurrent
+//! attack jobs and writes `results/BENCH_service.json`.
+//!
+//! ```text
+//! colper-loadtest [--addr HOST:PORT] [--clients N] [--requests N]
+//!                 [--points N] [--steps N] [--out FILE]
+//! ```
+
+use colper_repro::serve::{run_load, LoadConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  colper-loadtest [--addr HOST:PORT] [--clients N] [--requests N] [--points N] [--steps N]
+                  [--out FILE]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(name) = args[i].strip_prefix("--") else {
+            return Err(format!("unexpected argument '{}'", args[i]));
+        };
+        let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn flag_usize(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args)?;
+    let defaults = LoadConfig::default();
+    let points = flag_usize(&flags, "points", 64)?;
+    let steps = flag_usize(&flags, "steps", 5)?;
+    let config = LoadConfig {
+        addr: flags.get("addr").cloned().unwrap_or(defaults.addr),
+        clients: flag_usize(&flags, "clients", defaults.clients)?,
+        requests_per_client: flag_usize(&flags, "requests", defaults.requests_per_client)?,
+        body: format!(r#"{{"points":{points},"steps":{steps},"priority":"batch"}}"#),
+    };
+    let out = flags.get("out").map_or("results/BENCH_service.json", String::as_str);
+
+    println!(
+        "load-testing {} with {} clients x {} requests ({} points, {} steps each)...",
+        config.addr, config.clients, config.requests_per_client, points, steps
+    );
+    let report = run_load(&config);
+    println!("{}", report.summary_line());
+
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("report written to {out}");
+
+    if report.ok == 0 {
+        return Err("no job completed successfully".to_string());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

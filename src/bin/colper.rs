@@ -7,6 +7,7 @@
 //! colper attack  [--model pointnet|resgcn|randla] [--steps S] [--points N]
 //!                [--targeted CLASS] [--source CLASS] [--weights FILE]
 //!                [--threads N]
+//! colper serve   [--addr HOST:PORT] [--workers N] [--threads N] [--queue-cap N]
 //! ```
 //!
 //! Everything runs on synthetic scenes; `train` writes a checkpoint that
@@ -59,6 +60,7 @@ fn main() -> ExitCode {
         "scene" => cmd_scene(&flags),
         "train" => cmd_train(&flags),
         "attack" => cmd_attack(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -80,7 +82,8 @@ const USAGE: &str = "usage:
                  [--threads N]
   colper attack  [--model pointnet|resgcn|randla] [--steps S] [--points N] [--seed S]
                  [--targeted CLASS] [--source CLASS] [--weights FILE] [--map] [--ply FILE]
-                 [--threads N] [--trace]";
+                 [--threads N] [--trace]
+  colper serve   [--addr HOST:PORT] [--workers N] [--threads N] [--queue-cap N]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -217,6 +220,29 @@ impl AnyModel {
             AnyModel::RandLa(_) => normalize::randla_view(cloud, cloud.len(), rng),
         };
         CloudTensors::from_cloud(&normalized)
+    }
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use colper_repro::serve::{ServeConfig, Server};
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: flags.get("addr").cloned().unwrap_or(defaults.addr),
+        workers: flag_usize(flags, "workers", defaults.workers)?,
+        threads: flag_usize(flags, "threads", defaults.threads)?,
+        queue_capacity: flag_usize(flags, "queue-cap", defaults.queue_capacity)?,
+        seat_cap: flag_usize(flags, "seat-cap", defaults.seat_cap)?,
+    };
+    let server = Server::start(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    println!(
+        "colperd listening on {} ({} workers, {} compute threads, queue capacity {})",
+        server.local_addr(),
+        config.workers,
+        config.threads,
+        config.queue_capacity
+    );
+    loop {
+        std::thread::park();
     }
 }
 

@@ -1,0 +1,75 @@
+//! `colperd` — the standalone attack-service daemon.
+//!
+//! ```text
+//! colperd [--addr HOST:PORT] [--workers N] [--threads N] [--queue-cap N] [--seat-cap N]
+//! ```
+//!
+//! Serves `POST /attack`, `GET /healthz`, and `GET /stats` until killed.
+//! See `colper_repro::serve` for the wire format.
+
+use colper_repro::serve::{ServeConfig, Server};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  colperd [--addr HOST:PORT] [--workers N] [--threads N] [--queue-cap N] [--seat-cap N]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(name) = args[i].strip_prefix("--") else {
+            return Err(format!("unexpected argument '{}'", args[i]));
+        };
+        let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn flag_usize(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args)?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: flags.get("addr").cloned().unwrap_or(defaults.addr),
+        workers: flag_usize(&flags, "workers", defaults.workers)?,
+        threads: flag_usize(&flags, "threads", defaults.threads)?,
+        queue_capacity: flag_usize(&flags, "queue-cap", defaults.queue_capacity)?,
+        seat_cap: flag_usize(&flags, "seat-cap", defaults.seat_cap)?,
+    };
+    let server = Server::start(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    println!(
+        "colperd listening on {} ({} workers, {} compute threads, queue capacity {})",
+        server.local_addr(),
+        config.workers,
+        config.threads,
+        config.queue_capacity
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

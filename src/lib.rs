@@ -62,3 +62,7 @@ pub use colper_metrics as metrics;
 /// Candidate defenses: input transforms, adversarial training, anomaly
 /// detection (re-export of `colper-defense`).
 pub use colper_defense as defense;
+
+/// `colperd`: the pooled, backpressured attack service and its
+/// load-test client (re-export of `colper-serve`).
+pub use colper_serve as serve;

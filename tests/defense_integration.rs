@@ -2,12 +2,7 @@
 //! attack → defend → re-evaluate loop, plus detector behavior on real
 //! COLPER samples.
 
-// These contracts pin the behavior of the deprecated entry points
-// (the `AttackSession` equivalence tests live in the attack crate and
-// `tests/obs_equivalence.rs`).
-#![allow(deprecated)]
-
-use colper_repro::attack::{apply_adversarial_colors, AttackConfig, Colper};
+use colper_repro::attack::{apply_adversarial_colors, AttackConfig, AttackSession};
 use colper_repro::defense::{
     adversarial_training, AdvTrainConfig, ColorTransform, SmoothnessDetector,
 };
@@ -46,9 +41,8 @@ fn transform_defenses_partially_restore_accuracy() {
     let victim_cloud = &clouds[0];
     let t = CloudTensors::from_cloud(victim_cloud);
 
-    let attack = Colper::new(AttackConfig::non_targeted(90));
-    let mask = vec![true; t.len()];
-    let result = attack.run(&model, &t, &mask, &mut rng);
+    let attack = AttackSession::new(AttackConfig::non_targeted(90));
+    let result = attack.run_with_rng(&model, &t, &mut rng);
     let adv_cloud = apply_adversarial_colors(victim_cloud, &result.adversarial_colors);
     let attacked_acc = evaluate_on(&model, &CloudTensors::from_cloud(&adv_cloud), &mut rng);
 
@@ -88,13 +82,12 @@ fn smoothness_penalty_reduces_detectability() {
     let (model, clouds) = trained_victim(&mut rng);
     let victim_cloud = &clouds[1];
     let t = CloudTensors::from_cloud(victim_cloud);
-    let mask = vec![true; t.len()];
 
     let smooth_cfg = AttackConfig::non_targeted(40);
-    let smooth_result = Colper::new(smooth_cfg.clone()).run(&model, &t, &mask, &mut rng);
+    let smooth_result = AttackSession::new(smooth_cfg.clone()).run_with_rng(&model, &t, &mut rng);
     let mut rough_cfg = smooth_cfg;
     rough_cfg.lambda2 = 0.0;
-    let rough_result = Colper::new(rough_cfg).run(&model, &t, &mask, &mut rng);
+    let rough_result = AttackSession::new(rough_cfg).run_with_rng(&model, &t, &mut rng);
 
     let calib: Vec<PointCloud> = (0..4).map(|i| office_cloud(8000 + i, 176)).collect();
     let detector = SmoothnessDetector::calibrate(&calib, 6, 3.0);

@@ -2,12 +2,7 @@
 //! and attacks bit-for-bit — the property the experiment harness's
 //! caching and the paper-protocol splits rely on.
 
-// These contracts pin the behavior of the deprecated entry points
-// (the `AttackSession` equivalence tests live in the attack crate and
-// `tests/obs_equivalence.rs`).
-#![allow(deprecated)]
-
-use colper_repro::attack::{AttackConfig, AttackPlan, Colper};
+use colper_repro::attack::{AttackConfig, AttackPlan, AttackSession};
 use colper_repro::models::{
     train_model, CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, TrainConfig,
 };
@@ -59,9 +54,8 @@ fn attack_is_deterministic_under_fixed_seed() {
 
     let run = || {
         let mut rng = StdRng::seed_from_u64(123);
-        let attack = Colper::new(AttackConfig::non_targeted(10));
-        let mask = vec![true; t.len()];
-        attack.run(&model, &t, &mask, &mut rng)
+        let attack = AttackSession::new(AttackConfig::non_targeted(10));
+        attack.run_with_rng(&model, &t, &mut rng)
     };
     let a = run();
     let b = run();
@@ -84,8 +78,7 @@ fn randlanet_attack_is_deterministic_under_plan_cache() {
         let mut rng = StdRng::seed_from_u64(321);
         let config = AttackConfig::non_targeted(6);
         let plan = AttackPlan::build(&model, &t, &config);
-        let mask = vec![true; t.len()];
-        Colper::new(config).run_planned(&model, &t, &mask, &plan, &mut rng)
+        AttackSession::new(config).plan(&plan).run_with_rng(&model, &t, &mut rng)
     };
     let a = run();
     let b = run();

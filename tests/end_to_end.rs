@@ -1,12 +1,7 @@
 //! End-to-end integration: synthetic data -> trained victim -> attack ->
 //! metrics, spanning every crate of the workspace.
 
-// These contracts pin the behavior of the deprecated entry points
-// (the `AttackSession` equivalence tests live in the attack crate and
-// `tests/obs_equivalence.rs`).
-#![allow(deprecated)]
-
-use colper_repro::attack::{AttackConfig, Colper, NoiseBaseline};
+use colper_repro::attack::{AttackConfig, AttackSession, NoiseBaseline};
 use colper_repro::metrics::success_rate;
 use colper_repro::models::{
     evaluate_on, train_model, CloudTensors, PointNet2, PointNet2Config, SegmentationModel,
@@ -45,9 +40,9 @@ fn full_pipeline_nontargeted_attack_beats_noise_baseline() {
     let victim = &clouds[0];
 
     let clean = evaluate_on(&model, victim, &mut rng);
-    let attack = Colper::new(AttackConfig::non_targeted(60));
+    let attack = AttackSession::new(AttackConfig::non_targeted(60));
     let mask = vec![true; victim.len()];
-    let result = attack.run(&model, victim, &mask, &mut rng);
+    let result = attack.run_with_rng(&model, victim, &mut rng);
     let baseline = NoiseBaseline::new(result.l2_sq).run(&model, victim, &mask, &mut rng);
 
     // The paper's core claim, in miniature: at matched L2, the optimized
@@ -81,8 +76,8 @@ fn full_pipeline_targeted_attack_confines_damage() {
     let targets = vec![target; victim.len()];
     let clean_sr = success_rate(&clean_preds, &targets, &mask);
 
-    let attack = Colper::new(AttackConfig::targeted(60, target));
-    let result = attack.run(&model, victim, &mask, &mut rng);
+    let attack = AttackSession::new(AttackConfig::targeted(60, target)).mask_source_class(source);
+    let result = attack.run_with_rng(&model, victim, &mut rng);
 
     assert!(result.success_metric >= clean_sr, "SR should not decrease");
     // Out-of-band points keep their original colors byte-exact.
@@ -118,14 +113,13 @@ fn attack_works_against_every_model_family() {
     train_model(&mut randla, &clouds, &tc, &mut rng);
 
     let victim = &clouds[0];
-    let mask = vec![true; victim.len()];
     for (name, model) in [
         ("resgcn", &mut resgcn as &mut dyn SegmentationModel),
         ("randla", &mut randla as &mut dyn SegmentationModel),
     ] {
         let clean = evaluate_on(model, victim, &mut rng);
-        let attack = Colper::new(AttackConfig::non_targeted(40));
-        let result = attack.run(model, victim, &mask, &mut rng);
+        let attack = AttackSession::new(AttackConfig::non_targeted(40));
+        let result = attack.run_with_rng(model, victim, &mut rng);
         assert!(
             result.success_metric <= clean + 1e-6,
             "{name}: {:.3} should not exceed clean {clean:.3}",
@@ -152,7 +146,7 @@ fn attack_survives_degenerate_geometry() {
     let mut rng = StdRng::seed_from_u64(5);
     let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
     let result =
-        Colper::new(AttackConfig::non_targeted(5)).run(&model, &t, &vec![true; n], &mut rng);
+        AttackSession::new(AttackConfig::non_targeted(5)).run_with_rng(&model, &t, &mut rng);
     assert!(result.adversarial_colors.all_finite());
     assert!(result.gain_history.iter().all(|g| g.is_finite()));
 }
@@ -166,8 +160,7 @@ fn eot_gradient_sampling_runs_against_stochastic_victim() {
     let mut cfg = AttackConfig::non_targeted(4);
     cfg.gradient_samples = 3;
     cfg.record_trajectory = true;
-    let mask = vec![true; cloud.len()];
-    let result = Colper::new(cfg).run(&model, &cloud, &mask, &mut rng);
+    let result = AttackSession::new(cfg).run_with_rng(&model, &cloud, &mut rng);
     assert_eq!(result.metric_history.len(), result.steps_run);
     assert!(result.adversarial_colors.all_finite());
 }
@@ -180,9 +173,8 @@ fn attack_converges_with_paper_thresholds_given_enough_steps() {
     // Generous threshold at 50% — the attack reliably reaches that fast.
     let mut cfg = AttackConfig::non_targeted(80);
     cfg.convergence_threshold = Some(0.5);
-    let attack = Colper::new(cfg);
-    let mask = vec![true; victim.len()];
-    let result = attack.run(&model, victim, &mask, &mut rng);
+    let attack = AttackSession::new(cfg);
+    let result = attack.run_with_rng(&model, victim, &mut rng);
     assert!(result.converged, "expected convergence, got {:.3}", result.success_metric);
     assert!(result.steps_run < 80, "early stop expected");
 }

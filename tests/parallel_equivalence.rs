@@ -4,12 +4,7 @@
 //! the pool reaches (tensor kernels, k-NN queries, EoT sample fan-out,
 //! per-cloud batch scheduling).
 
-// These contracts pin the behavior of the deprecated entry points
-// (the `AttackSession` equivalence tests live in the attack crate and
-// `tests/obs_equivalence.rs`).
-#![allow(deprecated)]
-
-use colper_repro::attack::{run_batch, AttackConfig, AttackPlan, Colper};
+use colper_repro::attack::{AttackConfig, AttackPlan, AttackSession};
 use colper_repro::models::{
     CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn, ResGcnConfig,
     SegmentationModel,
@@ -34,9 +29,8 @@ fn attack_on<M: SegmentationModel>(
     cfg.gradient_samples = 2; // exercise the EoT fan-out
     cfg.convergence_threshold = Some(0.0); // never stop early
     let plan = AttackPlan::build(model, t, &cfg);
-    let mask = vec![true; t.len()];
     let mut rng = StdRng::seed_from_u64(99);
-    Colper::new(cfg).with_runtime(rt).run_planned(model, t, &mask, &plan, &mut rng)
+    AttackSession::new(cfg).runtime(&rt).plan(&plan).run_with_rng(model, t, &mut rng)
 }
 
 fn assert_thread_count_invariant<M: SegmentationModel>(model: &M, t: &CloudTensors) {
@@ -87,9 +81,11 @@ fn batch_outcome_is_thread_count_invariant() {
         .map(|i| CloudTensors::from_cloud(&normalize::pointnet_view(&indoor(96, 20 + i))))
         .collect();
     let cfg = AttackConfig::non_targeted(3);
-    let mask_of = |t: &CloudTensors| vec![true; t.len()];
-    let seq = run_batch(&model, &clouds, &cfg, mask_of, 11, &Runtime::sequential());
-    let par = run_batch(&model, &clouds, &cfg, mask_of, 11, &Runtime::new(4));
+    let seq = AttackSession::new(cfg.clone())
+        .seed(11)
+        .runtime(&Runtime::sequential())
+        .run(&model, &clouds);
+    let par = AttackSession::new(cfg).seed(11).runtime(&Runtime::new(4)).run(&model, &clouds);
     assert_eq!(seq.items.len(), par.items.len());
     for (a, b) in seq.items.iter().zip(&par.items) {
         assert_eq!(a.result.adversarial_colors, b.result.adversarial_colors);
@@ -126,9 +122,9 @@ fn attack_result_bit_identical_across_dispatch_paths() {
 }
 
 #[test]
-fn ambient_runtime_is_inherited_by_default_colper() {
-    // A default `Colper` must pick up the runtime the caller installed —
-    // and still produce the sequential answer bit-for-bit.
+fn ambient_runtime_is_inherited_by_default_session() {
+    // A default `AttackSession` must pick up the runtime the caller
+    // installed — and still produce the sequential answer bit-for-bit.
     let mut rng = StdRng::seed_from_u64(5);
     let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
     let t = CloudTensors::from_cloud(&normalize::pointnet_view(&indoor(96, 30)));
