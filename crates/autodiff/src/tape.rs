@@ -23,6 +23,22 @@ pub(crate) enum Value {
     Shared(Arc<Matrix>),
 }
 
+impl Value {
+    /// Mutable access to an owned value — the schedule replay writes node
+    /// outputs in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shared value; the schedule compiler verifies every
+    /// dynamic node owns its storage before a schedule is built.
+    pub(crate) fn owned_mut(&mut self) -> &mut Matrix {
+        match self {
+            Value::Owned(m) => m,
+            Value::Shared(_) => panic!("owned_mut on a shared tape value"),
+        }
+    }
+}
+
 impl Deref for Value {
     type Target = Matrix;
     fn deref(&self) -> &Matrix {
@@ -91,9 +107,9 @@ pub(crate) enum Op {
     /// `[N,C] / [1,C]` row broadcast.
     DivRow(Var, Var),
     Scale(Var, f32),
-    // The scalar is only needed in the forward pass, but is kept for
-    // debug output.
-    AddScalar(Var, #[allow(dead_code)] f32),
+    // The scalar is only needed in the forward pass (the schedule replay
+    // re-applies it); the backward pass ignores it.
+    AddScalar(Var, f32),
     Matmul(Var, Var),
     Relu(Var),
     LeakyRelu(Var, f32),
@@ -171,8 +187,9 @@ pub(crate) enum Op {
 
 impl Op {
     /// Calls `f` for every operand `Var` of this op (forward-pass inputs
-    /// only, not saved context). Drives the backward reachability pass.
-    fn for_each_operand(&self, mut f: impl FnMut(Var)) {
+    /// only, not saved context). Drives the backward reachability pass and
+    /// the schedule compiler's dynamic-set marking.
+    pub(crate) fn for_each_operand(&self, mut f: impl FnMut(Var)) {
         match self {
             Op::Leaf | Op::Constant => {}
             Op::Add(a, b)
@@ -241,14 +258,14 @@ pub(crate) struct Node {
 /// via [`Tape::constant_shared`] instead of being copied per step.
 #[derive(Debug, Default)]
 pub struct Tape {
-    nodes: Vec<Node>,
-    grads: Vec<Option<Matrix>>,
-    pool: BufferPool,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) grads: Vec<Option<Matrix>>,
+    pub(crate) pool: BufferPool,
     idx_pool: VecDeque<Vec<usize>>,
     w_pool: VecDeque<Vec<f32>>,
     tri_pool: VecDeque<Vec<(usize, usize, usize)>>,
     live: Vec<bool>,
-    visited: usize,
+    pub(crate) visited: usize,
 }
 
 impl Tape {
@@ -521,7 +538,7 @@ impl Tape {
             }
             let Some(gy) = self.grads[i].take() else { continue };
             self.visited += 1;
-            step_backward(&self.nodes, &mut self.grads, &mut self.pool, i, &gy);
+            step_backward(&self.nodes, &mut self.grads, &mut self.pool, i, &gy, false);
             self.grads[i] = Some(gy);
         }
     }
@@ -572,15 +589,35 @@ fn accumulate_copy(
 /// payload is cloned — and builds every produced gradient in pooled
 /// storage. All arithmetic keeps the exact scalar expressions and
 /// accumulation order of the original allocating implementation, so
-/// gradients are bit-identical.
+/// gradients are bit-identical. The schedule replay reuses this verbatim,
+/// which is what makes replayed gradients bit-identical by construction.
+///
+/// `compiled` selects the schedule replay's compile-time optimizations,
+/// neither of which can change a live gradient:
+///
+/// - **Dead-gradient pruning** — operand gradients flowing into
+///   `!requires_grad` nodes (eval-mode weights bound as constants) are
+///   never computed. The dynamic reference computes then discards them
+///   (`accumulate` recycles the buffer), so a pruned gradient never fed
+///   any surviving value to begin with.
+/// - **Dirty scratch buffers** — gradient storage whose kernel fully
+///   overwrites every element (see [`grad_buf`]) skips the `zeros`
+///   memset. Buffers that are accumulated into (`GatherRows`,
+///   `Smoothness`, …) or partially written (`SliceCols`) keep `zeros`.
+///
+/// The dynamic tape passes `false` and keeps the simple eager reference
+/// semantics unchanged.
 #[allow(clippy::too_many_lines)]
-fn step_backward(
+pub(crate) fn step_backward(
     nodes: &[Node],
     grads: &mut [Option<Matrix>],
     pool: &mut BufferPool,
     i: usize,
     gy: &Matrix,
+    compiled: bool,
 ) {
+    // "Should the gradient for operand `v` be materialized at all?"
+    let wants = |v: Var| !compiled || nodes[v.0].requires_grad;
     match &nodes[i].op {
         Op::Leaf | Op::Constant => {}
         Op::Add(a, b) => {
@@ -589,67 +626,85 @@ fn step_backward(
         }
         Op::Sub(a, b) => {
             accumulate_copy(nodes, grads, pool, *a, gy);
-            let mut gb = pool.zeros_like(gy);
-            gy.map_into(&mut gb, |v| -v);
-            accumulate(nodes, grads, pool, *b, gb);
+            if wants(*b) {
+                let mut gb = grad_buf(pool, compiled, gy.rows(), gy.cols());
+                gy.map_into(&mut gb, |v| -v);
+                accumulate(nodes, grads, pool, *b, gb);
+            }
         }
         Op::Mul(a, b) => {
-            let mut ga = pool.zeros_like(gy);
-            gy.mul_into(&nodes[b.0].value, &mut ga).expect("shape");
-            let mut gb = pool.zeros_like(gy);
-            gy.mul_into(&nodes[a.0].value, &mut gb).expect("shape");
-            accumulate(nodes, grads, pool, *a, ga);
-            accumulate(nodes, grads, pool, *b, gb);
+            if wants(*a) {
+                let mut ga = grad_buf(pool, compiled, gy.rows(), gy.cols());
+                gy.mul_into(&nodes[b.0].value, &mut ga).expect("shape");
+                accumulate(nodes, grads, pool, *a, ga);
+            }
+            if wants(*b) {
+                let mut gb = grad_buf(pool, compiled, gy.rows(), gy.cols());
+                gy.mul_into(&nodes[a.0].value, &mut gb).expect("shape");
+                accumulate(nodes, grads, pool, *b, gb);
+            }
         }
         Op::AddRow(x, r) => {
             accumulate_copy(nodes, grads, pool, *x, gy);
-            let mut gr = pool.zeros(1, gy.cols());
-            gy.sum_rows_into(&mut gr);
-            accumulate(nodes, grads, pool, *r, gr);
+            if wants(*r) {
+                let mut gr = grad_buf(pool, compiled, 1, gy.cols());
+                gy.sum_rows_into(&mut gr);
+                accumulate(nodes, grads, pool, *r, gr);
+            }
         }
         Op::SubRow(x, r) => {
             accumulate_copy(nodes, grads, pool, *x, gy);
-            let mut gr = pool.zeros(1, gy.cols());
-            gy.sum_rows_into(&mut gr);
-            gr.map_inplace(|v| -v);
-            accumulate(nodes, grads, pool, *r, gr);
+            if wants(*r) {
+                let mut gr = grad_buf(pool, compiled, 1, gy.cols());
+                gy.sum_rows_into(&mut gr);
+                gr.map_inplace(|v| -v);
+                accumulate(nodes, grads, pool, *r, gr);
+            }
         }
         Op::MulRow(x, r) => {
             let rv: &Matrix = &nodes[r.0].value;
             let xv: &Matrix = &nodes[x.0].value;
-            let mut gx = pool.zeros_like(gy);
-            broadcast_mul_into(gy, rv, &mut gx);
-            let mut tmp = pool.zeros_like(gy);
-            gy.mul_into(xv, &mut tmp).expect("shape");
-            let mut gr = pool.zeros(1, gy.cols());
-            tmp.sum_rows_into(&mut gr);
-            pool.recycle(tmp);
-            accumulate(nodes, grads, pool, *x, gx);
-            accumulate(nodes, grads, pool, *r, gr);
+            if wants(*x) {
+                let mut gx = grad_buf(pool, compiled, gy.rows(), gy.cols());
+                broadcast_mul_into(gy, rv, &mut gx);
+                accumulate(nodes, grads, pool, *x, gx);
+            }
+            if wants(*r) {
+                let mut tmp = grad_buf(pool, compiled, gy.rows(), gy.cols());
+                gy.mul_into(xv, &mut tmp).expect("shape");
+                let mut gr = grad_buf(pool, compiled, 1, gy.cols());
+                tmp.sum_rows_into(&mut gr);
+                pool.recycle(tmp);
+                accumulate(nodes, grads, pool, *r, gr);
+            }
         }
         Op::DivRow(x, r) => {
             let rv: &Matrix = &nodes[r.0].value;
             let xv: &Matrix = &nodes[x.0].value;
-            let mut inv = pool.zeros_like(rv);
-            rv.map_into(&mut inv, |v| 1.0 / v);
-            let mut gx = pool.zeros_like(gy);
-            broadcast_mul_into(gy, &inv, &mut gx);
-            // d/dr (x/r) = -x / r^2
-            rv.map_into(&mut inv, |v| -1.0 / (v * v));
-            let mut tmp = pool.zeros_like(gy);
-            gy.mul_into(xv, &mut tmp).expect("shape");
-            let mut bm = pool.zeros_like(gy);
-            broadcast_mul_into(&tmp, &inv, &mut bm);
-            let mut gr = pool.zeros(1, gy.cols());
-            bm.sum_rows_into(&mut gr);
+            let mut inv = grad_buf(pool, compiled, rv.rows(), rv.cols());
+            if wants(*x) {
+                rv.map_into(&mut inv, |v| 1.0 / v);
+                let mut gx = grad_buf(pool, compiled, gy.rows(), gy.cols());
+                broadcast_mul_into(gy, &inv, &mut gx);
+                accumulate(nodes, grads, pool, *x, gx);
+            }
+            if wants(*r) {
+                // d/dr (x/r) = -x / r^2
+                rv.map_into(&mut inv, |v| -1.0 / (v * v));
+                let mut tmp = grad_buf(pool, compiled, gy.rows(), gy.cols());
+                gy.mul_into(xv, &mut tmp).expect("shape");
+                let mut bm = grad_buf(pool, compiled, gy.rows(), gy.cols());
+                broadcast_mul_into(&tmp, &inv, &mut bm);
+                let mut gr = grad_buf(pool, compiled, 1, gy.cols());
+                bm.sum_rows_into(&mut gr);
+                pool.recycle(tmp);
+                pool.recycle(bm);
+                accumulate(nodes, grads, pool, *r, gr);
+            }
             pool.recycle(inv);
-            pool.recycle(tmp);
-            pool.recycle(bm);
-            accumulate(nodes, grads, pool, *x, gx);
-            accumulate(nodes, grads, pool, *r, gr);
         }
         Op::Scale(x, s) => {
-            let mut g = pool.zeros_like(gy);
+            let mut g = grad_buf(pool, compiled, gy.rows(), gy.cols());
             gy.scale_into(*s, &mut g);
             accumulate(nodes, grads, pool, *x, g);
         }
@@ -657,15 +712,19 @@ fn step_backward(
         Op::Matmul(a, b) => {
             let av: &Matrix = &nodes[a.0].value;
             let bv: &Matrix = &nodes[b.0].value;
-            let mut ga = pool.zeros(gy.rows(), bv.rows());
-            gy.matmul_nt_into(bv, &mut ga).expect("shape");
-            let mut gb = pool.zeros(av.cols(), gy.cols());
-            av.matmul_tn_into(gy, &mut gb).expect("shape");
-            accumulate(nodes, grads, pool, *a, ga);
-            accumulate(nodes, grads, pool, *b, gb);
+            if wants(*a) {
+                let mut ga = grad_buf(pool, compiled, gy.rows(), bv.rows());
+                gy.matmul_nt_into(bv, &mut ga).expect("shape");
+                accumulate(nodes, grads, pool, *a, ga);
+            }
+            if wants(*b) {
+                let mut gb = grad_buf(pool, compiled, av.cols(), gy.cols());
+                av.matmul_tn_into(gy, &mut gb).expect("shape");
+                accumulate(nodes, grads, pool, *b, gb);
+            }
         }
         Op::Relu(x) => {
-            let g = elementwise_grad(nodes, pool, gy, &nodes[x.0].value, |v| {
+            let g = elementwise_grad(pool, compiled, gy, &nodes[x.0].value, |v| {
                 if v > 0.0 {
                     1.0
                 } else {
@@ -676,7 +735,7 @@ fn step_backward(
         }
         Op::LeakyRelu(x, alpha) => {
             let alpha = *alpha;
-            let g = elementwise_grad(nodes, pool, gy, &nodes[x.0].value, move |v| {
+            let g = elementwise_grad(pool, compiled, gy, &nodes[x.0].value, move |v| {
                 if v > 0.0 {
                     1.0
                 } else {
@@ -687,51 +746,51 @@ fn step_backward(
         }
         Op::Tanh(x) => {
             // y = tanh(x); dy/dx = 1 - y^2 (read from the output node).
-            let g = elementwise_grad(nodes, pool, gy, &nodes[i].value, |t| 1.0 - t * t);
+            let g = elementwise_grad(pool, compiled, gy, &nodes[i].value, |t| 1.0 - t * t);
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::Sigmoid(x) => {
-            let g = elementwise_grad(nodes, pool, gy, &nodes[i].value, |s| s * (1.0 - s));
+            let g = elementwise_grad(pool, compiled, gy, &nodes[i].value, |s| s * (1.0 - s));
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::Exp(x) => {
-            let mut g = pool.zeros_like(gy);
+            let mut g = grad_buf(pool, compiled, gy.rows(), gy.cols());
             gy.mul_into(&nodes[i].value, &mut g).expect("shape");
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::Ln(x) => {
-            let g = elementwise_grad(nodes, pool, gy, &nodes[x.0].value, |v| 1.0 / v);
+            let g = elementwise_grad(pool, compiled, gy, &nodes[x.0].value, |v| 1.0 / v);
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::Sqrt(x) => {
-            let g = elementwise_grad(nodes, pool, gy, &nodes[i].value, |s| 0.5 / s.max(1e-12));
+            let g = elementwise_grad(pool, compiled, gy, &nodes[i].value, |s| 0.5 / s.max(1e-12));
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::Square(x) => {
-            let g = elementwise_grad(nodes, pool, gy, &nodes[x.0].value, |v| v * 2.0);
+            let g = elementwise_grad(pool, compiled, gy, &nodes[x.0].value, |v| v * 2.0);
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::MulConst(x, m) => {
-            let mut g = pool.zeros_like(gy);
+            let mut g = grad_buf(pool, compiled, gy.rows(), gy.cols());
             gy.mul_into(m, &mut g).expect("shape");
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::Sum(x) => {
             let (r, c) = nodes[x.0].value.shape();
-            let mut g = pool.zeros(r, c);
+            let mut g = grad_buf(pool, compiled, r, c);
             g.as_mut_slice().fill(gy[(0, 0)]);
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::Mean(x) => {
             let (r, c) = nodes[x.0].value.shape();
             let denom = (r * c).max(1) as f32;
-            let mut g = pool.zeros(r, c);
+            let mut g = grad_buf(pool, compiled, r, c);
             g.as_mut_slice().fill(gy[(0, 0)] / denom);
             accumulate(nodes, grads, pool, *x, g);
         }
         Op::SumRows(x) => {
             let (r, c) = nodes[x.0].value.shape();
-            let mut g = pool.zeros(r, c);
+            let mut g = grad_buf(pool, compiled, r, c);
             for rr in 0..r {
                 g.row_mut(rr).copy_from_slice(gy.row(0));
             }
@@ -741,7 +800,7 @@ fn step_backward(
         Op::MeanRows(x) => {
             let (r, c) = nodes[x.0].value.shape();
             let inv = 1.0 / r.max(1) as f32;
-            let mut g = pool.zeros(r, c);
+            let mut g = grad_buf(pool, compiled, r, c);
             kernels::count_dispatch(r);
             for rr in 0..r {
                 kernels::scale(gy.row(0), inv, g.row_mut(rr));
@@ -750,7 +809,7 @@ fn step_backward(
         }
         Op::SumCols(x) => {
             let (r, c) = nodes[x.0].value.shape();
-            let mut g = pool.zeros(r, c);
+            let mut g = grad_buf(pool, compiled, r, c);
             for rr in 0..r {
                 for cc in 0..c {
                     g[(rr, cc)] = gy[(rr, 0)];
@@ -782,7 +841,7 @@ fn step_backward(
             let k = *k;
             let (r, c) = nodes[x.0].value.shape();
             let inv = 1.0 / k as f32;
-            let mut g = pool.zeros(r, c);
+            let mut g = grad_buf(pool, compiled, r, c);
             kernels::count_dispatch(r);
             for rr in 0..r {
                 kernels::scale(gy.row(rr / k), inv, g.row_mut(rr));
@@ -795,7 +854,7 @@ fn step_backward(
             let k = *k;
             let (r, c) = softmax.shape();
             let groups = r / k;
-            let mut g = pool.zeros(r, c);
+            let mut g = grad_buf(pool, compiled, r, c);
             for gi in 0..groups {
                 for cc in 0..c {
                     let mut dot = 0.0f32;
@@ -827,12 +886,16 @@ fn step_backward(
         Op::ConcatCols(a, b) => {
             let ca = nodes[a.0].value.cols();
             let cb = nodes[b.0].value.cols();
-            let mut ga = pool.zeros(gy.rows(), ca);
-            gy.block_into(0, gy.rows(), 0, ca, &mut ga);
-            let mut gb = pool.zeros(gy.rows(), cb);
-            gy.block_into(0, gy.rows(), ca, ca + cb, &mut gb);
-            accumulate(nodes, grads, pool, *a, ga);
-            accumulate(nodes, grads, pool, *b, gb);
+            if wants(*a) {
+                let mut ga = grad_buf(pool, compiled, gy.rows(), ca);
+                gy.block_into(0, gy.rows(), 0, ca, &mut ga);
+                accumulate(nodes, grads, pool, *a, ga);
+            }
+            if wants(*b) {
+                let mut gb = grad_buf(pool, compiled, gy.rows(), cb);
+                gy.block_into(0, gy.rows(), ca, ca + cb, &mut gb);
+                accumulate(nodes, grads, pool, *b, gb);
+            }
         }
         Op::SliceCols(x, c0, _c1) => {
             let c0 = *c0;
@@ -940,19 +1003,32 @@ fn step_backward(
     }
 }
 
+/// Fresh gradient storage for a kernel that fully overwrites every
+/// element of its output. The compiled replay takes dirty scratch (no
+/// memset); the dynamic reference keeps its zeroing allocation pattern.
+/// Bit-identical because the caller's kernel writes every element before
+/// any is read.
+fn grad_buf(pool: &mut BufferPool, compiled: bool, rows: usize, cols: usize) -> Matrix {
+    if compiled {
+        pool.scratch(rows, cols)
+    } else {
+        pool.zeros(rows, cols)
+    }
+}
+
 /// `gy * map(src, deriv)` in pooled storage — the shared shape of every
 /// elementwise activation backward. Same `map` + `mul` expressions as the
 /// old allocating code, so results are bit-identical.
 fn elementwise_grad(
-    _nodes: &[Node],
     pool: &mut BufferPool,
+    compiled: bool,
     gy: &Matrix,
     src: &Matrix,
     deriv: impl Fn(f32) -> f32 + Sync,
 ) -> Matrix {
-    let mut tmp = pool.zeros_like(src);
+    let mut tmp = grad_buf(pool, compiled, src.rows(), src.cols());
     src.map_into(&mut tmp, deriv);
-    let mut g = pool.zeros_like(gy);
+    let mut g = grad_buf(pool, compiled, gy.rows(), gy.cols());
     gy.mul_into(&tmp, &mut g).expect("shape");
     pool.recycle(tmp);
     g

@@ -1,10 +1,11 @@
 //! Algorithm 1 of the paper: the COLPER optimization loop.
 
+use crate::seat::{CapturedSchedule, ScheduleKey, SeatTape};
 use crate::{AttackConfig, AttackGoal, AttackResult, TanhReparam};
-use colper_autodiff::Var;
+use colper_autodiff::{CompileSpec, HingeSpec, TapeSchedule, Var};
 use colper_geom::knn_graph;
 use colper_metrics::success_rate;
-use colper_models::{CloudTensors, GeometryPlan, ModelInput, SegmentationModel};
+use colper_models::{CaptureShapes, CloudTensors, GeometryPlan, ModelInput, SegmentationModel};
 use colper_nn::{AdamState, Forward};
 use colper_obs::{Observer, StepRecord};
 use colper_runtime::Runtime;
@@ -99,10 +100,11 @@ impl PlateauTracker {
     }
 }
 
-/// The COLPER attack.
+/// The COLPER attack engine.
 ///
-/// One instance holds the hyper-parameters; [`Colper::run`] executes the
-/// optimization against a victim model on one point cloud. The cloud's
+/// One instance holds the hyper-parameters; the optimization itself is
+/// driven exclusively through [`crate::AttackSession`] — the session
+/// builder is the crate's only public attack entry point. The cloud's
 /// tensors must already be in the victim's normalized view (see
 /// [`colper_scene::normalize`]).
 ///
@@ -156,56 +158,10 @@ impl Colper {
         &self.runtime
     }
 
-    /// Runs the attack on one cloud. `mask` selects the attacked points
-    /// `X_t` (all-true for the paper's non-targeted experiments, the
-    /// source-class points for targeted ones).
-    ///
-    /// Returns the best adversarial sample found — "best" meaning lowest
-    /// attacked-point accuracy (non-targeted) or highest SR (targeted).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `mask.len() != tensors.len()`, no point is attacked,
-    /// or the configuration is invalid for the model's class count.
-    #[deprecated(note = "use `AttackSession::new(config).run(model, &[cloud])` instead")]
-    pub fn run<M: SegmentationModel + ?Sized>(
-        &self,
-        model: &M,
-        tensors: &colper_models::CloudTensors,
-        mask: &[bool],
-        rng: &mut StdRng,
-    ) -> AttackResult {
-        let plan = AttackPlan::build(model, tensors, &self.config);
-        self.run_planned_obs(model, tensors, mask, &plan, rng, &Observer::disabled(), 0)
-    }
-
-    /// [`Colper::run`] with a pre-built [`AttackPlan`] — use this when
-    /// attacking the same cloud more than once (repeated runs, clean
-    /// predictions plus attack, parameter sweeps) so the geometry is
-    /// computed exactly once.
-    ///
-    /// # Panics
-    ///
-    /// In addition to [`Colper::run`]'s panics, panics when `plan` was
-    /// built for a different cloud or configuration.
-    #[deprecated(
-        note = "use `AttackSession::new(config).plan(&plan).run(model, &[cloud])` instead"
-    )]
-    pub fn run_planned<M: SegmentationModel + ?Sized>(
-        &self,
-        model: &M,
-        tensors: &colper_models::CloudTensors,
-        mask: &[bool],
-        plan: &AttackPlan,
-        rng: &mut StdRng,
-    ) -> AttackResult {
-        self.run_planned_obs(model, tensors, mask, plan, rng, &Observer::disabled(), 0)
-    }
-
-    /// The attack engine shared by [`crate::AttackSession`] and the
-    /// deprecated entry points: one planned attack drawing from the
-    /// caller's RNG, reporting step telemetry for cloud index `cloud`
-    /// through `obs` (a no-op with a disabled observer).
+    /// The attack engine behind [`crate::AttackSession`]: one planned
+    /// attack drawing from the caller's RNG, reporting step telemetry for
+    /// cloud index `cloud` through `obs` (a no-op with a disabled
+    /// observer).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_planned_obs<M: SegmentationModel + ?Sized>(
         &self,
@@ -316,17 +272,51 @@ impl Colper {
         let mut best_colors = Matrix::clone(&orig);
         let mut best_preds: Vec<usize> = Vec::new();
 
+        // Static-schedule eligibility: single-sample path, global gate on,
+        // a victim whose eval forward is a pure function of its inputs
+        // (RandLA-Net's random sampling is not), and capture inputs that
+        // pass shape validation. When eligible, the key pins everything
+        // the captured graph folded in: the config, the parameter/buffer
+        // storage, the plan's interned tensors, and the run's labels /
+        // mask / original colors.
+        let schedule_eligible = cfg.gradient_samples == 1
+            && colper_autodiff::schedule_enabled()
+            && model.deterministic_eval()
+            && CaptureShapes::check(n, &plan.xyz, &orig, &plan.loc01).is_ok();
+        let sched_key = schedule_eligible.then(|| ScheduleKey {
+            config: cfg.clone(),
+            param_addrs: model.params().storage_fingerprint(),
+            xyz_addr: Arc::as_ptr(&plan.xyz) as usize,
+            loc_addr: Arc::as_ptr(&plan.loc01) as usize,
+            nbrs_addr: plan.smooth_nbrs.as_ptr() as usize,
+            nbrs_len: plan.smooth_nbrs.len(),
+            points: n,
+            labels: labels_for_loss.clone(),
+            mask: mask.to_vec(),
+            orig_colors: orig.clone(),
+        });
+
         // Steady-state buffers for the single-sample path: one reusable
         // forward session plus preallocated gradient / prediction / color
         // scratch, so step >= 2 performs no heap allocation in tape value
         // or gradient storage. A seated run resumes on the seat's donated
         // tape, extending the zero-allocation property back to step 1 of
-        // repeat attacks on same-shaped clouds.
+        // repeat attacks on same-shaped clouds. When the seat's tape also
+        // carries a schedule compiled for exactly this key, the run adopts
+        // the captured graph intact and replays from its very first step.
+        let mut captured: Option<CapturedSchedule> = None;
+        let mut sched_failed = false;
         let mut steady =
             (cfg.gradient_samples == 1).then(|| match seat.as_mut().and_then(|s| s.checkout()) {
-                Some(tape) => {
+                Some(SeatTape { tape, captured: donated }) => {
                     colper_obs::counters::SEAT_WARM.incr();
-                    Forward::resume(model.params(), false, tape)
+                    match (donated, &sched_key) {
+                        (Some(c), Some(key)) if c.key == *key => {
+                            captured = Some(c);
+                            Forward::resume_captured(model.params(), tape)
+                        }
+                        _ => Forward::resume(model.params(), false, tape),
+                    }
                 }
                 None => Forward::new(model.params(), false),
             });
@@ -414,13 +404,51 @@ impl Colper {
                 // One session is reused across every step — `reset` keeps
                 // the tape's buffer pools, and the extraction below writes
                 // into preallocated scratch, so the steady state allocates
-                // nothing.
+                // nothing. Once a schedule is captured, steps stop even
+                // rebuilding the graph: the frozen op program replays over
+                // the captured nodes, bit-identical to a dynamic rebuild
+                // (the victim's eval forward consumes no randomness on
+                // this path, so the RNG stream is preserved too).
                 let session = steady.as_mut().expect("single-sample path owns a session");
-                session.reset();
-                let (gain, w_var, color, logits, dist, adv_loss, smooth) = {
+                let vars = if let Some(c) = captured.as_ref() {
                     let _build_span = colper_obs::span!(ATTACK_BUILD);
-                    build(session, 0, rng)
+                    c.schedule.replay(&mut session.tape, &w);
+                    c.vars
+                } else {
+                    session.reset();
+                    let built = {
+                        let _build_span = colper_obs::span!(ATTACK_BUILD);
+                        build(session, 0, rng)
+                    };
+                    // One-shot capture: freeze the graph just recorded into
+                    // a static schedule for every following step. A graph
+                    // the compiler rejects falls back to dynamic rebuilds
+                    // permanently (the graph is the same every step, so
+                    // retrying could only fail again).
+                    if !sched_failed {
+                        if let Some(key) = sched_key.clone() {
+                            let (gain, w_var, color, logits, dist, adv_loss, smooth) = built;
+                            let spec = CompileSpec {
+                                input: w_var,
+                                output: gain,
+                                keep: &[color, logits, dist, adv_loss, smooth],
+                                hinge: Some(HingeSpec {
+                                    labels: labels_for_loss.clone(),
+                                    mask: mask.to_vec(),
+                                    targeted: matches!(cfg.goal, AttackGoal::Targeted { .. }),
+                                }),
+                            };
+                            match TapeSchedule::compile(&mut session.tape, &spec) {
+                                Ok(schedule) => {
+                                    captured = Some(CapturedSchedule { key, schedule, vars: built })
+                                }
+                                Err(_) => sched_failed = true,
+                            }
+                        }
+                    }
+                    built
                 };
+                let (gain, w_var, color, logits, dist, adv_loss, smooth) = vars;
                 let gain_v = session.tape.value(gain)[(0, 0)];
                 terms = [
                     session.tape.value(dist)[(0, 0)],
@@ -564,9 +592,15 @@ impl Colper {
         }
 
         // Hand the steady session's tape back to the seat so the next
-        // attack seated here starts with warmed buffer pools.
+        // attack seated here starts with warmed buffer pools. A captured
+        // schedule travels with its tape (graph intact, not reset): a
+        // key-matching successor replays from step 1, anyone else resumes
+        // normally and the stale graph is cleared by its first `reset`.
         if let (Some(seat), Some(session)) = (seat.as_mut(), steady.take()) {
-            seat.donate(session.into_tape());
+            match captured.take() {
+                Some(c) => seat.donate_captured(session.into_tape_captured(), c),
+                None => seat.donate(session.into_tape()),
+            }
         }
 
         let l2_sq = best_colors.sub(&orig).expect("shape").frobenius_sq();
@@ -605,9 +639,9 @@ fn masked_accuracy(preds: &[usize], labels: &[usize], mask: &[bool]) -> f32 {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated shims are themselves under test
 mod tests {
     use super::*;
+    use crate::AttackSession;
     use colper_models::{
         evaluate_on, train_model, CloudTensors, PointNet2, PointNet2Config, TrainConfig,
     };
@@ -640,9 +674,8 @@ mod tests {
         let clean_acc = evaluate_on(&model, victim_cloud, &mut rng);
         assert!(clean_acc > 0.5, "victim should segment decently, got {clean_acc}");
 
-        let attack = Colper::new(AttackConfig::non_targeted(150));
-        let mask = vec![true; victim_cloud.len()];
-        let result = attack.run(&model, victim_cloud, &mask, &mut rng);
+        let attack = AttackSession::new(AttackConfig::non_targeted(150));
+        let result = attack.run_with_rng(&model, victim_cloud, &mut rng);
         assert!(
             result.success_metric < clean_acc - 0.2,
             "attack should drop accuracy well below clean: {} vs {clean_acc}",
@@ -662,8 +695,9 @@ mod tests {
         if !mask.iter().any(|&m| m) {
             return; // sample without tables; other seeds cover this path
         }
-        let attack = Colper::new(AttackConfig::targeted(25, IndoorClass::Wall.label()));
-        let result = attack.run(&model, t, &mask, &mut rng);
+        let attack = AttackSession::new(AttackConfig::targeted(25, IndoorClass::Wall.label()))
+            .mask_source_class(IndoorClass::Table.label());
+        let result = attack.run_with_rng(&model, t, &mut rng);
         let adv = &result.adversarial_colors;
         assert!(adv.min().unwrap() >= 0.0 && adv.max().unwrap() <= 1.0);
         // Unattacked points keep their exact colors.
@@ -693,8 +727,9 @@ mod tests {
         let targets = vec![target; t.len()];
         let clean_sr = success_rate(&clean_preds, &targets, &mask);
 
-        let attack = Colper::new(AttackConfig::targeted(60, target));
-        let result = attack.run(&model, t, &mask, &mut rng);
+        let attack =
+            AttackSession::new(AttackConfig::targeted(60, target)).mask_source_class(source);
+        let result = attack.run_with_rng(&model, t, &mut rng);
         assert!(
             result.success_metric >= clean_sr,
             "targeted SR should not fall: {} vs clean {clean_sr}",
@@ -709,9 +744,7 @@ mod tests {
         let t = &clouds[3];
         let mut cfg = AttackConfig::non_targeted(50);
         cfg.convergence_threshold = Some(1.1); // accuracy always below 1.1
-        let attack = Colper::new(cfg);
-        let mask = vec![true; t.len()];
-        let result = attack.run(&model, t, &mask, &mut rng);
+        let result = AttackSession::new(cfg).run_with_rng(&model, t, &mut rng);
         assert!(result.converged);
         assert_eq!(result.steps_run, 1);
     }
@@ -746,9 +779,7 @@ mod tests {
         let mut cfg = AttackConfig::non_targeted(16);
         cfg.lr = 1e-12;
         cfg.convergence_threshold = Some(0.0); // never converge
-        let attack = Colper::new(cfg);
-        let mask = vec![true; t.len()];
-        let result = attack.run(&model, &t, &mask, &mut rng);
+        let result = AttackSession::new(cfg).run_with_rng(&model, &t, &mut rng);
         assert_eq!(result.steps_run, 16);
         // plateau_every = max(16/100, 5) = 5 -> checkpoints at 5, 10, 15.
         // The first checkpoint only records a baseline; by step 10 the
@@ -768,11 +799,17 @@ mod tests {
         let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(11);
         let t = CloudTensors::from_cloud(&normalize::pointnet_view(&cloud));
         let cfg = AttackConfig::non_targeted(8);
-        let attack = Colper::new(cfg.clone());
-        let mask = vec![true; t.len()];
-        let plain = attack.run(&model, &t, &mask, &mut StdRng::seed_from_u64(42));
+        let plain = AttackSession::new(cfg.clone()).run_with_rng(
+            &model,
+            &t,
+            &mut StdRng::seed_from_u64(42),
+        );
         let plan = AttackPlan::build(&model, &t, &cfg);
-        let planned = attack.run_planned(&model, &t, &mask, &plan, &mut StdRng::seed_from_u64(42));
+        let planned = AttackSession::new(cfg).plan(&plan).run_with_rng(
+            &model,
+            &t,
+            &mut StdRng::seed_from_u64(42),
+        );
         assert_eq!(plain.adversarial_colors, planned.adversarial_colors);
         assert_eq!(plain.gain_history, planned.gain_history);
         assert_eq!(plain.predictions, planned.predictions);
@@ -791,8 +828,7 @@ mod tests {
         ));
         let cfg = AttackConfig::non_targeted(5);
         let plan = AttackPlan::build(&model, &small, &cfg);
-        let mask = vec![true; big.len()];
-        let _ = Colper::new(cfg).run_planned(&model, &big, &mask, &plan, &mut rng);
+        let _ = AttackSession::new(cfg).plan(&plan).run_with_rng(&model, &big, &mut rng);
     }
 
     #[test]
@@ -802,8 +838,8 @@ mod tests {
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
         let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(64)).generate(0);
         let t = CloudTensors::from_cloud(&normalize::pointnet_view(&cloud));
-        let attack = Colper::new(AttackConfig::non_targeted(5));
-        let mask = vec![false; t.len()];
-        let _ = attack.run(&model, &t, &mask, &mut rng);
+        let none = |t: &CloudTensors| vec![false; t.len()];
+        let attack = AttackSession::new(AttackConfig::non_targeted(5)).mask_with(&none);
+        let _ = attack.run_with_rng(&model, &t, &mut rng);
     }
 }

@@ -1,15 +1,15 @@
-//! Batch orchestration: run the attack over many clouds in parallel and
-//! aggregate the paper's summary statistics.
+//! Batch outcome types: per-cloud attack results with segmentation
+//! quality attached, and their aggregation into the paper's summary
+//! statistics.
 //!
-//! The paper attacks hundreds of Area-5 point clouds per table; this
-//! module is the library-level equivalent of that loop (the experiment
-//! harness builds its tables on top of the same primitives).
+//! The paper attacks hundreds of Area-5 point clouds per table;
+//! [`crate::AttackSession::run`] is the library-level equivalent of that
+//! loop, and these are the types it returns (the experiment harness
+//! builds its tables on top of the same primitives).
 
-use crate::{AttackConfig, AttackGoal, AttackResult, AttackSession};
+use crate::AttackResult;
 use colper_metrics::{AttackReport, Summary};
-use colper_models::{CloudTensors, SegmentationModel};
 use colper_obs::Observer;
-use colper_runtime::Runtime;
 
 /// One cloud's attack outcome with segmentation quality attached.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,7 +24,7 @@ pub struct BatchItem {
     pub adversarial_miou: f32,
 }
 
-/// Aggregates over a [`run_batch`] call.
+/// Aggregates over an [`crate::AttackSession::run`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchOutcome {
     /// Per-cloud outcomes, in input order.
@@ -91,90 +91,11 @@ impl BatchOutcome {
     }
 }
 
-/// Attacks every cloud (each with an all-points mask for non-targeted
-/// goals, or a per-cloud source-class mask supplied by `mask_of`),
-/// scheduling each cloud as one stealable task on `runtime`.
-///
-/// Seeds derive from `base_seed + index`, so outcomes are reproducible
-/// and independent of the runtime's thread count and schedule.
-///
-/// # Panics
-///
-/// Panics when `clouds` is empty or a mask selects no points.
-#[deprecated(
-    note = "use `AttackSession::new(config).runtime(&rt).seed(seed).mask_with(&f).run(...)` instead"
-)]
-pub fn run_batch<M: SegmentationModel + ?Sized>(
-    model: &M,
-    clouds: &[CloudTensors],
-    config: &AttackConfig,
-    mask_of: impl Fn(&CloudTensors) -> Vec<bool> + Sync,
-    base_seed: u64,
-    runtime: &Runtime,
-) -> BatchOutcome {
-    AttackSession::new(config.clone())
-        .runtime(runtime)
-        .seed(base_seed)
-        .mask_with(&mask_of)
-        .run(model, clouds)
-}
-
-/// Convenience: non-targeted batch over all points of every cloud.
-#[deprecated(
-    note = "use `AttackSession::new(AttackConfig::non_targeted(steps)).runtime(&rt).seed(seed).run(...)` instead"
-)]
-pub fn run_batch_non_targeted<M: SegmentationModel + ?Sized>(
-    model: &M,
-    clouds: &[CloudTensors],
-    steps: usize,
-    base_seed: u64,
-    runtime: &Runtime,
-) -> BatchOutcome {
-    #[allow(deprecated)]
-    run_batch(
-        model,
-        clouds,
-        &AttackConfig::non_targeted(steps),
-        |t| vec![true; t.len()],
-        base_seed,
-        runtime,
-    )
-}
-
-/// Convenience: targeted batch attacking one source class toward a
-/// target in every cloud (clouds without the source class are skipped by
-/// the caller; a cloud with zero source points panics as in
-/// [`crate::Colper::run`]).
-#[deprecated(
-    note = "use `AttackSession::new(AttackConfig::targeted(steps, target)).mask_source_class(source).run(...)` instead"
-)]
-pub fn run_batch_targeted<M: SegmentationModel + ?Sized>(
-    model: &M,
-    clouds: &[CloudTensors],
-    source: usize,
-    target: usize,
-    steps: usize,
-    base_seed: u64,
-    runtime: &Runtime,
-) -> BatchOutcome {
-    let mut config = AttackConfig::targeted(steps, target);
-    config.goal = AttackGoal::Targeted { target };
-    #[allow(deprecated)]
-    run_batch(
-        model,
-        clouds,
-        &config,
-        |t| t.labels.iter().map(|&l| l == source).collect(),
-        base_seed,
-        runtime,
-    )
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
-    use super::*;
-    use colper_models::{PointNet2, PointNet2Config};
+    use crate::{AttackConfig, AttackSession};
+    use colper_models::{CloudTensors, PointNet2, PointNet2Config};
+    use colper_runtime::Runtime;
     use colper_scene::{normalize, IndoorSceneConfig, SceneGenerator};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -193,7 +114,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
         let data = clouds(5);
-        let outcome = run_batch_non_targeted(&model, &data, 3, 7, &Runtime::new(2));
+        let outcome = AttackSession::new(AttackConfig::non_targeted(3))
+            .runtime(&Runtime::new(2))
+            .seed(7)
+            .run(&model, &data);
         assert_eq!(outcome.items.len(), 5);
         assert_eq!(outcome.adversarial_accuracy.count, 5);
         assert!((0.0..=1.0).contains(&outcome.convergence_rate));
@@ -209,9 +133,11 @@ mod tests {
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
         let data = clouds(4);
         let cfg = AttackConfig::non_targeted(3);
-        let serial =
-            run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 9, &Runtime::sequential());
-        let parallel = run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 9, &Runtime::new(4));
+        let serial = AttackSession::new(cfg.clone())
+            .runtime(&Runtime::sequential())
+            .seed(9)
+            .run(&model, &data);
+        let parallel = AttackSession::new(cfg).runtime(&Runtime::new(4)).seed(9).run(&model, &data);
         for (a, b) in serial.items.iter().zip(&parallel.items) {
             assert_eq!(a.result.adversarial_colors, b.result.adversarial_colors);
             assert_eq!(a.adversarial_accuracy, b.adversarial_accuracy);
@@ -223,6 +149,6 @@ mod tests {
     fn empty_batch_rejected() {
         let mut rng = StdRng::seed_from_u64(2);
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
-        let _ = run_batch_non_targeted(&model, &[], 3, 0, &Runtime::sequential());
+        let _ = AttackSession::new(AttackConfig::non_targeted(3)).run(&model, &[]);
     }
 }

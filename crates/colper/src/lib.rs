@@ -60,8 +60,6 @@ mod validate;
 
 pub use attack::{AttackPlan, Colper};
 pub use baseline::{random_color_noise, NoiseBaseline};
-#[allow(deprecated)]
-pub use batch::{run_batch, run_batch_non_targeted, run_batch_targeted};
 pub use batch::{BatchItem, BatchOutcome};
 pub use classic::{ClassicAttack, ClassicKind};
 /// Re-exported so attack callers can build an [`Observer`] without

@@ -317,21 +317,24 @@ mod tests {
     }
 
     #[test]
-    fn session_matches_the_deprecated_batch_entry_point() {
+    fn custom_all_points_mask_matches_the_default() {
         let mut rng = StdRng::seed_from_u64(0);
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
         let data = clouds(3);
         let cfg = AttackConfig::non_targeted(3);
-        let session_out =
+        let by_default =
             AttackSession::new(cfg.clone()).runtime(&Runtime::new(2)).seed(7).run(&model, &data);
-        #[allow(deprecated)]
-        let batch_out =
-            crate::run_batch(&model, &data, &cfg, |t| vec![true; t.len()], 7, &Runtime::new(2));
-        assert_eq!(session_out, batch_out);
+        let all = |t: &CloudTensors| vec![true; t.len()];
+        let by_closure = AttackSession::new(cfg)
+            .runtime(&Runtime::new(2))
+            .seed(7)
+            .mask_with(&all)
+            .run(&model, &data);
+        assert_eq!(by_default, by_closure);
     }
 
     #[test]
-    fn single_cloud_is_the_one_element_batch_and_matches_colper_run() {
+    fn single_cloud_is_the_one_element_batch_and_matches_run_with_rng() {
         let mut rng = StdRng::seed_from_u64(1);
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
         let data = clouds(1);
@@ -344,14 +347,8 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(11);
         let plan = AttackPlan::build(&model, &data[0], &cfg);
         let _clean = colper_models::predict_planned(&model, &data[0], plan.geometry(), &mut rng2);
-        #[allow(deprecated)]
-        let direct: AttackResult = Colper::new(cfg).run_planned(
-            &model,
-            &data[0],
-            &vec![true; data[0].len()],
-            &plan,
-            &mut rng2,
-        );
+        let direct: AttackResult =
+            AttackSession::new(cfg).plan(&plan).run_with_rng(&model, &data[0], &mut rng2);
         assert_eq!(outcome.items[0].result, direct);
     }
 
@@ -376,19 +373,27 @@ mod tests {
     }
 
     #[test]
-    fn run_with_rng_matches_the_deprecated_colper_run() {
+    fn seated_runs_match_seatless_runs() {
         let mut rng = StdRng::seed_from_u64(9);
         let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
         let data = clouds(1);
         let cfg = AttackConfig::non_targeted(3);
-        let mut rng_a = StdRng::seed_from_u64(5);
-        let a = AttackSession::new(cfg.clone()).run_with_rng(&model, &data[0], &mut rng_a);
-        let mut rng_b = StdRng::seed_from_u64(5);
-        #[allow(deprecated)]
-        let b = Colper::new(cfg).run(&model, &data[0], &vec![true; data[0].len()], &mut rng_b);
-        assert_eq!(a, b);
-        // Both consume the same amount of randomness.
-        assert_eq!(rng_a, rng_b);
+        let session = AttackSession::new(cfg);
+        let mut seat = crate::WarmSeat::new();
+        // Two seated runs: the second resumes on the first one's donated
+        // tape (and, with scheduling on, its captured schedule). Both must
+        // be bit-identical to seatless runs on the same RNG streams.
+        for seed in [5u64, 5u64] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let a = session.run_with_rng(&model, &data[0], &mut rng_a);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let b = session.run_with_rng_seated(&model, &data[0], &mut rng_b, &mut seat);
+            assert_eq!(a, b);
+            // Both consume the same amount of randomness.
+            assert_eq!(rng_a, rng_b);
+        }
+        assert!(seat.is_warm());
+        assert_eq!(seat.warm_starts(), 1);
     }
 
     #[test]

@@ -11,10 +11,14 @@ use std::fmt;
 /// original assertions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GeomError {
+    /// A graph query over a full point set received an empty one.
+    EmptyPointSet(&'static str),
     /// A query that requires a non-empty subset received an empty one.
     EmptySubset(&'static str),
     /// A neighbor count of zero was requested.
     NonPositiveK(&'static str),
+    /// A dilation of zero was requested.
+    NonPositiveDilation(&'static str),
     /// A subset entry does not index into the tree's point set:
     /// `(index, len)`.
     SubsetIndexOutOfBounds {
@@ -28,8 +32,12 @@ pub enum GeomError {
 impl fmt::Display for GeomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            GeomError::EmptyPointSet(op) => write!(f, "{op}: empty point set"),
             GeomError::EmptySubset(op) => write!(f, "{op}: empty subset"),
             GeomError::NonPositiveK(op) => write!(f, "{op}: k must be positive"),
+            GeomError::NonPositiveDilation(op) => {
+                write!(f, "{op}: dilation must be positive")
+            }
             GeomError::SubsetIndexOutOfBounds { index, len } => {
                 write!(f, "subset index {index} out of bounds for {len} points")
             }
@@ -45,6 +53,11 @@ mod tests {
 
     #[test]
     fn display_matches_the_historic_panic_messages() {
+        assert_eq!(GeomError::EmptyPointSet("knn_graph").to_string(), "knn_graph: empty point set");
+        assert_eq!(
+            GeomError::NonPositiveDilation("dilated_knn").to_string(),
+            "dilated_knn: dilation must be positive"
+        );
         assert_eq!(
             GeomError::EmptySubset("subset_knn_graph").to_string(),
             "subset_knn_graph: empty subset"

@@ -84,10 +84,26 @@ pub fn brute_force_knn(points: &[Point3], query: Point3, k: usize) -> Vec<Neighb
 ///
 /// # Panics
 ///
-/// Panics when `points` is empty or `k == 0`.
+/// Panics when `points` is empty or `k == 0`; [`try_knn_graph`] is the
+/// fallible twin.
 pub fn knn_graph(points: &[Point3], k: usize) -> Vec<usize> {
-    assert!(!points.is_empty(), "knn_graph: empty point set");
-    assert!(k > 0, "knn_graph: k must be positive");
+    try_knn_graph(points, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`knn_graph`], following the tensor crate's
+/// `get`/`at` convention.
+///
+/// # Errors
+///
+/// Returns [`GeomError::EmptyPointSet`] when `points` is empty and
+/// [`GeomError::NonPositiveK`] when `k == 0`.
+pub fn try_knn_graph(points: &[Point3], k: usize) -> Result<Vec<usize>, GeomError> {
+    if points.is_empty() {
+        return Err(GeomError::EmptyPointSet("knn_graph"));
+    }
+    if k == 0 {
+        return Err(GeomError::NonPositiveK("knn_graph"));
+    }
     let tree = KdTree::build(points);
     let kq = k.min(points.len());
     let mut out = vec![0usize; points.len() * k];
@@ -98,7 +114,7 @@ pub fn knn_graph(points: &[Point3], k: usize) -> Vec<usize> {
             *slot = nn.get(j).map_or(last, |n| n.index);
         }
     });
-    out
+    Ok(out)
 }
 
 /// Builds a *dilated* k-NN graph as in DeepGCN: for each point the
@@ -109,13 +125,36 @@ pub fn knn_graph(points: &[Point3], k: usize) -> Vec<usize> {
 ///
 /// # Panics
 ///
-/// Panics when `points` is empty, `k == 0`, or `dilation == 0`.
+/// Panics when `points` is empty, `k == 0`, or `dilation == 0`;
+/// [`try_dilated_knn`] is the fallible twin.
 pub fn dilated_knn(points: &[Point3], k: usize, dilation: usize) -> Vec<usize> {
-    assert!(!points.is_empty(), "dilated_knn: empty point set");
-    assert!(k > 0, "dilated_knn: k must be positive");
-    assert!(dilation > 0, "dilated_knn: dilation must be positive");
+    try_dilated_knn(points, k, dilation).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`dilated_knn`].
+///
+/// # Errors
+///
+/// Returns [`GeomError::EmptyPointSet`] when `points` is empty,
+/// [`GeomError::NonPositiveK`] when `k == 0`, and
+/// [`GeomError::NonPositiveDilation`] when `dilation == 0`.
+pub fn try_dilated_knn(
+    points: &[Point3],
+    k: usize,
+    dilation: usize,
+) -> Result<Vec<usize>, GeomError> {
+    if points.is_empty() {
+        return Err(GeomError::EmptyPointSet("dilated_knn"));
+    }
+    if k == 0 {
+        return Err(GeomError::NonPositiveK("dilated_knn"));
+    }
+    if dilation == 0 {
+        return Err(GeomError::NonPositiveDilation("dilated_knn"));
+    }
     if dilation == 1 {
-        return knn_graph(points, k);
+        // Both preconditions are already validated, so this cannot fail.
+        return try_knn_graph(points, k);
     }
     let tree = KdTree::build(points);
     let wide = (k * dilation).min(points.len());
@@ -127,7 +166,7 @@ pub fn dilated_knn(points: &[Point3], k: usize, dilation: usize) -> Vec<usize> {
             *slot = nn.get(j * dilation).map_or(last, |n| n.index);
         }
     });
-    out
+    Ok(out)
 }
 
 /// Builds the k-NN graph of the *subset* `subset` of a tree's points
@@ -437,11 +476,30 @@ mod tests {
     }
 
     #[test]
+    fn try_graph_variants_report_errors_instead_of_panicking() {
+        let pts = random_points(10, 2);
+        assert_eq!(try_knn_graph(&[], 3), Err(GeomError::EmptyPointSet("knn_graph")));
+        assert_eq!(try_knn_graph(&pts, 0), Err(GeomError::NonPositiveK("knn_graph")));
+        assert_eq!(try_dilated_knn(&[], 3, 2), Err(GeomError::EmptyPointSet("dilated_knn")));
+        assert_eq!(try_dilated_knn(&pts, 0, 2), Err(GeomError::NonPositiveK("dilated_knn")));
+        assert_eq!(try_dilated_knn(&pts, 3, 0), Err(GeomError::NonPositiveDilation("dilated_knn")));
+    }
+
+    #[test]
+    #[should_panic(expected = "dilated_knn: dilation must be positive")]
+    fn dilated_knn_panics_with_the_historic_message() {
+        let pts = random_points(10, 2);
+        let _ = dilated_knn(&pts, 3, 0);
+    }
+
+    #[test]
     fn try_variants_agree_with_the_panicking_entry_points() {
         use crate::KdTree;
         let pts = random_points(60, 13);
         let tree = KdTree::build(&pts);
         let subset: Vec<usize> = (0..30).map(|i| i * 2).collect();
+        assert_eq!(try_knn_graph(&pts, 5).unwrap(), knn_graph(&pts, 5));
+        assert_eq!(try_dilated_knn(&pts, 4, 2).unwrap(), dilated_knn(&pts, 4, 2));
         assert_eq!(
             try_subset_knn_graph(&tree, &subset, 5).unwrap(),
             subset_knn_graph(&tree, &subset, 5)

@@ -42,7 +42,7 @@ pub use graph::NeighborGraph;
 pub use kdtree::{KdTree, Neighbor};
 pub use knn::{
     brute_force_knn, dilated_knn, knn_graph, pairwise_sq_dist, subset_knn_graph, subset_nearest,
-    try_subset_knn_graph, try_subset_nearest,
+    try_dilated_knn, try_knn_graph, try_subset_knn_graph, try_subset_nearest,
 };
 pub use point::Point3;
 pub use sampling::{ball_query, farthest_point_sampling, random_sample, three_nn_weights};

@@ -1,0 +1,116 @@
+//! Shape-checked entry points for static-schedule capture.
+//!
+//! Before the attack freezes a recorded graph into a `TapeSchedule`, the
+//! tensors that parameterize the capture — cloud coordinates, original
+//! colors, normalized locations — are validated here through the
+//! const-generic [`ShapedCols`] wrapper from `colper-tensor`. Each block
+//! must be `[n, 3]` for the same `n`; a mismatch is a typed
+//! [`CaptureError`] at capture time, not a panic halfway through a
+//! replayed attack step.
+
+use colper_tensor::{Matrix, ShapeMismatch, ShapedCols};
+use std::fmt;
+
+/// The three `[n, 3]` blocks a schedule capture is keyed on, with their
+/// shapes proven by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct CaptureShapes<'a> {
+    /// Cloud coordinates (the plan's interned xyz).
+    pub xyz: ShapedCols<'a, 3>,
+    /// The unperturbed colors the attack distance term references.
+    pub colors: ShapedCols<'a, 3>,
+    /// Normalized room-location features.
+    pub loc: ShapedCols<'a, 3>,
+}
+
+impl<'a> CaptureShapes<'a> {
+    /// Validates the capture inputs for an `n`-point cloud.
+    pub fn check(
+        n: usize,
+        xyz: &'a Matrix,
+        colors: &'a Matrix,
+        loc: &'a Matrix,
+    ) -> Result<Self, CaptureError> {
+        let wrap = |which: &'static str, m: &'a Matrix| {
+            let shaped =
+                ShapedCols::<3>::new(m).map_err(|err| CaptureError::Block { which, err })?;
+            if shaped.rows() != n {
+                return Err(CaptureError::RowMismatch { which, got: shaped.rows(), expected: n });
+            }
+            Ok(shaped)
+        };
+        Ok(Self { xyz: wrap("xyz", xyz)?, colors: wrap("colors", colors)?, loc: wrap("loc", loc)? })
+    }
+}
+
+/// A capture input failed shape validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureError {
+    /// A block is not `[*, 3]`.
+    Block {
+        /// Which capture input failed (`"xyz"`, `"colors"`, `"loc"`).
+        which: &'static str,
+        /// The underlying column-count mismatch.
+        err: ShapeMismatch,
+    },
+    /// A block has the right width but the wrong number of points.
+    RowMismatch {
+        /// Which capture input failed.
+        which: &'static str,
+        /// Rows the block actually has.
+        got: usize,
+        /// Rows the cloud has.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureError::Block { which, err } => write!(f, "capture {which}: {err}"),
+            CaptureError::RowMismatch { which, got, expected } => {
+                write!(f, "capture {which}: {got} rows for a {expected}-point cloud")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_consistent_blocks() {
+        let m = Matrix::zeros(5, 3);
+        let shapes = CaptureShapes::check(5, &m, &m, &m).unwrap();
+        assert_eq!(shapes.xyz.rows(), 5);
+        assert_eq!(shapes.colors.rows(), 5);
+        assert_eq!(shapes.loc.rows(), 5);
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let good = Matrix::zeros(5, 3);
+        let bad = Matrix::zeros(5, 4);
+        let err = CaptureShapes::check(5, &good, &bad, &good).unwrap_err();
+        assert_eq!(
+            err,
+            CaptureError::Block {
+                which: "colors",
+                err: ShapeMismatch { expected_cols: 3, got: (5, 4) }
+            }
+        );
+        assert_eq!(err.to_string(), "capture colors: expected a [*, 3] matrix, got [5, 4]");
+    }
+
+    #[test]
+    fn rejects_wrong_point_count() {
+        let good = Matrix::zeros(5, 3);
+        let short = Matrix::zeros(4, 3);
+        let err = CaptureShapes::check(5, &good, &good, &short).unwrap_err();
+        assert_eq!(err, CaptureError::RowMismatch { which: "loc", got: 4, expected: 5 });
+        assert_eq!(err.to_string(), "capture loc: 4 rows for a 5-point cloud");
+    }
+}

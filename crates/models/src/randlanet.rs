@@ -236,6 +236,13 @@ impl SegmentationModel for RandLaNet {
         &mut self.params
     }
 
+    fn deterministic_eval(&self) -> bool {
+        // Random downsampling draws from `rng` on every pass, even in
+        // evaluation mode — the recorded graph differs step to step, so
+        // static-schedule capture must not freeze it.
+        false
+    }
+
     fn forward(&self, session: &mut Forward<'_>, input: &ModelInput<'_>, rng: &mut StdRng) -> Var {
         let _span = colper_obs::span!(FORWARD_RANDLA);
         let n = input.coords.len();

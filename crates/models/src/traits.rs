@@ -38,6 +38,19 @@ pub trait SegmentationModel: Sync {
     /// architecture uses (RandLA-Net's random sampling).
     fn forward(&self, session: &mut Forward<'_>, input: &ModelInput<'_>, rng: &mut StdRng) -> Var;
 
+    /// Whether an evaluation-mode forward pass is a pure function of its
+    /// input — recording the identical op stream and consuming no
+    /// randomness every time.
+    ///
+    /// Deterministic models are eligible for static-schedule capture (the
+    /// attack compiles their graph once and replays it). RandLA-Net
+    /// overrides this to `false`: its random point sampling draws from
+    /// `rng` even in evaluation mode, so a frozen replay would both skew
+    /// the caller's RNG stream and pin one sampling forever.
+    fn deterministic_eval(&self) -> bool {
+        true
+    }
+
     /// Pre-computes every coordinate-only structure the forward pass
     /// needs for `coords` (FPS centroids, ball queries, k-NN graphs, …).
     ///

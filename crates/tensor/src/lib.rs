@@ -35,8 +35,10 @@ mod matrix;
 mod ops;
 mod par;
 mod pool;
+mod shaped;
 
 pub use error::{ShapeError, TensorError};
 pub use init::Initializer;
 pub use matrix::Matrix;
 pub use pool::BufferPool;
+pub use shaped::{ShapeMismatch, ShapedCols};

@@ -231,6 +231,25 @@ impl Matrix {
         self.data[r * self.cols + c]
     }
 
+    /// Returns a mutable reference to element `(r, c)`.
+    ///
+    /// The fallible counterpart of [`Matrix::at_mut`], completing the
+    /// `get`/`at` convention for writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index is outside
+    /// the matrix.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> Result<&mut f32, TensorError> {
+        if r >= self.rows {
+            return Err(TensorError::IndexOutOfBounds { index: r, bound: self.rows });
+        }
+        if c >= self.cols {
+            return Err(TensorError::IndexOutOfBounds { index: c, bound: self.cols });
+        }
+        Ok(&mut self.data[r * self.cols + c])
+    }
+
     /// Returns a mutable reference to element `(r, c)`, panicking on
     /// out-of-bounds access.
     ///
@@ -524,6 +543,18 @@ mod tests {
         assert_eq!(m.get(0, 0), Ok(1.0));
         assert!(matches!(m.get(2, 0), Err(TensorError::IndexOutOfBounds { index: 2, bound: 2 })));
         assert!(m.get(0, 2).is_err());
+    }
+
+    #[test]
+    fn get_mut_is_the_fallible_twin_of_at_mut() {
+        let mut m = Matrix::zeros(2, 2);
+        *m.get_mut(0, 1).unwrap() = 7.0;
+        assert_eq!(m.at(0, 1), 7.0);
+        assert!(matches!(
+            m.get_mut(2, 0),
+            Err(TensorError::IndexOutOfBounds { index: 2, bound: 2 })
+        ));
+        assert!(m.get_mut(0, 2).is_err());
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Const-generic, shape-typed borrows of a [`Matrix`].
+//!
+//! A [`ShapedCols<C>`] witnesses at the type level that a matrix has
+//! exactly `C` columns: constructing one is the single fallible step, and
+//! every API that consumes it gets the column count as a compile-time
+//! constant. The schedule-capture entry points in `colper-models` use
+//! `ShapedCols<3>` for xyz / RGB / normalized-location blocks so a
+//! mis-shaped cloud is rejected with a typed error at capture time instead
+//! of panicking mid-attack.
+
+use crate::Matrix;
+use std::fmt;
+use std::ops::Deref;
+
+/// A borrowed matrix verified to have exactly `C` columns.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapedCols<'a, const C: usize>(&'a Matrix);
+
+impl<'a, const C: usize> ShapedCols<'a, C> {
+    /// Wraps `m` after checking its column count against `C`.
+    pub fn new(m: &'a Matrix) -> Result<Self, ShapeMismatch> {
+        if m.cols() == C {
+            Ok(Self(m))
+        } else {
+            Err(ShapeMismatch { expected_cols: C, got: m.shape() })
+        }
+    }
+
+    /// Number of rows (the verified column count is the `C` parameter).
+    pub fn rows(&self) -> usize {
+        self.0.rows()
+    }
+
+    /// The underlying matrix, with the original borrow lifetime.
+    pub fn as_matrix(&self) -> &'a Matrix {
+        self.0
+    }
+}
+
+impl<const C: usize> Deref for ShapedCols<'_, C> {
+    type Target = Matrix;
+    fn deref(&self) -> &Matrix {
+        self.0
+    }
+}
+
+/// A matrix failed its compile-time column-count check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// The column count the `ShapedCols` type demanded.
+    pub expected_cols: usize,
+    /// The actual `(rows, cols)` of the offending matrix.
+    pub got: (usize, usize),
+}
+
+impl fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (rows, cols) = self.got;
+        write!(f, "expected a [*, {}] matrix, got [{rows}, {cols}]", self.expected_cols)
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_matching_column_count() {
+        let m = Matrix::zeros(4, 3);
+        let s = ShapedCols::<3>::new(&m).unwrap();
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.as_matrix().shape(), (4, 3));
+        assert_eq!(s.cols(), 3); // Deref passthrough
+    }
+
+    #[test]
+    fn rejects_wrong_column_count() {
+        let m = Matrix::zeros(4, 2);
+        let err = ShapedCols::<3>::new(&m).unwrap_err();
+        assert_eq!(err, ShapeMismatch { expected_cols: 3, got: (4, 2) });
+        assert_eq!(err.to_string(), "expected a [*, 3] matrix, got [4, 2]");
+    }
+}
