@@ -14,7 +14,8 @@
 //! committed >= 2x matmul speedup on hosts that support it. Pass
 //! `--quick` (CI does) to skip the component benches and run every
 //! comparison at smoke-test scale — one quick invocation refreshes all
-//! four BENCH files; `--alloc-only` runs just the allocation gauge.
+//! four BENCH files; `--alloc-only` runs just the allocation gauge and
+//! `--simd-only` just the kernel-dispatch/tiled-GEMM comparison.
 
 use colper_attack::{AttackConfig, AttackPlan, AttackSession, TanhReparam};
 use colper_autodiff::{set_schedule_enabled, Tape};
@@ -535,12 +536,23 @@ fn bench_alloc(points: usize, model_scale: &str) {
 /// feature set, per-shape medians and GFLOP/s; asserts the committed 2x
 /// matmul speedup floor on hosts where the AVX2+FMA path is active, and
 /// verifies outputs are bit-identical across paths while it is at it.
-fn bench_simd(samples: usize) {
-    use colper_tensor::kernels;
+///
+/// Two further blocks cover the GEMM rework: `tiled` times the packed
+/// register-blocked kernel against the row kernel at large shapes
+/// (single-threaded and on a `--threads`-sized pool) and asserts the
+/// committed 2x single-threaded floor; `batched` times the strided
+/// batch-of-clouds GEMM against the per-cloud loop. Every timed variant
+/// is bit-checked against the pinned scalar reference.
+fn bench_simd(samples: usize, threads: usize) {
+    use colper_tensor::{gemm_mode, kernels, set_gemm_mode, GemmMode};
 
     let shapes: [(usize, usize, usize); 3] = [(64, 64, 64), (256, 64, 64), (512, 128, 64)];
     let seq = Runtime::sequential();
     let was = kernels::simd_active();
+    let was_mode = gemm_mode();
+    // The row block times the row kernel regardless of routing, so its
+    // numbers stay comparable with the committed history.
+    set_gemm_mode(GemmMode::Row);
     let mut rows = Vec::new();
     let mut headline_speedup = 0.0f64;
 
@@ -591,13 +603,129 @@ fn bench_simd(samples: usize) {
              reference (committed floor: 2x)"
         );
     }
+
+    // Tiled GEMM vs the row kernel, at shapes where the row kernel's
+    // B-matrix traffic falls out of cache. The multi-threaded run records
+    // the tile-parallel scaling on this host (which may be a single
+    // hardware thread — scaling is recorded, never asserted).
+    let tiled_shapes: [(usize, usize, usize); 2] = [(256, 256, 256), (512, 512, 512)];
+    let pool = Runtime::new(threads);
+    let mut tiled_rows = Vec::new();
+    let mut best_tiled_speedup = 0.0f64;
+    for &(m, k, n) in &tiled_shapes {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c) as f32 * 0.17).sin());
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 17 + c) as f32 * 0.23).cos());
+        let mut out = Matrix::zeros(m, n);
+
+        let mut run_leg = |mode: GemmMode, simd: bool, rt: &Runtime| -> (u128, Vec<u32>) {
+            kernels::set_simd_enabled(simd);
+            set_gemm_mode(mode);
+            let ns = rt.install(|| {
+                time_median_ns(samples, || {
+                    a.matmul_into(&b, &mut out).expect("shape");
+                    black_box(out.as_slice().first().copied());
+                })
+            });
+            (ns, out.as_slice().iter().map(|v| v.to_bits()).collect())
+        };
+        let (row_ns, row_bits) = run_leg(GemmMode::Row, true, &seq);
+        let (tiled_ns, tiled_bits) = run_leg(GemmMode::Tiled, true, &seq);
+        let (tiled_mt_ns, tiled_mt_bits) = run_leg(GemmMode::Tiled, true, &pool);
+        // The pinned scalar reference through the tiled driver: one call
+        // is enough for the bit check.
+        kernels::set_simd_enabled(false);
+        set_gemm_mode(GemmMode::Tiled);
+        a.matmul_into(&b, &mut out).expect("shape");
+        let scalar_bits: Vec<u32> = out.as_slice().iter().map(|v| v.to_bits()).collect();
+        kernels::set_simd_enabled(was);
+        assert_eq!(row_bits, tiled_bits, "tiled GEMM diverges from row kernel at {m}x{k}x{n}");
+        assert_eq!(tiled_bits, tiled_mt_bits, "tiled GEMM thread-count variance at {m}x{k}x{n}");
+        assert_eq!(tiled_bits, scalar_bits, "tiled GEMM diverges from scalar at {m}x{k}x{n}");
+
+        let flops = 2.0 * (m * k * n) as f64;
+        let speedup = row_ns as f64 / tiled_ns.max(1) as f64;
+        best_tiled_speedup = best_tiled_speedup.max(speedup);
+        let row_gflops = flops / row_ns.max(1) as f64;
+        let tiled_gflops = flops / tiled_ns.max(1) as f64;
+        let tiled_mt_gflops = flops / tiled_mt_ns.max(1) as f64;
+        println!(
+            "bench attack_step/tiled: matmul {m}x{k}x{n} row {row_ns} ns ({row_gflops:.2} GF/s), \
+             tiled {tiled_ns} ns ({tiled_gflops:.2} GF/s, {speedup:.2}x), \
+             tiled x{threads} threads {tiled_mt_ns} ns ({tiled_mt_gflops:.2} GF/s)"
+        );
+        tiled_rows.push(format!(
+            "      {{\n        \"m\": {m}, \"k\": {k}, \"n\": {n},\n        \
+             \"row_median_ns\": {row_ns},\n        \"tiled_median_ns\": {tiled_ns},\n        \
+             \"tiled_mt_median_ns\": {tiled_mt_ns},\n        \
+             \"speedup\": {speedup:.4},\n        \"row_gflops\": {row_gflops:.4},\n        \
+             \"tiled_gflops\": {tiled_gflops:.4},\n        \
+             \"tiled_mt_gflops\": {tiled_mt_gflops:.4}\n      }}"
+        ));
+    }
+    if kernels::simd_supported() {
+        assert!(
+            best_tiled_speedup >= 2.0,
+            "tiled GEMM is only {best_tiled_speedup:.2}x over the row kernel \
+             (committed floor: 2x single-threaded)"
+        );
+    }
+
+    // Strided batch-of-clouds GEMM vs the per-cloud loop, at one seat
+    // pool's worth of same-bucket clouds. Both legs run the production
+    // (`Auto`) routing, so the delta isolates the shared-B packing win.
+    let (bcount, bm, bk, bn) = (12, 96, 256, 256);
+    let clouds: Vec<Matrix> = (0..bcount)
+        .map(|i| Matrix::from_fn(bm, bk, |r, c| ((r * 29 + c * 7 + i) as f32 * 0.13).sin()))
+        .collect();
+    let bmat = Matrix::from_fn(bk, bn, |r, c| ((r * 17 + c) as f32 * 0.23).cos());
+    let mut outs = vec![Matrix::zeros(bm, bn); bcount];
+    set_gemm_mode(GemmMode::Auto);
+    kernels::set_simd_enabled(was);
+    let looped_ns = seq.install(|| {
+        time_median_ns(samples, || {
+            for (cloud, out) in clouds.iter().zip(&mut outs) {
+                cloud.matmul_into(&bmat, out).expect("shape");
+            }
+            black_box(outs[0].as_slice().first().copied());
+        })
+    });
+    let looped_bits: Vec<u32> =
+        outs.iter().flat_map(|o| o.as_slice().iter().map(|v| v.to_bits())).collect();
+    let refs: Vec<&Matrix> = clouds.iter().collect();
+    let batched_ns = seq.install(|| {
+        time_median_ns(samples, || {
+            Matrix::matmul_batched_into(&refs, &bmat, &mut outs).expect("shape");
+            black_box(outs[0].as_slice().first().copied());
+        })
+    });
+    let batched_bits: Vec<u32> =
+        outs.iter().flat_map(|o| o.as_slice().iter().map(|v| v.to_bits())).collect();
+    assert_eq!(looped_bits, batched_bits, "batched GEMM diverges from the per-cloud loop");
+    let batched_speedup = looped_ns as f64 / batched_ns.max(1) as f64;
+    let batched_flops = 2.0 * (bcount * bm * bk * bn) as f64;
+    let batched_gflops = batched_flops / batched_ns.max(1) as f64;
+    println!(
+        "bench attack_step/batched: {bcount} clouds {bm}x{bk}x{bn} looped {looped_ns} ns, \
+         batched {batched_ns} ns ({batched_speedup:.2}x, {batched_gflops:.2} GF/s)"
+    );
+    set_gemm_mode(was_mode);
+
     let json = format!(
         "{{\n  \"benchmark\": \"simd_kernels\",\n  \"features\": \"{}\",\n  \
          \"simd_supported\": {},\n  \"samples\": {samples},\n  \
-         \"best_matmul_speedup\": {headline_speedup:.4},\n  \"matmul\": [\n{}\n  ]\n}}\n",
+         \"best_matmul_speedup\": {headline_speedup:.4},\n  \"matmul\": [\n{}\n  ],\n  \
+         \"tiled\": {{\n    \"isa\": \"{}\",\n    \"threads\": {threads},\n    \
+         \"best_tiled_speedup\": {best_tiled_speedup:.4},\n    \"shapes\": [\n{}\n    ]\n  }},\n  \
+         \"batched\": {{\n    \"clouds\": {bcount},\n    \
+         \"m\": {bm}, \"k\": {bk}, \"n\": {bn},\n    \
+         \"looped_median_ns\": {looped_ns},\n    \"batched_median_ns\": {batched_ns},\n    \
+         \"speedup\": {batched_speedup:.4},\n    \
+         \"batched_gflops\": {batched_gflops:.4}\n  }}\n}}\n",
         kernels::features(),
         kernels::simd_supported(),
         rows.join(",\n"),
+        kernels::gemm_isa().name(),
+        tiled_rows.join(",\n"),
     );
     write_json("BENCH_simd", &json);
 }
@@ -606,6 +734,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let alloc_only = args.iter().any(|a| a == "--alloc-only");
+    let simd_only = args.iter().any(|a| a == "--simd-only");
     let threads = args
         .iter()
         .position(|a| a == "--threads")
@@ -614,6 +743,8 @@ fn main() {
         .unwrap_or(4);
     if alloc_only {
         bench_alloc(if quick { 128 } else { POINTS }, if quick { "tiny" } else { "small" });
+    } else if simd_only {
+        bench_simd(if quick { 9 } else { 25 }, threads);
     } else if quick {
         // 384 points (not 128): large enough that the cached geometry
         // dominates measurement noise, so the planned/unplanned speedup
@@ -621,12 +752,12 @@ fn main() {
         bench_planned_vs_unplanned(384, 7, "tiny");
         bench_parallel(128, 4, 3, threads, "tiny");
         bench_alloc(128, "tiny");
-        bench_simd(9);
+        bench_simd(9, threads);
     } else {
         component_benches();
         bench_planned_vs_unplanned(POINTS, 11, "small");
         bench_parallel(POINTS, 4, 3, threads, "small");
         bench_alloc(POINTS, "small");
-        bench_simd(25);
+        bench_simd(25, threads);
     }
 }

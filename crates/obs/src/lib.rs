@@ -343,9 +343,21 @@ pub mod counters {
     /// Peephole-fused step groups baked into compiled schedules
     /// (matmul+bias+activation, gather+sub).
     pub static SCHED_FUSED_OPS: Counter = Counter::new("schedule.fused_ops");
+    /// Micro-tile kernel invocations scheduled by the tiled GEMM driver.
+    pub static GEMM_TILE_TASKS: Counter = Counter::new("gemm.tile.tasks");
+    /// GEMM packing-panel requests served from a pack pool shelf.
+    pub static GEMM_PACK_HIT: Counter = Counter::new("gemm.pack.hit");
+    /// GEMM packing-panel requests that had to allocate.
+    pub static GEMM_PACK_MISS: Counter = Counter::new("gemm.pack.miss");
+    /// Batched matmul calls executed as one fused shared-B GEMM.
+    pub static GEMM_BATCH_FUSED: Counter = Counter::new("gemm.batch.fused");
+    /// Batched matmul calls that fell back to the per-cloud loop.
+    pub static GEMM_BATCH_LOOPED: Counter = Counter::new("gemm.batch.looped");
+    /// Matmul nodes anchored into batched groups by compiled schedules.
+    pub static SCHED_BATCHED_MMS: Counter = Counter::new("schedule.batched_mms");
 
     /// Every counter in the inventory, for snapshotting and reset.
-    pub fn all() -> [&'static Counter; 14] {
+    pub fn all() -> [&'static Counter; 20] {
         [
             &KERNEL_DISPATCH_SIMD,
             &KERNEL_DISPATCH_SCALAR,
@@ -361,6 +373,12 @@ pub mod counters {
             &SCHED_CAPTURES,
             &SCHED_REPLAYS,
             &SCHED_FUSED_OPS,
+            &GEMM_TILE_TASKS,
+            &GEMM_PACK_HIT,
+            &GEMM_PACK_MISS,
+            &GEMM_BATCH_FUSED,
+            &GEMM_BATCH_LOOPED,
+            &SCHED_BATCHED_MMS,
         ]
     }
 }

@@ -17,9 +17,10 @@
 
 use super::scalar;
 use core::arch::x86_64::{
-    _mm256_add_ps, _mm256_blendv_ps, _mm256_cmp_ps, _mm256_div_ps, _mm256_fmadd_ps,
-    _mm256_fnmadd_ps, _mm256_loadu_ps, _mm256_max_ps, _mm256_min_ps, _mm256_mul_ps, _mm256_set1_ps,
-    _mm256_setzero_ps, _mm256_storeu_ps, _mm256_sub_ps, _CMP_UNORD_Q,
+    __m256i, _mm256_add_ps, _mm256_blendv_ps, _mm256_cmp_ps, _mm256_cmpgt_epi32, _mm256_div_ps,
+    _mm256_fmadd_ps, _mm256_fnmadd_ps, _mm256_loadu_ps, _mm256_maskload_ps, _mm256_maskstore_ps,
+    _mm256_max_ps, _mm256_min_ps, _mm256_mul_ps, _mm256_set1_epi32, _mm256_set1_ps,
+    _mm256_setr_epi32, _mm256_setzero_ps, _mm256_storeu_ps, _mm256_sub_ps, _CMP_UNORD_Q,
 };
 
 const W: usize = 8;
@@ -306,6 +307,9 @@ pub(super) unsafe fn sum_sq(a: &[f32]) -> f32 {
 pub(super) unsafe fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
     let k = a_row.len();
     assert!(b.len() >= k * n && out_row.len() >= n);
+    if k == 0 {
+        return;
+    }
     let bp = b.as_ptr();
     let op = out_row.as_mut_ptr();
     let mut j = 0;
@@ -337,12 +341,90 @@ pub(super) unsafe fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mu
         j += W;
     }
     while j < n {
-        let mut acc = out_row[j];
-        for (kk, &a) in a_row.iter().enumerate() {
-            acc = a.mul_add(b[kk * n + j], acc);
-        }
-        out_row[j] = acc;
+        out_row[j] = scalar::fma_dot_chain(a_row, 1, &b[j..], n, k, out_row[j]);
         j += 1;
+    }
+}
+
+/// Builds the lane mask selecting the first `lanes` of eight `f32` lanes
+/// (for `maskload`/`maskstore` on a partially-covered tile edge).
+///
+/// # Safety
+///
+/// Requires AVX2, verified by the caller via runtime detection.
+#[target_feature(enable = "avx2")]
+unsafe fn lane_mask(lanes: usize) -> __m256i {
+    _mm256_cmpgt_epi32(_mm256_set1_epi32(lanes as i32), _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7))
+}
+
+/// AVX2 twin of [`scalar::gemm_tile`] for the 6x16 micro-tile geometry:
+/// six rows of two `ymm` accumulators, fed by one broadcast of the packed
+/// A panel and two loads of the packed B panel per `k` step.
+///
+/// Accumulators start at zero (`init`) or at the tile's current C values,
+/// and every element continues its ascending-`k` fused chain — the same
+/// chain as the scalar reference and the row kernel, so results stay
+/// bit-identical. Rows `>= rows` compute on zero-padded A entries and are
+/// never stored; columns `>= cols` are handled by masked C loads/stores
+/// (panel entries there are zero-padded, C memory is never touched).
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, verified by the caller via runtime detection.
+/// `ap`/`bp` must hold at least `kc*6` / `kc*16` elements and `c` the
+/// `rows x cols` corner at row stride `ldc`.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn gemm_tile_6x16(
+    ap: *const f32,
+    bp: *const f32,
+    kc: usize,
+    rows: usize,
+    cols: usize,
+    init: bool,
+    c: *mut f32,
+    ldc: usize,
+) {
+    const MR: usize = 6;
+    debug_assert!(rows <= MR && cols <= 2 * W && rows > 0 && cols > 0);
+    let full = cols == 2 * W;
+    let m0 = lane_mask(cols.min(W));
+    let m1 = lane_mask(cols.saturating_sub(W));
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    if !init {
+        for (r, a) in acc.iter_mut().enumerate().take(rows) {
+            let p = c.add(r * ldc);
+            if full {
+                a[0] = _mm256_loadu_ps(p);
+                a[1] = _mm256_loadu_ps(p.add(W));
+            } else {
+                a[0] = _mm256_maskload_ps(p, m0);
+                if cols > W {
+                    a[1] = _mm256_maskload_ps(p.add(W), m1);
+                }
+            }
+        }
+    }
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.add(kk * 2 * W));
+        let b1 = _mm256_loadu_ps(bp.add(kk * 2 * W + W));
+        for (r, a) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*ap.add(kk * MR + r));
+            a[0] = _mm256_fmadd_ps(av, b0, a[0]);
+            a[1] = _mm256_fmadd_ps(av, b1, a[1]);
+        }
+    }
+    for (r, a) in acc.iter().enumerate().take(rows) {
+        let p = c.add(r * ldc);
+        if full {
+            _mm256_storeu_ps(p, a[0]);
+            _mm256_storeu_ps(p.add(W), a[1]);
+        } else {
+            _mm256_maskstore_ps(p, m0, a[0]);
+            if cols > W {
+                _mm256_maskstore_ps(p.add(W), m1, a[1]);
+            }
+        }
     }
 }
 

@@ -1,0 +1,96 @@
+//! AVX-512F implementation of the GEMM micro-tile.
+//!
+//! Same contract as [`super::avx2`]: every output element continues its
+//! ascending-`k` fused-multiply-add chain exactly as the scalar reference
+//! does, so the 512-bit tile is bit-identical to both the scalar and the
+//! AVX2 legs — a chain's order depends only on `k` order, never on vector
+//! width or tile geometry. Only the micro-tile lives here; every other
+//! kernel family saturates with 256-bit vectors already.
+//!
+//! Like `avx2`, this module is a sanctioned `unsafe` island: intrinsics
+//! require it, and every function is `#[target_feature]`-gated so it must
+//! only be called after runtime detection (enforced by the dispatch layer
+//! in [`super`]).
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __mmask16, _mm512_fmadd_ps, _mm512_loadu_ps, _mm512_mask_storeu_ps, _mm512_maskz_loadu_ps,
+    _mm512_set1_ps, _mm512_setzero_ps, _mm512_storeu_ps,
+};
+
+const W: usize = 16;
+
+/// Mask selecting the first `lanes` of sixteen `f32` lanes.
+#[inline]
+fn lane_mask(lanes: usize) -> __mmask16 {
+    debug_assert!(lanes <= W);
+    ((1u32 << lanes) - 1) as __mmask16
+}
+
+/// AVX-512 twin of [`super::scalar::gemm_tile`] for the 12x32 micro-tile
+/// geometry: twelve rows of two `zmm` accumulators, fed by one broadcast
+/// of the packed A panel and two loads of the packed B panel per `k` step.
+///
+/// Accumulator seeding, zero-padded edge handling and the deterministic
+/// per-element chain order are exactly as in [`super::avx2::gemm_tile_6x16`];
+/// partial columns use `__mmask16` masked C loads/stores.
+///
+/// # Safety
+///
+/// Requires AVX-512F, verified by the caller via runtime detection.
+/// `ap`/`bp` must hold at least `kc*12` / `kc*32` elements and `c` the
+/// `rows x cols` corner at row stride `ldc`.
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn gemm_tile_12x32(
+    ap: *const f32,
+    bp: *const f32,
+    kc: usize,
+    rows: usize,
+    cols: usize,
+    init: bool,
+    c: *mut f32,
+    ldc: usize,
+) {
+    const MR: usize = 12;
+    debug_assert!(rows <= MR && cols <= 2 * W && rows > 0 && cols > 0);
+    let full = cols == 2 * W;
+    let m0 = lane_mask(cols.min(W));
+    let m1 = lane_mask(cols.saturating_sub(W));
+    let mut acc = [[_mm512_setzero_ps(); 2]; MR];
+    if !init {
+        for (r, a) in acc.iter_mut().enumerate().take(rows) {
+            let p = c.add(r * ldc);
+            if full {
+                a[0] = _mm512_loadu_ps(p);
+                a[1] = _mm512_loadu_ps(p.add(W));
+            } else {
+                a[0] = _mm512_maskz_loadu_ps(m0, p);
+                if cols > W {
+                    a[1] = _mm512_maskz_loadu_ps(m1, p.add(W));
+                }
+            }
+        }
+    }
+    for kk in 0..kc {
+        let b0 = _mm512_loadu_ps(bp.add(kk * 2 * W));
+        let b1 = _mm512_loadu_ps(bp.add(kk * 2 * W + W));
+        for (r, a) in acc.iter_mut().enumerate() {
+            let av = _mm512_set1_ps(*ap.add(kk * MR + r));
+            a[0] = _mm512_fmadd_ps(av, b0, a[0]);
+            a[1] = _mm512_fmadd_ps(av, b1, a[1]);
+        }
+    }
+    for (r, a) in acc.iter().enumerate().take(rows) {
+        let p = c.add(r * ldc);
+        if full {
+            _mm512_storeu_ps(p, a[0]);
+            _mm512_storeu_ps(p.add(W), a[1]);
+        } else {
+            _mm512_mask_storeu_ps(p, m0, a[0]);
+            if cols > W {
+                _mm512_mask_storeu_ps(p.add(W), m1, a[1]);
+            }
+        }
+    }
+}

@@ -31,6 +31,9 @@ pub mod scalar;
 #[cfg(target_arch = "x86_64")]
 mod avx2;
 
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+
 use std::sync::atomic::{AtomicU8, Ordering};
 
 const MODE_UNINIT: u8 = 0;
@@ -39,11 +42,31 @@ const MODE_SIMD: u8 = 2;
 
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
 
+/// Whether `COLPER_SIMD=avx2` pinned the GEMM micro-tile to the 256-bit
+/// leg (`AVX512_OFF`) or AVX-512F may be used when detected. Separate
+/// from [`MODE`] so the wide tile can be toggled without touching the
+/// scalar/SIMD split the rest of the kernel inventory dispatches on.
+static AVX512: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+const AVX512_OFF: u8 = 1;
+const AVX512_ON: u8 = 2;
+
 /// Whether the running CPU supports the AVX2+FMA kernel path.
 pub fn simd_supported() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the running CPU supports the AVX-512F micro-tile leg.
+pub fn avx512_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
@@ -65,6 +88,19 @@ fn detect() -> u8 {
     }
 }
 
+fn detect_avx512() -> u8 {
+    if let Ok(v) = std::env::var("COLPER_SIMD") {
+        if v.eq_ignore_ascii_case("avx2") {
+            return AVX512_OFF;
+        }
+    }
+    if avx512_supported() {
+        AVX512_ON
+    } else {
+        AVX512_OFF
+    }
+}
+
 #[inline]
 fn mode() -> u8 {
     let m = MODE.load(Ordering::Relaxed);
@@ -82,6 +118,22 @@ pub fn simd_active() -> bool {
     mode() == MODE_SIMD
 }
 
+/// True when the GEMM micro-tile currently dispatches to the AVX-512 leg
+/// (requires the SIMD path to be active as well).
+#[inline]
+pub fn avx512_active() -> bool {
+    if !simd_active() {
+        return false;
+    }
+    let s = AVX512.load(Ordering::Relaxed);
+    if s != MODE_UNINIT {
+        return s == AVX512_ON;
+    }
+    let d = detect_avx512();
+    AVX512.store(d, Ordering::Relaxed);
+    d == AVX512_ON
+}
+
 /// Forces the dispatch to the SIMD path (`true`, ignored when the CPU
 /// lacks AVX2+FMA) or the scalar reference (`false`), overriding the
 /// `COLPER_SIMD` environment probe.
@@ -93,6 +145,16 @@ pub fn simd_active() -> bool {
 pub fn set_simd_enabled(enabled: bool) {
     let m = if enabled && simd_supported() { MODE_SIMD } else { MODE_SCALAR };
     MODE.store(m, Ordering::Relaxed);
+}
+
+/// Forces the GEMM micro-tile to the AVX-512 leg (`true`, ignored when
+/// the CPU lacks AVX-512F) or pins it to the 256-bit tile (`false`),
+/// overriding the `COLPER_SIMD=avx2` environment probe. Like
+/// [`set_simd_enabled`], flipping this never changes results — all tile
+/// legs are bit-identical.
+pub fn set_avx512_enabled(enabled: bool) {
+    let s = if enabled && avx512_supported() { AVX512_ON } else { AVX512_OFF };
+    AVX512.store(s, Ordering::Relaxed);
 }
 
 /// Credits `calls` kernel invocations to the active dispatch path's
@@ -124,6 +186,118 @@ pub fn features() -> &'static str {
         "avx2+fma"
     } else {
         "scalar"
+    }
+}
+
+/// The instruction set the GEMM micro-tile dispatches to.
+///
+/// Each leg owns a fixed micro-tile geometry, but geometry never affects
+/// results: every output element accumulates its `k` terms as one
+/// ascending-`k` fused chain regardless of how elements are grouped into
+/// tiles or vector lanes, so all three legs are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmIsa {
+    /// Pinned-order scalar reference ([`scalar::gemm_tile`]).
+    Scalar,
+    /// 256-bit 6x16 tile (`avx2::gemm_tile_6x16`).
+    Avx2,
+    /// 512-bit 12x32 tile (`avx512::gemm_tile_12x32`).
+    Avx512,
+}
+
+impl GemmIsa {
+    /// `(MR, NR)` micro-tile geometry of this leg. The scalar reference
+    /// uses the AVX2 geometry (tile shape is a grouping, not an order, so
+    /// any choice is bit-identical — matching shapes keeps panel sizes
+    /// comparable across legs).
+    pub fn micro_tile(self) -> (usize, usize) {
+        match self {
+            GemmIsa::Scalar | GemmIsa::Avx2 => (6, 16),
+            GemmIsa::Avx512 => (12, 32),
+        }
+    }
+
+    /// Short name for bench reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmIsa::Scalar => "scalar",
+            GemmIsa::Avx2 => "avx2",
+            GemmIsa::Avx512 => "avx512",
+        }
+    }
+}
+
+/// The GEMM micro-tile leg the current dispatch state selects.
+#[inline]
+pub fn gemm_isa() -> GemmIsa {
+    if !simd_active() {
+        GemmIsa::Scalar
+    } else if avx512_active() {
+        GemmIsa::Avx512
+    } else {
+        GemmIsa::Avx2
+    }
+}
+
+/// One GEMM micro-tile: continues (or starts, when `init`) the ascending
+/// `k` chains of the `rows x cols` in-bounds corner of an `MR x NR` tile
+/// against the packed panels `ap` (stride `MR`) and `bp` (stride `NR`),
+/// writing into `c` at row stride `ldc`. Dispatches to `isa`'s leg; all
+/// legs are bit-identical. See [`scalar::gemm_tile`] for the semantics.
+///
+/// # Panics
+///
+/// Panics when the panels or `c` are too short for the requested tile.
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tile(
+    isa: GemmIsa,
+    ap: &[f32],
+    bp: &[f32],
+    kc: usize,
+    rows: usize,
+    cols: usize,
+    init: bool,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let (mr, nr) = isa.micro_tile();
+    assert!(rows > 0 && rows <= mr && cols > 0 && cols <= nr, "gemm_tile: corner out of tile");
+    assert!(ap.len() >= kc * mr && bp.len() >= kc * nr, "gemm_tile: packed panel too short");
+    assert!(c.len() >= (rows - 1) * ldc + cols, "gemm_tile: output slab too short");
+    match isa {
+        // SAFETY: each SIMD leg runs only after runtime feature detection
+        // confirmed its instruction set on this CPU (an unsupported leg
+        // falls through to the bit-identical scalar reference in the
+        // requested geometry), and the panel/output bounds are asserted
+        // above.
+        #[cfg(target_arch = "x86_64")]
+        GemmIsa::Avx2 if simd_supported() => unsafe {
+            avx2::gemm_tile_6x16(
+                ap.as_ptr(),
+                bp.as_ptr(),
+                kc,
+                rows,
+                cols,
+                init,
+                c.as_mut_ptr(),
+                ldc,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        GemmIsa::Avx512 if avx512_supported() => unsafe {
+            avx512::gemm_tile_12x32(
+                ap.as_ptr(),
+                bp.as_ptr(),
+                kc,
+                rows,
+                cols,
+                init,
+                c.as_mut_ptr(),
+                ldc,
+            )
+        },
+        _ => scalar::gemm_tile(ap, bp, mr, nr, kc, rows, cols, init, c, ldc),
     }
 }
 
@@ -241,8 +415,12 @@ mod tests {
             .collect()
     }
 
+    /// Serializes tests that flip the process-global dispatch state.
+    static PATH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     /// Runs `f` once on each dispatch path and asserts bit identity.
     fn both_paths(f: impl Fn() -> Vec<u32>) {
+        let _g = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let was = simd_active();
         set_simd_enabled(false);
         let scalar_bits = f();
@@ -329,7 +507,71 @@ mod tests {
     }
 
     #[test]
+    fn gemm_tile_legs_bit_identical_to_per_element_chains() {
+        let kc = 13usize;
+        for isa in [GemmIsa::Scalar, GemmIsa::Avx2, GemmIsa::Avx512] {
+            // Unsupported legs fall back to scalar inside the dispatcher,
+            // which still exercises the requested geometry.
+            let (mr, nr) = isa.micro_tile();
+            let ap = data(kc * mr, 0.3);
+            let bp = data(kc * nr, 1.1);
+            let ldc = nr + 3;
+            for rows in [1usize, mr - 1, mr] {
+                for cols in [1usize, nr / 2 - 1, nr / 2 + 1, nr] {
+                    for init in [false, true] {
+                        let seed = data(mr * ldc, 2.2);
+                        let mut c = seed.clone();
+                        gemm_tile(isa, &ap, &bp, kc, rows, cols, init, &mut c, ldc);
+                        for r in 0..mr {
+                            for j in 0..ldc {
+                                let got = c[r * ldc + j];
+                                if r < rows && j < cols {
+                                    let s = if init { 0.0 } else { seed[r * ldc + j] };
+                                    let want =
+                                        scalar::fma_dot_chain(&ap[r..], mr, &bp[j..], nr, kc, s);
+                                    assert_eq!(
+                                        got.to_bits(),
+                                        want.to_bits(),
+                                        "{isa:?} corner ({rows},{cols}) element ({r},{j})"
+                                    );
+                                } else {
+                                    assert_eq!(
+                                        got.to_bits(),
+                                        seed[r * ldc + j].to_bits(),
+                                        "{isa:?} corner ({rows},{cols}) touched ({r},{j})"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_isa_respects_dispatch_gates() {
+        let _g = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let was_simd = simd_active();
+        let was_512 = avx512_active();
+        set_simd_enabled(false);
+        assert_eq!(gemm_isa(), GemmIsa::Scalar);
+        set_simd_enabled(true);
+        set_avx512_enabled(false);
+        if simd_supported() {
+            assert_eq!(gemm_isa(), GemmIsa::Avx2);
+        }
+        set_avx512_enabled(true);
+        if avx512_supported() && simd_supported() {
+            assert_eq!(gemm_isa(), GemmIsa::Avx512);
+        }
+        set_simd_enabled(was_simd);
+        set_avx512_enabled(was_512);
+    }
+
+    #[test]
     fn env_detection_reports_a_valid_mode() {
+        let _g = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         // Whatever the environment says, the mode must resolve and the
         // feature string must match it.
         let active = simd_active();

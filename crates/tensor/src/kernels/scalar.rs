@@ -167,6 +167,26 @@ pub fn sum_sq(a: &[f32]) -> f32 {
     combine(&acc)
 }
 
+/// The accumulation primitive every matmul-family kernel reduces to: one
+/// output element's ascending-`k` chain of fused multiply-adds,
+/// `init -> fma(a[0*sa], b[0*sb], init) -> fma(a[1*sa], b[1*sb], ..) -> ..`
+/// for `len` steps with strided operand walks.
+///
+/// The row kernels call it with `sa = 1, sb = n` (a row against a column
+/// of `b`); the tiled GEMM path calls it with the packed-panel strides
+/// (`sa = MR, sb = NR`). Because a chain's order depends only on `k`
+/// order — never on how elements are grouped into rows, tiles or vector
+/// lanes — every caller produces bit-identical results for the same
+/// logical element.
+#[inline]
+pub fn fma_dot_chain(a: &[f32], sa: usize, b: &[f32], sb: usize, len: usize, init: f32) -> f32 {
+    let mut acc = init;
+    for kk in 0..len {
+        acc = a[kk * sa].mul_add(b[kk * sb], acc);
+    }
+    acc
+}
+
 /// One output row of a row-major matrix product:
 /// `out_row[j] += sum_k a_row[k] * b[k*n + j]`, accumulated as an
 /// ascending-`k` chain of fused multiply-adds per output element.
@@ -174,12 +194,66 @@ pub fn sum_sq(a: &[f32]) -> f32 {
 /// `b` is the full `k x n` row-major right-hand operand. Both matmul and
 /// matmul-transposed route through this kernel (the latter after packing
 /// its left operand), so every product shares one accumulation order.
+///
+/// Columns up to the last multiple of [`LANES`] run a `k`-outer loop (the
+/// vector-friendly order); the ragged tail finishes element-wise through
+/// [`fma_dot_chain`] — the same helper the AVX2 twin's tail uses, so the
+/// tail logic lives in exactly one place. Per element both loops are the
+/// same ascending-`k` chain, so the split never changes a result.
 pub fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
     debug_assert_eq!(a_row.len() * n, b.len());
+    if a_row.is_empty() {
+        return;
+    }
+    let n8 = n - n % LANES;
     for (kk, &a) in a_row.iter().enumerate() {
-        let b_row = &b[kk * n..kk * n + n];
-        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+        let b_row = &b[kk * n..kk * n + n8];
+        for (o, &bv) in out_row[..n8].iter_mut().zip(b_row) {
             *o = a.mul_add(bv, *o);
+        }
+    }
+    for (j, o) in out_row.iter_mut().enumerate().take(n).skip(n8) {
+        *o = fma_dot_chain(a_row, 1, &b[j..], n, a_row.len(), *o);
+    }
+}
+
+/// Pinned-order reference for one GEMM micro-tile: continues (or, when
+/// `init` is set, starts at zero) the per-element ascending-`k` chain for
+/// the `rows x cols` in-bounds corner of an `mr x nr` tile, reading the
+/// packed panels `ap` (k-major, row-minor, stride `mr`) and `bp` (k-major,
+/// column-minor, stride `nr`).
+///
+/// The SIMD twins compute the full padded `mr x nr` tile and store only
+/// the in-bounds corner; padded panel entries are zero, so the in-bounds
+/// chains are identical and this reference is bit-exact against them.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tile(
+    ap: &[f32],
+    bp: &[f32],
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    rows: usize,
+    cols: usize,
+    init: bool,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_assert!(rows <= mr && cols <= nr);
+    debug_assert!(ap.len() >= kc * mr && bp.len() >= kc * nr);
+    if kc == 0 {
+        if init {
+            for r in 0..rows {
+                c[r * ldc..r * ldc + cols].fill(0.0);
+            }
+        }
+        return;
+    }
+    for r in 0..rows {
+        let c_row = &mut c[r * ldc..r * ldc + cols];
+        for (j, o) in c_row.iter_mut().enumerate() {
+            let seed = if init { 0.0 } else { *o };
+            *o = fma_dot_chain(&ap[r..], mr, &bp[j..], nr, kc, seed);
         }
     }
 }

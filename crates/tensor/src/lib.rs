@@ -22,13 +22,15 @@
 //! assert_eq!(c, a);
 //! ```
 
-// `unsafe` is denied crate-wide and allowed back in exactly one place: the
-// AVX2 intrinsics inside `kernels::avx2`, which are gated behind runtime
-// feature detection and mirror the safe scalar reference bit for bit.
+// `unsafe` is denied crate-wide and allowed back in exactly two places:
+// the SIMD intrinsics inside `kernels::avx2` and `kernels::avx512`, which
+// are gated behind runtime feature detection and mirror the safe scalar
+// reference bit for bit.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
+pub mod gemm;
 mod init;
 pub mod kernels;
 mod matrix;
@@ -38,6 +40,7 @@ mod pool;
 mod shaped;
 
 pub use error::{ShapeError, TensorError};
+pub use gemm::{gemm_mode, set_gemm_mode, GemmMode};
 pub use init::Initializer;
 pub use matrix::Matrix;
 pub use pool::BufferPool;

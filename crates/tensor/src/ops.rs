@@ -10,18 +10,10 @@
 //! AVX2 paths are bit-identical — so neither thread count nor SIMD
 //! dispatch ever changes a result.
 
+use crate::gemm;
 use crate::kernels;
 use crate::par::{chunk_len, runtime_for, MIN_PAR_ELEMS, MIN_PAR_MACS};
-use crate::{BufferPool, Matrix, ShapeError, TensorError};
-use std::cell::RefCell;
-
-thread_local! {
-    /// Per-thread scratch for matmul packing panels. Thread-local so the
-    /// hot loop stays allocation-free after warmup without threading a
-    /// pool handle through every matmul call site; per-worker warmup is a
-    /// bounded one-time cost because the runtime's workers are persistent.
-    static PACK_POOL: RefCell<BufferPool> = RefCell::new(BufferPool::new());
-}
+use crate::{Matrix, ShapeError, TensorError};
 
 /// Runs `row_job(i, out_row)` for every row of `out`, splitting the rows
 /// across the ambient runtime when `macs` (multiply-accumulate count) makes
@@ -318,12 +310,91 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = other.cols();
         assert_eq!(out.shape(), (m, n), "matmul_into: output shape mismatch");
-        out.as_mut_slice().fill(0.0);
         kernels::count_dispatch(m);
+        if gemm::use_tiled(m, k, n) {
+            gemm::gemm_into(self.as_slice(), other.as_slice(), m, k, n, out.as_mut_slice());
+            return Ok(());
+        }
+        out.as_mut_slice().fill(0.0);
         let b = other.as_slice();
         for_each_out_row(out, m * k * n, |i, out_row| {
             kernels::matmul_row(self.row(i), b, n, out_row);
         });
+        Ok(())
+    }
+
+    /// Batched matmul over `count` same-shape left operands against one
+    /// shared right operand: `outs[i] = batch[i] * other` for every `i`.
+    ///
+    /// When the batch and shapes clear the tiled-GEMM routing threshold,
+    /// the products run as one fused strided GEMM — the shared `other` is
+    /// packed once per `k`-block and every cloud replays the identical
+    /// band loop against it — otherwise they fall back to a per-cloud
+    /// [`Matrix::matmul_into`] loop. Both executions are bit-identical,
+    /// so batching is purely a performance decision (counted by the
+    /// `gemm.batch.fused` / `gemm.batch.looped` trace counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the left operands' shapes differ
+    /// from each other or don't match `other.rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outs.len() != batch.len()` or any `outs[i]` is not
+    /// `[m, n]`.
+    pub fn matmul_batched_into(
+        batch: &[&Matrix],
+        other: &Matrix,
+        outs: &mut [Matrix],
+    ) -> Result<(), TensorError> {
+        Matrix::matmul_batched_with(batch.len(), |i| batch[i], other, outs)
+    }
+
+    /// [`Matrix::matmul_batched_into`] with the left operands produced by
+    /// a closure, for callers whose batch members live in non-contiguous
+    /// storage (e.g. compiled tape schedules executing a batched group
+    /// in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the left operands' shapes differ
+    /// from each other or don't match `other.rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outs.len() != count` or any `outs[i]` is not `[m, n]`.
+    pub fn matmul_batched_with<'a>(
+        count: usize,
+        a_of: impl Fn(usize) -> &'a Matrix,
+        other: &Matrix,
+        outs: &mut [Matrix],
+    ) -> Result<(), TensorError> {
+        assert_eq!(outs.len(), count, "matmul_batched: outs length mismatch");
+        if count == 0 {
+            return Ok(());
+        }
+        let (m, k) = a_of(0).shape();
+        let n = other.cols();
+        for (i, out) in outs.iter().enumerate() {
+            let ai = a_of(i);
+            if ai.shape() != (m, k) || ai.cols() != other.rows() {
+                return Err(ShapeError::new("matmul_batched", ai.shape(), other.shape()).into());
+            }
+            assert_eq!(out.shape(), (m, n), "matmul_batched: output shape mismatch");
+        }
+        if count >= 2 && gemm::use_tiled(m, k, n) {
+            // The per-cloud loop's matmul_into calls credit dispatch
+            // themselves; the fused path credits the same total here.
+            kernels::count_dispatch(count * m);
+            colper_obs::counters::GEMM_BATCH_FUSED.incr();
+            gemm::gemm_batched(count, |i| a_of(i).as_slice(), other.as_slice(), m, k, n, outs);
+        } else {
+            colper_obs::counters::GEMM_BATCH_LOOPED.incr();
+            for (i, out) in outs.iter_mut().enumerate() {
+                a_of(i).matmul_into(other, out)?;
+            }
+        }
         Ok(())
     }
 
@@ -371,14 +442,18 @@ impl Matrix {
         // contiguous rows instead of stride-m columns. Packing happens on
         // the calling thread before the row split, so the panel contents —
         // and therefore the results — are independent of thread count.
-        let mut packed = PACK_POOL.with(|p| p.borrow_mut().scratch(m, k));
+        let mut packed = gemm::pack_scratch(m, k);
         self.transpose_into(&mut packed);
-        let b = other.as_slice();
-        let packed_ref = &packed;
-        for_each_out_row(out, m * k * n, |i, out_row| {
-            kernels::matmul_row(packed_ref.row(i), b, n, out_row);
-        });
-        PACK_POOL.with(|p| p.borrow_mut().recycle(packed));
+        if gemm::use_tiled(m, k, n) {
+            gemm::gemm_into(packed.as_slice(), other.as_slice(), m, k, n, out.as_mut_slice());
+        } else {
+            let b = other.as_slice();
+            let packed_ref = &packed;
+            for_each_out_row(out, m * k * n, |i, out_row| {
+                kernels::matmul_row(packed_ref.row(i), b, n, out_row);
+            });
+        }
+        gemm::pack_recycle(packed);
         Ok(())
     }
 
