@@ -142,6 +142,13 @@ fn bench_components(c: &mut Criterion) {
 
 criterion_group!(component_benches, bench_components);
 
+/// Hardware threads on this host. Recorded alongside every speedup
+/// block so a reader can tell an algorithmic regression from a run on
+/// a core-starved container (a 1-core host cannot show pool speedups).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 fn median(samples: &mut [u128]) -> u128 {
     if samples.is_empty() {
         return 0;
@@ -291,6 +298,7 @@ fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) 
     let json = format!(
         "{{\n  \"benchmark\": \"attack_step\",\n  \"model\": \"pointnet2_{model_scale}\",\n  \
          \"points\": {points},\n  \"samples\": {samples},\n  \
+         \"host_parallelism\": {host},\n  \
          \"unplanned_median_ns\": {unplanned_ns},\n  \"planned_median_ns\": {planned_ns},\n  \
          \"speedup\": {speedup:.4},\n  \
          \"scheduled\": {{\n    \"steps_measured\": {steps_diff},\n    \
@@ -301,7 +309,8 @@ fn bench_planned_vs_unplanned(points: usize, samples: usize, model_scale: &str) 
          \"speedup\": {sched_speedup:.4}\n  }},\n  \
          \"trace\": {{\n    \"steps\": {TRACE_STEPS},\n    \
          \"off_median_ns\": {trace_off_ns},\n    \"on_median_ns\": {trace_on_ns},\n    \
-         \"overhead_fraction\": {trace_overhead:.4}\n  }}\n}}\n"
+         \"overhead_fraction\": {trace_overhead:.4}\n  }}\n}}\n",
+        host = host_parallelism(),
     );
     write_json("BENCH_attack_step", &json);
 }
@@ -357,7 +366,7 @@ fn bench_parallel(points: usize, steps: usize, samples: usize, threads: usize, m
     // Order-sensitive digest of the whole gain trajectory, in raw bits.
     let gain_digest =
         seq_result.gain_history.iter().fold(0u64, |h, g| h.rotate_left(7) ^ u64::from(g.to_bits()));
-    let host = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let host = host_parallelism();
 
     let speedup = sequential_ns as f64 / pool_ns.max(1) as f64;
     println!(
@@ -713,6 +722,7 @@ fn bench_simd(samples: usize, threads: usize) {
     let json = format!(
         "{{\n  \"benchmark\": \"simd_kernels\",\n  \"features\": \"{}\",\n  \
          \"simd_supported\": {},\n  \"samples\": {samples},\n  \
+         \"host_parallelism\": {host},\n  \
          \"best_matmul_speedup\": {headline_speedup:.4},\n  \"matmul\": [\n{}\n  ],\n  \
          \"tiled\": {{\n    \"isa\": \"{}\",\n    \"threads\": {threads},\n    \
          \"best_tiled_speedup\": {best_tiled_speedup:.4},\n    \"shapes\": [\n{}\n    ]\n  }},\n  \
@@ -726,6 +736,7 @@ fn bench_simd(samples: usize, threads: usize) {
         rows.join(",\n"),
         kernels::gemm_isa().name(),
         tiled_rows.join(",\n"),
+        host = host_parallelism(),
     );
     write_json("BENCH_simd", &json);
 }

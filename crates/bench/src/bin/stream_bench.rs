@@ -1,0 +1,235 @@
+//! Out-of-core streaming-attack benchmark: shards a tiled world to
+//! disk, slides the bounded-memory [`StreamingAttack`] over it, and
+//! emits `results/BENCH_stream.json` with throughput (points/sec),
+//! peak resident bytes against the hard budget, and the warm-seat hit
+//! rate. Asserting `peak <= budget` here makes the bench double as the
+//! CI gate for the residency contract.
+//!
+//! Scales:
+//!
+//! * `--quick` — CI smoke: a 4-tile world under a 2-tile budget.
+//! * default  — a 16-tile world, every point attacked.
+//! * `--full` — the paper-scale acceptance run: a 10^8-point world
+//!   (1024 tiles x ~97k points, ~2.4 GiB of shards) attacked under a
+//!   budget of 8 resident tiles (~20 MiB, 0.8% of the world), with
+//!   windows-per-tile sampling so the attack finishes on small hosts.
+//!
+//! `--keep DIR` shards the world under `DIR` and leaves it there, so a
+//! repeated `--full` run skips the (dominant) generation cost.
+
+use colper_attack::{AttackConfig, StreamConfig, StreamingAttack};
+use colper_bench::write_json;
+use colper_models::{PointNet2, PointNet2Config};
+use colper_runtime::Runtime;
+use colper_scene::tiled::{ShardStore, TiledWorld, TiledWorldConfig};
+use colper_scene::OUTDOOR_CLASS_COUNT;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Scale {
+    name: &'static str,
+    tiles: u32,
+    points_per_tile: usize,
+    steps: usize,
+    window: usize,
+    windows_per_tile: Option<usize>,
+    budget_tiles: usize,
+}
+
+const QUICK: Scale = Scale {
+    name: "quick",
+    tiles: 2,
+    points_per_tile: 256,
+    steps: 2,
+    window: 128,
+    windows_per_tile: None,
+    budget_tiles: 2,
+};
+
+const DEFAULT: Scale = Scale {
+    name: "default",
+    tiles: 4,
+    points_per_tile: 2048,
+    steps: 4,
+    window: 512,
+    windows_per_tile: None,
+    budget_tiles: 2,
+};
+
+/// 32 x 32 tiles x 97_657 points = 100_000_768 points.
+const FULL: Scale = Scale {
+    name: "full",
+    tiles: 32,
+    points_per_tile: 97_657,
+    steps: 2,
+    window: 512,
+    windows_per_tile: Some(1),
+    budget_tiles: 8,
+};
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        FULL
+    } else if args.iter().any(|a| a == "--quick") {
+        QUICK
+    } else {
+        DEFAULT
+    };
+    let threads = arg_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let keep_dir = arg_value(&args, "--keep").map(PathBuf::from);
+    let dir = keep_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("colper-stream-bench-{}", std::process::id()))
+    });
+
+    let mut world_cfg = TiledWorldConfig::grid(scale.tiles, scale.points_per_tile);
+    world_cfg.world_seed = seed;
+    let tile_bytes = world_cfg.tile_bytes();
+    let total_points = world_cfg.total_points();
+    let shard_bytes = scale.tiles as usize * scale.tiles as usize * tile_bytes;
+    let budget_bytes = scale.budget_tiles * tile_bytes;
+    println!(
+        "bench stream/{}: {}x{} tiles x {} points = {} points ({:.1} MiB of shards), \
+         budget {} tiles ({:.1} MiB, {:.2}% of world)",
+        scale.name,
+        scale.tiles,
+        scale.tiles,
+        scale.points_per_tile,
+        total_points,
+        shard_bytes as f64 / (1 << 20) as f64,
+        scale.budget_tiles,
+        budget_bytes as f64 / (1 << 20) as f64,
+        budget_bytes as f64 / shard_bytes as f64 * 100.0,
+    );
+
+    let runtime = Runtime::new(threads);
+    let gen_started = Instant::now();
+    let world = runtime.install(|| {
+        if dir.join("world.meta").exists() {
+            let world = TiledWorld::open(&dir).expect("reopen sharded world");
+            assert_eq!(world.config(), &world_cfg, "--keep dir holds a different world");
+            println!("bench stream: reusing shards at {}", dir.display());
+            world
+        } else {
+            std::fs::remove_dir_all(&dir).ok();
+            TiledWorld::create(&dir, &world_cfg).expect("shard world")
+        }
+    });
+    let generate_seconds = gen_started.elapsed().as_secs_f64();
+    println!(
+        "bench stream: world sharded in {generate_seconds:.1}s \
+         ({:.0} points/sec generated)",
+        total_points as f64 / generate_seconds.max(1e-9)
+    );
+
+    let mut cfg = StreamConfig::new(AttackConfig::non_targeted(scale.steps));
+    cfg.window_core = scale.window;
+    cfg.windows_per_tile = scale.windows_per_tile;
+    cfg.seed = seed;
+    let halo_margin = cfg.halo_margin;
+    let halo_budget = cfg.halo_budget;
+    let mut store = ShardStore::new(world, budget_bytes);
+    let model =
+        PointNet2::new(PointNet2Config::tiny(OUTDOOR_CLASS_COUNT), &mut StdRng::seed_from_u64(0));
+
+    let attack_started = Instant::now();
+    let outcome = StreamingAttack::new(cfg)
+        .runtime(&runtime)
+        .run(&model, &mut store)
+        .expect("streaming attack");
+    let attack_seconds = attack_started.elapsed().as_secs_f64();
+    drop(store);
+    if keep_dir.is_none() {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let attacked_per_sec = outcome.points_attacked as f64 / attack_seconds.max(1e-9);
+    println!(
+        "bench stream: attacked {} points in {} windows over {} tiles in {attack_seconds:.1}s \
+         ({attacked_per_sec:.0} points/sec)",
+        outcome.points_attacked, outcome.windows, outcome.tiles
+    );
+    println!(
+        "bench stream: peak resident {:.2} MiB of {:.2} MiB budget ({} evictions, {} misses); \
+         warm-seat hit rate {:.1}%",
+        outcome.residency.peak_bytes as f64 / (1 << 20) as f64,
+        outcome.residency.budget_bytes as f64 / (1 << 20) as f64,
+        outcome.residency.evictions,
+        outcome.residency.misses,
+        outcome.warm_hit_rate() * 100.0
+    );
+    println!(
+        "bench stream: clean accuracy {:.3}, adversarial accuracy {:.3}, attack success {:.3}",
+        outcome.clean.accuracy(),
+        outcome.adversarial.accuracy(),
+        outcome.attack_success()
+    );
+    assert!(
+        outcome.residency.peak_bytes <= budget_bytes,
+        "peak resident bytes {} exceeded the hard budget {budget_bytes}",
+        outcome.residency.peak_bytes
+    );
+    assert!(outcome.points_attacked > 0, "the stream attacked nothing");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"stream_attack\",\n  \"scale\": \"{name}\",\n  \
+         \"model\": \"pointnet2_tiny\",\n  \"threads\": {threads},\n  \
+         \"host_parallelism\": {host},\n  \
+         \"world\": {{\n    \"tiles\": {tiles},\n    \
+         \"points_per_tile\": {ppt},\n    \"total_points\": {total_points},\n    \
+         \"shard_bytes\": {shard_bytes},\n    \"seed\": {seed}\n  }},\n  \
+         \"config\": {{\n    \"steps\": {steps},\n    \"window_core\": {window},\n    \
+         \"windows_per_tile\": {wpt},\n    \"halo_margin\": {halo_margin},\n    \
+         \"halo_budget\": {halo_budget}\n  }},\n  \
+         \"residency\": {{\n    \"budget_bytes\": {budget_bytes},\n    \
+         \"peak_bytes\": {peak},\n    \"evictions\": {evictions},\n    \
+         \"hits\": {hits},\n    \"misses\": {misses}\n  }},\n  \
+         \"throughput\": {{\n    \"generate_seconds\": {generate_seconds:.3},\n    \
+         \"attack_seconds\": {attack_seconds:.3},\n    \
+         \"points_attacked\": {attacked},\n    \
+         \"attacked_points_per_sec\": {attacked_per_sec:.1},\n    \
+         \"windows\": {windows},\n    \"halo_points\": {halo_points}\n  }},\n  \
+         \"seats\": {{\n    \"runs\": {seat_runs},\n    \
+         \"warm_starts\": {warm_starts},\n    \"warm_hit_rate\": {hit_rate:.4}\n  }},\n  \
+         \"attack\": {{\n    \"clean_accuracy\": {clean_acc:.6},\n    \
+         \"clean_miou\": {clean_miou:.6},\n    \
+         \"adversarial_accuracy\": {adv_acc:.6},\n    \
+         \"adversarial_miou\": {adv_miou:.6},\n    \
+         \"attack_success\": {success:.6},\n    \"l2_sq\": {l2:.6}\n  }}\n}}\n",
+        name = scale.name,
+        host = host_parallelism(),
+        tiles = scale.tiles,
+        ppt = scale.points_per_tile,
+        steps = scale.steps,
+        window = scale.window,
+        wpt = scale.windows_per_tile.map_or("null".to_string(), |n| n.to_string()),
+        peak = outcome.residency.peak_bytes,
+        evictions = outcome.residency.evictions,
+        hits = outcome.residency.hits,
+        misses = outcome.residency.misses,
+        attacked = outcome.points_attacked,
+        windows = outcome.windows,
+        halo_points = outcome.halo_points,
+        seat_runs = outcome.seat_runs,
+        warm_starts = outcome.warm_starts,
+        hit_rate = outcome.warm_hit_rate(),
+        clean_acc = outcome.clean.accuracy(),
+        clean_miou = outcome.clean.mean_iou(),
+        adv_acc = outcome.adversarial.accuracy(),
+        adv_miou = outcome.adversarial.mean_iou(),
+        success = outcome.attack_success(),
+        l2 = outcome.total_l2_sq,
+    );
+    write_json("BENCH_stream", &json);
+}

@@ -55,6 +55,7 @@ mod reparam;
 mod report;
 mod seat;
 mod session;
+mod streaming;
 mod transfer;
 mod validate;
 
@@ -71,5 +72,6 @@ pub use reparam::TanhReparam;
 pub use report::AttackResult;
 pub use seat::WarmSeat;
 pub use session::AttackSession;
+pub use streaming::{StreamConfig, StreamOutcome, StreamingAttack};
 pub use transfer::{apply_adversarial_colors, evaluate_cloud, TransferOutcome};
 pub use validate::{validate_clouds, SessionError};

@@ -1,0 +1,341 @@
+//! Bounded-memory streaming attacks over tiled out-of-core worlds.
+//!
+//! [`StreamingAttack`] slides RandLA-Net-style random-sampling windows
+//! over the tiles of a [`TileStore`]: each tile's points are chunked by
+//! a seeded permutation into fixed-size windows, every window is padded
+//! with *halo* points from neighboring tiles (so cross-boundary k-NN —
+//! the smoothness penalty and the networks' neighborhoods — sees real
+//! geometry at tile edges), attacked through the ordinary
+//! [`AttackSession`] on a recycled [`WarmSeat`], and the perturbed
+//! colors are written back to the store column-wise.
+//!
+//! Determinism: tiles are visited in row-major order on the driving
+//! thread; windows of one tile fan out onto the shared
+//! [`colper_runtime`] runtime but read only an immutable snapshot of
+//! the tile (taken before any window runs) and their results are folded
+//! back in window order. Every RNG stream derives from
+//! `(seed, tile, window)` via [`colper_scene::mix_seed`]. The outcome is
+//! therefore bit-identical for any thread count, any residency budget
+//! that fits two tiles, and either storage backend — which is exactly
+//! what `tests/streaming_equivalence.rs` asserts.
+
+use crate::{AttackConfig, AttackPlan, AttackSession, WarmSeat};
+use colper_geom::{random_sample, xy_dist_to_rect, Point3};
+use colper_metrics::ConfusionMatrix;
+use colper_models::{predict_planned, CloudTensors, SegmentationModel};
+use colper_runtime::Runtime;
+use colper_scene::tiled::{ResidencyStats, TileAccess, TileStore, TiledError};
+use colper_scene::{mix_seed, normalize, PointCloud};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Configuration of the streaming driver.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// The per-window attack.
+    pub attack: AttackConfig,
+    /// Core (tile-resident, attacked) points per window.
+    pub window_core: usize,
+    /// Halo reach in meters: neighbor-tile points whose planar distance
+    /// to the tile footprint is at most this join every window.
+    pub halo_margin: f32,
+    /// Cap on halo points per tile (deterministically subsampled).
+    pub halo_budget: usize,
+    /// Windows attacked per tile; `None` covers every point.
+    pub windows_per_tile: Option<usize>,
+    /// Base seed for all derived streams.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// A config around `attack` with RandLA-ish window defaults.
+    pub fn new(attack: AttackConfig) -> StreamConfig {
+        StreamConfig {
+            attack,
+            window_core: 512,
+            halo_margin: 2.0,
+            halo_budget: 256,
+            windows_per_tile: None,
+            seed: 0x5354_5245_414D,
+        }
+    }
+}
+
+/// Aggregated result of one streaming run.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Confusion over attacked points, clean model outputs.
+    pub clean: ConfusionMatrix,
+    /// Confusion over attacked points, post-attack outputs.
+    pub adversarial: ConfusionMatrix,
+    /// Tiles visited.
+    pub tiles: usize,
+    /// Windows attacked.
+    pub windows: usize,
+    /// Core points attacked (each exactly once).
+    pub points_attacked: usize,
+    /// Halo points carried across tile boundaries (summed over tiles).
+    pub halo_points: usize,
+    /// Summed squared-L2 color perturbation over windows.
+    pub total_l2_sq: f32,
+    /// Attack runs executed on pooled seats.
+    pub seat_runs: u64,
+    /// Runs that started on a warm (tape-donating) seat.
+    pub warm_starts: u64,
+    /// Residency occupancy of the store after the run.
+    pub residency: ResidencyStats,
+}
+
+impl StreamOutcome {
+    /// Fraction of attacked points whose post-attack prediction differs
+    /// from the ground-truth label.
+    pub fn attack_success(&self) -> f32 {
+        1.0 - self.adversarial.accuracy()
+    }
+
+    /// Fraction of seat runs that reused a warm tape.
+    pub fn warm_hit_rate(&self) -> f32 {
+        if self.seat_runs == 0 {
+            0.0
+        } else {
+            self.warm_starts as f32 / self.seat_runs as f32
+        }
+    }
+}
+
+/// One window's fold-ready result (private).
+struct WindowResult {
+    core: Vec<usize>,
+    labels: Vec<usize>,
+    clean_preds: Vec<usize>,
+    adv_preds: Vec<usize>,
+    colors: Vec<[f32; 3]>,
+    l2_sq: f32,
+}
+
+/// The streaming driver. Build with [`StreamingAttack::new`], optionally
+/// cap its worker share with [`StreamingAttack::threads_budget`] (the
+/// same per-job budget mechanism `colperd` applies to queued jobs), then
+/// [`StreamingAttack::run`] it over a store.
+pub struct StreamingAttack {
+    config: StreamConfig,
+    runtime: Runtime,
+}
+
+impl StreamingAttack {
+    /// A driver on the ambient runtime.
+    pub fn new(config: StreamConfig) -> StreamingAttack {
+        StreamingAttack { config, runtime: colper_runtime::current() }
+    }
+
+    /// Replaces the runtime the tile windows fan out on.
+    pub fn runtime(mut self, runtime: &Runtime) -> StreamingAttack {
+        self.runtime = runtime.clone();
+        self
+    }
+
+    /// Caps the number of concurrently stealable window tasks, exactly
+    /// like `colperd`'s per-job thread budgets. Bit-identical results
+    /// at any budget.
+    pub fn threads_budget(mut self, max_tasks: usize) -> StreamingAttack {
+        self.runtime = self.runtime.clone().with_budget(max_tasks);
+        self
+    }
+
+    /// Streams the attack over every tile of `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model's class space is smaller than the store's
+    /// (labels would be out of range for the attack's validation).
+    pub fn run<M, S>(&self, model: &M, store: &mut S) -> Result<StreamOutcome, TiledError>
+    where
+        M: SegmentationModel + ?Sized,
+        S: TileStore,
+    {
+        assert!(
+            model.num_classes() >= store.num_classes(),
+            "model has {} classes but the world labels span {}",
+            model.num_classes(),
+            store.num_classes()
+        );
+        let ids = store.tile_ids();
+        let classes = model.num_classes();
+        let mut clean = ConfusionMatrix::new(classes);
+        let mut adversarial = ConfusionMatrix::new(classes);
+        let mut windows_total = 0usize;
+        let mut points_attacked = 0usize;
+        let mut halo_points = 0usize;
+        let mut total_l2_sq = 0.0f32;
+        let seat_pool: Mutex<Vec<WarmSeat>> = Mutex::new(Vec::new());
+
+        for (t, &id) in ids.iter().enumerate() {
+            let halo = self.collect_halo(store, id, t)?;
+            halo_points += halo.len();
+            let view = store.load(id)?;
+            let n = view.len();
+            if n == 0 {
+                continue;
+            }
+            // Seeded permutation chunked into windows: every core point
+            // belongs to exactly one window, so write-backs never
+            // conflict and coverage is exact.
+            let mut prng = StdRng::seed_from_u64(mix_seed(self.config.seed, t as u64, u64::MAX));
+            let perm = random_sample(n, n, &mut prng);
+            let wc = self.config.window_core.clamp(1, n);
+            let all_windows = n.div_ceil(wc);
+            let n_windows =
+                self.config.windows_per_tile.map_or(all_windows, |k| k.min(all_windows));
+
+            let view_ref: &dyn TileAccess = view.as_ref();
+            let results: Vec<WindowResult> = self.runtime.par_map_grained(n_windows, 1, |w| {
+                let lo = w * wc;
+                let hi = ((w + 1) * wc).min(n);
+                self.run_window(model, view_ref, &halo, &perm[lo..hi], t, w, &seat_pool)
+            });
+
+            // Fold in window order: colors back into the tile column,
+            // confusion counts into the shared matrices.
+            let mut tile_colors: Vec<[f32; 3]> = (0..n).map(|i| view_ref.color(i)).collect();
+            for r in &results {
+                clean.update(&r.clean_preds, &r.labels);
+                adversarial.update(&r.adv_preds, &r.labels);
+                total_l2_sq += r.l2_sq;
+                points_attacked += r.core.len();
+                for (j, &pi) in r.core.iter().enumerate() {
+                    tile_colors[pi] = r.colors[j];
+                }
+            }
+            windows_total += n_windows;
+            drop(view);
+            store.write_colors(id, &tile_colors)?;
+        }
+
+        let seats = seat_pool.into_inner().expect("seat pool lock");
+        let seat_runs = seats.iter().map(|s| s.runs()).sum();
+        let warm_starts = seats.iter().map(|s| s.warm_starts()).sum();
+        Ok(StreamOutcome {
+            clean,
+            adversarial,
+            tiles: ids.len(),
+            windows: windows_total,
+            points_attacked,
+            halo_points,
+            total_l2_sq,
+            seat_runs,
+            warm_starts,
+            residency: store.resident_stats(),
+        })
+    }
+
+    /// Gathers neighbor-tile points within the halo margin of tile
+    /// `id`'s footprint, visiting neighbors one at a time (so at most
+    /// two tiles are ever resident) in a fixed order, then subsampling
+    /// to the halo budget with a per-tile derived stream.
+    fn collect_halo<S: TileStore>(
+        &self,
+        store: &S,
+        id: colper_scene::tiled::TileId,
+        t: usize,
+    ) -> Result<Vec<(Point3, [f32; 3], usize)>, TiledError> {
+        let (ox, oy) = store.tile_origin(id);
+        let ext = store.tile_extent();
+        let margin = self.config.halo_margin;
+        let mut halo: Vec<(Point3, [f32; 3], usize)> = Vec::new();
+        if margin <= 0.0 || self.config.halo_budget == 0 {
+            return Ok(halo);
+        }
+        const NEIGHBORS: [(i64, i64); 8] =
+            [(-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)];
+        for (dx, dy) in NEIGHBORS {
+            let nx = id.x as i64 + dx;
+            let ny = id.y as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= store.tiles_x() as i64 || ny >= store.tiles_y() as i64 {
+                continue;
+            }
+            let nid = colper_scene::tiled::TileId { x: nx as u32, y: ny as u32 };
+            let nview = store.load(nid)?;
+            for i in 0..nview.len() {
+                let p = nview.point(i);
+                if xy_dist_to_rect(p, ox, oy, ox + ext, oy + ext) <= margin {
+                    halo.push((p, nview.color(i), nview.label(i)));
+                }
+            }
+            // nview drops here: the neighbor mapping becomes evictable
+            // before the next one loads, keeping residency at <=2 tiles.
+        }
+        if halo.len() > self.config.halo_budget {
+            let mut hrng =
+                StdRng::seed_from_u64(mix_seed(self.config.seed.wrapping_add(3), t as u64, 0));
+            let mut keep = random_sample(halo.len(), self.config.halo_budget, &mut hrng);
+            keep.sort_unstable();
+            halo = keep.into_iter().map(|i| halo[i]).collect();
+        }
+        Ok(halo)
+    }
+
+    /// Attacks one window: core points by store index plus the shared
+    /// halo, masked so only core points perturb.
+    #[allow(clippy::too_many_arguments)]
+    fn run_window<M: SegmentationModel + ?Sized>(
+        &self,
+        model: &M,
+        view: &dyn TileAccess,
+        halo: &[(Point3, [f32; 3], usize)],
+        core: &[usize],
+        t: usize,
+        w: usize,
+        seat_pool: &Mutex<Vec<WarmSeat>>,
+    ) -> WindowResult {
+        let core_len = core.len();
+        let total = core_len + halo.len();
+        let mut coords = Vec::with_capacity(total);
+        let mut colors = Vec::with_capacity(total);
+        let mut labels = Vec::with_capacity(total);
+        for &i in core {
+            coords.push(view.point(i));
+            colors.push(view.color(i));
+            labels.push(view.label(i));
+        }
+        for &(p, c, l) in halo {
+            coords.push(p);
+            colors.push(c);
+            labels.push(l);
+        }
+        let cloud = PointCloud::new(coords, colors, labels, model.num_classes());
+        let tensors = CloudTensors::from_cloud(&normalize::pointnet_view(&cloud));
+        let plan = AttackPlan::build(model, &tensors, &self.config.attack);
+
+        let mut clean_rng =
+            StdRng::seed_from_u64(mix_seed(self.config.seed.wrapping_add(1), t as u64, w as u64));
+        let clean_full = predict_planned(model, &tensors, plan.geometry(), &mut clean_rng);
+
+        let mask_fn =
+            move |t: &CloudTensors| (0..t.len()).map(|i| i < core_len).collect::<Vec<bool>>();
+        let session = AttackSession::new(self.config.attack.clone())
+            .runtime(&self.runtime)
+            .plan(&plan)
+            .mask_with(&mask_fn);
+        let mut seat = seat_pool.lock().expect("seat pool lock").pop().unwrap_or_default();
+        let mut attack_rng =
+            StdRng::seed_from_u64(mix_seed(self.config.seed.wrapping_add(2), t as u64, w as u64));
+        let result = session.run_with_rng_seated(model, &tensors, &mut attack_rng, &mut seat);
+        seat_pool.lock().expect("seat pool lock").push(seat);
+
+        let adv_colors: Vec<[f32; 3]> = (0..core_len)
+            .map(|i| {
+                let row = result.adversarial_colors.row(i);
+                [row[0], row[1], row[2]]
+            })
+            .collect();
+        WindowResult {
+            core: core.to_vec(),
+            labels: cloud.labels[..core_len].to_vec(),
+            clean_preds: clean_full[..core_len].to_vec(),
+            adv_preds: result.predictions[..core_len].to_vec(),
+            colors: adv_colors,
+            l2_sq: result.l2_sq,
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Streaming ≡ in-core equivalence: on a world small enough to hold in
+//! memory, the streaming driver produces bit-identical per-class IoU,
+//! per-point predictions, and perturbed colors whether it runs over
+//! memory-mapped shards or fully-resident tiles, at 1 or 4 worker
+//! threads, under a tight residency budget that forces evictions.
+//!
+//! CI runs this file on both SIMD legs (`COLPER_SIMD=scalar-reference`
+//! and native) via the kernel-dispatch matrix, which closes the last
+//! acceptance axis.
+
+use colper_attack::{AttackConfig, StreamConfig, StreamOutcome, StreamingAttack};
+use colper_models::{PointNet2, PointNet2Config};
+use colper_runtime::Runtime;
+use colper_scene::tiled::{MemStore, ShardStore, TileStore, TiledWorld, TiledWorldConfig};
+use colper_scene::OUTDOOR_CLASS_COUNT;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn world_cfg() -> TiledWorldConfig {
+    TiledWorldConfig {
+        tiles_x: 2,
+        tiles_y: 2,
+        points_per_tile: 192,
+        tile_extent: 20.0,
+        world_seed: 11,
+        ..TiledWorldConfig::default()
+    }
+}
+
+fn stream_cfg() -> StreamConfig {
+    let mut cfg = StreamConfig::new(AttackConfig::non_targeted(3));
+    cfg.window_core = 96;
+    cfg.halo_margin = 2.0;
+    cfg.halo_budget = 64;
+    cfg.seed = 5;
+    cfg
+}
+
+fn model() -> PointNet2 {
+    PointNet2::new(PointNet2Config::tiny(OUTDOOR_CLASS_COUNT), &mut StdRng::seed_from_u64(0))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("colper-stream-eq-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Runs the streaming attack over a fresh shard-backed world and
+/// returns the outcome plus the final per-tile colors.
+fn run_sharded(name: &str, threads: usize) -> (StreamOutcome, Vec<Vec<[f32; 3]>>) {
+    let dir = temp_dir(name);
+    let runtime = Runtime::new(threads);
+    let (outcome, colors) = runtime.install(|| {
+        let world = TiledWorld::create(&dir, &world_cfg()).unwrap();
+        // Budget: two tiles (core + one neighbor during halo collection).
+        let tile_bytes = world.config().tile_bytes();
+        let mut store = ShardStore::new(world, 2 * tile_bytes);
+        let model = model();
+        let outcome = StreamingAttack::new(stream_cfg()).run(&model, &mut store).unwrap();
+        let colors = store
+            .world()
+            .tile_ids()
+            .into_iter()
+            .map(|id| store.world().read_tile(id).unwrap().colors)
+            .collect();
+        (outcome, colors)
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    (outcome, colors)
+}
+
+fn run_in_core(threads: usize) -> (StreamOutcome, Vec<Vec<[f32; 3]>>) {
+    let runtime = Runtime::new(threads);
+    runtime.install(|| {
+        let mut store = MemStore::generate(&world_cfg());
+        let model = model();
+        let outcome = StreamingAttack::new(stream_cfg()).run(&model, &mut store).unwrap();
+        let colors = store.tile_ids().into_iter().map(|id| store.colors_of(id)).collect();
+        (outcome, colors)
+    })
+}
+
+fn assert_equivalent(
+    (a, ac): &(StreamOutcome, Vec<Vec<[f32; 3]>>),
+    (b, bc): &(StreamOutcome, Vec<Vec<[f32; 3]>>),
+    what: &str,
+) {
+    assert_eq!(a.points_attacked, b.points_attacked, "{what}: points");
+    assert_eq!(a.windows, b.windows, "{what}: windows");
+    assert_eq!(a.clean.per_class_iou(), b.clean.per_class_iou(), "{what}: clean IoU");
+    assert_eq!(
+        a.adversarial.per_class_iou(),
+        b.adversarial.per_class_iou(),
+        "{what}: adversarial IoU"
+    );
+    assert_eq!(a.total_l2_sq.to_bits(), b.total_l2_sq.to_bits(), "{what}: l2");
+    assert_eq!(ac, bc, "{what}: perturbed colors");
+}
+
+#[test]
+fn streaming_equals_in_core_across_backends_and_threads() {
+    let shard_1 = run_sharded("t1", 1);
+    let shard_4 = run_sharded("t4", 4);
+    let mem_1 = run_in_core(1);
+    let mem_4 = run_in_core(4);
+
+    // Sanity: the attack actually did something.
+    assert!(shard_1.0.points_attacked > 0);
+    assert!(shard_1.0.total_l2_sq > 0.0);
+    assert!(shard_1.0.windows >= 8, "expected >=2 windows/tile, got {}", shard_1.0.windows);
+    assert!(shard_1.0.halo_points > 0, "halo should cross tile boundaries");
+
+    assert_equivalent(&shard_1, &shard_4, "shard t1 vs shard t4");
+    assert_equivalent(&shard_1, &mem_1, "shard t1 vs mem t1");
+    assert_equivalent(&mem_1, &mem_4, "mem t1 vs mem t4");
+}
+
+#[test]
+fn residency_stays_within_budget_and_seats_warm_up() {
+    let dir = temp_dir("budget");
+    let world = TiledWorld::create(&dir, &world_cfg()).unwrap();
+    let tile_bytes = world.config().tile_bytes();
+    let budget = 2 * tile_bytes;
+    let mut store = ShardStore::new(world, budget);
+    let model = model();
+    let outcome = StreamingAttack::new(stream_cfg()).run(&model, &mut store).unwrap();
+    assert!(
+        outcome.residency.peak_bytes <= budget,
+        "peak {} exceeded budget {budget}",
+        outcome.residency.peak_bytes
+    );
+    assert!(outcome.residency.evictions > 0, "tight budget should evict");
+    assert_eq!(outcome.seat_runs, outcome.windows as u64);
+    assert!(
+        outcome.warm_starts > 0,
+        "warm seats should be reused across windows ({} runs)",
+        outcome.seat_runs
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn thread_budget_cap_is_bit_identical() {
+    let full = run_in_core(4);
+    let capped = Runtime::new(4).install(|| {
+        let mut store = MemStore::generate(&world_cfg());
+        let model = model();
+        let outcome =
+            StreamingAttack::new(stream_cfg()).threads_budget(1).run(&model, &mut store).unwrap();
+        let colors = store.tile_ids().into_iter().map(|id| store.colors_of(id)).collect();
+        (outcome, colors)
+    });
+    assert_equivalent(&full, &capped, "uncapped vs budget=1");
+}

@@ -1,0 +1,77 @@
+//! Tile-halo geometry: which points of a neighboring tile sit close
+//! enough to a tile's footprint to matter for cross-boundary k-NN.
+//!
+//! The streaming attack processes one tile at a time but the smoothness
+//! penalty (Eq. 6) and every network's neighborhood structure reach
+//! across tile edges. The halo rule is purely planar: a neighbor point
+//! joins a tile's windows when its xy distance to the tile's rectangle
+//! is at most the halo margin.
+
+use crate::Point3;
+
+/// Planar (xy) distance from `p` to the axis-aligned rectangle
+/// `[min_x, max_x] x [min_y, max_y]`. Zero for points inside.
+pub fn xy_dist_to_rect(p: Point3, min_x: f32, min_y: f32, max_x: f32, max_y: f32) -> f32 {
+    let dx = (min_x - p.x).max(0.0).max(p.x - max_x);
+    let dy = (min_y - p.y).max(0.0).max(p.y - max_y);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Indices of `points` whose xy distance to the rectangle is at most
+/// `margin`, in input order (deterministic for a fixed input).
+pub fn indices_near_rect(
+    points: &[Point3],
+    min_x: f32,
+    min_y: f32,
+    max_x: f32,
+    max_y: f32,
+    margin: f32,
+) -> Vec<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| xy_dist_to_rect(p, min_x, min_y, max_x, max_y) <= margin)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inside_is_zero() {
+        assert_eq!(xy_dist_to_rect(Point3::new(1.0, 1.0, 99.0), 0.0, 0.0, 2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn edge_distance_is_axis_aligned() {
+        let d = xy_dist_to_rect(Point3::new(3.0, 1.0, 0.0), 0.0, 0.0, 2.0, 2.0);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corner_distance_is_euclidean() {
+        let d = xy_dist_to_rect(Point3::new(5.0, 6.0, 0.0), 0.0, 0.0, 2.0, 2.0);
+        assert!((d - 25.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn z_is_ignored() {
+        let a = xy_dist_to_rect(Point3::new(3.0, 0.5, 0.0), 0.0, 0.0, 2.0, 2.0);
+        let b = xy_dist_to_rect(Point3::new(3.0, 0.5, 100.0), 0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn near_rect_filter_keeps_input_order() {
+        let pts = vec![
+            Point3::new(-0.5, 1.0, 0.0), // within margin 1
+            Point3::new(-3.0, 1.0, 0.0), // too far
+            Point3::new(1.0, 1.0, 0.0),  // inside
+            Point3::new(2.9, 2.9, 0.0),  // corner, within sqrt(0.81+0.81) > 1 -> out
+        ];
+        let idx = indices_near_rect(&pts, 0.0, 0.0, 2.0, 2.0, 1.0);
+        assert_eq!(idx, vec![0, 2]);
+    }
+}

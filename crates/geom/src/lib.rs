@@ -30,6 +30,7 @@
 mod aabb;
 mod error;
 mod graph;
+mod halo;
 mod kdtree;
 mod knn;
 mod point;
@@ -39,6 +40,7 @@ mod voxel;
 pub use aabb::Aabb;
 pub use error::GeomError;
 pub use graph::NeighborGraph;
+pub use halo::{indices_near_rect, xy_dist_to_rect};
 pub use kdtree::{KdTree, Neighbor};
 pub use knn::{
     brute_force_knn, dilated_knn, knn_graph, pairwise_sq_dist, subset_knn_graph, subset_nearest,

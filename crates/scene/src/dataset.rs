@@ -16,8 +16,14 @@ impl Area {
     pub const EVAL: Area = Area(5);
 }
 
-/// Deterministic seed mixing for `(area, room)` pairs.
-fn mix_seed(base: u64, a: u64, b: u64) -> u64 {
+/// Deterministic seed mixing: hashes `(base, a, b)` into an independent
+/// RNG seed with a splitmix-style finalizer.
+///
+/// Every derived-stream site in the workspace uses this one function —
+/// `(area, room)` rooms, outdoor scene indices, per-object surfel
+/// streams, and [`crate::tiled`]'s per-tile world seeds — so any tile,
+/// room, or object regenerates bit-identically in isolation.
+pub fn mix_seed(base: u64, a: u64, b: u64) -> u64 {
     let mut x = base
         .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));

@@ -7,9 +7,10 @@
 //! bushes), cars (two stacked boxes parked along the road) and scanning
 //! artefacts (sparse outlier streaks) — the eight Semantic3D classes.
 
-use crate::{ColorModel, OutdoorClass, PointCloud, OUTDOOR_CLASS_COUNT};
+use crate::{mix_seed, ColorModel, OutdoorClass, PointCloud, OUTDOOR_CLASS_COUNT};
 use colper_geom::Point3;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Configuration for the outdoor generator.
 #[derive(Debug, Clone)]
@@ -60,25 +61,76 @@ fn terrain_height(x: f32, y: f32, phase: f32) -> f32 {
         + 0.25 * ((x * 0.7 - phase).cos() * (y * 0.8 + phase).sin())
 }
 
+/// Scene-level parameters shared by every object emitter.
+#[derive(Clone, Copy)]
+struct SceneParams {
+    extent: f32,
+    phase: f32,
+    road_y0: f32,
+    road_y1: f32,
+    lighting: f32,
+}
+
+/// One independently-emittable piece of the scene. All placement and
+/// dimension randomness is drawn up front (sequentially) into these
+/// descriptors; the per-point surfel streams are derived per descriptor,
+/// so descriptors can be emitted in parallel in any order and still
+/// produce the exact surfels a sequential pass would.
+enum ObjectDesc {
+    /// A batch of ground samples (road strip + natural heightfield).
+    GroundPatch {
+        n: usize,
+    },
+    Building {
+        min: Point3,
+        max: Point3,
+    },
+    HardScape {
+        min: Point3,
+        max: Point3,
+    },
+    Tree {
+        x: f32,
+        y: f32,
+        trunk_h: f32,
+        canopy_r: f32,
+    },
+    Bush {
+        x: f32,
+        y: f32,
+        r: f32,
+    },
+    Car {
+        x: f32,
+        y: f32,
+        w: f32,
+        d: f32,
+    },
+    Artefacts {
+        n: usize,
+    },
+}
+
+/// Ground samples per [`ObjectDesc::GroundPatch`]: small enough that a
+/// tile-sized scene splits into many stealable patches, large enough
+/// that per-patch RNG setup is noise.
+const GROUND_PATCH: usize = 4096;
+
 pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mut R) -> PointCloud {
     let e = cfg.extent;
     let phase: f32 = rng.gen_range(0.0..100.0);
     let road_y0 = rng.gen_range(0.25 * e..0.45 * e);
     let road_y1 = road_y0 + rng.gen_range(4.0..7.0);
-    let mut surfels: Vec<Surfel> = Vec::new();
+    let mut objects: Vec<ObjectDesc> = Vec::new();
 
-    // Ground: road strip = man-made, rest = natural heightfield.
+    // Ground: road strip = man-made, rest = natural heightfield, split
+    // into fixed-size patches so the emit pass can parallelize.
     let ground_n = ((e * e * cfg.density) as usize).max(1);
-    for _ in 0..ground_n {
-        let x = rng.gen_range(0.0..e);
-        let y = rng.gen_range(0.0..e);
-        if y >= road_y0 && y <= road_y1 {
-            surfels
-                .push(Surfel { pos: Point3::new(x, y, 0.02), class: OutdoorClass::ManMadeTerrain });
-        } else {
-            let z = terrain_height(x, y, phase).max(0.0);
-            surfels.push(Surfel { pos: Point3::new(x, y, z), class: OutdoorClass::NaturalTerrain });
-        }
+    let mut remaining = ground_n;
+    while remaining > 0 {
+        let n = remaining.min(GROUND_PATCH);
+        objects.push(ObjectDesc::GroundPatch { n });
+        remaining -= n;
     }
 
     // Buildings along the far side of the road.
@@ -89,14 +141,10 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
         let bh = rng.gen_range(5.0..12.0);
         let bx = rng.gen_range(0.0..(e - bw).max(0.1));
         let by = (road_y1 + rng.gen_range(1.0..4.0)).min(e - bd - 0.1).max(0.0);
-        sample_box_faces(
-            &mut surfels,
-            Point3::new(bx, by, 0.0),
-            Point3::new(bx + bw, by + bd, bh),
-            OutdoorClass::Building,
-            cfg.density * 2.0,
-            rng,
-        );
+        objects.push(ObjectDesc::Building {
+            min: Point3::new(bx, by, 0.0),
+            max: Point3::new(bx + bw, by + bd, bh),
+        });
     }
 
     // Hard scape: low walls and planters near the road.
@@ -105,14 +153,11 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
         let hw = rng.gen_range(1.0..4.0);
         let hx = rng.gen_range(0.0..(e - hw).max(0.1));
         let hy = (road_y0 - rng.gen_range(0.5..3.0)).max(0.0);
-        sample_box_faces(
-            &mut surfels,
-            Point3::new(hx, hy, 0.0),
-            Point3::new(hx + hw, hy + 0.4, rng.gen_range(0.5..1.2)),
-            OutdoorClass::HardScape,
-            cfg.density * 3.0,
-            rng,
-        );
+        let hh = rng.gen_range(0.5..1.2);
+        objects.push(ObjectDesc::HardScape {
+            min: Point3::new(hx, hy, 0.0),
+            max: Point3::new(hx + hw, hy + 0.4, hh),
+        });
     }
 
     // High vegetation: trees (trunk cylinder + canopy ellipsoid).
@@ -131,30 +176,7 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
         };
         let trunk_h = rng.gen_range(2.0..4.0);
         let canopy_r = rng.gen_range(1.2..2.5);
-        let n_trunk = (trunk_h * cfg.density * 6.0) as usize;
-        for _ in 0..n_trunk.max(4) {
-            let a = rng.gen_range(0.0..std::f32::consts::TAU);
-            let r = 0.15;
-            surfels.push(Surfel {
-                pos: Point3::new(tx + r * a.cos(), ty + r * a.sin(), rng.gen_range(0.0..trunk_h)),
-                class: OutdoorClass::HighVegetation,
-            });
-        }
-        let n_canopy = (canopy_r * canopy_r * cfg.density * 16.0) as usize;
-        for _ in 0..n_canopy.max(8) {
-            // Random point on the canopy ellipsoid surface.
-            let u: f32 = rng.gen_range(-1.0..1.0);
-            let a = rng.gen_range(0.0..std::f32::consts::TAU);
-            let s = (1.0 - u * u).sqrt();
-            surfels.push(Surfel {
-                pos: Point3::new(
-                    tx + canopy_r * s * a.cos(),
-                    ty + canopy_r * s * a.sin(),
-                    trunk_h + canopy_r * 0.8 * (u + 1.0),
-                ),
-                class: OutdoorClass::HighVegetation,
-            });
-        }
+        objects.push(ObjectDesc::Tree { x: tx, y: ty, trunk_h, canopy_r });
     }
 
     // Low vegetation: bushes hugging the natural terrain.
@@ -167,16 +189,7 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
             rng.gen_range(road_y1.min(e - 0.5)..e)
         };
         let br = rng.gen_range(0.3..0.9);
-        let base = terrain_height(bx, by, phase).max(0.0);
-        let n = ((br * br * cfg.density * 20.0) as usize).max(6);
-        for _ in 0..n {
-            let dx = rng.gen_range(-br..br);
-            let dy = rng.gen_range(-br..br);
-            surfels.push(Surfel {
-                pos: Point3::new(bx + dx, by + dy, base + rng.gen_range(0.0..br * 0.8)),
-                class: OutdoorClass::LowVegetation,
-            });
-        }
+        objects.push(ObjectDesc::Bush { x: bx, y: by, r: br });
     }
 
     // Cars: parked on the road.
@@ -186,43 +199,166 @@ pub(crate) fn generate_scene<R: Rng + ?Sized>(cfg: &OutdoorSceneConfig, rng: &mu
         let cd = rng.gen_range(1.7..2.0); // width
         let cx = rng.gen_range(0.0..(e - cw).max(0.1));
         let cy = rng.gen_range(road_y0..(road_y1 - cd).max(road_y0 + 0.01));
-        // Body.
-        sample_box_faces(
-            &mut surfels,
-            Point3::new(cx, cy, 0.25),
-            Point3::new(cx + cw, cy + cd, 1.0),
-            OutdoorClass::Car,
-            cfg.density * 8.0,
-            rng,
-        );
-        // Cabin.
-        sample_box_faces(
-            &mut surfels,
-            Point3::new(cx + cw * 0.25, cy + 0.1, 1.0),
-            Point3::new(cx + cw * 0.75, cy + cd - 0.1, 1.5),
-            OutdoorClass::Car,
-            cfg.density * 8.0,
-            rng,
-        );
+        objects.push(ObjectDesc::Car { x: cx, y: cy, w: cw, d: cd });
     }
 
     // Scanning artefacts: sparse outlier streaks.
-    let n_artefacts = rng.gen_range(20..60);
-    for _ in 0..n_artefacts {
-        surfels.push(Surfel {
-            pos: Point3::new(rng.gen_range(0.0..e), rng.gen_range(0.0..e), rng.gen_range(0.0..8.0)),
-            class: OutdoorClass::ScanningArtefact,
-        });
-    }
+    objects.push(ObjectDesc::Artefacts { n: rng.gen_range(20..60) });
 
-    // Color and resample.
     let lighting = 1.0 + rng.gen_range(-cfg.lighting_jitter..=cfg.lighting_jitter);
-    let coords: Vec<Point3> = surfels.iter().map(|s| s.pos).collect();
-    let labels: Vec<usize> = surfels.iter().map(|s| s.class.label()).collect();
-    let colors: Vec<[f32; 3]> =
-        labels.iter().map(|&l| cfg.color_model.sample(l, lighting, rng)).collect();
+    let params = SceneParams { extent: e, phase, road_y0, road_y1, lighting };
+
+    // Per-object surfel streams are seeded from one draw off the caller's
+    // RNG, so emitting objects in parallel (in any schedule) produces
+    // bytes identical to a sequential pass over the same descriptors.
+    let stream_base: u64 = rng.gen();
+    let runtime = colper_runtime::current();
+    let parts: Vec<(Vec<Surfel>, Vec<[f32; 3]>)> = runtime.par_map_grained(objects.len(), 1, |i| {
+        let mut orng = StdRng::seed_from_u64(mix_seed(stream_base, i as u64, 0));
+        emit_object(&objects[i], &params, cfg, &mut orng)
+    });
+
+    let total: usize = parts.iter().map(|(s, _)| s.len()).sum();
+    let mut coords = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    let mut colors = Vec::with_capacity(total);
+    for (surfels, part_colors) in parts {
+        for s in &surfels {
+            coords.push(s.pos);
+            labels.push(s.class.label());
+        }
+        colors.extend(part_colors);
+    }
     let cloud = PointCloud::new(coords, colors, labels, OUTDOOR_CLASS_COUNT);
-    cloud.resample(cfg.n_points, rng)
+    cloud.resample(cfg.n_points, &mut StdRng::seed_from_u64(mix_seed(stream_base, u64::MAX, 1)))
+}
+
+/// Emits one descriptor's surfels and colors from its own derived RNG.
+fn emit_object(
+    desc: &ObjectDesc,
+    p: &SceneParams,
+    cfg: &OutdoorSceneConfig,
+    rng: &mut StdRng,
+) -> (Vec<Surfel>, Vec<[f32; 3]>) {
+    let e = p.extent;
+    let mut surfels: Vec<Surfel> = Vec::new();
+    match *desc {
+        ObjectDesc::GroundPatch { n } => {
+            for _ in 0..n {
+                let x = rng.gen_range(0.0..e);
+                let y = rng.gen_range(0.0..e);
+                if y >= p.road_y0 && y <= p.road_y1 {
+                    surfels.push(Surfel {
+                        pos: Point3::new(x, y, 0.02),
+                        class: OutdoorClass::ManMadeTerrain,
+                    });
+                } else {
+                    let z = terrain_height(x, y, p.phase).max(0.0);
+                    surfels.push(Surfel {
+                        pos: Point3::new(x, y, z),
+                        class: OutdoorClass::NaturalTerrain,
+                    });
+                }
+            }
+        }
+        ObjectDesc::Building { min, max } => {
+            sample_box_faces(
+                &mut surfels,
+                min,
+                max,
+                OutdoorClass::Building,
+                cfg.density * 2.0,
+                rng,
+            );
+        }
+        ObjectDesc::HardScape { min, max } => {
+            sample_box_faces(
+                &mut surfels,
+                min,
+                max,
+                OutdoorClass::HardScape,
+                cfg.density * 3.0,
+                rng,
+            );
+        }
+        ObjectDesc::Tree { x: tx, y: ty, trunk_h, canopy_r } => {
+            let n_trunk = (trunk_h * cfg.density * 6.0) as usize;
+            for _ in 0..n_trunk.max(4) {
+                let a = rng.gen_range(0.0..std::f32::consts::TAU);
+                let r = 0.15;
+                surfels.push(Surfel {
+                    pos: Point3::new(
+                        tx + r * a.cos(),
+                        ty + r * a.sin(),
+                        rng.gen_range(0.0..trunk_h),
+                    ),
+                    class: OutdoorClass::HighVegetation,
+                });
+            }
+            let n_canopy = (canopy_r * canopy_r * cfg.density * 16.0) as usize;
+            for _ in 0..n_canopy.max(8) {
+                // Random point on the canopy ellipsoid surface.
+                let u: f32 = rng.gen_range(-1.0..1.0);
+                let a = rng.gen_range(0.0..std::f32::consts::TAU);
+                let s = (1.0 - u * u).sqrt();
+                surfels.push(Surfel {
+                    pos: Point3::new(
+                        tx + canopy_r * s * a.cos(),
+                        ty + canopy_r * s * a.sin(),
+                        trunk_h + canopy_r * 0.8 * (u + 1.0),
+                    ),
+                    class: OutdoorClass::HighVegetation,
+                });
+            }
+        }
+        ObjectDesc::Bush { x: bx, y: by, r: br } => {
+            let base = terrain_height(bx, by, p.phase).max(0.0);
+            let n = ((br * br * cfg.density * 20.0) as usize).max(6);
+            for _ in 0..n {
+                let dx = rng.gen_range(-br..br);
+                let dy = rng.gen_range(-br..br);
+                surfels.push(Surfel {
+                    pos: Point3::new(bx + dx, by + dy, base + rng.gen_range(0.0..br * 0.8)),
+                    class: OutdoorClass::LowVegetation,
+                });
+            }
+        }
+        ObjectDesc::Car { x: cx, y: cy, w: cw, d: cd } => {
+            // Body.
+            sample_box_faces(
+                &mut surfels,
+                Point3::new(cx, cy, 0.25),
+                Point3::new(cx + cw, cy + cd, 1.0),
+                OutdoorClass::Car,
+                cfg.density * 8.0,
+                rng,
+            );
+            // Cabin.
+            sample_box_faces(
+                &mut surfels,
+                Point3::new(cx + cw * 0.25, cy + 0.1, 1.0),
+                Point3::new(cx + cw * 0.75, cy + cd - 0.1, 1.5),
+                OutdoorClass::Car,
+                cfg.density * 8.0,
+                rng,
+            );
+        }
+        ObjectDesc::Artefacts { n } => {
+            for _ in 0..n {
+                surfels.push(Surfel {
+                    pos: Point3::new(
+                        rng.gen_range(0.0..e),
+                        rng.gen_range(0.0..e),
+                        rng.gen_range(0.0..8.0),
+                    ),
+                    class: OutdoorClass::ScanningArtefact,
+                });
+            }
+        }
+    }
+    let colors =
+        surfels.iter().map(|s| cfg.color_model.sample(s.class.label(), p.lighting, rng)).collect();
+    (surfels, colors)
 }
 
 fn sample_box_faces<R: Rng + ?Sized>(
@@ -332,6 +468,16 @@ mod tests {
     fn deterministic_per_seed() {
         assert_eq!(gen(9), gen(9));
         assert_ne!(gen(9).coords, gen(10).coords);
+    }
+
+    #[test]
+    fn parallel_emit_bit_identical_to_sequential() {
+        use colper_runtime::Runtime;
+        for seed in [0, 7, 42] {
+            let seq = Runtime::sequential().install(|| gen(seed));
+            let par = Runtime::new(4).install(|| gen(seed));
+            assert_eq!(seq, par, "seed {seed} diverged across runtimes");
+        }
     }
 
     #[test]

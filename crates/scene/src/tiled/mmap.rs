@@ -1,0 +1,246 @@
+//! Read-only file mappings for shard payloads.
+//!
+//! The workspace carries no `libc`/`memmap` dependency, so on Linux
+//! (x86_64 / aarch64) the mapping is a raw `mmap(2)` system call issued
+//! with inline assembly; everywhere else [`ShardMap::open`] falls back
+//! to reading the file onto the heap with identical semantics. Either
+//! way the bytes are immutable for the life of the map and
+//! [`ShardMap::is_mapped`] reports which path was taken.
+//!
+//! This module is the crate's single `#[allow(unsafe_code)]` island
+//! (see the crate-root `deny`): the unsafety is confined to the syscall
+//! shims and the `&[u8]` reconstruction below, with the safety argument
+//! spelled out at each site.
+
+use std::fs::File;
+use std::path::Path;
+
+/// An immutable byte view over one shard file.
+///
+/// The view includes the header bytes; callers slice past
+/// [`super::shard::HEADER_LEN`] for the payload.
+pub struct ShardMap {
+    backing: Backing,
+}
+
+enum Backing {
+    /// Kernel mapping: pointer + length, unmapped on drop.
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Portable fallback (and the empty-file case): owned bytes.
+    Heap(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE — the kernel never
+// mutates it underneath us and neither do we, so shared references to
+// the bytes are sound from any thread.
+#[allow(unsafe_code)]
+unsafe impl Send for ShardMap {}
+#[allow(unsafe_code)]
+unsafe impl Sync for ShardMap {}
+
+impl ShardMap {
+    /// Maps (or, off-Linux, reads) `path` read-only.
+    pub fn open(path: &Path) -> std::io::Result<ShardMap> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Ok(ShardMap { backing: Backing::Heap(Vec::new()) });
+        }
+        Self::open_inner(file, len)
+    }
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn open_inner(file: File, len: usize) -> std::io::Result<ShardMap> {
+        use std::os::fd::AsRawFd;
+        match sys::mmap_read(file.as_raw_fd(), len) {
+            Ok(ptr) => Ok(ShardMap { backing: Backing::Mapped { ptr, len } }),
+            Err(errno) => Err(std::io::Error::from_raw_os_error(errno)),
+        }
+        // `file` closes here; the mapping outlives the descriptor.
+    }
+
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    fn open_inner(mut file: File, len: usize) -> std::io::Result<ShardMap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(ShardMap { backing: Backing::Heap(buf) })
+    }
+
+    /// The mapped (or read) bytes, header included.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `munmap` in Drop; no mutable aliases
+            // exist anywhere.
+            #[allow(unsafe_code)]
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Heap(v) => v,
+        }
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Backing::Mapped { len, .. } => *len,
+            Backing::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when backed by a kernel mapping, `false` on the heap
+    /// fallback — surfaced in residency stats so benches can tell the
+    /// legs apart.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Backing::Mapped { .. } => true,
+            Backing::Heap(_) => false,
+        }
+    }
+}
+
+impl Drop for ShardMap {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: exactly the region returned by mmap_read, unmapped
+            // once; `bytes()` borrows end before Drop runs.
+            #[allow(unsafe_code)]
+            unsafe {
+                sys::munmap(ptr, len)
+            };
+        }
+    }
+}
+
+/// Raw Linux syscall shims (no libc in the dependency tree).
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[allow(unsafe_code)]
+mod sys {
+    use std::arch::asm;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`.
+    ///
+    /// Returns the mapping address or the positive errno.
+    pub fn mmap_read(fd: i32, len: usize) -> Result<*const u8, i32> {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: registers are loaded per the x86_64 syscall ABI for
+        // mmap (nr 9); rcx/r11 are declared clobbered. The kernel
+        // validates every argument.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") 9usize as isize => ret,
+                in("rdi") 0usize,
+                in("rsi") len,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd as isize,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: registers are loaded per the aarch64 syscall ABI for
+        // mmap (nr 222). The kernel validates every argument.
+        unsafe {
+            asm!(
+                "svc 0",
+                in("x8") 222usize,
+                inlateout("x0") 0usize as isize => ret,
+                in("x1") len,
+                in("x2") PROT_READ,
+                in("x3") MAP_PRIVATE,
+                in("x4") fd as isize,
+                in("x5") 0usize,
+                options(nostack)
+            );
+        }
+        // Linux returns -errno in [-4095, -1] on failure.
+        if (-4095..0).contains(&ret) {
+            Err(-ret as i32)
+        } else {
+            Ok(ret as *const u8)
+        }
+    }
+
+    /// `munmap(ptr, len)`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr`/`len` must denote a live mapping returned by
+    /// [`mmap_read`], not unmapped before, with no outstanding borrows.
+    pub unsafe fn munmap(ptr: *const u8, len: usize) {
+        let _ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        asm!(
+            "syscall",
+            inlateout("rax") 11usize as isize => _ret,
+            in("rdi") ptr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        #[cfg(target_arch = "aarch64")]
+        asm!(
+            "svc 0",
+            in("x8") 215usize,
+            inlateout("x0") ptr => _ret,
+            in("x1") len,
+            options(nostack)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_file_bytes_exactly() {
+        let dir = std::env::temp_dir().join(format!("colper-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let map = ShardMap::open(&path).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(map.bytes(), &payload[..]);
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(map.is_mapped());
+        drop(map);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let dir = std::env::temp_dir().join(format!("colper-mmap-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = ShardMap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(ShardMap::open(Path::new("/nonexistent/colper.shard")).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! LRU tile-residency cache with a hard byte budget.
+//!
+//! The streaming attack keeps at most a couple of tiles resident at a
+//! time (the core tile plus one neighbor while halo strips are copied
+//! out); this cache enforces that discipline mechanically. Every
+//! checkout either hits a resident mapping or loads one, evicting
+//! least-recently-used *unpinned* tiles (pinned = an [`Arc`] still held
+//! by a caller) until the new total fits. A load that cannot fit —
+//! budget smaller than the tile, or everything else pinned — fails with
+//! [`super::TiledError::BudgetExceeded`] rather than silently
+//! overshooting, which is what lets CI assert `peak <= budget`.
+
+use super::{TileData, TileId, TiledError};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Snapshot of cache occupancy and traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencyStats {
+    /// Hard byte budget.
+    pub budget_bytes: usize,
+    /// Bytes resident right now.
+    pub current_bytes: usize,
+    /// High-water mark of resident bytes.
+    pub peak_bytes: usize,
+    /// Checkouts served from a resident mapping.
+    pub hits: u64,
+    /// Checkouts that had to load from disk.
+    pub misses: u64,
+    /// Tiles evicted to make room.
+    pub evictions: u64,
+}
+
+struct Entry {
+    data: Arc<TileData>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct State {
+    entries: HashMap<TileId, Entry>,
+    clock: u64,
+    current: usize,
+    peak: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The cache itself. Interior-mutable so loads can share `&self`.
+pub struct ResidencyCache {
+    budget: usize,
+    state: Mutex<State>,
+}
+
+impl ResidencyCache {
+    /// A cache that will never hold more than `budget_bytes` of mapped
+    /// shard bytes at once.
+    pub fn new(budget_bytes: usize) -> ResidencyCache {
+        ResidencyCache { budget: budget_bytes, state: Mutex::new(State::default()) }
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Returns the resident mapping for `id`, loading it with `load` on
+    /// a miss and evicting LRU unpinned tiles until the result fits.
+    pub fn get_or_load(
+        &self,
+        id: TileId,
+        load: impl FnOnce() -> Result<TileData, TiledError>,
+    ) -> Result<Arc<TileData>, TiledError> {
+        let mut st = self.state.lock().expect("residency lock");
+        st.clock += 1;
+        let now = st.clock;
+        if let Some(entry) = st.entries.get_mut(&id) {
+            entry.last_used = now;
+            let data = Arc::clone(&entry.data);
+            st.hits += 1;
+            return Ok(data);
+        }
+        st.misses += 1;
+        let data = Arc::new(load()?);
+        let bytes = data.byte_len();
+        // Evict strictly-LRU among unpinned entries until the load fits.
+        while st.current + bytes > self.budget {
+            let victim = st
+                .entries
+                .iter()
+                .filter(|(_, e)| Arc::strong_count(&e.data) == 1)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&vid, _)| vid);
+            match victim {
+                Some(vid) => {
+                    let evicted = st.entries.remove(&vid).expect("victim present");
+                    st.current -= evicted.bytes;
+                    st.evictions += 1;
+                }
+                None => {
+                    return Err(TiledError::BudgetExceeded {
+                        needed: st.current + bytes,
+                        budget: self.budget,
+                    });
+                }
+            }
+        }
+        st.current += bytes;
+        st.peak = st.peak.max(st.current);
+        st.entries.insert(id, Entry { data: Arc::clone(&data), bytes, last_used: now });
+        Ok(data)
+    }
+
+    /// Drops `id`'s resident mapping (e.g. after its rgb column was
+    /// rewritten on disk). Callers must have released their `Arc`s
+    /// first; a pinned invalidation would leave the mapping alive but
+    /// unaccounted.
+    pub fn invalidate(&self, id: TileId) {
+        let mut st = self.state.lock().expect("residency lock");
+        if let Some(entry) = st.entries.remove(&id) {
+            debug_assert_eq!(
+                Arc::strong_count(&entry.data),
+                1,
+                "invalidating tile {id:?} while still pinned"
+            );
+            st.current -= entry.bytes;
+        }
+    }
+
+    /// Current occupancy and traffic counters.
+    pub fn stats(&self) -> ResidencyStats {
+        let st = self.state.lock().expect("residency lock");
+        ResidencyStats {
+            budget_bytes: self.budget,
+            current_bytes: st.current,
+            peak_bytes: st.peak,
+            hits: st.hits,
+            misses: st.misses,
+            evictions: st.evictions,
+        }
+    }
+}

@@ -23,6 +23,10 @@
 //!   [`colper_runtime::Runtime`] under per-job thread budgets, so a
 //!   greedy job cannot monopolize the pool, and results stay
 //!   bit-identical across budgets.
+//! * **Heavyweight jobs** ([`stream_job`]): `POST /stream` attacks an
+//!   out-of-core tiled world under a hard residency budget. Stream
+//!   jobs always queue at batch priority and answer with a summary
+//!   object instead of per-point results.
 //! * **Telemetry**: streamed jobs receive live per-step
 //!   `colper-trace-v1` JSONL lines over the socket via
 //!   [`colper_obs::StepSink`]; `/stats` exposes service counters.
@@ -41,9 +45,11 @@ pub mod proto;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod stream_job;
 
 pub use client::{run_load, LoadConfig, LoadReport};
 pub use pool::{ModelKind, SeatPool};
 pub use proto::JobSpec;
 pub use queue::{JobQueue, Priority};
 pub use server::{ServeConfig, Server};
+pub use stream_job::StreamSpec;

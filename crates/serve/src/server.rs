@@ -40,8 +40,9 @@ use crate::http::{begin_jsonl_stream, error_body, read_request, respond_json, Ht
 use crate::json::Json;
 use crate::pool::{ModelKind, SeatPool};
 use crate::proto::{JobSpec, NUM_CLASSES};
-use crate::queue::{JobQueue, Rejected};
+use crate::queue::{JobQueue, Priority, Rejected};
 use crate::stats::ServiceStats;
+use crate::stream_job::{run_stream, StreamSpec};
 
 /// How `colperd` is shaped.
 #[derive(Debug, Clone)]
@@ -72,10 +73,19 @@ impl Default for ServeConfig {
     }
 }
 
+/// What a queued job will do once a worker picks it up.
+enum Spec {
+    /// A single-cloud `POST /attack` job.
+    Attack(JobSpec),
+    /// A heavyweight `POST /stream` out-of-core world attack; always
+    /// batch priority.
+    Stream(StreamSpec),
+}
+
 /// A queued job: the validated spec plus the socket the worker will
 /// answer on.
 struct Job {
-    spec: JobSpec,
+    spec: Spec,
     stream: TcpStream,
     queued_at: Instant,
 }
@@ -231,7 +241,8 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
             let _ = respond_json(&mut stream, 200, &body);
         }
         ("POST", "/attack") => intake_attack(stream, &request, ctx),
-        (_, "/healthz" | "/stats" | "/attack") => {
+        ("POST", "/stream") => intake_stream(stream, &request, ctx),
+        (_, "/healthz" | "/stats" | "/attack" | "/stream") => {
             let _ = respond_json(&mut stream, 405, &error_body("method not allowed"));
         }
         _ => {
@@ -274,7 +285,40 @@ fn intake_attack(mut stream: TcpStream, request: &Request, ctx: &Ctx) {
     }
 
     let priority = spec.priority;
-    let job = Job { spec, stream, queued_at: Instant::now() };
+    enqueue(Job { spec: Spec::Attack(spec), stream, queued_at: Instant::now() }, priority, ctx);
+}
+
+/// `POST /stream`: the heavyweight job class. The same intake
+/// discipline as `/attack` (not-JSON → 400, bad spec → 422, full
+/// queue → 429), but admitted jobs always queue at batch priority so a
+/// world-scale attack can never overtake interactive work.
+fn intake_stream(mut stream: TcpStream, request: &Request, ctx: &Ctx) {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        ServiceStats::incr(&ctx.stats.rejected_malformed);
+        let _ = respond_json(&mut stream, 400, &error_body("body is not UTF-8"));
+        return;
+    };
+    let value = match Json::parse(text) {
+        Ok(value) => value,
+        Err(err) => {
+            ServiceStats::incr(&ctx.stats.rejected_malformed);
+            let _ = respond_json(&mut stream, 400, &error_body(&err.to_string()));
+            return;
+        }
+    };
+    let spec = match StreamSpec::from_json(&value) {
+        Ok(spec) => spec,
+        Err(reason) => {
+            ServiceStats::incr(&ctx.stats.rejected_invalid);
+            let _ = respond_json(&mut stream, 422, &error_body(&reason));
+            return;
+        }
+    };
+    let job = Job { spec: Spec::Stream(spec), stream, queued_at: Instant::now() };
+    enqueue(job, Priority::Batch, ctx);
+}
+
+fn enqueue(job: Job, priority: Priority, ctx: &Ctx) {
     match ctx.queue.push(priority, job) {
         Ok(()) => ServiceStats::incr(&ctx.stats.accepted),
         Err(Rejected(job)) => {
@@ -292,7 +336,45 @@ fn worker_loop(ctx: &Ctx) {
 }
 
 fn run_job(job: Job, ctx: &Ctx) {
-    let Job { spec, mut stream, queued_at } = job;
+    let Job { spec, stream, queued_at } = job;
+    match spec {
+        Spec::Attack(spec) => run_attack_job(spec, stream, queued_at, ctx),
+        Spec::Stream(spec) => run_stream_job(&spec, stream, queued_at, ctx),
+    }
+}
+
+/// Runs a heavyweight `POST /stream` job: the world is sharded to a
+/// scratch directory, attacked window by window on the shared pool
+/// under the job's thread budget, and the scratch removed before the
+/// summary goes out.
+fn run_stream_job(spec: &StreamSpec, mut stream: TcpStream, queued_at: Instant, ctx: &Ctx) {
+    let queue_ms = queued_at.elapsed().as_secs_f64() * 1e3;
+    let budget = spec.threads.clamp(1, ctx.runtime.threads().max(1));
+    let rt = ctx.runtime.clone().with_budget(budget);
+    let model: &dyn colper_models::SegmentationModel = match spec.model {
+        ModelKind::PointNet => &ctx.zoo.pointnet,
+        ModelKind::ResGcn => &ctx.zoo.resgcn,
+    };
+    let run_started = Instant::now();
+    match run_stream(spec, model, &rt) {
+        Ok(body) => {
+            ServiceStats::incr(&ctx.stats.completed);
+            ServiceStats::incr(&ctx.stats.stream_completed);
+            let run_ms = run_started.elapsed().as_secs_f64() * 1e3;
+            // Splice the timings into the summary object.
+            let timed = format!(
+                "{},\"queue_ms\":{queue_ms:.3},\"run_ms\":{run_ms:.3}}}",
+                &body[..body.len() - 1]
+            );
+            let _ = respond_json(&mut stream, 200, &timed);
+        }
+        Err(reason) => {
+            let _ = respond_json(&mut stream, 500, &error_body(&reason));
+        }
+    }
+}
+
+fn run_attack_job(spec: JobSpec, mut stream: TcpStream, queued_at: Instant, ctx: &Ctx) {
     let queue_ms = queued_at.elapsed().as_secs_f64() * 1e3;
 
     // Materialize the cloud: inline if supplied, else a synthetic indoor

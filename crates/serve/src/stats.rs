@@ -21,6 +21,9 @@ pub struct ServiceStats {
     pub rejected_invalid: AtomicU64,
     /// Jobs fully executed by a worker.
     pub completed: AtomicU64,
+    /// Completed jobs that were heavyweight `POST /stream` world
+    /// attacks (also counted in `completed`).
+    pub stream_completed: AtomicU64,
     /// Completed jobs that started on a warm (donated-tape) seat.
     pub warm_starts: AtomicU64,
 }
@@ -41,7 +44,8 @@ impl ServiceStats {
         format!(
             concat!(
                 "{{\"accepted\":{},\"rejected_full\":{},\"rejected_malformed\":{},",
-                "\"rejected_invalid\":{},\"completed\":{},\"warm_starts\":{},",
+                "\"rejected_invalid\":{},\"completed\":{},\"stream_completed\":{},",
+                "\"warm_starts\":{},",
                 "\"queue_interactive\":{},\"queue_batch\":{},\"idle_seats\":{}}}"
             ),
             self.accepted.load(Ordering::Relaxed),
@@ -49,6 +53,7 @@ impl ServiceStats {
             self.rejected_malformed.load(Ordering::Relaxed),
             self.rejected_invalid.load(Ordering::Relaxed),
             self.completed.load(Ordering::Relaxed),
+            self.stream_completed.load(Ordering::Relaxed),
             self.warm_starts.load(Ordering::Relaxed),
             interactive_depth,
             batch_depth,

@@ -7,13 +7,17 @@
 //! colper attack  [--model pointnet|resgcn|randla] [--steps S] [--points N]
 //!                [--targeted CLASS] [--source CLASS] [--weights FILE]
 //!                [--threads N]
+//! colper stream  [--tiles N] [--points-per-tile N] [--steps S] [--window N]
+//!                [--budget-mb MB] [--seed S] [--dir DIR] [--threads N]
 //! colper serve   [--addr HOST:PORT] [--workers N] [--threads N] [--queue-cap N]
 //! ```
 //!
 //! Everything runs on synthetic scenes; `train` writes a checkpoint that
-//! `attack --weights` can reuse. `--threads` sizes the shared compute
-//! pool (default: `COLPER_THREADS`, else the host parallelism); every
-//! thread count produces bit-identical results.
+//! `attack --weights` can reuse. `stream` materializes an out-of-core
+//! tiled world as memory-mapped column shards and attacks it window by
+//! window under a hard residency budget. `--threads` sizes the shared
+//! compute pool (default: `COLPER_THREADS`, else the host parallelism);
+//! every thread count produces bit-identical results.
 
 use colper_repro::attack::{AttackConfig, AttackSession, NoiseBaseline};
 use colper_repro::metrics::ConfusionMatrix;
@@ -60,6 +64,7 @@ fn main() -> ExitCode {
         "scene" => cmd_scene(&flags),
         "train" => cmd_train(&flags),
         "attack" => cmd_attack(&flags),
+        "stream" => cmd_stream(&flags),
         "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -83,6 +88,8 @@ const USAGE: &str = "usage:
   colper attack  [--model pointnet|resgcn|randla] [--steps S] [--points N] [--seed S]
                  [--targeted CLASS] [--source CLASS] [--weights FILE] [--map] [--ply FILE]
                  [--threads N] [--trace]
+  colper stream  [--tiles N] [--points-per-tile N] [--extent M] [--steps S] [--window N]
+                 [--budget-mb MB] [--windows-per-tile N] [--seed S] [--dir DIR] [--threads N]
   colper serve   [--addr HOST:PORT] [--workers N] [--threads N] [--queue-cap N]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -244,6 +251,120 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
+    use colper_repro::attack::{StreamConfig, StreamingAttack};
+    use colper_repro::scene::tiled::{ShardStore, TiledWorld, TiledWorldConfig};
+    use colper_repro::scene::OUTDOOR_CLASS_COUNT;
+
+    let tiles = flag_usize(flags, "tiles", 4)?.max(1);
+    let points_per_tile = flag_usize(flags, "points-per-tile", 4096)?.max(1);
+    let steps = flag_usize(flags, "steps", 12)?;
+    let seed = flag_u64(flags, "seed", 7)?;
+
+    let mut world_cfg = TiledWorldConfig::grid(tiles as u32, points_per_tile);
+    world_cfg.world_seed = seed;
+    if let Some(extent) = flags.get("extent") {
+        world_cfg.tile_extent =
+            extent.parse().map_err(|_| format!("--extent expects a number, got '{extent}'"))?;
+    }
+
+    // Budget: default to two resident tiles (core + one halo neighbor),
+    // the minimum the streaming schedule needs.
+    let tile_bytes = world_cfg.tile_bytes();
+    let budget_bytes = match flags.get("budget-mb") {
+        None => 2 * tile_bytes,
+        Some(v) => {
+            let mb: usize =
+                v.parse().map_err(|_| format!("--budget-mb expects an integer, got '{v}'"))?;
+            mb * (1 << 20)
+        }
+    };
+
+    let (dir, ephemeral) = match flags.get("dir") {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => (std::env::temp_dir().join(format!("colper-stream-{}", std::process::id())), true),
+    };
+
+    let total = world_cfg.total_points();
+    println!(
+        "world: {tiles}x{tiles} tiles x {points_per_tile} points = {total} points \
+         ({:.1} MiB of shards), residency budget {:.1} MiB",
+        (tiles * tiles * tile_bytes) as f64 / (1 << 20) as f64,
+        budget_bytes as f64 / (1 << 20) as f64,
+    );
+    let world = if dir.join("world.meta").exists() {
+        let world =
+            TiledWorld::open(&dir).map_err(|e| format!("cannot open {}: {e}", dir.display()))?;
+        println!("reusing shards at {}", dir.display());
+        world
+    } else {
+        let world = TiledWorld::create(&dir, &world_cfg)
+            .map_err(|e| format!("cannot create world at {}: {e}", dir.display()))?;
+        println!("shards written to {}", dir.display());
+        world
+    };
+    let mut store = ShardStore::new(world, budget_bytes);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = PointNet2::new(PointNet2Config::tiny(OUTDOOR_CLASS_COUNT), &mut rng);
+
+    let mut cfg = StreamConfig::new(AttackConfig::non_targeted(steps));
+    cfg.window_core = flag_usize(flags, "window", cfg.window_core)?.max(1);
+    cfg.seed = seed;
+    if let Some(v) = flags.get("windows-per-tile") {
+        let n: usize =
+            v.parse().map_err(|_| format!("--windows-per-tile expects an integer, got '{v}'"))?;
+        cfg.windows_per_tile = Some(n.max(1));
+    }
+
+    println!(
+        "streaming COLPER: {} windows/tile max, {} steps/window...",
+        cfg.windows_per_tile.map_or("all".to_string(), |n| n.to_string()),
+        steps
+    );
+    let start = std::time::Instant::now();
+    let outcome = StreamingAttack::new(cfg).run(&model, &mut store).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!(
+        "clean: accuracy {:.1}%, mIoU {:.1}%",
+        outcome.clean.accuracy() * 100.0,
+        outcome.clean.mean_iou() * 100.0
+    );
+    println!(
+        "adversarial: accuracy {:.1}%, mIoU {:.1}%, attack success {:.1}%, total L2^2 {:.2}",
+        outcome.adversarial.accuracy() * 100.0,
+        outcome.adversarial.mean_iou() * 100.0,
+        outcome.attack_success() * 100.0,
+        outcome.total_l2_sq
+    );
+    println!(
+        "{} points attacked in {} windows over {} tiles ({:.0} points/sec), {} halo points",
+        outcome.points_attacked,
+        outcome.windows,
+        outcome.tiles,
+        outcome.points_attacked as f64 / elapsed.max(1e-9),
+        outcome.halo_points
+    );
+    println!(
+        "residency: peak {:.2} MiB of {:.2} MiB budget ({} evictions); warm-seat hit rate {:.1}%",
+        outcome.residency.peak_bytes as f64 / (1 << 20) as f64,
+        outcome.residency.budget_bytes as f64 / (1 << 20) as f64,
+        outcome.residency.evictions,
+        outcome.warm_hit_rate() * 100.0
+    );
+    assert!(
+        outcome.residency.peak_bytes <= budget_bytes,
+        "residency peak exceeded the hard budget"
+    );
+
+    if ephemeral {
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(())
 }
 
 fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {

@@ -163,6 +163,45 @@ fn full_queue_answers_429_deterministically() {
 }
 
 #[test]
+fn stream_endpoint_attacks_a_sharded_world_within_budget() {
+    let server = Server::start(&config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Bad specs get the same intake discipline as /attack.
+    let (status, payload) = http_request(&addr, "POST", "/stream", r#"{"tiles":99}"#).unwrap();
+    assert_eq!(status, 422, "{payload}");
+    assert!(payload.contains("tiles"));
+    let (status, _) = http_request(&addr, "POST", "/stream", "not json {").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = http_request(&addr, "GET", "/stream", "").unwrap();
+    assert_eq!(status, 405);
+
+    let body = r#"{"tiles":2,"points_per_tile":64,"steps":2,"window":64,
+                   "windows_per_tile":1,"budget_tiles":2,"seed":9}"#;
+    let (status, payload) = http_request(&addr, "POST", "/stream", body).unwrap();
+    assert_eq!(status, 200, "{payload}");
+    let result = Json::parse(&payload).unwrap();
+    assert_eq!(result.get("model").and_then(Json::as_str), Some("pointnet"));
+    assert_eq!(result.get("priority").and_then(Json::as_str), Some("batch"));
+    assert_eq!(result.get("tiles").and_then(Json::as_u64), Some(4));
+    assert_eq!(result.get("windows").and_then(Json::as_u64), Some(4));
+    assert_eq!(result.get("points_attacked").and_then(Json::as_u64), Some(256));
+    let peak = result.get("peak_resident_bytes").and_then(Json::as_u64).unwrap();
+    let budget = result.get("budget_bytes").and_then(Json::as_u64).unwrap();
+    assert!(peak > 0 && peak <= budget, "peak {peak} must fit budget {budget}");
+    for field in ["clean_accuracy", "adversarial_accuracy", "attack_success", "l2_sq"] {
+        assert!(result.get(field).is_some(), "summary missing {field:?}");
+    }
+
+    let (_, stats) = http_request(&addr, "GET", "/stats", "").unwrap();
+    let stats = Json::parse(&stats).unwrap();
+    assert_eq!(stats.get("stream_completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+
+    server.stop();
+}
+
+#[test]
 fn streamed_jobs_emit_colper_trace_v1_jsonl() {
     let server = Server::start(&config()).unwrap();
     let addr = server.local_addr().to_string();
