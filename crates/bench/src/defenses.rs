@@ -8,7 +8,10 @@
 
 use crate::{acc_miou, parallel_map, ModelZoo};
 use colper_attack::{apply_adversarial_colors, AttackConfig, AttackSession};
-use colper_defense::{ColorTransform, SmoothnessDetector};
+use colper_defense::{
+    Defense, GaussianNoise, Grayscale, Jitter, OutlierRemoval, Quantize, RandomDrop, Smooth,
+    SmoothnessDetector,
+};
 use colper_models::CloudTensors;
 use colper_scene::{normalize, PointCloud};
 use rand::rngs::StdRng;
@@ -71,14 +74,17 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
     let undefended_clean = attacked.iter().map(|a| a.1).sum::<f32>() / attacked.len() as f32;
     let undefended_adv = attacked.iter().map(|a| a.2).sum::<f32>() / attacked.len() as f32;
 
-    let transforms = [
-        ColorTransform::Quantize { bits: 3 },
-        ColorTransform::Smooth { k: 8 },
-        ColorTransform::Jitter { sigma: 0.08 },
-        ColorTransform::Grayscale,
+    let transforms: Vec<Box<dyn Defense>> = vec![
+        Box::new(Quantize::new(3)),
+        Box::new(Smooth::new(8)),
+        Box::new(Jitter::new(0.08)),
+        Box::new(Grayscale),
+        Box::new(GaussianNoise::new(0.05)),
+        Box::new(OutlierRemoval::new(8, 1.5)),
+        Box::new(RandomDrop::new(0.25)),
     ];
     let mut rows = Vec::new();
-    for transform in transforms {
+    for transform in &transforms {
         let outcomes = parallel_map(&zoo.runtime, &rooms, |i, room| {
             let mut rng = StdRng::seed_from_u64(82_000 + i as u64);
             // Clean accuracy through the defense.
@@ -109,7 +115,7 @@ pub fn run(zoo: &ModelZoo) -> DefensesReport {
         });
         let len = outcomes.len() as f32;
         rows.push(DefenseRow {
-            defense: transform.label(),
+            defense: transform.id(),
             clean_acc: outcomes.iter().map(|o| o.0).sum::<f32>() / len,
             static_adv_acc: outcomes.iter().map(|o| o.1).sum::<f32>() / len,
             adaptive_adv_acc: outcomes.iter().map(|o| o.2).sum::<f32>() / len,

@@ -68,6 +68,24 @@ impl AttackPlan {
     }
 }
 
+/// A second network folded into the objective for AdvPC-style
+/// transferability ([`crate::Objective::Transfer`]): the penalty model's
+/// CW hinge joins the surrogate's at weight `gamma`, discouraging
+/// perturbations that only work on one architecture.
+///
+/// `tensors` optionally carries the penalty model's own normalized view
+/// of the same cloud (views rescale coordinates only, so the shared
+/// color variable is sound); when absent the penalty network sees the
+/// surrogate's view. Point order must match the attacked tensors.
+pub(crate) struct PenaltyRun<'a> {
+    /// The penalty network.
+    pub model: &'a dyn SegmentationModel,
+    /// The penalty network's view of the cloud (same point order).
+    pub tensors: Option<&'a CloudTensors>,
+    /// Hinge weight `γ` (gain = D + λ1·(L + γ·L') + λ2·S).
+    pub gamma: f32,
+}
+
 /// Gain-plateau detection for the noise-restart rule of Algorithm 1.
 ///
 /// The paper checks every `int(Steps * 0.01)` iterations whether the
@@ -173,16 +191,16 @@ impl Colper {
         obs: &Observer,
         cloud: usize,
     ) -> AttackResult {
-        self.run_planned_obs_seated(model, tensors, mask, plan, rng, obs, cloud, None)
+        self.run_planned_obs_full(model, tensors, mask, plan, rng, obs, cloud, None, None)
     }
 
-    /// [`Colper::run_planned_obs`] with an optional [`crate::WarmSeat`]:
-    /// the single-sample steady path resumes on the seat's donated tape
-    /// (instead of growing a fresh one) and donates its own tape back
-    /// when the run finishes. Results are bit-identical either way; the
-    /// seat only recycles buffer pools.
+    /// The fully general engine entry: seat *and* optional transfer
+    /// penalty. A penalty run records the second network's forward pass
+    /// into the same graph every step, which disqualifies static-schedule
+    /// capture (the schedule compiler pins exactly one victim); results
+    /// remain bit-identical across runtimes and SIMD legs.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run_planned_obs_seated<M: SegmentationModel + ?Sized>(
+    pub(crate) fn run_planned_obs_full<M: SegmentationModel + ?Sized>(
         &self,
         model: &M,
         tensors: &colper_models::CloudTensors,
@@ -192,6 +210,7 @@ impl Colper {
         obs: &Observer,
         cloud: usize,
         seat: Option<&mut crate::WarmSeat>,
+        penalty: Option<&PenaltyRun<'_>>,
     ) -> AttackResult {
         // An explicitly attached runtime wins; the default sequential
         // handle defers to the ambient one so `Colper::new` picks up pool
@@ -203,8 +222,9 @@ impl Colper {
         } else {
             self.runtime.clone()
         };
-        rt.clone()
-            .install(move || self.optimize(model, tensors, mask, plan, rng, &rt, obs, cloud, seat))
+        rt.clone().install(move || {
+            self.optimize(model, tensors, mask, plan, rng, &rt, obs, cloud, seat, penalty)
+        })
     }
 
     /// The optimization loop of Algorithm 1, running on `rt`.
@@ -220,6 +240,7 @@ impl Colper {
         obs: &Observer,
         cloud: usize,
         mut seat: Option<&mut crate::WarmSeat>,
+        penalty: Option<&PenaltyRun<'_>>,
     ) -> AttackResult {
         let n = tensors.len();
         let classes = model.num_classes();
@@ -237,6 +258,26 @@ impl Colper {
             AttackGoal::Targeted { target } => vec![target; n],
         };
         let threshold = cfg.threshold(classes);
+
+        // Transfer penalty: the second network's geometry is planned once
+        // per run (its coordinates are constants, exactly like the
+        // surrogate's) and its view tensors are interned for per-step
+        // constant binding. Point order must match — the shared color
+        // variable and the hinge's labels/mask index by point.
+        let penalty_ctx = penalty.map(|p| {
+            let pt = p.tensors.unwrap_or(tensors);
+            assert_eq!(pt.len(), n, "penalty view must cover the same points");
+            assert_eq!(
+                pt.labels, tensors.labels,
+                "penalty view must preserve point order (labels differ)"
+            );
+            assert_eq!(
+                p.model.num_classes(),
+                classes,
+                "penalty model must share the surrogate's class count"
+            );
+            (p, pt, p.model.plan(&pt.coords), Arc::new(pt.xyz.clone()), Arc::new(pt.loc01.clone()))
+        });
 
         // Eq. 5: optimize w with colors = tanh-mapped w, initialized so
         // the first iterate reproduces the clean colors. The run's
@@ -282,6 +323,7 @@ impl Colper {
         let schedule_eligible = cfg.gradient_samples == 1
             && colper_autodiff::schedule_enabled()
             && model.deterministic_eval()
+            && penalty_ctx.is_none()
             && CaptureShapes::check(n, &plan.xyz, &orig, &plan.loc01).is_ok();
         let sched_key = schedule_eligible.then(|| ScheduleKey {
             config: cfg.clone(),
@@ -386,6 +428,43 @@ impl Colper {
                         AttackGoal::Targeted { .. } => {
                             session.tape.cw_targeted(logits, &labels_for_loss, mask)
                         }
+                    };
+                    // Transfer penalty (AdvPC, Eq.-style combination):
+                    // forward the second network on the same color
+                    // variable — its own coordinate view and geometry
+                    // plan, the shared perturbation — and add its hinge
+                    // at weight γ. The combined term replaces L in
+                    // gain = D + λ1·L + λ2·S.
+                    let adv_loss = match &penalty_ctx {
+                        Some((p, pt, pplan, pxyz, ploc)) => {
+                            let pxyz_var = session.tape.constant_shared(pxyz.clone());
+                            let ploc_var = session.tape.constant_shared(ploc.clone());
+                            let pinput = ModelInput {
+                                coords: &pt.coords,
+                                xyz: pxyz_var,
+                                color: seen_color,
+                                loc: ploc_var,
+                                plan: Some(pplan),
+                            };
+                            // The penalty network binds its own weights:
+                            // a guest session shares the tape but
+                            // resolves ParamIds against the penalty
+                            // model's ParamSet.
+                            let plogits = session.with_params(p.model.params(), |guest| {
+                                p.model.forward(guest, &pinput, rng)
+                            });
+                            let phinge = match cfg.goal {
+                                AttackGoal::NonTargeted => {
+                                    session.tape.cw_nontargeted(plogits, &labels_for_loss, mask)
+                                }
+                                AttackGoal::Targeted { .. } => {
+                                    session.tape.cw_targeted(plogits, &labels_for_loss, mask)
+                                }
+                            };
+                            let weighted_penalty = session.tape.scale(phinge, p.gamma);
+                            session.tape.add(adv_loss, weighted_penalty)
+                        }
+                        None => adv_loss,
                     };
                     let weighted_loss = session.tape.scale(adv_loss, cfg.lambda1);
                     let weighted_smooth = session.tape.scale(smooth, cfg.lambda2);

@@ -50,6 +50,7 @@ mod batch;
 mod classic;
 mod config;
 mod coord;
+mod objective;
 pub mod physical;
 mod reparam;
 mod report;
@@ -68,6 +69,7 @@ pub use classic::{ClassicAttack, ClassicKind};
 pub use colper_obs::Observer;
 pub use config::{AttackConfig, AttackGoal};
 pub use coord::{L0Attack, L0AttackConfig, L0Result, PerturbTarget};
+pub use objective::Objective;
 pub use reparam::TanhReparam;
 pub use report::AttackResult;
 pub use seat::WarmSeat;

@@ -30,9 +30,12 @@
 //! println!("adv accuracy: {}", outcome.adversarial_accuracy.mean);
 //! ```
 
+use crate::attack::PenaltyRun;
 use crate::{
-    AttackConfig, AttackPlan, AttackResult, BatchItem, BatchOutcome, Colper, SessionError, WarmSeat,
+    AttackConfig, AttackPlan, AttackResult, BatchItem, BatchOutcome, Colper, NoiseBaseline,
+    Objective, SessionError, WarmSeat,
 };
+use colper_geom::knn_graph;
 use colper_metrics::ConfusionMatrix;
 use colper_models::{CloudTensors, SegmentationModel};
 use colper_obs::Observer;
@@ -67,6 +70,9 @@ pub struct AttackSession<'a> {
     observer: Observer,
     base_seed: u64,
     mask: MaskSelector<'a>,
+    objective: Option<Objective>,
+    penalty_model: Option<&'a dyn SegmentationModel>,
+    penalty_view: Option<&'a CloudTensors>,
 }
 
 impl<'a> AttackSession<'a> {
@@ -79,6 +85,9 @@ impl<'a> AttackSession<'a> {
             observer: Observer::disabled(),
             base_seed: 0,
             mask: MaskSelector::All,
+            objective: None,
+            penalty_model: None,
+            penalty_view: None,
         }
     }
 
@@ -135,6 +144,89 @@ impl<'a> AttackSession<'a> {
         self
     }
 
+    /// Selects what the attacker optimizes for (see [`Objective`]). The
+    /// objective's goal overrides the configuration's
+    /// [`crate::AttackGoal`]; a session without an objective behaves
+    /// exactly as before (the configuration's goal stands, RNG streams
+    /// bit-identical).
+    ///
+    /// [`Objective::Boundary`] intersects the session's mask selector
+    /// with the ground-truth label-boundary mask;
+    /// [`Objective::NoiseBaseline`] skips the optimization loop and
+    /// draws one L2-matched noise sample; [`Objective::Transfer`]
+    /// requires a penalty model
+    /// ([`AttackSession::penalty_model`]).
+    #[must_use]
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = Some(objective);
+        self
+    }
+
+    /// Attaches the second network of the [`Objective::Transfer`]
+    /// objective (AdvPC's penalty network). Ignored by other objectives.
+    #[must_use]
+    pub fn penalty_model(mut self, model: &'a dyn SegmentationModel) -> Self {
+        self.penalty_model = Some(model);
+        self
+    }
+
+    /// Attaches the penalty network's own normalized view of the
+    /// attacked cloud (same point order — views rescale coordinates
+    /// only). Without it the penalty network sees the surrogate's view.
+    #[must_use]
+    pub fn penalty_view(mut self, tensors: &'a CloudTensors) -> Self {
+        self.penalty_view = Some(tensors);
+        self
+    }
+
+    /// The configuration the engine runs under: the objective's goal
+    /// (when one is set) overrides the configured goal.
+    fn effective_config(&self) -> AttackConfig {
+        let mut cfg = self.config.clone();
+        if let Some(objective) = &self.objective {
+            cfg.goal = objective.goal();
+        }
+        cfg
+    }
+
+    /// The cloud's attacked-point mask: the session's selector,
+    /// intersected with the label-boundary mask under
+    /// [`Objective::Boundary`].
+    fn mask_for(&self, t: &CloudTensors) -> Vec<bool> {
+        let mut mask = match &self.mask {
+            MaskSelector::All => vec![true; t.len()],
+            MaskSelector::SourceClass(source) => t.labels.iter().map(|l| l == source).collect(),
+            MaskSelector::Custom(mask_of) => mask_of(t),
+        };
+        if let Some(Objective::Boundary { k }) = self.objective {
+            let boundary = boundary_mask(t, k);
+            for (m, b) in mask.iter_mut().zip(boundary) {
+                *m = *m && b;
+            }
+        }
+        mask
+    }
+
+    /// The transfer penalty handed to the engine, when the objective
+    /// asks for one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the transfer objective is set without a penalty
+    /// model.
+    fn penalty_run(&self) -> Option<PenaltyRun<'a>> {
+        match self.objective {
+            Some(Objective::Transfer { gamma }) => Some(PenaltyRun {
+                model: self
+                    .penalty_model
+                    .expect("transfer objective requires a penalty model (penalty_model)"),
+                tensors: self.penalty_view,
+                gamma,
+            }),
+            _ => None,
+        }
+    }
+
     /// Runs the attack on one cloud drawing noise from the caller's RNG,
     /// for callers that thread one RNG stream through a longer procedure
     /// (adversarial training interleaves attacks with weight updates and
@@ -156,20 +248,20 @@ impl<'a> AttackSession<'a> {
         cloud: &CloudTensors,
         rng: &mut StdRng,
     ) -> AttackResult {
+        let cfg = self.effective_config();
+        let mask = self.mask_for(cloud);
+        if let Some(Objective::NoiseBaseline { l2_sq }) = self.objective {
+            return NoiseBaseline::new(l2_sq).run(model, cloud, &mask, rng);
+        }
         let built;
         let plan = match self.plan {
             Some(plan) => plan,
             None => {
-                built = AttackPlan::build(model, cloud, &self.config);
+                built = AttackPlan::build(model, cloud, &cfg);
                 &built
             }
         };
-        let mask = match &self.mask {
-            MaskSelector::All => vec![true; cloud.len()],
-            MaskSelector::SourceClass(source) => cloud.labels.iter().map(|l| l == source).collect(),
-            MaskSelector::Custom(mask_of) => mask_of(cloud),
-        };
-        Colper::new(self.config.clone()).with_runtime(self.runtime.clone()).run_planned_obs(
+        Colper::new(cfg).with_runtime(self.runtime.clone()).run_planned_obs_full(
             model,
             cloud,
             &mask,
@@ -177,6 +269,8 @@ impl<'a> AttackSession<'a> {
             rng,
             &self.observer,
             0,
+            None,
+            self.penalty_run().as_ref(),
         )
     }
 
@@ -192,20 +286,20 @@ impl<'a> AttackSession<'a> {
         rng: &mut StdRng,
         seat: &mut WarmSeat,
     ) -> AttackResult {
+        let cfg = self.effective_config();
+        let mask = self.mask_for(cloud);
+        if let Some(Objective::NoiseBaseline { l2_sq }) = self.objective {
+            return NoiseBaseline::new(l2_sq).run(model, cloud, &mask, rng);
+        }
         let built;
         let plan = match self.plan {
             Some(plan) => plan,
             None => {
-                built = AttackPlan::build(model, cloud, &self.config);
+                built = AttackPlan::build(model, cloud, &cfg);
                 &built
             }
         };
-        let mask = match &self.mask {
-            MaskSelector::All => vec![true; cloud.len()],
-            MaskSelector::SourceClass(source) => cloud.labels.iter().map(|l| l == source).collect(),
-            MaskSelector::Custom(mask_of) => mask_of(cloud),
-        };
-        Colper::new(self.config.clone()).with_runtime(self.runtime.clone()).run_planned_obs_seated(
+        Colper::new(cfg).with_runtime(self.runtime.clone()).run_planned_obs_full(
             model,
             cloud,
             &mask,
@@ -214,6 +308,7 @@ impl<'a> AttackSession<'a> {
             &self.observer,
             0,
             Some(seat),
+            self.penalty_run().as_ref(),
         )
     }
 
@@ -252,6 +347,7 @@ impl<'a> AttackSession<'a> {
             return Err(SessionError::PlanNeedsSingleCloud { clouds: clouds.len() });
         }
         let classes = model.num_classes();
+        let cfg = self.effective_config();
 
         let items: Vec<BatchItem> = self.runtime.par_map_grained(clouds.len(), 1, |index| {
             let _cloud_span = colper_obs::span!(BATCH_CLOUD);
@@ -264,7 +360,7 @@ impl<'a> AttackSession<'a> {
             let plan = match self.plan {
                 Some(plan) => plan,
                 None => {
-                    built = AttackPlan::build(model, t, &self.config);
+                    built = AttackPlan::build(model, t, &cfg);
                     &built
                 }
             };
@@ -273,20 +369,22 @@ impl<'a> AttackSession<'a> {
             cm.update(&clean_preds, &t.labels);
             let clean_accuracy = cm.accuracy();
 
-            let mask = match &self.mask {
-                MaskSelector::All => vec![true; t.len()],
-                MaskSelector::SourceClass(source) => t.labels.iter().map(|l| l == source).collect(),
-                MaskSelector::Custom(mask_of) => mask_of(t),
+            let mask = self.mask_for(t);
+            let result = if let Some(Objective::NoiseBaseline { l2_sq }) = self.objective {
+                NoiseBaseline::new(l2_sq).run(model, t, &mask, &mut rng)
+            } else {
+                Colper::new(cfg.clone()).run_planned_obs_full(
+                    model,
+                    t,
+                    &mask,
+                    plan,
+                    &mut rng,
+                    &self.observer,
+                    index,
+                    None,
+                    self.penalty_run().as_ref(),
+                )
             };
-            let result = Colper::new(self.config.clone()).run_planned_obs(
-                model,
-                t,
-                &mask,
-                plan,
-                &mut rng,
-                &self.observer,
-                index,
-            );
             let mut cm = ConfusionMatrix::new(classes);
             cm.update(&result.predictions, &t.labels);
             BatchItem {
@@ -298,6 +396,16 @@ impl<'a> AttackSession<'a> {
         });
         Ok(BatchOutcome::aggregate(items))
     }
+}
+
+/// Points within `k` nearest neighbors of a ground-truth label boundary:
+/// a point is boundary when any of its `k` nearest spatial neighbors
+/// carries a different label (1908.06062's boundary regions, under the
+/// color-only threat model).
+fn boundary_mask(t: &CloudTensors, k: usize) -> Vec<bool> {
+    let k = k.max(1).min(t.len());
+    let graph = knn_graph(&t.coords, k);
+    (0..t.len()).map(|i| (0..k).any(|j| t.labels[graph[i * k + j]] != t.labels[i])).collect()
 }
 
 #[cfg(test)]
@@ -430,6 +538,113 @@ mod tests {
         let a = AttackSession::new(cfg.clone()).seed(3).try_run(&model, &data).unwrap();
         let b = AttackSession::new(cfg).seed(3).run(&model, &data);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_non_targeted_objective_matches_legacy_path() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(1);
+        let cfg = AttackConfig::non_targeted(4);
+        let legacy = AttackSession::new(cfg.clone()).run_with_rng(
+            &model,
+            &data[0],
+            &mut StdRng::seed_from_u64(3),
+        );
+        let via_objective = AttackSession::new(cfg)
+            .objective(crate::Objective::NonTargeted)
+            .run_with_rng(&model, &data[0], &mut StdRng::seed_from_u64(3));
+        assert_eq!(legacy, via_objective);
+    }
+
+    #[test]
+    fn noise_objective_runs_the_matched_baseline() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(1);
+        let by_objective = AttackSession::new(AttackConfig::non_targeted(4))
+            .objective(crate::Objective::NoiseBaseline { l2_sq: 0.5 })
+            .run_with_rng(&model, &data[0], &mut StdRng::seed_from_u64(8));
+        let direct = crate::NoiseBaseline::new(0.5).run(
+            &model,
+            &data[0],
+            &vec![true; data[0].len()],
+            &mut StdRng::seed_from_u64(8),
+        );
+        assert_eq!(by_objective, direct);
+        assert_eq!(by_objective.steps_run, 1);
+        assert!(by_objective.l2_sq > 0.0);
+    }
+
+    #[test]
+    fn boundary_objective_freezes_interior_points() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(1);
+        let t = &data[0];
+        let result = AttackSession::new(AttackConfig::non_targeted(3))
+            .objective(crate::Objective::Boundary { k: 6 })
+            .run_with_rng(&model, t, &mut StdRng::seed_from_u64(1));
+        assert!(result.attacked_points < t.len(), "a boundary mask should exclude interior points");
+        // The boundary mask is reproducible: points outside it keep
+        // their exact colors.
+        let boundary = super::boundary_mask(t, 6);
+        assert_eq!(result.attacked_points, boundary.iter().filter(|&&b| b).count());
+        for (i, &b) in boundary.iter().enumerate() {
+            if !b {
+                for c in 0..3 {
+                    assert_eq!(result.adversarial_colors[(i, c)], t.colors[(i, c)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_objective_optimizes_against_both_networks() {
+        use colper_models::{train_model, TrainConfig};
+        // Untrained networks clamp the CW hinge to zero, which would
+        // make the penalty invisible — train both briefly so the hinges
+        // are live.
+        let mut rng = StdRng::seed_from_u64(23);
+        let data = clouds(1);
+        let tc = TrainConfig { epochs: 8, lr: 0.01, target_accuracy: 0.9 };
+        let mut surrogate = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        train_model(&mut surrogate, &data, &tc, &mut rng);
+        let mut penalty = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        train_model(&mut penalty, &data, &tc, &mut rng);
+
+        let mut cfg = AttackConfig::non_targeted(3);
+        cfg.convergence_threshold = Some(0.0); // run all steps
+        let plain = AttackSession::new(cfg.clone()).run_with_rng(
+            &surrogate,
+            &data[0],
+            &mut StdRng::seed_from_u64(5),
+        );
+        let transfer = AttackSession::new(cfg.clone())
+            .objective(crate::Objective::Transfer { gamma: 1.0 })
+            .penalty_model(&penalty)
+            .run_with_rng(&surrogate, &data[0], &mut StdRng::seed_from_u64(5));
+        // The penalty hinge joins the objective, so the gain trajectory
+        // must differ from the surrogate-only run.
+        assert_ne!(plain.gain_history, transfer.gain_history);
+        assert!(transfer.l2_sq > 0.0);
+        // Determinism holds run-to-run.
+        let again = AttackSession::new(cfg)
+            .objective(crate::Objective::Transfer { gamma: 1.0 })
+            .penalty_model(&penalty)
+            .run_with_rng(&surrogate, &data[0], &mut StdRng::seed_from_u64(5));
+        assert_eq!(transfer, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a penalty model")]
+    fn transfer_objective_without_penalty_model_rejected() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let model = PointNet2::new(PointNet2Config::tiny(13), &mut rng);
+        let data = clouds(1);
+        let _ = AttackSession::new(AttackConfig::non_targeted(2))
+            .objective(crate::Objective::Transfer { gamma: 0.5 })
+            .run_with_rng(&model, &data[0], &mut rng);
     }
 
     #[test]

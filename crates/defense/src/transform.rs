@@ -1,18 +1,38 @@
-//! Input-transformation defenses: rewrite the color block before the
-//! model sees it.
+//! Deprecated pre-[`Defense`](crate::Defense) transform API.
 //!
-//! These are the cheapest defenses — no retraining — and the classic
-//! representatives of *gradient obfuscation*: a white-box attacker who is
-//! unaware of the transform optimizes against the wrong input; an
-//! adaptive attacker can fold a differentiable approximation back into
-//! the loop (which is why the paper, citing Sun et al., is skeptical of
-//! this family).
+//! The original defense surface — a closed [`ColorTransform`] enum plus
+//! four free functions — could not express registry keys, chains, or the
+//! new point-dropping defenses, so it was replaced by the composable
+//! [`Defense`](crate::Defense) trait and
+//! [`DefensePipeline`](crate::DefensePipeline). Everything here is a
+//! thin shim over the new stages, kept for **one release** so downstream
+//! callers can migrate:
+//!
+//! | old | new |
+//! |-----|-----|
+//! | `quantize_colors(c, b)` | `Quantize::new(b).apply(c, rng)` |
+//! | `smooth_colors(c, k)` | `Smooth::new(k).apply(c, rng)` |
+//! | `jitter_colors(c, s, rng)` | `Jitter::new(s).apply(c, rng)` |
+//! | `grayscale_colors(c)` | `Grayscale.apply(c, rng)` |
+//! | `ColorTransform::apply` | `Defense::apply` |
+//! | `ColorTransform::label` | `Defense::id` |
+//!
+//! The shims delegate to the exact same bodies as the stages, so old and
+//! new APIs are bit-identical for the whole deprecation window (pinned
+//! by this module's equivalence tests).
 
-use colper_geom::knn_graph;
+#![allow(deprecated)]
+
+use crate::defense;
 use colper_scene::PointCloud;
 use rand::Rng;
 
 /// The input transformations available to the evaluation harness.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the composable `Defense` trait stages (`Quantize`, `Smooth`, `Jitter`, \
+            `Grayscale`) or a `DefensePipeline` instead"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ColorTransform {
     /// Reduce each channel to `bits` of depth.
@@ -39,10 +59,10 @@ impl ColorTransform {
     /// Applies the transform to a cloud.
     pub fn apply<R: Rng + ?Sized>(&self, cloud: &PointCloud, rng: &mut R) -> PointCloud {
         match *self {
-            ColorTransform::Quantize { bits } => quantize_colors(cloud, bits),
-            ColorTransform::Smooth { k } => smooth_colors(cloud, k),
-            ColorTransform::Jitter { sigma } => jitter_colors(cloud, sigma, rng),
-            ColorTransform::Grayscale => grayscale_colors(cloud),
+            ColorTransform::Quantize { bits } => defense::quantize_impl(cloud, bits),
+            ColorTransform::Smooth { k } => defense::smooth_impl(cloud, k),
+            ColorTransform::Jitter { sigma } => defense::jitter_impl(cloud, sigma, rng),
+            ColorTransform::Grayscale => defense::grayscale_impl(cloud),
         }
     }
 
@@ -62,16 +82,9 @@ impl ColorTransform {
 /// # Panics
 ///
 /// Panics when `bits` is 0 or above 8.
+#[deprecated(since = "0.2.0", note = "use `Quantize::new(bits)` via the `Defense` trait")]
 pub fn quantize_colors(cloud: &PointCloud, bits: u32) -> PointCloud {
-    assert!((1..=8).contains(&bits), "quantize_colors: bits must be 1-8");
-    let levels = (1u32 << bits) as f32 - 1.0;
-    let mut out = cloud.clone();
-    for c in &mut out.colors {
-        for v in c {
-            *v = (*v * levels).round() / levels;
-        }
-    }
-    out
+    defense::quantize_impl(cloud, bits)
 }
 
 /// Replaces each color by the mean over the point's `k` nearest
@@ -80,53 +93,30 @@ pub fn quantize_colors(cloud: &PointCloud, bits: u32) -> PointCloud {
 /// # Panics
 ///
 /// Panics when the cloud is empty or `k == 0`.
+#[deprecated(since = "0.2.0", note = "use `Smooth::new(k)` via the `Defense` trait")]
 pub fn smooth_colors(cloud: &PointCloud, k: usize) -> PointCloud {
-    assert!(!cloud.is_empty(), "smooth_colors: empty cloud");
-    assert!(k > 0, "smooth_colors: k must be positive");
-    let k = k.min(cloud.len());
-    let graph = knn_graph(&cloud.coords, k);
-    let mut out = cloud.clone();
-    for i in 0..cloud.len() {
-        let mut acc = [0.0f32; 3];
-        for j in 0..k {
-            let nb = graph[i * k + j];
-            for (a, v) in acc.iter_mut().zip(&cloud.colors[nb]) {
-                *a += v;
-            }
-        }
-        for (o, a) in out.colors[i].iter_mut().zip(acc) {
-            *o = a / k as f32;
-        }
-    }
-    out
+    defense::smooth_impl(cloud, k)
 }
 
 /// Adds uniform noise of half-width `sigma` to every channel, clamped to
 /// `[0, 1]` (a randomized-smoothing style defense).
+#[deprecated(since = "0.2.0", note = "use `Jitter::new(sigma)` via the `Defense` trait")]
 pub fn jitter_colors<R: Rng + ?Sized>(cloud: &PointCloud, sigma: f32, rng: &mut R) -> PointCloud {
-    let mut out = cloud.clone();
-    for c in &mut out.colors {
-        for v in c {
-            *v = (*v + rng.gen_range(-sigma..=sigma)).clamp(0.0, 1.0);
-        }
-    }
-    out
+    defense::jitter_impl(cloud, sigma, rng)
 }
 
 /// Projects every color onto its luma (Rec. 601 weights), removing the
 /// chroma channels an attacker manipulates most freely.
+#[deprecated(since = "0.2.0", note = "use `Grayscale` via the `Defense` trait")]
 pub fn grayscale_colors(cloud: &PointCloud) -> PointCloud {
-    let mut out = cloud.clone();
-    for c in &mut out.colors {
-        let y = 0.299 * c[0] + 0.587 * c[1] + 0.114 * c[2];
-        *c = [y, y, y];
-    }
-    out
+    defense::grayscale_impl(cloud)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::defense::{Defense, Grayscale, Jitter, Quantize, Smooth};
+    use colper_geom::knn_graph;
     use colper_scene::{IndoorSceneConfig, SceneGenerator};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -134,6 +124,60 @@ mod tests {
     fn sample() -> PointCloud {
         SceneGenerator::indoor(IndoorSceneConfig::with_points(128)).generate(1)
     }
+
+    // Equivalence pins: the new trait stages must reproduce the old free
+    // functions bit-for-bit for the whole deprecation window.
+
+    #[test]
+    fn quantize_stage_matches_free_function() {
+        let cloud = sample();
+        let old = quantize_colors(&cloud, 3);
+        let new = Quantize::new(3).apply(&cloud, &mut StdRng::seed_from_u64(0));
+        assert_eq!(old.colors, new.colors);
+    }
+
+    #[test]
+    fn smooth_stage_matches_free_function() {
+        let cloud = sample();
+        let old = smooth_colors(&cloud, 8);
+        let new = Smooth::new(8).apply(&cloud, &mut StdRng::seed_from_u64(0));
+        assert_eq!(old.colors, new.colors);
+    }
+
+    #[test]
+    fn jitter_stage_matches_free_function_bit_for_bit() {
+        let cloud = sample();
+        let old = jitter_colors(&cloud, 0.1, &mut StdRng::seed_from_u64(9));
+        let new = Jitter::new(0.1).apply(&cloud, &mut StdRng::seed_from_u64(9));
+        assert_eq!(old.colors, new.colors, "identical seed must give identical noise");
+    }
+
+    #[test]
+    fn grayscale_stage_matches_free_function() {
+        let cloud = sample();
+        let old = grayscale_colors(&cloud);
+        let new = Grayscale.apply(&cloud, &mut StdRng::seed_from_u64(0));
+        assert_eq!(old.colors, new.colors);
+    }
+
+    #[test]
+    fn enum_apply_matches_stage_apply() {
+        let cloud = sample();
+        let pairs: Vec<(ColorTransform, Box<dyn Defense>)> = vec![
+            (ColorTransform::Quantize { bits: 4 }, Box::new(Quantize::new(4))),
+            (ColorTransform::Smooth { k: 5 }, Box::new(Smooth::new(5))),
+            (ColorTransform::Jitter { sigma: 0.07 }, Box::new(Jitter::new(0.07))),
+            (ColorTransform::Grayscale, Box::new(Grayscale)),
+        ];
+        for (old, new) in pairs {
+            let a = old.apply(&cloud, &mut StdRng::seed_from_u64(4));
+            let b = new.apply(&cloud, &mut StdRng::seed_from_u64(4));
+            assert_eq!(a.colors, b.colors, "{}", new.id());
+        }
+    }
+
+    // Behavior tests for the shared transform bodies (kept from the
+    // original module).
 
     #[test]
     fn quantize_reduces_distinct_values() {

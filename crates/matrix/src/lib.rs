@@ -1,0 +1,86 @@
+//! The attack × defense robustness matrix.
+//!
+//! The paper evaluates one attack against one model at a time; its
+//! future-work section asks how the picture changes when candidate
+//! defenses enter. This crate makes that cross-product a first-class
+//! subsystem:
+//!
+//! * a [`Registry`] names the axes — attack objectives
+//!   ([`colper_attack::Objective`] ids), composable defense pipelines
+//!   ([`colper_defense::DefensePipeline`] specs), victim models, and
+//!   evaluation scenes — with stable string ids that key every report
+//!   row;
+//! * [`run`] executes the full cross-product on the shared
+//!   work-stealing [`colper_runtime::Runtime`]: one optimization per
+//!   attack unit (geometry plans and [`colper_attack::WarmSeat`]s are
+//!   reused across the unit's scenes), then every defense replayed over
+//!   the frozen adversarial clouds;
+//! * a [`MatrixReport`] ranks defenses by retained accuracy and attacks
+//!   by damage dealt, reports surrogate→victim transfer success for the
+//!   AdvPC-style objective, and serializes to deterministic JSON
+//!   (`results/BENCH_matrix.json`) that is bit-identical across thread
+//!   counts.
+//!
+//! Every random stream in a cell derives from a stable FNV-1a hash of
+//! the cell's string ids, never from scheduling order, so the matrix is
+//! reproducible cell-by-cell: re-running any single cell standalone
+//! yields bit-identical numbers.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use colper_matrix::{run, MatrixConfig, Registry};
+//! use colper_runtime::Runtime;
+//!
+//! let cfg = MatrixConfig::quick();
+//! let registry = Registry::defaults(&cfg);
+//! let report = run(&registry, &cfg, &Runtime::new(4)).unwrap();
+//! println!("{}", report.table());
+//! std::fs::write("results/BENCH_matrix.json", report.to_json()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod models;
+mod registry;
+mod report;
+mod runner;
+
+pub use models::ModelSet;
+pub use registry::{AttackEntry, Registry, SceneEntry};
+pub use report::{
+    AttackRank, DefenseRank, MatrixCell, MatrixReport, ModelSummary, TransferSummary, SCHEMA,
+};
+pub use runner::{run, MatrixConfig};
+
+/// Stable 64-bit FNV-1a hash of a list of id strings, with a separator
+/// folded in between parts so `["ab", "c"]` and `["a", "bc"]` differ.
+/// Every per-cell RNG seed in the matrix derives from this, which is
+/// what makes cells independent of scheduling order and thread count.
+pub fn stable_seed(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    for part in parts {
+        for b in part.bytes() {
+            eat(b);
+        }
+        eat(0x1f);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_seed_separates_parts() {
+        assert_ne!(stable_seed(&["ab", "c"]), stable_seed(&["a", "bc"]));
+        assert_ne!(stable_seed(&["ab"]), stable_seed(&["ab", ""]));
+        assert_eq!(stable_seed(&["x", "y"]), stable_seed(&["x", "y"]));
+    }
+}

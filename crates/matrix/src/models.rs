@@ -1,0 +1,219 @@
+//! The matrix's victim models: a small zoo trained in-process with
+//! fixed seeds, so every run of the matrix attacks identical weights.
+//!
+//! Unlike the benchmark harness's disk-cached zoo, the [`ModelSet`]
+//! always trains fresh — matrix runs must be bit-identical across
+//! machines and thread counts, and the training loop already is, so
+//! caching would only add a staleness hazard to CI.
+
+use crate::stable_seed;
+use colper_models::{
+    train_model, CloudTensors, PointNet2, PointNet2Config, RandLaNet, RandLaNetConfig, ResGcn,
+    ResGcnConfig, SegmentationModel, TrainConfig,
+};
+use colper_scene::{normalize, IndoorSceneConfig, PointCloud, S3disLikeDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-model training seeds, matching the benchmark harness convention.
+fn train_seed(id: &str) -> u64 {
+    match id {
+        "pointnet" => 11,
+        "resgcn" => 22,
+        "randla" => 33,
+        other => stable_seed(&["train", other]),
+    }
+}
+
+enum AnyModel {
+    PointNet(PointNet2),
+    ResGcn(ResGcn),
+    RandLa(RandLaNet),
+}
+
+impl AnyModel {
+    fn as_dyn(&self) -> &dyn SegmentationModel {
+        match self {
+            AnyModel::PointNet(m) => m,
+            AnyModel::ResGcn(m) => m,
+            AnyModel::RandLa(m) => m,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn SegmentationModel {
+        match self {
+            AnyModel::PointNet(m) => m,
+            AnyModel::ResGcn(m) => m,
+            AnyModel::RandLa(m) => m,
+        }
+    }
+}
+
+/// The trained victims, keyed by the registry's model ids.
+pub struct ModelSet {
+    entries: Vec<(String, AnyModel)>,
+}
+
+impl ModelSet {
+    /// Every model id the matrix can train.
+    pub const KNOWN: [&'static str; 3] = ["pointnet", "resgcn", "randla"];
+
+    /// Whether a model's normalized view preserves point order.
+    /// RandLA-Net's view resamples the cloud, so adversarial colors
+    /// optimized in that view cannot be mapped back to the raw scene —
+    /// transfer surrogates must preserve order.
+    pub fn order_preserving(id: &str) -> bool {
+        id != "randla"
+    }
+
+    /// Trains the requested models on a shared S3DIS-like dataset.
+    /// Deterministic: per-model RNGs are fixed, so the weights depend
+    /// only on `ids` and the scale knobs in `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id outside [`ModelSet::KNOWN`]; run
+    /// [`crate::Registry::validate`] first.
+    pub fn train(ids: &[String], cfg: &crate::MatrixConfig) -> Self {
+        let dataset = S3disLikeDataset::new(
+            IndoorSceneConfig::with_points(cfg.train_points),
+            cfg.train_rooms_per_area,
+        );
+        let rooms = dataset.train_rooms();
+        let train_cfg = TrainConfig { epochs: cfg.train_epochs, lr: 0.01, target_accuracy: 0.95 };
+        let entries = ids
+            .iter()
+            .map(|id| {
+                let mut rng = StdRng::seed_from_u64(train_seed(id));
+                let mut model = match id.as_str() {
+                    "pointnet" => AnyModel::PointNet(PointNet2::new(
+                        if cfg.small_models {
+                            PointNet2Config::small(13)
+                        } else {
+                            PointNet2Config::tiny(13)
+                        },
+                        &mut rng,
+                    )),
+                    "resgcn" => AnyModel::ResGcn(ResGcn::new(
+                        if cfg.small_models {
+                            ResGcnConfig::small(13)
+                        } else {
+                            ResGcnConfig::tiny(13)
+                        },
+                        &mut rng,
+                    )),
+                    "randla" => AnyModel::RandLa(RandLaNet::new(
+                        if cfg.small_models {
+                            RandLaNetConfig::small(13)
+                        } else {
+                            RandLaNetConfig::tiny(13)
+                        },
+                        &mut rng,
+                    )),
+                    other => panic!("unknown model id `{other}`"),
+                };
+                let clouds: Vec<CloudTensors> = rooms
+                    .iter()
+                    .map(|c| CloudTensors::from_cloud(&view_with(id, c, &mut rng)))
+                    .collect();
+                let report = train_model(model.as_dyn_mut(), &clouds, &train_cfg, &mut rng);
+                eprintln!(
+                    "  {id}: acc {:.3} after {} epochs",
+                    report.final_accuracy, report.epochs_run
+                );
+                (id.clone(), model)
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// The trained model behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id was not trained.
+    pub fn get(&self, id: &str) -> &dyn SegmentationModel {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|(_, m)| m.as_dyn())
+            .unwrap_or_else(|| panic!("model `{id}` is not in the set"))
+    }
+
+    /// A model's normalized view of a scene. RandLA-Net's resampling
+    /// RNG derives from `(model, scene)` ids only, so viewing the clean
+    /// scene and its adversarial counterpart selects identical points —
+    /// the replay half of the transfer protocol depends on that.
+    pub fn view(&self, id: &str, cloud: &PointCloud, scene_id: &str) -> PointCloud {
+        let mut rng = StdRng::seed_from_u64(stable_seed(&["view", id, scene_id]));
+        view_with(id, cloud, &mut rng)
+    }
+}
+
+fn view_with(id: &str, cloud: &PointCloud, rng: &mut StdRng) -> PointCloud {
+    match id {
+        "pointnet" => normalize::pointnet_view(cloud),
+        "resgcn" => normalize::resgcn_view(cloud),
+        "randla" => normalize::randla_view(cloud, cloud.len(), rng),
+        other => panic!("unknown model id `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colper_scene::SceneGenerator;
+
+    fn tiny_set() -> ModelSet {
+        let cfg = crate::MatrixConfig {
+            train_points: 64,
+            train_rooms_per_area: 1,
+            train_epochs: 1,
+            ..crate::MatrixConfig::quick()
+        };
+        ModelSet::train(&["pointnet".to_string(), "randla".to_string()], &cfg)
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = tiny_set();
+        let b = tiny_set();
+        let pa = a.get("pointnet").params();
+        let pb = b.get("pointnet").params();
+        assert_eq!(pa.param_count(), pb.param_count());
+        for (ia, ib) in pa.param_ids().zip(pb.param_ids()) {
+            assert_eq!(pa.param(ia), pb.param(ib), "same seeds must give bit-identical weights");
+        }
+    }
+
+    #[test]
+    fn randla_view_is_stable_per_scene() {
+        let set = tiny_set();
+        let cloud = SceneGenerator::indoor(IndoorSceneConfig::with_points(96)).generate(3);
+        let a = set.view("randla", &cloud, "s1");
+        let b = set.view("randla", &cloud, "s1");
+        assert_eq!(a.labels, b.labels, "same (model, scene) key must resample identically");
+        // A cloud with the same geometry but different colors resamples
+        // the same points — the transfer replay invariant.
+        let mut recolored = cloud.clone();
+        for c in &mut recolored.colors {
+            *c = [0.5, 0.5, 0.5];
+        }
+        let r = set.view("randla", &recolored, "s1");
+        assert_eq!(r.labels, a.labels);
+        assert_eq!(r.coords, a.coords);
+    }
+
+    #[test]
+    fn order_preservation_is_declared() {
+        assert!(ModelSet::order_preserving("pointnet"));
+        assert!(ModelSet::order_preserving("resgcn"));
+        assert!(!ModelSet::order_preserving("randla"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the set")]
+    fn missing_model_panics() {
+        tiny_set().get("resgcn");
+    }
+}

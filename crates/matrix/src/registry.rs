@@ -1,0 +1,260 @@
+//! The matrix axes: attacks × defenses × models × scenes, keyed by
+//! stable string ids.
+//!
+//! A [`Registry`] is plain data — building one performs no work; the
+//! runner resolves ids against trained models when [`crate::run`] is
+//! called. [`Registry::validate`] catches every structural mistake
+//! (duplicate ids, unknown models, a transfer attack without its
+//! surrogate/penalty pair) before any training starts.
+
+use crate::runner::MatrixConfig;
+use colper_attack::Objective;
+use colper_defense::{Defense, DefensePipeline};
+use std::collections::HashSet;
+
+/// One attack column: an [`Objective`] plus, for the transfer
+/// objective, the surrogate it optimizes on and the penalty network
+/// regularizing the optimization.
+#[derive(Debug, Clone)]
+pub struct AttackEntry {
+    /// Stable id keying report rows; defaults to the objective's id.
+    pub id: String,
+    /// What the attacker optimizes for.
+    pub objective: Objective,
+    /// Transfer only: the model id the perturbation is optimized on.
+    /// The resulting colors are replayed against every victim model.
+    pub surrogate: Option<String>,
+    /// Transfer only: the model id whose CW hinge is added at weight γ.
+    pub penalty: Option<String>,
+}
+
+impl AttackEntry {
+    /// A white-box entry: the objective optimized directly against each
+    /// victim model, id taken from the objective.
+    pub fn white_box(objective: Objective) -> Self {
+        Self { id: objective.id(), objective, surrogate: None, penalty: None }
+    }
+
+    /// A transfer entry: optimized once per scene on `surrogate` with
+    /// `penalty` as the second network, replayed on every victim.
+    pub fn transfer(gamma: f32, surrogate: &str, penalty: &str) -> Self {
+        let objective = Objective::Transfer { gamma };
+        Self {
+            id: objective.id(),
+            objective,
+            surrogate: Some(surrogate.to_string()),
+            penalty: Some(penalty.to_string()),
+        }
+    }
+
+    /// Whether this entry optimizes once on a surrogate and replays on
+    /// victims (vs. optimizing against each victim directly).
+    pub fn is_transfer(&self) -> bool {
+        self.objective.needs_penalty_model()
+    }
+}
+
+/// One evaluation scene: a synthetic indoor block generated from a
+/// fixed seed.
+#[derive(Debug, Clone)]
+pub struct SceneEntry {
+    /// Stable id keying report rows.
+    pub id: String,
+    /// Scene-generator seed.
+    pub seed: u64,
+    /// Points in the block.
+    pub points: usize,
+}
+
+/// The full cross-product the runner executes.
+pub struct Registry {
+    /// Attack columns.
+    pub attacks: Vec<AttackEntry>,
+    /// Defense rows, each a composable pipeline. Must include the
+    /// identity pipeline — it is the undefended reference every ranking
+    /// is measured against.
+    pub defenses: Vec<DefensePipeline>,
+    /// Victim model ids (see [`crate::ModelSet::KNOWN`]).
+    pub models: Vec<String>,
+    /// Evaluation scenes.
+    pub scenes: Vec<SceneEntry>,
+}
+
+impl Registry {
+    /// The default registry for a scale: four attack objectives
+    /// (COLPER non-targeted, boundary-focused, AdvPC-style transfer,
+    /// and the matched-L2 noise floor), six defense pipelines including
+    /// identity and a two-stage chain, all three models, two scenes.
+    pub fn defaults(cfg: &MatrixConfig) -> Self {
+        let parse = |spec: &str| {
+            DefensePipeline::parse(spec).expect("default registry pipelines are well-formed")
+        };
+        Self {
+            attacks: vec![
+                AttackEntry::white_box(Objective::NonTargeted),
+                AttackEntry::white_box(Objective::Boundary { k: 4 }),
+                AttackEntry::transfer(0.5, "pointnet", "resgcn"),
+                AttackEntry::white_box(Objective::NoiseBaseline { l2_sq: 4.0 }),
+            ],
+            defenses: vec![
+                parse("identity"),
+                parse("quantize(3)"),
+                parse("smooth(4)"),
+                parse("gauss(0.05)"),
+                parse("drop(0.25)"),
+                parse("quantize(4)|smooth(4)"),
+            ],
+            models: vec!["pointnet".to_string(), "resgcn".to_string(), "randla".to_string()],
+            scenes: vec![
+                SceneEntry { id: "office_a".to_string(), seed: 9101, points: cfg.points },
+                SceneEntry { id: "office_b".to_string(), seed: 9102, points: cfg.points },
+            ],
+        }
+    }
+
+    /// Checks the registry is runnable: non-empty axes, unique ids, an
+    /// identity defense present, known model ids, and every transfer
+    /// attack naming a distinct, order-preserving surrogate/penalty
+    /// pair from the model axis.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.attacks.is_empty()
+            || self.defenses.is_empty()
+            || self.models.is_empty()
+            || self.scenes.is_empty()
+        {
+            return Err("registry has an empty axis".to_string());
+        }
+        unique("attack", self.attacks.iter().map(|a| a.id.as_str()))?;
+        unique(
+            "defense",
+            self.defenses.iter().map(Defense::id).collect::<Vec<_>>().iter().map(String::as_str),
+        )?;
+        unique("model", self.models.iter().map(String::as_str))?;
+        unique("scene", self.scenes.iter().map(|s| s.id.as_str()))?;
+        if !self.defenses.iter().any(|d| d.id() == "identity") {
+            return Err(
+                "registry must include the identity defense (the undefended reference)".to_string()
+            );
+        }
+        for model in &self.models {
+            if !crate::ModelSet::KNOWN.contains(&model.as_str()) {
+                return Err(format!(
+                    "unknown model `{model}` (expected one of {})",
+                    crate::ModelSet::KNOWN.join(", ")
+                ));
+            }
+        }
+        for scene in &self.scenes {
+            if scene.points == 0 {
+                return Err(format!("scene `{}` has zero points", scene.id));
+            }
+        }
+        for attack in &self.attacks {
+            if attack.is_transfer() {
+                let surrogate = attack
+                    .surrogate
+                    .as_deref()
+                    .ok_or_else(|| format!("attack `{}` needs a surrogate model", attack.id))?;
+                let penalty = attack
+                    .penalty
+                    .as_deref()
+                    .ok_or_else(|| format!("attack `{}` needs a penalty model", attack.id))?;
+                for (role, id) in [("surrogate", surrogate), ("penalty", penalty)] {
+                    if !self.models.iter().any(|m| m == id) {
+                        return Err(format!(
+                            "attack `{}` names {role} `{id}` which is not on the model axis",
+                            attack.id
+                        ));
+                    }
+                    if !crate::ModelSet::order_preserving(id) {
+                        return Err(format!(
+                            "attack `{}` {role} `{id}` resamples its input; transfer needs an \
+                             order-preserving view to map colors back to the scene",
+                            attack.id
+                        ));
+                    }
+                }
+                if surrogate == penalty {
+                    return Err(format!(
+                        "attack `{}` surrogate and penalty must differ",
+                        attack.id
+                    ));
+                }
+            } else if attack.surrogate.is_some() || attack.penalty.is_some() {
+                return Err(format!(
+                    "attack `{}` is not a transfer objective but names a surrogate/penalty",
+                    attack.id
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn unique<'a>(what: &str, ids: impl Iterator<Item = &'a str>) -> Result<(), String> {
+    let mut seen = HashSet::new();
+    for id in ids {
+        if !seen.insert(id.to_string()) {
+            return Err(format!("duplicate {what} id `{id}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Registry {
+        Registry::defaults(&MatrixConfig::quick())
+    }
+
+    #[test]
+    fn default_registry_validates() {
+        quick().validate().unwrap();
+    }
+
+    #[test]
+    fn default_registry_meets_the_matrix_floor() {
+        let r = quick();
+        assert!(r.attacks.len() >= 3, "need at least 3 attack objectives");
+        assert!(r.defenses.len() >= 4, "need at least 4 defenses");
+        assert!(r.defenses.iter().any(|d| d.id() == "identity"));
+        assert_eq!(r.models.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut r = quick();
+        r.models.push("pointnet".to_string());
+        assert!(r.validate().unwrap_err().contains("duplicate model"));
+    }
+
+    #[test]
+    fn identity_defense_is_required() {
+        let mut r = quick();
+        r.defenses.retain(|d| d.id() != "identity");
+        assert!(r.validate().unwrap_err().contains("identity"));
+    }
+
+    #[test]
+    fn transfer_surrogate_must_preserve_order() {
+        let mut r = quick();
+        r.attacks = vec![AttackEntry::transfer(0.5, "randla", "resgcn")];
+        assert!(r.validate().unwrap_err().contains("order-preserving"));
+    }
+
+    #[test]
+    fn transfer_pair_must_be_on_the_model_axis() {
+        let mut r = quick();
+        r.models.retain(|m| m != "resgcn");
+        assert!(r.validate().unwrap_err().contains("model axis"));
+    }
+
+    #[test]
+    fn unknown_models_are_rejected() {
+        let mut r = quick();
+        r.models.push("transformer".to_string());
+        assert!(r.validate().unwrap_err().contains("unknown model"));
+    }
+}

@@ -1,0 +1,454 @@
+//! The ranked robustness report and its deterministic JSON rendering.
+//!
+//! The JSON carries no timings, thread counts, or anything else that
+//! varies between runs: two matrix runs over the same registry and
+//! scale produce byte-identical files, which is how CI pins the
+//! bit-identical-across-threads contract (`cmp run1.json run2.json`).
+
+use colper_obs::jf;
+use std::fmt;
+
+/// Schema tag of the emitted JSON (`results/BENCH_matrix.json`).
+pub const SCHEMA: &str = "colper-bench-matrix-v1";
+
+/// One model's undefended clean reference.
+#[derive(Debug, Clone)]
+pub struct ModelSummary {
+    /// Model id.
+    pub id: String,
+    /// Clean accuracy under the identity defense, mean over scenes.
+    pub clean_accuracy: f32,
+}
+
+/// One cell of the matrix: an attack replayed through a defense against
+/// a model, averaged over the registry's scenes.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Attack id.
+    pub attack: String,
+    /// Defense pipeline id.
+    pub defense: String,
+    /// Victim model id.
+    pub model: String,
+    /// Accuracy on the *clean* scene run through the defense — what the
+    /// defense costs when nothing is attacking.
+    pub clean_accuracy: f32,
+    /// Accuracy on the adversarial scene run through the defense.
+    pub adversarial_accuracy: f32,
+    /// `clean_accuracy - adversarial_accuracy`.
+    pub accuracy_drop: f32,
+    /// Per-scene adversarial accuracy, registry scene order.
+    pub scene_accuracies: Vec<f32>,
+}
+
+/// An attack ranked by the damage it deals undefended.
+#[derive(Debug, Clone)]
+pub struct AttackRank {
+    /// Attack id.
+    pub attack: String,
+    /// Mean accuracy drop across models under the identity defense.
+    pub mean_accuracy_drop: f32,
+}
+
+/// A defense ranked by the accuracy it retains under attack.
+#[derive(Debug, Clone)]
+pub struct DefenseRank {
+    /// Defense pipeline id.
+    pub defense: String,
+    /// Mean adversarial accuracy across every (attack, model) cell.
+    pub mean_adversarial_accuracy: f32,
+    /// Mean clean accuracy across models — the defense's cost.
+    pub mean_clean_accuracy: f32,
+}
+
+/// Surrogate→victim replay outcome of a transfer attack (identity
+/// defense: the raw transferability signal).
+#[derive(Debug, Clone)]
+pub struct TransferSummary {
+    /// Attack id.
+    pub attack: String,
+    /// Model the perturbation was optimized on.
+    pub surrogate: String,
+    /// Model the perturbation was replayed against.
+    pub victim: String,
+    /// Victim's clean accuracy.
+    pub clean_accuracy: f32,
+    /// Victim's accuracy on the transferred adversarial scene.
+    pub adversarial_accuracy: f32,
+    /// `clean_accuracy - adversarial_accuracy`: the transfer success
+    /// signal (positive means the perturbation carried over).
+    pub accuracy_drop: f32,
+}
+
+/// Everything a matrix run produced, ranked.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Scale label (`"quick"` / `"standard"`).
+    pub scale: String,
+    /// Points per scene.
+    pub points: usize,
+    /// Attack iterations per optimization.
+    pub steps: usize,
+    /// Scene rows: `(id, seed, points)`.
+    pub scenes: Vec<(String, u64, usize)>,
+    /// Undefended clean reference per model.
+    pub models: Vec<ModelSummary>,
+    /// Every (attack × defense × model) cell, registry order.
+    pub cells: Vec<MatrixCell>,
+    /// Attacks, most damaging first.
+    pub attack_ranking: Vec<AttackRank>,
+    /// Defenses, most accuracy retained first.
+    pub defense_ranking: Vec<DefenseRank>,
+    /// Transfer replay rows (one per surrogate→victim pair and scene
+    /// set), strongest transfer first.
+    pub transfer: Vec<TransferSummary>,
+}
+
+impl MatrixReport {
+    /// Assembles a report from raw cells, computing both rankings.
+    /// Sorting is NaN-safe (`total_cmp`) with the id as tiebreaker, so
+    /// the ranking order is deterministic even for degenerate cells.
+    pub fn assemble(
+        scale: &str,
+        points: usize,
+        steps: usize,
+        scenes: Vec<(String, u64, usize)>,
+        models: Vec<ModelSummary>,
+        cells: Vec<MatrixCell>,
+        mut transfer: Vec<TransferSummary>,
+    ) -> Self {
+        let mut attack_ranking: Vec<AttackRank> = unique_ids(cells.iter().map(|c| &c.attack))
+            .into_iter()
+            .map(|attack| AttackRank {
+                mean_accuracy_drop: mean(
+                    cells
+                        .iter()
+                        .filter(|c| c.attack == attack && c.defense == "identity")
+                        .map(|c| c.accuracy_drop),
+                ),
+                attack,
+            })
+            .collect();
+        attack_ranking.sort_by(|a, b| {
+            rank_key(b.mean_accuracy_drop)
+                .total_cmp(&rank_key(a.mean_accuracy_drop))
+                .then_with(|| a.attack.cmp(&b.attack))
+        });
+
+        let mut defense_ranking: Vec<DefenseRank> = unique_ids(cells.iter().map(|c| &c.defense))
+            .into_iter()
+            .map(|defense| DefenseRank {
+                mean_adversarial_accuracy: mean(
+                    cells.iter().filter(|c| c.defense == defense).map(|c| c.adversarial_accuracy),
+                ),
+                mean_clean_accuracy: mean(
+                    cells.iter().filter(|c| c.defense == defense).map(|c| c.clean_accuracy),
+                ),
+                defense,
+            })
+            .collect();
+        defense_ranking.sort_by(|a, b| {
+            rank_key(b.mean_adversarial_accuracy)
+                .total_cmp(&rank_key(a.mean_adversarial_accuracy))
+                .then_with(|| a.defense.cmp(&b.defense))
+        });
+
+        transfer.sort_by(|a, b| {
+            rank_key(b.accuracy_drop)
+                .total_cmp(&rank_key(a.accuracy_drop))
+                .then_with(|| (&a.surrogate, &a.victim).cmp(&(&b.surrogate, &b.victim)))
+        });
+
+        Self {
+            scale: scale.to_string(),
+            points,
+            steps,
+            scenes,
+            models,
+            cells,
+            attack_ranking,
+            defense_ranking,
+            transfer,
+        }
+    }
+
+    /// Renders the report as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let scenes: Vec<String> = self
+            .scenes
+            .iter()
+            .map(|(id, seed, points)| {
+                format!("{{\"id\":{},\"seed\":{seed},\"points\":{points}}}", js(id))
+            })
+            .collect();
+        let models: Vec<String> = self
+            .models
+            .iter()
+            .map(|m| {
+                format!("{{\"id\":{},\"clean_accuracy\":{}}}", js(&m.id), jf(m.clean_accuracy))
+            })
+            .collect();
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let per_scene: Vec<String> = c.scene_accuracies.iter().map(|&a| jf(a)).collect();
+                format!(
+                    "{{\"attack\":{},\"defense\":{},\"model\":{},\"clean_accuracy\":{},\
+                     \"adversarial_accuracy\":{},\"accuracy_drop\":{},\"scene_accuracies\":[{}]}}",
+                    js(&c.attack),
+                    js(&c.defense),
+                    js(&c.model),
+                    jf(c.clean_accuracy),
+                    jf(c.adversarial_accuracy),
+                    jf(c.accuracy_drop),
+                    per_scene.join(",")
+                )
+            })
+            .collect();
+        let attacks: Vec<String> = self
+            .attack_ranking
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"attack\":{},\"mean_accuracy_drop\":{}}}",
+                    js(&r.attack),
+                    jf(r.mean_accuracy_drop)
+                )
+            })
+            .collect();
+        let defenses: Vec<String> = self
+            .defense_ranking
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"defense\":{},\"mean_adversarial_accuracy\":{},\
+                     \"mean_clean_accuracy\":{}}}",
+                    js(&r.defense),
+                    jf(r.mean_adversarial_accuracy),
+                    jf(r.mean_clean_accuracy)
+                )
+            })
+            .collect();
+        let transfer: Vec<String> = self
+            .transfer
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"attack\":{},\"surrogate\":{},\"victim\":{},\"clean_accuracy\":{},\
+                     \"adversarial_accuracy\":{},\"accuracy_drop\":{}}}",
+                    js(&t.attack),
+                    js(&t.surrogate),
+                    js(&t.victim),
+                    jf(t.clean_accuracy),
+                    jf(t.adversarial_accuracy),
+                    jf(t.accuracy_drop)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"{SCHEMA}\",\"scale\":{},\"points\":{},\"steps\":{},\
+             \"scenes\":[{}],\"models\":[{}],\"cells\":[{}],\"attack_ranking\":[{}],\
+             \"defense_ranking\":[{}],\"transfer\":[{}]}}\n",
+            js(&self.scale),
+            self.points,
+            self.steps,
+            scenes.join(","),
+            models.join(","),
+            cells.join(","),
+            attacks.join(","),
+            defenses.join(","),
+            transfer.join(",")
+        )
+    }
+
+    /// The end-of-run text the CLI prints.
+    pub fn table(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for MatrixReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Robustness matrix ({} scale: {} attacks x {} defenses x {} models x {} scenes) ==",
+            self.scale,
+            self.attack_ranking.len(),
+            self.defense_ranking.len(),
+            self.models.len(),
+            self.scenes.len()
+        )?;
+        for m in &self.models {
+            writeln!(f, "model {:<10} clean accuracy {:>6.2}%", m.id, m.clean_accuracy * 100.0)?;
+        }
+        writeln!(f, "\nattacks, most damaging first (undefended accuracy drop):")?;
+        for r in &self.attack_ranking {
+            writeln!(f, "  {:<16} -{:.2}%", r.attack, r.mean_accuracy_drop * 100.0)?;
+        }
+        writeln!(f, "\ndefenses, most accuracy retained under attack first:")?;
+        for r in &self.defense_ranking {
+            writeln!(
+                f,
+                "  {:<22} adv {:>6.2}%  clean {:>6.2}%",
+                r.defense,
+                r.mean_adversarial_accuracy * 100.0,
+                r.mean_clean_accuracy * 100.0
+            )?;
+        }
+        if !self.transfer.is_empty() {
+            writeln!(f, "\ntransfer (surrogate -> victim, identity defense):")?;
+            for t in &self.transfer {
+                writeln!(
+                    f,
+                    "  {} -> {:<10} clean {:>6.2}% -> adv {:>6.2}% (drop {:.2}%)",
+                    t.surrogate,
+                    t.victim,
+                    t.clean_accuracy * 100.0,
+                    t.adversarial_accuracy * 100.0,
+                    t.accuracy_drop * 100.0
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ranking key: `total_cmp` orders positive NaN above +inf, which would
+/// float a degenerate cell to the top of a descending ranking; pin NaN
+/// to the bottom instead (ties break on the id, so order stays total).
+fn rank_key(v: f32) -> f32 {
+    if v.is_nan() {
+        f32::NEG_INFINITY
+    } else {
+        v
+    }
+}
+
+/// JSON string literal (ids are plain ASCII, but escape defensively).
+fn js(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn mean(values: impl Iterator<Item = f32>) -> f32 {
+    let (mut sum, mut n) = (0.0f32, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        f32::NAN
+    } else {
+        sum / n as f32
+    }
+}
+
+fn unique_ids<'a>(ids: impl Iterator<Item = &'a String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for id in ids {
+        if !out.iter().any(|seen| seen == id) {
+            out.push(id.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(attack: &str, defense: &str, model: &str, clean: f32, adv: f32) -> MatrixCell {
+        MatrixCell {
+            attack: attack.to_string(),
+            defense: defense.to_string(),
+            model: model.to_string(),
+            clean_accuracy: clean,
+            adversarial_accuracy: adv,
+            accuracy_drop: clean - adv,
+            scene_accuracies: vec![adv],
+        }
+    }
+
+    fn sample() -> MatrixReport {
+        MatrixReport::assemble(
+            "quick",
+            64,
+            4,
+            vec![("s0".to_string(), 1, 64)],
+            vec![ModelSummary { id: "pointnet".to_string(), clean_accuracy: 0.8 }],
+            vec![
+                cell("colper", "identity", "pointnet", 0.8, 0.2),
+                cell("colper", "smooth(4)", "pointnet", 0.75, 0.5),
+                cell("noise(4)", "identity", "pointnet", 0.8, 0.7),
+                cell("noise(4)", "smooth(4)", "pointnet", 0.75, 0.72),
+            ],
+            vec![TransferSummary {
+                attack: "transfer(0.5)".to_string(),
+                surrogate: "pointnet".to_string(),
+                victim: "resgcn".to_string(),
+                clean_accuracy: 0.7,
+                adversarial_accuracy: 0.5,
+                accuracy_drop: 0.2,
+            }],
+        )
+    }
+
+    #[test]
+    fn rankings_are_ordered() {
+        let r = sample();
+        assert_eq!(r.attack_ranking[0].attack, "colper", "bigger drop ranks first");
+        assert!(
+            r.defense_ranking[0].mean_adversarial_accuracy
+                >= r.defense_ranking[1].mean_adversarial_accuracy
+        );
+        assert_eq!(r.defense_ranking[0].defense, "smooth(4)");
+    }
+
+    #[test]
+    fn nan_cells_rank_last_not_panic() {
+        let mut cells = sample().cells;
+        cells.push(cell("broken", "identity", "pointnet", f32::NAN, f32::NAN));
+        let r = MatrixReport::assemble("quick", 64, 4, vec![], vec![], cells, vec![]);
+        assert_eq!(
+            r.attack_ranking.last().unwrap().attack,
+            "broken",
+            "NaN sorts below every real drop under total_cmp descending"
+        );
+        assert!(r.to_json().contains("\"mean_accuracy_drop\":null"));
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_deterministic() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":\"colper-bench-matrix-v1\""));
+        assert!(a.ends_with("}\n"));
+        assert!(a.contains("\"transfer\":[{\"attack\":\"transfer(0.5)\""));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(js("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(js("tab\tnl\n"), "\"tab\\u0009nl\\u000a\"");
+    }
+
+    #[test]
+    fn display_mentions_every_section() {
+        let text = sample().table();
+        assert!(text.contains("Robustness matrix"));
+        assert!(text.contains("most damaging first"));
+        assert!(text.contains("transfer (surrogate -> victim"));
+    }
+}

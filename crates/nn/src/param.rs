@@ -274,6 +274,35 @@ impl<'p> Forward<'p> {
         v
     }
 
+    /// Runs `f` on a session that records onto *this* session's tape but
+    /// binds parameters from `guest` — how a second network joins the
+    /// same graph (e.g. the transfer objective's penalty model, whose
+    /// hinge is added to the surrogate's). Returned [`Var`]s live on the
+    /// shared tape and stay valid after the call.
+    ///
+    /// The guest's parameter bindings are discarded when `f` returns;
+    /// binding the same guest again re-interns its parameters (cheap:
+    /// evaluation sessions share storage without copying).
+    ///
+    /// # Panics
+    ///
+    /// Panics in training mode — a guest's batch-norm updates would
+    /// resolve against the wrong parameter set.
+    pub fn with_params<T>(&mut self, guest: &ParamSet, f: impl FnOnce(&mut Forward<'_>) -> T) -> T {
+        assert!(!self.training, "with_params: guest networks are evaluation-only");
+        let tape = std::mem::replace(&mut self.tape, Tape::new());
+        let mut session = Forward {
+            tape,
+            params: guest,
+            bound: vec![None; guest.param_count()],
+            training: false,
+            bn_updates: Vec::new(),
+        };
+        let out = f(&mut session);
+        self.tape = session.tape;
+        out
+    }
+
     /// Reads a buffer's current value.
     pub fn buffer(&self, id: BufferId) -> &'p Matrix {
         self.params.buffer(id)

@@ -355,9 +355,13 @@ pub mod counters {
     pub static GEMM_BATCH_LOOPED: Counter = Counter::new("gemm.batch.looped");
     /// Matmul nodes anchored into batched groups by compiled schedules.
     pub static SCHED_BATCHED_MMS: Counter = Counter::new("schedule.batched_mms");
+    /// Attack optimizations executed by the robustness matrix runner.
+    pub static MATRIX_ATTACK_RUNS: Counter = Counter::new("matrix.attack_runs");
+    /// Matrix cells (attack × defense × model) evaluated.
+    pub static MATRIX_CELLS: Counter = Counter::new("matrix.cells");
 
     /// Every counter in the inventory, for snapshotting and reset.
-    pub fn all() -> [&'static Counter; 20] {
+    pub fn all() -> [&'static Counter; 22] {
         [
             &KERNEL_DISPATCH_SIMD,
             &KERNEL_DISPATCH_SCALAR,
@@ -379,6 +383,8 @@ pub mod counters {
             &GEMM_BATCH_FUSED,
             &GEMM_BATCH_LOOPED,
             &SCHED_BATCHED_MMS,
+            &MATRIX_ATTACK_RUNS,
+            &MATRIX_CELLS,
         ]
     }
 }

@@ -40,6 +40,15 @@ impl ModelKind {
             ModelKind::ResGcn => "resgcn",
         }
     }
+
+    /// The other zoo architecture — the transfer objective's penalty
+    /// network when this kind is the surrogate.
+    pub fn other(&self) -> ModelKind {
+        match self {
+            ModelKind::PointNet => ModelKind::ResGcn,
+            ModelKind::ResGcn => ModelKind::PointNet,
+        }
+    }
 }
 
 /// Rounds a point count up to its pooling bucket.

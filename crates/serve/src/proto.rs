@@ -9,7 +9,10 @@
 //!   "points": 64,                 // synthetic-scene size when no cloud is inlined
 //!   "seed": 7,                    // scene + attack seed
 //!   "steps": 5,                   // optimization iterations (≤ 1000)
-//!   "goal": "non_targeted",       // or "targeted" with "target": <class>
+//!   "objective": "non_targeted",  // attack objective id: "targeted(3)",
+//!                                 // "noise(4)", "transfer(0.5)", "boundary(4)"
+//!   "goal": "non_targeted",       // legacy alternative to "objective":
+//!                                 // "targeted" with "target": <class>
 //!   "priority": "interactive",    // or "batch"
 //!   "threads": 1,                 // per-job runtime budget
 //!   "stream": false,              // true → per-step JSONL instead of a result object
@@ -30,7 +33,7 @@
 use crate::json::Json;
 use crate::pool::ModelKind;
 use crate::queue::Priority;
-use colper_attack::{AttackConfig, AttackGoal};
+use colper_attack::{AttackConfig, AttackGoal, Objective};
 use colper_geom::Point3;
 use colper_models::CloudTensors;
 use colper_tensor::Matrix;
@@ -57,8 +60,9 @@ pub struct JobSpec {
     pub points: usize,
     /// Scene + attack seed.
     pub seed: u64,
-    /// The attack goal.
-    pub goal: AttackGoal,
+    /// The attack objective ([`Objective::id`] names it in responses;
+    /// the legacy `goal`/`target` fields lift into it).
+    pub objective: Objective,
     /// Optimization iterations.
     pub steps: usize,
     /// Scheduling class.
@@ -80,7 +84,7 @@ impl JobSpec {
 
     /// The attack configuration this job resolves to.
     pub fn attack_config(&self) -> AttackConfig {
-        match self.goal {
+        match self.objective.goal() {
             AttackGoal::NonTargeted => AttackConfig::non_targeted(self.steps),
             AttackGoal::Targeted { target } => AttackConfig::targeted(self.steps, target),
         }
@@ -109,25 +113,45 @@ impl JobSpec {
         if steps == 0 || steps > MAX_STEPS {
             return Err(format!("\"steps\" must be in 1..={MAX_STEPS}, got {steps}"));
         }
-        let goal = match value.get("goal") {
-            None => AttackGoal::NonTargeted,
-            Some(g) => match g.as_str().ok_or("\"goal\" must be a string")? {
-                "non_targeted" => AttackGoal::NonTargeted,
-                "targeted" => {
-                    let target = value
-                        .get("target")
-                        .and_then(Json::as_usize)
-                        .ok_or("a targeted goal requires an integer \"target\"")?;
-                    if target >= NUM_CLASSES {
-                        return Err(format!(
-                            "\"target\" must name one of the {NUM_CLASSES} classes, got {target}"
-                        ));
-                    }
-                    AttackGoal::Targeted { target }
-                }
-                other => return Err(format!("unknown goal {other:?}")),
-            },
+        let objective = match (value.get("objective"), value.get("goal")) {
+            (Some(_), Some(_)) => {
+                return Err(
+                    "give either \"objective\" or the legacy \"goal\", not both".to_string()
+                );
+            }
+            // The one vocabulary the matrix runner and service clients
+            // share: an `Objective` id string, e.g. "targeted(3)" or
+            // "transfer(0.5)". Unknown ids and malformed parameters map
+            // to 422 with the parser's reason.
+            (Some(o), None) => {
+                let s = o.as_str().ok_or("\"objective\" must be a string")?;
+                Objective::parse(s)?
+            }
+            (None, goal) => {
+                let goal = match goal {
+                    None => AttackGoal::NonTargeted,
+                    Some(g) => match g.as_str().ok_or("\"goal\" must be a string")? {
+                        "non_targeted" => AttackGoal::NonTargeted,
+                        "targeted" => {
+                            let target = value
+                                .get("target")
+                                .and_then(Json::as_usize)
+                                .ok_or("a targeted goal requires an integer \"target\"")?;
+                            AttackGoal::Targeted { target }
+                        }
+                        other => return Err(format!("unknown goal {other:?}")),
+                    },
+                };
+                Objective::from_goal(goal)
+            }
         };
+        if let Objective::Targeted { target } = objective {
+            if target >= NUM_CLASSES {
+                return Err(format!(
+                    "\"target\" must name one of the {NUM_CLASSES} classes, got {target}"
+                ));
+            }
+        }
         let priority = match value.get("priority") {
             None => Priority::Interactive,
             Some(p) => {
@@ -152,7 +176,7 @@ impl JobSpec {
             ));
         }
 
-        Ok(JobSpec { model, points, seed, goal, steps, priority, threads, stream, cloud })
+        Ok(JobSpec { model, points, seed, objective, steps, priority, threads, stream, cloud })
     }
 }
 
@@ -261,7 +285,7 @@ mod tests {
         assert_eq!(job.model, ModelKind::PointNet);
         assert_eq!(job.points, 64);
         assert_eq!(job.steps, 5);
-        assert_eq!(job.goal, AttackGoal::NonTargeted);
+        assert_eq!(job.objective, Objective::NonTargeted);
         assert_eq!(job.priority, Priority::Interactive);
         assert_eq!(job.threads, 1);
         assert!(!job.stream);
@@ -278,7 +302,7 @@ mod tests {
         assert_eq!(job.model, ModelKind::ResGcn);
         assert_eq!(job.points, 128);
         assert_eq!(job.seed, 9);
-        assert_eq!(job.goal, AttackGoal::Targeted { target: 3 });
+        assert_eq!(job.objective, Objective::Targeted { target: 3 });
         assert_eq!(job.priority, Priority::Batch);
         assert_eq!(job.threads, 4);
         assert!(job.stream);
@@ -297,6 +321,41 @@ mod tests {
         assert!(spec(r#"{"priority":"urgent"}"#).unwrap_err().contains("unknown priority"));
         assert!(spec(r#"{"seed":-1}"#).unwrap_err().contains("seed"));
         assert!(spec(r#"[1,2,3]"#).unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn objective_ids_parse() {
+        assert_eq!(
+            spec(r#"{"objective":"targeted(3)"}"#).unwrap().objective,
+            Objective::Targeted { target: 3 }
+        );
+        assert_eq!(
+            spec(r#"{"objective":"transfer(0.5)"}"#).unwrap().objective,
+            Objective::Transfer { gamma: 0.5 }
+        );
+        assert_eq!(
+            spec(r#"{"objective":"boundary(4)"}"#).unwrap().objective,
+            Objective::Boundary { k: 4 }
+        );
+        assert_eq!(
+            spec(r#"{"objective":"noise(4)"}"#).unwrap().objective,
+            Objective::NoiseBaseline { l2_sq: 4.0 }
+        );
+        // Targeted objectives hit the same class-count guard as the
+        // legacy fields, and attack_config carries the goal through.
+        assert!(spec(r#"{"objective":"targeted(99)"}"#).unwrap_err().contains("classes"));
+        let cfg = spec(r#"{"objective":"targeted(3)","steps":7}"#).unwrap().attack_config();
+        assert_eq!(cfg.goal, AttackGoal::Targeted { target: 3 });
+        assert_eq!(cfg.steps, 7);
+    }
+
+    #[test]
+    fn unknown_or_conflicting_objectives_are_422() {
+        assert!(spec(r#"{"objective":"warp(2)"}"#).unwrap_err().contains("warp"));
+        assert!(spec(r#"{"objective":"transfer("}"#).is_err());
+        assert!(spec(r#"{"objective":"non_targeted","goal":"non_targeted"}"#)
+            .unwrap_err()
+            .contains("not both"));
     }
 
     #[test]

@@ -378,17 +378,25 @@ fn run_attack_job(spec: JobSpec, mut stream: TcpStream, queued_at: Instant, ctx:
     let queue_ms = queued_at.elapsed().as_secs_f64() * 1e3;
 
     // Materialize the cloud: inline if supplied, else a synthetic indoor
-    // scene normalized the way the victim expects.
-    let cloud = match &spec.cloud {
-        Some(cloud) => cloud.clone(),
+    // scene normalized the way the victim expects. A transfer objective
+    // also gets the penalty network's own view of the same scene (both
+    // views preserve point order, so the shared color variable is
+    // sound); inline clouds arrive pre-normalized, so the penalty
+    // network sees the surrogate's view there.
+    let view_of = |scene: &_, kind: ModelKind| {
+        CloudTensors::from_cloud(&match kind {
+            ModelKind::PointNet => normalize::pointnet_view(scene),
+            ModelKind::ResGcn => normalize::resgcn_view(scene),
+        })
+    };
+    let (cloud, penalty_view) = match &spec.cloud {
+        Some(cloud) => (cloud.clone(), None),
         None => {
             let scene = SceneGenerator::indoor(IndoorSceneConfig::with_points(spec.points))
                 .generate(spec.seed);
-            let view = match spec.model {
-                ModelKind::PointNet => normalize::pointnet_view(&scene),
-                ModelKind::ResGcn => normalize::resgcn_view(&scene),
-            };
-            CloudTensors::from_cloud(&view)
+            let penalty =
+                spec.objective.needs_penalty_model().then(|| view_of(&scene, spec.model.other()));
+            (view_of(&scene, spec.model), penalty)
         }
     };
 
@@ -422,7 +430,20 @@ fn run_attack_job(spec: JobSpec, mut stream: TcpStream, queued_at: Instant, ctx:
     };
 
     let run_started = Instant::now();
-    let session = AttackSession::new(spec.attack_config()).runtime(&rt).observer(&observer);
+    let mut session = AttackSession::new(spec.attack_config())
+        .runtime(&rt)
+        .observer(&observer)
+        .objective(spec.objective.clone());
+    if spec.objective.needs_penalty_model() {
+        let penalty: &dyn colper_models::SegmentationModel = match spec.model.other() {
+            ModelKind::PointNet => &ctx.zoo.pointnet,
+            ModelKind::ResGcn => &ctx.zoo.resgcn,
+        };
+        session = session.penalty_model(penalty);
+        if let Some(view) = &penalty_view {
+            session = session.penalty_view(view);
+        }
+    }
     let result = match spec.model {
         ModelKind::PointNet => {
             session.run_with_rng_seated(&ctx.zoo.pointnet, &cloud, &mut rng, &mut seat)
@@ -459,11 +480,13 @@ fn result_json(
 ) -> String {
     format!(
         concat!(
-            "{{\"model\":\"{}\",\"points\":{},\"steps_run\":{},\"converged\":{},",
+            "{{\"model\":\"{}\",\"objective\":\"{}\",\"points\":{},\"steps_run\":{},",
+            "\"converged\":{},",
             "\"success_metric\":{},\"l2_sq\":{},\"attacked_points\":{},\"restarts\":{},",
             "\"warm_start\":{},\"queue_ms\":{:.3},\"run_ms\":{:.3}}}"
         ),
         spec.model.name(),
+        spec.objective.id(),
         spec.effective_points(),
         result.steps_run,
         result.converged,

@@ -29,7 +29,7 @@
 //! work-stealing runtime; each band owns its rows exclusively, so
 //! results are bit-identical at any thread count.
 //!
-//! [`gemm_batched`] lifts the same driver over `N` same-shape clouds:
+//! `gemm_batched` lifts the same driver over `N` same-shape clouds:
 //! `B` is packed **once** per `KC` block and every cloud replays the
 //! identical per-cloud band loop against it, so packing and dispatch
 //! amortize across the batch while each cloud's result stays bit-equal

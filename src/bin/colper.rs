@@ -9,15 +9,18 @@
 //!                [--threads N]
 //! colper stream  [--tiles N] [--points-per-tile N] [--steps S] [--window N]
 //!                [--budget-mb MB] [--seed S] [--dir DIR] [--threads N]
+//! colper matrix  [--quick] [--points N] [--steps S] [--out FILE] [--threads N]
 //! colper serve   [--addr HOST:PORT] [--workers N] [--threads N] [--queue-cap N]
 //! ```
 //!
 //! Everything runs on synthetic scenes; `train` writes a checkpoint that
 //! `attack --weights` can reuse. `stream` materializes an out-of-core
 //! tiled world as memory-mapped column shards and attacks it window by
-//! window under a hard residency budget. `--threads` sizes the shared
-//! compute pool (default: `COLPER_THREADS`, else the host parallelism);
-//! every thread count produces bit-identical results.
+//! window under a hard residency budget. `matrix` runs the attack ×
+//! defense robustness cross-product and writes the ranked report to
+//! `results/BENCH_matrix.json`. `--threads` sizes the shared compute
+//! pool (default: `COLPER_THREADS`, else the host parallelism); every
+//! thread count produces bit-identical results.
 
 use colper_repro::attack::{AttackConfig, AttackSession, NoiseBaseline};
 use colper_repro::metrics::ConfusionMatrix;
@@ -43,7 +46,7 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(rest) {
+    let flags = match Flags::parse(rest) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
@@ -60,11 +63,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = runtime.install(|| match command.as_str() {
+    let result = runtime.clone().install(|| match command.as_str() {
         "scene" => cmd_scene(&flags),
         "train" => cmd_train(&flags),
         "attack" => cmd_attack(&flags),
         "stream" => cmd_stream(&flags),
+        "matrix" => cmd_matrix(&flags, &runtime),
         "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -90,44 +94,69 @@ const USAGE: &str = "usage:
                  [--threads N] [--trace]
   colper stream  [--tiles N] [--points-per-tile N] [--extent M] [--steps S] [--window N]
                  [--budget-mb MB] [--windows-per-tile N] [--seed S] [--dir DIR] [--threads N]
+  colper matrix  [--quick] [--points N] [--steps S] [--out FILE] [--threads N]
   colper serve   [--addr HOST:PORT] [--workers N] [--threads N] [--queue-cap N]";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let arg = &args[i];
-        let Some(name) = arg.strip_prefix("--") else {
-            return Err(format!("unexpected argument '{arg}'"));
-        };
-        // Boolean flags take no value.
-        if name == "outdoor" || name == "map" || name == "trace" {
-            flags.insert(name.to_string(), "true".to_string());
-            i += 1;
-            continue;
+/// Parsed `--flag value` / `--flag` command-line arguments with typed,
+/// validated accessors — the one flag surface every subcommand shares
+/// (model/points/steps/seed/threads handling used to be duplicated per
+/// command as loose helper calls over a raw map).
+struct Flags(HashMap<String, String>);
+
+/// Flags that are present/absent switches rather than key-value pairs.
+const BOOLEAN_FLAGS: [&str; 4] = ["outdoor", "map", "trace", "quick"];
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}'"));
+            };
+            if BOOLEAN_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
+            let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
         }
-        let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
-        flags.insert(name.to_string(), value.clone());
-        i += 2;
+        Ok(Self(flags))
     }
-    Ok(flags)
-}
 
-fn flag_usize(
-    flags: &HashMap<String, String>,
-    name: &str,
-    default: usize,
-) -> Result<usize, String> {
-    match flags.get(name) {
-        None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+    /// The raw value of `--name`, when given.
+    fn get(&self, name: &str) -> Option<&String> {
+        self.0.get(name)
     }
-}
 
-fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
-    match flags.get(name) {
-        None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+    /// Whether a boolean switch was given.
+    fn is_set(&self, name: &str) -> bool {
+        self.0.contains_key(name)
+    }
+
+    /// String flag with a default.
+    fn str<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.0.get(name).map_or(default, String::as_str)
+    }
+
+    /// Integer flag with a default.
+    fn usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        self.parsed(name, default)
+    }
+
+    /// Seed-sized integer flag with a default.
+    fn u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        self.parsed(name, default)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.0.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+        }
     }
 }
 
@@ -138,10 +167,10 @@ fn indoor_class(name: &str) -> Result<IndoorClass, String> {
     })
 }
 
-fn cmd_scene(flags: &HashMap<String, String>) -> Result<(), String> {
-    let points = flag_usize(flags, "points", 1024)?;
-    let seed = flag_u64(flags, "seed", 0)?;
-    let outdoor = flags.contains_key("outdoor");
+fn cmd_scene(flags: &Flags) -> Result<(), String> {
+    let points = flags.usize("points", 1024)?;
+    let seed = flags.u64("seed", 0)?;
+    let outdoor = flags.is_set("outdoor");
     let cloud = if outdoor {
         SceneGenerator::outdoor(OutdoorSceneConfig::with_points(points)).generate(seed)
     } else {
@@ -169,7 +198,7 @@ fn cmd_scene(flags: &HashMap<String, String>) -> Result<(), String> {
         };
         println!("{:<18} {:>8} {:>7.2}%", name, count, *count as f32 / cloud.len() as f32 * 100.0);
     }
-    if flags.contains_key("map") {
+    if flags.is_set("map") {
         println!("\ntop-down class map:");
         print!("{}", colper_repro::scene::viz::top_down_map(&cloud, &cloud.labels, 60, 22));
         let names: Vec<&str> = if outdoor {
@@ -230,15 +259,15 @@ impl AnyModel {
     }
 }
 
-fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
     use colper_repro::serve::{ServeConfig, Server};
     let defaults = ServeConfig::default();
     let config = ServeConfig {
         addr: flags.get("addr").cloned().unwrap_or(defaults.addr),
-        workers: flag_usize(flags, "workers", defaults.workers)?,
-        threads: flag_usize(flags, "threads", defaults.threads)?,
-        queue_capacity: flag_usize(flags, "queue-cap", defaults.queue_capacity)?,
-        seat_cap: flag_usize(flags, "seat-cap", defaults.seat_cap)?,
+        workers: flags.usize("workers", defaults.workers)?,
+        threads: flags.usize("threads", defaults.threads)?,
+        queue_capacity: flags.usize("queue-cap", defaults.queue_capacity)?,
+        seat_cap: flags.usize("seat-cap", defaults.seat_cap)?,
     };
     let server = Server::start(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     println!(
@@ -253,15 +282,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
-fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_stream(flags: &Flags) -> Result<(), String> {
     use colper_repro::attack::{StreamConfig, StreamingAttack};
     use colper_repro::scene::tiled::{ShardStore, TiledWorld, TiledWorldConfig};
     use colper_repro::scene::OUTDOOR_CLASS_COUNT;
 
-    let tiles = flag_usize(flags, "tiles", 4)?.max(1);
-    let points_per_tile = flag_usize(flags, "points-per-tile", 4096)?.max(1);
-    let steps = flag_usize(flags, "steps", 12)?;
-    let seed = flag_u64(flags, "seed", 7)?;
+    let tiles = flags.usize("tiles", 4)?.max(1);
+    let points_per_tile = flags.usize("points-per-tile", 4096)?.max(1);
+    let steps = flags.usize("steps", 12)?;
+    let seed = flags.u64("seed", 7)?;
 
     let mut world_cfg = TiledWorldConfig::grid(tiles as u32, points_per_tile);
     world_cfg.world_seed = seed;
@@ -311,7 +340,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
     let model = PointNet2::new(PointNet2Config::tiny(OUTDOOR_CLASS_COUNT), &mut rng);
 
     let mut cfg = StreamConfig::new(AttackConfig::non_targeted(steps));
-    cfg.window_core = flag_usize(flags, "window", cfg.window_core)?.max(1);
+    cfg.window_core = flags.usize("window", cfg.window_core)?.max(1);
     cfg.seed = seed;
     if let Some(v) = flags.get("windows-per-tile") {
         let n: usize =
@@ -367,15 +396,15 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
-    let kind = flags.get("model").map_or("pointnet", String::as_str);
-    let points = flag_usize(flags, "points", 512)?;
-    let rooms = flag_usize(flags, "rooms", 4)?;
-    let epochs = flag_usize(flags, "epochs", 12)?;
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let kind = flags.str("model", "pointnet");
+    let points = flags.usize("points", 512)?;
+    let rooms = flags.usize("rooms", 4)?;
+    let epochs = flags.usize("epochs", 12)?;
     let default_out = format!("{kind}.clpr");
-    let out = flags.get("out").map_or(default_out.as_str(), String::as_str);
+    let out = flags.str("out", &default_out);
 
-    let mut rng = StdRng::seed_from_u64(flag_u64(flags, "seed", 11)?);
+    let mut rng = StdRng::seed_from_u64(flags.u64("seed", 11)?);
     let mut model = AnyModel::build(kind, &mut rng)?;
     let dataset = S3disLikeDataset::new(IndoorSceneConfig::with_points(points), rooms);
     let clouds: Vec<CloudTensors> =
@@ -400,11 +429,11 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
-    let kind = flags.get("model").map_or("pointnet", String::as_str);
-    let points = flag_usize(flags, "points", 512)?;
-    let steps = flag_usize(flags, "steps", 120)?;
-    let seed = flag_u64(flags, "seed", 5)?;
+fn cmd_attack(flags: &Flags) -> Result<(), String> {
+    let kind = flags.str("model", "pointnet");
+    let points = flags.usize("points", 512)?;
+    let steps = flags.usize("steps", 120)?;
+    let seed = flags.u64("seed", 5)?;
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = AnyModel::build(kind, &mut rng)?;
@@ -448,7 +477,7 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
     let (config, mask, goal_desc) = match flags.get("targeted") {
         Some(target_name) => {
             let target = indoor_class(target_name)?;
-            let source = indoor_class(flags.get("source").map_or("board", String::as_str))?;
+            let source = indoor_class(flags.str("source", "board"))?;
             let mask: Vec<bool> = tensors.labels.iter().map(|&l| l == source.label()).collect();
             if !mask.iter().any(|&m| m) {
                 return Err(format!(
@@ -471,7 +500,7 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
     // `--trace` (or COLPER_TRACE=1 in the environment) switches on the
     // observability layer: per-step telemetry plus span/counter
     // aggregates written under `results/`.
-    if flags.contains_key("trace") {
+    if flags.is_set("trace") {
         colper_repro::obs::set_enabled(true);
     }
     let observer = Observer::from_env();
@@ -533,7 +562,7 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
         cm.accuracy() * 100.0
     );
 
-    if flags.contains_key("map") {
+    if flags.is_set("map") {
         let mut map_cloud = cloud.clone();
         map_cloud.coords = tensors.coords.clone();
         println!("\nsegmentation before the attack:");
@@ -565,5 +594,36 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| format!("cannot write {seg_path}: {e}"))?;
         println!("adversarial cloud written to {path} (+ {seg_path})");
     }
+    Ok(())
+}
+
+fn cmd_matrix(flags: &Flags, runtime: &Runtime) -> Result<(), String> {
+    use colper_repro::matrix::{run, MatrixConfig, Registry};
+
+    let mut cfg =
+        if flags.is_set("quick") { MatrixConfig::quick() } else { MatrixConfig::standard() };
+    cfg.points = flags.usize("points", cfg.points)?;
+    cfg.steps = flags.usize("steps", cfg.steps)?;
+    let out = flags.str("out", "results/BENCH_matrix.json");
+
+    let registry = Registry::defaults(&cfg);
+    println!(
+        "robustness matrix ({} scale): {} attacks x {} defenses x {} models x {} scenes, {} threads",
+        cfg.scale,
+        registry.attacks.len(),
+        registry.defenses.len(),
+        registry.models.len(),
+        registry.scenes.len(),
+        runtime.threads()
+    );
+    let report = run(&registry, &cfg, runtime)?;
+    println!("\n{}", report.table());
+
+    if let Some(dir) = std::path::Path::new(out).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("report written to {out}");
     Ok(())
 }

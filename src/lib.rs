@@ -63,6 +63,10 @@ pub use colper_metrics as metrics;
 /// detection (re-export of `colper-defense`).
 pub use colper_defense as defense;
 
+/// The attack × defense robustness matrix: registry, runner, ranked
+/// report (re-export of `colper-matrix`).
+pub use colper_matrix as matrix;
+
 /// `colperd`: the pooled, backpressured attack service and its
 /// load-test client (re-export of `colper-serve`).
 pub use colper_serve as serve;

@@ -4,7 +4,7 @@
 
 use colper_repro::attack::{apply_adversarial_colors, AttackConfig, AttackSession};
 use colper_repro::defense::{
-    adversarial_training, AdvTrainConfig, ColorTransform, SmoothnessDetector,
+    adversarial_training, AdvTrainConfig, Defense, Smooth, SmoothnessDetector,
 };
 use colper_repro::models::{
     evaluate_on, train_model, CloudTensors, PointNet2, PointNet2Config, TrainConfig,
@@ -50,7 +50,7 @@ fn transform_defenses_partially_restore_accuracy() {
     // the attack truly bit (accuracy below 45%) it should claw back a
     // meaningful share: the attack's fine-grained color pattern is what
     // smoothing removes.
-    let defended = ColorTransform::Smooth { k: 8 }.apply(&adv_cloud, &mut rng);
+    let defended = Smooth::new(8).apply(&adv_cloud, &mut rng);
     let defended_acc = evaluate_on(&model, &CloudTensors::from_cloud(&defended), &mut rng);
     assert!(
         defended_acc + 0.03 >= attacked_acc,

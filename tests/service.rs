@@ -113,6 +113,46 @@ fn malformed_and_invalid_requests_get_400_and_422() {
 }
 
 #[test]
+fn objective_ids_run_and_unknown_ones_get_422() {
+    let server = Server::start(&config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // The transfer objective optimizes on the requested model and folds
+    // the other zoo architecture in as the penalty network.
+    let body = r#"{"points":64,"steps":2,"seed":3,"objective":"transfer(0.5)"}"#;
+    let (status, payload) = http_request(&addr, "POST", "/attack", body).unwrap();
+    assert_eq!(status, 200, "{payload}");
+    let result = Json::parse(&payload).unwrap();
+    assert_eq!(result.get("objective").and_then(Json::as_str), Some("transfer(0.5)"));
+    assert_eq!(result.get("steps_run").and_then(Json::as_u64), Some(2));
+
+    // The noise baseline short-circuits the optimizer but satisfies the
+    // same response contract.
+    let body = r#"{"points":64,"steps":2,"seed":3,"objective":"noise(4)"}"#;
+    let (status, payload) = http_request(&addr, "POST", "/attack", body).unwrap();
+    assert_eq!(status, 200, "{payload}");
+    let result = Json::parse(&payload).unwrap();
+    assert_eq!(result.get("objective").and_then(Json::as_str), Some("noise(4)"));
+
+    let (status, payload) =
+        http_request(&addr, "POST", "/attack", r#"{"objective":"warp(2)"}"#).unwrap();
+    assert_eq!(status, 422, "{payload}");
+    assert!(payload.contains("warp"));
+
+    let (status, payload) = http_request(
+        &addr,
+        "POST",
+        "/attack",
+        r#"{"objective":"non_targeted","goal":"non_targeted"}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 422, "{payload}");
+    assert!(payload.contains("not both"));
+
+    server.stop();
+}
+
+#[test]
 fn full_queue_answers_429_deterministically() {
     // workers: 0 → nothing drains; capacity 2 → the third job bounces.
     let server = Server::start(&ServeConfig {
